@@ -1,0 +1,88 @@
+//! Criterion microbenches for the sketch substrates (GK, Q-Digest,
+//! reservoir): insert throughput and query latency — the per-element
+//! costs underlying the paper's update/query time figures.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsq_sketch::{GkSketch, QDigest, ReservoirQuantiles};
+use hsq_workload::Dataset;
+
+fn insert_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_insert");
+    let n = 100_000u64;
+    group.throughput(Throughput::Elements(n));
+    let data: Vec<u64> = Dataset::Normal.generator(1).take_vec(n as usize);
+
+    group.bench_function("gk_eps_0.01", |b| {
+        b.iter(|| {
+            let mut gk = GkSketch::new(0.01);
+            for &v in &data {
+                gk.insert(black_box(v));
+            }
+            black_box(gk.num_tuples())
+        })
+    });
+    group.bench_function("qdigest_eps_0.01", |b| {
+        b.iter(|| {
+            let mut qd = QDigest::with_error(0.01, 32);
+            for &v in &data {
+                qd.insert(black_box(v % (1 << 32)));
+            }
+            black_box(qd.num_nodes())
+        })
+    });
+    group.bench_function("reservoir_8k", |b| {
+        b.iter(|| {
+            let mut rq = ReservoirQuantiles::with_seed(8192, 7);
+            for &v in &data {
+                rq.insert(black_box(v));
+            }
+            black_box(rq.sample_size())
+        })
+    });
+    group.finish();
+}
+
+fn query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch_query");
+    let data: Vec<u64> = Dataset::Normal.generator(2).take_vec(200_000);
+
+    let mut gk = GkSketch::new(0.01);
+    let mut qd = QDigest::with_error(0.01, 32);
+    for &v in &data {
+        gk.insert(v);
+        qd.insert(v % (1 << 32));
+    }
+    group.bench_function("gk_quantile", |b| {
+        b.iter(|| black_box(gk.quantile(black_box(0.95))))
+    });
+    group.bench_function("qdigest_quantile", |b| {
+        b.iter(|| black_box(qd.quantile(black_box(0.95))))
+    });
+    group.finish();
+}
+
+fn epsilon_scaling(c: &mut Criterion) {
+    // GK insert cost vs epsilon: smaller eps -> larger summary -> slower
+    // inserts (the memory/time trade of Figures 4 and 6).
+    let mut group = c.benchmark_group("gk_insert_vs_epsilon");
+    let data: Vec<u64> = Dataset::Uniform.generator(3).take_vec(50_000);
+    for eps in [0.1, 0.01, 0.001] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            b.iter(|| {
+                let mut gk = GkSketch::new(eps);
+                for &v in &data {
+                    gk.insert(black_box(v));
+                }
+                black_box(gk.num_tuples())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = insert_throughput, query_latency, epsilon_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion benches for the warehouse update path (the per-step costs of
+//! Figures 6 and 7): batch archival at different merge thresholds, the
+//! multi-way merge, and external sort.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hsq_core::{HsqConfig, Warehouse};
+use hsq_storage::{external_sort, merge_runs, write_run, MemDevice};
+use hsq_workload::Dataset;
+
+fn batch_archival(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warehouse_add_batch");
+    let step_items = 20_000usize;
+    group.throughput(Throughput::Elements(step_items as u64));
+    for kappa in [2usize, 10] {
+        group.bench_with_input(
+            BenchmarkId::new("steady_state", kappa),
+            &kappa,
+            |b, &kappa| {
+                b.iter_batched(
+                    || {
+                        // 9 pre-loaded steps; the measured call is step 10.
+                        let cfg = HsqConfig::builder()
+                            .epsilon(0.01)
+                            .merge_threshold(kappa)
+                            .build();
+                        let mut w = Warehouse::<u64, _>::new(MemDevice::new(4096), cfg);
+                        let mut gen = Dataset::Normal.generator(5);
+                        for _ in 0..9 {
+                            w.add_batch(gen.take_vec(step_items)).unwrap();
+                        }
+                        (w, gen.take_vec(step_items))
+                    },
+                    |(mut w, batch)| {
+                        black_box(w.add_batch(batch).unwrap());
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn multiway_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiway_merge");
+    let per_run = 20_000usize;
+    for fan_in in [2usize, 10] {
+        group.throughput(Throughput::Elements((per_run * fan_in) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(fan_in), &fan_in, |b, &fan| {
+            let dev = MemDevice::new(4096);
+            let runs: Vec<_> = (0..fan)
+                .map(|i| {
+                    let mut data = Dataset::Uniform.generator(i as u64).take_vec(per_run);
+                    data.sort_unstable();
+                    write_run(&*dev, &data).unwrap()
+                })
+                .collect();
+            b.iter(|| {
+                let merged = merge_runs(&*dev, &runs).unwrap();
+                let len = merged.len();
+                merged.delete(&*dev).unwrap();
+                black_box(len)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn external_sort_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("external_sort");
+    let n = 100_000usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for budget in [n + 1, n / 10] {
+        let label = if budget > n { "in_memory" } else { "spill_10x" };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &budget, |b, &budget| {
+            let data = Dataset::Normal.generator(9).take_vec(n);
+            let dev = MemDevice::new(4096);
+            b.iter(|| {
+                let (run, _) = external_sort(&*dev, data.iter().copied(), budget).unwrap();
+                let len = run.len();
+                run.delete(&*dev).unwrap();
+                black_box(len)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = batch_archival, multiway_merge, external_sort_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Figure 10 (a–d): query runtime and disk accesses vs κ, memory fixed.
+//!
+//! Expected shape: both increase with κ — a fixed memory budget divided
+//! over more partitions leaves each with a coarser summary, so queries
+//! need more (and deeper) on-disk searches.
+//!
+//! Run: `cargo run --release -p hsq-bench --bin fig10_query_vs_kappa [--full]`
+
+use hsq_bench::*;
+use hsq_workload::Dataset;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kappas = [2usize, 3, 5, 7, 10, 15, 20, 25, 30];
+    figure_header(
+        "Figure 10: Query runtime and disk accesses vs kappa, memory fixed",
+        "memory 250 MB, kappa 2..30",
+        &format!(
+            "memory {} KB, kappa {:?}, {} steps x {} items",
+            scale.memory_fixed >> 10,
+            kappas,
+            scale.steps,
+            scale.step_items
+        ),
+    );
+
+    for dataset in Dataset::ALL {
+        println!("\n--- ({}) ---", dataset.name());
+        println!(
+            "{:>6} | {:>12} | {:>12} | {:>11}",
+            "kappa", "query us", "disk reads", "partitions"
+        );
+        println!("{}", "-".repeat(52));
+        for &kappa in &kappas {
+            let mut engine = engine_for_budget(scale.memory_fixed, kappa, &scale);
+            ingest(
+                &mut engine,
+                dataset,
+                23,
+                scale.steps,
+                scale.step_items,
+                scale.step_items,
+                false,
+            );
+            let partitions = engine.warehouse().num_partitions();
+            let scenario = Scenario {
+                engine,
+                oracle: hsq_sketch::ExactQuantiles::new(),
+                stream_len: scale.step_items as u64,
+                ingest: Default::default(),
+            };
+            let (secs, reads) = query_cost(&scenario);
+            println!(
+                "{:>6} | {:>12.1} | {:>12.1} | {:>11}",
+                kappa,
+                secs * 1e6,
+                reads,
+                partitions
+            );
+        }
+        println!(
+            "csv,fig10,{},kappa,query_us,disk_reads,partitions",
+            dataset.name().replace(' ', "_")
+        );
+    }
+    println!(
+        "\nShape check (paper): query time and disk accesses grow with kappa\n\
+         (more partitions, each with a coarser share of the summary budget)."
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 12 (a–c): scalability in the historical size — relative error,
+//! update cost, and query cost as history grows from 10 to 100 units with
+//! the stream size fixed. Normal dataset, κ = 10, memory fixed.
+//!
+//! Expected shape: relative error decreases as history grows (absolute
+//! error is stream-bound); update and query disk accesses grow with n.
+//!
+//! Run: `cargo run --release -p hsq-bench --bin fig12_scale_history [--full]`
+
+use hsq_bench::*;
+use hsq_workload::Dataset;
+
+fn main() {
+    let scale = Scale::from_args();
+    let kappa = 10;
+    figure_header(
+        "Figure 12: scaling the historical size, stream fixed (Normal)",
+        "history 10..100 GB (T fixed at 100, per-step size varied), stream 1 GB, memory 250 MB, kappa = 10",
+        &format!(
+            "history {} steps x 10..100% of {} items, stream {} items, memory {} KB",
+            scale.steps,
+            scale.step_items,
+            scale.step_items,
+            scale.memory_fixed >> 10
+        ),
+    );
+
+    println!(
+        "{:>9} | {:>13} | {:>11} {:>13} | {:>11} {:>11}",
+        "hist items", "rel error", "update ms", "update acc", "query us", "query reads"
+    );
+    println!("{}", "-".repeat(80));
+    // The paper fixes T = 100 and grows the per-step batch (10 -> 100 GB).
+    for pct in [10usize, 25, 50, 75, 100] {
+        let step_items = (scale.step_items * pct).div_ceil(100).max(10);
+        let mut engine = engine_for_budget(scale.memory_fixed, kappa, &scale);
+        let (oracle, stats, stream_len) = ingest(
+            &mut engine,
+            Dataset::Normal,
+            31,
+            scale.steps,
+            step_items,
+            scale.step_items, // stream size stays fixed
+            true,
+        );
+        let mut scenario = Scenario {
+            engine,
+            oracle,
+            stream_len,
+            ingest: stats,
+        };
+        let err = accurate_relative_error(&mut scenario);
+        let (qsecs, qreads) = query_cost(&scenario);
+        println!(
+            "{:>9} | {:>13.3e} | {:>11.2} {:>13.1} | {:>11.1} {:>11.1}",
+            scale.steps * step_items,
+            err,
+            scenario.ingest.mean_step_seconds() * 1000.0,
+            scenario.ingest.mean_accesses(),
+            qsecs * 1e6,
+            qreads,
+        );
+    }
+    println!("csv,fig12,Normal,hist_items,rel_error,update_ms,update_acc,query_us,query_reads");
+    println!(
+        "\nShape check (paper): relative error falls ~1/n as history grows;\n\
+         update and query disk accesses increase with the historical size."
+    );
+}

@@ -1,0 +1,442 @@
+//! The combined summary `TS` and its rank bounds `Lᵢ`, `Uᵢ` (paper §2.3.1,
+//! Lemma 2).
+//!
+//! `TS` is the sorted union of every partition summary in `HS` and the
+//! stream summary `SS`. For each `TS[i]`, the algorithm derives a lower
+//! bound `Lᵢ` and an upper bound `Uᵢ` on `rank(TS[i], T)` by summing
+//! per-source contributions.
+//!
+//! Two variants are implemented:
+//!
+//! * [`CombinedSummary::build`] — the production path. Every summary entry
+//!   carries *rigorous* rank bounds within its own source (exact positions
+//!   for partitions, GK-tracked intervals for the stream), so the per-source
+//!   contribution of "the largest entry ≤ x" / "the first entry > x" is
+//!   provably correct with no distributional assumption. These bounds are
+//!   at least as tight as the paper's formulas.
+//! * [`paper_li_ui`] — the paper's closed-form formulas in terms of the
+//!   counts `α_S`, `α_P` (with a switch for the figure's idealized variant
+//!   versus Lemma 2's safe variant), used to replay the Figure 3 worked
+//!   example verbatim and as documentation of the original arithmetic.
+
+use hsq_storage::Item;
+
+use crate::stream::StreamSummary;
+use crate::summary::PartitionSummary;
+
+/// A per-source view used to assemble `TS`: entries sorted by value, each
+/// with bounds on its rank *within that source*, plus the source's size.
+///
+/// Semantics required of each entry `(value, lo, hi)`:
+/// * at least `lo` elements of the source are `≤ value`;
+/// * at most `hi − 1` elements of the source are `< value`.
+#[derive(Clone, Debug)]
+pub struct SourceView<T> {
+    entries: Vec<(T, u64, u64)>,
+    total: u64,
+}
+
+impl<T: Item> SourceView<T> {
+    /// View of a historical partition summary: positions are exact.
+    pub fn from_partition(s: &PartitionSummary<T>) -> Self {
+        SourceView {
+            entries: s.entries().iter().map(|e| (e.value, e.rank, e.rank)).collect(),
+            total: s.partition_len(),
+        }
+    }
+
+    /// View of the stream summary: GK-tracked intervals.
+    pub fn from_stream(s: &StreamSummary<T>) -> Self {
+        SourceView {
+            entries: s.entries().iter().map(|e| (e.value, e.rmin, e.rmax)).collect(),
+            total: s.stream_len(),
+        }
+    }
+
+    /// Raw construction (tests).
+    pub fn from_raw(entries: Vec<(T, u64, u64)>, total: u64) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
+        SourceView { entries, total }
+    }
+}
+
+/// `TS` with per-element rank bounds over `T = H ∪ R`.
+#[derive(Clone, Debug)]
+pub struct CombinedSummary<T> {
+    values: Vec<T>,
+    lower: Vec<u64>,
+    upper: Vec<u64>,
+    total: u64,
+}
+
+impl<T: Item> CombinedSummary<T> {
+    /// Assemble `TS` from all sources and compute `Lᵢ`/`Uᵢ`.
+    pub fn build(sources: &[SourceView<T>]) -> Self {
+        let total: u64 = sources.iter().map(|s| s.total).sum();
+        let mut values: Vec<T> = sources
+            .iter()
+            .flat_map(|s| s.entries.iter().map(|&(v, _, _)| v))
+            .collect();
+        values.sort_unstable();
+
+        let delta = values.len();
+        let mut lower = vec![0u64; delta];
+        let mut upper = vec![0u64; delta];
+        for src in sources {
+            // Two-pointer sweep: for each TS value x, find the number of
+            // src entries with value <= x.
+            let mut ptr = 0usize;
+            for (i, &x) in values.iter().enumerate() {
+                while ptr < src.entries.len() && src.entries[ptr].0 <= x {
+                    ptr += 1;
+                }
+                // Lower: the largest entry <= x guarantees `lo` elements <= x.
+                if ptr > 0 {
+                    lower[i] += src.entries[ptr - 1].1;
+                }
+                // Upper: the first entry > x caps elements <= x at hi - 1;
+                // if none, every element of the source may be <= x.
+                if ptr < src.entries.len() {
+                    upper[i] += src.entries[ptr].2.saturating_sub(1);
+                } else {
+                    upper[i] += src.total;
+                }
+            }
+        }
+        CombinedSummary {
+            values,
+            lower,
+            upper,
+            total,
+        }
+    }
+
+    /// Number of entries `δ`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True iff no summaries contributed entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total data size `N`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `TS[i]`.
+    pub fn value(&self, i: usize) -> T {
+        self.values[i]
+    }
+
+    /// `Lᵢ`: lower bound on `rank(TS[i], T)`.
+    pub fn lower(&self, i: usize) -> u64 {
+        self.lower[i]
+    }
+
+    /// `Uᵢ`: upper bound on `rank(TS[i], T)`.
+    pub fn upper(&self, i: usize) -> u64 {
+        self.upper[i]
+    }
+
+    /// Algorithm 5 (`QuantilesQuickResponse`): the element at the smallest
+    /// `j` with `Lⱼ ≥ r`, else the last element. `None` iff empty.
+    pub fn quick_response(&self, r: u64) -> Option<T> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let j = self.lower.partition_point(|&l| l < r);
+        Some(self.values[j.min(self.values.len() - 1)])
+    }
+
+    /// Algorithm 7 (`GenerateFilters`): `u` = `TS[x]` for the largest `x`
+    /// with `Uₓ ≤ r` (or `None` if no such x — the caller widens to the
+    /// universe minimum); `v` = `TS[y]` for the smallest `y` with `Lᵧ ≥ r`
+    /// (or `None` — widen to the universe maximum).
+    pub fn generate_filters(&self, r: u64) -> (Option<T>, Option<T>) {
+        // upper is nondecreasing (sums of nondecreasing per-source terms),
+        // as is lower.
+        let x = self.upper.partition_point(|&u| u <= r); // first index with U > r
+        let u = x.checked_sub(1).map(|i| self.values[i]);
+        let y = self.lower.partition_point(|&l| l < r);
+        let v = self.values.get(y).copied();
+        (u, v)
+    }
+}
+
+/// Which flavour of the paper's `Uᵢ` formula to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PaperBoundVariant {
+    /// Figure 3's arithmetic: stream entries treated as sitting at exact
+    /// ranks `i·ε₂·m`, so `Uᵢ`'s stream term is `ε₂·m·α_S`.
+    FigureIdealized,
+    /// Lemma 2's safe form: `Uᵢ`'s stream term is `ε₂·m·(α_S + 1)`,
+    /// accounting for Lemma 1's one-sided slack.
+    LemmaSafe,
+}
+
+/// The paper's closed-form `Lᵢ`/`Uᵢ` (§2.3.1) for a single value `x`:
+///
+/// `L = ε₂·m·b·(α_S − 1) + Σ_{P : α_P > 0} ε₁·m_P·(α_P − 1)`
+/// `U = ε₂·m·b·(α_S + s) + Σ_{P : α_P > 0} ε₁·m_P·α_P`
+///
+/// where `α_S`/`α_P` count summary entries ≤ `x`, `b = [α_S > 0]`, and
+/// `s` is 0 or 1 per [`PaperBoundVariant`].
+#[allow(clippy::too_many_arguments)]
+pub fn paper_li_ui<T: Item>(
+    x: T,
+    partitions: &[&PartitionSummary<T>],
+    stream: &StreamSummary<T>,
+    epsilon1: f64,
+    epsilon2: f64,
+    variant: PaperBoundVariant,
+) -> (u64, u64) {
+    let m = stream.stream_len() as f64;
+    let alpha_s = stream
+        .entries()
+        .iter()
+        .filter(|e| e.value <= x)
+        .count() as f64;
+    let b = if alpha_s > 0.0 { 1.0 } else { 0.0 };
+    let slack = match variant {
+        PaperBoundVariant::FigureIdealized => 0.0,
+        PaperBoundVariant::LemmaSafe => 1.0,
+    };
+    let mut l = epsilon2 * m * b * (alpha_s - 1.0).max(0.0);
+    let mut u = epsilon2 * m * b * (alpha_s + slack);
+    for p in partitions {
+        let alpha_p = p.entries().iter().filter(|e| e.value <= x).count() as f64;
+        if alpha_p > 0.0 {
+            let mp = p.partition_len() as f64;
+            l += epsilon1 * mp * (alpha_p - 1.0);
+            u += epsilon1 * mp * alpha_p;
+        }
+    }
+    (l.round() as u64, u.round() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamProcessor;
+    use crate::summary::summarize_sorted;
+
+    /// Build the paper's Figure 3 scenario: three partitions and the
+    /// 401..=600 stream, with eps = 1/2 (eps1 = 1/4, eps2 = 1/8).
+    fn figure3() -> (Vec<PartitionSummary<u64>>, StreamSummary<u64>) {
+        let eps1 = 0.25;
+        let beta1 = 5;
+        let p1: Vec<u64> = (1..=100).collect();
+        let p2: Vec<u64> = (101..=200).collect();
+        let p3: Vec<u64> = (2..=201).collect();
+        let summaries = vec![
+            summarize_sorted(&p1, eps1, beta1, 4096),
+            summarize_sorted(&p2, eps1, beta1, 4096),
+            summarize_sorted(&p3, eps1, beta1, 4096),
+        ];
+        // The figure's stream summary is the idealized [401, ..., 600]; we
+        // reproduce its *shape* through the real GK processor and verify
+        // the min/max anchors, then use the figure's exact entries for the
+        // formula replay below.
+        let mut sp = StreamProcessor::new(0.125, 9);
+        for v in 401..=600u64 {
+            sp.update(v);
+        }
+        (summaries, sp.summary())
+    }
+
+    /// The figure's idealized SS: 9 entries whose assumed ranks are
+    /// i * eps2 * m = 25i.
+    fn figure3_idealized_ss() -> StreamSummary<u64> {
+        let values = [401u64, 438, 452, 480, 520, 530, 565, 595, 600];
+        let m = 200u64;
+        let entries: Vec<(u64, u64, u64)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let r = if i == 0 { 1 } else { 25 * i as u64 };
+                (v, r, r)
+            })
+            .collect();
+        // Round-trip through SourceView is what the production code sees;
+        // for paper_li_ui we need a StreamSummary, so build one manually.
+        let ss_entries: Vec<crate::stream::SsEntry<u64>> = entries
+            .iter()
+            .map(|&(v, lo, hi)| crate::stream::SsEntry {
+                value: v,
+                rmin: lo,
+                rmax: hi,
+            })
+            .collect();
+        // Construct via the public-ish path: there is no constructor, so we
+        // go through a tiny helper on the test side.
+        StreamSummary::from_parts_for_tests(ss_entries, m)
+    }
+
+    #[test]
+    fn figure3_ts_composition() {
+        let (summaries, ss) = figure3();
+        let mut sources: Vec<SourceView<u64>> =
+            summaries.iter().map(SourceView::from_partition).collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+        assert_eq!(ts.total(), 600);
+        // 3 partitions x 5 entries + stream entries (9..=10).
+        assert!(ts.len() >= 24, "delta = {}", ts.len());
+        // The historical prefix of TS matches the figure exactly.
+        let expect_prefix = [
+            1u64, 2, 25, 50, 51, 75, 100, 101, 101, 125, 150, 151, 175, 200, 201,
+        ];
+        let hist_values: Vec<u64> = (0..ts.len())
+            .map(|i| ts.value(i))
+            .filter(|&v| v <= 201)
+            .collect();
+        assert_eq!(hist_values, expect_prefix);
+    }
+
+    #[test]
+    fn figure3_li_ui_replay() {
+        // Replay the figure's L and U rows exactly, using the idealized SS
+        // and the FigureIdealized variant.
+        let (summaries, _) = figure3();
+        let ss = figure3_idealized_ss();
+        let parts: Vec<&PartitionSummary<u64>> = summaries.iter().collect();
+
+        let ts_values = [
+            1u64, 2, 25, 50, 51, 75, 100, 101, 101, 125, 150, 151, 175, 200, 201, 401, 438, 452,
+            480, 520, 530, 565, 595, 600,
+        ];
+        let expect_l = [
+            0u64, 0, 25, 50, 100, 125, 150, 200, 200, 225, 250, 300, 325, 350, 400, 400, 425, 450,
+            475, 500, 525, 550, 575, 600,
+        ];
+        let expect_u = [
+            25u64, 75, 100, 125, 175, 200, 225, 300, 300, 325, 350, 400, 425, 450, 500, 525, 550,
+            575, 600, 625, 650, 675, 700, 725,
+        ];
+        for (i, &x) in ts_values.iter().enumerate() {
+            let (l, u) = paper_li_ui(
+                x,
+                &parts,
+                &ss,
+                0.25,
+                0.125,
+                PaperBoundVariant::FigureIdealized,
+            );
+            assert_eq!(l, expect_l[i], "L mismatch at TS[{i}] = {x}");
+            assert_eq!(u, expect_u[i], "U mismatch at TS[{i}] = {x}");
+        }
+    }
+
+    #[test]
+    fn lemma_safe_dominates_idealized() {
+        let (summaries, _) = figure3();
+        let ss = figure3_idealized_ss();
+        let parts: Vec<&PartitionSummary<u64>> = summaries.iter().collect();
+        for x in [1u64, 101, 401, 520, 600] {
+            let (_, u_ideal) =
+                paper_li_ui(x, &parts, &ss, 0.25, 0.125, PaperBoundVariant::FigureIdealized);
+            let (_, u_safe) =
+                paper_li_ui(x, &parts, &ss, 0.25, 0.125, PaperBoundVariant::LemmaSafe);
+            assert!(u_safe >= u_ideal);
+        }
+    }
+
+    #[test]
+    fn lemma2_bounds_sandwich_exact_ranks() {
+        // Production tracked bounds: L_i <= rank(TS[i], T) <= U_i for the
+        // figure's full dataset.
+        let (summaries, ss) = figure3();
+        let mut sources: Vec<SourceView<u64>> =
+            summaries.iter().map(SourceView::from_partition).collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+
+        let mut all: Vec<u64> = (1..=100).collect();
+        all.extend(101..=200u64);
+        all.extend(2..=201u64);
+        all.extend(401..=600u64);
+
+        for i in 0..ts.len() {
+            let v = ts.value(i);
+            let rank = all.iter().filter(|&&x| x <= v).count() as u64;
+            assert!(
+                ts.lower(i) <= rank && rank <= ts.upper(i),
+                "TS[{i}]={v}: rank {rank} outside [L={}, U={}]",
+                ts.lower(i),
+                ts.upper(i)
+            );
+        }
+    }
+
+    #[test]
+    fn lemma2_width_bound() {
+        // U_i - L_i <= eps * N (Lemma 2 part 2); production bounds are
+        // tighter than the paper's, so the check must pass with eps = 1/2.
+        let (summaries, ss) = figure3();
+        let mut sources: Vec<SourceView<u64>> =
+            summaries.iter().map(SourceView::from_partition).collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+        let n = ts.total();
+        for i in 0..ts.len() {
+            assert!(
+                ts.upper(i) - ts.lower(i) <= n / 2,
+                "width {} at {i} exceeds eps*N = {}",
+                ts.upper(i) - ts.lower(i),
+                n / 2
+            );
+        }
+    }
+
+    #[test]
+    fn quick_response_monotone_and_in_range() {
+        let (summaries, ss) = figure3();
+        let mut sources: Vec<SourceView<u64>> =
+            summaries.iter().map(SourceView::from_partition).collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+        let mut prev = 0u64;
+        for r in [1u64, 100, 200, 300, 400, 500, 600] {
+            let v = ts.quick_response(r).unwrap();
+            assert!(v >= prev, "quick response must be monotone in r");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn filters_bracket_target_rank() {
+        let (summaries, ss) = figure3();
+        let mut sources: Vec<SourceView<u64>> =
+            summaries.iter().map(SourceView::from_partition).collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+
+        let mut all: Vec<u64> = (1..=100).collect();
+        all.extend(101..=200u64);
+        all.extend(2..=201u64);
+        all.extend(401..=600u64);
+        all.sort_unstable();
+
+        for r in [1u64, 50, 150, 300, 450, 600] {
+            let (u, v) = ts.generate_filters(r);
+            let answer = all[(r - 1) as usize]; // exact element of rank r
+            if let Some(u) = u {
+                assert!(u <= answer, "filter u={u} above exact answer {answer} (r={r})");
+            }
+            if let Some(v) = v {
+                assert!(v >= answer, "filter v={v} below exact answer {answer} (r={r})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_summary() {
+        let ts = CombinedSummary::<u64>::build(&[]);
+        assert!(ts.is_empty());
+        assert_eq!(ts.quick_response(1), None);
+        assert_eq!(ts.generate_filters(1), (None, None));
+    }
+}

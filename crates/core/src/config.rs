@@ -1,0 +1,203 @@
+//! Algorithm configuration.
+//!
+//! Mirrors the paper's Algorithm 1 (*Initialize Data Structures*):
+//! given the error parameter `ε`, set `ε₁ = ε/2`, `ε₂ = ε/4`,
+//! `β₁ = ⌈1/ε₁ + 1⌉`, `β₂ = ⌈1/ε₂ + 1⌉`, then initialize the historical
+//! structures with `(ε₁, β₁)` and the stream structures with `(ε₂, β₂)`.
+//! The merge threshold `κ` (§2.1) and operational knobs (external-sort
+//! memory, query block-cache size) are also carried here.
+
+/// Configuration for [`crate::HistStreamQuantiles`] and its parts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HsqConfig {
+    /// Historical-summary error parameter (`ε₁ = ε/2` in Algorithm 1).
+    pub epsilon1: f64,
+    /// Stream-summary error parameter (`ε₂ = ε/4` in Algorithm 1).
+    pub epsilon2: f64,
+    /// Per-partition summary length `β₁ = ⌈1/ε₁ + 1⌉`.
+    pub beta1: usize,
+    /// Stream summary length `β₂ = ⌈1/ε₂ + 1⌉`.
+    pub beta2: usize,
+    /// Merge threshold `κ ≥ 2`: a level holding more than `κ` partitions
+    /// collapses into one partition at the next level (§2.1).
+    pub kappa: usize,
+    /// Working memory (in items) for external sort of incoming batches.
+    pub sort_budget_items: usize,
+    /// Decoded-block cache capacity (blocks) for query processing — the
+    /// paper's single-block optimization (§2.4).
+    pub cache_blocks: usize,
+    /// Answer queries by probing partitions in parallel (paper §4's
+    /// future-work direction; see `crate::parallel`).
+    pub parallel_query: bool,
+}
+
+impl HsqConfig {
+    /// Start building a config from the overall error parameter `ε`.
+    pub fn builder() -> HsqConfigBuilder {
+        HsqConfigBuilder::default()
+    }
+
+    /// The paper's Algorithm 1 with defaults for operational knobs.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        Self::builder().epsilon(epsilon).build()
+    }
+
+    /// The overall error parameter `ε = max(2ε₁, 4ε₂)` (inverse of
+    /// Algorithm 1's split). Quick responses err by up to `1.5·ε·N`.
+    pub fn epsilon(&self) -> f64 {
+        (2.0 * self.epsilon1).max(4.0 * self.epsilon2)
+    }
+
+    /// The error parameter governing *accurate* responses: `4ε₂`.
+    ///
+    /// The accurate response's error is purely stream-side — `ρ₁` is
+    /// computed exactly on disk, only the stream rank `ρ₂` is approximate
+    /// (Lemma 5's argument) — so its acceptance window is `4ε₂·m`.
+    /// Under Algorithm 1's split this equals `ε` exactly; under
+    /// memory-driven budgeting (where `ε₁` may be coarser) it keeps the
+    /// accuracy independent of `κ`, which is what the paper's Figure 5
+    /// observes. Historical summary resolution `ε₁` then only affects
+    /// query I/O (wider initial filters), not the answer's error.
+    pub fn query_epsilon(&self) -> f64 {
+        4.0 * self.epsilon2
+    }
+
+    /// Explicit `(ε₁, ε₂)` construction, used when memory budgeting picks
+    /// the two error parameters independently (see [`crate::budget`]).
+    pub fn with_epsilons(epsilon1: f64, epsilon2: f64) -> Self {
+        assert!(epsilon1 > 0.0 && epsilon1 <= 1.0, "epsilon1 in (0,1]");
+        assert!(epsilon2 > 0.0 && epsilon2 <= 1.0, "epsilon2 in (0,1]");
+        let beta1 = (1.0 / epsilon1 + 1.0).ceil() as usize;
+        let beta2 = (1.0 / epsilon2 + 1.0).ceil() as usize;
+        HsqConfig {
+            epsilon1,
+            epsilon2,
+            beta1,
+            beta2,
+            kappa: 10,
+            sort_budget_items: 1 << 20,
+            cache_blocks: 64,
+            parallel_query: false,
+        }
+    }
+}
+
+/// Builder for [`HsqConfig`].
+#[derive(Clone, Debug)]
+pub struct HsqConfigBuilder {
+    epsilon: f64,
+    kappa: usize,
+    sort_budget_items: usize,
+    cache_blocks: usize,
+    parallel_query: bool,
+}
+
+impl Default for HsqConfigBuilder {
+    fn default() -> Self {
+        HsqConfigBuilder {
+            epsilon: 0.01,
+            kappa: 10,
+            sort_budget_items: 1 << 20,
+            cache_blocks: 64,
+            parallel_query: false,
+        }
+    }
+}
+
+impl HsqConfigBuilder {
+    /// Overall error parameter `ε ∈ (0, 1]`: accurate quantile queries are
+    /// answered within rank error `εm`, `m` = stream size.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0,1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Merge threshold `κ ≥ 2` (paper default in experiments: 10).
+    pub fn merge_threshold(mut self, kappa: usize) -> Self {
+        assert!(kappa >= 2, "kappa must be >= 2");
+        self.kappa = kappa;
+        self
+    }
+
+    /// Items of working memory for external sort.
+    pub fn sort_budget_items(mut self, items: usize) -> Self {
+        assert!(items >= 2, "sort budget must be >= 2 items");
+        self.sort_budget_items = items;
+        self
+    }
+
+    /// Blocks of decoded cache available to each query.
+    pub fn cache_blocks(mut self, blocks: usize) -> Self {
+        assert!(blocks >= 1, "cache must hold at least one block");
+        self.cache_blocks = blocks;
+        self
+    }
+
+    /// Probe partitions in parallel during accurate queries.
+    pub fn parallel_query(mut self, yes: bool) -> Self {
+        self.parallel_query = yes;
+        self
+    }
+
+    /// Finalize, applying Algorithm 1's parameter split.
+    pub fn build(self) -> HsqConfig {
+        let mut cfg = HsqConfig::with_epsilons(self.epsilon / 2.0, self.epsilon / 4.0);
+        cfg.kappa = self.kappa;
+        cfg.sort_budget_items = self.sort_budget_items;
+        cfg.cache_blocks = self.cache_blocks;
+        cfg.parallel_query = self.parallel_query;
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_one_split() {
+        let cfg = HsqConfig::with_epsilon(0.5);
+        assert!((cfg.epsilon1 - 0.25).abs() < 1e-12);
+        assert!((cfg.epsilon2 - 0.125).abs() < 1e-12);
+        assert_eq!(cfg.beta1, 5); // ceil(1/0.25 + 1) = 5
+        assert_eq!(cfg.beta2, 9); // ceil(1/0.125 + 1) = 9
+        assert!((cfg.epsilon() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn figure3_parameters() {
+        // The paper's worked example (Figure 3): eps = 1/2 -> summaries of
+        // length 5 per partition and 9 for the stream.
+        let cfg = HsqConfig::with_epsilon(0.5);
+        assert_eq!(cfg.beta1, 5);
+        assert_eq!(cfg.beta2, 9);
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .merge_threshold(3)
+            .sort_budget_items(1024)
+            .cache_blocks(7)
+            .parallel_query(true)
+            .build();
+        assert_eq!(cfg.kappa, 3);
+        assert_eq!(cfg.sort_budget_items, 1024);
+        assert_eq!(cfg.cache_blocks, 7);
+        assert!(cfg.parallel_query);
+    }
+
+    #[test]
+    #[should_panic(expected = "kappa")]
+    fn kappa_one_rejected() {
+        let _ = HsqConfig::builder().merge_threshold(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        let _ = HsqConfig::builder().epsilon(0.0);
+    }
+}

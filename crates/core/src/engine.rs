@@ -1,0 +1,548 @@
+//! The top-level engine: integrated quantile processing over historical
+//! plus streaming data (the paper's full system, Figure 1).
+//!
+//! [`HistStreamQuantiles`] owns:
+//! * a [`Warehouse`] (`HD` + `HS`) on a caller-supplied block device;
+//! * a [`StreamProcessor`] (GK sketch) absorbing the live stream;
+//! * the staging buffer holding the current time step's raw data, which is
+//!   archived into the warehouse when [`HistStreamQuantiles::end_time_step`]
+//!   is called (and the stream sketch reset — Algorithm 4's `StreamReset`).
+//!
+//! Queries (Theorem 2's guarantee: rank error ≤ `εm`) are answered over
+//! `T = H ∪ R` by [`HistStreamQuantiles::quantile`] /
+//! [`HistStreamQuantiles::rank_query`]; cheap in-memory answers with error
+//! `O(εN)` by the `*_quick` variants; partition-aligned window queries by
+//! the `*_window` variants.
+
+use std::io;
+use std::sync::Arc;
+
+use hsq_storage::{BlockDevice, Item};
+
+use crate::config::HsqConfig;
+use crate::query::{QueryContext, QueryOutcome};
+use crate::stream::StreamProcessor;
+use crate::warehouse::{UpdateReport, Warehouse};
+
+/// Integrated quantile engine over the union of historical and streaming
+/// data.
+///
+/// See the crate-level docs for a full example.
+pub struct HistStreamQuantiles<T: Item, D: BlockDevice> {
+    warehouse: Warehouse<T, D>,
+    stream: StreamProcessor<T>,
+    staging: Vec<T>,
+    config: HsqConfig,
+    /// Optional heavy-hitter tracking (extension; see [`crate::heavy`]).
+    heavy: Option<crate::heavy::HeavyTracker<T>>,
+}
+
+impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
+    /// Create an engine on `dev` with the given configuration
+    /// (Algorithm 1's initialization).
+    pub fn new(dev: Arc<D>, config: HsqConfig) -> Self {
+        let stream = StreamProcessor::new(config.epsilon2, config.beta2);
+        HistStreamQuantiles {
+            warehouse: Warehouse::new(dev, config.clone()),
+            stream,
+            staging: Vec::new(),
+            config,
+            heavy: None,
+        }
+    }
+
+    /// Enable φ-heavy-hitter queries over the union (extension beyond the
+    /// paper's figures; see [`crate::heavy`]). Call before streaming data:
+    /// the stream-side sketch only sees elements from this point on.
+    pub fn enable_heavy_hitters(&mut self, config: crate::heavy::HeavyHitterConfig) {
+        self.heavy = Some(crate::heavy::HeavyTracker::new(config));
+    }
+
+    /// Values occurring more than `phi * N` times in `T = H ∪ R`, most
+    /// frequent first, with exact historical counts and bounded stream
+    /// counts. Requires [`Self::enable_heavy_hitters`].
+    pub fn heavy_hitters(&self, phi: f64) -> io::Result<Vec<crate::heavy::HeavyHitter<T>>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let tracker = self
+            .heavy
+            .as_ref()
+            .expect("call enable_heavy_hitters() before querying heavy hitters");
+        let threshold = ((phi * self.total_len() as f64).ceil() as u64).max(1);
+        tracker.heavy_hitters(&self.warehouse, threshold, self.config.cache_blocks)
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &HsqConfig {
+        &self.config
+    }
+
+    /// The historical warehouse (read access for inspection).
+    pub fn warehouse(&self) -> &Warehouse<T, D> {
+        &self.warehouse
+    }
+
+    /// The live stream processor (read access for inspection).
+    pub fn stream(&self) -> &StreamProcessor<T> {
+        &self.stream
+    }
+
+    /// Current stream size `m`.
+    pub fn stream_len(&self) -> u64 {
+        self.stream.len()
+    }
+
+    /// Historical size `n`.
+    pub fn historical_len(&self) -> u64 {
+        self.warehouse.total_len()
+    }
+
+    /// Total size `N = n + m`.
+    pub fn total_len(&self) -> u64 {
+        self.historical_len() + self.stream_len()
+    }
+
+    /// Words of main memory held by the algorithm's summaries
+    /// (`HS` + GK sketch; Observation 1's quantity).
+    pub fn memory_words(&self) -> usize {
+        self.warehouse.summary_memory_words() + self.stream.memory_words()
+    }
+
+    /// `StreamUpdate(e)`: one streaming element arrives.
+    #[inline]
+    pub fn stream_update(&mut self, e: T) {
+        self.stream.update(e);
+        if let Some(h) = &mut self.heavy {
+            h.update(e);
+        }
+        self.staging.push(e);
+    }
+
+    /// End the current time step: archive the staged batch into the
+    /// warehouse (Algorithm 3 `HistUpdate`) and reset the stream summary
+    /// (Algorithm 4 `StreamReset`). Returns the update's cost breakdown.
+    pub fn end_time_step(&mut self) -> io::Result<UpdateReport> {
+        let batch = std::mem::take(&mut self.staging);
+        let report = self.warehouse.add_batch(batch)?;
+        self.stream.reset();
+        if let Some(h) = &mut self.heavy {
+            h.reset();
+        }
+        Ok(report)
+    }
+
+    /// Convenience: stream a whole batch, then end the time step.
+    pub fn ingest_step(&mut self, batch: &[T]) -> io::Result<UpdateReport> {
+        for &e in batch {
+            self.stream_update(e);
+        }
+        self.end_time_step()
+    }
+
+    fn context(&self) -> (crate::stream::StreamSummary<T>, Vec<&crate::warehouse::StoredPartition<T>>) {
+        (self.stream.summary(), self.warehouse.partitions_newest_first())
+    }
+
+    /// Accurate φ-quantile over `T = H ∪ R` (Theorem 2): the returned
+    /// element's rank is within `εm` of `⌈φN⌉`.
+    pub fn quantile(&self, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        Ok(self.rank_query(r)?.map(|o| o.value))
+    }
+
+    /// Accurate rank query with cost reporting.
+    pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        let (ss, parts) = self.context();
+        let ctx = QueryContext::new(
+            &**self.warehouse.device(),
+            parts,
+            &ss,
+            self.config.query_epsilon(),
+            self.config.cache_blocks,
+        )
+        .with_parallel(self.config.parallel_query);
+        ctx.accurate_rank(r)
+    }
+
+    /// Batch of φ-quantiles sharing one stream-summary extraction and one
+    /// combined-summary build: cheaper than separate [`Self::quantile`]
+    /// calls when reporting e.g. p50/p95/p99 together.
+    pub fn quantiles(&self, phis: &[f64]) -> io::Result<Vec<Option<T>>> {
+        let (ss, parts) = self.context();
+        let ctx = QueryContext::new(
+            &**self.warehouse.device(),
+            parts,
+            &ss,
+            self.config.query_epsilon(),
+            self.config.cache_blocks,
+        )
+        .with_parallel(self.config.parallel_query);
+        let n = self.total_len();
+        phis.iter()
+            .map(|&phi| {
+                assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+                let r = (phi * n as f64).ceil() as u64;
+                Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+            })
+            .collect()
+    }
+
+    /// Persist the warehouse's metadata (see [`crate::manifest`]);
+    /// recover later with [`Self::recover`]. The live stream is volatile
+    /// and not persisted (recovery is at time-step granularity).
+    pub fn persist(&self) -> io::Result<hsq_storage::FileId> {
+        crate::manifest::persist(&self.warehouse)
+    }
+
+    /// Reopen an engine from a manifest written by [`Self::persist`].
+    pub fn recover(
+        dev: Arc<D>,
+        config: HsqConfig,
+        manifest: hsq_storage::FileId,
+    ) -> io::Result<Self> {
+        let warehouse = crate::manifest::recover(dev, config.clone(), manifest)?;
+        let stream = StreamProcessor::new(config.epsilon2, config.beta2);
+        Ok(HistStreamQuantiles {
+            warehouse,
+            stream,
+            staging: Vec::new(),
+            config,
+            heavy: None,
+        })
+    }
+
+    /// Quick φ-quantile (Algorithm 5): in-memory only, error ≤ 1.5εN.
+    pub fn quantile_quick(&self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        self.rank_query_quick(r)
+    }
+
+    /// Quick rank query (Algorithm 5).
+    pub fn rank_query_quick(&self, r: u64) -> Option<T> {
+        let (ss, parts) = self.context();
+        let ctx = QueryContext::new(
+            &**self.warehouse.device(),
+            parts,
+            &ss,
+            self.config.query_epsilon(),
+            self.config.cache_blocks,
+        );
+        ctx.quick_rank(r)
+    }
+
+    /// Window sizes (archived time steps) available for exact window
+    /// queries right now; the live stream is always included on top.
+    pub fn available_windows(&self) -> Vec<u64> {
+        self.warehouse.available_windows()
+    }
+
+    /// Accurate φ-quantile over the union of the live stream and the last
+    /// `window_steps` archived steps. `Ok(None)` if the window does not
+    /// align with partition boundaries (§2.4: windowed queries are
+    /// supported "if the window sizes are aligned with the partition
+    /// boundaries").
+    pub fn quantile_window(&self, phi: f64, window_steps: u64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let Some(parts) = self.warehouse.window_partitions(window_steps) else {
+            return Ok(None);
+        };
+        let window_n: u64 = parts.iter().map(|p| p.run.len()).sum::<u64>() + self.stream_len();
+        let r = (phi * window_n as f64).ceil() as u64;
+        let ss = self.stream.summary();
+        let ctx = QueryContext::new(
+            &**self.warehouse.device(),
+            parts,
+            &ss,
+            self.config.query_epsilon(),
+            self.config.cache_blocks,
+        );
+        Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+    }
+
+    /// Rank query over a window, with cost reporting.
+    pub fn rank_query_window(
+        &self,
+        r: u64,
+        window_steps: u64,
+    ) -> io::Result<Option<QueryOutcome<T>>> {
+        let Some(parts) = self.warehouse.window_partitions(window_steps) else {
+            return Ok(None);
+        };
+        let ss = self.stream.summary();
+        let ctx = QueryContext::new(
+            &**self.warehouse.device(),
+            parts,
+            &ss,
+            self.config.query_epsilon(),
+            self.config.cache_blocks,
+        );
+        ctx.accurate_rank(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsq_storage::MemDevice;
+
+    fn engine(eps: f64, kappa: usize) -> HistStreamQuantiles<u64, MemDevice> {
+        let cfg = HsqConfig::builder()
+            .epsilon(eps)
+            .merge_threshold(kappa)
+            .build();
+        HistStreamQuantiles::new(MemDevice::new(256), cfg)
+    }
+
+    fn rank_distance(data: &[u64], v: u64, r: u64) -> u64 {
+        let hi = data.iter().filter(|&&x| x <= v).count() as u64;
+        let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
+        if r < lo {
+            lo - r
+        } else { r.saturating_sub(hi) }
+    }
+
+    #[test]
+    fn end_to_end_accuracy() {
+        let mut h = engine(0.05, 3);
+        let mut all = Vec::new();
+        let mut x = 7u64;
+        let mut gen = || {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            x >> 32
+        };
+        for _ in 0..10 {
+            for _ in 0..300 {
+                let v = gen();
+                all.push(v);
+                h.stream_update(v);
+            }
+            h.end_time_step().unwrap();
+        }
+        for _ in 0..300 {
+            let v = gen();
+            all.push(v);
+            h.stream_update(v);
+        }
+        assert_eq!(h.total_len(), 3300);
+        assert_eq!(h.stream_len(), 300);
+
+        let m = 300u64;
+        let allowed = (0.05 * m as f64).ceil() as u64 + 1;
+        for phi in [0.01, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(phi).unwrap().unwrap();
+            let r = (phi * 3300.0).ceil() as u64;
+            let dist = rank_distance(&all, v, r);
+            assert!(dist <= allowed, "phi={phi}: off by {dist} (allowed {allowed})");
+        }
+    }
+
+    #[test]
+    fn quick_and_accurate_agree_roughly() {
+        let mut h = engine(0.1, 4);
+        for step in 0..5u64 {
+            let batch: Vec<u64> = (0..500).map(|i| step * 500 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for v in 2500..2600u64 {
+            h.stream_update(v);
+        }
+        let quick = h.quantile_quick(0.5).unwrap();
+        let accurate = h.quantile(0.5).unwrap().unwrap();
+        // Values 0..2600: median ~1300. Quick within 1.5*eps*N = 390,
+        // accurate within eps*m = 10.
+        assert!((accurate as i64 - 1300).abs() <= 12, "accurate {accurate}");
+        assert!((quick as i64 - 1300).abs() <= 400, "quick {quick}");
+    }
+
+    #[test]
+    fn empty_engine() {
+        let h = engine(0.1, 3);
+        assert!(h.quantile(0.5).unwrap().is_none());
+        assert!(h.quantile_quick(0.5).is_none());
+        assert_eq!(h.total_len(), 0);
+    }
+
+    #[test]
+    fn stream_only_no_history() {
+        let mut h = engine(0.05, 3);
+        for v in 0..1000u64 {
+            h.stream_update(v);
+        }
+        let med = h.quantile(0.5).unwrap().unwrap();
+        assert!((med as i64 - 500).abs() <= 51, "median {med}");
+    }
+
+    #[test]
+    fn history_only_no_stream() {
+        let mut h = engine(0.05, 3);
+        for step in 0..4u64 {
+            let batch: Vec<u64> = (0..250).map(|i| step * 250 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        assert_eq!(h.stream_len(), 0);
+        // With m = 0 the guarantee is exact (Definition 1 semantics).
+        let med = h.quantile(0.5).unwrap().unwrap();
+        assert_eq!(med, 499);
+        let q1 = h.quantile(0.25).unwrap().unwrap();
+        assert_eq!(q1, 249);
+    }
+
+    #[test]
+    fn window_queries() {
+        let mut h = engine(0.1, 2);
+        // 13 steps of disjoint ranges (Figure 2's partition layout).
+        for step in 0..13u64 {
+            let batch: Vec<u64> = (0..100).map(|i| step * 100 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        assert_eq!(h.available_windows(), vec![1, 4, 13]);
+        // Window of 1 step = values 1200..1300 (step 13), plus empty stream.
+        let med = h.quantile_window(0.5, 1).unwrap().unwrap();
+        assert!((1200..1300).contains(&med), "window median {med}");
+        // Non-aligned window.
+        assert!(h.quantile_window(0.5, 2).unwrap().is_none());
+        // Window of 4: steps 10..13 -> values 900..1300.
+        let med4 = h.quantile_window(0.5, 4).unwrap().unwrap();
+        assert!((1050..1150).contains(&med4), "window-4 median {med4}");
+    }
+
+    #[test]
+    fn window_includes_live_stream() {
+        // kappa = 3 keeps three level-0 partitions, so a 1-step window
+        // aligns with the newest partition.
+        let mut h = engine(0.1, 3);
+        for step in 0..3u64 {
+            let batch: Vec<u64> = (0..100).map(|i| step * 100 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for v in 300..400u64 {
+            h.stream_update(v);
+        }
+        // Window 1 = step 3 (200..300) + stream (300..400): median ~300.
+        let med = h.quantile_window(0.5, 1).unwrap().unwrap();
+        assert!((280..330).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn memory_words_reported() {
+        let mut h = engine(0.05, 3);
+        for step in 0..6u64 {
+            let batch: Vec<u64> = (0..200).map(|i| step * 200 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for v in 0..100u64 {
+            h.stream_update(v);
+        }
+        let words = h.memory_words();
+        assert!(words > 0);
+        // Far below the data size (sketches, not storage).
+        assert!(words < 1300, "memory {words} words too large");
+    }
+
+    #[test]
+    fn theorem2_rank_window() {
+        // Returned rank estimate within eps*m of request.
+        let mut h = engine(0.1, 3);
+        let mut all = Vec::new();
+        for step in 0..8u64 {
+            let batch: Vec<u64> = (0..200).map(|i| (i * 13 + step * 7) % 10_000).collect();
+            all.extend(&batch);
+            h.ingest_step(&batch).unwrap();
+        }
+        for i in 0..200u64 {
+            let v = (i * 31) % 10_000;
+            all.push(v);
+            h.stream_update(v);
+        }
+        let m = 200u64;
+        let allowed = (0.1 * m as f64).ceil() as u64 + 1;
+        for r in [1u64, 400, 850, 1200, 1700] {
+            let out = h.rank_query(r).unwrap().unwrap();
+            let dist = rank_distance(&all, out.value, r);
+            assert!(dist <= allowed, "r={r}: off by {dist}");
+        }
+    }
+
+    #[test]
+    fn quick_queries_never_touch_disk() {
+        let mut h = engine(0.05, 3);
+        for step in 0..6u64 {
+            let batch: Vec<u64> = (0..300).map(|i| step * 300 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        let before = h.warehouse().device().stats().snapshot();
+        for phi in [0.1, 0.5, 0.9] {
+            let _ = h.quantile_quick(phi);
+        }
+        let after = h.warehouse().device().stats().snapshot();
+        assert_eq!((after - before).total_reads(), 0);
+    }
+
+    #[test]
+    fn rank_queries_clamp_out_of_range() {
+        let mut h = engine(0.1, 3);
+        h.ingest_step(&(0..100u64).collect::<Vec<_>>()).unwrap();
+        // r = 0 clamps to 1 (minimum), huge r clamps to N (maximum).
+        let lo = h.rank_query(0).unwrap().unwrap();
+        assert!(lo.value <= 5, "rank 0 should clamp to the minimum region");
+        let hi = h.rank_query(u64::MAX).unwrap().unwrap();
+        assert!(hi.value >= 95, "rank MAX should clamp to the maximum region");
+    }
+
+    #[test]
+    fn batch_quantiles_are_monotone() {
+        let mut h = engine(0.05, 4);
+        for step in 0..5u64 {
+            let batch: Vec<u64> = (0..400).map(|i| (i * 7919 + step) % 100_000).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for v in 0..200u64 {
+            h.stream_update(v * 500);
+        }
+        let phis = [0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+        let qs = h.quantiles(&phis).unwrap();
+        for w in qs.windows(2) {
+            assert!(w[0].unwrap() <= w[1].unwrap(), "quantiles not monotone: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn ingesting_between_queries_is_consistent() {
+        // Interleave archiving and querying; each answer must reflect all
+        // data seen so far.
+        let mut h = engine(0.1, 2);
+        let mut count = 0u64;
+        for step in 0..7u64 {
+            let batch: Vec<u64> = (0..100).map(|i| step * 100 + i).collect();
+            count += batch.len() as u64;
+            h.ingest_step(&batch).unwrap();
+            assert_eq!(h.total_len(), count);
+            let max = h.quantile(1.0).unwrap().unwrap();
+            assert_eq!(max, step * 100 + 99, "max after step {step}");
+            let min = h.rank_query(1).unwrap().unwrap().value;
+            assert_eq!(min, 0, "min after step {step}");
+        }
+    }
+
+    #[test]
+    fn heavy_hitter_tracker_survives_time_steps() {
+        let mut h = engine(0.1, 3);
+        h.enable_heavy_hitters(crate::heavy::HeavyHitterConfig::default());
+        // Heavy value spread across archived steps AND the live stream.
+        for _ in 0..3 {
+            let mut batch = vec![99u64; 300];
+            batch.extend(0..700u64);
+            h.ingest_step(&batch).unwrap();
+        }
+        for _ in 0..100 {
+            h.stream_update(99u64);
+        }
+        let hits = h.heavy_hitters(0.1).unwrap();
+        let top = hits.first().expect("99 must be reported");
+        assert_eq!(top.value, 99);
+        // 300 planted copies + one natural 99 from 0..700, per batch.
+        assert_eq!(top.hist_count, 903);
+        assert!(top.stream_lo <= 100 && 100 <= top.stream_hi);
+    }
+}

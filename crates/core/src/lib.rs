@@ -1,0 +1,84 @@
+//! # hsq-core — quantiles over the union of historical and streaming data
+//!
+//! A faithful Rust implementation of:
+//!
+//! > Sneha Aman Singh, Divesh Srivastava, Srikanta Tirthapura.
+//! > *Estimating quantiles from the union of historical and streaming
+//! > data.* PVLDB 10(4): 433–444, 2016.
+//!
+//! The system answers φ-quantile queries over `T = H ∪ R` — the union of
+//! a disk-resident historical warehouse `H` and an in-flight data stream
+//! `R` — with rank error `εm` proportional to the *stream* size `m`, not
+//! the total size `N`. It does so by combining:
+//!
+//! * **`HD`** ([`warehouse::Warehouse`]): historical data in sorted
+//!   partitions organized into levels with at most `κ` partitions each;
+//!   overflowing levels are multi-way merged upward (LSM-flavoured, but
+//!   optimized for quantile queries rather than point lookups — §1.3);
+//! * **`HS`** ([`summary::PartitionSummary`]): per-partition in-memory
+//!   summaries of `β₁` evenly spaced elements with exact ranks and block
+//!   pointers;
+//! * **`SS`** ([`stream::StreamProcessor`]): a Greenwald–Khanna sketch
+//!   over the live stream, from which a `β₂`-element summary is extracted
+//!   at query time;
+//! * **queries** ([`query::QueryContext`]): a quick in-memory response
+//!   (Algorithm 5, error ≤ 1.5εN) and an accurate response (Algorithms
+//!   6–8) that bisects the value space between summary-derived filters,
+//!   probing partitions with narrowed, block-cached binary searches —
+//!   error ≤ εm (Theorem 2).
+//!
+//! Baselines ([`baseline`]), window queries, memory budgeting
+//! ([`budget`]), the analytic cost model ([`costmodel`]) and parallel
+//! probing ([`parallel`]) complete the reproduction.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hsq_core::{HistStreamQuantiles, HsqConfig};
+//! use hsq_storage::MemDevice;
+//!
+//! let config = HsqConfig::builder().epsilon(0.02).merge_threshold(4).build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//!
+//! // Three archived time steps...
+//! for day in 0..3u64 {
+//!     for i in 0..5_000u64 {
+//!         hsq.stream_update(day * 5_000 + i);
+//!     }
+//!     hsq.end_time_step().unwrap();
+//! }
+//! // ...and a live stream.
+//! for i in 15_000..20_000u64 {
+//!     hsq.stream_update(i);
+//! }
+//!
+//! let p95 = hsq.quantile(0.95).unwrap().unwrap();
+//! assert!((p95 as i64 - 19_000).abs() <= 100); // error <= eps * m = 100
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod bounds;
+pub mod budget;
+pub mod config;
+pub mod costmodel;
+pub mod engine;
+pub mod heavy;
+pub mod manifest;
+pub mod parallel;
+pub mod query;
+pub mod stream;
+pub mod summary;
+pub mod warehouse;
+
+pub use baseline::{PureStreaming, Strawman, StreamingAlgo};
+pub use bounds::{CombinedSummary, SourceView};
+pub use budget::{plan_memory, MemoryPlan};
+pub use config::{HsqConfig, HsqConfigBuilder};
+pub use engine::HistStreamQuantiles;
+pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
+pub use query::{QueryContext, QueryOutcome};
+pub use stream::{StreamProcessor, StreamSummary};
+pub use summary::{PartitionSummary, SummaryEntry};
+pub use warehouse::{StoredPartition, UpdateReport, Warehouse};

@@ -1,0 +1,355 @@
+//! Warehouse persistence: serialize `HD`'s metadata and `HS`'s summaries
+//! so a warehouse can be reopened after a restart.
+//!
+//! **Extension beyond the paper**, which describes an in-process system;
+//! any data-stream warehouse deployment (TidalRace-style, §1) needs the
+//! index to survive restarts. The manifest records, per partition: level,
+//! backing file, length, extrema, time-step interval, and the full
+//! summary entries — so recovery costs `O(manifest size)` sequential
+//! block reads and **zero** partition scans.
+//!
+//! Format (all integers little-endian `u64`, values in `Item` encoding):
+//!
+//! ```text
+//! magic "HSQM"  version  item_width  steps  total_len  num_partitions
+//! per partition:
+//!   level  file_id  run_len  first_step  last_step  min  max
+//!   num_entries  (value rank block)*
+//! crc64 (of everything above)
+//! ```
+//!
+//! The stream (`R`) is deliberately *not* persisted: in the paper's model
+//! (§1.1) un-archived data is the volatile stream; recovery is at
+//! time-step granularity.
+
+use std::io;
+use std::sync::Arc;
+
+use hsq_storage::{BlockDevice, FileId, Item, SortedRun};
+
+use crate::config::HsqConfig;
+use crate::summary::{PartitionSummary, SummaryEntry};
+use crate::warehouse::{StoredPartition, Warehouse};
+
+const MAGIC: &[u8; 4] = b"HSQM";
+const VERSION: u64 = 1;
+
+/// Simple CRC-64 (ECMA polynomial, bitwise) for manifest integrity.
+fn crc64(data: &[u8]) -> u64 {
+    const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
+    let mut crc = !0u64;
+    for &b in data {
+        crc ^= (b as u64) << 56;
+        for _ in 0..8 {
+            crc = if crc >> 63 == 1 {
+                (crc << 1) ^ POLY
+            } else {
+                crc << 1
+            };
+        }
+    }
+    !crc
+}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer {
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn item<T: Item>(&mut self, v: T) {
+        let start = self.buf.len();
+        self.buf.resize(start + T::ENCODED_LEN, 0);
+        v.encode(&mut self.buf[start..]);
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> io::Result<u64> {
+        let end = self.pos + 8;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated manifest"))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().unwrap()))
+    }
+
+    fn item<T: Item>(&mut self) -> io::Result<T> {
+        let end = self.pos + T::ENCODED_LEN;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| corrupt("truncated manifest"))?;
+        self.pos = end;
+        Ok(T::decode(slice))
+    }
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("manifest: {msg}"))
+}
+
+/// Serialize the warehouse's metadata into a new file on its device;
+/// returns the manifest's [`FileId`] (persist it out of band, e.g. in a
+/// config file — it is the only thing recovery needs besides the device).
+pub fn persist<T: Item, D: BlockDevice>(w: &Warehouse<T, D>) -> io::Result<FileId> {
+    let mut out = Writer::new();
+    out.buf.extend_from_slice(MAGIC);
+    out.u64(VERSION);
+    out.u64(T::ENCODED_LEN as u64);
+    out.u64(w.steps());
+    out.u64(w.total_len());
+
+    let mut parts: Vec<(u64, &StoredPartition<T>)> = Vec::new();
+    for level in 0..w.num_levels() {
+        for p in w.level(level) {
+            parts.push((level as u64, p));
+        }
+    }
+    out.u64(parts.len() as u64);
+    for (level, p) in parts {
+        out.u64(level);
+        out.u64(p.run.file());
+        out.u64(p.run.len());
+        out.u64(p.first_step);
+        out.u64(p.last_step);
+        out.item(p.run.min());
+        out.item(p.run.max());
+        out.u64(p.summary.entries().len() as u64);
+        for e in p.summary.entries() {
+            out.item(e.value);
+            out.u64(e.rank);
+            out.u64(e.block);
+        }
+    }
+    let crc = crc64(&out.buf);
+    out.u64(crc);
+
+    // Write chunked into device blocks.
+    let dev = w.device();
+    let file = dev.create()?;
+    for (i, chunk) in out.buf.chunks(dev.block_size()).enumerate() {
+        dev.write_block(file, i as u64, chunk)?;
+    }
+    Ok(file)
+}
+
+/// Reopen a warehouse from a manifest written by [`persist`].
+///
+/// `config` must carry the same `ε₁`/`β₁` the warehouse was built with
+/// (summaries are restored verbatim, so a mismatch only affects future
+/// partitions). Fails with `InvalidData` on magic/version/CRC mismatch.
+pub fn recover<T: Item, D: BlockDevice>(
+    dev: Arc<D>,
+    config: HsqConfig,
+    manifest: FileId,
+) -> io::Result<Warehouse<T, D>> {
+    // Read the manifest file fully.
+    let blocks = dev.num_blocks(manifest)?;
+    let mut raw = Vec::with_capacity((blocks as usize) * dev.block_size());
+    let mut buf = vec![0u8; dev.block_size()];
+    for b in 0..blocks {
+        let got = dev.read_block(manifest, b, &mut buf)?;
+        raw.extend_from_slice(&buf[..got]);
+    }
+    if raw.len() < 4 + 8 || &raw[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let body_end = raw.len() - 8;
+    let stored_crc = u64::from_le_bytes(raw[body_end..].try_into().unwrap());
+    if crc64(&raw[..body_end]) != stored_crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+
+    let mut r = Reader {
+        buf: &raw[..body_end],
+        pos: 4,
+    };
+    if r.u64()? != VERSION {
+        return Err(corrupt("unsupported version"));
+    }
+    if r.u64()? != T::ENCODED_LEN as u64 {
+        return Err(corrupt("item width mismatch"));
+    }
+    let steps = r.u64()?;
+    let total_len = r.u64()?;
+    let num_parts = r.u64()?;
+
+    let mut partitions: Vec<(usize, StoredPartition<T>)> = Vec::new();
+    for _ in 0..num_parts {
+        let level = r.u64()? as usize;
+        let file = r.u64()?;
+        let run_len = r.u64()?;
+        let first_step = r.u64()?;
+        let last_step = r.u64()?;
+        let min: T = r.item()?;
+        let max: T = r.item()?;
+        let num_entries = r.u64()?;
+        let mut entries = Vec::with_capacity(num_entries as usize);
+        for _ in 0..num_entries {
+            let value: T = r.item()?;
+            let rank = r.u64()?;
+            let block = r.u64()?;
+            if rank == 0 || rank > run_len {
+                return Err(corrupt("summary rank out of range"));
+            }
+            entries.push(SummaryEntry { value, rank, block });
+        }
+        // Sanity: the backing file must exist on the device.
+        let file_blocks = dev.num_blocks(file)?;
+        if file_blocks == 0 && run_len > 0 {
+            return Err(corrupt("partition file missing or empty"));
+        }
+        partitions.push((
+            level,
+            StoredPartition {
+                run: SortedRun::from_raw_parts(file, run_len, min, max),
+                summary: PartitionSummary::from_raw_parts(entries, run_len),
+                first_step,
+                last_step,
+            },
+        ));
+    }
+
+    let w = Warehouse::from_recovered_parts(dev, config, partitions, steps, total_len);
+    w.check_invariants()
+        .map_err(|e| corrupt(&format!("recovered state invalid: {e}")))?;
+    Ok(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsq_storage::{FileDevice, MemDevice};
+
+    fn build(kappa: usize) -> Warehouse<u64, MemDevice> {
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = kappa;
+        let mut w = Warehouse::new(MemDevice::new(256), cfg);
+        for s in 0..13u64 {
+            w.add_batch((0..200).map(|i| s * 200 + i).collect()).unwrap();
+        }
+        w
+    }
+
+    #[test]
+    fn roundtrip_on_mem_device() {
+        let w = build(2);
+        let manifest = persist(&w).unwrap();
+        let cfg = HsqConfig::with_epsilon(0.1);
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, manifest).unwrap();
+        assert_eq!(recovered.steps(), w.steps());
+        assert_eq!(recovered.total_len(), w.total_len());
+        assert_eq!(recovered.num_partitions(), w.num_partitions());
+        assert_eq!(recovered.available_windows(), w.available_windows());
+        // Partition data identical.
+        let a: Vec<_> = w
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.run.read_all(&**w.device()).unwrap())
+            .collect();
+        let b: Vec<_> = recovered
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.run.read_all(&**recovered.device()).unwrap())
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recovery_continues_ingesting() {
+        let w = build(3);
+        let manifest = persist(&w).unwrap();
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = 3;
+        let mut recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, manifest).unwrap();
+        recovered
+            .add_batch((10_000..10_500u64).collect())
+            .unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.total_len(), w.total_len() + 500);
+    }
+
+    #[test]
+    fn corrupted_manifest_rejected() {
+        let w = build(2);
+        let manifest = persist(&w).unwrap();
+        // Flip a byte in the middle of the manifest.
+        let dev = w.device();
+        let mut buf = vec![0u8; dev.block_size()];
+        let got = dev.read_block(manifest, 0, &mut buf).unwrap();
+        buf[got / 2] ^= 0xFF;
+        dev.write_block(manifest, 0, &buf[..got]).unwrap();
+        let cfg = HsqConfig::with_epsilon(0.1);
+        let err = recover::<u64, _>(Arc::clone(dev), cfg, manifest).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn wrong_item_width_rejected() {
+        let w = build(2);
+        let manifest = persist(&w).unwrap();
+        let cfg = HsqConfig::with_epsilon(0.1);
+        let err = recover::<u32, _>(Arc::clone(w.device()), cfg, manifest).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn full_restart_cycle_on_real_filesystem() {
+        let dir = std::env::temp_dir().join(format!("hsq-manifest-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest;
+        let windows;
+        {
+            let dev = FileDevice::new(&dir, 256).unwrap();
+            let mut cfg = HsqConfig::with_epsilon(0.1);
+            cfg.kappa = 2;
+            let mut w = Warehouse::<u64, _>::new(dev, cfg);
+            for s in 0..13u64 {
+                w.add_batch((0..100).map(|i| s * 100 + i).collect()).unwrap();
+            }
+            manifest = persist(&w).unwrap();
+            windows = w.available_windows();
+            // Device handles dropped here: simulated process exit.
+        }
+        {
+            // Fresh device over the same directory: files re-registered.
+            let dev = FileDevice::new(&dir, 256).unwrap();
+            let mut cfg = HsqConfig::with_epsilon(0.1);
+            cfg.kappa = 2;
+            let recovered: Warehouse<u64, _> = recover(dev, cfg.clone(), manifest).unwrap();
+            assert_eq!(recovered.total_len(), 1300);
+            assert_eq!(recovered.available_windows(), windows);
+            // Queries over recovered data are exact (no stream).
+            let parts = recovered.partitions_newest_first();
+            let ss = crate::stream::StreamProcessor::<u64>::new(cfg.epsilon2, cfg.beta2).summary();
+            let ctx = crate::query::QueryContext::new(
+                &**recovered.device(),
+                parts,
+                &ss,
+                cfg.query_epsilon(),
+                cfg.cache_blocks,
+            );
+            let med = ctx.accurate_rank(650).unwrap().unwrap();
+            assert_eq!(med.estimated_rank, 650);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

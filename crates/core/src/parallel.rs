@@ -1,0 +1,131 @@
+//! Parallel query processing (paper §4, future work): "During query
+//! processing on historical data, different disk partitions can be
+//! processed in parallel, leading to a lower latency by overlapping
+//! different disk reads (assuming that the storage itself can support
+//! parallel reads)."
+//!
+//! [`par_partition_ranks`] computes the per-partition exact ranks of the
+//! bisection midpoint concurrently, one scoped thread per partition, each
+//! with its own decoded-block cache. Enabled via
+//! [`crate::HsqConfig`]'s `parallel_query` flag or
+//! [`crate::query::QueryContext::with_parallel`]. I/O *counts* are
+//! unchanged — only wall-clock latency overlaps.
+
+use std::io;
+
+use hsq_storage::{BlockCache, BlockDevice, Item};
+
+use crate::query::partition_rank;
+use crate::warehouse::StoredPartition;
+
+/// Compute `rank(z, P)` for every partition concurrently.
+///
+/// Equivalent to the serial loop in
+/// `QueryContext::rank_in_partitions`, including cache reuse across
+/// bisection iterations (each partition owns its cache).
+pub fn par_partition_ranks<T: Item, D: BlockDevice>(
+    dev: &D,
+    partitions: &[&StoredPartition<T>],
+    z: T,
+    windows: &[(u64, u64)],
+    caches: &mut [BlockCache<T>],
+) -> io::Result<Vec<u64>> {
+    assert_eq!(partitions.len(), windows.len());
+    assert_eq!(partitions.len(), caches.len());
+    let results: Vec<io::Result<u64>> = std::thread::scope(|s| {
+        let handles: Vec<_> = partitions
+            .iter()
+            .zip(windows)
+            .zip(caches.iter_mut())
+            .map(|((&p, &w), cache)| s.spawn(move || partition_rank(dev, p, z, w, cache)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition rank thread panicked"))
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HsqConfig;
+    use crate::query::QueryContext;
+    use crate::stream::StreamProcessor;
+    use crate::warehouse::Warehouse;
+    use hsq_storage::MemDevice;
+
+    #[test]
+    fn parallel_matches_serial() {
+        let mut cfg = HsqConfig::with_epsilon(0.05);
+        cfg.kappa = 3;
+        let mut w = Warehouse::new(MemDevice::new(256), cfg.clone());
+        let mut x = 99u64;
+        let mut gen = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x >> 33
+        };
+        for _ in 0..9 {
+            let batch: Vec<u64> = (0..300).map(|_| gen()).collect();
+            w.add_batch(batch).unwrap();
+        }
+        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        for _ in 0..200 {
+            sp.update(gen());
+        }
+        let ss = sp.summary();
+
+        for r in [1u64, 700, 1450, 2900] {
+            let serial = QueryContext::new(
+                &**w.device(),
+                w.partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .accurate_rank(r)
+            .unwrap()
+            .unwrap();
+            let parallel = QueryContext::new(
+                &**w.device(),
+                w.partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .with_parallel(true)
+            .accurate_rank(r)
+            .unwrap()
+            .unwrap();
+            assert_eq!(serial.value, parallel.value, "r = {r}");
+            assert_eq!(serial.estimated_rank, parallel.estimated_rank);
+        }
+    }
+
+    #[test]
+    fn par_ranks_direct() {
+        let dev = MemDevice::new(64);
+        let mut parts = Vec::new();
+        for s in 0..4u64 {
+            let data: Vec<u64> = (0..100).map(|i| i * 4 + s).collect();
+            let run = hsq_storage::write_run(&*dev, &data).unwrap();
+            let summary = crate::summary::summarize_sorted(&data, 0.1, 11, 64);
+            parts.push(StoredPartition {
+                run,
+                summary,
+                first_step: s + 1,
+                last_step: s + 1,
+            });
+        }
+        let part_refs: Vec<&StoredPartition<u64>> = parts.iter().collect();
+        let windows: Vec<(u64, u64)> = parts.iter().map(|p| (0, p.run.len())).collect();
+        let mut caches: Vec<BlockCache<u64>> = parts.iter().map(|_| BlockCache::new(4)).collect();
+        let ranks =
+            par_partition_ranks(&*dev, &part_refs, 200, &windows, &mut caches).unwrap();
+        for (s, &rank) in ranks.iter().enumerate() {
+            let expect = (0..100).filter(|i| i * 4 + s as u64 <= 200).count() as u64;
+            assert_eq!(rank, expect, "partition {s}");
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! Query processing: the quick response (Algorithm 5) and the accurate
+//! response (Algorithms 6–8).
+//!
+//! The accurate path takes the filter pair from
+//! [`CombinedSummary::generate_filters`] (Algorithm 7) and bisects the
+//! *value space* between them (Algorithm 8): at each step it computes the
+//! exact rank `ρ₁` of the midpoint `z` in every partition (a narrowed
+//! binary search over disk blocks) and an approximate rank `ρ₂` in the
+//! stream (from the stream summary's rigorous bounds), recursing left or
+//! right until `ρ = ρ₁ + ρ₂` lands within the acceptance window of the
+//! target rank.
+//!
+//! Two paper optimizations are implemented:
+//! * per-partition search windows start from the summary's `narrow`
+//!   (Algorithm 8 line 5) and tighten monotonically as the filters move;
+//! * all block reads go through a [`BlockCache`], so once a partition's
+//!   window falls inside one block no further I/O is charged for it
+//!   (§2.4 "Optimization").
+
+use std::io;
+
+use hsq_storage::{items_per_block, BlockCache, BlockDevice, IoSnapshot, Item};
+
+use crate::bounds::{CombinedSummary, SourceView};
+use crate::stream::StreamSummary;
+use crate::warehouse::StoredPartition;
+
+/// The answer to a rank/quantile query, with its observed cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryOutcome<T> {
+    /// The answering value (see module docs on Definition 1 semantics).
+    pub value: T,
+    /// Disk I/O consumed by this query.
+    pub io: IoSnapshot,
+    /// Value-space bisection steps executed.
+    pub bisection_steps: u32,
+    /// The algorithm's final rank estimate for `value` in `T`.
+    pub estimated_rank: u64,
+}
+
+/// Per-query evaluation context over a fixed set of partitions.
+///
+/// Borrows the warehouse's partitions (all of them, or a window's worth)
+/// and the extracted stream summary.
+pub struct QueryContext<'a, T: Item, D: BlockDevice> {
+    dev: &'a D,
+    partitions: Vec<&'a StoredPartition<T>>,
+    stream: &'a StreamSummary<T>,
+    ts: CombinedSummary<T>,
+    epsilon: f64,
+    cache_blocks: usize,
+    /// Probe partitions concurrently (crossbeam scoped threads); see
+    /// `crate::parallel`.
+    parallel: bool,
+}
+
+impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
+    /// Build the combined summary `TS` over `partitions` ∪ stream.
+    pub fn new(
+        dev: &'a D,
+        partitions: Vec<&'a StoredPartition<T>>,
+        stream: &'a StreamSummary<T>,
+        epsilon: f64,
+        cache_blocks: usize,
+    ) -> Self {
+        let mut sources: Vec<SourceView<T>> = partitions
+            .iter()
+            .map(|p| SourceView::from_partition(&p.summary))
+            .collect();
+        sources.push(SourceView::from_stream(stream));
+        let ts = CombinedSummary::build(&sources);
+        QueryContext {
+            dev,
+            partitions,
+            stream,
+            ts,
+            epsilon,
+            cache_blocks,
+            parallel: false,
+        }
+    }
+
+    /// Enable parallel partition probing (paper §4's future-work
+    /// direction: "different disk partitions can be processed in
+    /// parallel").
+    pub fn with_parallel(mut self, yes: bool) -> Self {
+        self.parallel = yes;
+        self
+    }
+
+    /// Total data size `N` covered by this context.
+    pub fn total(&self) -> u64 {
+        self.ts.total()
+    }
+
+    /// The combined summary (exposed for inspection/tests).
+    pub fn combined_summary(&self) -> &CombinedSummary<T> {
+        &self.ts
+    }
+
+    /// Algorithm 5: quick response for 1-based rank `r`, using only
+    /// in-memory structures. Error ≤ 1.5·ε·N (Lemma 3).
+    pub fn quick_rank(&self, r: u64) -> Option<T> {
+        self.ts.quick_response(r.clamp(1, self.total().max(1)))
+    }
+
+    /// Algorithm 6: accurate response for 1-based rank `r`.
+    /// Error O(ε·m) (Lemma 5, Theorem 2).
+    pub fn accurate_rank(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        let total = self.total();
+        if total == 0 {
+            return Ok(None);
+        }
+        let r = r.clamp(1, total);
+        let before = self.dev.stats().snapshot();
+
+        let (u_opt, v_opt) = self.ts.generate_filters(r);
+        let mut u = u_opt.unwrap_or(T::MIN);
+        let mut v = v_opt.unwrap_or(T::MAX);
+        // One decoded-block cache per partition so parallel probes don't
+        // contend; capacity split across partitions.
+        let per_cache = (self.cache_blocks / self.partitions.len().max(1)).max(2);
+        let mut caches: Vec<BlockCache<T>> = self
+            .partitions
+            .iter()
+            .map(|_| BlockCache::new(per_cache))
+            .collect();
+        if v <= u {
+            // Both filters pin rank r exactly (possible when L and U meet
+            // at r); v is Definition 1's answer.
+            let mut windows: Vec<(u64, u64)> =
+                self.partitions.iter().map(|p| p.summary.narrow(v, v)).collect();
+            let rho = self.estimate_rank(v, &mut windows, &mut caches)?;
+            return Ok(Some(QueryOutcome {
+                value: v,
+                io: self.dev.stats().snapshot() - before,
+                bisection_steps: 0,
+                estimated_rank: rho,
+            }));
+        }
+
+        // Per-partition rank windows from the summaries (Alg. 8 line 5).
+        let mut windows: Vec<(u64, u64)> = self
+            .partitions
+            .iter()
+            .map(|p| p.summary.narrow(u, v))
+            .collect();
+
+        let m = self.stream.stream_len();
+        // Acceptance tolerance: the final guarantee is |rank(z) - r| <=
+        // eps*m; since rho2 carries up to `unc` uncertainty, accept when
+        // |rho - r| <= eps*m - unc (floored at 0; bisection then runs to
+        // value collapse and returns the boundary, which is the
+        // Definition-1 answer).
+        let eps_m = (self.epsilon * m as f64).floor() as u64;
+
+        let mut steps = 0u32;
+        let (value, estimated_rank) = loop {
+            steps += 1;
+            if steps > T::UNIVERSE_BITS + 2 {
+                // Value space exhausted; v is the smallest value whose
+                // estimated rank reaches r (Definition 1's choice).
+                let rho = self.estimate_rank(v, &mut windows, &mut caches)?;
+                break (v, rho);
+            }
+            let z = T::midpoint(u, v);
+            if z == u && z == v {
+                let rho = self.estimate_rank(v, &mut windows, &mut caches)?;
+                break (v, rho);
+            }
+
+            let (rho1, part_ranks) = self.rank_in_partitions(z, &windows, &mut caches)?;
+            let (lo2, hi2) = self.stream.rank_bounds(z);
+            let rho2 = lo2 + (hi2 - lo2) / 2;
+            let unc = hi2 - rho2;
+            let rho = rho1 + rho2;
+            let tol = eps_m.saturating_sub(unc);
+
+            if r < rho && rho - r > tol {
+                // Too high: recurse left (Alg. 8 line 13).
+                v = z;
+                for (w, &pr) in windows.iter_mut().zip(&part_ranks) {
+                    w.1 = w.1.min(pr);
+                }
+            } else if rho < r && r - rho > tol {
+                // Too low: recurse right (Alg. 8 line 15).
+                if z == u {
+                    // Interval degenerated to {u, v=u+ulp}: the answer is v.
+                    let rho_v = self.estimate_rank(v, &mut windows, &mut caches)?;
+                    break (v, rho_v);
+                }
+                u = z;
+                for (w, &pr) in windows.iter_mut().zip(&part_ranks) {
+                    w.0 = w.0.max(pr);
+                }
+            } else {
+                break (z, rho);
+            }
+        };
+
+        Ok(Some(QueryOutcome {
+            value,
+            io: self.dev.stats().snapshot() - before,
+            bisection_steps: steps,
+            estimated_rank,
+        }))
+    }
+
+    /// Exact rank of `z` across all partitions, plus the per-partition
+    /// ranks (for window tightening). Serial or parallel per the context.
+    fn rank_in_partitions(
+        &self,
+        z: T,
+        windows: &[(u64, u64)],
+        caches: &mut [BlockCache<T>],
+    ) -> io::Result<(u64, Vec<u64>)> {
+        let per = if self.parallel && self.partitions.len() > 1 {
+            crate::parallel::par_partition_ranks(self.dev, &self.partitions, z, windows, caches)?
+        } else {
+            let mut per = Vec::with_capacity(self.partitions.len());
+            for ((p, &w), cache) in self.partitions.iter().zip(windows).zip(caches.iter_mut()) {
+                per.push(partition_rank(self.dev, p, z, w, cache)?);
+            }
+            per
+        };
+        Ok((per.iter().sum(), per))
+    }
+
+    /// ρ(z) = exact rank in HD + midpoint estimate in R.
+    fn estimate_rank(
+        &self,
+        z: T,
+        windows: &mut [(u64, u64)],
+        caches: &mut [BlockCache<T>],
+    ) -> io::Result<u64> {
+        let (rho1, _) = self.rank_in_partitions(z, windows, caches)?;
+        let (lo2, hi2) = self.stream.rank_bounds(z);
+        Ok(rho1 + lo2 + (hi2 - lo2) / 2)
+    }
+}
+
+/// Exact `rank(z, P)` (count of elements ≤ z) with the search confined to
+/// the window `[lo, hi]` (counts), probing whole blocks through the cache.
+///
+/// Each loop iteration reads the block containing the middle candidate
+/// position and uses *all* of its items to shrink the window, so a
+/// partition costs `O(log₂(window/items_per_block))` block reads — and
+/// zero once the window sits inside a cached block.
+pub fn partition_rank<T: Item, D: BlockDevice>(
+    dev: &D,
+    p: &StoredPartition<T>,
+    z: T,
+    window: (u64, u64),
+    cache: &mut BlockCache<T>,
+) -> io::Result<u64> {
+    let (mut lo, mut hi) = window;
+    debug_assert!(hi <= p.run.len());
+    let per = items_per_block::<T>(dev.block_size()) as u64;
+    loop {
+        if lo >= hi {
+            return Ok(lo);
+        }
+        let mid = lo + (hi - lo) / 2; // candidate position in [lo, hi)
+        let block = mid / per;
+        let items = cache.get_block(dev, &p.run, block)?;
+        let base = block * per;
+        let lo_in = lo.max(base);
+        let hi_in = hi.min(base + items.len() as u64);
+        debug_assert!(lo_in <= mid && mid < hi_in);
+        let slice = &items[(lo_in - base) as usize..(hi_in - base) as usize];
+        let j = slice.partition_point(|&x| x <= z) as u64;
+        if j == hi_in - lo_in {
+            // Everything in range ≤ z: the boundary is at or right of hi_in.
+            lo = hi_in;
+        } else if j == 0 {
+            // First in-range item > z: boundary at or left of lo_in.
+            hi = lo_in;
+        } else {
+            // The boundary is inside this block: exact.
+            return Ok(lo_in + j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HsqConfig;
+    use crate::stream::StreamProcessor;
+    use crate::warehouse::Warehouse;
+    use hsq_storage::MemDevice;
+    use std::sync::Arc;
+
+    fn build_scene(
+        kappa: usize,
+        steps: u64,
+        step_size: u64,
+        eps: f64,
+    ) -> (
+        Warehouse<u64, MemDevice>,
+        StreamProcessor<u64>,
+        Vec<u64>,
+        HsqConfig,
+    ) {
+        let mut cfg = HsqConfig::with_epsilon(eps);
+        cfg.kappa = kappa;
+        let mut w = Warehouse::new(MemDevice::new(256), cfg.clone());
+        let mut all = Vec::new();
+        let mut x = 12345u64;
+        let mut gen = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for _ in 0..steps {
+            let batch: Vec<u64> = (0..step_size).map(|_| gen()).collect();
+            all.extend(&batch);
+            w.add_batch(batch).unwrap();
+        }
+        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        for _ in 0..step_size {
+            let v = gen();
+            all.push(v);
+            sp.update(v);
+        }
+        (w, sp, all, cfg)
+    }
+
+    fn rank_distance(data: &[u64], v: u64, r: u64) -> u64 {
+        let hi = data.iter().filter(|&&x| x <= v).count() as u64;
+        let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
+        if r < lo {
+            lo - r
+        } else { r.saturating_sub(hi) }
+    }
+
+    #[test]
+    fn partition_rank_exact() {
+        let dev = MemDevice::new(64); // 8 u64/block
+        let data: Vec<u64> = (0..500).map(|i| i * 2).collect();
+        let run = hsq_storage::write_run(&*dev, &data).unwrap();
+        let summary =
+            crate::summary::summarize_sorted(&data, 0.1, 11, 64);
+        let p = StoredPartition {
+            run,
+            summary,
+            first_step: 1,
+            last_step: 1,
+        };
+        let mut cache = BlockCache::new(8);
+        for z in [0u64, 1, 2, 499, 500, 998, 999, 5000] {
+            let expect = data.iter().filter(|&&x| x <= z).count() as u64;
+            let got = partition_rank(&*dev, &p, z, (0, 500), &mut cache).unwrap();
+            assert_eq!(got, expect, "z = {z}");
+        }
+    }
+
+    #[test]
+    fn partition_rank_respects_window() {
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..100).collect();
+        let run = hsq_storage::write_run(&*dev, &data).unwrap();
+        let summary = crate::summary::summarize_sorted(&data, 0.25, 5, 64);
+        let p = StoredPartition {
+            run,
+            summary,
+            first_step: 1,
+            last_step: 1,
+        };
+        let mut cache = BlockCache::new(8);
+        // True rank of 50 is 51; window [40, 60] contains it.
+        let got = partition_rank(&*dev, &p, 50, (40, 60), &mut cache).unwrap();
+        assert_eq!(got, 51);
+        // Degenerate window answers with no I/O.
+        let before = dev.stats().snapshot();
+        let got = partition_rank(&*dev, &p, 123, (77, 77), &mut cache).unwrap();
+        assert_eq!(got, 77);
+        assert_eq!((dev.stats().snapshot() - before).total_reads(), 0);
+    }
+
+    #[test]
+    fn accurate_query_error_bound() {
+        let (w, sp, mut all, cfg) = build_scene(3, 12, 400, 0.05);
+        let ss = sp.summary();
+        let ctx = QueryContext::new(
+            &**w.device(),
+            w.partitions_newest_first(),
+            &ss,
+            cfg.epsilon(),
+            cfg.cache_blocks,
+        );
+        all.sort_unstable();
+        let n = all.len() as u64;
+        let m = 400u64;
+        let allowed = (cfg.epsilon() * m as f64).ceil() as u64 + 1;
+        for r in [1, n / 10, n / 4, n / 2, 3 * n / 4, n] {
+            let out = ctx.accurate_rank(r).unwrap().unwrap();
+            let dist = rank_distance(&all, out.value, r.max(1));
+            assert!(
+                dist <= allowed,
+                "r={r}: value {} off by {dist} ranks (allowed {allowed})",
+                out.value
+            );
+        }
+    }
+
+    #[test]
+    fn quick_query_error_bound() {
+        let (w, sp, mut all, cfg) = build_scene(3, 12, 400, 0.05);
+        let ss = sp.summary();
+        let ctx = QueryContext::new(
+            &**w.device(),
+            w.partitions_newest_first(),
+            &ss,
+            cfg.epsilon(),
+            cfg.cache_blocks,
+        );
+        all.sort_unstable();
+        let n = all.len() as u64;
+        // Lemma 3: error <= 1.5 * eps * N.
+        let allowed = (1.5 * cfg.epsilon() * n as f64).ceil() as u64 + 1;
+        for r in [1, n / 4, n / 2, n] {
+            let v = ctx.quick_rank(r).unwrap();
+            let dist = rank_distance(&all, v, r.max(1));
+            assert!(dist <= allowed, "r={r}: quick off by {dist} > {allowed}");
+        }
+    }
+
+    #[test]
+    fn accurate_query_uses_no_io_when_summaries_suffice() {
+        // With a single tiny partition that fits entirely in summary
+        // resolution, queries should cost few (possibly zero) reads after
+        // the first block is cached.
+        let (w, sp, _, cfg) = build_scene(2, 1, 64, 0.25);
+        let ss = sp.summary();
+        let ctx = QueryContext::new(
+            &**w.device(),
+            w.partitions_newest_first(),
+            &ss,
+            cfg.epsilon(),
+            cfg.cache_blocks,
+        );
+        let out = ctx.accurate_rank(64).unwrap().unwrap();
+        assert!(
+            out.io.total_reads() <= 12,
+            "tiny dataset needed {} reads",
+            out.io.total_reads()
+        );
+    }
+
+    #[test]
+    fn duplicate_mass_definition_one() {
+        // Half the data is one repeated value; the quantile at its rank
+        // range must return that value (Definition 1's smallest-element).
+        let mut cfg = HsqConfig::with_epsilon(0.02);
+        cfg.kappa = 3;
+        let dev = MemDevice::new(256);
+        let mut w = Warehouse::new(Arc::clone(&dev), cfg.clone());
+        let mut all = Vec::new();
+        for _ in 0..4 {
+            let mut batch = vec![500_000u64; 500];
+            batch.extend((0..500u64).map(|i| i * 10));
+            all.extend(&batch);
+            w.add_batch(batch).unwrap();
+        }
+        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        for v in 0..100u64 {
+            sp.update(v * 7 + 1_000_000);
+            all.push(v * 7 + 1_000_000);
+        }
+        let ss = sp.summary();
+        let ctx = QueryContext::new(
+            &*dev,
+            w.partitions_newest_first(),
+            &ss,
+            cfg.epsilon(),
+            cfg.cache_blocks,
+        );
+        // Rank in the middle of the duplicate plateau.
+        let r = 3000;
+        let out = ctx.accurate_rank(r).unwrap().unwrap();
+        let dist = rank_distance(&all, out.value, r);
+        let allowed = (cfg.epsilon() * 100.0).ceil() as u64 + 1;
+        assert!(dist <= allowed, "plateau query off by {dist}");
+    }
+
+    #[test]
+    fn empty_context() {
+        let dev = MemDevice::new(256);
+        let ss = StreamSummary::<u64>::default();
+        let ctx = QueryContext::new(&*dev, Vec::new(), &ss, 0.1, 4);
+        assert!(ctx.accurate_rank(1).unwrap().is_none());
+        assert!(ctx.quick_rank(1).is_none());
+    }
+
+    #[test]
+    fn stream_only_context() {
+        let dev = MemDevice::new(256);
+        let mut sp = StreamProcessor::new(0.025, 41);
+        let data: Vec<u64> = (0..2000).map(|i| (i * 37) % 5000).collect();
+        for &v in &data {
+            sp.update(v);
+        }
+        let ss = sp.summary();
+        let ctx = QueryContext::new(&*dev, Vec::new(), &ss, 0.1, 4);
+        let out = ctx.accurate_rank(1000).unwrap().unwrap();
+        let dist = rank_distance(&data, out.value, 1000);
+        assert!(dist <= (0.1 * 2000.0) as u64 + 1, "off by {dist}");
+        assert_eq!(out.io.total_reads(), 0, "stream-only query must not hit disk");
+    }
+}

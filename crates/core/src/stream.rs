@@ -1,0 +1,291 @@
+//! Stream processing and the stream summary `SS` (paper §2.2, Algorithm 4).
+//!
+//! The live stream `R` is absorbed by a Greenwald–Khanna sketch. When a
+//! query arrives, `StreamSummary` extracts `β₂` elements at approximate
+//! ranks `i·ε₂·m` (`StreamSummary` in Algorithm 4). Lemma 1 needs the
+//! one-sided guarantee `i·ε₂·m ≤ rank(SS[i]) ≤ (i+1)·ε₂·m`; the paper
+//! obtains it by quoting Theorem 1's one-sided form. Textbook GK is
+//! two-sided (`±εn`), so we run the sketch at `ε₂/2` and, in addition,
+//! record the sketch's *tracked* rank interval `[rmin, rmax]` for every
+//! extracted element — bounds that hold unconditionally and are what the
+//! combined-summary computation consumes (see `crate::bounds`).
+
+use hsq_sketch::GkSketch;
+use hsq_storage::Item;
+
+/// One extracted stream-summary element with rigorous rank bounds in `R`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SsEntry<T> {
+    /// The element value (an element that appeared in the stream).
+    pub value: T,
+    /// Lower bound on `rank(value, R)`.
+    pub rmin: u64,
+    /// Upper bound on `rank(value, R)`.
+    pub rmax: u64,
+}
+
+/// The extracted stream summary `SS`: `β₂` entries in nondecreasing value
+/// order, plus the stream size `m`.
+#[derive(Clone, Debug, Default)]
+pub struct StreamSummary<T> {
+    entries: Vec<SsEntry<T>>,
+    m: u64,
+}
+
+impl<T: Item> StreamSummary<T> {
+    /// Entries in value order.
+    pub fn entries(&self) -> &[SsEntry<T>] {
+        &self.entries
+    }
+
+    /// Stream size `m` at extraction time.
+    pub fn stream_len(&self) -> u64 {
+        self.m
+    }
+
+    /// Largest entry with `value <= v`.
+    pub fn last_le(&self, v: T) -> Option<&SsEntry<T>> {
+        let idx = self.entries.partition_point(|e| e.value <= v);
+        idx.checked_sub(1).map(|i| &self.entries[i])
+    }
+
+    /// Smallest entry with `value > v`.
+    pub fn first_gt(&self, v: T) -> Option<&SsEntry<T>> {
+        let idx = self.entries.partition_point(|e| e.value <= v);
+        self.entries.get(idx)
+    }
+
+    /// Rigorous bounds on `rank(z, R)` from the summary alone:
+    /// `lo` from the last entry ≤ z, `hi` from the first entry > z.
+    pub fn rank_bounds(&self, z: T) -> (u64, u64) {
+        let lo = self.last_le(z).map(|e| e.rmin).unwrap_or(0);
+        let hi = self
+            .first_gt(z)
+            .map(|e| e.rmax.saturating_sub(1))
+            .unwrap_or(self.m);
+        (lo.min(hi), hi.max(lo))
+    }
+}
+
+#[cfg(test)]
+impl<T: Item> StreamSummary<T> {
+    /// Test-only constructor for replaying fixtures (e.g. Figure 3's
+    /// idealized stream summary).
+    pub(crate) fn from_parts_for_tests(entries: Vec<SsEntry<T>>, m: u64) -> Self {
+        StreamSummary { entries, m }
+    }
+}
+
+/// Live processor for the current time step's stream (Algorithm 4).
+#[derive(Clone, Debug)]
+pub struct StreamProcessor<T: Copy + Ord> {
+    gk: GkSketch<T>,
+    epsilon2: f64,
+    beta2: usize,
+}
+
+impl<T: Item> StreamProcessor<T> {
+    /// `StreamInit(ε₂, β₂)`: the internal GK sketch runs at `ε₂/2` (see
+    /// module docs).
+    pub fn new(epsilon2: f64, beta2: usize) -> Self {
+        StreamProcessor {
+            gk: GkSketch::new(epsilon2 / 2.0),
+            epsilon2,
+            beta2,
+        }
+    }
+
+    /// `StreamUpdate(e)`: absorb one streaming element.
+    #[inline]
+    pub fn update(&mut self, e: T) {
+        self.gk.insert(e);
+    }
+
+    /// Elements in the current stream (`m`).
+    pub fn len(&self) -> u64 {
+        self.gk.len()
+    }
+
+    /// True iff the current stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.gk.is_empty()
+    }
+
+    /// Direct access to the underlying sketch (rank bounds for query
+    /// refinement — Algorithm 8's ρ₂ computation uses these).
+    pub fn sketch(&self) -> &GkSketch<T> {
+        &self.gk
+    }
+
+    /// Words of memory used by the sketch (Lemma 9's budget unit).
+    pub fn memory_words(&self) -> usize {
+        self.gk.memory_words()
+    }
+
+    /// `StreamSummary()`: extract `SS` (Algorithm 4 lines 6–11).
+    pub fn summary(&self) -> StreamSummary<T> {
+        let m = self.gk.len();
+        if m == 0 {
+            return StreamSummary {
+                entries: Vec::new(),
+                m: 0,
+            };
+        }
+        let mut entries = Vec::with_capacity(self.beta2 + 1);
+        // SS[0]: the smallest element in the stream so far (tracked
+        // exactly by the sketch). rmin = 1; rank(min) may exceed 1 with
+        // duplicates, but 1 is the sound lower bound and `rmax = 1` makes
+        // the "elements strictly below min" upper contribution zero.
+        let min = self.gk.min().expect("non-empty");
+        entries.push(SsEntry {
+            value: min,
+            rmin: 1,
+            rmax: 1,
+        });
+        for i in 1..self.beta2 as u64 {
+            let target = ((i as f64) * self.epsilon2 * m as f64).floor() as u64;
+            let target = target.clamp(1, m);
+            let est = self.gk.rank_query(target).expect("non-empty");
+            entries.push(SsEntry {
+                value: est.value,
+                rmin: est.rmin,
+                rmax: est.rmax,
+            });
+            if target == m {
+                break;
+            }
+        }
+        // Ensure the maximum is represented (rank m exactly: the sketch
+        // tracks max, and rank(max) = m by definition).
+        let max = self.gk.max().expect("non-empty");
+        if entries.last().map(|e| e.value) != Some(max) {
+            entries.push(SsEntry {
+                value: max,
+                rmin: m,
+                rmax: m,
+            });
+        }
+        // GK queries at increasing ranks return nondecreasing values, but
+        // duplicates can interleave bounds; normalize monotonicity.
+        entries.sort_by(|a, b| a.value.cmp(&b.value).then(a.rmin.cmp(&b.rmin)));
+        // Monotonize the bounds: rank() is monotone in value, so a later
+        // entry's rank is at least any earlier rmin (forward running max)
+        // and an earlier entry's rank is at most any later rmax (backward
+        // running min). This only tightens, and it makes the per-source
+        // bound contributions monotone — which the combined summary's
+        // binary searches rely on.
+        let mut run = 0u64;
+        for e in &mut entries {
+            run = run.max(e.rmin);
+            e.rmin = run;
+        }
+        let mut run = u64::MAX;
+        for e in entries.iter_mut().rev() {
+            run = run.min(e.rmax);
+            e.rmax = run;
+        }
+        StreamSummary { entries, m }
+    }
+
+    /// `StreamReset()`: called at the end of each time step once the batch
+    /// has been archived (Algorithm 4 lines 12–13).
+    pub fn reset(&mut self) {
+        self.gk.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn processor_with(data: &[u64], eps2: f64) -> StreamProcessor<u64> {
+        let beta2 = (1.0 / eps2 + 1.0).ceil() as usize;
+        let mut sp = StreamProcessor::new(eps2, beta2);
+        for &v in data {
+            sp.update(v);
+        }
+        sp
+    }
+
+    #[test]
+    fn empty_stream_summary() {
+        let sp = StreamProcessor::<u64>::new(0.125, 9);
+        let ss = sp.summary();
+        assert!(ss.entries().is_empty());
+        assert_eq!(ss.stream_len(), 0);
+        assert_eq!(ss.rank_bounds(42), (0, 0));
+    }
+
+    #[test]
+    fn summary_has_min_and_max() {
+        let data: Vec<u64> = (401..=600).collect();
+        let sp = processor_with(&data, 0.125);
+        let ss = sp.summary();
+        assert_eq!(ss.entries().first().unwrap().value, 401);
+        assert_eq!(ss.entries().last().unwrap().value, 600);
+        assert_eq!(ss.stream_len(), 200);
+    }
+
+    #[test]
+    fn lemma1_style_spacing() {
+        // Entries' true ranks must be spaced ~eps2*m apart, each within
+        // the tracked bounds.
+        let m = 10_000u64;
+        let data: Vec<u64> = (0..m).collect(); // value v has rank v+1
+        let eps2 = 0.05;
+        let sp = processor_with(&data, eps2);
+        let ss = sp.summary();
+        for e in ss.entries() {
+            let true_rank = e.value + 1;
+            assert!(
+                e.rmin <= true_rank && true_rank <= e.rmax,
+                "tracked bounds [{},{}] miss true rank {true_rank}",
+                e.rmin,
+                e.rmax
+            );
+        }
+        // Consecutive entries no farther apart than ~2*eps2*m in rank.
+        let cap = (2.0 * eps2 * m as f64).ceil() as u64 + 2;
+        for w in ss.entries().windows(2) {
+            let gap = (w[1].value + 1) - (w[0].value + 1);
+            assert!(gap <= cap, "rank gap {gap} exceeds {cap}");
+        }
+    }
+
+    #[test]
+    fn rank_bounds_sound_on_random_values() {
+        let data: Vec<u64> = (0..5000).map(|i| (i * 7919) % 100_000).collect();
+        let sp = processor_with(&data, 0.1);
+        let ss = sp.summary();
+        for probe in (0..100_000).step_by(9973) {
+            let truth = data.iter().filter(|&&x| x <= probe).count() as u64;
+            let (lo, hi) = ss.rank_bounds(probe);
+            assert!(
+                lo <= truth && truth <= hi,
+                "probe {probe}: {truth} outside [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_then_reuse() {
+        let mut sp = processor_with(&[1, 2, 3], 0.25);
+        assert_eq!(sp.len(), 3);
+        sp.reset();
+        assert!(sp.is_empty());
+        sp.update(9);
+        let ss = sp.summary();
+        assert_eq!(ss.entries().first().unwrap().value, 9);
+        assert_eq!(ss.stream_len(), 1);
+    }
+
+    #[test]
+    fn summary_size_near_beta2() {
+        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let sp = processor_with(&data, 1.0 / 64.0);
+        let ss = sp.summary();
+        // beta2 = 65 targets (+ possibly max): small and bounded.
+        assert!(ss.entries().len() <= 67, "got {}", ss.entries().len());
+        assert!(ss.entries().len() >= 60);
+    }
+}

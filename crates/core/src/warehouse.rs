@@ -1,0 +1,614 @@
+//! The on-disk historical structure `HD` and its in-memory summary `HS`
+//! (paper §2.1, Algorithm 3).
+//!
+//! Each time step's batch becomes a sorted partition at level 0. Whenever a
+//! level exceeds `κ` partitions, *all* partitions at that level are
+//! multi-way merged into a single partition at the next level (the
+//! recursive cascade of Figure 2), keeping:
+//!
+//! * at most `κ` partitions per level, hence at most
+//!   `κ·(⌈log_κ T⌉ + 1)` partitions total;
+//! * each element involved in at most `log_κ T` merges, giving Lemma 6's
+//!   amortized update cost `O((n/(B·T))·log_κ T)` sequential I/Os.
+//!
+//! Every partition carries its [`PartitionSummary`] (built while the
+//! partition's blocks are being written — zero additional reads) and its
+//! time-step interval, which powers window queries (§2.4).
+
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hsq_storage::{BlockDevice, IoSnapshot, Item, RunWriter, SortedRun};
+
+use crate::config::HsqConfig;
+use crate::summary::{summarize_sorted, PartitionSummary, SummaryBuilder};
+
+/// A partition of `HD`: a sorted run plus its summary and provenance.
+#[derive(Debug, Clone)]
+pub struct StoredPartition<T: Item> {
+    /// The on-disk sorted data.
+    pub run: SortedRun<T>,
+    /// In-memory summary (the `HS` entry for this partition).
+    pub summary: PartitionSummary<T>,
+    /// First time step whose data this partition contains (1-based).
+    pub first_step: u64,
+    /// Last time step whose data this partition contains (inclusive).
+    pub last_step: u64,
+}
+
+impl<T: Item> StoredPartition<T> {
+    /// Number of time steps spanned.
+    pub fn span(&self) -> u64 {
+        self.last_step - self.first_step + 1
+    }
+}
+
+/// Cost breakdown of one warehouse update (one time step), matching the
+/// paper's Figure 6/7 decomposition into Load / Sort / Merge / Summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateReport {
+    /// I/O to write the new sorted partition ("Load").
+    pub load_io: IoSnapshot,
+    /// I/O of external-sort spill runs ("Sort"; zero for in-memory sorts).
+    pub sort_io: IoSnapshot,
+    /// I/O of partition merging ("Merge").
+    pub merge_io: IoSnapshot,
+    /// Wall time of the load phase.
+    pub load_time: Duration,
+    /// Wall time of the sort phase.
+    pub sort_time: Duration,
+    /// Wall time of the merge phase.
+    pub merge_time: Duration,
+    /// Wall time spent building summaries.
+    pub summary_time: Duration,
+    /// Number of level merges triggered by this update.
+    pub merges: usize,
+}
+
+impl UpdateReport {
+    /// All block accesses for the step (the paper's per-step disk count).
+    pub fn total_accesses(&self) -> u64 {
+        (self.load_io + self.sort_io + self.merge_io).total_accesses()
+    }
+
+    /// Total wall time of the update.
+    pub fn total_time(&self) -> Duration {
+        self.load_time + self.sort_time + self.merge_time + self.summary_time
+    }
+}
+
+/// `HD` + `HS`: the historical store (Algorithm 3).
+pub struct Warehouse<T: Item, D: BlockDevice> {
+    dev: Arc<D>,
+    config: HsqConfig,
+    /// `levels[l]` = partitions at level `l`, oldest first.
+    levels: Vec<Vec<StoredPartition<T>>>,
+    total_len: u64,
+    steps: u64,
+}
+
+impl<T: Item, D: BlockDevice> std::fmt::Debug for Warehouse<T, D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warehouse")
+            .field("steps", &self.steps)
+            .field("total_len", &self.total_len)
+            .field(
+                "levels",
+                &self.levels.iter().map(Vec::len).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl<T: Item, D: BlockDevice> Warehouse<T, D> {
+    /// `HistInit(ε₁, β₁)`: an empty warehouse on `dev`.
+    pub fn new(dev: Arc<D>, config: HsqConfig) -> Self {
+        Warehouse {
+            dev,
+            config,
+            levels: Vec::new(),
+            total_len: 0,
+            steps: 0,
+        }
+    }
+
+    /// The block device.
+    pub fn device(&self) -> &Arc<D> {
+        &self.dev
+    }
+
+    /// Reassemble a warehouse from recovered parts (manifest recovery;
+    /// see [`crate::manifest`]). `partitions` carries `(level, partition)`
+    /// pairs; levels may arrive in any order.
+    pub fn from_recovered_parts(
+        dev: Arc<D>,
+        config: HsqConfig,
+        partitions: Vec<(usize, StoredPartition<T>)>,
+        steps: u64,
+        total_len: u64,
+    ) -> Self {
+        let max_level = partitions.iter().map(|(l, _)| *l + 1).max().unwrap_or(0);
+        let mut levels: Vec<Vec<StoredPartition<T>>> = (0..max_level).map(|_| Vec::new()).collect();
+        for (level, p) in partitions {
+            levels[level].push(p);
+        }
+        // Within a level, arrival order = oldest first.
+        for level in &mut levels {
+            level.sort_by_key(|p| p.first_step);
+        }
+        Warehouse {
+            dev,
+            config,
+            levels,
+            total_len,
+            steps,
+        }
+    }
+
+    /// Historical data size `n`.
+    pub fn total_len(&self) -> u64 {
+        self.total_len
+    }
+
+    /// Time steps archived so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of levels currently in use.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of live partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Partitions at `level`, oldest first.
+    pub fn level(&self, level: usize) -> &[StoredPartition<T>] {
+        self.levels.get(level).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All partitions, newest data first (level 0 backwards, then level 1
+    /// backwards, ...). The order window queries consume.
+    pub fn partitions_newest_first(&self) -> Vec<&StoredPartition<T>> {
+        let mut out = Vec::with_capacity(self.num_partitions());
+        for level in &self.levels {
+            for p in level.iter().rev() {
+                out.push(p);
+            }
+        }
+        out
+    }
+
+    /// Words of main memory used by `HS` (Lemma 8's quantity).
+    pub fn summary_memory_words(&self) -> usize {
+        self.levels
+            .iter()
+            .flatten()
+            .map(|p| p.summary.memory_words())
+            .sum()
+    }
+
+    /// `HistUpdate(D)` (Algorithm 3): archive one time step's batch.
+    ///
+    /// Sorts the batch (externally if it exceeds the configured budget),
+    /// writes it as a level-0 partition with its summary built in-stream,
+    /// then cascades merges while any level holds more than `κ` partitions.
+    pub fn add_batch(&mut self, mut batch: Vec<T>) -> io::Result<UpdateReport> {
+        let mut report = UpdateReport::default();
+        self.steps += 1;
+        let eta = batch.len() as u64;
+        if eta == 0 {
+            return Ok(report); // a step with no data: nothing stored
+        }
+        self.total_len += eta;
+
+        let (run, summary) = if batch.len() <= self.config.sort_budget_items {
+            // In-memory sort; load = writing the sorted blocks.
+            let t0 = Instant::now();
+            batch.sort_unstable();
+            report.sort_time = t0.elapsed();
+
+            let t1 = Instant::now();
+            let before = self.dev.stats().snapshot();
+            let run = hsq_storage::write_run(&*self.dev, &batch)?;
+            report.load_io = self.dev.stats().snapshot() - before;
+            report.load_time = t1.elapsed();
+
+            let t2 = Instant::now();
+            let summary = summarize_sorted(
+                &batch,
+                self.config.epsilon1,
+                self.config.beta1,
+                self.dev.block_size(),
+            );
+            report.summary_time = t2.elapsed();
+            (run, summary)
+        } else {
+            // External sort: spill budget-sized sorted runs, then stream
+            // one multi-way merge into the final partition, tapping it for
+            // the summary (no extra reads).
+            let t0 = Instant::now();
+            let before_sort = self.dev.stats().snapshot();
+            let mut spills = Vec::new();
+            for chunk in batch.chunks_mut(self.config.sort_budget_items) {
+                chunk.sort_unstable();
+                spills.push(hsq_storage::write_run(&*self.dev, chunk)?);
+            }
+            report.sort_time = t0.elapsed();
+
+            let t1 = Instant::now();
+            let before_load = self.dev.stats().snapshot();
+            report.sort_io = before_load - before_sort;
+            let mut writer = RunWriter::new(&*self.dev)?;
+            let mut sb = SummaryBuilder::new(
+                eta,
+                self.config.epsilon1,
+                self.config.beta1,
+                self.dev.block_size(),
+            );
+            hsq_storage::merge_into(&*self.dev, &spills, |v| {
+                sb.push(v);
+                writer.push(v)
+            })?;
+            let run = writer.finish()?;
+            for s in spills {
+                s.delete(&*self.dev)?;
+            }
+            report.load_io = self.dev.stats().snapshot() - before_load;
+            report.load_time = t1.elapsed();
+            (run, sb.finish())
+        };
+        drop(batch);
+
+        self.push_level0(StoredPartition {
+            run,
+            summary,
+            first_step: self.steps,
+            last_step: self.steps,
+        });
+
+        // Cascade merges (Algorithm 3, lines 8-13).
+        let t3 = Instant::now();
+        let before_merge = self.dev.stats().snapshot();
+        report.merges = self.cascade_merges()?;
+        report.merge_io = self.dev.stats().snapshot() - before_merge;
+        report.merge_time = t3.elapsed();
+        Ok(report)
+    }
+
+    fn push_level0(&mut self, p: StoredPartition<T>) {
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(p);
+    }
+
+    /// While any level holds more than `κ` partitions, merge the whole
+    /// level into one partition at the next level. Returns the number of
+    /// level merges performed.
+    fn cascade_merges(&mut self) -> io::Result<usize> {
+        let mut merges = 0;
+        let mut level = 0;
+        while level < self.levels.len() {
+            if self.levels[level].len() <= self.config.kappa {
+                level += 1;
+                continue;
+            }
+            let olds: Vec<StoredPartition<T>> = std::mem::take(&mut self.levels[level]);
+            let merged = self.merge_partitions(&olds)?;
+            for p in olds {
+                p.run.delete(&*self.dev)?;
+            }
+            if self.levels.len() <= level + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].push(merged);
+            merges += 1;
+            level += 1;
+        }
+        Ok(merges)
+    }
+
+    /// Multi-way merge `parts` into one partition, building its summary
+    /// from the merge stream (Algorithm 3 line 10-11).
+    fn merge_partitions(
+        &self,
+        parts: &[StoredPartition<T>],
+    ) -> io::Result<StoredPartition<T>> {
+        let eta: u64 = parts.iter().map(|p| p.run.len()).sum();
+        let runs: Vec<SortedRun<T>> = parts.iter().map(|p| p.run).collect();
+        let mut writer = RunWriter::new(&*self.dev)?;
+        let mut sb = SummaryBuilder::new(
+            eta,
+            self.config.epsilon1,
+            self.config.beta1,
+            self.dev.block_size(),
+        );
+        hsq_storage::merge_into(&*self.dev, &runs, |v| {
+            sb.push(v);
+            writer.push(v)
+        })?;
+        Ok(StoredPartition {
+            run: writer.finish()?,
+            summary: sb.finish(),
+            first_step: parts.iter().map(|p| p.first_step).min().unwrap_or(0),
+            last_step: parts.iter().map(|p| p.last_step).max().unwrap_or(0),
+        })
+    }
+
+    /// Window sizes (in time steps) over which exact partition-aligned
+    /// queries are possible right now (§2.4 "Queries Over Windows"),
+    /// ascending. The current (un-archived) stream is always included on
+    /// top of these.
+    pub fn available_windows(&self) -> Vec<u64> {
+        let mut spans: Vec<(u64, u64)> = self
+            .levels
+            .iter()
+            .flatten()
+            .map(|p| (p.first_step, p.last_step))
+            .collect();
+        // Newest first.
+        spans.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
+        let mut out = Vec::with_capacity(spans.len());
+        let mut acc = 0;
+        for (first, last) in spans {
+            acc += last - first + 1;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// The partitions covering exactly the last `window_steps` *archived*
+    /// steps, newest first; `None` if the window does not align with
+    /// partition boundaries.
+    pub fn window_partitions(&self, window_steps: u64) -> Option<Vec<&StoredPartition<T>>> {
+        let mut parts = self.partitions_newest_first();
+        parts.sort_by_key(|p| std::cmp::Reverse(p.first_step));
+        let mut out = Vec::new();
+        let mut acc = 0;
+        for p in parts {
+            if acc == window_steps {
+                break;
+            }
+            acc += p.span();
+            out.push(p);
+            if acc > window_steps {
+                return None; // boundary falls inside this partition
+            }
+        }
+        (acc == window_steps).then_some(out)
+    }
+
+    /// Verify the structural invariants of §2.1 (tests/debugging):
+    /// ≤ κ partitions per level, partitions sorted and summarized,
+    /// step ranges disjoint and collectively contiguous.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (l, level) in self.levels.iter().enumerate() {
+            if level.len() > self.config.kappa {
+                return Err(format!(
+                    "level {l} has {} partitions > kappa = {}",
+                    level.len(),
+                    self.config.kappa
+                ));
+            }
+            for p in level {
+                if p.summary.partition_len() != p.run.len() {
+                    return Err(format!(
+                        "level {l}: summary len {} != run len {}",
+                        p.summary.partition_len(),
+                        p.run.len()
+                    ));
+                }
+                if p.first_step > p.last_step {
+                    return Err(format!("level {l}: inverted step range"));
+                }
+            }
+        }
+        let mut spans: Vec<(u64, u64)> = self
+            .levels
+            .iter()
+            .flatten()
+            .map(|p| (p.first_step, p.last_step))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].1 >= w[1].0 {
+                return Err(format!("overlapping step ranges {:?} and {:?}", w[0], w[1]));
+            }
+        }
+        let covered: u64 = spans.iter().map(|(f, l)| l - f + 1).sum();
+        if covered > self.steps {
+            return Err(format!(
+                "{covered} steps covered by partitions, only {} elapsed",
+                self.steps
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsq_storage::MemDevice;
+
+    fn warehouse(kappa: usize) -> Warehouse<u64, MemDevice> {
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = kappa;
+        Warehouse::new(MemDevice::new(256), cfg)
+    }
+
+    fn batch(step: u64, size: u64) -> Vec<u64> {
+        (0..size).map(|i| step * 10_000 + i).collect()
+    }
+
+    #[test]
+    fn figure2_evolution() {
+        // Paper Figure 2: kappa = 2, 13 time steps. Final state:
+        // level 2 = {P1-9}, level 1 = {P10-12}, level 0 = {P13}.
+        let mut w = warehouse(2);
+        for step in 1..=13u64 {
+            w.add_batch(batch(step, 10)).unwrap();
+            w.check_invariants().unwrap();
+        }
+        assert_eq!(w.num_levels(), 3);
+        assert_eq!(w.level(0).len(), 1);
+        assert_eq!((w.level(0)[0].first_step, w.level(0)[0].last_step), (13, 13));
+        assert_eq!(w.level(1).len(), 1);
+        assert_eq!((w.level(1)[0].first_step, w.level(1)[0].last_step), (10, 12));
+        assert_eq!(w.level(2).len(), 1);
+        assert_eq!((w.level(2)[0].first_step, w.level(2)[0].last_step), (1, 9));
+        assert_eq!(w.total_len(), 130);
+    }
+
+    #[test]
+    fn figure2_intermediate_states() {
+        // After 8 steps: level 1 = {P1-3, P4-6}, level 0 = {P7, P8}.
+        let mut w = warehouse(2);
+        for step in 1..=8u64 {
+            w.add_batch(batch(step, 5)).unwrap();
+        }
+        assert_eq!(w.level(0).len(), 2);
+        assert_eq!(w.level(1).len(), 2);
+        assert_eq!((w.level(1)[0].first_step, w.level(1)[0].last_step), (1, 3));
+        assert_eq!((w.level(1)[1].first_step, w.level(1)[1].last_step), (4, 6));
+    }
+
+    #[test]
+    fn merged_partition_is_sorted_union() {
+        let mut w = warehouse(2);
+        // Interleaved values across steps force real merging.
+        w.add_batch(vec![1, 4, 7]).unwrap();
+        w.add_batch(vec![2, 5, 8]).unwrap();
+        w.add_batch(vec![3, 6, 9]).unwrap(); // triggers merge of all three
+        assert_eq!(w.level(0).len(), 0);
+        assert_eq!(w.level(1).len(), 1);
+        let all = w.level(1)[0].run.read_all(&**w.device()).unwrap();
+        assert_eq!(all, (1..=9).collect::<Vec<u64>>());
+        // Summary spans the merged data.
+        let s = &w.level(1)[0].summary;
+        assert_eq!(s.partition_len(), 9);
+        assert_eq!(s.entries().first().unwrap().value, 1);
+        assert_eq!(s.entries().last().unwrap().value, 9);
+    }
+
+    #[test]
+    fn level_count_is_logarithmic() {
+        let mut w = warehouse(3);
+        for step in 1..=81u64 {
+            w.add_batch(batch(step, 4)).unwrap();
+            w.check_invariants().unwrap();
+        }
+        // log_3(81) = 4 levels of data at most (plus level 0).
+        assert!(w.num_levels() <= 5, "levels = {}", w.num_levels());
+        assert!(w.num_partitions() <= 3 * 5);
+    }
+
+    #[test]
+    fn external_sort_path_matches_in_memory() {
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = 4;
+        cfg.sort_budget_items = 16; // force spills for a 100-element batch
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(128), cfg);
+        let data: Vec<u64> = (0..100).rev().collect();
+        let report = w.add_batch(data).unwrap();
+        assert!(report.sort_io.writes > 0, "expected spill writes");
+        let stored = w.level(0)[0].run.read_all(&**w.device()).unwrap();
+        assert_eq!(stored, (0..100).collect::<Vec<u64>>());
+        // Summary was built from the merge tap with correct positions.
+        for e in w.level(0)[0].summary.entries() {
+            assert_eq!(e.value, e.rank - 1);
+        }
+    }
+
+    #[test]
+    fn empty_batch_counts_step_but_stores_nothing() {
+        let mut w = warehouse(2);
+        w.add_batch(Vec::new()).unwrap();
+        assert_eq!(w.steps(), 1);
+        assert_eq!(w.num_partitions(), 0);
+        w.add_batch(vec![5]).unwrap();
+        assert_eq!(w.steps(), 2);
+        assert_eq!(w.total_len(), 1);
+    }
+
+    #[test]
+    fn update_io_accounting() {
+        // 256-byte blocks, 32 u64/block. 320 items = 10 blocks.
+        let mut w = warehouse(4);
+        let report = w.add_batch((0..320u64).rev().collect()).unwrap();
+        assert_eq!(report.load_io.writes, 10);
+        assert_eq!(report.merge_io.total_accesses(), 0);
+        assert_eq!(report.merges, 0);
+
+        // Four more batches trigger one cascade at kappa=4.
+        let mut merge_seen = 0;
+        for s in 2..=5u64 {
+            let r = w.add_batch(batch(s, 320)).unwrap();
+            merge_seen += r.merges;
+        }
+        assert_eq!(merge_seen, 1);
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn available_windows_figure2_state() {
+        let mut w = warehouse(2);
+        for step in 1..=13u64 {
+            w.add_batch(batch(step, 3)).unwrap();
+        }
+        // Partitions: P13 (1 step), P10-12 (3), P1-9 (9).
+        assert_eq!(w.available_windows(), vec![1, 4, 13]);
+        assert!(w.window_partitions(1).is_some());
+        assert!(w.window_partitions(4).is_some());
+        assert!(w.window_partitions(13).is_some());
+        assert!(w.window_partitions(2).is_none());
+        assert_eq!(w.window_partitions(4).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn larger_kappa_gives_more_windows() {
+        let mut w2 = warehouse(2);
+        let mut w10 = warehouse(10);
+        for step in 1..=30u64 {
+            w2.add_batch(batch(step, 2)).unwrap();
+            w10.add_batch(batch(step, 2)).unwrap();
+        }
+        assert!(
+            w10.available_windows().len() >= w2.available_windows().len(),
+            "kappa=10 windows {:?} vs kappa=2 {:?}",
+            w10.available_windows(),
+            w2.available_windows()
+        );
+    }
+
+    #[test]
+    fn partitions_newest_first_ordering() {
+        let mut w = warehouse(2);
+        for step in 1..=13u64 {
+            w.add_batch(batch(step, 2)).unwrap();
+        }
+        let parts = w.partitions_newest_first();
+        let firsts: Vec<u64> = parts.iter().map(|p| p.first_step).collect();
+        assert_eq!(firsts, vec![13, 10, 1]);
+    }
+
+    #[test]
+    fn summary_memory_is_bounded() {
+        let mut w = warehouse(10);
+        for step in 1..=100u64 {
+            w.add_batch(batch(step, 50)).unwrap();
+        }
+        // Lemma 8: O(kappa * log_kappa(T) / eps1) words.
+        let bound = 3 * 10 * 3 * (w.config.beta1 + 2); // kappa * levels * entries
+        assert!(
+            w.summary_memory_words() <= bound,
+            "{} words > bound {bound}",
+            w.summary_memory_words()
+        );
+    }
+}

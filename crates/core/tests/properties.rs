@@ -1,0 +1,324 @@
+//! Property-based tests for the core algorithm: the paper's lemmas hold
+//! on arbitrary data layouts, batch counts, and parameters.
+
+use std::sync::Arc;
+
+use hsq_core::{
+    CombinedSummary, HistStreamQuantiles, HsqConfig, QueryContext, SourceView, StreamProcessor,
+    Warehouse,
+};
+use hsq_storage::MemDevice;
+use proptest::prelude::*;
+
+/// Rank distance from target `r` to the rank(s) of `v`: zero if `v`'s
+/// occupied rank interval covers `r`; for values not in the data the rank
+/// is exactly `|{x <= v}|`.
+fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
+    let hi = sorted.partition_point(|&x| x <= v) as u64;
+    let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+    if lo > hi {
+        return r.abs_diff(hi); // v not present: rank(v) = hi
+    }
+    if r < lo {
+        lo - r
+    } else { r.saturating_sub(hi) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 2: accurate queries within eps*m on arbitrary batched data.
+    #[test]
+    fn accurate_query_error_bound(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 10..400), 1..8),
+        stream in proptest::collection::vec(0u64..1_000_000, 1..400),
+        kappa in 2usize..6,
+        eps_pct in 2u32..20,
+        phi_pct in 1u32..=100,
+    ) {
+        let eps = eps_pct as f64 / 100.0;
+        let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(kappa).build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        let mut all: Vec<u64> = Vec::new();
+        for b in &batches {
+            all.extend(b);
+            h.ingest_step(b).unwrap();
+        }
+        for &v in &stream {
+            all.push(v);
+            h.stream_update(v);
+        }
+        all.sort_unstable();
+        let n = all.len() as u64;
+        let m = stream.len() as u64;
+        let phi = phi_pct as f64 / 100.0;
+        let r = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        let v = h.quantile(phi).unwrap().unwrap();
+        let allowed = (eps * m as f64).ceil() as u64 + 1;
+        let dist = rank_distance(&all, v, r);
+        prop_assert!(
+            dist <= allowed,
+            "phi={phi}: value {v} off by {dist} ranks (allowed {allowed}, m={m})"
+        );
+    }
+
+    /// Lemma 3: quick responses within 1.5*eps*N.
+    #[test]
+    fn quick_query_error_bound(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 20..300), 1..6),
+        stream in proptest::collection::vec(0u64..100_000, 1..300),
+        kappa in 2usize..5,
+    ) {
+        let eps = 0.1;
+        let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(kappa).build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        let mut all: Vec<u64> = Vec::new();
+        for b in &batches {
+            all.extend(b);
+            h.ingest_step(b).unwrap();
+        }
+        for &v in &stream {
+            all.push(v);
+            h.stream_update(v);
+        }
+        all.sort_unstable();
+        let n = all.len() as u64;
+        let allowed = (1.5 * eps * n as f64).ceil() as u64 + 1;
+        for r in [1, n / 2, n] {
+            let v = h.rank_query_quick(r.max(1)).unwrap();
+            let dist = rank_distance(&all, v, r.max(1));
+            prop_assert!(dist <= allowed, "r={r}: off by {dist} > {allowed}");
+        }
+    }
+
+    /// Lemma 2: L_i <= rank(TS[i]) <= U_i and U_i - L_i <= eps*N on
+    /// arbitrary layouts.
+    #[test]
+    fn lemma2_bounds_on_arbitrary_data(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..50_000, 5..200), 1..6),
+        stream in proptest::collection::vec(0u64..50_000, 0..200),
+        kappa in 2usize..5,
+    ) {
+        let eps = 0.2;
+        let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(kappa).build();
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut all: Vec<u64> = Vec::new();
+        for b in &batches {
+            all.extend(b);
+            w.add_batch(b.clone()).unwrap();
+        }
+        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        for &v in &stream {
+            all.push(v);
+            sp.update(v);
+        }
+        let ss = sp.summary();
+        let mut sources: Vec<SourceView<u64>> = w
+            .partitions_newest_first()
+            .iter()
+            .map(|p| SourceView::from_partition(&p.summary))
+            .collect();
+        sources.push(SourceView::from_stream(&ss));
+        let ts = CombinedSummary::build(&sources);
+        all.sort_unstable();
+        let n = all.len() as u64;
+        for i in 0..ts.len() {
+            let v = ts.value(i);
+            let rank = all.partition_point(|&x| x <= v) as u64;
+            prop_assert!(
+                ts.lower(i) <= rank && rank <= ts.upper(i),
+                "TS[{i}]={v}: rank {rank} outside [{}, {}]",
+                ts.lower(i),
+                ts.upper(i)
+            );
+            prop_assert!(
+                ts.upper(i) - ts.lower(i) <= (eps * n as f64).ceil() as u64 + 1,
+                "width violation at {i}"
+            );
+        }
+    }
+
+    /// Warehouse invariants hold across any update sequence; the stored
+    /// multiset equals the input multiset.
+    #[test]
+    fn warehouse_preserves_multiset(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..150), 1..12),
+        kappa in 2usize..5,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.25).merge_threshold(kappa).build();
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(128), cfg);
+        let mut expect: Vec<u64> = Vec::new();
+        for b in &batches {
+            expect.extend(b);
+            w.add_batch(b.clone()).unwrap();
+            w.check_invariants().unwrap();
+        }
+        expect.sort_unstable();
+        let mut got: Vec<u64> = Vec::new();
+        for p in w.partitions_newest_first() {
+            got.extend(p.run.read_all(&**w.device()).unwrap());
+        }
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Window queries equal exact quantiles of the window's data (within
+    /// eps*m, and exactly when the stream is empty).
+    #[test]
+    fn window_query_matches_window_data(
+        step_vals in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000, 10..60), 3..10),
+        kappa in 2usize..5,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.1).merge_threshold(kappa).build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(128), cfg);
+        for b in &step_vals {
+            h.ingest_step(b).unwrap();
+        }
+        for w in h.available_windows() {
+            let mut win_data: Vec<u64> = step_vals
+                [(step_vals.len() - w as usize)..]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            win_data.sort_unstable();
+            let med = h.quantile_window(0.5, w).unwrap().unwrap();
+            // Stream empty -> m = 0 -> exact (Definition 1).
+            let r = (0.5 * win_data.len() as f64).ceil() as u64;
+            let dist = rank_distance(&win_data, med, r);
+            prop_assert!(dist == 0, "window {w}: median {med} off by {dist}");
+        }
+    }
+
+    /// Parallel query returns identical answers to serial.
+    #[test]
+    fn parallel_equals_serial(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 20..150), 2..6),
+        stream in proptest::collection::vec(0u64..100_000, 1..150),
+        r_seed in any::<u64>(),
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut total = 0u64;
+        for b in &batches {
+            total += b.len() as u64;
+            w.add_batch(b.clone()).unwrap();
+        }
+        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        for &v in &stream {
+            sp.update(v);
+        }
+        total += stream.len() as u64;
+        let ss = sp.summary();
+        let r = (r_seed % total) + 1;
+        let dev = Arc::clone(w.device());
+        let serial = QueryContext::new(
+            &*dev, w.partitions_newest_first(), &ss, cfg.epsilon(), cfg.cache_blocks)
+            .accurate_rank(r).unwrap().unwrap();
+        let parallel = QueryContext::new(
+            &*dev, w.partitions_newest_first(), &ss, cfg.epsilon(), cfg.cache_blocks)
+            .with_parallel(true)
+            .accurate_rank(r).unwrap().unwrap();
+        prop_assert_eq!(serial.value, parallel.value);
+        prop_assert_eq!(serial.estimated_rank, parallel.estimated_rank);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Heavy hitters: sound count brackets and complete detection on
+    /// arbitrary data with planted frequencies.
+    #[test]
+    fn heavy_hitters_sound_and_complete(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..50, 20..200), 1..6),
+        stream in proptest::collection::vec(0u64..50, 0..200),
+        phi_milli in 20u64..300,
+    ) {
+        use std::collections::HashMap;
+        let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        h.enable_heavy_hitters(hsq_core::HeavyHitterConfig { stream_counters: 64 });
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for b in &batches {
+            for &v in b {
+                *truth.entry(v).or_insert(0) += 1;
+            }
+            h.ingest_step(b).unwrap();
+        }
+        for &v in &stream {
+            *truth.entry(v).or_insert(0) += 1;
+            h.stream_update(v);
+        }
+        let n = h.total_len();
+        let phi = phi_milli as f64 / 1000.0;
+        let threshold = ((phi * n as f64).ceil() as u64).max(1);
+        let reported = h.heavy_hitters(phi).unwrap();
+        for hh in &reported {
+            let t = truth.get(&hh.value).copied().unwrap_or(0);
+            prop_assert!(
+                hh.count_lo() <= t && t <= hh.count_hi(),
+                "value {}: true {t} outside [{},{}]",
+                hh.value, hh.count_lo(), hh.count_hi()
+            );
+        }
+        for (&v, &c) in &truth {
+            if c >= threshold {
+                prop_assert!(
+                    reported.iter().any(|hh| hh.value == v),
+                    "missing heavy hitter {v} (count {c} >= {threshold})"
+                );
+            }
+        }
+    }
+
+    /// Manifest persistence: recover is lossless for any update history.
+    #[test]
+    fn manifest_roundtrip_lossless(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..120), 1..10),
+        kappa in 2usize..5,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.2).merge_threshold(kappa).build();
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(128), cfg.clone());
+        for b in &batches {
+            w.add_batch(b.clone()).unwrap();
+        }
+        let manifest = hsq_core::manifest::persist(&w).unwrap();
+        let r: Warehouse<u64, _> =
+            hsq_core::manifest::recover(Arc::clone(w.device()), cfg, manifest).unwrap();
+        prop_assert_eq!(r.steps(), w.steps());
+        prop_assert_eq!(r.total_len(), w.total_len());
+        prop_assert_eq!(r.available_windows(), w.available_windows());
+        let before: Vec<Vec<u64>> = w
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.run.read_all(&**w.device()).unwrap())
+            .collect();
+        let after: Vec<Vec<u64>> = r
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.run.read_all(&**r.device()).unwrap())
+            .collect();
+        prop_assert_eq!(before, after);
+        // Summaries identical too.
+        let se: Vec<usize> = w
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.summary.entries().len())
+            .collect();
+        let re: Vec<usize> = r
+            .partitions_newest_first()
+            .iter()
+            .map(|p| p.summary.entries().len())
+            .collect();
+        prop_assert_eq!(se, re);
+    }
+}

@@ -1,0 +1,194 @@
+//! Exact quantiles: the ground-truth oracle.
+//!
+//! Stores every observed element and answers rank/quantile queries
+//! exactly. Used by the test suite and the experiment harness to compute
+//! the paper's accuracy metric, relative error `|r − r̂| / (φN)` (§3.1
+//! "Performance Metrics"), where `r̂` is the *actual* rank of the value an
+//! algorithm returned. Memory is O(n) — this is deliberately not a sketch.
+
+/// Exact quantile oracle over all inserted elements.
+///
+/// ```
+/// use hsq_sketch::ExactQuantiles;
+/// let mut ex = ExactQuantiles::new();
+/// ex.extend([5u64, 1, 9, 7, 3]);
+/// assert_eq!(ex.quantile(0.5), Some(5));
+/// assert_eq!(ex.rank_of(6), 3); // elements <= 6: {1, 3, 5}
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ExactQuantiles<T> {
+    data: Vec<T>,
+    sorted: bool,
+}
+
+impl<T: Copy + Ord> ExactQuantiles<T> {
+    /// Empty oracle.
+    pub fn new() -> Self {
+        ExactQuantiles {
+            data: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Oracle pre-loaded with `data`.
+    pub fn from_data(data: Vec<T>) -> Self {
+        let mut ex = ExactQuantiles {
+            data,
+            sorted: false,
+        };
+        ex.ensure_sorted();
+        ex
+    }
+
+    /// Observe one element.
+    pub fn insert(&mut self, v: T) {
+        self.data.push(v);
+        self.sorted = false;
+    }
+
+    /// Observe many elements.
+    pub fn extend(&mut self, vs: impl IntoIterator<Item = T>) {
+        self.data.extend(vs);
+        self.sorted = false;
+    }
+
+    /// Elements observed.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// True iff no elements observed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.data.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Exact rank: `|{x : x ≤ v}|`. Requires interior mutability-free
+    /// `&mut` because the backing vector sorts lazily.
+    pub fn rank_of(&mut self, v: T) -> u64 {
+        self.ensure_sorted();
+        self.data.partition_point(|&x| x <= v) as u64
+    }
+
+    /// The element of 1-based rank `r` (clamped to `[1, n]`).
+    pub fn select(&mut self, r: u64) -> Option<T> {
+        if self.data.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let r = r.clamp(1, self.data.len() as u64);
+        Some(self.data[(r - 1) as usize])
+    }
+
+    /// The exact φ-quantile per the paper's Definition 1: the smallest
+    /// element whose rank is ≥ ⌈φn⌉.
+    pub fn quantile(&mut self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.data.len() as f64).ceil() as u64;
+        self.select(r)
+    }
+
+    /// Relative error of a claimed φ-quantile answer `v` against this
+    /// oracle: `|rank(v) − ⌈φN⌉| / (φN)` — the paper's §3.1 metric.
+    pub fn relative_error(&mut self, phi: f64, v: T) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let target = (phi * n as f64).ceil();
+        let actual = self.rank_of(v) as f64;
+        // The returned element's rank is a range when duplicates exist;
+        // use the closest rank held by `v` to the target.
+        let lo = self.rank_strictly_less(v) as f64 + 1.0;
+        let closest = if target < lo {
+            lo
+        } else if target > actual {
+            actual.max(lo)
+        } else {
+            target
+        };
+        (closest - target).abs() / (phi * n as f64)
+    }
+
+    fn rank_strictly_less(&mut self, v: T) -> u64 {
+        self.ensure_sorted();
+        self.data.partition_point(|&x| x < v) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_oracle() {
+        let mut ex = ExactQuantiles::<u64>::new();
+        assert!(ex.quantile(0.5).is_none());
+        assert_eq!(ex.rank_of(10), 0);
+    }
+
+    #[test]
+    fn definition_one_semantics() {
+        // phi-quantile = smallest e with rank(e) >= ceil(phi * n).
+        let mut ex = ExactQuantiles::from_data(vec![10u64, 20, 30, 40]);
+        assert_eq!(ex.quantile(0.25), Some(10));
+        assert_eq!(ex.quantile(0.26), Some(20));
+        assert_eq!(ex.quantile(0.5), Some(20));
+        assert_eq!(ex.quantile(0.75), Some(30));
+        assert_eq!(ex.quantile(1.0), Some(40));
+    }
+
+    #[test]
+    fn duplicates() {
+        let mut ex = ExactQuantiles::from_data(vec![5u64, 5, 5, 9]);
+        assert_eq!(ex.rank_of(5), 3);
+        assert_eq!(ex.rank_of(4), 0);
+        assert_eq!(ex.quantile(0.5), Some(5));
+        assert_eq!(ex.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn relative_error_zero_for_exact_answer() {
+        let mut ex = ExactQuantiles::from_data((1..=1000u64).collect());
+        let med = ex.quantile(0.5).unwrap();
+        assert_eq!(ex.relative_error(0.5, med), 0.0);
+    }
+
+    #[test]
+    fn relative_error_scales_with_rank_distance() {
+        let mut ex = ExactQuantiles::from_data((1..=1000u64).collect());
+        // True median is 500; answering 510 is 10 ranks off => 10/500 = 2%.
+        let err = ex.relative_error(0.5, 510);
+        assert!((err - 0.02).abs() < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn relative_error_with_duplicates_uses_closest_rank() {
+        // data: 1 x500, 2 x500. Value 1 occupies ranks 1..=500.
+        let mut data = vec![1u64; 500];
+        data.extend(vec![2u64; 500]);
+        let mut ex = ExactQuantiles::from_data(data);
+        // target rank for phi=0.3 is 300, value 1 covers it: error 0.
+        assert_eq!(ex.relative_error(0.3, 1), 0.0);
+        // phi=0.7 -> target 700; value 1's closest rank is 500 -> 200/700.
+        let err = ex.relative_error(0.7, 1);
+        assert!((err - 200.0 / 700.0).abs() < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn interleaved_insert_query() {
+        let mut ex = ExactQuantiles::new();
+        ex.insert(5u64);
+        assert_eq!(ex.quantile(1.0), Some(5));
+        ex.insert(1);
+        assert_eq!(ex.quantile(0.5), Some(1));
+        ex.insert(3);
+        assert_eq!(ex.quantile(0.5), Some(3));
+    }
+}

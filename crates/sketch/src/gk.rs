@@ -1,0 +1,510 @@
+//! The Greenwald–Khanna ε-approximate quantile sketch.
+//!
+//! Reference: M. Greenwald and S. Khanna, *Space-efficient online
+//! computation of quantile summaries*, SIGMOD 2001 — reference \[15\] of the
+//! reproduced paper, which uses GK both for the stream summary `SS`
+//! (§2.2) and as the pure-streaming baseline (§3.1).
+//!
+//! The sketch maintains an ordered list of tuples `(vᵢ, gᵢ, Δᵢ)` where
+//! `gᵢ` is the gap in minimum rank to the previous tuple and `Δᵢ` bounds
+//! the rank uncertainty of `vᵢ`:
+//!
+//! * `rmin(vᵢ) = Σ_{j≤i} gⱼ`, `rmax(vᵢ) = rmin(vᵢ) + Δᵢ`;
+//! * **invariant**: `gᵢ + Δᵢ ≤ ⌊2εn⌋` for all i (checked by
+//!   [`GkSketch::check_invariants`]), which guarantees any rank query is
+//!   answerable within `εn`.
+//!
+//! COMPRESS merges a tuple into its right neighbour when capacity allows
+//! and the *band* condition holds (newer tuples, with larger Δ, may only
+//! absorb tuples from the same or newer band), preserving the
+//! `O((1/ε)·log(εn))` space bound.
+
+use std::fmt;
+
+/// One summary tuple. `g` = rank gap to predecessor, `delta` = rank
+/// uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Tuple<T> {
+    v: T,
+    g: u64,
+    delta: u64,
+}
+
+/// Result of a rank query: the chosen value and its tracked rank interval.
+///
+/// The true rank of `value` in the stream lies in `[rmin, rmax]`
+/// (1-based, rank = number of elements ≤ value... per the tuple semantics
+/// the rank of the i-th smallest occurrence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankEstimate<T> {
+    /// The answering element (some element that appeared in the stream).
+    pub value: T,
+    /// Lower bound on `value`'s rank in the stream.
+    pub rmin: u64,
+    /// Upper bound on `value`'s rank in the stream.
+    pub rmax: u64,
+}
+
+/// Greenwald–Khanna ε-approximate quantile sketch over a totally ordered
+/// `T`.
+///
+/// ```
+/// use hsq_sketch::GkSketch;
+/// let mut gk = GkSketch::new(0.01);
+/// for v in 0..10_000u64 {
+///     gk.insert(v);
+/// }
+/// let med = gk.quantile(0.5).unwrap();
+/// assert!((med as i64 - 5_000).abs() <= 100); // epsilon * n = 100
+/// ```
+#[derive(Clone)]
+pub struct GkSketch<T> {
+    epsilon: f64,
+    tuples: Vec<Tuple<T>>,
+    n: u64,
+    min: Option<T>,
+    max: Option<T>,
+    since_compress: u64,
+    compress_period: u64,
+}
+
+impl<T: Copy + Ord> GkSketch<T> {
+    /// Create a sketch with error parameter `epsilon ∈ (0, 1]`: any rank
+    /// query over the first `n` inserts is answered within `εn`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        GkSketch {
+            epsilon,
+            tuples: Vec::new(),
+            n: 0,
+            min: None,
+            max: None,
+            since_compress: 0,
+            compress_period: ((1.0 / (2.0 * epsilon)).floor() as u64).max(1),
+        }
+    }
+
+    /// The error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of elements inserted.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Smallest element seen (tracked exactly).
+    pub fn min(&self) -> Option<T> {
+        self.min
+    }
+
+    /// Largest element seen (tracked exactly).
+    pub fn max(&self) -> Option<T> {
+        self.max
+    }
+
+    /// Number of summary tuples currently held.
+    pub fn num_tuples(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Approximate words of memory used (3 words per tuple + header),
+    /// the unit the paper's memory budgets are expressed in.
+    pub fn memory_words(&self) -> usize {
+        3 * self.tuples.len() + 8
+    }
+
+    /// `⌊2εn⌋`: the capacity bound on `g + Δ`.
+    #[inline]
+    fn cap(&self) -> u64 {
+        (2.0 * self.epsilon * self.n as f64).floor() as u64
+    }
+
+    /// Insert one element.
+    pub fn insert(&mut self, v: T) {
+        self.min = Some(match self.min {
+            Some(m) => m.min(v),
+            None => v,
+        });
+        self.max = Some(match self.max {
+            Some(m) => m.max(v),
+            None => v,
+        });
+
+        // Position: first tuple with value >= v keeps duplicates together
+        // and new extrema at the ends.
+        let idx = self.tuples.partition_point(|t| t.v < v);
+        let delta = if idx == 0 || idx == self.tuples.len() {
+            0
+        } else {
+            self.cap().saturating_sub(1)
+        };
+        self.tuples.insert(idx, Tuple { v, g: 1, delta });
+        self.n += 1;
+        self.since_compress += 1;
+        if self.since_compress >= self.compress_period {
+            self.compress();
+            self.since_compress = 0;
+        }
+    }
+
+    /// Band of a tuple: groups Δ values by the insertion epoch that could
+    /// have produced them; only same-or-newer bands may be absorbed.
+    #[inline]
+    fn band(delta: u64, cap: u64) -> u32 {
+        debug_assert!(delta <= cap);
+        if delta == cap {
+            0
+        } else {
+            // floor(log2(cap - delta + 1)) + 1: monotone decreasing in delta.
+            64 - (cap - delta + 1).leading_zeros()
+        }
+    }
+
+    /// COMPRESS: one right-to-left pass merging tuples into their right
+    /// neighbours where the invariant and band condition allow.
+    pub fn compress(&mut self) {
+        if self.tuples.len() < 3 {
+            return;
+        }
+        let cap = self.cap();
+        let old = std::mem::take(&mut self.tuples);
+        let len = old.len();
+        let mut out: Vec<Tuple<T>> = Vec::with_capacity(len);
+        let mut iter = old.into_iter().rev();
+        // The right-most (maximum) tuple is always kept.
+        let mut right = iter.next().expect("len >= 3");
+        for (k, t) in iter.enumerate() {
+            // The left-most (minimum) tuple is yielded last (k == len - 2)
+            // and must never be merged away.
+            let is_min_tuple = k == len - 2;
+            let mergeable = !is_min_tuple
+                && t.g + right.g + right.delta < cap
+                && Self::band(t.delta, cap) <= Self::band(right.delta, cap);
+            if mergeable {
+                right.g += t.g;
+            } else {
+                out.push(right);
+                right = t;
+            }
+        }
+        out.push(right);
+        out.reverse();
+        self.tuples = out;
+    }
+
+    /// Answer a query for 1-based rank `r` (clamped into `[1, n]`).
+    ///
+    /// Returns a value whose true rank is within `εn` of `r`, along with
+    /// its tracked rank interval. `None` iff the sketch is empty.
+    pub fn rank_query(&self, r: u64) -> Option<RankEstimate<T>> {
+        if self.n == 0 {
+            return None;
+        }
+        let r = r.clamp(1, self.n);
+        let slack = (self.epsilon * self.n as f64).floor() as u64;
+        let mut rmin = 0u64;
+        let mut prev: Option<RankEstimate<T>> = None;
+        for t in &self.tuples {
+            rmin += t.g;
+            let cur = RankEstimate {
+                value: t.v,
+                rmin,
+                rmax: rmin + t.delta,
+            };
+            if cur.rmax > r + slack {
+                // First tuple overshooting: the previous one (if any) is
+                // guaranteed within slack by the invariant.
+                return Some(prev.unwrap_or(cur));
+            }
+            prev = Some(cur);
+        }
+        prev
+    }
+
+    /// The element at quantile `phi ∈ (0, 1]` (rank `⌈φn⌉`), within `εn`.
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.n as f64).ceil() as u64;
+        self.rank_query(r).map(|e| e.value)
+    }
+
+    /// Rigorous bounds `[lo, hi]` on the rank of an arbitrary value `v`
+    /// (not necessarily seen): `lo ≤ rank(v, stream) ≤ hi`, where
+    /// `rank(v) = |{x : x ≤ v}|`. The width `hi − lo` is at most `2εn` by
+    /// the GK invariant.
+    ///
+    /// * `lo` = `rmin` of the last tuple with value ≤ `v` (every such
+    ///   element is certainly ≤ `v`);
+    /// * `hi` = `rmax − 1` of the first tuple with value > `v` (any
+    ///   element ≤ `v` must precede that tuple's value).
+    pub fn rank_bounds_of(&self, v: T) -> (u64, u64) {
+        let mut rmin = 0u64;
+        let mut lo = 0u64;
+        for t in &self.tuples {
+            if t.v <= v {
+                rmin += t.g;
+                lo = rmin;
+            } else {
+                let hi = (rmin + t.g + t.delta).saturating_sub(1);
+                return (lo, hi.min(self.n));
+            }
+        }
+        (lo, self.n)
+    }
+
+    /// Verify the GK invariant `gᵢ + Δᵢ ≤ ⌊2εn⌋` (plus structural sanity).
+    /// Used by tests; cheap enough to call in debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.n == 0 {
+            return if self.tuples.is_empty() {
+                Ok(())
+            } else {
+                Err("tuples non-empty but n == 0".into())
+            };
+        }
+        let cap = self.cap().max(1);
+        let mut total_g = 0u64;
+        let mut prev: Option<T> = None;
+        for (i, t) in self.tuples.iter().enumerate() {
+            if let Some(p) = prev {
+                if t.v < p {
+                    return Err(format!("tuple {i} out of order"));
+                }
+            }
+            prev = Some(t.v);
+            total_g += t.g;
+            if t.g + t.delta > cap {
+                return Err(format!(
+                    "invariant violated at tuple {i}: g={} delta={} cap={cap}",
+                    t.g, t.delta
+                ));
+            }
+        }
+        if total_g != self.n {
+            return Err(format!("sum of g = {total_g} != n = {}", self.n));
+        }
+        if self.tuples.first().map(|t| t.delta) != Some(0) {
+            return Err("first tuple must have delta 0".into());
+        }
+        if self.tuples.last().map(|t| t.delta) != Some(0) {
+            return Err("last tuple must have delta 0".into());
+        }
+        Ok(())
+    }
+
+    /// Drop all state, keeping the error parameter (paper Algorithm 4,
+    /// `StreamReset`).
+    pub fn reset(&mut self) {
+        self.tuples.clear();
+        self.n = 0;
+        self.min = None;
+        self.max = None;
+        self.since_compress = 0;
+    }
+}
+
+impl<T: Copy + Ord + fmt::Debug> fmt::Debug for GkSketch<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GkSketch")
+            .field("epsilon", &self.epsilon)
+            .field("n", &self.n)
+            .field("tuples", &self.tuples.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::{Rng, SeedableRng};
+
+    /// Exact rank of `v` in `data` (count of elements <= v).
+    fn exact_rank(data: &[u64], v: u64) -> u64 {
+        data.iter().filter(|&&x| x <= v).count() as u64
+    }
+
+    #[test]
+    fn empty_sketch() {
+        let gk = GkSketch::<u64>::new(0.1);
+        assert!(gk.is_empty());
+        assert!(gk.rank_query(1).is_none());
+        assert!(gk.quantile(0.5).is_none());
+        assert_eq!(gk.min(), None);
+        gk.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn single_element() {
+        let mut gk = GkSketch::new(0.1);
+        gk.insert(42u64);
+        assert_eq!(gk.quantile(0.5), Some(42));
+        assert_eq!(gk.quantile(1.0), Some(42));
+        assert_eq!(gk.min(), Some(42));
+        assert_eq!(gk.max(), Some(42));
+    }
+
+    #[test]
+    fn sorted_insert_error_bound() {
+        let n = 20_000u64;
+        let eps = 0.01;
+        let mut gk = GkSketch::new(eps);
+        for v in 0..n {
+            gk.insert(v);
+        }
+        gk.check_invariants().unwrap();
+        let slack = (eps * n as f64).ceil() as i64;
+        for phi in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let r = (phi * n as f64).ceil() as i64;
+            let v = gk.quantile(phi).unwrap();
+            let true_rank = (v + 1) as i64; // distinct values 0..n
+            assert!(
+                (true_rank - r).abs() <= slack,
+                "phi={phi}: rank {true_rank} vs target {r} (slack {slack})"
+            );
+        }
+    }
+
+    #[test]
+    fn shuffled_insert_error_bound() {
+        let n = 20_000u64;
+        let eps = 0.005;
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data: Vec<u64> = (0..n).collect();
+        data.shuffle(&mut rng);
+        let mut gk = GkSketch::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        gk.check_invariants().unwrap();
+        let slack = (eps * n as f64).ceil() as i64;
+        for r in (1..=n).step_by(997) {
+            let est = gk.rank_query(r).unwrap();
+            let true_rank = (est.value + 1) as i64;
+            assert!(
+                (true_rank - r as i64).abs() <= slack,
+                "r={r}: got value {} with true rank {true_rank}",
+                est.value
+            );
+            // Tracked bounds must contain the true rank.
+            assert!(est.rmin as i64 <= true_rank && true_rank <= est.rmax as i64);
+        }
+    }
+
+    #[test]
+    fn duplicate_heavy_stream() {
+        let eps = 0.01;
+        let mut gk = GkSketch::new(eps);
+        let mut data = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: u64 = *[5u64, 5, 5, 7, 100].choose(&mut rng).unwrap();
+            data.push(v);
+            gk.insert(v);
+        }
+        gk.check_invariants().unwrap();
+        let n = data.len() as u64;
+        let slack = (eps * n as f64).ceil() as u64;
+        for phi in [0.1, 0.5, 0.61, 0.9] {
+            let r = (phi * n as f64).ceil() as u64;
+            let v = gk.quantile(phi).unwrap();
+            let rank_lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
+            let rank_hi = exact_rank(&data, v);
+            // Some rank in [rank_lo, rank_hi] must be within slack of r.
+            assert!(
+                r.saturating_sub(slack) <= rank_hi && rank_lo <= r + slack,
+                "phi={phi} v={v} ranks [{rank_lo},{rank_hi}] target {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_stays_sublinear() {
+        let eps = 0.01;
+        let mut gk = GkSketch::new(eps);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100_000 {
+            gk.insert(rng.gen::<u64>());
+        }
+        gk.check_invariants().unwrap();
+        // Theory: O((1/eps) * log(eps n)) = O(100 * ~10) tuples. Allow a
+        // generous constant.
+        assert!(
+            gk.num_tuples() < 6000,
+            "GK summary too large: {} tuples for eps={eps}",
+            gk.num_tuples()
+        );
+    }
+
+    #[test]
+    fn min_max_tracked_exactly() {
+        let mut gk = GkSketch::new(0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for _ in 0..50_000 {
+            let v = rng.gen::<u64>();
+            lo = lo.min(v);
+            hi = hi.max(v);
+            gk.insert(v);
+        }
+        assert_eq!(gk.min(), Some(lo));
+        assert_eq!(gk.max(), Some(hi));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut gk = GkSketch::new(0.1);
+        for v in 0..100u64 {
+            gk.insert(v);
+        }
+        gk.reset();
+        assert!(gk.is_empty());
+        assert!(gk.quantile(0.5).is_none());
+        // Reusable after reset.
+        gk.insert(9);
+        assert_eq!(gk.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn rank_bounds_of_contains_truth() {
+        let mut gk = GkSketch::new(0.02);
+        let mut rng = StdRng::seed_from_u64(23);
+        let data: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..1_000_000)).collect();
+        for &v in &data {
+            gk.insert(v);
+        }
+        let width_cap = (2.0 * 0.02 * data.len() as f64).ceil() as u64;
+        for probe in (0..1_000_000).step_by(99_991) {
+            let (lo, hi) = gk.rank_bounds_of(probe);
+            let truth = exact_rank(&data, probe);
+            // Bounds are rigorous and no wider than 2*eps*n.
+            assert!(
+                lo <= truth && truth <= hi,
+                "probe {probe}: truth {truth} not in [{lo},{hi}]"
+            );
+            assert!(hi - lo <= width_cap, "bounds too wide: [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn works_with_signed_values() {
+        let mut gk = GkSketch::new(0.01);
+        for v in -5000i64..5000 {
+            gk.insert(v);
+        }
+        let med = gk.quantile(0.5).unwrap();
+        assert!(med.abs() <= 100);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hsq-sketch — streaming quantile sketches
+//!
+//! The in-memory summary substrates used by the `hsq` reproduction of
+//! *"Estimating quantiles from the union of historical and streaming
+//! data"* (VLDB 2016):
+//!
+//! * [`GkSketch`] — Greenwald–Khanna (paper ref \[15\]); powers the stream
+//!   summary `SS` (§2.2) and the strongest pure-streaming baseline;
+//! * [`QDigest`] — Shrivastava et al. (paper ref \[24\]); the second
+//!   pure-streaming baseline;
+//! * [`ReservoirQuantiles`] — the RANDOM baseline of Wang et al. (paper
+//!   ref \[26\]); extension baseline;
+//! * [`MisraGries`] — frequent-elements sketch powering the heavy-hitter
+//!   extension (`hsq_core::heavy`);
+//! * [`ExactQuantiles`] — O(n)-memory ground-truth oracle used to measure
+//!   relative error exactly as the paper's §3.1 defines it.
+//!
+//! All sketches expose `memory_words()` so experiment harnesses can drive
+//! them by memory budget, matching the paper's memory-versus-accuracy
+//! methodology.
+
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod gk;
+pub mod misra_gries;
+pub mod qdigest;
+pub mod sampler;
+
+pub use exact::ExactQuantiles;
+pub use gk::{GkSketch, RankEstimate};
+pub use misra_gries::MisraGries;
+pub use qdigest::QDigest;
+pub use sampler::ReservoirQuantiles;

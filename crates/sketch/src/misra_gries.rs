@@ -1,0 +1,198 @@
+//! The Misra–Gries frequent-elements sketch.
+//!
+//! The reproduced paper names *heavy hitters* alongside quantiles as the
+//! fundamental analytical primitives lacking integrated
+//! historical+streaming support (§1), and leaves "other classes of
+//! aggregates" to future work (§4). `hsq` implements that extension
+//! (see `hsq_core::heavy`); this module provides its streaming substrate.
+//!
+//! Misra–Gries with `k` counters processes a stream of `n` elements so
+//! that for every value `v`:
+//!
+//! * `estimate(v) ≤ count(v)`  (never over-counts), and
+//! * `count(v) − estimate(v) ≤ decrements ≤ n/(k+1)`,
+//!
+//! so every value with `count(v) > n/(k+1)` is guaranteed to be among the
+//! tracked candidates.
+
+use std::collections::HashMap;
+
+/// Misra–Gries frequent-elements summary with `k` counters.
+///
+/// ```
+/// use hsq_sketch::MisraGries;
+/// let mut mg = MisraGries::new(9);
+/// for i in 0..1000u64 {
+///     mg.insert(if i % 2 == 0 { 7 } else { i }); // 7 is half the stream
+/// }
+/// let (lo, hi) = mg.count_bounds(7);
+/// assert!(lo <= 500 && 500 <= hi);
+/// assert!(mg.candidates().any(|(v, _)| v == 7));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MisraGries<T> {
+    k: usize,
+    counters: HashMap<T, u64>,
+    n: u64,
+    /// Total amount decremented from all counters (bounds the
+    /// underestimate of any single value).
+    decrements: u64,
+}
+
+impl<T: Copy + Ord + std::hash::Hash> MisraGries<T> {
+    /// Sketch with `k ≥ 1` counters: catches every value of frequency
+    /// `> n/(k+1)`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "need at least one counter");
+        MisraGries {
+            k,
+            counters: HashMap::with_capacity(k + 1),
+            n: 0,
+            decrements: 0,
+        }
+    }
+
+    /// Elements processed.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff nothing processed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of counters configured.
+    pub fn capacity(&self) -> usize {
+        self.k
+    }
+
+    /// Approximate memory footprint in words.
+    pub fn memory_words(&self) -> usize {
+        2 * self.k + 4
+    }
+
+    /// Process one element.
+    pub fn insert(&mut self, v: T) {
+        self.n += 1;
+        if let Some(c) = self.counters.get_mut(&v) {
+            *c += 1;
+            return;
+        }
+        if self.counters.len() < self.k {
+            self.counters.insert(v, 1);
+            return;
+        }
+        // Decrement-all: the classic MG step. Each survivor loses one;
+        // zeros are evicted. The new element is "absorbed" into the
+        // decrement (its one occurrence cancels against the round).
+        self.decrements += 1;
+        self.counters.retain(|_, c| {
+            *c -= 1;
+            *c > 0
+        });
+    }
+
+    /// Sound bounds on `count(v)` in the processed stream:
+    /// `lo ≤ count(v) ≤ hi`.
+    pub fn count_bounds(&self, v: T) -> (u64, u64) {
+        let est = self.counters.get(&v).copied().unwrap_or(0);
+        (est, est + self.decrements)
+    }
+
+    /// Maximum undercount of any value (`≤ n/(k+1)`).
+    pub fn error_bound(&self) -> u64 {
+        self.decrements
+    }
+
+    /// Tracked candidates with their (under-)estimates. Superset of all
+    /// values with frequency `> n/(k+1)`.
+    pub fn candidates(&self) -> impl Iterator<Item = (T, u64)> + '_ {
+        self.counters.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Forget everything (keeps `k`).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.n = 0;
+        self.decrements = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut mg = MisraGries::new(10);
+        for v in [1u64, 2, 2, 3, 3, 3] {
+            mg.insert(v);
+        }
+        assert_eq!(mg.count_bounds(3), (3, 3));
+        assert_eq!(mg.count_bounds(1), (1, 1));
+        assert_eq!(mg.count_bounds(99), (0, 0));
+        assert_eq!(mg.error_bound(), 0);
+    }
+
+    #[test]
+    fn guarantees_on_skewed_stream() {
+        let n = 90_000u64;
+        let k = 9;
+        let mut mg = MisraGries::new(k);
+        // Value 7: one third of the stream; the rest distinct.
+        let mut true_sevens = 0u64;
+        for i in 0..n {
+            if i % 3 == 0 {
+                mg.insert(7u64);
+                true_sevens += 1;
+            } else {
+                mg.insert(1_000_000 + i);
+            }
+        }
+        let (lo, hi) = mg.count_bounds(7);
+        assert!(lo <= true_sevens && true_sevens <= hi, "[{lo},{hi}] vs {true_sevens}");
+        assert!(mg.error_bound() <= n / (k as u64 + 1));
+        assert!(
+            mg.candidates().any(|(v, _)| v == 7),
+            "frequency n/3 must be tracked with k = 9"
+        );
+    }
+
+    #[test]
+    fn never_overcounts() {
+        let mut mg = MisraGries::new(3);
+        let data: Vec<u64> = (0..5000).map(|i| i % 17).collect();
+        for &v in &data {
+            mg.insert(v);
+        }
+        for probe in 0..17u64 {
+            let truth = data.iter().filter(|&&x| x == probe).count() as u64;
+            let (lo, hi) = mg.count_bounds(probe);
+            assert!(lo <= truth, "lo {lo} > truth {truth} for {probe}");
+            assert!(truth <= hi, "hi {hi} < truth {truth} for {probe}");
+        }
+    }
+
+    #[test]
+    fn counter_set_bounded() {
+        let mut mg = MisraGries::new(5);
+        for i in 0..10_000u64 {
+            mg.insert(i); // all distinct
+            assert!(mg.candidates().count() <= 5);
+        }
+    }
+
+    #[test]
+    fn reset_reuses() {
+        let mut mg = MisraGries::new(4);
+        for _ in 0..100 {
+            mg.insert(1u64);
+        }
+        mg.reset();
+        assert!(mg.is_empty());
+        assert_eq!(mg.count_bounds(1), (0, 0));
+        mg.insert(2);
+        assert_eq!(mg.count_bounds(2), (1, 1));
+    }
+}

@@ -1,0 +1,419 @@
+//! The Q-Digest ε-approximate quantile sketch.
+//!
+//! Reference: N. Shrivastava, C. Buragohain, D. Agrawal, S. Suri,
+//! *Medians and beyond: new aggregation techniques for sensor networks*,
+//! SenSys 2004 — reference \[24\] of the reproduced paper, which uses
+//! Q-Digest as the second pure-streaming baseline (§3.1) and notes its
+//! `O((1/ε)·log U)` space, where `U` is the size of the value universe.
+//!
+//! The digest is a multiset of nodes of the complete binary tree over the
+//! key universe `[0, 2^bits)`. A node at depth `d` covers a dyadic range
+//! of `2^(bits-d)` keys and carries a count. The *digest property* keeps
+//! every non-root node's family (itself + sibling + parent) above the
+//! compression threshold `⌊n/k⌋`, which bounds the number of stored nodes
+//! by `3k` while smearing each key's count over at most `bits` ancestors —
+//! hence rank error ≤ `bits·n/k`.
+//!
+//! Keys are `u64`; callers with other item types map through
+//! an order-preserving key function (see `hsq_storage::Item::to_ordered_u64`).
+
+use std::collections::HashMap;
+
+/// Node identifier in the implicit binary tree: root = 1, children of `x`
+/// are `2x` and `2x+1`. Leaves of a 64-bit universe need 65 bits → `u128`.
+type NodeId = u128;
+
+/// Q-Digest over keys in `[0, 2^bits)`.
+///
+/// ```
+/// use hsq_sketch::QDigest;
+/// let mut qd = QDigest::with_error(0.01, 32);
+/// for v in 0..100_000u64 {
+///     qd.insert(v % 4096);
+/// }
+/// let med = qd.quantile(0.5).unwrap();
+/// assert!((med as i64 - 2048).abs() <= 120);
+/// ```
+#[derive(Clone, Debug)]
+pub struct QDigest {
+    bits: u32,
+    /// Compression factor `k`: threshold is `⌊n/k⌋`, size bound `3k` nodes.
+    k: u64,
+    counts: HashMap<NodeId, u64>,
+    n: u64,
+    /// Inserts since the last compression.
+    dirty: u64,
+}
+
+impl QDigest {
+    /// Digest with compression factor `k` over a `bits`-bit key universe.
+    pub fn with_compression(k: u64, bits: u32) -> Self {
+        assert!(k >= 1, "compression factor must be >= 1");
+        assert!((1..=64).contains(&bits), "bits must be in 1..=64");
+        QDigest {
+            bits,
+            k,
+            counts: HashMap::new(),
+            n: 0,
+            dirty: 0,
+        }
+    }
+
+    /// Digest targeting rank error `≤ εn`: `k = ⌈bits/ε⌉`.
+    pub fn with_error(epsilon: f64, bits: u32) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon in (0,1]");
+        let k = ((bits as f64) / epsilon).ceil() as u64;
+        Self::with_compression(k.max(1), bits)
+    }
+
+    /// Digest sized to roughly `words` of memory (3 words per node).
+    pub fn with_memory_words(words: usize, bits: u32) -> Self {
+        // size bound is 3k nodes and each node costs ~3 words.
+        let k = (words as u64 / 9).max(1);
+        Self::with_compression(k, bits)
+    }
+
+    /// Universe width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The compression factor `k`.
+    pub fn compression(&self) -> u64 {
+        self.k
+    }
+
+    /// Worst-case rank error for the current `n`: `bits·⌊n/k⌋ + ...` —
+    /// reported as the guaranteed bound `bits·n/k`.
+    pub fn error_bound(&self) -> f64 {
+        self.bits as f64 * self.n as f64 / self.k as f64
+    }
+
+    /// Number of keys inserted (with multiplicity).
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff no keys inserted.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Stored nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Approximate memory in words (id ≈ 2 words + count 1 word).
+    pub fn memory_words(&self) -> usize {
+        3 * self.counts.len() + 6
+    }
+
+    #[inline]
+    fn leaf_of(&self, key: u64) -> NodeId {
+        if self.bits < 64 {
+            assert!(
+                key < (1u64 << self.bits),
+                "key {key} out of {}-bit universe",
+                self.bits
+            );
+        }
+        (1u128 << self.bits) | key as u128
+    }
+
+    /// Key range `[lo, hi]` covered by node `id`.
+    #[inline]
+    fn range_of(&self, id: NodeId) -> (u64, u64) {
+        let depth = 127 - id.leading_zeros(); // root at depth 0
+        let span_bits = self.bits - depth;
+        if span_bits == 64 {
+            return (0, u64::MAX); // root of the full 64-bit universe
+        }
+        let prefix = (id ^ (1u128 << depth)) as u64; // strip the marker bit
+        let lo = prefix << span_bits;
+        let hi = lo + ((1u64 << span_bits) - 1);
+        (lo, hi)
+    }
+
+    /// Insert `key` once.
+    pub fn insert(&mut self, key: u64) {
+        self.insert_weighted(key, 1);
+    }
+
+    /// Insert `key` with multiplicity `w`.
+    pub fn insert_weighted(&mut self, key: u64, w: u64) {
+        if w == 0 {
+            return;
+        }
+        let leaf = self.leaf_of(key);
+        *self.counts.entry(leaf).or_insert(0) += w;
+        self.n += w;
+        self.dirty += 1;
+        // Amortized compression: only once the digest has outgrown its bound
+        // *and* enough inserts have happened to pay for the pass.
+        if self.counts.len() as u64 > 6 * self.k && self.dirty > self.k / 2 {
+            self.compress();
+        }
+    }
+
+    /// Merge another digest into this one (Q-Digests are mergeable; the
+    /// reproduced paper's historical summaries exploit an analogous
+    /// merge-then-summarize pattern).
+    pub fn merge(&mut self, other: &QDigest) {
+        assert_eq!(self.bits, other.bits, "universe mismatch");
+        for (&id, &c) in &other.counts {
+            *self.counts.entry(id).or_insert(0) += c;
+        }
+        self.n += other.n;
+        self.compress();
+    }
+
+    /// Enforce the digest property bottom-up, bounding size to `O(k)`.
+    pub fn compress(&mut self) {
+        self.dirty = 0;
+        let threshold = self.n / self.k;
+        if threshold == 0 {
+            return; // every family trivially exceeds ⌊n/k⌋ = 0
+        }
+        // Level-by-level, deepest first, so parents produced by one level's
+        // merges are considered when their own level is processed.
+        for depth in (1..=self.bits).rev() {
+            let lo_id = 1u128 << depth;
+            let hi_id = (1u128 << (depth + 1)) - 1;
+            let ids: Vec<NodeId> = self
+                .counts
+                .keys()
+                .copied()
+                .filter(|&id| (lo_id..=hi_id).contains(&id))
+                .collect();
+            for id in ids {
+                let Some(&c) = self.counts.get(&id) else {
+                    continue; // already absorbed as a sibling
+                };
+                let sibling = id ^ 1;
+                let parent = id >> 1;
+                let sib_c = self.counts.get(&sibling).copied().unwrap_or(0);
+                let par_c = self.counts.get(&parent).copied().unwrap_or(0);
+                if c + sib_c + par_c < threshold {
+                    self.counts.remove(&id);
+                    self.counts.remove(&sibling);
+                    *self.counts.entry(parent).or_insert(0) += c + sib_c;
+                }
+            }
+        }
+    }
+
+    /// Value at 1-based rank `r` (clamped to `[1, n]`), within the digest's
+    /// error bound. `None` iff empty.
+    ///
+    /// Post-order traversal: nodes sorted by (hi, then deeper-first);
+    /// accumulate counts until reaching `r`, answer the node's upper key.
+    pub fn rank_query(&self, r: u64) -> Option<u64> {
+        if self.n == 0 {
+            return None;
+        }
+        let r = r.clamp(1, self.n);
+        let mut nodes: Vec<(u64, u64, u64)> = self
+            .counts
+            .iter()
+            .map(|(&id, &c)| {
+                let (lo, hi) = self.range_of(id);
+                (hi, u64::MAX - lo, c) // sort key: hi asc, lo desc (deeper/narrower first)
+            })
+            .collect();
+        nodes.sort_unstable_by_key(|&(hi, neg_lo, _)| (hi, neg_lo));
+        let mut cum = 0u64;
+        for &(hi, _, c) in &nodes {
+            cum += c;
+            if cum >= r {
+                return Some(hi);
+            }
+        }
+        nodes.last().map(|&(hi, _, _)| hi)
+    }
+
+    /// The element at quantile `phi ∈ (0, 1]` (rank `⌈φn⌉`).
+    pub fn quantile(&self, phi: f64) -> Option<u64> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.n as f64).ceil() as u64;
+        self.rank_query(r)
+    }
+
+    /// Bounds `[lo, hi]` on `rank(key)` = `|{x : x <= key}|`.
+    ///
+    /// `lo` counts nodes entirely ≤ `key`; `hi` additionally counts nodes
+    /// whose range straddles `key`.
+    pub fn rank_bounds_of(&self, key: u64) -> (u64, u64) {
+        let mut lo = 0u64;
+        let mut straddle = 0u64;
+        for (&id, &c) in &self.counts {
+            let (node_lo, node_hi) = self.range_of(id);
+            if node_hi <= key {
+                lo += c;
+            } else if node_lo <= key {
+                straddle += c;
+            }
+        }
+        (lo, lo + straddle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn empty_digest() {
+        let qd = QDigest::with_error(0.1, 16);
+        assert!(qd.is_empty());
+        assert!(qd.rank_query(1).is_none());
+        assert!(qd.quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn range_of_is_dyadic() {
+        let qd = QDigest::with_compression(4, 4); // universe [0,16)
+        assert_eq!(qd.range_of(1), (0, 15)); // root
+        assert_eq!(qd.range_of(2), (0, 7));
+        assert_eq!(qd.range_of(3), (8, 15));
+        assert_eq!(qd.range_of(0b10000), (0, 0)); // leaf 0
+        assert_eq!(qd.range_of(0b11111), (15, 15)); // leaf 15
+    }
+
+    #[test]
+    fn exact_when_uncompressed() {
+        let mut qd = QDigest::with_compression(1_000_000, 16);
+        for v in [5u64, 1, 9, 1, 7] {
+            qd.insert(v);
+        }
+        assert_eq!(qd.rank_query(1), Some(1));
+        assert_eq!(qd.rank_query(2), Some(1));
+        assert_eq!(qd.rank_query(3), Some(5));
+        assert_eq!(qd.rank_query(4), Some(7));
+        assert_eq!(qd.rank_query(5), Some(9));
+    }
+
+    #[test]
+    fn error_bound_uniform() {
+        let bits = 20;
+        let eps = 0.02;
+        let n = 50_000u64;
+        let mut qd = QDigest::with_error(eps, bits);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..(1 << bits))).collect();
+        for &v in &data {
+            qd.insert(v);
+        }
+        qd.compress();
+        data.sort_unstable();
+        let slack = (eps * n as f64).ceil() as i64;
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let r = (phi * n as f64).ceil() as u64;
+            let v = qd.quantile(phi).unwrap();
+            let true_rank = data.partition_point(|&x| x <= v) as i64;
+            assert!(
+                (true_rank - r as i64).abs() <= slack,
+                "phi={phi}: value {v} true rank {true_rank}, target {r}, slack {slack}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_bound_holds() {
+        let bits = 24;
+        let k = 500;
+        let mut qd = QDigest::with_compression(k, bits);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200_000 {
+            qd.insert(rng.gen_range(0..(1u64 << bits)));
+        }
+        qd.compress();
+        assert!(
+            qd.num_nodes() as u64 <= 3 * k,
+            "digest holds {} nodes, bound {}",
+            qd.num_nodes(),
+            3 * k
+        );
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let bits = 16;
+        let mut a = QDigest::with_error(0.02, bits);
+        let mut b = QDigest::with_error(0.02, bits);
+        let mut all = Vec::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20_000 {
+            let v = rng.gen_range(0..1u64 << bits);
+            a.insert(v);
+            all.push(v);
+        }
+        for _ in 0..30_000 {
+            let v = rng.gen_range(0..1u64 << bits);
+            b.insert(v);
+            all.push(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 50_000);
+        all.sort_unstable();
+        // Error after merge stays within ~2x the single-digest bound.
+        let slack = (2.0 * 0.02 * all.len() as f64).ceil() as i64;
+        for phi in [0.1, 0.5, 0.9] {
+            let r = (phi * all.len() as f64).ceil() as u64;
+            let v = a.quantile(phi).unwrap();
+            let true_rank = all.partition_point(|&x| x <= v) as i64;
+            assert!((true_rank - r as i64).abs() <= slack, "phi={phi}");
+        }
+    }
+
+    #[test]
+    fn full_64bit_universe() {
+        let mut qd = QDigest::with_error(0.05, 64);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            qd.insert(rng.gen::<u64>());
+        }
+        qd.compress();
+        let med = qd.quantile(0.5).unwrap();
+        // Uniform u64: median near 2^63, slack generous.
+        let mid = 1u64 << 63;
+        let dist = med.abs_diff(mid);
+        assert!(dist < mid / 4, "median {med} too far from 2^63");
+    }
+
+    #[test]
+    fn rank_bounds_contain_truth() {
+        let bits = 16;
+        let mut qd = QDigest::with_error(0.01, bits);
+        let mut rng = StdRng::seed_from_u64(31);
+        let data: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..1u64 << bits)).collect();
+        for &v in &data {
+            qd.insert(v);
+        }
+        qd.compress();
+        for probe in (0..(1u64 << bits)).step_by(4099) {
+            let truth = data.iter().filter(|&&x| x <= probe).count() as u64;
+            let (lo, hi) = qd.rank_bounds_of(probe);
+            assert!(lo <= truth && truth <= hi, "probe {probe}: {truth} not in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn weighted_inserts() {
+        let mut qd = QDigest::with_compression(1_000_000, 8);
+        qd.insert_weighted(10, 5);
+        qd.insert_weighted(20, 5);
+        assert_eq!(qd.len(), 10);
+        assert_eq!(qd.rank_query(5), Some(10));
+        assert_eq!(qd.rank_query(6), Some(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn key_outside_universe_rejected() {
+        let mut qd = QDigest::with_error(0.1, 8);
+        qd.insert(256);
+    }
+}

@@ -1,0 +1,200 @@
+//! RANDOM: reservoir-sampling quantile estimation.
+//!
+//! Wang et al.'s experimental study (*Quantiles over data streams: an
+//! experimental study*, SIGMOD 2013 — reference \[26\] of the reproduced
+//! paper) proposes RANDOM, a simplified MRL99: maintain a uniform sample
+//! and answer quantile queries from it. The reproduced paper cites it as
+//! the fastest competitive randomized baseline (§1.3); we provide it as an
+//! extension baseline alongside GK and Q-Digest.
+//!
+//! With a reservoir of `s` elements, each quantile is correct within rank
+//! error `O(n·√(log(1/δ)/s))` with probability `1 − δ` — a probabilistic
+//! guarantee, unlike GK's deterministic one, which is exactly why the
+//! paper's design uses GK for its stream summary.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Reservoir-sampling quantile estimator (the RANDOM baseline).
+///
+/// ```
+/// use hsq_sketch::ReservoirQuantiles;
+/// let mut rq = ReservoirQuantiles::with_seed(4096, 42);
+/// for v in 0..100_000u64 {
+///     rq.insert(v);
+/// }
+/// let med = rq.quantile(0.5).unwrap();
+/// assert!((med as i64 - 50_000).abs() < 5_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReservoirQuantiles<T> {
+    capacity: usize,
+    sample: Vec<T>,
+    sorted: bool,
+    n: u64,
+    rng: SmallRng,
+}
+
+impl<T: Copy + Ord> ReservoirQuantiles<T> {
+    /// Reservoir of `capacity` elements with an OS-seeded RNG.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_seed(capacity, rand::random())
+    }
+
+    /// Deterministically seeded reservoir (reproducible experiments).
+    pub fn with_seed(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReservoirQuantiles {
+            capacity,
+            sample: Vec::with_capacity(capacity),
+            sorted: true,
+            n: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Elements observed so far.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff no elements observed.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Current sample size (≤ capacity).
+    pub fn sample_size(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Approximate memory in words.
+    pub fn memory_words(&self) -> usize {
+        self.sample.capacity() + 6
+    }
+
+    /// Observe one element (Vitter's Algorithm R).
+    pub fn insert(&mut self, v: T) {
+        self.n += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(v);
+            self.sorted = false;
+        } else {
+            let j = self.rng.gen_range(0..self.n);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = v;
+                self.sorted = false;
+            }
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.sample.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The sampled element nearest quantile `phi ∈ (0, 1]`.
+    pub fn quantile(&mut self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        if self.sample.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let idx = ((phi * self.sample.len() as f64).ceil() as usize)
+            .clamp(1, self.sample.len())
+            - 1;
+        Some(self.sample[idx])
+    }
+
+    /// The sampled element nearest 1-based rank `r` of the full stream.
+    pub fn rank_query(&mut self, r: u64) -> Option<T> {
+        if self.n == 0 {
+            return None;
+        }
+        let phi = (r.clamp(1, self.n) as f64 / self.n as f64).clamp(f64::MIN_POSITIVE, 1.0);
+        self.quantile(phi)
+    }
+
+    /// Forget everything (keeps capacity and RNG state).
+    pub fn reset(&mut self) {
+        self.sample.clear();
+        self.sorted = true;
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_stream_is_exact() {
+        let mut rq = ReservoirQuantiles::with_seed(100, 1);
+        for v in [3u64, 1, 4, 1, 5] {
+            rq.insert(v);
+        }
+        assert_eq!(rq.quantile(0.2), Some(1));
+        assert_eq!(rq.quantile(1.0), Some(5));
+        assert_eq!(rq.rank_query(3), Some(3));
+    }
+
+    #[test]
+    fn empty() {
+        let mut rq = ReservoirQuantiles::<u64>::with_seed(10, 1);
+        assert!(rq.quantile(0.5).is_none());
+        assert!(rq.rank_query(1).is_none());
+    }
+
+    #[test]
+    fn large_stream_approximates() {
+        let n = 200_000u64;
+        let mut rq = ReservoirQuantiles::with_seed(8192, 7);
+        for v in 0..n {
+            rq.insert(v);
+        }
+        for phi in [0.1, 0.5, 0.9] {
+            let v = rq.quantile(phi).unwrap() as f64;
+            let expect = phi * n as f64;
+            // ~n/sqrt(s) scale error; 8192 sample -> ~1% of n w.h.p.
+            assert!(
+                (v - expect).abs() < 0.05 * n as f64,
+                "phi={phi} got {v}, want ~{expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn reservoir_never_exceeds_capacity() {
+        let mut rq = ReservoirQuantiles::with_seed(64, 3);
+        for v in 0..10_000u64 {
+            rq.insert(v);
+            assert!(rq.sample_size() <= 64);
+        }
+        assert_eq!(rq.len(), 10_000);
+    }
+
+    #[test]
+    fn deterministic_with_same_seed() {
+        let mut a = ReservoirQuantiles::with_seed(32, 99);
+        let mut b = ReservoirQuantiles::with_seed(32, 99);
+        for v in 0..5_000u64 {
+            a.insert(v);
+            b.insert(v);
+        }
+        assert_eq!(a.quantile(0.5), b.quantile(0.5));
+    }
+
+    #[test]
+    fn reset_reuses() {
+        let mut rq = ReservoirQuantiles::with_seed(16, 5);
+        for v in 0..100u64 {
+            rq.insert(v);
+        }
+        rq.reset();
+        assert!(rq.is_empty());
+        rq.insert(7);
+        assert_eq!(rq.quantile(1.0), Some(7));
+    }
+}

@@ -1,0 +1,195 @@
+//! Property-based tests for the quantile sketches: the error guarantees
+//! hold on *arbitrary* inputs, not just the unit tests' fixtures.
+
+use hsq_sketch::{ExactQuantiles, GkSketch, QDigest, ReservoirQuantiles};
+use proptest::prelude::*;
+
+fn exact_rank(data: &[u64], v: u64) -> u64 {
+    data.iter().filter(|&&x| x <= v).count() as u64
+}
+
+/// The rank distance from `r` to the closest rank occupied by `v` in `data`
+/// (0 if `v` covers rank `r`, accounting for duplicates).
+fn rank_distance(data: &[u64], v: u64, r: u64) -> u64 {
+    let hi = exact_rank(data, v);
+    let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
+    if r < lo {
+        lo - r
+    } else { r.saturating_sub(hi) }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GK answers every rank query within eps*n, on arbitrary data.
+    #[test]
+    fn gk_error_bound(
+        data in proptest::collection::vec(any::<u64>(), 1..4000),
+        eps_milli in 5u64..200,
+    ) {
+        let eps = eps_milli as f64 / 1000.0;
+        let mut gk = GkSketch::new(eps);
+        for &v in &data {
+            gk.insert(v);
+        }
+        gk.check_invariants().unwrap();
+        let n = data.len() as u64;
+        let slack = (eps * n as f64).floor() as u64 + 1;
+        for r in [1, n / 4 + 1, n / 2 + 1, (3 * n / 4).max(1), n] {
+            let est = gk.rank_query(r).unwrap();
+            let dist = rank_distance(&data, est.value, r);
+            prop_assert!(
+                dist <= slack,
+                "rank {r}: value {} off by {dist} (allowed {slack}, n={n})",
+                est.value
+            );
+        }
+    }
+
+    /// GK invariant survives interleaved inserts and compresses.
+    #[test]
+    fn gk_invariant_with_explicit_compress(
+        data in proptest::collection::vec(any::<i64>(), 1..2000),
+        compress_every in 1usize..50,
+    ) {
+        let mut gk = GkSketch::new(0.02);
+        for (i, &v) in data.iter().enumerate() {
+            gk.insert(v);
+            if i % compress_every == 0 {
+                gk.compress();
+            }
+            if i % 97 == 0 {
+                gk.check_invariants().unwrap();
+            }
+        }
+        gk.check_invariants().unwrap();
+    }
+
+    /// GK tracked bounds always contain the true rank of the answer.
+    #[test]
+    fn gk_tracked_bounds_sound(
+        data in proptest::collection::vec(0u64..10_000, 1..3000),
+    ) {
+        let mut gk = GkSketch::new(0.01);
+        for &v in &data {
+            gk.insert(v);
+        }
+        let n = data.len() as u64;
+        for r in [1, n / 3 + 1, n] {
+            let est = gk.rank_query(r).unwrap();
+            let lo = data.iter().filter(|&&x| x < est.value).count() as u64 + 1;
+            let hi = exact_rank(&data, est.value);
+            // The tracked interval must intersect the occupied rank range.
+            prop_assert!(
+                est.rmin <= hi && lo <= est.rmax,
+                "tracked [{},{}] vs occupied [{},{}]",
+                est.rmin, est.rmax, lo, hi
+            );
+        }
+    }
+
+    /// QDigest error stays within bits*n/k on arbitrary data.
+    #[test]
+    fn qdigest_error_bound(
+        data in proptest::collection::vec(0u64..(1 << 16), 1..4000),
+        k in 64u64..2048,
+    ) {
+        let bits = 16;
+        let mut qd = QDigest::with_compression(k, bits);
+        for &v in &data {
+            qd.insert(v);
+        }
+        qd.compress();
+        let n = data.len() as u64;
+        let slack = ((bits as f64) * n as f64 / k as f64).ceil() as u64 + 1;
+        for r in [1, n / 2 + 1, n] {
+            let v = qd.rank_query(r).unwrap();
+            let dist = {
+                // q-digest may answer values not in the data; use rank bounds.
+                let hi = exact_rank(&data, v);
+                let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
+                if r < lo { lo - r } else { r.saturating_sub(hi) }
+            };
+            prop_assert!(dist <= slack, "rank {r}: answer {v} off by {dist} > {slack}");
+        }
+    }
+
+    /// QDigest size bound 3k holds after compress, for any data.
+    #[test]
+    fn qdigest_size_bound(
+        data in proptest::collection::vec(0u64..(1 << 20), 1..5000),
+    ) {
+        let k = 100;
+        let mut qd = QDigest::with_compression(k, 20);
+        for &v in &data {
+            qd.insert(v);
+        }
+        qd.compress();
+        let n = data.len() as u64;
+        if n / k >= 1 {
+            prop_assert!(
+                qd.num_nodes() as u64 <= 3 * k,
+                "{} nodes > 3k = {}",
+                qd.num_nodes(),
+                3 * k
+            );
+        }
+    }
+
+    /// QDigest merge: count preserved, error within the merged bound.
+    #[test]
+    fn qdigest_merge_sound(
+        a_data in proptest::collection::vec(0u64..(1 << 14), 1..1500),
+        b_data in proptest::collection::vec(0u64..(1 << 14), 1..1500),
+    ) {
+        let mut a = QDigest::with_error(0.05, 14);
+        let mut b = QDigest::with_error(0.05, 14);
+        for &v in &a_data { a.insert(v); }
+        for &v in &b_data { b.insert(v); }
+        a.merge(&b);
+        prop_assert_eq!(a.len(), (a_data.len() + b_data.len()) as u64);
+        let mut all = a_data;
+        all.extend(b_data);
+        let n = all.len() as u64;
+        let slack = (2.0 * 0.05 * n as f64).ceil() as u64 + 1;
+        let med = a.rank_query(n / 2 + 1).unwrap();
+        let dist = {
+            let hi = exact_rank(&all, med);
+            let lo = all.iter().filter(|&&x| x < med).count() as u64 + 1;
+            let r = n / 2 + 1;
+            if r < lo { lo - r } else { r.saturating_sub(hi) }
+        };
+        prop_assert!(dist <= slack, "merged median off by {dist} > {slack}");
+    }
+
+    /// Exact oracle agrees with a straightforward sort-based computation.
+    #[test]
+    fn exact_oracle_is_exact(
+        data in proptest::collection::vec(any::<u64>(), 1..1000),
+        phi_milli in 1u64..=1000,
+    ) {
+        let phi = phi_milli as f64 / 1000.0;
+        let mut ex = ExactQuantiles::from_data(data.clone());
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let r = ((phi * data.len() as f64).ceil() as usize).clamp(1, data.len());
+        prop_assert_eq!(ex.quantile(phi), Some(sorted[r - 1]));
+        prop_assert_eq!(ex.rank_of(sorted[r - 1]), exact_rank(&data, sorted[r - 1]));
+    }
+
+    /// Reservoir sample is always a sub-multiset of the data.
+    #[test]
+    fn reservoir_is_submultiset(
+        data in proptest::collection::vec(any::<u64>(), 1..2000),
+        cap in 1usize..128,
+        seed in any::<u64>(),
+    ) {
+        let mut rq = ReservoirQuantiles::with_seed(cap, seed);
+        for &v in &data {
+            rq.insert(v);
+        }
+        let q = rq.quantile(0.5).unwrap();
+        prop_assert!(data.contains(&q), "sampled value {q} not in data");
+        prop_assert!(rq.sample_size() <= cap.min(data.len()));
+    }
+}

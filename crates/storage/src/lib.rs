@@ -1,0 +1,36 @@
+//! # hsq-storage — block-device substrate with exact I/O accounting
+//!
+//! The disk model underneath the `hsq` warehouse, reproducing the storage
+//! assumptions of *"Estimating quantiles from the union of historical and
+//! streaming data"* (VLDB 2016): a disk of fixed-size blocks (§3.1 uses
+//! `B = 100 KB`), algorithms measured in block accesses, sequential I/O for
+//! batch loads and merges, random I/O for query-time probes.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`Item`] — fixed-width order-preserving encoding of values ([`encode`]);
+//! * [`BlockDevice`] — block files + [`IoStats`] accounting, with in-memory
+//!   ([`MemDevice`]) and on-filesystem ([`FileDevice`]) backends ([`device`]);
+//! * [`SortedRun`] — the immutable sorted partition file format ([`run`]);
+//! * [`merge_runs`] / [`external_sort`] — the sequential-I/O bulk operations
+//!   the warehouse update path is built from ([`merge`], [`sort`]);
+//! * [`BlockCache`] — decoded-block cache implementing the paper's
+//!   single-block query optimization ([`cache`]).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod device;
+pub mod encode;
+pub mod merge;
+pub mod run;
+pub mod sort;
+pub mod stats;
+
+pub use cache::BlockCache;
+pub use device::{BlockDevice, FileDevice, FileId, MemDevice};
+pub use encode::{Item, F64};
+pub use merge::{merge_into, merge_runs};
+pub use run::{items_per_block, write_run, RunReader, RunWriter, SortedRun};
+pub use sort::{external_sort, SortOutcome};
+pub use stats::{IoSnapshot, IoStats};

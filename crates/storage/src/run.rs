@@ -1,0 +1,425 @@
+//! Sorted runs: the on-disk representation of a data partition.
+//!
+//! Each partition of the warehouse's `HD` structure (paper §2.1) is one
+//! *sorted run*: a file of fixed-width encoded items in nondecreasing order.
+//! Items never straddle blocks — each block holds
+//! `block_size / ENCODED_LEN` items — so a rank (item index) maps to a block
+//! index with one division, which is what makes the query algorithm's
+//! rank-addressed probes single-block reads.
+
+use std::io;
+use std::marker::PhantomData;
+
+use crate::device::{BlockDevice, FileId};
+use crate::encode::Item;
+
+/// Items stored per block for item type `T` on a device with `block_size`.
+#[inline]
+pub fn items_per_block<T: Item>(block_size: usize) -> usize {
+    assert!(
+        block_size >= T::ENCODED_LEN,
+        "block size {} smaller than encoded item ({} bytes)",
+        block_size,
+        T::ENCODED_LEN
+    );
+    block_size / T::ENCODED_LEN
+}
+
+/// A handle to an immutable sorted file of `T` on some [`BlockDevice`].
+///
+/// The handle carries the item count and min/max, so header blocks are not
+/// needed; creation goes through [`RunWriter`], which enforces sortedness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedRun<T: Item> {
+    file: FileId,
+    len: u64,
+    min: T,
+    max: T,
+}
+
+impl<T: Item> SortedRun<T> {
+    /// The underlying file id.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of items in the run.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True iff the run holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Smallest item (meaningless if empty).
+    pub fn min(&self) -> T {
+        self.min
+    }
+
+    /// Largest item (meaningless if empty).
+    pub fn max(&self) -> T {
+        self.max
+    }
+
+    /// Block index holding item `idx`.
+    #[inline]
+    pub fn block_of(&self, idx: u64, block_size: usize) -> u64 {
+        idx / items_per_block::<T>(block_size) as u64
+    }
+
+    /// Read the single item at index `idx` (0-based, sorted order).
+    ///
+    /// Costs one block read on `dev` unless served from `cache`.
+    pub fn get<D: BlockDevice>(&self, dev: &D, idx: u64) -> io::Result<T> {
+        assert!(idx < self.len, "item index {idx} out of range {}", self.len);
+        let per = items_per_block::<T>(dev.block_size()) as u64;
+        let block_idx = idx / per;
+        let within = (idx % per) as usize;
+        let mut buf = vec![0u8; dev.block_size()];
+        let got = dev.read_block(self.file, block_idx, &mut buf)?;
+        debug_assert!((within + 1) * T::ENCODED_LEN <= got);
+        Ok(T::decode(&buf[within * T::ENCODED_LEN..]))
+    }
+
+    /// Read and decode all items of block `block_idx`.
+    pub fn read_block_items<D: BlockDevice>(&self, dev: &D, block_idx: u64) -> io::Result<Vec<T>> {
+        let per = items_per_block::<T>(dev.block_size()) as u64;
+        let start = block_idx * per;
+        assert!(start < self.len, "block index {block_idx} out of range");
+        let count = per.min(self.len - start) as usize;
+        let mut buf = vec![0u8; dev.block_size()];
+        let got = dev.read_block(self.file, block_idx, &mut buf)?;
+        debug_assert!(count * T::ENCODED_LEN <= got);
+        Ok((0..count)
+            .map(|i| T::decode(&buf[i * T::ENCODED_LEN..]))
+            .collect())
+    }
+
+    /// Stream the run in sorted order (sequential block reads).
+    pub fn iter<'d, D: BlockDevice>(&self, dev: &'d D) -> RunReader<'d, T, D> {
+        RunReader {
+            dev,
+            file: self.file,
+            len: self.len,
+            next_idx: 0,
+            buf: Vec::new(),
+            buf_pos: 0,
+            block: 0,
+            _t: PhantomData,
+        }
+    }
+
+    /// Read every item into memory (test/debug helper; O(len) memory).
+    pub fn read_all<D: BlockDevice>(&self, dev: &D) -> io::Result<Vec<T>> {
+        self.iter(dev).collect()
+    }
+
+    /// `rank(v, run)` = number of items `<= v`, via binary search over
+    /// blocks. Costs `O(log(len/items_per_block))` random block reads.
+    ///
+    /// This is the unbounded variant; the query engine narrows the range
+    /// with summary information first (paper Algorithm 8 lines 5–6) and
+    /// uses its own block cache.
+    pub fn rank_of<D: BlockDevice>(&self, dev: &D, v: T) -> io::Result<u64> {
+        // Invariant: items at indices < lo are <= v; items at >= hi are > v.
+        let (mut lo, mut hi) = (0u64, self.len);
+        if self.is_empty() || v < self.min {
+            return Ok(0);
+        }
+        if v >= self.max {
+            return Ok(self.len);
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let item = self.get(dev, mid)?;
+            if item <= v {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+
+    /// Delete the backing file.
+    pub fn delete<D: BlockDevice>(self, dev: &D) -> io::Result<()> {
+        dev.delete(self.file)
+    }
+
+    /// Reconstruct a handle from raw parts (used by warehouse recovery and
+    /// tests). The caller asserts the file holds `len` sorted items with
+    /// the given extrema.
+    pub fn from_raw_parts(file: FileId, len: u64, min: T, max: T) -> Self {
+        SortedRun {
+            file,
+            len,
+            min,
+            max,
+        }
+    }
+}
+
+/// Buffered writer that produces a [`SortedRun`].
+///
+/// Enforces nondecreasing order on `push`; flushes whole blocks.
+pub struct RunWriter<'d, T: Item, D: BlockDevice> {
+    dev: &'d D,
+    file: FileId,
+    buf: Vec<u8>,
+    next_block: u64,
+    len: u64,
+    min: Option<T>,
+    last: Option<T>,
+}
+
+impl<'d, T: Item, D: BlockDevice> RunWriter<'d, T, D> {
+    /// Open a new run on `dev`.
+    pub fn new(dev: &'d D) -> io::Result<Self> {
+        let _ = items_per_block::<T>(dev.block_size()); // validate geometry
+        Ok(RunWriter {
+            dev,
+            file: dev.create()?,
+            buf: Vec::with_capacity(dev.block_size()),
+            next_block: 0,
+            len: 0,
+            min: None,
+            last: None,
+        })
+    }
+
+    /// Append `v`; must be `>=` every previously pushed item.
+    pub fn push(&mut self, v: T) -> io::Result<()> {
+        if let Some(last) = self.last {
+            assert!(v >= last, "RunWriter items must be nondecreasing");
+        }
+        self.min.get_or_insert(v);
+        self.last = Some(v);
+        let old = self.buf.len();
+        self.buf.resize(old + T::ENCODED_LEN, 0);
+        v.encode(&mut self.buf[old..]);
+        self.len += 1;
+        // Flush when the block is full *of items* (padding-free geometry:
+        // items_per_block * ENCODED_LEN <= block_size).
+        let cap = items_per_block::<T>(self.dev.block_size()) * T::ENCODED_LEN;
+        if self.buf.len() >= cap {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        self.dev.write_block(self.file, self.next_block, &self.buf)?;
+        self.next_block += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush and return the completed run handle.
+    pub fn finish(mut self) -> io::Result<SortedRun<T>> {
+        self.flush_block()?;
+        Ok(SortedRun {
+            file: self.file,
+            len: self.len,
+            min: self.min.unwrap_or(T::MIN),
+            max: self.last.unwrap_or(T::MIN),
+        })
+    }
+
+    /// Items pushed so far.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Sequential iterator over a [`SortedRun`] (one block read per block).
+pub struct RunReader<'d, T: Item, D: BlockDevice> {
+    dev: &'d D,
+    file: FileId,
+    len: u64,
+    next_idx: u64,
+    buf: Vec<T>,
+    buf_pos: usize,
+    block: u64,
+    _t: PhantomData<T>,
+}
+
+impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
+    fn refill(&mut self) -> io::Result<()> {
+        let per = items_per_block::<T>(self.dev.block_size()) as u64;
+        let remaining = (self.len - self.next_idx).min(per) as usize;
+        let mut raw = vec![0u8; self.dev.block_size()];
+        let got = self.dev.read_block(self.file, self.block, &mut raw)?;
+        debug_assert!(remaining * T::ENCODED_LEN <= got);
+        self.buf.clear();
+        self.buf
+            .extend((0..remaining).map(|i| T::decode(&raw[i * T::ENCODED_LEN..])));
+        self.buf_pos = 0;
+        self.block += 1;
+        Ok(())
+    }
+
+    /// Items remaining to be yielded.
+    pub fn remaining(&self) -> u64 {
+        self.len - self.next_idx
+    }
+}
+
+impl<T: Item, D: BlockDevice> Iterator for RunReader<'_, T, D> {
+    type Item = io::Result<T>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_idx >= self.len {
+            return None;
+        }
+        if self.buf_pos >= self.buf.len() {
+            if let Err(e) = self.refill() {
+                self.next_idx = self.len; // poison
+                return Some(Err(e));
+            }
+        }
+        let v = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        self.next_idx += 1;
+        Some(Ok(v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.remaining() as usize;
+        (rem, Some(rem))
+    }
+}
+
+/// Collector for `Iterator<Item = io::Result<T>>` into `Vec<T>`.
+impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
+    /// Collect remaining items, failing on the first I/O error.
+    pub fn collect(self) -> io::Result<Vec<T>>
+    where
+        Self: Sized,
+    {
+        let mut out = Vec::with_capacity(self.remaining() as usize);
+        for item in self {
+            out.push(item?);
+        }
+        Ok(out)
+    }
+}
+
+/// Write a sorted slice as a run (helper for tests and batch loading).
+pub fn write_run<T: Item, D: BlockDevice>(dev: &D, sorted: &[T]) -> io::Result<SortedRun<T>> {
+    let mut w = RunWriter::new(dev)?;
+    for &v in sorted {
+        w.push(v)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dev = MemDevice::new(64); // 8 u64s per block
+        let data: Vec<u64> = (0..1000).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        assert_eq!(run.len(), 1000);
+        assert_eq!(run.min(), 0);
+        assert_eq!(run.max(), 999);
+        assert_eq!(run.read_all(&*dev).unwrap(), data);
+    }
+
+    #[test]
+    fn random_access_get() {
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..500).map(|i| i * 3).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        for idx in [0u64, 1, 7, 8, 63, 64, 499] {
+            assert_eq!(run.get(&*dev, idx).unwrap(), idx * 3);
+        }
+    }
+
+    #[test]
+    fn read_block_items_partial_tail() {
+        let dev = MemDevice::new(64); // 8 per block
+        let data: Vec<u64> = (0..19).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        assert_eq!(run.read_block_items(&*dev, 0).unwrap(), (0..8).collect::<Vec<_>>());
+        assert_eq!(
+            run.read_block_items(&*dev, 2).unwrap(),
+            (16..19).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rank_of_matches_partition_point() {
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = vec![2, 2, 5, 5, 5, 9, 12, 12, 40];
+        let run = write_run(&*dev, &data).unwrap();
+        for probe in [0u64, 1, 2, 3, 5, 6, 9, 11, 12, 13, 40, 41, 1000] {
+            let expect = data.iter().filter(|&&x| x <= probe).count() as u64;
+            assert_eq!(run.rank_of(&*dev, probe).unwrap(), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn empty_run() {
+        let dev = MemDevice::new(64);
+        let run = write_run::<u64, _>(&*dev, &[]).unwrap();
+        assert!(run.is_empty());
+        assert_eq!(run.rank_of(&*dev, 5).unwrap(), 0);
+        assert_eq!(run.read_all(&*dev).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing")]
+    fn unsorted_push_rejected() {
+        let dev = MemDevice::new(64);
+        let mut w = RunWriter::<u64, _>::new(&*dev).unwrap();
+        w.push(5).unwrap();
+        w.push(3).unwrap();
+    }
+
+    #[test]
+    fn sequential_scan_costs_one_read_per_block() {
+        let dev = MemDevice::new(64); // 8 u64 per block
+        let data: Vec<u64> = (0..80).collect(); // 10 blocks
+        let run = write_run(&*dev, &data).unwrap();
+        let before = dev.stats().snapshot();
+        let _ = run.read_all(&*dev).unwrap();
+        let d = dev.stats().snapshot() - before;
+        assert_eq!(d.total_reads(), 10);
+        assert_eq!(d.seq_reads, 10);
+    }
+
+    #[test]
+    fn items_never_straddle_blocks_with_odd_block_size() {
+        // 100-byte blocks hold 12 u64s (96 bytes) + 4 bytes padding.
+        let dev = MemDevice::new(100);
+        let data: Vec<u64> = (0..100).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        assert_eq!(run.read_all(&*dev).unwrap(), data);
+        assert_eq!(run.get(&*dev, 12).unwrap(), 12); // first item of block 1
+        assert_eq!(run.block_of(11, 100), 0);
+        assert_eq!(run.block_of(12, 100), 1);
+    }
+
+    #[test]
+    fn signed_items_roundtrip() {
+        let dev = MemDevice::new(64);
+        let data: Vec<i64> = (-50..50).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        assert_eq!(run.read_all(&*dev).unwrap(), data);
+        assert_eq!(run.rank_of(&*dev, -1).unwrap(), 50);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the storage substrate.
+
+use hsq_storage::{external_sort, merge_runs, write_run, Item, MemDevice, F64};
+use proptest::prelude::*;
+
+proptest! {
+    /// External sort equals std sort for any input and any (tiny) budget.
+    #[test]
+    fn external_sort_matches_std_sort(
+        mut data in proptest::collection::vec(any::<u64>(), 0..2000),
+        budget in 2usize..128,
+        block in 16usize..512,
+    ) {
+        let dev = MemDevice::new(block.max(8));
+        let (run, _) = external_sort(&*dev, data.clone(), budget).unwrap();
+        data.sort_unstable();
+        prop_assert_eq!(run.read_all(&*dev).unwrap(), data);
+    }
+
+    /// Multi-way merge of arbitrary sorted runs is the sorted multiset union.
+    #[test]
+    fn merge_is_multiset_union(
+        runs_data in proptest::collection::vec(
+            proptest::collection::vec(any::<i64>(), 0..300), 0..6),
+    ) {
+        let dev = MemDevice::new(64);
+        let mut expected: Vec<i64> = runs_data.iter().flatten().copied().collect();
+        expected.sort_unstable();
+        let runs: Vec<_> = runs_data
+            .into_iter()
+            .map(|mut d| {
+                d.sort_unstable();
+                write_run(&*dev, &d).unwrap()
+            })
+            .collect();
+        let merged = merge_runs(&*dev, &runs).unwrap();
+        prop_assert_eq!(merged.read_all(&*dev).unwrap(), expected);
+    }
+
+    /// rank_of on a run equals the number of items <= probe.
+    #[test]
+    fn rank_of_is_exact(
+        mut data in proptest::collection::vec(any::<u64>(), 0..500),
+        probes in proptest::collection::vec(any::<u64>(), 1..20),
+    ) {
+        let dev = MemDevice::new(64);
+        data.sort_unstable();
+        let run = write_run(&*dev, &data).unwrap();
+        for probe in probes {
+            let expect = data.iter().filter(|&&x| x <= probe).count() as u64;
+            prop_assert_eq!(run.rank_of(&*dev, probe).unwrap(), expect);
+        }
+    }
+
+    /// get(i) returns the i-th smallest item for every index.
+    #[test]
+    fn get_is_positional(
+        mut data in proptest::collection::vec(any::<i64>(), 1..300),
+        block in 16usize..200,
+    ) {
+        let dev = MemDevice::new(block.max(8));
+        data.sort_unstable();
+        let run = write_run(&*dev, &data).unwrap();
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(run.get(&*dev, i as u64).unwrap(), v);
+        }
+    }
+
+    /// Encoding preserves order for f64 (excluding NaN).
+    #[test]
+    fn f64_encoding_order(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let (fa, fb) = (F64::new(a), F64::new(b));
+        let mut ba = [0u8; 8];
+        let mut bb = [0u8; 8];
+        fa.encode(&mut ba);
+        fb.encode(&mut bb);
+        if a < b {
+            prop_assert!(ba < bb);
+        } else if a > b {
+            prop_assert!(ba > bb);
+        }
+        prop_assert_eq!(F64::decode(&ba).get().to_bits(), a.to_bits());
+    }
+
+    /// Integer midpoints stay in range and make progress.
+    #[test]
+    fn midpoint_contract_i64(a in any::<i64>(), b in any::<i64>()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let m = <i64 as Item>::midpoint(lo, hi);
+        prop_assert!(lo <= m && m <= hi);
+        // Strict progress whenever the gap exceeds 1 (bisection terminates).
+        if (hi as i128) - (lo as i128) > 1 {
+            prop_assert!(m > lo && m < hi);
+        }
+    }
+}

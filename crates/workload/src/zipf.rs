@@ -1,0 +1,85 @@
+//! Zipf-distributed sampling via inverse-CDF table lookup.
+//!
+//! Used by the network-trace generator: host popularity in real traffic is
+//! famously Zipfian, so the substitute trace draws hosts from
+//! `P(rank = i) ∝ 1 / i^α`.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `0..n`, sampled in `O(log n)` by
+/// binary search over the precomputed CDF.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Distribution over `n ≥ 1` ranks with exponent `alpha > 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n >= 1, "need at least one rank");
+        assert!(alpha > 0.0, "alpha must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True iff the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // n >= 1 by construction
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // Rank 0 should capture a noticeable share under alpha=1.1.
+        assert!(counts[0] > 100_000 / 20, "head count {}", counts[0]);
+    }
+
+    #[test]
+    fn all_ranks_in_range() {
+        let z = Zipf::new(10, 2.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(10);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

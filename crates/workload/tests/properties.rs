@@ -1,0 +1,75 @@
+//! Property-based tests for the workload generators.
+
+use hsq_workload::{DataGen, Dataset, NormalGen, TimeStepDriver, UniformGen, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any seed yields a deterministic, reproducible sequence.
+    #[test]
+    fn any_seed_is_deterministic(seed in any::<u64>()) {
+        for ds in Dataset::ALL {
+            let a = ds.generator(seed).take_vec(200);
+            let b = ds.generator(seed).take_vec(200);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Uniform generator respects arbitrary ranges.
+    #[test]
+    fn uniform_respects_range(seed in any::<u64>(), lo in 0u64..1_000_000, span in 1u64..1_000_000) {
+        let hi = lo + span;
+        let mut g = UniformGen::with_range(seed, lo, hi);
+        for _ in 0..500 {
+            let v = g.next_value();
+            prop_assert!((lo..hi).contains(&v));
+        }
+    }
+
+    /// Normal generator tracks its configured mean for any parameters.
+    #[test]
+    fn normal_tracks_mean(seed in any::<u64>(), mean in 1_000.0f64..1e7, std_frac in 0.01f64..0.2) {
+        let std = mean * std_frac;
+        let mut g = NormalGen::with_params(seed, mean, std);
+        let n = 5_000;
+        let sum: f64 = (0..n).map(|_| g.next_value() as f64).sum();
+        let sample_mean = sum / n as f64;
+        // 5000 samples: mean within ~5 standard errors.
+        let tolerance = 5.0 * std / (n as f64).sqrt() + 1.0;
+        prop_assert!(
+            (sample_mean - mean).abs() < tolerance,
+            "sample mean {sample_mean} vs {mean} (tol {tolerance})"
+        );
+    }
+
+    /// Zipf samples are in range and rank-0 dominates for alpha > 1.
+    #[test]
+    fn zipf_in_range(n in 2usize..5_000, alpha_deci in 11u32..30, seed in any::<u64>()) {
+        let z = Zipf::new(n, alpha_deci as f64 / 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut head = 0;
+        let draws = 2_000;
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            prop_assert!(r < n);
+            if r == 0 {
+                head += 1;
+            }
+        }
+        // alpha >= 1.1 over n >= 2 ranks: rank 0 gets a clear plurality.
+        prop_assert!(head * n >= draws, "head {head}/{draws} too small for n={n}");
+    }
+
+    /// The driver partitions the generator stream without gaps or overlap.
+    #[test]
+    fn driver_equals_flat_generation(steps in 1usize..10, step_size in 1usize..200, seed in any::<u64>()) {
+        let flat = Dataset::Normal.generator(seed).take_vec(steps * step_size);
+        let chunked: Vec<u64> = TimeStepDriver::new(Dataset::Normal, seed, step_size, steps)
+            .flatten()
+            .collect();
+        prop_assert_eq!(flat, chunked);
+    }
+}

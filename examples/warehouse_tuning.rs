@@ -1,0 +1,78 @@
+//! Tuning the merge threshold κ: the update-cost / query-cost /
+//! window-granularity trade-off of the paper's §2.1 and Figures 7, 10
+//! and 11.
+//!
+//! For each κ the example ingests the same 60 time steps and reports:
+//! * amortized update I/O per step (drops as κ grows: fewer merges);
+//! * query I/O (grows with κ: more partitions to probe);
+//! * the window sizes available for time-restricted queries (richer for
+//!   larger κ).
+//!
+//! This is the three-way trade-off the paper's conclusion highlights, on
+//! your own machine.
+//!
+//! Run with: `cargo run --release --example warehouse_tuning`
+
+use hsq::core::{HistStreamQuantiles, HsqConfig};
+use hsq::storage::MemDevice;
+use hsq::workload::{Dataset, TimeStepDriver};
+
+fn main() {
+    const STEPS: usize = 60;
+    const STEP_SIZE: usize = 5_000;
+
+    println!("kappa | avg update I/O | query I/O | levels | partitions | windows available");
+    println!("------+----------------+-----------+--------+------------+------------------");
+    for kappa in [2usize, 3, 5, 7, 10, 15, 30] {
+        let config = HsqConfig::builder()
+            .epsilon(0.01)
+            .merge_threshold(kappa)
+            .build();
+        let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+
+        let mut update_io = 0u64;
+        for batch in TimeStepDriver::new(Dataset::Normal, 1, STEP_SIZE, STEPS) {
+            let rep = hsq.ingest_step(&batch).unwrap();
+            update_io += rep.total_accesses();
+        }
+        // A live stream so queries exercise the full union path.
+        for v in TimeStepDriver::new(Dataset::Normal, 2, STEP_SIZE, 1)
+            .next()
+            .unwrap()
+        {
+            hsq.stream_update(v);
+        }
+
+        let mut query_io = 0u64;
+        for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+            let out = hsq
+                .rank_query((phi * hsq.total_len() as f64).ceil() as u64)
+                .unwrap()
+                .unwrap();
+            query_io += out.io.total_reads();
+        }
+        let windows = hsq.available_windows();
+        let windows_str = if windows.len() > 6 {
+            format!(
+                "{:?}.. ({} sizes)",
+                &windows[..6],
+                windows.len()
+            )
+        } else {
+            format!("{windows:?}")
+        };
+        println!(
+            "{kappa:>5} | {:>14} | {:>9} | {:>6} | {:>10} | {windows_str}",
+            update_io / STEPS as u64,
+            query_io / 5,
+            hsq.warehouse().num_levels(),
+            hsq.warehouse().num_partitions(),
+        );
+    }
+    println!(
+        "\nReading the table: larger kappa postpones merges (cheaper updates),\n\
+         spreads data over more partitions (costlier queries), and leaves more\n\
+         partition boundaries intact (finer-grained window queries) — the\n\
+         trade-off of the paper's Figures 7, 10 and 11."
+    );
+}

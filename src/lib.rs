@@ -1,0 +1,45 @@
+//! # hsq — quantiles over the union of historical and streaming data
+//!
+//! Umbrella crate re-exporting the `hsq-*` workspace members. This is the
+//! crate downstream users depend on; the individual crates can also be used
+//! à la carte.
+//!
+//! A faithful, production-quality Rust reproduction of:
+//!
+//! > Sneha Aman Singh, Divesh Srivastava, Srikanta Tirthapura.
+//! > *Estimating quantiles from the union of historical and streaming data.*
+//! > PVLDB 10(4): 433–444, 2016.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles};
+//! use hsq::storage::MemDevice;
+//!
+//! // epsilon = 0.01: quantile queries answered within 0.01 * |stream| rank error.
+//! let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//!
+//! // Day 1..3: stream arrives element by element, then gets archived.
+//! for day in 0..3u64 {
+//!     for i in 0..10_000u64 {
+//!         hsq.stream_update(day * 10_000 + i);
+//!     }
+//!     hsq.end_time_step().unwrap();
+//! }
+//! // Day 4 is still streaming:
+//! for i in 30_000..40_000u64 {
+//!     hsq.stream_update(i);
+//! }
+//!
+//! let median = hsq.quantile(0.5).unwrap().expect("data is non-empty");
+//! assert!((median as i64 - 20_000).unsigned_abs() < 200);
+//! ```
+pub use hsq_core as core;
+pub use hsq_sketch as sketch;
+pub use hsq_storage as storage;
+pub use hsq_workload as workload;
+
+pub use hsq_core::{HistStreamQuantiles, HsqConfig};
+pub use hsq_sketch::{GkSketch, QDigest};
+pub use hsq_storage::{FileDevice, MemDevice};
