@@ -1,0 +1,129 @@
+//! Scalar vs. batched ingestion: the throughput win of the batched
+//! pipeline (GK `insert_batch`, engine `stream_extend` + sorted-segment
+//! archival) over the per-element paths.
+//!
+//! Acceptance target: `gk_insert/batch/4096` sustains at least 3× the
+//! throughput of `gk_insert/scalar` on a uniform u64 stream.
+
+use criterion::{
+    black_box, criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput,
+};
+use hsq_core::{HistStreamQuantiles, HsqConfig};
+use hsq_sketch::GkSketch;
+use hsq_storage::MemDevice;
+use hsq_workload::Dataset;
+
+const N: usize = 1 << 19; // elements per measured iteration
+const EPS: f64 = 0.01;
+
+fn gk_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gk_insert");
+    group.throughput(Throughput::Elements(N as u64));
+    let data: Vec<u64> = Dataset::Uniform.generator(42).take_vec(N);
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut gk = GkSketch::new(EPS);
+            for &v in &data {
+                gk.insert(black_box(v));
+            }
+            black_box(gk.num_tuples())
+        })
+    });
+    for batch in [64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter_batched(
+                || data.clone(),
+                |mut data| {
+                    let mut gk = GkSketch::new(EPS);
+                    for chunk in data.chunks_mut(batch) {
+                        gk.insert_batch(chunk);
+                    }
+                    black_box(gk.num_tuples())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn stream_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_stream_update");
+    group.throughput(Throughput::Elements(N as u64));
+    let data: Vec<u64> = Dataset::Uniform.generator(7).take_vec(N);
+    let engine = || {
+        let cfg = HsqConfig::builder()
+            .epsilon(EPS)
+            .merge_threshold(10)
+            .build();
+        HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), cfg)
+    };
+
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut h = engine();
+            for &v in &data {
+                h.stream_update(black_box(v));
+            }
+            black_box(h.stream_len())
+        })
+    });
+    for batch in [512usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::new("stream_extend", batch),
+            &batch,
+            |b, &batch| {
+                b.iter(|| {
+                    let mut h = engine();
+                    for chunk in data.chunks(batch) {
+                        h.stream_extend(black_box(chunk));
+                    }
+                    black_box(h.stream_len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn end_time_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_step");
+    let step = 50_000usize;
+    group.throughput(Throughput::Elements(step as u64));
+    let data: Vec<u64> = Dataset::Normal.generator(3).take_vec(step);
+    let engine = || {
+        let cfg = HsqConfig::builder()
+            .epsilon(EPS)
+            .merge_threshold(10)
+            .build();
+        HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), cfg)
+    };
+
+    group.bench_function("scalar_then_archive", |b| {
+        b.iter(|| {
+            let mut h = engine();
+            for &v in &data {
+                h.stream_update(v);
+            }
+            black_box(h.end_time_step().unwrap().total_accesses())
+        })
+    });
+    group.bench_function("batched_then_archive", |b| {
+        b.iter(|| {
+            let mut h = engine();
+            for chunk in data.chunks(4096) {
+                h.stream_extend(chunk);
+            }
+            black_box(h.end_time_step().unwrap().total_accesses())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = gk_insert, stream_update, end_time_step
+}
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use hsq_bench::*;
-use hsq_core::baseline::{StreamingAlgo, Strawman};
+use hsq_core::baseline::{Strawman, StreamingAlgo};
 use hsq_core::HsqConfig;
 use hsq_sketch::ExactQuantiles;
 use hsq_storage::MemDevice;
@@ -25,7 +25,10 @@ fn main() {
     figure_header(
         "Ablation: leveled structure vs strawman vs pure streaming",
         "the design-space positioning of paper section 2",
-        &format!("{} steps x {} items, eps = {eps}", scale.steps, scale.step_items),
+        &format!(
+            "{} steps x {} items, eps = {eps}",
+            scale.steps, scale.step_items
+        ),
     );
 
     let dataset = Dataset::Normal;
@@ -43,7 +46,10 @@ fn main() {
     );
 
     // Strawman with identical parameters and data.
-    let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(kappa).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(eps)
+        .merge_threshold(kappa)
+        .build();
     let dev = MemDevice::new(scale.block_size);
     let mut straw = Strawman::<u64, _>::new(Arc::clone(&dev), cfg);
     let mut straw_io = 0u64;
@@ -60,7 +66,8 @@ fn main() {
 
     // Pure streaming GK at the memory our engine actually used.
     let budget_bytes = ours.memory_words() * 8;
-    let (gk_err, _, _) = run_pure_streaming(StreamingAlgo::Gk, dataset, budget_bytes, kappa, 41, &scale);
+    let (gk_err, _, _) =
+        run_pure_streaming(StreamingAlgo::Gk, dataset, budget_bytes, kappa, 41, &scale);
 
     let ours_io: u64 = ours_stats.per_step_accesses.iter().sum();
     let mut ours_scenario = Scenario {
@@ -87,8 +94,14 @@ fn main() {
         "approach", "total update I/O", "median rel err"
     );
     println!("{}", "-".repeat(52));
-    println!("{:>16} | {:>16} | {:>13.3e}", "ours (leveled)", ours_io, ours_err);
-    println!("{:>16} | {:>16} | {:>13.3e}", "strawman", straw_io, straw_err);
+    println!(
+        "{:>16} | {:>16} | {:>13.3e}",
+        "ours (leveled)", ours_io, ours_err
+    );
+    println!(
+        "{:>16} | {:>16} | {:>13.3e}",
+        "strawman", straw_io, straw_err
+    );
     println!(
         "{:>16} | {:>16} | {:>13.3e}",
         "pure GK",

@@ -42,13 +42,20 @@ fn main() {
                 last = acc;
                 // Highest index with this value:
                 let upto = sorted.iter().filter(|&&x| x <= acc).count();
-                println!("  {:>10} accesses -> {:>6.1} %", acc, 100.0 * upto as f64 / total);
+                println!(
+                    "  {:>10} accesses -> {:>6.1} %",
+                    acc,
+                    100.0 * upto as f64 / total
+                );
             }
             let _ = i;
         }
         let max = *sorted.last().unwrap();
         let p50 = sorted[sorted.len() / 2];
-        println!("  median {p50}, max {max} (max/median = {:.1}x)", max as f64 / p50 as f64);
+        println!(
+            "  median {p50}, max {max} (max/median = {:.1}x)",
+            max as f64 / p50 as f64
+        );
         println!("csv,fig08,kappa{kappa},accesses,cum_pct");
     }
     println!(

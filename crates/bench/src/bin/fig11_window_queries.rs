@@ -32,7 +32,10 @@ fn main() {
             false,
         );
         let windows = engine.available_windows();
-        println!("\nkappa = {kappa}: {} attainable window sizes: {windows:?}", windows.len());
+        println!(
+            "\nkappa = {kappa}: {} attainable window sizes: {windows:?}",
+            windows.len()
+        );
         println!(
             "{:>8} | {:>12} | {:>12} | {:>14}",
             "window", "query us", "disk reads", "window items"

@@ -5,10 +5,47 @@
 //! of a few hundred disk accesses" (§1.2).
 //!
 //! Run: `cargo run --release -p hsq-bench --bin headline`
+//!
+//! Besides the console report, writes `BENCH_headline.json` (override the
+//! path with `HSQ_BENCH_JSON`) with the headline metrics plus scalar vs.
+//! batched ingestion throughput, so the perf trajectory is tracked across
+//! PRs.
+
+use std::io::Write as _;
+use std::time::Instant;
 
 use hsq_bench::*;
 use hsq_core::baseline::StreamingAlgo;
+use hsq_core::{HistStreamQuantiles, HsqConfig};
+use hsq_storage::MemDevice;
 use hsq_workload::Dataset;
+
+/// Elements/second of the scalar and batched stream-ingest paths on a
+/// uniform u64 stream (the batched pipeline's headline speedup).
+fn ingest_throughput() -> (f64, f64) {
+    let n = 1 << 19;
+    let data: Vec<u64> = Dataset::Uniform.generator(77).take_vec(n);
+    let engine = || {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.01)
+            .merge_threshold(10)
+            .build();
+        HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), cfg)
+    };
+    let mut h = engine();
+    let t = Instant::now();
+    for &v in &data {
+        h.stream_update(v);
+    }
+    let scalar = n as f64 / t.elapsed().as_secs_f64();
+    let mut h = engine();
+    let t = Instant::now();
+    for chunk in data.chunks(4096) {
+        h.stream_extend(chunk);
+    }
+    let batched = n as f64 / t.elapsed().as_secs_f64();
+    (scalar, batched)
+}
 
 fn main() {
     // Full paper ratio: T = 100 archived steps + one live step.
@@ -34,10 +71,11 @@ fn main() {
         ),
     );
 
+    let mut records = Vec::new();
     for dataset in [Dataset::Normal, Dataset::NetTrace] {
         let mut s = build_scenario(dataset, budget, kappa, 2024, &scale);
         let ours = accurate_relative_error(&mut s);
-        let (_, reads) = query_cost(&s);
+        let (query_secs, reads) = query_cost(&s);
         let (gk, _, gk_words) =
             run_pure_streaming(StreamingAlgo::Gk, dataset, budget, kappa, 2024, &scale);
         println!(
@@ -50,5 +88,52 @@ fn main() {
             s.engine.memory_words(),
             gk_words
         );
+        records.push(format!(
+            concat!(
+                "    {{\"dataset\": \"{}\", \"accurate_rel_err\": {:.6e}, ",
+                "\"pure_gk_rel_err\": {:.6e}, \"accuracy_ratio\": {:.2}, ",
+                "\"disk_reads_per_query\": {:.1}, \"query_seconds\": {:.6}, ",
+                "\"memory_words\": {}, \"gk_memory_words\": {}}}"
+            ),
+            dataset.name(),
+            ours,
+            gk,
+            gk / ours.max(1e-12),
+            reads,
+            query_secs,
+            s.engine.memory_words(),
+            gk_words,
+        ));
+    }
+
+    let (scalar_eps, batched_eps) = ingest_throughput();
+    println!(
+        "\ningest throughput: scalar {:.2} Melem/s, batched(4096) {:.2} Melem/s ({:.1}x)",
+        scalar_eps / 1e6,
+        batched_eps / 1e6,
+        batched_eps / scalar_eps.max(1.0),
+    );
+
+    let path =
+        std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
+    let json = format!(
+        concat!(
+            "{{\n  \"bench\": \"headline\",\n  \"steps\": {},\n  \"step_items\": {},\n",
+            "  \"memory_bytes\": {},\n  \"kappa\": {},\n  \"datasets\": [\n{}\n  ],\n",
+            "  \"ingest\": {{\"scalar_elems_per_sec\": {:.0}, ",
+            "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}}}\n}}\n"
+        ),
+        scale.steps,
+        scale.step_items,
+        budget,
+        kappa,
+        records.join(",\n"),
+        scalar_eps,
+        batched_eps,
+        batched_eps / scalar_eps.max(1.0),
+    );
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

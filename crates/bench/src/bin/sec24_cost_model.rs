@@ -25,8 +25,14 @@ fn main() {
     let (update, query, memory) =
         section24_example(total_blocks, time_steps, kappa, epsilon, stream_items);
 
-    println!("merge levels (ceil log_kappa T):      {}", merge_levels(kappa, time_steps));
-    println!("max live partitions:                  {}", max_partitions(kappa, time_steps));
+    println!(
+        "merge levels (ceil log_kappa T):      {}",
+        merge_levels(kappa, time_steps)
+    );
+    println!(
+        "max live partitions:                  {}",
+        max_partitions(kappa, time_steps)
+    );
     println!();
     println!("update disk ops / day:   {update:>14.3e}   (paper: ~10^6)");
     println!("query  disk ops:         {query:>14.3e}   (paper: ~350)");

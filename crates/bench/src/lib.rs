@@ -70,8 +70,8 @@ impl Scale {
 
     /// Parse `--full` from the process args; also honors `HSQ_BENCH_FULL`.
     pub fn from_args() -> Self {
-        let full = std::env::args().any(|a| a == "--full")
-            || std::env::var("HSQ_BENCH_FULL").is_ok();
+        let full =
+            std::env::args().any(|a| a == "--full") || std::env::var("HSQ_BENCH_FULL").is_ok();
         if full {
             Self::full()
         } else {

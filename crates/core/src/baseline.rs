@@ -396,7 +396,10 @@ mod tests {
             }
             merges += b.end_time_step().unwrap().merges;
         }
-        assert!(merges >= 2, "expected cascading concat merges, got {merges}");
+        assert!(
+            merges >= 2,
+            "expected cascading concat merges, got {merges}"
+        );
     }
 
     #[test]
@@ -419,7 +422,11 @@ mod tests {
     #[test]
     fn with_memory_constructors() {
         let dev = MemDevice::new(256);
-        for algo in [StreamingAlgo::Gk, StreamingAlgo::QDigest, StreamingAlgo::Random] {
+        for algo in [
+            StreamingAlgo::Gk,
+            StreamingAlgo::QDigest,
+            StreamingAlgo::Random,
+        ] {
             let mut b =
                 PureStreaming::<u64, _>::with_memory(Arc::clone(&dev), algo, 20_000, 100_000, 4);
             for i in 0..20_000u64 {

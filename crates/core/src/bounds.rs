@@ -40,7 +40,11 @@ impl<T: Item> SourceView<T> {
     /// View of a historical partition summary: positions are exact.
     pub fn from_partition(s: &PartitionSummary<T>) -> Self {
         SourceView {
-            entries: s.entries().iter().map(|e| (e.value, e.rank, e.rank)).collect(),
+            entries: s
+                .entries()
+                .iter()
+                .map(|e| (e.value, e.rank, e.rank))
+                .collect(),
             total: s.partition_len(),
         }
     }
@@ -48,7 +52,11 @@ impl<T: Item> SourceView<T> {
     /// View of the stream summary: GK-tracked intervals.
     pub fn from_stream(s: &StreamSummary<T>) -> Self {
         SourceView {
-            entries: s.entries().iter().map(|e| (e.value, e.rmin, e.rmax)).collect(),
+            entries: s
+                .entries()
+                .iter()
+                .map(|e| (e.value, e.rmin, e.rmax))
+                .collect(),
             total: s.stream_len(),
         }
     }
@@ -194,11 +202,7 @@ pub fn paper_li_ui<T: Item>(
     variant: PaperBoundVariant,
 ) -> (u64, u64) {
     let m = stream.stream_len() as f64;
-    let alpha_s = stream
-        .entries()
-        .iter()
-        .filter(|e| e.value <= x)
-        .count() as f64;
+    let alpha_s = stream.entries().iter().filter(|e| e.value <= x).count() as f64;
     let b = if alpha_s > 0.0 { 1.0 } else { 0.0 };
     let slack = match variant {
         PaperBoundVariant::FigureIdealized => 0.0,
@@ -336,8 +340,14 @@ mod tests {
         let ss = figure3_idealized_ss();
         let parts: Vec<&PartitionSummary<u64>> = summaries.iter().collect();
         for x in [1u64, 101, 401, 520, 600] {
-            let (_, u_ideal) =
-                paper_li_ui(x, &parts, &ss, 0.25, 0.125, PaperBoundVariant::FigureIdealized);
+            let (_, u_ideal) = paper_li_ui(
+                x,
+                &parts,
+                &ss,
+                0.25,
+                0.125,
+                PaperBoundVariant::FigureIdealized,
+            );
             let (_, u_safe) =
                 paper_li_ui(x, &parts, &ss, 0.25, 0.125, PaperBoundVariant::LemmaSafe);
             assert!(u_safe >= u_ideal);
@@ -424,10 +434,16 @@ mod tests {
             let (u, v) = ts.generate_filters(r);
             let answer = all[(r - 1) as usize]; // exact element of rank r
             if let Some(u) = u {
-                assert!(u <= answer, "filter u={u} above exact answer {answer} (r={r})");
+                assert!(
+                    u <= answer,
+                    "filter u={u} above exact answer {answer} (r={r})"
+                );
             }
             if let Some(v) = v {
-                assert!(v >= answer, "filter v={v} below exact answer {answer} (r={r})");
+                assert!(
+                    v >= answer,
+                    "filter v={v} below exact answer {answer} (r={r})"
+                );
             }
         }
     }

@@ -38,12 +38,7 @@ pub fn update_ios_per_step(n_blocks: f64, time_steps: u64, kappa: usize) -> f64 
 
 /// Lemma 7: worst-case disk accesses for one accurate query,
 /// `O(log_κ T · log₂(n/B) · log₂ |U|)`.
-pub fn query_ios_bound(
-    time_steps: u64,
-    kappa: usize,
-    n_blocks: f64,
-    universe_bits: u32,
-) -> f64 {
+pub fn query_ios_bound(time_steps: u64, kappa: usize, n_blocks: f64, universe_bits: u32) -> f64 {
     let levels = merge_levels(kappa, time_steps) as f64;
     levels * n_blocks.max(2.0).log2() * universe_bits as f64
 }
@@ -74,8 +69,7 @@ pub fn stream_memory_words(epsilon2: f64, m: u64) -> f64 {
 /// Observation 1: total memory `O((1/ε)(log(ε m) + κ·log_κ T))` in words,
 /// with `ε₁ = ε/2`, `ε₂ = ε/4` per Algorithm 1.
 pub fn total_memory_words(epsilon: f64, m: u64, kappa: usize, time_steps: u64) -> f64 {
-    hist_memory_words(epsilon / 2.0, kappa, time_steps)
-        + stream_memory_words(epsilon / 4.0, m)
+    hist_memory_words(epsilon / 2.0, kappa, time_steps) + stream_memory_words(epsilon / 4.0, m)
 }
 
 /// The §2.4 illustration, parameterized: returns

@@ -192,10 +192,7 @@ mod tests {
     use crate::config::HsqConfig;
     use hsq_storage::MemDevice;
 
-    fn warehouse_with(
-        batches: Vec<Vec<u64>>,
-        kappa: usize,
-    ) -> Warehouse<u64, MemDevice> {
+    fn warehouse_with(batches: Vec<Vec<u64>>, kappa: usize) -> Warehouse<u64, MemDevice> {
         let mut cfg = HsqConfig::with_epsilon(0.05);
         cfg.kappa = kappa;
         let mut w = Warehouse::new(MemDevice::new(256), cfg);

@@ -242,7 +242,8 @@ mod tests {
         cfg.kappa = kappa;
         let mut w = Warehouse::new(MemDevice::new(256), cfg);
         for s in 0..13u64 {
-            w.add_batch((0..200).map(|i| s * 200 + i).collect()).unwrap();
+            w.add_batch((0..200).map(|i| s * 200 + i).collect())
+                .unwrap();
         }
         w
     }
@@ -280,9 +281,7 @@ mod tests {
         cfg.kappa = 3;
         let mut recovered: Warehouse<u64, MemDevice> =
             recover(Arc::clone(w.device()), cfg, manifest).unwrap();
-        recovered
-            .add_batch((10_000..10_500u64).collect())
-            .unwrap();
+        recovered.add_batch((10_000..10_500u64).collect()).unwrap();
         recovered.check_invariants().unwrap();
         assert_eq!(recovered.total_len(), w.total_len() + 500);
     }
@@ -323,7 +322,8 @@ mod tests {
             cfg.kappa = 2;
             let mut w = Warehouse::<u64, _>::new(dev, cfg);
             for s in 0..13u64 {
-                w.add_batch((0..100).map(|i| s * 100 + i).collect()).unwrap();
+                w.add_batch((0..100).map(|i| s * 100 + i).collect())
+                    .unwrap();
             }
             manifest = persist(&w).unwrap();
             windows = w.available_windows();

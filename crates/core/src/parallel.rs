@@ -23,6 +23,11 @@ use crate::warehouse::StoredPartition;
 /// Equivalent to the serial loop in
 /// `QueryContext::rank_in_partitions`, including cache reuse across
 /// bisection iterations (each partition owns its cache).
+///
+/// Work is chunked over at most `available_parallelism()` scoped threads
+/// (not one thread per partition): with `κ·log_κ T` partitions a query
+/// would otherwise spawn far more threads than cores at every bisection
+/// step, and the spawn overhead swamps the overlapped I/O it buys.
 pub fn par_partition_ranks<T: Item, D: BlockDevice>(
     dev: &D,
     partitions: &[&StoredPartition<T>],
@@ -32,19 +37,44 @@ pub fn par_partition_ranks<T: Item, D: BlockDevice>(
 ) -> io::Result<Vec<u64>> {
     assert_eq!(partitions.len(), windows.len());
     assert_eq!(partitions.len(), caches.len());
-    let results: Vec<io::Result<u64>> = std::thread::scope(|s| {
+    let n = partitions.len();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        let mut per = Vec::with_capacity(n);
+        for ((&p, &w), cache) in partitions.iter().zip(windows).zip(caches.iter_mut()) {
+            per.push(partition_rank(dev, p, z, w, cache)?);
+        }
+        return Ok(per);
+    }
+    let chunk = n.div_ceil(workers);
+    let results: Vec<io::Result<Vec<u64>>> = std::thread::scope(|s| {
         let handles: Vec<_> = partitions
-            .iter()
-            .zip(windows)
-            .zip(caches.iter_mut())
-            .map(|((&p, &w), cache)| s.spawn(move || partition_rank(dev, p, z, w, cache)))
+            .chunks(chunk)
+            .zip(windows.chunks(chunk))
+            .zip(caches.chunks_mut(chunk))
+            .map(|((ps, ws), cs)| {
+                s.spawn(move || -> io::Result<Vec<u64>> {
+                    ps.iter()
+                        .zip(ws)
+                        .zip(cs.iter_mut())
+                        .map(|((&p, &w), cache)| partition_rank(dev, p, z, w, cache))
+                        .collect()
+                })
+            })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("partition rank thread panicked"))
             .collect()
     });
-    results.into_iter().collect()
+    let mut per = Vec::with_capacity(n);
+    for r in results {
+        per.extend(r?);
+    }
+    Ok(per)
 }
 
 #[cfg(test)]
@@ -121,8 +151,7 @@ mod tests {
         let part_refs: Vec<&StoredPartition<u64>> = parts.iter().collect();
         let windows: Vec<(u64, u64)> = parts.iter().map(|p| (0, p.run.len())).collect();
         let mut caches: Vec<BlockCache<u64>> = parts.iter().map(|_| BlockCache::new(4)).collect();
-        let ranks =
-            par_partition_ranks(&*dev, &part_refs, 200, &windows, &mut caches).unwrap();
+        let ranks = par_partition_ranks(&*dev, &part_refs, 200, &windows, &mut caches).unwrap();
         for (s, &rank) in ranks.iter().enumerate() {
             let expect = (0..100).filter(|i| i * 4 + s as u64 <= 200).count() as u64;
             assert_eq!(rank, expect, "partition {s}");

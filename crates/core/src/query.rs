@@ -128,8 +128,11 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
         if v <= u {
             // Both filters pin rank r exactly (possible when L and U meet
             // at r); v is Definition 1's answer.
-            let mut windows: Vec<(u64, u64)> =
-                self.partitions.iter().map(|p| p.summary.narrow(v, v)).collect();
+            let mut windows: Vec<(u64, u64)> = self
+                .partitions
+                .iter()
+                .map(|p| p.summary.narrow(v, v))
+                .collect();
             let rho = self.estimate_rank(v, &mut windows, &mut caches)?;
             return Ok(Some(QueryOutcome {
                 value: v,
@@ -308,7 +311,9 @@ mod tests {
         let mut all = Vec::new();
         let mut x = 12345u64;
         let mut gen = || {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x >> 33
         };
         for _ in 0..steps {
@@ -330,7 +335,9 @@ mod tests {
         let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
         if r < lo {
             lo - r
-        } else { r.saturating_sub(hi) }
+        } else {
+            r.saturating_sub(hi)
+        }
     }
 
     #[test]
@@ -338,8 +345,7 @@ mod tests {
         let dev = MemDevice::new(64); // 8 u64/block
         let data: Vec<u64> = (0..500).map(|i| i * 2).collect();
         let run = hsq_storage::write_run(&*dev, &data).unwrap();
-        let summary =
-            crate::summary::summarize_sorted(&data, 0.1, 11, 64);
+        let summary = crate::summary::summarize_sorted(&data, 0.1, 11, 64);
         let p = StoredPartition {
             run,
             summary,
@@ -505,6 +511,10 @@ mod tests {
         let out = ctx.accurate_rank(1000).unwrap().unwrap();
         let dist = rank_distance(&data, out.value, 1000);
         assert!(dist <= (0.1 * 2000.0) as u64 + 1, "off by {dist}");
-        assert_eq!(out.io.total_reads(), 0, "stream-only query must not hit disk");
+        assert_eq!(
+            out.io.total_reads(),
+            0,
+            "stream-only query must not hit disk"
+        );
     }
 }

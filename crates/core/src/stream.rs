@@ -101,6 +101,20 @@ impl<T: Item> StreamProcessor<T> {
         self.gk.insert(e);
     }
 
+    /// Absorb a whole batch at once (sorts `batch` in place): one linear
+    /// merge into the sketch instead of `batch.len()` scalar updates. Same
+    /// `ε₂` guarantee; see [`hsq_sketch::GkSketch::insert_batch`].
+    #[inline]
+    pub fn ingest_batch(&mut self, batch: &mut [T]) {
+        self.gk.insert_batch(batch);
+    }
+
+    /// [`StreamProcessor::ingest_batch`] for an already-sorted batch.
+    #[inline]
+    pub fn ingest_sorted_batch(&mut self, batch: &[T]) {
+        self.gk.insert_sorted_batch(batch);
+    }
+
     /// Elements in the current stream (`m`).
     pub fn len(&self) -> u64 {
         self.gk.len()
@@ -281,7 +295,9 @@ mod tests {
 
     #[test]
     fn summary_size_near_beta2() {
-        let data: Vec<u64> = (0..100_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let data: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
         let sp = processor_with(&data, 1.0 / 64.0);
         let ss = sp.summary();
         // beta2 = 65 targets (+ possibly max): small and bounded.

@@ -198,36 +198,21 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
     /// writes it as a level-0 partition with its summary built in-stream,
     /// then cascades merges while any level holds more than `κ` partitions.
     pub fn add_batch(&mut self, mut batch: Vec<T>) -> io::Result<UpdateReport> {
+        if batch.len() <= self.config.sort_budget_items {
+            // In-memory sort, then the shared sorted-store path.
+            let t0 = Instant::now();
+            batch.sort_unstable();
+            let sort_time = t0.elapsed();
+            let mut report = self.add_sorted_batch(batch)?;
+            report.sort_time += sort_time;
+            return Ok(report);
+        }
         let mut report = UpdateReport::default();
         self.steps += 1;
         let eta = batch.len() as u64;
-        if eta == 0 {
-            return Ok(report); // a step with no data: nothing stored
-        }
         self.total_len += eta;
 
-        let (run, summary) = if batch.len() <= self.config.sort_budget_items {
-            // In-memory sort; load = writing the sorted blocks.
-            let t0 = Instant::now();
-            batch.sort_unstable();
-            report.sort_time = t0.elapsed();
-
-            let t1 = Instant::now();
-            let before = self.dev.stats().snapshot();
-            let run = hsq_storage::write_run(&*self.dev, &batch)?;
-            report.load_io = self.dev.stats().snapshot() - before;
-            report.load_time = t1.elapsed();
-
-            let t2 = Instant::now();
-            let summary = summarize_sorted(
-                &batch,
-                self.config.epsilon1,
-                self.config.beta1,
-                self.dev.block_size(),
-            );
-            report.summary_time = t2.elapsed();
-            (run, summary)
-        } else {
+        let (run, summary) = {
             // External sort: spill budget-sized sorted runs, then stream
             // one multi-way merge into the final partition, tapping it for
             // the summary (no extra reads).
@@ -262,6 +247,54 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             report.load_time = t1.elapsed();
             (run, sb.finish())
         };
+        drop(batch);
+
+        self.push_level0(StoredPartition {
+            run,
+            summary,
+            first_step: self.steps,
+            last_step: self.steps,
+        });
+
+        // Cascade merges (Algorithm 3, lines 8-13).
+        let t3 = Instant::now();
+        let before_merge = self.dev.stats().snapshot();
+        report.merges = self.cascade_merges()?;
+        report.merge_io = self.dev.stats().snapshot() - before_merge;
+        report.merge_time = t3.elapsed();
+        Ok(report)
+    }
+
+    /// [`Warehouse::add_batch`] for a batch that is **already sorted**
+    /// (nondecreasing), skipping the sort entirely. This is the fast path
+    /// the engine's batched ingestion uses: staged stream batches are kept
+    /// as sorted segments, so archiving costs one linear merge of segments
+    /// plus this sorted store — no `O(η log η)` re-sort.
+    pub fn add_sorted_batch(&mut self, batch: Vec<T>) -> io::Result<UpdateReport> {
+        debug_assert!(batch.windows(2).all(|w| w[0] <= w[1]), "batch not sorted");
+        let mut report = UpdateReport::default();
+        self.steps += 1;
+        let eta = batch.len() as u64;
+        if eta == 0 {
+            return Ok(report); // a step with no data: nothing stored
+        }
+        self.total_len += eta;
+
+        // Load = writing the sorted blocks.
+        let t1 = Instant::now();
+        let before = self.dev.stats().snapshot();
+        let run = hsq_storage::write_run(&*self.dev, &batch)?;
+        report.load_io = self.dev.stats().snapshot() - before;
+        report.load_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let summary = summarize_sorted(
+            &batch,
+            self.config.epsilon1,
+            self.config.beta1,
+            self.dev.block_size(),
+        );
+        report.summary_time = t2.elapsed();
         drop(batch);
 
         self.push_level0(StoredPartition {
@@ -315,10 +348,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
 
     /// Multi-way merge `parts` into one partition, building its summary
     /// from the merge stream (Algorithm 3 line 10-11).
-    fn merge_partitions(
-        &self,
-        parts: &[StoredPartition<T>],
-    ) -> io::Result<StoredPartition<T>> {
+    fn merge_partitions(&self, parts: &[StoredPartition<T>]) -> io::Result<StoredPartition<T>> {
         let eta: u64 = parts.iter().map(|p| p.run.len()).sum();
         let runs: Vec<SortedRun<T>> = parts.iter().map(|p| p.run).collect();
         let mut writer = RunWriter::new(&*self.dev)?;
@@ -457,9 +487,15 @@ mod tests {
         }
         assert_eq!(w.num_levels(), 3);
         assert_eq!(w.level(0).len(), 1);
-        assert_eq!((w.level(0)[0].first_step, w.level(0)[0].last_step), (13, 13));
+        assert_eq!(
+            (w.level(0)[0].first_step, w.level(0)[0].last_step),
+            (13, 13)
+        );
         assert_eq!(w.level(1).len(), 1);
-        assert_eq!((w.level(1)[0].first_step, w.level(1)[0].last_step), (10, 12));
+        assert_eq!(
+            (w.level(1)[0].first_step, w.level(1)[0].last_step),
+            (10, 12)
+        );
         assert_eq!(w.level(2).len(), 1);
         assert_eq!((w.level(2)[0].first_step, w.level(2)[0].last_step), (1, 9));
         assert_eq!(w.total_len(), 130);

@@ -7,7 +7,7 @@ use hsq_core::{
     CombinedSummary, HistStreamQuantiles, HsqConfig, QueryContext, SourceView, StreamProcessor,
     Warehouse,
 };
-use hsq_storage::MemDevice;
+use hsq_storage::{BlockDevice, MemDevice};
 use proptest::prelude::*;
 
 /// Rank distance from target `r` to the rank(s) of `v`: zero if `v`'s
@@ -21,7 +21,9 @@ fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
     }
     if r < lo {
         lo - r
-    } else { r.saturating_sub(hi) }
+    } else {
+        r.saturating_sub(hi)
+    }
 }
 
 proptest! {
@@ -320,5 +322,95 @@ proptest! {
             .map(|p| p.summary.entries().len())
             .collect();
         prop_assert_eq!(se, re);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched ingestion (`stream_extend` + sorted-segment archival)
+    /// produces **byte-identical** on-disk runs to the scalar path, for
+    /// any mix of batch sizes and interleaved scalar updates.
+    #[test]
+    fn batched_end_time_step_is_byte_identical(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..400), 1..6),
+        chunk in 1usize..150,
+        kappa in 2usize..5,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(kappa).build();
+        let mut scalar = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut batched = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        for (si, step) in steps.iter().enumerate() {
+            for &v in step {
+                scalar.stream_update(v);
+            }
+            scalar.end_time_step().unwrap();
+            // Batched side: alternate stream_extend chunks with a few
+            // scalar updates to exercise the mixed staging tail.
+            for (ci, c) in step.chunks(chunk).enumerate() {
+                if (si + ci) % 3 == 0 && c.len() > 1 {
+                    batched.stream_update(c[0]);
+                    batched.stream_extend(&c[1..]);
+                } else {
+                    batched.stream_extend(c);
+                }
+            }
+            batched.end_time_step().unwrap();
+        }
+        prop_assert_eq!(scalar.total_len(), batched.total_len());
+
+        let sp = scalar.warehouse().partitions_newest_first();
+        let bp = batched.warehouse().partitions_newest_first();
+        prop_assert_eq!(sp.len(), bp.len());
+        let sdev = &**scalar.warehouse().device();
+        let bdev = &**batched.warehouse().device();
+        for (a, b) in sp.iter().zip(&bp) {
+            prop_assert_eq!(a.run.len(), b.run.len());
+            prop_assert_eq!((a.first_step, a.last_step), (b.first_step, b.last_step));
+            prop_assert_eq!(a.summary.entries(), b.summary.entries());
+            // Compare the raw device blocks, not just decoded items.
+            let nblocks = sdev.num_blocks(a.run.file()).unwrap();
+            prop_assert_eq!(nblocks, bdev.num_blocks(b.run.file()).unwrap());
+            let mut abuf = vec![0u8; sdev.block_size()];
+            let mut bbuf = vec![0u8; bdev.block_size()];
+            for blk in 0..nblocks {
+                let alen = sdev.read_block(a.run.file(), blk, &mut abuf).unwrap();
+                let blen = bdev.read_block(b.run.file(), blk, &mut bbuf).unwrap();
+                prop_assert_eq!(alen, blen, "block {} length differs", blk);
+                prop_assert_eq!(&abuf[..alen], &bbuf[..blen], "block {} bytes differ", blk);
+            }
+        }
+    }
+
+    /// Batched and scalar ingestion answer queries identically-well: both
+    /// stay within the Theorem 2 bound on the same data.
+    #[test]
+    fn batched_queries_meet_theorem2(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..500_000, 10..300), 1..6),
+        stream in proptest::collection::vec(0u64..500_000, 1..300),
+        chunk in 1usize..120,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.1).merge_threshold(3).build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        let mut all: Vec<u64> = Vec::new();
+        for b in &batches {
+            all.extend(b);
+            h.ingest_step(b).unwrap();
+        }
+        for c in stream.chunks(chunk) {
+            h.stream_extend(c);
+        }
+        all.extend(&stream);
+        all.sort_unstable();
+        let n = all.len() as u64;
+        let m = stream.len() as u64;
+        let allowed = (0.1 * m as f64).ceil() as u64 + 1;
+        for r in [1, n / 2, n] {
+            let out = h.rank_query(r.max(1)).unwrap().unwrap();
+            let dist = rank_distance(&all, out.value, r.max(1));
+            prop_assert!(dist <= allowed, "r={r}: off by {dist} > {allowed}");
+        }
     }
 }

@@ -66,6 +66,9 @@ pub struct GkSketch<T> {
     max: Option<T>,
     since_compress: u64,
     compress_period: u64,
+    /// Spare buffer for the fused merge+compress pass (double-buffered
+    /// with `tuples` so steady-state batch ingestion never allocates).
+    scratch: Vec<Tuple<T>>,
 }
 
 impl<T: Copy + Ord> GkSketch<T> {
@@ -84,6 +87,7 @@ impl<T: Copy + Ord> GkSketch<T> {
             max: None,
             since_compress: 0,
             compress_period: ((1.0 / (2.0 * epsilon)).floor() as u64).max(1),
+            scratch: Vec::new(),
         }
     }
 
@@ -130,31 +134,182 @@ impl<T: Copy + Ord> GkSketch<T> {
     }
 
     /// Insert one element.
+    ///
+    /// Routed through [`GkSketch::insert_sorted_batch`] with a batch of
+    /// one, so the scalar and batched paths share a single merge
+    /// implementation. Cost is unchanged from a direct insert: one binary
+    /// search plus one tail move.
+    #[inline]
     pub fn insert(&mut self, v: T) {
+        self.insert_sorted_batch(&[v]);
+    }
+
+    /// Insert a whole batch at once: sorts `batch` in place, then merges
+    /// it into the tuple list in **one linear pass** with a single
+    /// amortized COMPRESS — replacing `batch.len()` binary-search-plus-
+    /// `Vec`-shift insertions. The resulting sketch satisfies the same GK
+    /// invariant (`g + Δ ≤ ⌊2εn⌋`) and therefore the same `εn` rank
+    /// guarantee as element-wise insertion.
+    pub fn insert_batch(&mut self, batch: &mut [T]) {
+        batch.sort_unstable();
+        self.insert_sorted_batch(batch);
+    }
+
+    /// [`GkSketch::insert_batch`] for a batch the caller has already
+    /// sorted (nondecreasing). Skips the sort.
+    ///
+    /// Two merge strategies behind one API, picked by whether this batch
+    /// crosses the COMPRESS cadence:
+    /// * below the cadence (every scalar insert except each
+    ///   `compress_period`-th lands here) — an in-place back-to-front
+    ///   merge moving each existing tuple at most once, which for a batch
+    ///   of one degenerates to exactly the classic binary-search-plus-
+    ///   tail-move insert;
+    /// * at or above it — a fused forward merge+COMPRESS writing each
+    ///   surviving tuple once into a double-buffered scratch vector, so a
+    ///   large batch never materializes `s + b` tuples nor takes a
+    ///   separate compression sweep.
+    pub fn insert_sorted_batch(&mut self, batch: &[T]) {
+        let b = batch.len();
+        if b == 0 {
+            return;
+        }
+        debug_assert!(batch.windows(2).all(|w| w[0] <= w[1]), "batch not sorted");
         self.min = Some(match self.min {
-            Some(m) => m.min(v),
-            None => v,
+            Some(m) => m.min(batch[0]),
+            None => batch[0],
         });
         self.max = Some(match self.max {
-            Some(m) => m.max(v),
-            None => v,
+            Some(m) => m.max(batch[b - 1]),
+            None => batch[b - 1],
         });
-
-        // Position: first tuple with value >= v keeps duplicates together
-        // and new extrema at the ends.
-        let idx = self.tuples.partition_point(|t| t.v < v);
-        let delta = if idx == 0 || idx == self.tuples.len() {
-            0
-        } else {
-            self.cap().saturating_sub(1)
-        };
-        self.tuples.insert(idx, Tuple { v, g: 1, delta });
-        self.n += 1;
-        self.since_compress += 1;
+        self.n += b as u64;
+        self.since_compress += b as u64;
         if self.since_compress >= self.compress_period {
-            self.compress();
+            self.merge_fused(batch);
             self.since_compress = 0;
+        } else {
+            self.back_merge(batch);
         }
+    }
+
+    /// In-place back-to-front merge of a sorted `batch` into the tuple
+    /// list, no compression. Each existing tuple moves at most once
+    /// (whole runs via `copy_within`).
+    fn back_merge(&mut self, batch: &[T]) {
+        let b = batch.len();
+        // Δ for interior inserts, computed at the final n. For elements of
+        // the batch this can only over-state the uncertainty relative to
+        // element-wise insertion (cap is nondecreasing in n), so the
+        // tracked intervals stay sound and the invariant holds at n.
+        let delta_mid = self.cap().saturating_sub(1);
+
+        let s = self.tuples.len();
+        let filler = Tuple {
+            v: batch[0],
+            g: 0,
+            delta: 0,
+        };
+        self.tuples.resize(s + b, filler);
+        // Old tuples occupy [0, src_end); the space [src_end, dst_end) is
+        // free; merged output grows down from s + b.
+        let mut src_end = s;
+        let mut dst_end = s + b;
+        for j in (0..b).rev() {
+            let v = batch[j];
+            // Old tuples with value >= v go after v (the scalar path's
+            // `partition_point(|t| t.v < v)` position), moved as one run.
+            let cut = self.tuples[..src_end].partition_point(|t| t.v < v);
+            if cut < src_end {
+                let run = src_end - cut;
+                self.tuples.copy_within(cut..src_end, dst_end - run);
+                dst_end -= run;
+                src_end = cut;
+            }
+            dst_end -= 1;
+            // Δ = 0 is sound in exactly two spots (mirroring the scalar
+            // path): the global minimum position, and elements greater
+            // than every existing value — behind those sit only batch
+            // elements with g = 1 and Δ = 0, so their rank is exact.
+            let delta = if dst_end == 0 || src_end == s {
+                0
+            } else {
+                delta_mid
+            };
+            self.tuples[dst_end] = Tuple { v, g: 1, delta };
+        }
+        debug_assert_eq!(src_end, dst_end);
+    }
+
+    /// Backward merge of a sorted `batch` with COMPRESS fused into the
+    /// same pass. Streaming largest-to-smallest lets absorption work
+    /// exactly like [`GkSketch::compress`]'s right-to-left sweep — the
+    /// accumulator `right` soaks up whole runs of left tuples while the
+    /// invariant and band rule allow — so the output lands already
+    /// compressed in the scratch buffer: one write per surviving tuple
+    /// plus a reverse of the (compressed, small) result.
+    fn merge_fused(&mut self, batch: &[T]) {
+        let b = batch.len();
+        let cap = self.cap();
+        let delta_mid = cap.saturating_sub(1);
+        let s = self.tuples.len();
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        out.reserve(s + b);
+        {
+            let old = &self.tuples;
+            let mut i = s as isize - 1;
+            let mut j = b as isize - 1;
+            // `right` = the accumulating right neighbour, as in compress().
+            let mut right: Option<Tuple<T>> = None;
+            while i >= 0 || j >= 0 {
+                // Ties emit the old tuple first (we run back to front), so
+                // after the final reverse a new element sits before equal
+                // old tuples — the scalar path's insertion position.
+                let take_old = i >= 0 && (j < 0 || old[i as usize].v >= batch[j as usize]);
+                let t = if take_old {
+                    let t = old[i as usize];
+                    i -= 1;
+                    t
+                } else {
+                    let v = batch[j as usize];
+                    j -= 1;
+                    // Δ = 0 is sound in two spots (mirroring the scalar
+                    // path): elements greater than every existing value —
+                    // no old tuple emitted yet, so behind them sit only
+                    // batch elements whose g/Δ keep ranks exact — and the
+                    // global minimum position.
+                    let delta = if i == s as isize - 1 || (i < 0 && j < 0) {
+                        0
+                    } else {
+                        delta_mid
+                    };
+                    Tuple { v, g: 1, delta }
+                };
+                // The left-most (minimum) tuple must never be merged away.
+                let is_min = i < 0 && j < 0;
+                match right.take() {
+                    None => right = Some(t),
+                    Some(mut r) => {
+                        let absorb = !is_min
+                            && t.g + r.g + r.delta < cap
+                            && Self::band(t.delta, cap) <= Self::band(r.delta, cap);
+                        if absorb {
+                            r.g += t.g;
+                            right = Some(r);
+                        } else {
+                            out.push(r);
+                            right = Some(t);
+                        }
+                    }
+                }
+            }
+            if let Some(r) = right {
+                out.push(r);
+            }
+        }
+        out.reverse();
+        self.scratch = std::mem::replace(&mut self.tuples, out);
     }
 
     /// Band of a tuple: groups Δ values by the insertion epoch that could

@@ -151,7 +151,10 @@ mod tests {
             }
         }
         let (lo, hi) = mg.count_bounds(7);
-        assert!(lo <= true_sevens && true_sevens <= hi, "[{lo},{hi}] vs {true_sevens}");
+        assert!(
+            lo <= true_sevens && true_sevens <= hi,
+            "[{lo},{hi}] vs {true_sevens}"
+        );
         assert!(mg.error_bound() <= n / (k as u64 + 1));
         assert!(
             mg.candidates().any(|(v, _)| v == 7),

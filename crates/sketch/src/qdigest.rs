@@ -388,7 +388,9 @@ mod tests {
         let bits = 16;
         let mut qd = QDigest::with_error(0.01, bits);
         let mut rng = StdRng::seed_from_u64(31);
-        let data: Vec<u64> = (0..30_000).map(|_| rng.gen_range(0..1u64 << bits)).collect();
+        let data: Vec<u64> = (0..30_000)
+            .map(|_| rng.gen_range(0..1u64 << bits))
+            .collect();
         for &v in &data {
             qd.insert(v);
         }
@@ -396,7 +398,10 @@ mod tests {
         for probe in (0..(1u64 << bits)).step_by(4099) {
             let truth = data.iter().filter(|&&x| x <= probe).count() as u64;
             let (lo, hi) = qd.rank_bounds_of(probe);
-            assert!(lo <= truth && truth <= hi, "probe {probe}: {truth} not in [{lo},{hi}]");
+            assert!(
+                lo <= truth && truth <= hi,
+                "probe {probe}: {truth} not in [{lo},{hi}]"
+            );
         }
     }
 

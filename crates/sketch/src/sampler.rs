@@ -102,9 +102,8 @@ impl<T: Copy + Ord> ReservoirQuantiles<T> {
             return None;
         }
         self.ensure_sorted();
-        let idx = ((phi * self.sample.len() as f64).ceil() as usize)
-            .clamp(1, self.sample.len())
-            - 1;
+        let idx =
+            ((phi * self.sample.len() as f64).ceil() as usize).clamp(1, self.sample.len()) - 1;
         Some(self.sample[idx])
     }
 

@@ -15,7 +15,9 @@ fn rank_distance(data: &[u64], v: u64, r: u64) -> u64 {
     let lo = data.iter().filter(|&&x| x < v).count() as u64 + 1;
     if r < lo {
         lo - r
-    } else { r.saturating_sub(hi) }
+    } else {
+        r.saturating_sub(hi)
+    }
 }
 
 proptest! {
@@ -191,5 +193,131 @@ proptest! {
         let q = rq.quantile(0.5).unwrap();
         prop_assert!(data.contains(&q), "sampled value {q} not in data");
         prop_assert!(rq.sample_size() <= cap.min(data.len()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batched insertion provides the same rank-bound guarantees as
+    /// sequential insertion: on identical data, both sketches' tracked
+    /// bounds contain the true rank, are no wider than `2εn`, and both
+    /// answer every rank query within `εn`.
+    #[test]
+    fn insert_batch_matches_sequential_guarantees(
+        data in proptest::collection::vec(0u64..1_000_000, 1..4000),
+        chunk in 1usize..700,
+        eps_milli in 10u64..200,
+    ) {
+        let eps = eps_milli as f64 / 1000.0;
+        let mut seq = GkSketch::new(eps);
+        for &v in &data {
+            seq.insert(v);
+        }
+        let mut bat = GkSketch::new(eps);
+        let mut work = data.clone();
+        for c in work.chunks_mut(chunk) {
+            bat.insert_batch(c);
+        }
+        seq.check_invariants().unwrap();
+        bat.check_invariants().unwrap();
+        prop_assert_eq!(seq.len(), bat.len());
+        prop_assert_eq!(seq.min(), bat.min());
+        prop_assert_eq!(seq.max(), bat.max());
+
+        let n = data.len() as u64;
+        let width_cap = (2.0 * eps * n as f64).floor() as u64 + 1;
+        for probe in [0u64, 250_000, 500_000, 750_000, 1_000_000] {
+            let truth = exact_rank(&data, probe);
+            for (label, gk) in [("seq", &seq), ("batch", &bat)] {
+                let (lo, hi) = gk.rank_bounds_of(probe);
+                prop_assert!(
+                    lo <= truth && truth <= hi,
+                    "{label}: probe {probe} truth {truth} outside [{lo},{hi}]"
+                );
+                prop_assert!(hi - lo <= width_cap, "{label}: bounds too wide [{lo},{hi}]");
+            }
+        }
+        let slack = (eps * n as f64).floor() as u64 + 1;
+        for r in [1, n / 3 + 1, n / 2 + 1, n] {
+            for (label, gk) in [("seq", &seq), ("batch", &bat)] {
+                let est = gk.rank_query(r).unwrap();
+                let dist = rank_distance(&data, est.value, r);
+                prop_assert!(
+                    dist <= slack,
+                    "{label}: rank {r} -> {} off by {dist} > {slack}",
+                    est.value
+                );
+            }
+        }
+    }
+
+    /// A batch of one *is* the scalar path: interleaving the two APIs on
+    /// the same sketch stays internally consistent.
+    #[test]
+    fn scalar_is_batch_of_one(
+        data in proptest::collection::vec(any::<u64>(), 1..2000),
+    ) {
+        let mut a = GkSketch::new(0.05);
+        let mut b = GkSketch::new(0.05);
+        for &v in &data {
+            a.insert(v);
+            b.insert_sorted_batch(&[v]);
+        }
+        a.check_invariants().unwrap();
+        b.check_invariants().unwrap();
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.num_tuples(), b.num_tuples());
+        for probe in data.iter().step_by(97) {
+            prop_assert_eq!(a.rank_bounds_of(*probe), b.rank_bounds_of(*probe));
+        }
+    }
+
+    /// One batch into an empty sketch tracks every rank exactly (all
+    /// gaps 1, all Δ 0): the batch path's best case.
+    #[test]
+    fn single_batch_into_empty_sketch_is_exact(
+        mut data in proptest::collection::vec(0u64..100_000, 1..1500),
+    ) {
+        let mut gk = GkSketch::new(0.01);
+        gk.insert_batch(&mut data);
+        gk.check_invariants().unwrap();
+        data.sort_unstable();
+        // Compression may batch duplicates, but bounds stay exact on
+        // distinct probes because the input fit in a single exact batch.
+        for probe in data.iter().step_by(53) {
+            let (lo, hi) = gk.rank_bounds_of(*probe);
+            let truth = data.partition_point(|&x| x <= *probe) as u64;
+            prop_assert!(lo <= truth && truth <= hi);
+        }
+        let sizes = gk.num_tuples() as u64;
+        prop_assert!(sizes <= data.len() as u64);
+    }
+
+    /// Batched insertion keeps the sketch space-bounded: after interleaved
+    /// large batches, tuple count stays well below n.
+    #[test]
+    fn insert_batch_space_bounded(
+        seed in any::<u64>(),
+        chunk in 32usize..2048,
+    ) {
+        let n = 60_000u64;
+        let mut x = seed | 1;
+        let mut data: Vec<u64> = (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 11
+            })
+            .collect();
+        let mut gk = GkSketch::new(0.01);
+        for c in data.chunks_mut(chunk) {
+            gk.insert_batch(c);
+        }
+        gk.check_invariants().unwrap();
+        prop_assert!(
+            gk.num_tuples() < 6000,
+            "batched GK summary too large: {} tuples",
+            gk.num_tuples()
+        );
     }
 }

@@ -20,9 +20,7 @@
 /// * `midpoint(a, b)` for `a <= b` returns `z` with `a <= z <= b`, and
 ///   repeated bisection of `[a, b]` terminates in at most
 ///   [`Item::UNIVERSE_BITS`] steps.
-pub trait Item:
-    Copy + Ord + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static
-{
+pub trait Item: Copy + Ord + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static {
     /// Width of the encoded form in bytes.
     const ENCODED_LEN: usize;
     /// Number of bits in the universe; bounds value-space bisection depth.

@@ -31,6 +31,8 @@ pub use cache::BlockCache;
 pub use device::{BlockDevice, FileDevice, FileId, MemDevice};
 pub use encode::{Item, F64};
 pub use merge::{merge_into, merge_runs};
-pub use run::{items_per_block, write_run, RunReader, RunWriter, SortedRun};
+pub use run::{
+    items_per_block, write_run, RunReader, RunWriter, SortedRun, DEFAULT_READAHEAD_BLOCKS,
+};
 pub use sort::{external_sort, SortOutcome};
 pub use stats::{IoSnapshot, IoStats};

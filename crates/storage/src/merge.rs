@@ -43,8 +43,7 @@ pub fn merge_into<T: Item, D: BlockDevice>(
 ) -> io::Result<()> {
     // Heap of (next item, source index); Reverse for a min-heap. Ties are
     // broken by source index, making merges deterministic.
-    let mut sources: Vec<RunReader<'_, T, D>> =
-        runs.iter().map(|r| r.iter(dev)).collect();
+    let mut sources: Vec<RunReader<'_, T, D>> = runs.iter().map(|r| r.iter(dev)).collect();
     let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::with_capacity(sources.len());
     for (i, src) in sources.iter_mut().enumerate() {
         if let Some(v) = src.next() {
@@ -73,7 +72,10 @@ mod tests {
         let b = write_run(&*dev, &[2u64, 5, 8]).unwrap();
         let c = write_run(&*dev, &[3u64, 6, 9, 11, 12]).unwrap();
         let merged = merge_runs(&*dev, &[a, b, c]).unwrap();
-        assert_eq!(merged.read_all(&*dev).unwrap(), (1..=12).collect::<Vec<u64>>());
+        assert_eq!(
+            merged.read_all(&*dev).unwrap(),
+            (1..=12).collect::<Vec<u64>>()
+        );
     }
 
     #[test]

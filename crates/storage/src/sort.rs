@@ -126,7 +126,10 @@ mod tests {
         let dev = MemDevice::new(64);
         let data: Vec<u64> = (0..1000).rev().collect();
         let (run, outcome) = external_sort(&*dev, data, 64).unwrap();
-        assert_eq!(run.read_all(&*dev).unwrap(), (0..1000).collect::<Vec<u64>>());
+        assert_eq!(
+            run.read_all(&*dev).unwrap(),
+            (0..1000).collect::<Vec<u64>>()
+        );
         assert_eq!(outcome.initial_runs, 1000usize.div_ceil(64));
         assert_eq!(outcome.merge_passes, 1);
     }

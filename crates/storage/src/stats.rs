@@ -43,7 +43,8 @@ impl IoStats {
     #[inline]
     pub(crate) fn record_write(&self, bytes: usize) {
         self.writes.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Capture the current counter values.

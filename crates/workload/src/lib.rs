@@ -322,11 +322,7 @@ mod tests {
         let n = 200_000;
         let vals = g.take_vec(n);
         let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
-        let var = vals
-            .iter()
-            .map(|&v| (v as f64 - mean).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var = vals.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 1e8).abs() < 1e8 * 0.01, "mean {mean}");
         assert!((var.sqrt() - 1e7).abs() < 1e7 * 0.05, "std {}", var.sqrt());
     }
@@ -335,7 +331,9 @@ mod tests {
     fn uniform_range_and_spread() {
         let mut g = UniformGen::new(2);
         let vals = g.take_vec(100_000);
-        assert!(vals.iter().all(|&v| (100_000_000..1_000_000_000).contains(&v)));
+        assert!(vals
+            .iter()
+            .all(|&v| (100_000_000..1_000_000_000).contains(&v)));
         let mean = vals.iter().map(|&v| v as f64).sum::<f64>() / vals.len() as f64;
         assert!((mean - 5.5e8).abs() < 5.5e8 * 0.02, "mean {mean}");
     }

@@ -78,7 +78,10 @@ fn main() {
     println!("\nfull-trace Bowley skewness of flow keys: {bowley_skew:.4}");
 
     // Windowed drill-down: how far back can we compare?
-    println!("window sizes available for drill-down: {:?}", hsq.available_windows());
+    println!(
+        "window sizes available for drill-down: {:?}",
+        hsq.available_windows()
+    );
     for w in hsq.available_windows() {
         let wm = hsq.quantile_window(0.5, w).unwrap().unwrap();
         println!("  median over last {w:>2} archived hour(s): {wm:>20}");

@@ -70,7 +70,10 @@ fn main() {
     );
 
     // Windowed queries over recent time steps.
-    println!("\navailable windows (archived steps): {:?}", hsq.available_windows());
+    println!(
+        "\navailable windows (archived steps): {:?}",
+        hsq.available_windows()
+    );
     for w in hsq.available_windows() {
         if let Some(med) = hsq.quantile_window(0.5, w).unwrap() {
             println!("  median over last {w} archived day(s) + live stream: {med}");
@@ -80,7 +83,9 @@ fn main() {
 
 /// Deterministic pseudo-random values (keeps the example reproducible).
 fn pseudo_value(i: u64) -> u64 {
-    let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678);
+    let mut x = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x1234_5678);
     x ^= x >> 31;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     (x ^ (x >> 29)) % 1_000_000

@@ -53,11 +53,7 @@ fn main() {
         }
         let windows = hsq.available_windows();
         let windows_str = if windows.len() > 6 {
-            format!(
-                "{:?}.. ({} sizes)",
-                &windows[..6],
-                windows.len()
-            )
+            format!("{:?}.. ({} sizes)", &windows[..6], windows.len())
         } else {
             format!("{windows:?}")
         };

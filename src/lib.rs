@@ -35,6 +35,46 @@
 //! let median = hsq.quantile(0.5).unwrap().expect("data is non-empty");
 //! assert!((median as i64 - 20_000).unsigned_abs() < 200);
 //! ```
+//!
+//! ## Batched quickstart
+//!
+//! The hot paths are batch-first: `stream_extend` absorbs a whole slice
+//! per call (one sort feeds both the stream sketch and a pre-sorted
+//! staging segment), and `end_time_step` archives those segments with a
+//! linear merge instead of a re-sort. Same multiset, same `ε`
+//! guarantees, several times the throughput of element-wise updates —
+//! prefer it whenever elements arrive in chunks (network reads, Kafka
+//! batches, scan pages):
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles};
+//! use hsq::storage::MemDevice;
+//!
+//! let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//!
+//! // Archived days arrive as batches; ingest_step runs the batched
+//! // pipeline end to end (stream_extend + end_time_step).
+//! for day in 0..3u64 {
+//!     let batch: Vec<u64> = (0..10_000u64).map(|i| day * 10_000 + i).collect();
+//!     hsq.ingest_step(&batch).unwrap();
+//! }
+//! // The live day streams in chunks; scalar updates can interleave.
+//! let live: Vec<u64> = (30_000..40_000u64).collect();
+//! for chunk in live.chunks(4096) {
+//!     hsq.stream_extend(chunk);
+//! }
+//! hsq.stream_update(12_345);
+//!
+//! let median = hsq.quantile(0.5).unwrap().expect("data is non-empty");
+//! assert!((median as i64 - 20_000).unsigned_abs() < 200);
+//!
+//! // Sketch-level batch API, usable standalone:
+//! let mut gk = hsq::GkSketch::new(0.01);
+//! let mut batch: Vec<u64> = (0..4096u64).rev().collect();
+//! gk.insert_batch(&mut batch); // sorts once, merges in one pass
+//! assert_eq!(gk.len(), 4096);
+//! ```
 pub use hsq_core as core;
 pub use hsq_sketch as sketch;
 pub use hsq_storage as storage;

@@ -83,7 +83,10 @@ fn ours_beats_pure_streaming_at_scale() {
         // Ours within theorem bound:
         let n = s.oracle.len();
         let bound = ((0.02 * s.m as f64) + 1.0) / (phi * n as f64);
-        assert!(e_ours <= bound, "phi={phi}: ours {e_ours:.2e} > bound {bound:.2e}");
+        assert!(
+            e_ours <= bound,
+            "phi={phi}: ours {e_ours:.2e} > bound {bound:.2e}"
+        );
         if e_ours > e_gk {
             ours_worse += 1;
         }

@@ -74,7 +74,10 @@ fn normal_dataset_on_real_filesystem() {
 #[test]
 fn file_and_mem_devices_agree_exactly() {
     // The same inputs must produce the same answers regardless of backend.
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(3)
+        .build();
     let mem = MemDevice::new(512);
     let file = FileDevice::new_temp(512).unwrap();
     let mut h_mem = HistStreamQuantiles::<u64, _>::new(Arc::clone(&mem), cfg.clone());
@@ -106,7 +109,10 @@ fn error_is_stream_proportional_not_total_proportional() {
     // error stays bounded by eps*m, so relative error shrinks as history
     // grows. Verify the absolute error against eps*m directly.
     let eps = 0.05;
-    let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(10).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(eps)
+        .merge_threshold(10)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(1024), cfg);
     let mut all: Vec<u64> = Vec::new();
 
@@ -135,7 +141,9 @@ fn error_is_stream_proportional_not_total_proportional() {
             r.abs_diff(hi)
         } else if r < lo {
             lo - r
-        } else { r.saturating_sub(hi) };
+        } else {
+            r.saturating_sub(hi)
+        };
         assert!(
             dist <= allowed,
             "phi={phi}: absolute rank error {dist} exceeds eps*m = {allowed} (N = {n})"
@@ -168,7 +176,10 @@ fn stream_reset_isolation_across_steps() {
 #[test]
 fn query_costs_match_lemma7_shape() {
     // Query disk reads should be logarithmic-ish, not linear in data size.
-    let cfg = HsqConfig::builder().epsilon(0.01).merge_threshold(10).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(10)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(512), cfg);
     let mut driver = TimeStepDriver::new(Dataset::Normal, 5, 4_000, 26);
     for _ in 0..25 {
@@ -185,7 +196,10 @@ fn query_costs_match_lemma7_shape() {
         "query read {} blocks of {n_blocks} — not sublinear",
         out.io.total_reads()
     );
-    assert!(out.io.total_reads() > 0, "non-trivial query must touch disk");
+    assert!(
+        out.io.total_reads() > 0,
+        "non-trivial query must touch disk"
+    );
 }
 
 #[test]
@@ -193,7 +207,10 @@ fn update_costs_match_lemma6_shape() {
     // Amortized update I/O per step ~ (blocks per batch) * (1 + merge
     // levels); it must stay far below rewriting the whole warehouse each
     // step (the strawman's cost).
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(4).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(4)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(512), cfg);
     let step_items = 6_400u64; // 100 blocks per batch
     let steps = 32u64;
@@ -211,5 +228,8 @@ fn update_costs_match_lemma6_shape() {
         "amortized {per_step} blocks/step exceeds Lemma 6 regime"
     );
     // And it must exceed the bare batch write (sorting is not free).
-    assert!(per_step >= batch_blocks, "amortized {per_step} below write floor");
+    assert!(
+        per_step >= batch_blocks,
+        "amortized {per_step} below write floor"
+    );
 }

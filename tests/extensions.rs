@@ -13,7 +13,10 @@ use hsq::workload::{Dataset, TimeStepDriver};
 fn heavy_hitters_on_skewed_trace() {
     // The Zipf-skewed network trace has true heavy flow pairs; the tracker
     // must find them with sound counts.
-    let cfg = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(4)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(1024), cfg);
     h.enable_heavy_hitters(HeavyHitterConfig::default());
 
@@ -63,7 +66,10 @@ fn heavy_hitters_on_skewed_trace() {
 fn persist_and_recover_engine_round_trip() {
     let dir = std::env::temp_dir().join(format!("hsq-ext-recover-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(3)
+        .build();
 
     let manifest;
     let expected: Vec<Option<u64>>;
@@ -88,7 +94,10 @@ fn persist_and_recover_engine_round_trip() {
 #[test]
 fn recovered_engine_keeps_streaming_and_archiving() {
     let dev = MemDevice::new(512);
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(3)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg.clone());
     for batch in TimeStepDriver::new(Dataset::Uniform, 9, 1_000, 5) {
         h.ingest_step(&batch).unwrap();
@@ -108,12 +117,18 @@ fn recovered_engine_keeps_streaming_and_archiving() {
 
 #[test]
 fn batch_quantiles_match_single_queries() {
-    let cfg = HsqConfig::builder().epsilon(0.02).merge_threshold(4).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.02)
+        .merge_threshold(4)
+        .build();
     let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(512), cfg);
     for batch in TimeStepDriver::new(Dataset::Wikipedia, 13, 2_000, 6) {
         h.ingest_step(&batch).unwrap();
     }
-    for v in TimeStepDriver::new(Dataset::Wikipedia, 14, 2_000, 1).next().unwrap() {
+    for v in TimeStepDriver::new(Dataset::Wikipedia, 14, 2_000, 1)
+        .next()
+        .unwrap()
+    {
         h.stream_update(v);
     }
     let phis = [0.01, 0.25, 0.5, 0.75, 0.99];

@@ -63,7 +63,10 @@ impl BlockDevice for FlakyDevice {
 
 #[test]
 fn read_failures_surface_as_errors_not_panics() {
-    let cfg = HsqConfig::builder().epsilon(0.02).merge_threshold(3).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.02)
+        .merge_threshold(3)
+        .build();
     // Plenty of reads for ingest (merging reads blocks), then burn out.
     let dev = FlakyDevice::new(256, 10_000);
     let mut h = HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg);
@@ -89,7 +92,10 @@ fn read_failures_surface_as_errors_not_panics() {
 
 #[test]
 fn f64_items_end_to_end() {
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(3).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(3)
+        .build();
     let mut h = HistStreamQuantiles::<F64, _>::new(MemDevice::new(512), cfg);
     let mut all: Vec<f64> = Vec::new();
     for step in 0..5u64 {
@@ -121,7 +127,10 @@ fn f64_items_end_to_end() {
 
 #[test]
 fn i64_negative_values_end_to_end() {
-    let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(4).build();
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(4)
+        .build();
     let mut h = HistStreamQuantiles::<i64, _>::new(MemDevice::new(512), cfg);
     for step in 0..4i64 {
         let batch: Vec<i64> = (-500..500).map(|i| i * 3 + step).collect();
