@@ -1,0 +1,184 @@
+//! Shard-count scaling of the sharded engine: ingest throughput and
+//! cross-shard query cost at 1, 2, 4, and 8 shards over the same uniform
+//! u64 workload.
+//!
+//! Run: `cargo run --release -p hsq-bench --bin sharded_scaling`
+//!
+//! Ingestion fans out one thread per shard (bounded by
+//! `hsq_core::parallel::worker_count`, i.e. the machine's cores unless
+//! `HSQ_WORKERS` overrides it), so the speedup column tracks available
+//! parallelism: on a multi-core box 4 shards approach 4x; on a single
+//! core the split still pays for itself via smaller per-shard sorts. The
+//! recorded `workers` field says which regime produced the numbers.
+//!
+//! Results are merged into `BENCH_headline.json` (override the path with
+//! `HSQ_BENCH_JSON`) under a `"sharded"` key, preserving the headline
+//! bin's sections, so the CI bench-trend gate tracks both together.
+
+use std::time::Instant;
+
+use hsq_bench::figure_header;
+use hsq_bench::trend::Json;
+use hsq_core::{HsqConfig, ShardedEngine};
+use hsq_storage::MemDevice;
+use hsq_workload::Dataset;
+
+const STEPS: usize = 12;
+const STEP_ITEMS: usize = 1 << 16; // 64k items per step, ~786k total
+const CHUNK: usize = 4096;
+const REPEATS: usize = 3;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config() -> HsqConfig {
+    HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(10)
+        .build()
+}
+
+/// Best-of-`REPEATS` ingest throughput (elements/second) at `shards`
+/// shards: `stream_extend` in 4096-element chunks + `end_time_step` per
+/// step, the batched pipeline end to end.
+fn ingest_throughput(shards: usize, data: &[Vec<u64>]) -> f64 {
+    let mut best = 0.0f64;
+    let total: usize = data.iter().map(Vec::len).sum();
+    for _ in 0..REPEATS {
+        let mut engine =
+            ShardedEngine::<u64, _>::with_shards(shards, config(), |_| MemDevice::new(4096));
+        let t = Instant::now();
+        for step in data {
+            for chunk in step.chunks(CHUNK) {
+                engine.stream_extend(chunk);
+            }
+            engine.end_time_step().expect("archival failed");
+        }
+        let eps = total as f64 / t.elapsed().as_secs_f64();
+        best = best.max(eps);
+    }
+    best
+}
+
+/// Mean accurate-query cost over the standard φ set on a fully ingested
+/// engine: (seconds, disk reads, max rank error vs the sorted truth).
+fn query_cost(shards: usize, data: &[Vec<u64>]) -> (f64, f64, u64) {
+    let mut engine =
+        ShardedEngine::<u64, _>::with_shards(shards, config(), |_| MemDevice::new(4096));
+    for step in data[..data.len() - 1].iter() {
+        engine.ingest_step(step).expect("archival failed");
+    }
+    engine.stream_extend(data.last().expect("non-empty"));
+
+    let mut sorted: Vec<u64> = data.iter().flatten().copied().collect();
+    sorted.sort_unstable();
+    let n = sorted.len() as u64;
+
+    let snap = engine.snapshot();
+    let phis = [0.05, 0.25, 0.5, 0.75, 0.95];
+    let mut secs = 0.0;
+    let mut reads = 0u64;
+    let mut worst = 0u64;
+    for &phi in &phis {
+        let r = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        let t = Instant::now();
+        let out = snap.rank_query(r).unwrap().unwrap();
+        secs += t.elapsed().as_secs_f64();
+        reads += out.io.total_reads();
+        let hi = sorted.partition_point(|&x| x <= out.value) as u64;
+        let lo = sorted.partition_point(|&x| x < out.value) as u64 + 1;
+        let dist = if r < lo { lo - r } else { r.saturating_sub(hi) };
+        worst = worst.max(dist);
+    }
+    (
+        secs / phis.len() as f64,
+        reads as f64 / phis.len() as f64,
+        worst,
+    )
+}
+
+fn main() {
+    let workers = hsq_core::parallel::worker_count(SHARD_COUNTS[SHARD_COUNTS.len() - 1]);
+    figure_header(
+        "Sharded scaling: ingest throughput and query fan-in vs shard count",
+        "mergeable shards; rank bounds add across disjoint shards (KLL-style mergeability)",
+        &format!(
+            "{STEPS} steps x {STEP_ITEMS} uniform u64 + one live step, chunk {CHUNK}, \
+             {workers} worker thread(s)"
+        ),
+    );
+
+    // One deterministic dataset for every configuration.
+    let data: Vec<Vec<u64>> = (0..STEPS + 1)
+        .map(|s| {
+            Dataset::Uniform
+                .generator(1000 + s as u64)
+                .take_vec(STEP_ITEMS)
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut base_eps = 0.0f64;
+    println!("\nshards | ingest Melem/s | speedup | query ms | reads/query | max rank err");
+    println!("-------+----------------+---------+----------+-------------+-------------");
+    for &k in &SHARD_COUNTS {
+        let eps = ingest_throughput(k, &data);
+        if k == 1 {
+            base_eps = eps;
+        }
+        let speedup = eps / base_eps.max(1.0);
+        let (qsecs, qreads, worst) = query_cost(k, &data);
+        println!(
+            "{k:>6} | {:>14.2} | {speedup:>6.2}x | {:>8.3} | {qreads:>11.1} | {worst:>12}",
+            eps / 1e6,
+            qsecs * 1e3,
+        );
+        let allowed = (0.01 * STEP_ITEMS as f64).ceil() as u64 + 1;
+        assert!(
+            worst <= allowed,
+            "{k} shards: rank error {worst} exceeds eps*m = {allowed}"
+        );
+        rows.push(Json::Obj(vec![
+            ("shards".into(), Json::Num(k as f64)),
+            ("ingest_elems_per_sec".into(), Json::Num(eps.round())),
+            (
+                "speedup_vs_1_shard".into(),
+                Json::Num((speedup * 100.0).round() / 100.0),
+            ),
+            (
+                "query_seconds".into(),
+                Json::Num((qsecs * 1e6).round() / 1e6),
+            ),
+            ("disk_reads_per_query".into(), Json::Num(qreads)),
+        ]));
+    }
+
+    // Merge into the headline JSON (keep the other bins' sections).
+    let path =
+        std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
+    let mut doc = std::fs::read_to_string(&path)
+        .ok()
+        .and_then(|raw| Json::parse(&raw).ok())
+        .unwrap_or_else(|| Json::Obj(vec![("bench".into(), Json::Str("headline".into()))]));
+    doc.set(
+        "sharded",
+        Json::Obj(vec![
+            ("workers".into(), Json::Num(workers as f64)),
+            ("steps".into(), Json::Num(STEPS as f64)),
+            ("step_items".into(), Json::Num(STEP_ITEMS as f64)),
+            ("scaling".into(), Json::Arr(rows)),
+        ]),
+    );
+    match std::fs::write(&path, doc.render()) {
+        Ok(()) => println!("\nmerged sharded scaling into {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    // Exercise a snapshot racing ingestion once, so the bench exits
+    // non-zero if the concurrency machinery ever breaks under release
+    // optimizations.
+    let mut engine = ShardedEngine::<u64, _>::with_shards(4, config(), |_| MemDevice::new(4096));
+    engine.ingest_step(&data[0]).unwrap();
+    let snap = engine.snapshot();
+    let before = snap.total_len();
+    engine.ingest_step(&data[1]).unwrap();
+    assert_eq!(snap.total_len(), before, "snapshot must be immutable");
+}

@@ -14,6 +14,8 @@
 //! comparable regime. Memory budgets scale likewise; every ratio the
 //! paper varies (memory:data, history:stream, κ, steps) is preserved.
 
+pub mod trend;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

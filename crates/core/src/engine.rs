@@ -18,12 +18,12 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hsq_storage::{BlockDevice, Item};
+use hsq_storage::{BlockCache, BlockDevice, Item};
 
 use crate::config::HsqConfig;
 use crate::query::{QueryContext, QueryOutcome};
-use crate::stream::StreamProcessor;
-use crate::warehouse::{UpdateReport, Warehouse};
+use crate::stream::{StreamProcessor, StreamSummary};
+use crate::warehouse::{PinGuard, StoredPartition, UpdateReport, Warehouse};
 
 /// Integrated quantile engine over the union of historical and streaming
 /// data.
@@ -269,6 +269,30 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             .collect()
     }
 
+    /// An immutable, self-contained view of everything ingested so far:
+    /// the stream summary is extracted (cloned) from the GK sketch and the
+    /// partition list is cloned with its backing files *pinned*, so the
+    /// snapshot keeps answering queries — with the same `εm` guarantee,
+    /// where `m` is the stream size at snapshot time — while this engine
+    /// continues to ingest, archive, and merge partitions underneath.
+    ///
+    /// This is the concurrent-reader primitive: hold the engine's lock
+    /// just long enough to take the snapshot, then query it lock-free.
+    pub fn snapshot(&self) -> EngineSnapshot<T, D> {
+        let (parts, pins) = self.warehouse.pinned_partitions();
+        EngineSnapshot {
+            dev: Arc::clone(self.warehouse.device()),
+            parts,
+            stream: self.stream.summary(),
+            steps: self.warehouse.steps(),
+            historical_len: self.warehouse.total_len(),
+            epsilon: self.config.query_epsilon(),
+            cache_blocks: self.config.cache_blocks,
+            parallel: self.config.parallel_query,
+            _pins: pins,
+        }
+    }
+
     /// Persist the warehouse's metadata (see [`crate::manifest`]);
     /// recover later with [`Self::recover`]. The live stream is volatile
     /// and not persisted (recovery is at time-step granularity).
@@ -362,6 +386,134 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             self.config.cache_blocks,
         );
         ctx.accurate_rank(r)
+    }
+}
+
+/// An immutable view of one engine at a point in time (see
+/// [`HistStreamQuantiles::snapshot`]).
+///
+/// Owns a cloned [`StreamSummary`] and a pinned copy of the partition
+/// list; queries run against it without touching — or blocking — the live
+/// engine. Dropping the snapshot releases the pins (deferred partition
+/// files are then deleted).
+pub struct EngineSnapshot<T: Item, D: BlockDevice> {
+    dev: Arc<D>,
+    /// `(level, partition)` pairs, level-major, oldest first within a
+    /// level — the same order the manifest serializes.
+    parts: Vec<(usize, StoredPartition<T>)>,
+    stream: StreamSummary<T>,
+    steps: u64,
+    historical_len: u64,
+    epsilon: f64,
+    cache_blocks: usize,
+    parallel: bool,
+    _pins: PinGuard<D>,
+}
+
+impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
+    /// The block device the pinned partitions live on.
+    pub fn device(&self) -> &Arc<D> {
+        &self.dev
+    }
+
+    /// Time steps archived when the snapshot was taken.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Historical size `n` at snapshot time.
+    pub fn historical_len(&self) -> u64 {
+        self.historical_len
+    }
+
+    /// Stream size `m` at snapshot time.
+    pub fn stream_len(&self) -> u64 {
+        self.stream.stream_len()
+    }
+
+    /// Total size `N = n + m` at snapshot time.
+    pub fn total_len(&self) -> u64 {
+        self.historical_len + self.stream_len()
+    }
+
+    /// The pinned partitions with their levels (manifest order).
+    pub fn leveled_partitions(&self) -> &[(usize, StoredPartition<T>)] {
+        &self.parts
+    }
+
+    /// The extracted stream summary.
+    pub fn stream_summary(&self) -> &StreamSummary<T> {
+        &self.stream
+    }
+
+    /// Per-source rank-bound views (partitions + stream), the inputs a
+    /// cross-shard [`crate::bounds::CombinedSummary`] is assembled from.
+    pub fn sources(&self) -> Vec<crate::bounds::SourceView<T>> {
+        let mut out: Vec<crate::bounds::SourceView<T>> = self
+            .parts
+            .iter()
+            .map(|(_, p)| crate::bounds::SourceView::from_partition(&p.summary))
+            .collect();
+        out.push(crate::bounds::SourceView::from_stream(&self.stream));
+        out
+    }
+
+    /// One decoded-block cache per partition, splitting the configured
+    /// budget — reuse across probes of one logical query.
+    pub fn new_caches(&self) -> Vec<BlockCache<T>> {
+        let per = (self.cache_blocks / self.parts.len().max(1)).max(2);
+        self.parts.iter().map(|_| BlockCache::new(per)).collect()
+    }
+
+    /// Rigorous bounds on `rank(z, T)` at snapshot time: exact disk ranks
+    /// (summary-narrowed, cache-served) plus the stream's tracked interval.
+    /// `caches` must come from [`EngineSnapshot::new_caches`].
+    pub fn rank_bounds(&self, z: T, caches: &mut [BlockCache<T>]) -> io::Result<(u64, u64)> {
+        let parts: Vec<&StoredPartition<T>> = self.parts.iter().map(|(_, p)| p).collect();
+        crate::query::union_rank_bounds(&*self.dev, &parts, &self.stream, z, caches)
+    }
+
+    fn context(&self) -> QueryContext<'_, T, D> {
+        QueryContext::new(
+            &*self.dev,
+            self.parts.iter().map(|(_, p)| p).collect(),
+            &self.stream,
+            self.epsilon,
+            self.cache_blocks,
+        )
+        .with_parallel(self.parallel)
+    }
+
+    /// Accurate φ-quantile over the snapshot (Theorem 2 at snapshot time).
+    pub fn quantile(&self, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        Ok(self.rank_query(r)?.map(|o| o.value))
+    }
+
+    /// Accurate rank query over the snapshot, with cost reporting.
+    pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        self.context().accurate_rank(r)
+    }
+
+    /// Batch of φ-quantiles sharing one combined-summary build.
+    pub fn quantiles(&self, phis: &[f64]) -> io::Result<Vec<Option<T>>> {
+        let ctx = self.context();
+        let n = self.total_len();
+        phis.iter()
+            .map(|&phi| {
+                assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+                let r = (phi * n as f64).ceil() as u64;
+                Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+            })
+            .collect()
+    }
+
+    /// Quick φ-quantile over the snapshot (in-memory, error ≤ 1.5εN).
+    pub fn quantile_quick(&self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        self.context().quick_rank(r)
     }
 }
 
@@ -770,6 +922,89 @@ mod tests {
         let report = h.end_time_step().unwrap();
         assert_eq!(report.total_accesses(), 0);
         assert_eq!(h.warehouse().steps(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_ingestion() {
+        let mut h = engine(0.05, 2);
+        for step in 0..4u64 {
+            let batch: Vec<u64> = (0..250).map(|i| step * 250 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for v in 1000..1100u64 {
+            h.stream_update(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.total_len(), 1100);
+        assert_eq!(snap.stream_len(), 100);
+        let med_before = snap.quantile(0.5).unwrap().unwrap();
+
+        // Keep ingesting: kappa = 2 forces merges that retire the pinned
+        // runs; the snapshot must keep answering over the OLD data.
+        for step in 4..12u64 {
+            let batch: Vec<u64> = (0..250).map(|i| step * 250 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        assert_eq!(snap.total_len(), 1100);
+        let med_after = snap.quantile(0.5).unwrap().unwrap();
+        assert_eq!(med_before, med_after);
+        assert!((med_after as i64 - 550).abs() <= 10, "median {med_after}");
+        // The live engine reflects the new data: 3000 archived values
+        // 0..3000 plus the 100 streamed duplicates of 1000..1100 put the
+        // median near 1450.
+        let live = h.quantile(0.5).unwrap().unwrap();
+        assert!((live as i64 - 1450).abs() <= 20, "live median {live}");
+    }
+
+    #[test]
+    fn snapshot_quick_and_batch_queries() {
+        let mut h = engine(0.1, 3);
+        for step in 0..5u64 {
+            let batch: Vec<u64> = (0..200).map(|i| step * 200 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        let snap = h.snapshot();
+        let qs = snap.quantiles(&[0.25, 0.5, 0.75]).unwrap();
+        for w in qs.windows(2) {
+            assert!(w[0].unwrap() <= w[1].unwrap());
+        }
+        let quick = snap.quantile_quick(0.5).unwrap();
+        assert!((quick as i64 - 500).abs() <= 160, "quick {quick}");
+    }
+
+    #[test]
+    fn snapshot_rank_bounds_are_sound() {
+        let mut h = engine(0.1, 3);
+        let mut all: Vec<u64> = Vec::new();
+        for step in 0..6u64 {
+            let batch: Vec<u64> = (0..150).map(|i| (i * 31 + step * 7) % 2000).collect();
+            all.extend(&batch);
+            h.ingest_step(&batch).unwrap();
+        }
+        for i in 0..150u64 {
+            let v = (i * 17) % 2000;
+            all.push(v);
+            h.stream_update(v);
+        }
+        let snap = h.snapshot();
+        let mut caches = snap.new_caches();
+        for z in [0u64, 123, 999, 1500, 1999, 5000] {
+            let truth = all.iter().filter(|&&x| x <= z).count() as u64;
+            let (lo, hi) = snap.rank_bounds(z, &mut caches).unwrap();
+            assert!(
+                lo <= truth && truth <= hi,
+                "z={z}: {truth} outside [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let h = engine(0.1, 3);
+        let snap = h.snapshot();
+        assert_eq!(snap.total_len(), 0);
+        assert!(snap.quantile(0.5).unwrap().is_none());
+        assert!(snap.quantile_quick(0.5).is_none());
     }
 
     #[test]

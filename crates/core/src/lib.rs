@@ -31,6 +31,14 @@
 //! ([`budget`]), the analytic cost model ([`costmodel`]) and parallel
 //! probing ([`parallel`]) complete the reproduction.
 //!
+//! Beyond the paper, the crate scales the engine out: [`sharded`]
+//! hash-partitions items across independent engine shards with mergeable
+//! cross-shard queries (per-shard rank bounds add, preserving the `εm`
+//! guarantee over the union), and [`engine::EngineSnapshot`] gives
+//! readers immutable pinned views so queries run concurrently with
+//! ingestion; [`manifest`] persists warehouses — including consistent
+//! online backups taken from a snapshot.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -68,6 +76,7 @@ pub mod heavy;
 pub mod manifest;
 pub mod parallel;
 pub mod query;
+pub mod sharded;
 pub mod stream;
 pub mod summary;
 pub mod warehouse;
@@ -76,9 +85,10 @@ pub use baseline::{PureStreaming, Strawman, StreamingAlgo};
 pub use bounds::{CombinedSummary, SourceView};
 pub use budget::{plan_memory, MemoryPlan};
 pub use config::{HsqConfig, HsqConfigBuilder};
-pub use engine::HistStreamQuantiles;
+pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
 pub use query::{QueryContext, QueryOutcome};
+pub use sharded::{ShardedEngine, ShardedSnapshot};
 pub use stream::{StreamProcessor, StreamSummary};
 pub use summary::{PartitionSummary, SummaryEntry};
-pub use warehouse::{StoredPartition, UpdateReport, Warehouse};
+pub use warehouse::{PinGuard, StoredPartition, UpdateReport, Warehouse};

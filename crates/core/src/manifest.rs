@@ -108,21 +108,57 @@ fn corrupt(msg: &str) -> io::Error {
 /// returns the manifest's [`FileId`] (persist it out of band, e.g. in a
 /// config file — it is the only thing recovery needs besides the device).
 pub fn persist<T: Item, D: BlockDevice>(w: &Warehouse<T, D>) -> io::Result<FileId> {
-    let mut out = Writer::new();
-    out.buf.extend_from_slice(MAGIC);
-    out.u64(VERSION);
-    out.u64(T::ENCODED_LEN as u64);
-    out.u64(w.steps());
-    out.u64(w.total_len());
-
     let mut parts: Vec<(u64, &StoredPartition<T>)> = Vec::new();
     for level in 0..w.num_levels() {
         for p in w.level(level) {
             parts.push((level as u64, p));
         }
     }
+    write_manifest(&**w.device(), w.steps(), w.total_len(), &parts)
+}
+
+/// Serialize an [`crate::engine::EngineSnapshot`]'s pinned partition list
+/// as a manifest on the snapshot's device: a *consistent online backup*
+/// taken without pausing ingestion — the snapshot's pins guarantee every
+/// referenced file exists at write time.
+///
+/// The manifest stays recoverable for as long as its partition files
+/// live. Files are only ever deleted when a cascade merge retires them
+/// *and* the last snapshot pinning them drops — so either recover (or
+/// copy the device) before dropping the snapshot, or rely on the common
+/// case that upper-level partitions persist across many time steps.
+pub fn persist_snapshot<T: Item, D: BlockDevice>(
+    snap: &crate::engine::EngineSnapshot<T, D>,
+) -> io::Result<FileId> {
+    let parts: Vec<(u64, &StoredPartition<T>)> = snap
+        .leveled_partitions()
+        .iter()
+        .map(|(l, p)| (*l as u64, p))
+        .collect();
+    write_manifest(
+        &**snap.device(),
+        snap.steps(),
+        snap.historical_len(),
+        &parts,
+    )
+}
+
+/// Shared serializer behind [`persist`] and [`persist_snapshot`].
+fn write_manifest<T: Item, D: BlockDevice>(
+    dev: &D,
+    steps: u64,
+    total_len: u64,
+    parts: &[(u64, &StoredPartition<T>)],
+) -> io::Result<FileId> {
+    let mut out = Writer::new();
+    out.buf.extend_from_slice(MAGIC);
+    out.u64(VERSION);
+    out.u64(T::ENCODED_LEN as u64);
+    out.u64(steps);
+    out.u64(total_len);
+
     out.u64(parts.len() as u64);
-    for (level, p) in parts {
+    for &(level, p) in parts {
         out.u64(level);
         out.u64(p.run.file());
         out.u64(p.run.len());
@@ -141,7 +177,6 @@ pub fn persist<T: Item, D: BlockDevice>(w: &Warehouse<T, D>) -> io::Result<FileI
     out.u64(crc);
 
     // Write chunked into device blocks.
-    let dev = w.device();
     let file = dev.create()?;
     for (i, chunk) in out.buf.chunks(dev.block_size()).enumerate() {
         dev.write_block(file, i as u64, chunk)?;
@@ -284,6 +319,39 @@ mod tests {
         recovered.add_batch((10_000..10_500u64).collect()).unwrap();
         recovered.check_invariants().unwrap();
         assert_eq!(recovered.total_len(), w.total_len() + 500);
+    }
+
+    #[test]
+    fn snapshot_backup_recovers_old_state() {
+        // Persist from a snapshot, keep ingesting (merges retire pinned
+        // runs — deletion deferred while the snapshot lives), then recover
+        // the backup: it must reflect the snapshot-time state.
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = 2;
+        let dev = MemDevice::new(256);
+        let mut engine = crate::engine::HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), {
+            let mut c = HsqConfig::with_epsilon(0.1);
+            c.kappa = 2;
+            c
+        });
+        for s in 0..5u64 {
+            engine
+                .ingest_step(&(s * 100..s * 100 + 100).collect::<Vec<_>>())
+                .unwrap();
+        }
+        let snap = engine.snapshot();
+        let manifest = persist_snapshot(&snap).unwrap();
+        for s in 5..8u64 {
+            engine
+                .ingest_step(&(s * 100..s * 100 + 100).collect::<Vec<_>>())
+                .unwrap();
+        }
+        // Recover while the snapshot still pins the old files.
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(&dev), cfg, manifest).unwrap();
+        assert_eq!(recovered.total_len(), 500);
+        assert_eq!(recovered.steps(), 5);
+        drop(snap);
     }
 
     #[test]

@@ -1,15 +1,18 @@
-//! Parallel query processing (paper §4, future work): "During query
-//! processing on historical data, different disk partitions can be
-//! processed in parallel, leading to a lower latency by overlapping
-//! different disk reads (assuming that the storage itself can support
-//! parallel reads)."
+//! Bounded-thread fan-out helpers: parallel partition probing (paper §4,
+//! future work: "different disk partitions can be processed in parallel")
+//! and the generic [`par_map_mut`] pool the sharded engine uses for
+//! per-shard ingestion and cross-shard query fan-in.
 //!
 //! [`par_partition_ranks`] computes the per-partition exact ranks of the
-//! bisection midpoint concurrently, one scoped thread per partition, each
-//! with its own decoded-block cache. Enabled via
-//! [`crate::HsqConfig`]'s `parallel_query` flag or
-//! [`crate::query::QueryContext::with_parallel`]. I/O *counts* are
-//! unchanged — only wall-clock latency overlaps.
+//! bisection midpoint concurrently, each partition with its own
+//! decoded-block cache. Enabled via [`crate::HsqConfig`]'s
+//! `parallel_query` flag or [`crate::query::QueryContext::with_parallel`].
+//! I/O *counts* are unchanged — only wall-clock latency overlaps.
+//!
+//! All helpers bound their thread count by [`worker_count`]:
+//! `available_parallelism()` unless the `HSQ_WORKERS` environment
+//! variable overrides it (raise it to overlap blocking device I/O across
+//! shards even on few cores).
 
 use std::io;
 
@@ -17,6 +20,67 @@ use hsq_storage::{BlockCache, BlockDevice, Item};
 
 use crate::query::partition_rank;
 use crate::warehouse::StoredPartition;
+
+/// Worker-thread bound shared by every fan-out helper in this module:
+/// `available_parallelism()`, clamped to `[1, tasks]`, overridable with
+/// the `HSQ_WORKERS` environment variable (useful to overlap blocking
+/// device I/O across shards even on few cores).
+pub fn worker_count(tasks: usize) -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let workers = std::env::var("HSQ_WORKERS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&w| w > 0)
+        .unwrap_or(default);
+    workers.clamp(1, tasks.max(1))
+}
+
+/// Apply `f` to every item of `items` (with its index), running up to
+/// [`worker_count`] scoped threads over contiguous chunks; results are
+/// returned in input order. Runs inline when one worker suffices.
+///
+/// The shard fan-out primitive: [`crate::sharded::ShardedEngine`] uses it
+/// to ingest per-shard batches and to probe shard snapshots concurrently.
+pub fn par_map_mut<I, R, F>(items: &mut [I], f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(usize, &mut I) -> R + Sync,
+{
+    let n = items.len();
+    let workers = worker_count(n);
+    if workers <= 1 || n <= 1 {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let results: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, chunk_items)| {
+                let f = &f;
+                s.spawn(move || {
+                    chunk_items
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(j, item)| f(ci * chunk + j, item))
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map_mut worker panicked"))
+            .collect()
+    });
+    results.into_iter().flatten().collect()
+}
 
 /// Compute `rank(z, P)` for every partition concurrently.
 ///
@@ -38,10 +102,7 @@ pub fn par_partition_ranks<T: Item, D: BlockDevice>(
     assert_eq!(partitions.len(), windows.len());
     assert_eq!(partitions.len(), caches.len());
     let n = partitions.len();
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .clamp(1, n.max(1));
+    let workers = worker_count(n);
     if workers <= 1 || n <= 1 {
         let mut per = Vec::with_capacity(n);
         for ((&p, &w), cache) in partitions.iter().zip(windows).zip(caches.iter_mut()) {
@@ -131,6 +192,27 @@ mod tests {
             assert_eq!(serial.value, parallel.value, "r = {r}");
             assert_eq!(serial.estimated_rank, parallel.estimated_rank);
         }
+    }
+
+    #[test]
+    fn par_map_mut_preserves_order() {
+        let mut items: Vec<u64> = (0..37).collect();
+        let out = par_map_mut(&mut items, |i, v| {
+            *v += 1;
+            (i as u64, *v)
+        });
+        for (i, &(idx, v)) in out.iter().enumerate() {
+            assert_eq!(idx, i as u64);
+            assert_eq!(v, i as u64 + 1);
+        }
+        assert_eq!(items, (1..38).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn worker_count_bounds() {
+        assert_eq!(worker_count(0), 1);
+        assert_eq!(worker_count(1), 1);
+        assert!(worker_count(64) >= 1);
     }
 
     #[test]

@@ -242,6 +242,31 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
     }
 }
 
+/// Rigorous bounds on `rank(z, T)` over `partitions ∪ stream`: the exact
+/// disk-side rank (each partition probed inside its summary-narrowed
+/// window, block reads served through the per-partition `caches`) plus the
+/// stream summary's tracked interval.
+///
+/// This is the per-shard probe of the cross-shard fan-in
+/// ([`crate::sharded`]): bounds from disjoint shards *add*, so a global
+/// bisection over the summed bounds inherits each shard's guarantee.
+pub fn union_rank_bounds<T: Item, D: BlockDevice>(
+    dev: &D,
+    partitions: &[&StoredPartition<T>],
+    stream: &StreamSummary<T>,
+    z: T,
+    caches: &mut [BlockCache<T>],
+) -> io::Result<(u64, u64)> {
+    debug_assert_eq!(partitions.len(), caches.len());
+    let mut rho1 = 0u64;
+    for (p, cache) in partitions.iter().zip(caches.iter_mut()) {
+        let w = p.summary.narrow(z, z);
+        rho1 += partition_rank(dev, p, z, w, cache)?;
+    }
+    let (lo, hi) = stream.rank_bounds(z);
+    Ok((rho1 + lo, rho1 + hi))
+}
+
 /// Exact `rank(z, P)` (count of elements ≤ z) with the search confined to
 /// the window `[lo, hi]` (counts), probing whole blocks through the cache.
 ///

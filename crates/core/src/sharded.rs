@@ -1,0 +1,719 @@
+//! Sharded multi-tenant engine: hash-partitioned [`HistStreamQuantiles`]
+//! shards with mergeable cross-shard queries.
+//!
+//! **Extension beyond the paper**, which serves one stream against one
+//! warehouse. A production deployment (TidalRace-style, §1) serves many
+//! independent streams at once; the standard lever for scaling sketch
+//! systems is *mergeability* — KLL-style compactor sketches are designed
+//! around merge, and the same property holds here because ranks over a
+//! disjoint union add:
+//!
+//! `rank(z, T) = Σ_s rank(z, T_s)`  for any partitioning of `T` into
+//! shards `T_s`.
+//!
+//! [`ShardedEngine`] hash-partitions items across `k` independent engine
+//! shards (each with its own GK stream sketch and warehouse), fans
+//! ingestion out per shard (parallel, via the bounded pool in
+//! [`crate::parallel`]), and answers quantile/rank queries by *fan-in*: a
+//! global value-space bisection over the summed per-shard
+//! `(rank_lo, rank_hi)` bounds. Each shard contributes uncertainty at
+//! most `ε·m_s`, so the summed bounds carry uncertainty at most
+//! `ε·Σm_s = ε·m` — the combined answer keeps the exact same Theorem-2
+//! guarantee as a single engine fed the union.
+//!
+//! Queries run against a [`ShardedSnapshot`] (one pinned
+//! [`EngineSnapshot`] per shard), so readers proceed concurrently with
+//! ingestion: take the snapshot under the writer's lock, query it
+//! lock-free while `end_time_step` archives and merges underneath.
+
+use std::io;
+use std::sync::Arc;
+
+use hsq_storage::{BlockCache, BlockDevice, FileId, IoSnapshot, Item};
+
+use crate::bounds::CombinedSummary;
+use crate::config::HsqConfig;
+use crate::engine::{EngineSnapshot, HistStreamQuantiles};
+use crate::query::QueryOutcome;
+use crate::stream::StreamSummary;
+use crate::warehouse::UpdateReport;
+
+/// Shard index of item `e` among `shards`: a multiplicative hash of the
+/// order-preserving key. Deterministic across runs and processes, so a
+/// persisted sharded engine routes identically after recovery.
+#[inline]
+pub fn shard_index<T: Item>(e: T, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    // Fibonacci multiplicative hashing: cheap (one multiply) and mixes
+    // sequential keys well; the top bits carry the entropy.
+    let h = e.to_ordered_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) as usize) % shards
+}
+
+/// `k` independent engine shards behind one ingestion/query facade.
+///
+/// See the module docs for the design; see the crate-level quickstart for
+/// an end-to-end example.
+pub struct ShardedEngine<T: Item, D: BlockDevice> {
+    shards: Vec<HistStreamQuantiles<T, D>>,
+    config: HsqConfig,
+    /// Reusable per-shard split buffers for [`ShardedEngine::stream_extend`].
+    scratch: Vec<Vec<T>>,
+}
+
+impl<T: Item, D: BlockDevice> ShardedEngine<T, D> {
+    /// One shard per device in `devices` (typically one device — disk,
+    /// directory, or memory arena — per shard so their I/O is
+    /// independent). All shards share `config`. Panics if `devices` is
+    /// empty.
+    pub fn new(devices: Vec<Arc<D>>, config: HsqConfig) -> Self {
+        assert!(!devices.is_empty(), "at least one shard device required");
+        let shards: Vec<_> = devices
+            .into_iter()
+            .map(|d| HistStreamQuantiles::new(d, config.clone()))
+            .collect();
+        let scratch = shards.iter().map(|_| Vec::new()).collect();
+        ShardedEngine {
+            shards,
+            config,
+            scratch,
+        }
+    }
+
+    /// Convenience: `n` shards on devices produced by `mk(shard_index)`.
+    pub fn with_shards(n: usize, config: HsqConfig, mut mk: impl FnMut(usize) -> Arc<D>) -> Self {
+        assert!(n > 0, "at least one shard required");
+        Self::new((0..n).map(&mut mk).collect(), config)
+    }
+
+    /// The configuration shared by every shard.
+    pub fn config(&self) -> &HsqConfig {
+        &self.config
+    }
+
+    /// Number of shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Read access to shard `i`.
+    pub fn shard(&self, i: usize) -> &HistStreamQuantiles<T, D> {
+        &self.shards[i]
+    }
+
+    /// Read access to all shards.
+    pub fn shards(&self) -> &[HistStreamQuantiles<T, D>] {
+        &self.shards
+    }
+
+    /// Total size `N` across shards.
+    pub fn total_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_len()).sum()
+    }
+
+    /// Live stream size `m` across shards.
+    pub fn stream_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.stream_len()).sum()
+    }
+
+    /// Historical size `n` across shards.
+    pub fn historical_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.historical_len()).sum()
+    }
+
+    /// Summed summary/sketch memory across shards.
+    pub fn memory_words(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_words()).sum()
+    }
+
+    /// Per-shard total sizes (balance inspection).
+    pub fn shard_lens(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.total_len()).collect()
+    }
+
+    /// The shard that owns item `e`.
+    pub fn shard_of(&self, e: T) -> usize {
+        shard_index(e, self.shards.len())
+    }
+
+    /// `StreamUpdate(e)`: route one element to its shard.
+    #[inline]
+    pub fn stream_update(&mut self, e: T) {
+        let i = self.shard_of(e);
+        self.shards[i].stream_update(e);
+    }
+
+    /// Batched `StreamUpdate`: split `batch` by shard hash, then run each
+    /// shard's [`HistStreamQuantiles::stream_extend`] — up to
+    /// [`crate::parallel::worker_count`] shards concurrently. Equivalent
+    /// to routing every element through [`ShardedEngine::stream_update`],
+    /// several times faster for batches of a few hundred and up.
+    pub fn stream_extend(&mut self, batch: &[T]) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.shards.len() == 1 {
+            self.shards[0].stream_extend(batch);
+            return;
+        }
+        let k = self.shards.len();
+        for bucket in &mut self.scratch {
+            bucket.clear();
+            bucket.reserve(batch.len() / k + 16);
+        }
+        for &e in batch {
+            self.scratch[shard_index(e, k)].push(e);
+        }
+        let mut tasks: Vec<(&mut HistStreamQuantiles<T, D>, &[T])> = self
+            .shards
+            .iter_mut()
+            .zip(self.scratch.iter().map(Vec::as_slice))
+            .collect();
+        crate::parallel::par_map_mut(&mut tasks, |_, (shard, chunk)| {
+            if !chunk.is_empty() {
+                shard.stream_extend(chunk);
+            }
+        });
+        for bucket in &mut self.scratch {
+            bucket.clear();
+        }
+    }
+
+    /// End the time step on **every** shard (shards advance in lockstep,
+    /// so per-shard partition layouts — and hence window alignment — stay
+    /// identical). Archival runs up to [`crate::parallel::worker_count`]
+    /// shards concurrently. Returns one report per shard.
+    pub fn end_time_step(&mut self) -> io::Result<Vec<UpdateReport>> {
+        crate::parallel::par_map_mut(&mut self.shards, |_, s| s.end_time_step())
+            .into_iter()
+            .collect()
+    }
+
+    /// Convenience: stream a whole batch, then end the time step.
+    pub fn ingest_step(&mut self, batch: &[T]) -> io::Result<Vec<UpdateReport>> {
+        self.stream_extend(batch);
+        self.end_time_step()
+    }
+
+    /// Immutable cross-shard view for concurrent readers: one pinned
+    /// [`EngineSnapshot`] per shard. See [`HistStreamQuantiles::snapshot`].
+    pub fn snapshot(&self) -> ShardedSnapshot<T, D> {
+        ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+            epsilon: self.config.query_epsilon(),
+            parallel: self.config.parallel_query,
+        }
+    }
+
+    /// Accurate φ-quantile over the union of all shards (same `εm`
+    /// guarantee as a single engine over the same data; see module docs).
+    pub fn quantile(&self, phi: f64) -> io::Result<Option<T>> {
+        self.snapshot().quantile(phi)
+    }
+
+    /// Accurate rank query over the union of all shards.
+    pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        self.snapshot().rank_query(r)
+    }
+
+    /// Batch of φ-quantiles over one shared snapshot.
+    pub fn quantiles(&self, phis: &[f64]) -> io::Result<Vec<Option<T>>> {
+        self.snapshot().quantiles(phis)
+    }
+
+    /// Quick φ-quantile (in-memory, error ≤ 1.5εN) over all shards.
+    pub fn quantile_quick(&self, phi: f64) -> Option<T> {
+        self.snapshot().quantile_quick(phi)
+    }
+
+    /// Persist every shard's warehouse metadata; returns one manifest
+    /// [`FileId`] per shard (on that shard's device). Recover with
+    /// [`ShardedEngine::recover`], passing the devices and manifests in
+    /// the same shard order — routing is deterministic, so recovered
+    /// shards keep receiving the same key ranges.
+    pub fn persist(&self) -> io::Result<Vec<FileId>> {
+        self.shards.iter().map(|s| s.persist()).collect()
+    }
+
+    /// Reopen a sharded engine persisted by [`ShardedEngine::persist`].
+    pub fn recover(
+        devices: Vec<Arc<D>>,
+        config: HsqConfig,
+        manifests: &[FileId],
+    ) -> io::Result<Self> {
+        assert_eq!(
+            devices.len(),
+            manifests.len(),
+            "one manifest per shard device"
+        );
+        assert!(!devices.is_empty(), "at least one shard required");
+        let shards = devices
+            .into_iter()
+            .zip(manifests)
+            .map(|(d, &m)| HistStreamQuantiles::recover(d, config.clone(), m))
+            .collect::<io::Result<Vec<_>>>()?;
+        let scratch = shards.iter().map(|_| Vec::new()).collect();
+        Ok(ShardedEngine {
+            shards,
+            config,
+            scratch,
+        })
+    }
+}
+
+/// An immutable cross-shard view (see [`ShardedEngine::snapshot`]):
+/// per-shard pinned snapshots plus the fan-in query machinery.
+pub struct ShardedSnapshot<T: Item, D: BlockDevice> {
+    shards: Vec<EngineSnapshot<T, D>>,
+    epsilon: f64,
+    /// Probe shards concurrently (from the config's `parallel_query`):
+    /// worth it when shard devices overlap real I/O; serial probing is
+    /// cheaper when everything is cache-resident.
+    parallel: bool,
+}
+
+impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The snapshot of shard `i`.
+    pub fn shard(&self, i: usize) -> &EngineSnapshot<T, D> {
+        &self.shards[i]
+    }
+
+    /// Total size `N` at snapshot time.
+    pub fn total_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_len()).sum()
+    }
+
+    /// Stream size `m` at snapshot time.
+    pub fn stream_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.stream_len()).sum()
+    }
+
+    /// Historical size `n` at snapshot time.
+    pub fn historical_len(&self) -> u64 {
+        self.shards.iter().map(|s| s.historical_len()).sum()
+    }
+
+    /// The combined summary `TS` over **all** shards' sources — every
+    /// partition summary plus every shard's stream summary. Bounds add
+    /// across disjoint sources, so this is exactly the single-engine `TS`
+    /// of the union (paper §2.3.1) and powers quick responses and filter
+    /// generation.
+    pub fn combined_summary(&self) -> CombinedSummary<T> {
+        let sources: Vec<_> = self.shards.iter().flat_map(|s| s.sources()).collect();
+        CombinedSummary::build(&sources)
+    }
+
+    /// One global stream summary, merged from the per-shard summaries
+    /// (see [`StreamSummary::merge`]).
+    pub fn merged_stream_summary(&self) -> StreamSummary<T> {
+        self.shards
+            .iter()
+            .map(|s| s.stream_summary().clone())
+            .reduce(|a, b| a.merge(&b))
+            .unwrap_or_default()
+    }
+
+    /// Quick response (Algorithm 5 over the cross-shard `TS`): in-memory
+    /// only, error ≤ 1.5·ε·N.
+    pub fn quick_rank(&self, r: u64) -> Option<T> {
+        let ts = self.combined_summary();
+        ts.quick_response(r.clamp(1, ts.total().max(1)))
+    }
+
+    /// Quick φ-quantile over all shards.
+    pub fn quantile_quick(&self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        self.quick_rank(r)
+    }
+
+    /// Accurate φ-quantile over the union of all shards.
+    pub fn quantile(&self, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.total_len() as f64).ceil() as u64;
+        Ok(self.rank_query(r)?.map(|o| o.value))
+    }
+
+    /// Batch of φ-quantiles over this snapshot, sharing one cross-shard
+    /// combined-summary build and one set of block caches across the
+    /// whole batch (mirrors [`EngineSnapshot::quantiles`]).
+    pub fn quantiles(&self, phis: &[f64]) -> io::Result<Vec<Option<T>>> {
+        let ts = self.combined_summary();
+        let mut caches: Vec<Vec<BlockCache<T>>> =
+            self.shards.iter().map(|s| s.new_caches()).collect();
+        let n = self.total_len();
+        phis.iter()
+            .map(|&phi| {
+                assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+                let r = (phi * n as f64).ceil() as u64;
+                Ok(self.rank_query_with(r, &ts, &mut caches)?.map(|o| o.value))
+            })
+            .collect()
+    }
+
+    /// Summed `rank(z)` bounds across shards — concurrently over the
+    /// bounded pool when `parallel_query` is configured, serially
+    /// otherwise. `caches` = one cache set per shard, from
+    /// [`EngineSnapshot::new_caches`].
+    fn probe_bounds(&self, z: T, caches: &mut [Vec<BlockCache<T>>]) -> io::Result<(u64, u64)> {
+        let results = if self.parallel && self.shards.len() > 1 {
+            crate::parallel::par_map_mut(caches, |i, c| self.shards[i].rank_bounds(z, c))
+        } else {
+            self.shards
+                .iter()
+                .zip(caches.iter_mut())
+                .map(|(s, c)| s.rank_bounds(z, c))
+                .collect()
+        };
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for r in results {
+            let (l, h) = r?;
+            lo += l;
+            hi += h;
+        }
+        Ok((lo, hi))
+    }
+
+    /// I/O counters of every distinct shard device (shards may share one).
+    fn io_marks(&self) -> Vec<(*const (), IoSnapshot)> {
+        let mut marks: Vec<(*const (), IoSnapshot)> = Vec::new();
+        for s in &self.shards {
+            let ptr = Arc::as_ptr(s.device()) as *const ();
+            if !marks.iter().any(|&(p, _)| p == ptr) {
+                marks.push((ptr, s.device().stats().snapshot()));
+            }
+        }
+        marks
+    }
+
+    fn io_since(&self, marks: &[(*const (), IoSnapshot)]) -> IoSnapshot {
+        // Iterate the deduped marks (not the shards) so a device shared
+        // by several shards is counted exactly once.
+        let mut total = IoSnapshot::default();
+        for &(ptr, before) in marks {
+            if let Some(s) = self
+                .shards
+                .iter()
+                .find(|s| Arc::as_ptr(s.device()) as *const () == ptr)
+            {
+                total = total + (s.device().stats().snapshot() - before);
+            }
+        }
+        total
+    }
+
+    /// Accurate cross-shard rank query (the fan-in described in the
+    /// module docs): value-space bisection over summed per-shard rank
+    /// bounds, filters seeded from the cross-shard combined summary.
+    /// Error ≤ ε·m over the union, `m` = total stream size at snapshot
+    /// time.
+    pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        let ts = self.combined_summary();
+        let mut caches: Vec<Vec<BlockCache<T>>> =
+            self.shards.iter().map(|s| s.new_caches()).collect();
+        self.rank_query_with(r, &ts, &mut caches)
+    }
+
+    /// [`ShardedSnapshot::rank_query`] against a prebuilt combined
+    /// summary and cache set (shared across a batch of queries).
+    fn rank_query_with(
+        &self,
+        r: u64,
+        ts: &CombinedSummary<T>,
+        caches: &mut [Vec<BlockCache<T>>],
+    ) -> io::Result<Option<QueryOutcome<T>>> {
+        let total = self.total_len();
+        if total == 0 {
+            return Ok(None);
+        }
+        let r = r.clamp(1, total);
+        let marks = self.io_marks();
+
+        let (u_opt, v_opt) = ts.generate_filters(r);
+        let mut u = u_opt.unwrap_or(T::MIN);
+        let mut v = v_opt.unwrap_or(T::MAX);
+
+        let m = self.stream_len();
+        // Same acceptance rule as the single-engine accurate response: the
+        // probe's midpoint estimate carries up to `unc = Σ unc_s ≤ ε·m`
+        // uncertainty, so accept when |ρ − r| ≤ ε·m − unc and otherwise
+        // bisect to value collapse (Definition 1's boundary answer).
+        let eps_m = (self.epsilon * m as f64).floor() as u64;
+
+        if v <= u {
+            let (lo, hi) = self.probe_bounds(v, caches)?;
+            return Ok(Some(QueryOutcome {
+                value: v,
+                io: self.io_since(&marks),
+                bisection_steps: 0,
+                estimated_rank: lo + (hi - lo) / 2,
+            }));
+        }
+
+        let mut steps = 0u32;
+        let (value, estimated_rank) = loop {
+            steps += 1;
+            if steps > T::UNIVERSE_BITS + 2 {
+                let (lo, hi) = self.probe_bounds(v, caches)?;
+                break (v, lo + (hi - lo) / 2);
+            }
+            let z = T::midpoint(u, v);
+            if z == u && z == v {
+                let (lo, hi) = self.probe_bounds(v, caches)?;
+                break (v, lo + (hi - lo) / 2);
+            }
+            let (lo, hi) = self.probe_bounds(z, caches)?;
+            let rho = lo + (hi - lo) / 2;
+            let unc = hi - rho;
+            let tol = eps_m.saturating_sub(unc);
+            if r < rho && rho - r > tol {
+                v = z; // too high: recurse left
+            } else if rho < r && r - rho > tol {
+                if z == u {
+                    // Interval degenerated to {u, v = u+ulp}: answer is v.
+                    let (lo2, hi2) = self.probe_bounds(v, caches)?;
+                    break (v, lo2 + (hi2 - lo2) / 2);
+                }
+                u = z; // too low: recurse right
+            } else {
+                break (z, rho);
+            }
+        };
+
+        Ok(Some(QueryOutcome {
+            value,
+            io: self.io_since(&marks),
+            bisection_steps: steps,
+            estimated_rank,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsq_storage::MemDevice;
+
+    fn sharded(n: usize, eps: f64, kappa: usize) -> ShardedEngine<u64, MemDevice> {
+        let cfg = HsqConfig::builder()
+            .epsilon(eps)
+            .merge_threshold(kappa)
+            .build();
+        ShardedEngine::with_shards(n, cfg, |_| MemDevice::new(256))
+    }
+
+    fn gen_stream(seed: u64, len: usize) -> Vec<u64> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x >> 33
+            })
+            .collect()
+    }
+
+    fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
+        let hi = sorted.partition_point(|&x| x <= v) as u64;
+        let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+        if lo > hi {
+            return r.abs_diff(hi);
+        }
+        if r < lo {
+            lo - r
+        } else {
+            r.saturating_sub(hi)
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let e = sharded(4, 0.1, 3);
+        for v in gen_stream(9, 500) {
+            let i = e.shard_of(v);
+            assert!(i < 4);
+            assert_eq!(i, e.shard_of(v));
+            assert_eq!(i, shard_index(v, 4));
+        }
+        assert_eq!(shard_index(12345u64, 1), 0);
+    }
+
+    #[test]
+    fn hash_split_is_roughly_balanced() {
+        let mut e = sharded(4, 0.1, 4);
+        e.stream_extend(&gen_stream(77, 8000));
+        let lens: Vec<u64> = e.shards().iter().map(|s| s.stream_len()).collect();
+        assert_eq!(lens.iter().sum::<u64>(), 8000);
+        for &l in &lens {
+            assert!(
+                (1000..3000).contains(&l),
+                "imbalanced shard sizes: {lens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_matches_exact_within_guarantee() {
+        for n in [1usize, 2, 4] {
+            let eps = 0.05;
+            let mut e = sharded(n, eps, 3);
+            let mut all: Vec<u64> = Vec::new();
+            for step in 0..6u64 {
+                let batch = gen_stream(step + 1, 400);
+                all.extend(&batch);
+                e.ingest_step(&batch).unwrap();
+            }
+            let stream = gen_stream(99, 400);
+            all.extend(&stream);
+            e.stream_extend(&stream);
+            assert_eq!(e.total_len(), all.len() as u64);
+            all.sort_unstable();
+            let m = 400u64;
+            let allowed = (eps * m as f64).ceil() as u64 + 1;
+            for phi in [0.01, 0.25, 0.5, 0.75, 0.99, 1.0] {
+                let v = e.quantile(phi).unwrap().unwrap();
+                let r = ((phi * all.len() as f64).ceil() as u64).clamp(1, all.len() as u64);
+                let dist = rank_distance(&all, v, r);
+                assert!(
+                    dist <= allowed,
+                    "n={n} phi={phi}: off by {dist} (allowed {allowed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_and_batched_routes_agree() {
+        let data = gen_stream(5, 600);
+        let mut a = sharded(3, 0.1, 3);
+        let mut b = sharded(3, 0.1, 3);
+        for &v in &data {
+            a.stream_update(v);
+        }
+        b.stream_extend(&data);
+        assert_eq!(a.shard_lens(), b.shard_lens());
+        assert_eq!(a.total_len(), 600);
+    }
+
+    #[test]
+    fn quick_queries_touch_no_disk() {
+        let mut e = sharded(4, 0.05, 3);
+        for step in 0..4u64 {
+            e.ingest_step(&gen_stream(step + 1, 500)).unwrap();
+        }
+        let before: u64 = e
+            .shards()
+            .iter()
+            .map(|s| s.warehouse().device().stats().snapshot().total_reads())
+            .sum();
+        let snap = e.snapshot();
+        let _ = snap.quantile_quick(0.5);
+        let _ = snap.quantile_quick(0.95);
+        let after: u64 = e
+            .shards()
+            .iter()
+            .map(|s| s.warehouse().device().stats().snapshot().total_reads())
+            .sum();
+        assert_eq!(after, before, "quick responses must stay in memory");
+    }
+
+    #[test]
+    fn snapshot_outlives_merges() {
+        let mut e = sharded(2, 0.1, 2);
+        for step in 0..3u64 {
+            let batch: Vec<u64> = (0..300).map(|i| step * 300 + i).collect();
+            e.ingest_step(&batch).unwrap();
+        }
+        let snap = e.snapshot();
+        let before = snap.quantile(0.5).unwrap().unwrap();
+        // Trigger cascade merges on both shards.
+        for step in 3..9u64 {
+            let batch: Vec<u64> = (0..300).map(|i| step * 300 + i).collect();
+            e.ingest_step(&batch).unwrap();
+        }
+        assert_eq!(snap.total_len(), 900);
+        assert_eq!(snap.quantile(0.5).unwrap().unwrap(), before);
+        assert!((before as i64 - 450).abs() <= 5, "median {before}");
+    }
+
+    #[test]
+    fn merged_stream_summary_covers_union() {
+        let mut e = sharded(4, 0.1, 3);
+        let data = gen_stream(31, 3000);
+        e.stream_extend(&data);
+        let snap = e.snapshot();
+        let merged = snap.merged_stream_summary();
+        assert_eq!(merged.stream_len(), 3000);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        for probe in sorted.iter().step_by(293) {
+            let truth = sorted.partition_point(|&x| x <= *probe) as u64;
+            let (lo, hi) = merged.rank_bounds(*probe);
+            assert!(lo <= truth && truth <= hi, "{truth} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn persist_recover_roundtrip() {
+        let mut e = sharded(3, 0.1, 3);
+        let mut all: Vec<u64> = Vec::new();
+        for step in 0..5u64 {
+            let batch = gen_stream(step + 11, 300);
+            all.extend(&batch);
+            e.ingest_step(&batch).unwrap();
+        }
+        let manifests = e.persist().unwrap();
+        let devices: Vec<_> = e
+            .shards()
+            .iter()
+            .map(|s| Arc::clone(s.warehouse().device()))
+            .collect();
+        let cfg = e.config().clone();
+        let recovered = ShardedEngine::<u64, _>::recover(devices, cfg, &manifests).unwrap();
+        assert_eq!(recovered.total_len(), e.total_len());
+        assert_eq!(recovered.num_shards(), 3);
+        all.sort_unstable();
+        // History-only: recovered queries are near exact (m = 0).
+        let med = recovered.quantile(0.5).unwrap().unwrap();
+        let r = (all.len() as u64).div_ceil(2);
+        assert!(rank_distance(&all, med, r) <= 1, "median {med}");
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let e = sharded(4, 0.1, 3);
+        assert!(e.quantile(0.5).unwrap().is_none());
+        assert!(e.quantile_quick(0.5).is_none());
+        assert_eq!(e.total_len(), 0);
+        let mut e = e;
+        e.stream_extend(&[]);
+        let reports = e.end_time_step().unwrap();
+        assert_eq!(reports.len(), 4);
+        // One value total: every quantile answers it.
+        e.stream_update(42);
+        assert_eq!(e.quantile(0.5).unwrap(), Some(42));
+        assert_eq!(e.quantile(1.0).unwrap(), Some(42));
+    }
+
+    #[test]
+    fn rank_query_reports_estimated_rank() {
+        let mut e = sharded(2, 0.05, 3);
+        for step in 0..4u64 {
+            let batch: Vec<u64> = (0..500).map(|i| step * 500 + i).collect();
+            e.ingest_step(&batch).unwrap();
+        }
+        // No stream: estimates are exact.
+        let out = e.rank_query(1000).unwrap().unwrap();
+        assert_eq!(out.estimated_rank, 1000);
+        assert_eq!(out.value, 999);
+    }
+}

@@ -26,10 +26,19 @@ pub struct SsEntry<T> {
 
 /// The extracted stream summary `SS`: `β₂` entries in nondecreasing value
 /// order, plus the stream size `m`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct StreamSummary<T> {
     entries: Vec<SsEntry<T>>,
     m: u64,
+}
+
+impl<T> Default for StreamSummary<T> {
+    fn default() -> Self {
+        StreamSummary {
+            entries: Vec::new(),
+            m: 0,
+        }
+    }
 }
 
 impl<T: Item> StreamSummary<T> {
@@ -64,6 +73,48 @@ impl<T: Item> StreamSummary<T> {
             .map(|e| e.rmax.saturating_sub(1))
             .unwrap_or(self.m);
         (lo.min(hi), hi.max(lo))
+    }
+
+    /// Merge with the summary of a *disjoint* stream: ranks over a
+    /// disjoint union add, so each merged entry carries
+    /// `Σ rank_bounds(value)` of the two inputs and the result summarizes
+    /// `R₁ ∪ R₂` (size `m₁ + m₂`) with the summed uncertainty.
+    ///
+    /// This is what makes per-shard stream summaries composable: a
+    /// [`crate::sharded::ShardedSnapshot`] can expose one global stream
+    /// view no matter how many shards contributed. Associative and
+    /// commutative (up to bound tightness).
+    pub fn merge(&self, other: &Self) -> Self {
+        if self.m == 0 {
+            return other.clone();
+        }
+        if other.m == 0 {
+            return self.clone();
+        }
+        let mut values: Vec<T> = self
+            .entries
+            .iter()
+            .chain(other.entries.iter())
+            .map(|e| e.value)
+            .collect();
+        values.sort_unstable();
+        values.dedup();
+        let entries = values
+            .into_iter()
+            .map(|v| {
+                let (a_lo, a_hi) = self.rank_bounds(v);
+                let (b_lo, b_hi) = other.rank_bounds(v);
+                SsEntry {
+                    value: v,
+                    rmin: a_lo + b_lo,
+                    rmax: a_hi + b_hi,
+                }
+            })
+            .collect();
+        StreamSummary {
+            entries,
+            m: self.m + other.m,
+        }
     }
 }
 
@@ -291,6 +342,47 @@ mod tests {
         let ss = sp.summary();
         assert_eq!(ss.entries().first().unwrap().value, 9);
         assert_eq!(ss.stream_len(), 1);
+    }
+
+    #[test]
+    fn merged_summaries_bound_union_ranks() {
+        // Two disjoint streams; the merged summary's bounds must bracket
+        // ranks in the union.
+        let a: Vec<u64> = (0..3000).map(|i| (i * 7) % 10_000).collect();
+        let b: Vec<u64> = (0..2000).map(|i| (i * 13 + 1) % 10_000).collect();
+        let sa = processor_with(&a, 0.1).summary();
+        let sb = processor_with(&b, 0.1).summary();
+        let merged = sa.merge(&sb);
+        assert_eq!(merged.stream_len(), 5000);
+        let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        for probe in (0..10_000).step_by(397) {
+            let truth = union.partition_point(|&x| x <= probe) as u64;
+            let (lo, hi) = merged.rank_bounds(probe);
+            assert!(
+                lo <= truth && truth <= hi,
+                "probe {probe}: {truth} outside [{lo},{hi}]"
+            );
+        }
+        // Merged uncertainty stays summary-quality: O(eps * total m).
+        let (mlo, mhi) = merged.rank_bounds(5000);
+        assert!(
+            mhi - mlo <= (0.25 * 5000.0) as u64,
+            "merged width {} too loose",
+            mhi - mlo
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let a = processor_with(&[5, 7, 9], 0.25).summary();
+        let empty = StreamProcessor::<u64>::new(0.25, 5).summary();
+        let m1 = a.merge(&empty);
+        let m2 = empty.merge(&a);
+        assert_eq!(m1.stream_len(), 3);
+        assert_eq!(m2.stream_len(), 3);
+        assert_eq!(m1.entries(), a.entries());
+        assert_eq!(m2.entries(), a.entries());
     }
 
     #[test]

@@ -15,11 +15,12 @@
 //! partition's blocks are being written — zero additional reads) and its
 //! time-step interval, which powers window queries (§2.4).
 
+use std::collections::HashMap;
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hsq_storage::{BlockDevice, IoSnapshot, Item, RunWriter, SortedRun};
+use hsq_storage::{BlockDevice, FileId, IoSnapshot, Item, RunWriter, SortedRun};
 
 use crate::config::HsqConfig;
 use crate::summary::{summarize_sorted, PartitionSummary, SummaryBuilder};
@@ -78,6 +79,96 @@ impl UpdateReport {
     }
 }
 
+/// Reference counts for partition files pinned by live snapshots
+/// (see [`crate::engine::EngineSnapshot`]).
+///
+/// The warehouse *retires* a run when a cascade merge replaces it; a
+/// retired run's file is deleted immediately if unpinned, otherwise the
+/// deletion is deferred until the last [`PinGuard`] holding it drops. This
+/// is what lets snapshot readers keep probing partitions while
+/// `end_time_step` restructures the warehouse underneath them.
+#[derive(Debug, Default)]
+pub(crate) struct PinRegistry {
+    inner: Mutex<HashMap<FileId, PinEntry>>,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct PinEntry {
+    pins: usize,
+    retired: bool,
+}
+
+impl PinRegistry {
+    /// Pin `files`: their deletion is deferred while the pin is held.
+    fn pin(&self, files: &[FileId]) {
+        let mut inner = self.inner.lock().unwrap();
+        for &f in files {
+            inner.entry(f).or_default().pins += 1;
+        }
+    }
+
+    /// A merged-away run should disappear. Returns `true` when the caller
+    /// must delete the file now; `false` when pinned readers defer it.
+    fn retire(&self, file: FileId) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.get_mut(&file) {
+            Some(e) => {
+                e.retired = true;
+                false
+            }
+            None => true,
+        }
+    }
+
+    /// Drop one pin from each of `files`; returns the files that are now
+    /// both retired and unpinned — the caller deletes them.
+    fn unpin(&self, files: &[FileId]) -> Vec<FileId> {
+        let mut inner = self.inner.lock().unwrap();
+        let mut deletable = Vec::new();
+        for &f in files {
+            if let Some(e) = inner.get_mut(&f) {
+                e.pins = e.pins.saturating_sub(1);
+                if e.pins == 0 {
+                    let retired = e.retired;
+                    inner.remove(&f);
+                    if retired {
+                        deletable.push(f);
+                    }
+                }
+            }
+        }
+        deletable
+    }
+}
+
+/// RAII pin over a snapshot's partition files: while alive, the warehouse
+/// defers deleting those files even if cascade merges replace them; on
+/// drop, any deferred deletions are carried out (best effort).
+pub struct PinGuard<D: BlockDevice> {
+    registry: Arc<PinRegistry>,
+    dev: Arc<D>,
+    files: Vec<FileId>,
+}
+
+impl<D: BlockDevice> std::fmt::Debug for PinGuard<D> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PinGuard")
+            .field("files", &self.files)
+            .finish()
+    }
+}
+
+impl<D: BlockDevice> Drop for PinGuard<D> {
+    fn drop(&mut self) {
+        for f in self.registry.unpin(&self.files) {
+            // The run was merged away while we were reading it; nobody
+            // else can reference the file, so a failed delete only leaks
+            // space, never correctness.
+            let _ = self.dev.delete(f);
+        }
+    }
+}
+
 /// `HD` + `HS`: the historical store (Algorithm 3).
 pub struct Warehouse<T: Item, D: BlockDevice> {
     dev: Arc<D>,
@@ -86,6 +177,8 @@ pub struct Warehouse<T: Item, D: BlockDevice> {
     levels: Vec<Vec<StoredPartition<T>>>,
     total_len: u64,
     steps: u64,
+    /// Snapshot pins over partition files (deferred deletion).
+    pins: Arc<PinRegistry>,
 }
 
 impl<T: Item, D: BlockDevice> std::fmt::Debug for Warehouse<T, D> {
@@ -110,6 +203,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             levels: Vec::new(),
             total_len: 0,
             steps: 0,
+            pins: Arc::new(PinRegistry::default()),
         }
     }
 
@@ -143,6 +237,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             levels,
             total_len,
             steps,
+            pins: Arc::new(PinRegistry::default()),
         }
     }
 
@@ -181,6 +276,27 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             }
         }
         out
+    }
+
+    /// Clone the current partition list (with levels) and pin its backing
+    /// files: the returned [`PinGuard`] keeps every file readable even if
+    /// later updates merge the partitions away. The building block of
+    /// [`crate::engine::HistStreamQuantiles::snapshot`].
+    pub fn pinned_partitions(&self) -> (Vec<(usize, StoredPartition<T>)>, PinGuard<D>) {
+        let mut parts = Vec::with_capacity(self.num_partitions());
+        for (level, ps) in self.levels.iter().enumerate() {
+            for p in ps {
+                parts.push((level, p.clone()));
+            }
+        }
+        let files: Vec<FileId> = parts.iter().map(|(_, p)| p.run.file()).collect();
+        self.pins.pin(&files);
+        let guard = PinGuard {
+            registry: Arc::clone(&self.pins),
+            dev: Arc::clone(&self.dev),
+            files,
+        };
+        (parts, guard)
     }
 
     /// Words of main memory used by `HS` (Lemma 8's quantity).
@@ -334,7 +450,11 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             let olds: Vec<StoredPartition<T>> = std::mem::take(&mut self.levels[level]);
             let merged = self.merge_partitions(&olds)?;
             for p in olds {
-                p.run.delete(&*self.dev)?;
+                // Snapshot readers may still hold the run: deletion is
+                // deferred to the last pin if so.
+                if self.pins.retire(p.run.file()) {
+                    p.run.delete(&*self.dev)?;
+                }
             }
             if self.levels.len() <= level + 1 {
                 self.levels.push(Vec::new());
@@ -631,6 +751,60 @@ mod tests {
         let parts = w.partitions_newest_first();
         let firsts: Vec<u64> = parts.iter().map(|p| p.first_step).collect();
         assert_eq!(firsts, vec![13, 10, 1]);
+    }
+
+    #[test]
+    fn pinned_runs_survive_cascade_merges() {
+        // kappa = 2: the third batch merges all level-0 partitions away.
+        let mut w = warehouse(2);
+        w.add_batch(vec![1, 4, 7]).unwrap();
+        w.add_batch(vec![2, 5, 8]).unwrap();
+        let (parts, guard) = w.pinned_partitions();
+        assert_eq!(parts.len(), 2);
+        let files_before = w.device().num_files();
+        w.add_batch(vec![3, 6, 9]).unwrap(); // merges both pinned runs away
+        assert_eq!(w.level(0).len(), 0);
+        // The pinned runs are still readable, with their old contents.
+        let a = parts[0].1.run.read_all(&**w.device()).unwrap();
+        let b = parts[1].1.run.read_all(&**w.device()).unwrap();
+        assert_eq!(a, vec![1, 4, 7]);
+        assert_eq!(b, vec![2, 5, 8]);
+        // Dropping the guard performs the deferred deletions.
+        drop(guard);
+        assert!(
+            w.device().num_files() < files_before + 1,
+            "retired runs must be deleted once unpinned"
+        );
+        assert!(parts[0].1.run.read_all(&**w.device()).is_err());
+    }
+
+    #[test]
+    fn unretired_pins_delete_nothing_on_drop() {
+        let mut w = warehouse(4);
+        w.add_batch(vec![1, 2, 3]).unwrap();
+        let (parts, guard) = w.pinned_partitions();
+        drop(guard);
+        // No merge happened: the partition stays readable.
+        let a = parts[0].1.run.read_all(&**w.device()).unwrap();
+        assert_eq!(a, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn overlapping_pins_defer_until_last_guard() {
+        let mut w = warehouse(2);
+        w.add_batch(vec![10, 20]).unwrap();
+        w.add_batch(vec![11, 21]).unwrap();
+        let (parts1, g1) = w.pinned_partitions();
+        let (_parts2, g2) = w.pinned_partitions();
+        w.add_batch(vec![12, 22]).unwrap(); // retires both pinned runs
+        drop(g1);
+        // Still pinned by g2.
+        assert_eq!(
+            parts1[0].1.run.read_all(&**w.device()).unwrap(),
+            vec![10, 20]
+        );
+        drop(g2);
+        assert!(parts1[0].1.run.read_all(&**w.device()).is_err());
     }
 
     #[test]

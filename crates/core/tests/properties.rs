@@ -413,4 +413,56 @@ proptest! {
             prop_assert!(dist <= allowed, "r={r}: off by {dist} > {allowed}");
         }
     }
+
+    /// Mergeability: a ShardedEngine with N shards answers every quantile
+    /// within the same eps*m guarantee as a single engine fed the
+    /// identical stream — for N in {1, 2, 8} on arbitrary data.
+    #[test]
+    fn sharded_meets_single_engine_guarantee(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 10..300), 1..6),
+        stream in proptest::collection::vec(0u64..1_000_000, 1..300),
+        kappa in 2usize..5,
+        phi_pct in 1u32..=100,
+    ) {
+        let eps = 0.1;
+        let phi = phi_pct as f64 / 100.0;
+        let mut all: Vec<u64> = batches.iter().flatten().copied().collect();
+        all.extend(&stream);
+        all.sort_unstable();
+        let n = all.len() as u64;
+        let m = stream.len() as u64;
+        let r = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        // The guarantee both layouts must meet (Theorem 2).
+        let allowed = (eps * m as f64).ceil() as u64 + 1;
+
+        let cfg = HsqConfig::builder().epsilon(eps).merge_threshold(kappa).build();
+        let mut single = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        for b in &batches {
+            single.ingest_step(b).unwrap();
+        }
+        single.stream_extend(&stream);
+        let sv = single.quantile(phi).unwrap().unwrap();
+        let sdist = rank_distance(&all, sv, r);
+        prop_assert!(sdist <= allowed, "single: off by {sdist} > {allowed}");
+
+        for shards in [1usize, 2, 8] {
+            let mut e = hsq_core::ShardedEngine::<u64, _>::with_shards(
+                shards,
+                cfg.clone(),
+                |_| MemDevice::new(256),
+            );
+            for b in &batches {
+                e.ingest_step(b).unwrap();
+            }
+            e.stream_extend(&stream);
+            prop_assert_eq!(e.total_len(), n);
+            let v = e.quantile(phi).unwrap().unwrap();
+            let dist = rank_distance(&all, v, r);
+            prop_assert!(
+                dist <= allowed,
+                "shards={shards} phi={phi}: value {v} off by {dist} ranks (allowed {allowed}, m={m})"
+            );
+        }
+    }
 }

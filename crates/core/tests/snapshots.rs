@@ -1,0 +1,148 @@
+//! Concurrency tests: snapshot readers racing `end_time_step` archival.
+//!
+//! The engine itself is externally synchronized (`&mut self` ingestion),
+//! so the race under test is the *snapshot lifetime*: a reader takes a
+//! snapshot under a short lock, releases the lock, and keeps querying
+//! while the writer archives steps and cascade merges retire the very
+//! partition files the snapshot pins. Every read must see exactly the
+//! snapshot-time state; no read may ever error on a deleted file.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hsq_core::{HistStreamQuantiles, HsqConfig, ShardedEngine};
+use hsq_storage::MemDevice;
+
+fn config(eps: f64, kappa: usize) -> HsqConfig {
+    HsqConfig::builder()
+        .epsilon(eps)
+        .merge_threshold(kappa)
+        .build()
+}
+
+/// Writer archives disjoint ranges; readers snapshot mid-stream and check
+/// that (a) totals are a consistent step boundary, (b) min/max quantiles
+/// match the data that had been ingested at snapshot time, and (c) reads
+/// keep working after the underlying partitions have been merged away.
+#[test]
+fn snapshot_reads_race_end_time_step() {
+    const STEPS: u64 = 60;
+    const STEP_ITEMS: u64 = 400;
+    // kappa = 2 merges aggressively: pinned runs retire constantly.
+    let engine = Arc::new(Mutex::new(HistStreamQuantiles::<u64, _>::new(
+        MemDevice::new(256),
+        config(0.05, 2),
+    )));
+    let stop = Arc::new(Mutex::new(false));
+
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut checked = 0u64;
+                let deadline = Instant::now() + Duration::from_secs(10);
+                loop {
+                    if *stop.lock().unwrap() || Instant::now() > deadline {
+                        break;
+                    }
+                    // Short lock: take the snapshot, then query lock-free.
+                    let snap = engine.lock().unwrap().snapshot();
+                    let n = snap.total_len();
+                    if n == 0 {
+                        continue;
+                    }
+                    // Writer archives whole steps with an empty live
+                    // stream, so any snapshot sees a step boundary.
+                    assert_eq!(n % STEP_ITEMS, 0, "mid-step snapshot: n = {n}");
+                    let steps_seen = n / STEP_ITEMS;
+                    // Data is the contiguous range 0..n (m = 0: exact).
+                    let lo = snap.rank_query(1).unwrap().unwrap().value;
+                    assert_eq!(lo, 0, "snapshot min after {steps_seen} steps");
+                    let hi = snap.quantile(1.0).unwrap().unwrap();
+                    assert_eq!(hi, n - 1, "snapshot max after {steps_seen} steps");
+                    let med = snap.quantile(0.5).unwrap().unwrap();
+                    assert!(
+                        med.abs_diff(n / 2) <= 1,
+                        "snapshot median {med} for n = {n}"
+                    );
+                    checked += 1;
+                    // Hold the snapshot across a couple of writer steps so
+                    // merges retire its files while we still read it.
+                    thread::sleep(Duration::from_millis(1));
+                    assert_eq!(snap.quantile(1.0).unwrap().unwrap(), n - 1);
+                }
+                checked
+            })
+        })
+        .collect();
+
+    for step in 0..STEPS {
+        let batch: Vec<u64> = (step * STEP_ITEMS..(step + 1) * STEP_ITEMS).collect();
+        engine.lock().unwrap().ingest_step(&batch).unwrap();
+        // Give readers a chance to interleave between steps.
+        thread::yield_now();
+    }
+    *stop.lock().unwrap() = true;
+
+    let mut total_checked = 0;
+    for r in readers {
+        total_checked += r.join().expect("reader panicked");
+    }
+    assert!(total_checked > 0, "readers never observed a snapshot");
+    assert_eq!(
+        engine.lock().unwrap().total_len(),
+        STEPS * STEP_ITEMS,
+        "writer lost data"
+    );
+}
+
+/// The same race through the sharded facade: cross-shard snapshots stay
+/// consistent while all shards archive and merge concurrently.
+#[test]
+fn sharded_snapshot_reads_race_ingestion() {
+    const STEPS: u64 = 30;
+    const STEP_ITEMS: u64 = 600;
+    let engine = Arc::new(Mutex::new(ShardedEngine::<u64, _>::with_shards(
+        4,
+        config(0.05, 2),
+        |_| MemDevice::new(256),
+    )));
+    let stop = Arc::new(Mutex::new(false));
+
+    let reader = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut checked = 0u64;
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !*stop.lock().unwrap() && Instant::now() < deadline {
+                let snap = engine.lock().unwrap().snapshot();
+                let n = snap.total_len();
+                if n == 0 {
+                    continue;
+                }
+                assert_eq!(n % STEP_ITEMS, 0, "mid-step snapshot: n = {n}");
+                // Contiguous range 0..n, empty stream: exact answers.
+                let med = snap.quantile(0.5).unwrap().unwrap();
+                assert!(med.abs_diff(n / 2) <= 1, "median {med} for n = {n}");
+                let max = snap.quantile(1.0).unwrap().unwrap();
+                assert_eq!(max, n - 1);
+                checked += 1;
+                thread::sleep(Duration::from_millis(1));
+                assert_eq!(snap.quantile(1.0).unwrap().unwrap(), n - 1);
+            }
+            checked
+        })
+    };
+
+    for step in 0..STEPS {
+        let batch: Vec<u64> = (step * STEP_ITEMS..(step + 1) * STEP_ITEMS).collect();
+        engine.lock().unwrap().ingest_step(&batch).unwrap();
+        thread::yield_now();
+    }
+    *stop.lock().unwrap() = true;
+    let checked = reader.join().expect("reader panicked");
+    assert!(checked > 0, "reader never observed a snapshot");
+}

@@ -1,0 +1,149 @@
+//! Multi-tenant serving: one sharded engine, many tenant streams,
+//! dashboard readers running concurrently with ingestion.
+//!
+//! The ROADMAP's north star is a system serving heavy traffic from
+//! millions of users. This example shows the three pieces that make that
+//! shape work on top of the paper's single-stream engine:
+//!
+//! 1. **Sharding** — latency samples from many tenants are
+//!    hash-partitioned across 4 independent engine shards (each with its
+//!    own stream sketch and warehouse device), ingested in parallel;
+//! 2. **Mergeable queries** — p50/p95/p99 over the *union* of all shards,
+//!    with the same `ε·m` guarantee a single engine would give;
+//! 3. **Snapshot reads** — a dashboard thread takes consistent snapshots
+//!    and queries them lock-free while the writer keeps archiving time
+//!    steps (cascade merges retire partition files underneath the
+//!    readers; pinning makes that safe).
+//!
+//! Run with: `cargo run --release --example multi_tenant`
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use hsq::core::{HsqConfig, ShardedEngine};
+use hsq::storage::MemDevice;
+
+const SHARDS: usize = 4;
+const TENANTS: u64 = 64;
+const HOURS: u64 = 8;
+const REQUESTS_PER_HOUR: usize = 40_000;
+
+/// One request latency in microseconds: tenant-dependent log-normal-ish
+/// base (deterministic, keeps the example reproducible).
+fn latency_us(tenant: u64, i: u64) -> u64 {
+    let mut x = (tenant << 32 | i)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    // Mostly 5-50ms with a heavy tail; slow tenants skew higher.
+    let base = 5_000 + x % 45_000;
+    let tail = if x.is_multiple_of(97) {
+        (x >> 7) % 400_000
+    } else {
+        0
+    };
+    let tenant_factor = 1 + tenant % 3;
+    (base + tail) * tenant_factor
+}
+
+fn main() {
+    let config = HsqConfig::builder()
+        .epsilon(0.005)
+        .merge_threshold(4)
+        .build();
+    let engine = Arc::new(Mutex::new(ShardedEngine::<u64, _>::with_shards(
+        SHARDS,
+        config,
+        |_| MemDevice::new(8192),
+    )));
+    println!(
+        "serving {TENANTS} tenants across {SHARDS} shards ({} worker thread(s))\n",
+        hsq::core::parallel::worker_count(SHARDS)
+    );
+
+    // The dashboard: a reader thread that snapshots the engine (brief
+    // lock), then answers percentile queries lock-free while ingestion
+    // continues.
+    let dashboard = {
+        let engine = Arc::clone(&engine);
+        thread::spawn(move || {
+            let mut reports = 0;
+            loop {
+                thread::sleep(Duration::from_millis(20));
+                let snap = engine.lock().unwrap().snapshot();
+                if snap.total_len() == 0 {
+                    continue;
+                }
+                let qs = snap.quantiles(&[0.5, 0.95, 0.99]).unwrap();
+                println!(
+                    "  [dashboard] N = {:>9}  p50 = {:>7} us  p95 = {:>7} us  p99 = {:>7} us",
+                    snap.total_len(),
+                    qs[0].unwrap(),
+                    qs[1].unwrap(),
+                    qs[2].unwrap(),
+                );
+                reports += 1;
+                if reports >= 12 {
+                    return reports;
+                }
+            }
+        })
+    };
+
+    // The ingest path: every "hour", all tenants' samples arrive in
+    // batches, are split by shard hash, ingested in parallel, and
+    // archived with `end_time_step`.
+    for hour in 0..HOURS {
+        let mut batch = Vec::with_capacity(REQUESTS_PER_HOUR);
+        for i in 0..REQUESTS_PER_HOUR as u64 {
+            let tenant = i % TENANTS;
+            batch.push(latency_us(tenant, hour << 32 | i));
+        }
+        let reports = {
+            let mut e = engine.lock().unwrap();
+            e.stream_extend(&batch);
+            e.end_time_step().unwrap()
+        };
+        let io: u64 = reports.iter().map(|r| r.total_accesses()).sum();
+        println!(
+            "hour {hour}: archived {REQUESTS_PER_HOUR} samples across {SHARDS} shards \
+             ({io} blocks, {} level merges)",
+            reports.iter().map(|r| r.merges).sum::<usize>()
+        );
+        thread::sleep(Duration::from_millis(15));
+    }
+
+    let reports = dashboard.join().expect("dashboard panicked");
+
+    // Final cross-shard state.
+    let e = engine.lock().unwrap();
+    println!(
+        "\nfinal: N = {} ({} historical + {} streaming), {} words of summary memory",
+        e.total_len(),
+        e.historical_len(),
+        e.stream_len(),
+        e.memory_words()
+    );
+    let lens = e.shard_lens();
+    println!("shard balance: {lens:?}");
+    let spread = lens.iter().max().unwrap() - lens.iter().min().unwrap();
+    assert!(
+        spread * 10 <= e.total_len(),
+        "hash sharding should stay roughly balanced"
+    );
+
+    let snap = e.snapshot();
+    drop(e); // queries need no lock from here on
+    for phi in [0.25, 0.5, 0.9, 0.95, 0.99] {
+        let accurate = snap.quantile(phi).unwrap().unwrap();
+        let quick = snap.quantile_quick(phi).unwrap();
+        println!(
+            "p{:<4}: accurate = {accurate:>7} us   quick = {quick:>7} us",
+            phi * 100.0
+        );
+    }
+    println!("\ndashboard produced {reports} concurrent reports — all while archiving");
+}

@@ -75,11 +75,51 @@
 //! gk.insert_batch(&mut batch); // sorts once, merges in one pass
 //! assert_eq!(gk.len(), 4096);
 //! ```
+//!
+//! ## Sharded quickstart (multi-tenant / concurrent readers)
+//!
+//! [`ShardedEngine`] hash-partitions items across independent engine
+//! shards — each with its own stream sketch and warehouse, ingested in
+//! parallel — and answers queries by *fan-in*: per-shard rank bounds add
+//! across the disjoint shards, so the merged answer keeps the exact
+//! single-engine `ε·m` guarantee. Snapshots make reads concurrent with
+//! ingestion: take one under the writer's lock, query it lock-free while
+//! `end_time_step` archives and merges underneath.
+//!
+//! ```
+//! use hsq::core::{HsqConfig, ShardedEngine};
+//! use hsq::storage::MemDevice;
+//!
+//! let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//! // 4 shards, each on its own device (its own disk in production).
+//! let mut engine = ShardedEngine::<u64, _>::with_shards(4, config, |_| MemDevice::new(4096));
+//!
+//! // Batches are split by shard hash and ingested in parallel.
+//! for day in 0..3u64 {
+//!     let batch: Vec<u64> = (0..10_000u64).map(|i| day * 10_000 + i).collect();
+//!     engine.ingest_step(&batch).unwrap();
+//! }
+//! let live: Vec<u64> = (30_000..40_000u64).collect();
+//! engine.stream_extend(&live);
+//!
+//! // Cross-shard quantiles: same eps * m guarantee as a single engine.
+//! let median = engine.quantile(0.5).unwrap().expect("data is non-empty");
+//! assert!((median as i64 - 20_000).unsigned_abs() < 200);
+//!
+//! // An immutable snapshot keeps answering (with pinned partitions and a
+//! // frozen stream summary) while the engine keeps ingesting.
+//! let snapshot = engine.snapshot();
+//! engine.ingest_step(&(40_000..50_000u64).collect::<Vec<_>>()).unwrap();
+//! assert_eq!(snapshot.total_len(), 40_000);
+//! assert_eq!(engine.total_len(), 50_000);
+//! ```
 pub use hsq_core as core;
 pub use hsq_sketch as sketch;
 pub use hsq_storage as storage;
 pub use hsq_workload as workload;
 
-pub use hsq_core::{HistStreamQuantiles, HsqConfig};
+pub use hsq_core::{
+    EngineSnapshot, HistStreamQuantiles, HsqConfig, ShardedEngine, ShardedSnapshot,
+};
 pub use hsq_sketch::{GkSketch, QDigest};
 pub use hsq_storage::{FileDevice, MemDevice};

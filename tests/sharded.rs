@@ -1,0 +1,141 @@
+//! End-to-end tests of the sharded engine through the umbrella crate:
+//! real files per shard, cross-shard accuracy against an exact oracle,
+//! and restart recovery of a full sharded deployment.
+
+use std::sync::Arc;
+
+use hsq::core::{HsqConfig, ShardedEngine};
+use hsq::sketch::ExactQuantiles;
+use hsq::storage::{FileDevice, MemDevice};
+use hsq::workload::{Dataset, TimeStepDriver};
+
+fn config(eps: f64, kappa: usize) -> HsqConfig {
+    HsqConfig::builder()
+        .epsilon(eps)
+        .merge_threshold(kappa)
+        .build()
+}
+
+#[test]
+fn sharded_accuracy_on_skewed_data_real_files() {
+    let dirs: Vec<_> = (0..3)
+        .map(|i| std::env::temp_dir().join(format!("hsq-shard-{}-{i}", std::process::id())))
+        .collect();
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let devices: Vec<_> = dirs
+        .iter()
+        .map(|d| FileDevice::new(d, 512).unwrap())
+        .collect();
+    let mut engine = ShardedEngine::<u64, _>::new(devices, config(0.05, 3));
+
+    let mut oracle = ExactQuantiles::new();
+    let mut driver = TimeStepDriver::new(Dataset::NetTrace, 17, 2_000, 6);
+    for _ in 0..5 {
+        let batch = driver.next().unwrap();
+        oracle.extend(batch.iter().copied());
+        engine.ingest_step(&batch).unwrap();
+    }
+    let stream = driver.next().unwrap();
+    oracle.extend(stream.iter().copied());
+    engine.stream_extend(&stream);
+
+    let m = stream.len() as u64;
+    let n = engine.total_len();
+    for phi in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        let v = engine.quantile(phi).unwrap().unwrap();
+        let r = ((phi * n as f64).ceil() as u64).clamp(1, n);
+        // Distance from the target rank to v's occupied rank interval
+        // (duplicate plateaus count as a single hit).
+        let hi = oracle.rank_of(v);
+        let lo = if v == 0 { 1 } else { oracle.rank_of(v - 1) + 1 };
+        let err = if r < lo { lo - r } else { r.saturating_sub(hi) };
+        let allowed = (0.05 * m as f64).ceil() as u64 + 1;
+        assert!(
+            err <= allowed,
+            "phi={phi}: rank error {err} > {allowed} (m={m})"
+        );
+    }
+
+    // Shard devices saw disjoint shares of the data.
+    let lens = engine.shard_lens();
+    assert_eq!(lens.iter().sum::<u64>(), engine.total_len());
+    assert!(lens.iter().all(|&l| l > 0), "empty shard: {lens:?}");
+
+    for (d, dev) in dirs.iter().zip(
+        engine
+            .shards()
+            .iter()
+            .map(|s| Arc::clone(s.warehouse().device())),
+    ) {
+        drop(dev);
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn sharded_persist_recover_across_restart() {
+    let dirs: Vec<_> = (0..2)
+        .map(|i| std::env::temp_dir().join(format!("hsq-reshard-{}-{i}", std::process::id())))
+        .collect();
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+    let manifests;
+    let expected_total;
+    {
+        let devices: Vec<_> = dirs
+            .iter()
+            .map(|d| FileDevice::new(d, 512).unwrap())
+            .collect();
+        let mut engine = ShardedEngine::<u64, _>::new(devices, config(0.1, 2));
+        for step in 0..7u64 {
+            let batch: Vec<u64> = (0..500).map(|i| step * 500 + i).collect();
+            engine.ingest_step(&batch).unwrap();
+        }
+        manifests = engine.persist().unwrap();
+        expected_total = engine.total_len();
+        // Devices dropped here: simulated process exit.
+    }
+    {
+        let devices: Vec<_> = dirs
+            .iter()
+            .map(|d| FileDevice::new(d, 512).unwrap())
+            .collect();
+        let recovered =
+            ShardedEngine::<u64, _>::recover(devices, config(0.1, 2), &manifests).unwrap();
+        assert_eq!(recovered.total_len(), expected_total);
+        // History-only recovery answers exactly (m = 0).
+        let med = recovered.quantile(0.5).unwrap().unwrap();
+        assert_eq!(med, 1749, "median over 0..3500");
+        // Routing is deterministic: new data keeps landing on the shard
+        // that owned its key before the restart.
+        let mut r2 = recovered;
+        let probe = 123_456_789u64;
+        let owner = r2.shard_of(probe);
+        let before = r2.shard(owner).stream_len();
+        r2.stream_update(probe);
+        assert_eq!(r2.shard(owner).stream_len(), before + 1);
+    }
+    for d in &dirs {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[test]
+fn sharded_windows_align_across_shards() {
+    // Shards advance in lockstep, so every shard exposes the same
+    // partition-aligned windows.
+    let mut engine =
+        ShardedEngine::<u64, _>::with_shards(3, config(0.1, 2), |_| MemDevice::new(256));
+    for step in 0..13u64 {
+        let batch: Vec<u64> = (0..120).map(|i| step * 120 + i).collect();
+        engine.ingest_step(&batch).unwrap();
+    }
+    let w0 = engine.shard(0).available_windows();
+    for s in 1..engine.num_shards() {
+        assert_eq!(engine.shard(s).available_windows(), w0);
+    }
+    assert_eq!(w0, vec![1, 4, 13]);
+}
