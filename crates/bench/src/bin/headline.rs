@@ -16,8 +16,8 @@ use std::time::Instant;
 
 use hsq_bench::*;
 use hsq_core::baseline::StreamingAlgo;
-use hsq_core::{HistStreamQuantiles, HsqConfig};
-use hsq_storage::MemDevice;
+use hsq_core::{HistStreamQuantiles, HsqConfig, RetentionPolicy};
+use hsq_storage::{BlockDevice, MemDevice};
 use hsq_workload::Dataset;
 
 /// Elements/second of the scalar and batched stream-ingest paths on a
@@ -45,6 +45,49 @@ fn ingest_throughput() -> (f64, f64) {
     }
     let batched = n as f64 / t.elapsed().as_secs_f64();
     (scalar, batched)
+}
+
+/// Retention metrics: steady-state partition bytes of an engine
+/// ingesting indefinitely under a byte-cap policy (deterministic given
+/// the seed), and the cost of sliding-window queries over the retained
+/// horizon. Returns `(byte_cap, steady_state_bytes, window_query_secs,
+/// window_reads_per_query)`.
+fn retention_metrics() -> (u64, u64, f64, f64) {
+    let cap: u64 = 256 << 10; // 256 KiB on a 4096-byte-block device
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(10)
+        .retention(RetentionPolicy::unbounded().with_max_bytes(cap))
+        .build();
+    let dev = MemDevice::new(4096);
+    let mut h = HistStreamQuantiles::<u64, _>::new(std::sync::Arc::clone(&dev), cfg);
+    let steps = 200usize;
+    let step_items = 4096usize;
+    let data: Vec<u64> = Dataset::Uniform.generator(42).take_vec(steps * step_items);
+    let mut steady = 0u64;
+    for (s, chunk) in data.chunks(step_items).enumerate() {
+        h.ingest_step(chunk).expect("ingest");
+        let bytes = h.warehouse().partition_bytes().expect("bytes");
+        assert!(bytes <= cap, "step {s}: {bytes} bytes over the {cap} cap");
+        if s >= steps / 2 {
+            steady = steady.max(bytes); // past warmup: the steady state
+        }
+    }
+
+    // Windowed-query cost over every aligned window, p50/p99 each.
+    let windows = h.available_windows();
+    let before = dev.stats().snapshot();
+    let t = Instant::now();
+    let mut queries = 0u32;
+    for &w in &windows {
+        for phi in [0.5, 0.99] {
+            let _ = h.quantile_in_window(w, phi).expect("window query");
+            queries += 1;
+        }
+    }
+    let secs = t.elapsed().as_secs_f64() / queries as f64;
+    let reads = (dev.stats().snapshot() - before).total_reads() as f64 / queries as f64;
+    (cap, steady, secs, reads)
 }
 
 fn main() {
@@ -114,6 +157,15 @@ fn main() {
         batched_eps / scalar_eps.max(1.0),
     );
 
+    let (byte_cap, steady_bytes, window_secs, window_reads) = retention_metrics();
+    println!(
+        "retention: steady-state {} KB under a {} KB cap; window queries {:.0} us, {:.1} reads",
+        steady_bytes >> 10,
+        byte_cap >> 10,
+        window_secs * 1e6,
+        window_reads,
+    );
+
     let path =
         std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
     let json = format!(
@@ -121,7 +173,9 @@ fn main() {
             "{{\n  \"bench\": \"headline\",\n  \"steps\": {},\n  \"step_items\": {},\n",
             "  \"memory_bytes\": {},\n  \"kappa\": {},\n  \"datasets\": [\n{}\n  ],\n",
             "  \"ingest\": {{\"scalar_elems_per_sec\": {:.0}, ",
-            "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}}}\n}}\n"
+            "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}}},\n",
+            "  \"retention\": {{\"byte_cap\": {}, \"steady_state_bytes\": {}, ",
+            "\"window_query_seconds\": {:.6}, \"window_disk_reads_per_query\": {:.1}}}\n}}\n"
         ),
         scale.steps,
         scale.step_items,
@@ -131,6 +185,10 @@ fn main() {
         scalar_eps,
         batched_eps,
         batched_eps / scalar_eps.max(1.0),
+        byte_cap,
+        steady_bytes,
+        window_secs,
+        window_reads,
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path}"),

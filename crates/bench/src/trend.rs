@@ -349,7 +349,7 @@ pub fn classify(leaf: &str) -> (Direction, bool) {
     if l.contains("accuracy_ratio") {
         return (Direction::HigherBetter, false);
     }
-    if ["rel_err", "disk_reads", "memory_words"]
+    if ["rel_err", "disk_reads", "memory_words", "steady_state"]
         .iter()
         .any(|k| l.contains(k))
     {
@@ -637,6 +637,33 @@ mod tests {
         broken.set("ingest", ingest);
         let (deltas, _) = compare(&base, &broken, Thresholds::default());
         assert!(deltas.iter().any(|d| d.failed));
+    }
+
+    #[test]
+    fn retention_metrics_gate_as_stable() {
+        // steady_state_bytes is deterministic: a growth past the tight
+        // threshold must gate; the config-like byte_cap field must not.
+        let base = Json::parse(
+            r#"{"retention": {"byte_cap": 262144, "steady_state_bytes": 200000,
+                 "window_query_seconds": 0.0001, "window_disk_reads_per_query": 5.0}}"#,
+        )
+        .unwrap();
+        let (dir, noisy) = classify("steady_state_bytes");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        assert_eq!(classify("byte_cap").0, Direction::Ignore);
+
+        let mut worse = base.clone();
+        let mut r = base.get("retention").unwrap().clone();
+        r.set("steady_state_bytes", Json::Num(300_000.0));
+        worse.set("retention", r);
+        let (deltas, _) = compare(&base, &worse, Thresholds::default());
+        let d = deltas
+            .iter()
+            .find(|d| d.path.contains("steady_state_bytes"))
+            .unwrap();
+        assert!(d.failed, "50% storage growth must gate: {d:?}");
+        assert!(deltas.iter().all(|d| !d.path.contains("byte_cap")));
     }
 
     #[test]

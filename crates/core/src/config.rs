@@ -5,7 +5,10 @@
 //! `β₁ = ⌈1/ε₁ + 1⌉`, `β₂ = ⌈1/ε₂ + 1⌉`, then initialize the historical
 //! structures with `(ε₁, β₁)` and the stream structures with `(ε₂, β₂)`.
 //! The merge threshold `κ` (§2.1) and operational knobs (external-sort
-//! memory, query block-cache size) are also carried here.
+//! memory, query block-cache size, retention policy) are also carried
+//! here.
+
+use crate::retention::RetentionPolicy;
 
 /// Configuration for [`crate::HistStreamQuantiles`] and its parts.
 #[derive(Clone, Debug, PartialEq)]
@@ -29,6 +32,10 @@ pub struct HsqConfig {
     /// Answer queries by probing partitions in parallel (paper §4's
     /// future-work direction; see `crate::parallel`).
     pub parallel_query: bool,
+    /// Retention limits enforced on every step boundary (see
+    /// [`crate::retention`]). Default: unbounded (the paper's grow-only
+    /// warehouse).
+    pub retention: RetentionPolicy,
 }
 
 impl HsqConfig {
@@ -78,6 +85,7 @@ impl HsqConfig {
             sort_budget_items: 1 << 20,
             cache_blocks: 64,
             parallel_query: false,
+            retention: RetentionPolicy::unbounded(),
         }
     }
 }
@@ -90,6 +98,7 @@ pub struct HsqConfigBuilder {
     sort_budget_items: usize,
     cache_blocks: usize,
     parallel_query: bool,
+    retention: RetentionPolicy,
 }
 
 impl Default for HsqConfigBuilder {
@@ -100,6 +109,7 @@ impl Default for HsqConfigBuilder {
             sort_budget_items: 1 << 20,
             cache_blocks: 64,
             parallel_query: false,
+            retention: RetentionPolicy::unbounded(),
         }
     }
 }
@@ -140,6 +150,12 @@ impl HsqConfigBuilder {
         self
     }
 
+    /// Retention limits enforced on every step boundary.
+    pub fn retention(mut self, policy: RetentionPolicy) -> Self {
+        self.retention = policy;
+        self
+    }
+
     /// Finalize, applying Algorithm 1's parameter split.
     pub fn build(self) -> HsqConfig {
         let mut cfg = HsqConfig::with_epsilons(self.epsilon / 2.0, self.epsilon / 4.0);
@@ -147,6 +163,7 @@ impl HsqConfigBuilder {
         cfg.sort_budget_items = self.sort_budget_items;
         cfg.cache_blocks = self.cache_blocks;
         cfg.parallel_query = self.parallel_query;
+        cfg.retention = self.retention;
         cfg
     }
 }

@@ -387,6 +387,22 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         );
         ctx.accurate_rank(r)
     }
+
+    /// First-class windowed quantile: the φ-quantile over the live stream
+    /// plus the newest `window_steps` *retained* steps. Equivalent to
+    /// [`HistStreamQuantiles::quantile_window`] with window-first argument
+    /// order; with retention enabled (see [`crate::retention`]) this is
+    /// the "p99 over the last 24h" query shape — the window can cover at
+    /// most the retained horizon.
+    pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
+        self.quantile_window(phi, window_steps)
+    }
+
+    /// First-class windowed rank query (window-first argument order; see
+    /// [`HistStreamQuantiles::quantile_in_window`]).
+    pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        self.rank_query_window(r, window_steps)
+    }
 }
 
 /// An immutable view of one engine at a point in time (see
@@ -444,6 +460,11 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
     /// The extracted stream summary.
     pub fn stream_summary(&self) -> &StreamSummary<T> {
         &self.stream
+    }
+
+    /// The configured decoded-block cache budget (blocks per query).
+    pub(crate) fn cache_blocks(&self) -> usize {
+        self.cache_blocks
     }
 
     /// Per-source rank-bound views (partitions + stream), the inputs a
@@ -514,6 +535,66 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
         let r = (phi * self.total_len() as f64).ceil() as u64;
         self.context().quick_rank(r)
+    }
+
+    /// Window sizes (in snapshot-time steps) answerable exactly from the
+    /// pinned partitions, ascending.
+    pub fn available_windows(&self) -> Vec<u64> {
+        let mut spans: Vec<(u64, u64)> = self
+            .parts
+            .iter()
+            .map(|(_, p)| (p.first_step, p.last_step))
+            .collect();
+        spans.sort_unstable_by_key(|s| std::cmp::Reverse(s.0));
+        let mut out = Vec::with_capacity(spans.len());
+        let mut acc = 0;
+        for (first, last) in spans {
+            acc += last - first + 1;
+            out.push(acc);
+        }
+        out
+    }
+
+    /// The pinned partitions covering exactly the newest `window_steps`
+    /// snapshot-time steps, newest first; `None` on misalignment.
+    pub fn window_partitions(&self, window_steps: u64) -> Option<Vec<&StoredPartition<T>>> {
+        crate::warehouse::window_suffix(self.parts.iter().map(|(_, p)| p).collect(), window_steps)
+    }
+
+    /// Windowed φ-quantile over the snapshot: live-stream summary plus the
+    /// newest `window_steps` pinned steps. Because the partitions are
+    /// pinned, the answer is stable even while the live engine's
+    /// retention expires those steps underneath.
+    pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let Some(parts) = self.window_partitions(window_steps) else {
+            return Ok(None);
+        };
+        let window_n: u64 = parts.iter().map(|p| p.run.len()).sum::<u64>() + self.stream_len();
+        let r = (phi * window_n as f64).ceil() as u64;
+        let ctx = QueryContext::new(
+            &*self.dev,
+            parts,
+            &self.stream,
+            self.epsilon,
+            self.cache_blocks,
+        );
+        Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+    }
+
+    /// Windowed rank query over the snapshot, with cost reporting.
+    pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        let Some(parts) = self.window_partitions(window_steps) else {
+            return Ok(None);
+        };
+        let ctx = QueryContext::new(
+            &*self.dev,
+            parts,
+            &self.stream,
+            self.epsilon,
+            self.cache_blocks,
+        );
+        ctx.accurate_rank(r)
     }
 }
 
@@ -709,6 +790,83 @@ mod tests {
         // Window 1 = step 3 (200..300) + stream (300..400): median ~300.
         let med = h.quantile_window(0.5, 1).unwrap().unwrap();
         assert!((280..330).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn window_first_api_matches_legacy_order() {
+        let mut h = engine(0.1, 2);
+        for step in 0..13u64 {
+            let batch: Vec<u64> = (0..100).map(|i| step * 100 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        for w in h.available_windows() {
+            assert_eq!(
+                h.quantile_in_window(w, 0.5).unwrap(),
+                h.quantile_window(0.5, w).unwrap()
+            );
+            let a = h.rank_in_window(w, 42).unwrap().unwrap();
+            let b = h.rank_query_window(42, w).unwrap().unwrap();
+            assert_eq!(a.value, b.value);
+        }
+        assert!(h.quantile_in_window(2, 0.5).unwrap().is_none());
+    }
+
+    #[test]
+    fn retention_bounds_engine_history() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .merge_threshold(3)
+            .retention(crate::retention::RetentionPolicy::unbounded().with_max_age_steps(4))
+            .build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        let mut retired = 0u64;
+        for step in 0..20u64 {
+            let batch: Vec<u64> = (0..50).map(|i| step * 50 + i).collect();
+            let report = h.ingest_step(&batch).unwrap();
+            retired += report.retention.retired_items;
+        }
+        assert!(h.historical_len() <= 4 * 50, "n = {}", h.historical_len());
+        assert_eq!(h.historical_len() + retired, 20 * 50);
+        // Queries answer over the retained union only: the minimum is the
+        // oldest retained value, not 0.
+        let min = h.rank_query(1).unwrap().unwrap().value;
+        let oldest_step = h.warehouse().first_retained_step().unwrap() - 1;
+        assert_eq!(min, oldest_step * 50);
+        // Windowed p99-style query over the retained horizon.
+        let max_window = *h.available_windows().last().unwrap();
+        let p99 = h.quantile_in_window(max_window, 0.99).unwrap().unwrap();
+        assert!(p99 >= 19 * 50, "p99 {p99} not in the newest data");
+    }
+
+    #[test]
+    fn snapshot_windows_stable_under_expiry() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .merge_threshold(3)
+            .retention(crate::retention::RetentionPolicy::unbounded().with_max_age_steps(3))
+            .build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        for step in 0..6u64 {
+            let batch: Vec<u64> = (0..80).map(|i| step * 80 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        let snap = h.snapshot();
+        let windows = snap.available_windows();
+        assert_eq!(windows, h.available_windows());
+        let w = *windows.first().unwrap();
+        let before = snap.quantile_in_window(w, 0.5).unwrap().unwrap();
+        let rank_before = snap.rank_in_window(w, 10).unwrap().unwrap().value;
+        // Expire everything the snapshot pins.
+        for step in 6..14u64 {
+            let batch: Vec<u64> = (0..80).map(|i| step * 80 + i).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        assert_eq!(snap.quantile_in_window(w, 0.5).unwrap().unwrap(), before);
+        assert_eq!(
+            snap.rank_in_window(w, 10).unwrap().unwrap().value,
+            rank_before
+        );
+        assert_eq!(snap.available_windows(), windows);
     }
 
     #[test]

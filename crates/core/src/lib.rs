@@ -37,7 +37,11 @@
 //! guarantee over the union), and [`engine::EngineSnapshot`] gives
 //! readers immutable pinned views so queries run concurrently with
 //! ingestion; [`manifest`] persists warehouses — including consistent
-//! online backups taken from a snapshot.
+//! online backups taken from a snapshot and an append-only
+//! [`manifest::ManifestLog`] with compaction; [`retention`] bounds the
+//! warehouse with TTL/byte/count policies while windowed queries
+//! (`quantile_in_window`) keep the `ε·m` guarantee over the retained
+//! union.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +80,7 @@ pub mod heavy;
 pub mod manifest;
 pub mod parallel;
 pub mod query;
+pub mod retention;
 pub mod sharded;
 pub mod stream;
 pub mod summary;
@@ -88,6 +93,7 @@ pub use config::{HsqConfig, HsqConfigBuilder};
 pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
 pub use query::{QueryContext, QueryOutcome};
+pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};
 pub use stream::{StreamProcessor, StreamSummary};
 pub use summary::{PartitionSummary, SummaryEntry};

@@ -8,7 +8,10 @@
 //! summary entries — so recovery costs `O(manifest size)` sequential
 //! block reads and **zero** partition scans.
 //!
-//! Format (all integers little-endian `u64`, values in `Item` encoding):
+//! Two on-disk forms share one partition codec:
+//!
+//! **Snapshot manifest** (magic `HSQM`) — one self-contained state dump,
+//! written by [`persist`] / [`persist_snapshot`]:
 //!
 //! ```text
 //! magic "HSQM"  version  item_width  steps  total_len  num_partitions
@@ -18,10 +21,41 @@
 //! crc64 (of everything above)
 //! ```
 //!
+//! **Manifest log** (magic `HSQL`) — an append-only record stream kept by
+//! [`ManifestLog`] for long-running engines: one `Base` record (a full
+//! state dump) followed by per-step `Delta` records (partitions added,
+//! files retired — by cascade merges *or* retention expiry). Records are
+//! block-aligned and individually CRC-framed, so a torn tail record (a
+//! crash mid-append) is detected and ignored on replay. Because every
+//! step appends a bounded delta while retention retires old partitions,
+//! the log grows without bound unless compacted:
+//! [`ManifestLog::compact`] rewrites a fresh `Base` of only the *live*
+//! partitions into a **new** file and hands the old log back to the
+//! caller for deletion — recovery then replays live partitions only.
+//! The two-file handoff is crash-safe: until the caller durably records
+//! the new log's id and deletes the old one, both files recover to
+//! identical states.
+//!
+//! The log follows **write-ahead discipline** via the warehouse's pin
+//! registry: every partition file the last durable record references is
+//! pinned, so deletions a step defers (cascade merges, retention expiry)
+//! only execute *after* the record superseding them is appended **and
+//! synced** ([`hsq_storage::BlockDevice::sync`] — an fsync barrier on
+//! [`hsq_storage::FileDevice`]). A crash at any point — process death or
+//! power loss — therefore leaves a log whose referenced files all exist:
+//! recovery never dangles. Orderly shutdown protocol: append (or
+//! compact) at the final step boundary, then drop the log; dropping
+//! releases the pins, deleting only files already superseded by the
+//! last record.
+//!
+//! [`recover`] accepts either form (it dispatches on the magic), so
+//! engine-level recovery is oblivious to which one produced the file.
+//!
 //! The stream (`R`) is deliberately *not* persisted: in the paper's model
 //! (§1.1) un-archived data is the volatile stream; recovery is at
 //! time-step granularity.
 
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::Arc;
 
@@ -32,7 +66,12 @@ use crate::summary::{PartitionSummary, SummaryEntry};
 use crate::warehouse::{StoredPartition, Warehouse};
 
 const MAGIC: &[u8; 4] = b"HSQM";
+const LOG_MAGIC: &[u8; 4] = b"HSQL";
 const VERSION: u64 = 1;
+
+/// Record kinds of the [`ManifestLog`].
+const REC_BASE: u64 = 0;
+const REC_DELTA: u64 = 1;
 
 /// Simple CRC-64 (ECMA polynomial, bitwise) for manifest integrity.
 fn crc64(data: &[u8]) -> u64 {
@@ -143,6 +182,77 @@ pub fn persist_snapshot<T: Item, D: BlockDevice>(
     )
 }
 
+/// Encode one partition (level + run metadata + full summary).
+fn encode_partition<T: Item>(out: &mut Writer, level: u64, p: &StoredPartition<T>) {
+    out.u64(level);
+    out.u64(p.run.file());
+    out.u64(p.run.len());
+    out.u64(p.first_step);
+    out.u64(p.last_step);
+    out.item(p.run.min());
+    out.item(p.run.max());
+    out.u64(p.summary.entries().len() as u64);
+    for e in p.summary.entries() {
+        out.item(e.value);
+        out.u64(e.rank);
+        out.u64(e.block);
+    }
+}
+
+/// Decode one partition written by [`encode_partition`]. Backing-file
+/// existence is *not* checked here — log replay may remove the partition
+/// again before the final state is validated.
+fn decode_partition<T: Item>(r: &mut Reader) -> io::Result<(usize, StoredPartition<T>)> {
+    let level = r.u64()? as usize;
+    let file = r.u64()?;
+    let run_len = r.u64()?;
+    let first_step = r.u64()?;
+    let last_step = r.u64()?;
+    let min: T = r.item()?;
+    let max: T = r.item()?;
+    let num_entries = r.u64()?;
+    let mut entries = Vec::with_capacity(num_entries as usize);
+    for _ in 0..num_entries {
+        let value: T = r.item()?;
+        let rank = r.u64()?;
+        let block = r.u64()?;
+        if rank == 0 || rank > run_len {
+            return Err(corrupt("summary rank out of range"));
+        }
+        entries.push(SummaryEntry { value, rank, block });
+    }
+    Ok((
+        level,
+        StoredPartition {
+            run: SortedRun::from_raw_parts(file, run_len, min, max),
+            summary: PartitionSummary::from_raw_parts(entries, run_len),
+            first_step,
+            last_step,
+        },
+    ))
+}
+
+/// Check that every live partition's backing file exists, then rebuild
+/// the warehouse and verify its structural invariants.
+fn validate_and_build<T: Item, D: BlockDevice>(
+    dev: Arc<D>,
+    config: HsqConfig,
+    partitions: Vec<(usize, StoredPartition<T>)>,
+    steps: u64,
+    total_len: u64,
+) -> io::Result<Warehouse<T, D>> {
+    for (_, p) in &partitions {
+        let file_blocks = dev.num_blocks(p.run.file())?;
+        if file_blocks == 0 && !p.run.is_empty() {
+            return Err(corrupt("partition file missing or empty"));
+        }
+    }
+    let w = Warehouse::from_recovered_parts(dev, config, partitions, steps, total_len);
+    w.check_invariants()
+        .map_err(|e| corrupt(&format!("recovered state invalid: {e}")))?;
+    Ok(w)
+}
+
 /// Shared serializer behind [`persist`] and [`persist_snapshot`].
 fn write_manifest<T: Item, D: BlockDevice>(
     dev: &D,
@@ -159,19 +269,7 @@ fn write_manifest<T: Item, D: BlockDevice>(
 
     out.u64(parts.len() as u64);
     for &(level, p) in parts {
-        out.u64(level);
-        out.u64(p.run.file());
-        out.u64(p.run.len());
-        out.u64(p.first_step);
-        out.u64(p.last_step);
-        out.item(p.run.min());
-        out.item(p.run.max());
-        out.u64(p.summary.entries().len() as u64);
-        for e in p.summary.entries() {
-            out.item(e.value);
-            out.u64(e.rank);
-            out.u64(e.block);
-        }
+        encode_partition(&mut out, level, p);
     }
     let crc = crc64(&out.buf);
     out.u64(crc);
@@ -184,7 +282,8 @@ fn write_manifest<T: Item, D: BlockDevice>(
     Ok(file)
 }
 
-/// Reopen a warehouse from a manifest written by [`persist`].
+/// Reopen a warehouse from a [`persist`]ed snapshot manifest **or** a
+/// [`ManifestLog`] file (dispatches on the magic).
 ///
 /// `config` must carry the same `ε₁`/`β₁` the warehouse was built with
 /// (summaries are restored verbatim, so a mismatch only affects future
@@ -201,6 +300,9 @@ pub fn recover<T: Item, D: BlockDevice>(
     for b in 0..blocks {
         let got = dev.read_block(manifest, b, &mut buf)?;
         raw.extend_from_slice(&buf[..got]);
+    }
+    if raw.len() >= 4 && &raw[..4] == LOG_MAGIC {
+        return replay_log(dev, config, &raw);
     }
     if raw.len() < 4 + 8 || &raw[..4] != MAGIC {
         return Err(corrupt("bad magic"));
@@ -227,44 +329,318 @@ pub fn recover<T: Item, D: BlockDevice>(
 
     let mut partitions: Vec<(usize, StoredPartition<T>)> = Vec::new();
     for _ in 0..num_parts {
-        let level = r.u64()? as usize;
-        let file = r.u64()?;
-        let run_len = r.u64()?;
-        let first_step = r.u64()?;
-        let last_step = r.u64()?;
-        let min: T = r.item()?;
-        let max: T = r.item()?;
-        let num_entries = r.u64()?;
-        let mut entries = Vec::with_capacity(num_entries as usize);
-        for _ in 0..num_entries {
-            let value: T = r.item()?;
-            let rank = r.u64()?;
-            let block = r.u64()?;
-            if rank == 0 || rank > run_len {
-                return Err(corrupt("summary rank out of range"));
-            }
-            entries.push(SummaryEntry { value, rank, block });
+        partitions.push(decode_partition(&mut r)?);
+    }
+    validate_and_build(dev, config, partitions, steps, total_len)
+}
+
+/// Replay an `HSQL` log image: apply the `Base` record then every valid
+/// `Delta`, stopping cleanly at a torn tail record.
+fn replay_log<T: Item, D: BlockDevice>(
+    dev: Arc<D>,
+    config: HsqConfig,
+    raw: &[u8],
+) -> io::Result<Warehouse<T, D>> {
+    let bs = dev.block_size();
+    // Header block: magic, version, item width.
+    {
+        let mut r = Reader { buf: raw, pos: 4 };
+        if r.u64()? != VERSION {
+            return Err(corrupt("unsupported log version"));
         }
-        // Sanity: the backing file must exist on the device.
-        let file_blocks = dev.num_blocks(file)?;
-        if file_blocks == 0 && run_len > 0 {
-            return Err(corrupt("partition file missing or empty"));
+        if r.u64()? != T::ENCODED_LEN as u64 {
+            return Err(corrupt("item width mismatch"));
         }
-        partitions.push((
-            level,
-            StoredPartition {
-                run: SortedRun::from_raw_parts(file, run_len, min, max),
-                summary: PartitionSummary::from_raw_parts(entries, run_len),
-                first_step,
-                last_step,
-            },
-        ));
     }
 
-    let w = Warehouse::from_recovered_parts(dev, config, partitions, steps, total_len);
-    w.check_invariants()
-        .map_err(|e| corrupt(&format!("recovered state invalid: {e}")))?;
-    Ok(w)
+    let mut state: HashMap<FileId, (usize, StoredPartition<T>)> = HashMap::new();
+    let mut steps = 0u64;
+    let mut total_len = 0u64;
+    let mut applied = 0usize;
+
+    let mut pos = bs; // records start at block 1
+    while pos + 8 <= raw.len() {
+        let body_len = u64::from_le_bytes(raw[pos..pos + 8].try_into().unwrap()) as usize;
+        if body_len < 16 || pos + 8 + body_len > raw.len() {
+            break; // torn or padding tail
+        }
+        let body = &raw[pos + 8..pos + 8 + body_len];
+        let crc_at = body_len - 8;
+        let stored_crc = u64::from_le_bytes(body[crc_at..].try_into().unwrap());
+        if crc64(&body[..crc_at]) != stored_crc {
+            break; // torn record: ignore it and everything after
+        }
+        let mut r = Reader {
+            buf: &body[..crc_at],
+            pos: 0,
+        };
+        let kind = r.u64()?;
+        match kind {
+            REC_BASE => {
+                state.clear();
+                steps = r.u64()?;
+                total_len = r.u64()?;
+                let num = r.u64()?;
+                for _ in 0..num {
+                    let (level, p) = decode_partition(&mut r)?;
+                    state.insert(p.run.file(), (level, p));
+                }
+            }
+            REC_DELTA => {
+                steps = r.u64()?;
+                total_len = r.u64()?;
+                let removed = r.u64()?;
+                for _ in 0..removed {
+                    state.remove(&r.u64()?);
+                }
+                let added = r.u64()?;
+                for _ in 0..added {
+                    let (level, p) = decode_partition(&mut r)?;
+                    state.insert(p.run.file(), (level, p));
+                }
+            }
+            _ => return Err(corrupt("unknown log record kind")),
+        }
+        applied += 1;
+        // Records are block-aligned: advance to the next block boundary.
+        pos += (8 + body_len).div_ceil(bs) * bs;
+    }
+    if applied == 0 {
+        return Err(corrupt("log holds no valid records"));
+    }
+    let partitions: Vec<(usize, StoredPartition<T>)> = state.into_values().collect();
+    validate_and_build(dev, config, partitions, steps, total_len)
+}
+
+/// An append-only manifest for long-running engines: one file holding a
+/// `Base` state record plus one `Delta` record per archived step, with
+/// compaction to keep the log bounded and write-ahead pinning so the
+/// last durable record's files always exist (see the module docs).
+///
+/// Call [`ManifestLog::append`] once per step boundary. Typical loop:
+///
+/// ```
+/// use std::sync::Arc;
+/// use hsq_core::{manifest::ManifestLog, HistStreamQuantiles, HsqConfig, RetentionPolicy};
+/// use hsq_storage::{BlockDevice, MemDevice};
+///
+/// let cfg = HsqConfig::builder()
+///     .epsilon(0.1)
+///     .merge_threshold(3)
+///     .retention(RetentionPolicy::unbounded().with_max_age_steps(8))
+///     .build();
+/// let dev = MemDevice::new(256);
+/// let mut engine = HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg.clone());
+/// let mut log = ManifestLog::create(engine.warehouse()).unwrap();
+/// for step in 0..20u64 {
+///     engine.ingest_step(&(step * 100..step * 100 + 100).collect::<Vec<_>>()).unwrap();
+///     log.append(engine.warehouse()).unwrap();
+///     if log.should_compact() {
+///         let old = log.compact(engine.warehouse()).unwrap();
+///         // ...durably record log.file() out of band, then:
+///         dev.delete(old).unwrap();
+///     }
+/// }
+/// let recovered = HistStreamQuantiles::<u64, _>::recover(dev, cfg, log.file()).unwrap();
+/// assert_eq!(recovered.historical_len(), engine.historical_len());
+/// ```
+pub struct ManifestLog<T: Item, D: BlockDevice> {
+    dev: Arc<D>,
+    file: FileId,
+    next_block: u64,
+    /// File ids recorded live as of the last record, for delta diffing.
+    known: HashSet<FileId>,
+    /// Write-ahead pin over `known`: every file the last durable record
+    /// references stays on the device (deletion deferred) until the
+    /// record superseding it is written, so recovery from the log never
+    /// dangles — even if the process dies between a step boundary (which
+    /// retires files via merges or retention) and the next `append`.
+    /// Swapped after each record: the old guard's drop executes the
+    /// deletions the step deferred.
+    guard: Option<crate::warehouse::PinGuard<D>>,
+    /// Delta records appended since the last `Base`.
+    delta_records: u64,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
+    /// Start a new log on the warehouse's device, writing the header and
+    /// a `Base` record of the warehouse's current state.
+    pub fn create(w: &Warehouse<T, D>) -> io::Result<Self> {
+        let dev = Arc::clone(w.device());
+        let file = dev.create()?;
+        let mut log = ManifestLog {
+            dev,
+            file,
+            next_block: 0,
+            known: HashSet::new(),
+            guard: None,
+            delta_records: 0,
+            _t: std::marker::PhantomData,
+        };
+        log.write_header()?;
+        log.write_base(w)?;
+        Ok(log)
+    }
+
+    /// The log's file id — what [`recover`] (and hence
+    /// [`crate::engine::HistStreamQuantiles::recover`]) takes.
+    pub fn file(&self) -> FileId {
+        self.file
+    }
+
+    /// Delta records appended since the last `Base` record.
+    pub fn delta_records(&self) -> u64 {
+        self.delta_records
+    }
+
+    /// Bytes currently occupied by the log file.
+    pub fn log_bytes(&self) -> io::Result<u64> {
+        self.dev.file_len(self.file)
+    }
+
+    /// Compaction heuristic: the replay cost (and file size) grows with
+    /// every delta, so compact once a batch of them has accumulated.
+    pub fn should_compact(&self) -> bool {
+        self.delta_records >= 32
+    }
+
+    fn write_header(&mut self) -> io::Result<()> {
+        let mut out = Writer::new();
+        out.buf.extend_from_slice(LOG_MAGIC);
+        out.u64(VERSION);
+        out.u64(T::ENCODED_LEN as u64);
+        self.write_padded_blocks(&out.buf)
+    }
+
+    /// Frame `payload` as one record (`len | kind+payload | crc`) and
+    /// append it on a fresh block boundary.
+    fn write_record(&mut self, kind: u64, payload: &[u8]) -> io::Result<()> {
+        let mut body = Writer::new();
+        body.u64(kind);
+        body.buf.extend_from_slice(payload);
+        let crc = crc64(&body.buf);
+        body.u64(crc);
+        let mut framed = Writer::new();
+        framed.u64(body.buf.len() as u64);
+        framed.buf.extend_from_slice(&body.buf);
+        self.write_padded_blocks(&framed.buf)
+    }
+
+    /// Write `buf` as whole zero-padded blocks (the device only allows a
+    /// short block at the very end of a file, and the log keeps
+    /// appending).
+    fn write_padded_blocks(&mut self, buf: &[u8]) -> io::Result<()> {
+        let bs = self.dev.block_size();
+        let mut block = vec![0u8; bs];
+        for chunk in buf.chunks(bs) {
+            block[..chunk.len()].copy_from_slice(chunk);
+            block[chunk.len()..].fill(0);
+            self.dev.write_block(self.file, self.next_block, &block)?;
+            self.next_block += 1;
+        }
+        Ok(())
+    }
+
+    fn encode_state(w: &Warehouse<T, D>) -> (Vec<u8>, HashSet<FileId>) {
+        let mut out = Writer::new();
+        out.u64(w.steps());
+        out.u64(w.total_len());
+        let mut parts: Vec<(u64, &StoredPartition<T>)> = Vec::new();
+        for level in 0..w.num_levels() {
+            for p in w.level(level) {
+                parts.push((level as u64, p));
+            }
+        }
+        out.u64(parts.len() as u64);
+        let mut files = HashSet::with_capacity(parts.len());
+        for &(level, p) in &parts {
+            encode_partition(&mut out, level, p);
+            files.insert(p.run.file());
+        }
+        (out.buf, files)
+    }
+
+    fn write_base(&mut self, w: &Warehouse<T, D>) -> io::Result<()> {
+        let (payload, files) = Self::encode_state(w);
+        self.write_record(REC_BASE, &payload)?;
+        // Durability barrier before acting on the record: pins are only
+        // released (deleting superseded files) once the record that
+        // supersedes them has actually reached storage.
+        self.dev.sync(self.file)?;
+        // Pin the newly referenced set *before* releasing the previous
+        // pins, so no referenced file is ever deletable in between.
+        let new_guard = w.pin_files(files.iter().copied().collect());
+        self.guard = Some(new_guard);
+        self.known = files;
+        self.delta_records = 0;
+        Ok(())
+    }
+
+    /// Append a `Delta` record capturing every partition added or retired
+    /// (by merges or retention) since the last record. Call once per
+    /// archived step, after
+    /// [`crate::engine::HistStreamQuantiles::end_time_step`]. A no-change
+    /// step still appends (it advances the recovered step clock).
+    pub fn append(&mut self, w: &Warehouse<T, D>) -> io::Result<()> {
+        let mut current: HashMap<FileId, (u64, &StoredPartition<T>)> = HashMap::new();
+        for level in 0..w.num_levels() {
+            for p in w.level(level) {
+                current.insert(p.run.file(), (level as u64, p));
+            }
+        }
+        let removed: Vec<FileId> = self
+            .known
+            .iter()
+            .copied()
+            .filter(|f| !current.contains_key(f))
+            .collect();
+        let added: Vec<(u64, &StoredPartition<T>)> = current
+            .iter()
+            .filter(|(f, _)| !self.known.contains(*f))
+            .map(|(_, &(l, p))| (l, p))
+            .collect();
+
+        let mut out = Writer::new();
+        out.u64(w.steps());
+        out.u64(w.total_len());
+        out.u64(removed.len() as u64);
+        for f in &removed {
+            out.u64(*f);
+        }
+        out.u64(added.len() as u64);
+        for &(level, p) in &added {
+            // A record must never reference a partition whose data could
+            // be lost with it: sync added runs before the record lands.
+            self.dev.sync(p.run.file())?;
+            encode_partition(&mut out, level, p);
+        }
+        self.write_record(REC_DELTA, &out.buf)?;
+        // Durability barrier, then swap pins: the delta is on storage, so
+        // re-pin the now-referenced set and drop the old pins — which
+        // executes the deletions this step's merges and retention
+        // deferred on the log's behalf.
+        self.dev.sync(self.file)?;
+        let new_guard = w.pin_files(current.keys().copied().collect());
+        self.guard = Some(new_guard);
+        self.known = current.keys().copied().collect();
+        self.delta_records += 1;
+        Ok(())
+    }
+
+    /// Compact: write the warehouse's current state as a fresh `Base`
+    /// into a **new** log file and switch this handle to it. Returns the
+    /// *old* log's file id, which the caller deletes once the new id is
+    /// durably recorded — until then both files recover to the same
+    /// state, so a crash anywhere in the handoff loses nothing.
+    pub fn compact(&mut self, w: &Warehouse<T, D>) -> io::Result<FileId> {
+        let old = self.file;
+        self.file = self.dev.create()?;
+        self.next_block = 0;
+        self.write_header()?;
+        self.write_base(w)?;
+        Ok(old)
+    }
 }
 
 #[cfg(test)]
@@ -376,6 +752,227 @@ mod tests {
         let cfg = HsqConfig::with_epsilon(0.1);
         let err = recover::<u32, _>(Arc::clone(w.device()), cfg, manifest).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    /// Quantiles of a history-only warehouse (m = 0: exact), for
+    /// comparing recovered states by answers rather than layout.
+    fn exact_quantiles(w: &Warehouse<u64, MemDevice>) -> Vec<u64> {
+        let cfg = HsqConfig::with_epsilon(0.1);
+        let ss = crate::stream::StreamProcessor::<u64>::new(cfg.epsilon2, cfg.beta2).summary();
+        let ctx = crate::query::QueryContext::new(
+            &**w.device(),
+            w.partitions_newest_first(),
+            &ss,
+            cfg.query_epsilon(),
+            cfg.cache_blocks,
+        );
+        [0.01, 0.25, 0.5, 0.75, 0.99]
+            .iter()
+            .map(|&phi| {
+                let r = ((phi * w.total_len() as f64).ceil() as u64).max(1);
+                ctx.accurate_rank(r).unwrap().unwrap().value
+            })
+            .collect()
+    }
+
+    fn log_config(kappa: usize, max_age: u64) -> HsqConfig {
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = kappa;
+        cfg.retention = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(max_age);
+        cfg
+    }
+
+    #[test]
+    fn log_replay_matches_live_state() {
+        // Deltas under cascade merges AND retention expiry: replay must
+        // land on exactly the live partition set.
+        let cfg = log_config(2, 6);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..15u64 {
+            w.add_batch((0..100).map(|i| s * 100 + i).collect())
+                .unwrap();
+            log.append(&w).unwrap();
+        }
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, log.file()).unwrap();
+        assert_eq!(recovered.steps(), w.steps());
+        assert_eq!(recovered.total_len(), w.total_len());
+        assert_eq!(recovered.num_partitions(), w.num_partitions());
+        assert_eq!(recovered.available_windows(), w.available_windows());
+        assert_eq!(exact_quantiles(&recovered), exact_quantiles(&w));
+    }
+
+    #[test]
+    fn log_compaction_shrinks_and_preserves_state() {
+        let cfg = log_config(2, 4);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..40u64 {
+            w.add_batch((0..50).map(|i| s * 50 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        let before = log.log_bytes().unwrap();
+        assert_eq!(log.delta_records(), 40);
+        assert!(log.should_compact());
+        let old = log.compact(&w).unwrap();
+        w.device().delete(old).unwrap();
+        assert_eq!(log.delta_records(), 0);
+        let after = log.log_bytes().unwrap();
+        assert!(
+            after < before / 2,
+            "compaction must shrink the log: {before} -> {after}"
+        );
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, log.file()).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.total_len(), w.total_len());
+        assert_eq!(exact_quantiles(&recovered), exact_quantiles(&w));
+    }
+
+    #[test]
+    fn crash_between_compaction_write_and_old_log_removal() {
+        // The satellite crash test: compaction writes the new base file,
+        // then the process dies BEFORE the old log is removed. Both files
+        // exist; recovery from either must yield a valid warehouse with
+        // identical query answers (the uncompacted log is the control).
+        let cfg = log_config(2, 5);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..23u64 {
+            w.add_batch((0..80).map(|i| (i * 131 + s * 17) % 10_000).collect())
+                .unwrap();
+            log.append(&w).unwrap();
+        }
+        let old = log.compact(&w).unwrap();
+        // -- simulated crash: old log NOT removed, new id maybe not yet
+        // recorded. Recover from both files.
+        let from_old: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg.clone(), old).unwrap();
+        let from_new: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg.clone(), log.file()).unwrap();
+        from_old.check_invariants().unwrap();
+        from_new.check_invariants().unwrap();
+        assert_eq!(from_old.steps(), from_new.steps());
+        assert_eq!(from_old.total_len(), from_new.total_len());
+        assert_eq!(from_old.available_windows(), from_new.available_windows());
+        assert_eq!(exact_quantiles(&from_old), exact_quantiles(&from_new));
+        // After the handoff completes (old removed), the new log still
+        // recovers; the old id no longer resolves.
+        w.device().delete(old).unwrap();
+        let again: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg.clone(), log.file()).unwrap();
+        assert_eq!(again.total_len(), from_new.total_len());
+        assert!(recover::<u64, _>(Arc::clone(w.device()), cfg, old).is_err());
+    }
+
+    #[test]
+    fn crash_between_step_and_append_recovers_from_stale_log() {
+        // Retention retires (and would delete) files during
+        // end_time_step; the log's write-ahead pins must keep every file
+        // its last record references until the NEXT append is durable.
+        // Crash in that window -> recovery from the stale log must work.
+        let cfg = log_config(2, 2); // aggressive TTL + merges
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..6u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        let logged_len = w.total_len();
+        // Three more steps WITHOUT appending: retention retires the very
+        // partitions the last record references.
+        for s in 6..9u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+        }
+        // Simulated process crash: Drop never runs, pins never release.
+        let file = log.file();
+        std::mem::forget(log);
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, file).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(
+            recovered.total_len(),
+            logged_len,
+            "stale-log recovery must land on the last appended state"
+        );
+    }
+
+    #[test]
+    fn append_releases_superseded_files() {
+        // Orderly protocol: once a delta records a file's removal, the
+        // deferred deletion runs — the log must not leak storage.
+        let cfg = log_config(2, 2);
+        let dev = MemDevice::new(256);
+        let mut w = Warehouse::<u64, _>::new(Arc::clone(&dev), cfg);
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..20u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        // Device holds: live partitions + the log file only.
+        let live = w.partition_bytes().unwrap();
+        let log_bytes = log.log_bytes().unwrap();
+        assert_eq!(
+            dev.resident_bytes(),
+            live + log_bytes,
+            "append must delete files superseded by the last record"
+        );
+    }
+
+    #[test]
+    fn torn_tail_record_is_ignored() {
+        // A crash mid-append leaves a trailing record with a bad CRC; the
+        // replay must stop there and recover the pre-append state.
+        let cfg = log_config(3, 10);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..5u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        let steps_before = w.steps();
+        let len_before = w.total_len();
+        // Append one more step's record, then corrupt its bytes.
+        let tail_start = w.device().num_blocks(log.file()).unwrap();
+        w.add_batch((300..360u64).collect()).unwrap();
+        log.append(&w).unwrap();
+        let dev = w.device();
+        let bs = dev.block_size();
+        let mut buf = vec![0u8; bs];
+        dev.read_block(log.file(), tail_start, &mut buf).unwrap();
+        for b in buf[16..].iter_mut() {
+            *b ^= 0xFF;
+        }
+        dev.write_block(log.file(), tail_start, &buf).unwrap();
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(dev), cfg, log.file()).unwrap();
+        assert_eq!(recovered.steps(), steps_before);
+        assert_eq!(recovered.total_len(), len_before);
+    }
+
+    #[test]
+    fn engine_recovers_from_log_file() {
+        // Engine::recover dispatches on the magic: a log file works in
+        // place of a snapshot manifest.
+        let cfg = log_config(2, 8);
+        let dev = MemDevice::new(256);
+        let mut engine =
+            crate::engine::HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg.clone());
+        let mut log = ManifestLog::create(engine.warehouse()).unwrap();
+        for s in 0..12u64 {
+            engine
+                .ingest_step(&(s * 100..s * 100 + 100).collect::<Vec<_>>())
+                .unwrap();
+            log.append(engine.warehouse()).unwrap();
+        }
+        let recovered =
+            crate::engine::HistStreamQuantiles::<u64, _>::recover(dev, cfg, log.file()).unwrap();
+        assert_eq!(recovered.historical_len(), engine.historical_len());
+        assert_eq!(
+            recovered.quantile(0.5).unwrap(),
+            engine.quantile(0.5).unwrap()
+        );
     }
 
     #[test]

@@ -242,6 +242,59 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
     }
 }
 
+/// Value-space bisection over *summed* rank bounds (the cross-shard
+/// fan-in of [`crate::sharded`], shared by full and windowed queries).
+///
+/// `probe(z)` returns rigorous `(lo, hi)` bounds on `rank(z)` over the
+/// queried union; the midpoint estimate carries up to `hi − mid`
+/// uncertainty, so a probe is accepted when `|ρ − r| ≤ eps_m − unc` and
+/// the search otherwise bisects `[u, v]` to value collapse (Definition
+/// 1's boundary answer). Returns `(value, estimated_rank,
+/// bisection_steps)`.
+pub(crate) fn bisect_summed_rank<T: Item>(
+    r: u64,
+    eps_m: u64,
+    mut u: T,
+    mut v: T,
+    mut probe: impl FnMut(T) -> io::Result<(u64, u64)>,
+) -> io::Result<(T, u64, u32)> {
+    fn midpoint_estimate((lo, hi): (u64, u64)) -> u64 {
+        lo + (hi - lo) / 2
+    }
+    if v <= u {
+        // Both filters pin rank r exactly; v is Definition 1's answer.
+        return Ok((v, midpoint_estimate(probe(v)?), 0));
+    }
+    let mut steps = 0u32;
+    loop {
+        steps += 1;
+        if steps > T::UNIVERSE_BITS + 2 {
+            // Value space exhausted; v is the smallest value whose
+            // estimated rank reaches r.
+            break Ok((v, midpoint_estimate(probe(v)?), steps));
+        }
+        let z = T::midpoint(u, v);
+        if z == u && z == v {
+            break Ok((v, midpoint_estimate(probe(v)?), steps));
+        }
+        let (lo, hi) = probe(z)?;
+        let rho = lo + (hi - lo) / 2;
+        let unc = hi - rho;
+        let tol = eps_m.saturating_sub(unc);
+        if r < rho && rho - r > tol {
+            v = z; // too high: recurse left
+        } else if rho < r && r - rho > tol {
+            if z == u {
+                // Interval degenerated to {u, v = u+ulp}: answer is v.
+                break Ok((v, midpoint_estimate(probe(v)?), steps));
+            }
+            u = z; // too low: recurse right
+        } else {
+            break Ok((z, rho, steps));
+        }
+    }
+}
+
 /// Rigorous bounds on `rank(z, T)` over `partitions ∪ stream`: the exact
 /// disk-side rank (each partition probed inside its summary-narrowed
 /// window, block reads served through the per-partition `caches`) plus the

@@ -1,0 +1,165 @@
+//! Time-windowed retention: TTL/byte/count policies bounding the
+//! warehouse.
+//!
+//! **Extension beyond the paper**, whose warehouse model only ever grows
+//! (§1.1). A production union-quantile service must bound storage: real
+//! deployments answer "p99 over the last 24 hours" while partitions older
+//! than the retention horizon age out. A [`RetentionPolicy`] carries up to
+//! three composable limits — maximum age in time steps, maximum total
+//! partition bytes, maximum partition count — and the warehouse enforces
+//! *all* of them on every step boundary (the most restrictive limit
+//! wins), retiring whole partitions oldest-first.
+//!
+//! Design rules that keep the estimator honest as data is dropped:
+//!
+//! * **Partition-aligned expiry.** A partition is only retired when *all*
+//!   of it is out of policy; retention never splits a partition. The
+//!   retained set is therefore always a contiguous suffix of the step
+//!   history, so window queries ([`crate::engine::HistStreamQuantiles::
+//!   quantile_in_window`]) keep their partition-alignment semantics and
+//!   the `ε·m` guarantee holds over the *retained* union — exactly the
+//!   window-query argument of §2.4 applied to the retention horizon.
+//! * **Deferred deletion.** Retired partitions go through the same
+//!   [`crate::warehouse::PinGuard`] machinery as cascade merges: a file
+//!   pinned by a live [`crate::engine::EngineSnapshot`] is never deleted
+//!   under the reader — expiry defers until the last pin drops, so
+//!   in-flight queries are never corrupted.
+//! * **Stream/history boundary.** The live stream is always the *current*
+//!   step — age zero — so no retention policy can expire stream mass.
+//!   Expiry only ever removes archived history; the stream sketch needs
+//!   no adjustment (see [`crate::stream`]'s module docs).
+//!
+//! Retention pairs with [`crate::manifest::ManifestLog`]: per-step delta
+//! records mark partitions retired, and compaction rewrites the log so
+//! recovery replays only live partitions.
+
+/// Composable retention limits applied by the warehouse on every step
+/// boundary. The default ([`RetentionPolicy::unbounded`]) retains
+/// everything, reproducing the paper's grow-only model.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetentionPolicy {
+    /// Keep only the newest `max_age_steps` time steps: a partition is
+    /// expired once its newest step (`last_step`) falls out of the
+    /// `(steps − max_age_steps, steps]` window. Must be ≥ 1.
+    pub max_age_steps: Option<u64>,
+    /// Keep total partition bytes at or under this cap, retiring the
+    /// oldest partitions while over it. The newest partition is never
+    /// retired, so a single partition larger than the cap can transiently
+    /// exceed it (choose the cap well above one step's bytes).
+    pub max_bytes: Option<u64>,
+    /// Keep at most this many partitions, retiring oldest-first.
+    /// Must be ≥ 1.
+    pub max_partitions: Option<usize>,
+}
+
+impl RetentionPolicy {
+    /// Retain everything (the paper's grow-only warehouse).
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// Keep only the newest `steps` time steps (TTL in step units).
+    pub fn with_max_age_steps(mut self, steps: u64) -> Self {
+        assert!(steps >= 1, "max_age_steps must be >= 1");
+        self.max_age_steps = Some(steps);
+        self
+    }
+
+    /// Cap total partition bytes.
+    pub fn with_max_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes >= 1, "max_bytes must be >= 1");
+        self.max_bytes = Some(bytes);
+        self
+    }
+
+    /// Cap the number of live partitions.
+    pub fn with_max_partitions(mut self, partitions: usize) -> Self {
+        assert!(partitions >= 1, "max_partitions must be >= 1");
+        self.max_partitions = Some(partitions);
+        self
+    }
+
+    /// True iff no limit is set (retention disabled).
+    pub fn is_unbounded(&self) -> bool {
+        self.max_age_steps.is_none() && self.max_bytes.is_none() && self.max_partitions.is_none()
+    }
+}
+
+/// What one retention pass retired (part of
+/// [`crate::warehouse::UpdateReport`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RetentionReport {
+    /// Partitions retired by this pass.
+    pub retired_partitions: usize,
+    /// Items dropped from the historical total.
+    pub retired_items: u64,
+    /// On-device bytes released (deferred while snapshots pin the files).
+    pub retired_bytes: u64,
+    /// Time steps whose data was dropped.
+    pub retired_steps: u64,
+}
+
+impl RetentionReport {
+    /// Fold another pass's counts into this one.
+    pub fn absorb(&mut self, other: RetentionReport) {
+        self.retired_partitions += other.retired_partitions;
+        self.retired_items += other.retired_items;
+        self.retired_bytes += other.retired_bytes;
+        self.retired_steps += other.retired_steps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unbounded() {
+        assert!(RetentionPolicy::default().is_unbounded());
+        assert!(RetentionPolicy::unbounded().is_unbounded());
+    }
+
+    #[test]
+    fn limits_compose() {
+        let p = RetentionPolicy::unbounded()
+            .with_max_age_steps(24)
+            .with_max_bytes(1 << 20)
+            .with_max_partitions(16);
+        assert!(!p.is_unbounded());
+        assert_eq!(p.max_age_steps, Some(24));
+        assert_eq!(p.max_bytes, Some(1 << 20));
+        assert_eq!(p.max_partitions, Some(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_age_steps")]
+    fn zero_age_rejected() {
+        let _ = RetentionPolicy::unbounded().with_max_age_steps(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_partitions")]
+    fn zero_partitions_rejected() {
+        let _ = RetentionPolicy::unbounded().with_max_partitions(0);
+    }
+
+    #[test]
+    fn report_absorbs() {
+        let mut a = RetentionReport {
+            retired_partitions: 1,
+            retired_items: 10,
+            retired_bytes: 80,
+            retired_steps: 2,
+        };
+        a.absorb(RetentionReport {
+            retired_partitions: 2,
+            retired_items: 5,
+            retired_bytes: 40,
+            retired_steps: 1,
+        });
+        assert_eq!(a.retired_partitions, 3);
+        assert_eq!(a.retired_items, 15);
+        assert_eq!(a.retired_bytes, 120);
+        assert_eq!(a.retired_steps, 3);
+    }
+}

@@ -228,6 +228,26 @@ impl<T: Item, D: BlockDevice> ShardedEngine<T, D> {
         self.snapshot().quantile_quick(phi)
     }
 
+    /// Window sizes answerable exactly across every shard, ascending.
+    /// Shards advance in lockstep (shared step clock and retention
+    /// policy), so this normally equals any single shard's windows.
+    pub fn available_windows(&self) -> Vec<u64> {
+        self.snapshot().available_windows()
+    }
+
+    /// Accurate φ-quantile over the union of every shard's live stream
+    /// and newest `window_steps` retained steps (see
+    /// [`ShardedSnapshot::quantile_in_window`]).
+    pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
+        self.snapshot().quantile_in_window(window_steps, phi)
+    }
+
+    /// Accurate cross-shard windowed rank query (see
+    /// [`ShardedSnapshot::rank_in_window`]).
+    pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        self.snapshot().rank_in_window(window_steps, r)
+    }
+
     /// Persist every shard's warehouse metadata; returns one manifest
     /// [`FileId`] per shard (on that shard's device). Recover with
     /// [`ShardedEngine::recover`], passing the devices and manifests in
@@ -438,55 +458,170 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         let marks = self.io_marks();
 
         let (u_opt, v_opt) = ts.generate_filters(r);
-        let mut u = u_opt.unwrap_or(T::MIN);
-        let mut v = v_opt.unwrap_or(T::MAX);
+        let u = u_opt.unwrap_or(T::MIN);
+        let v = v_opt.unwrap_or(T::MAX);
 
-        let m = self.stream_len();
         // Same acceptance rule as the single-engine accurate response: the
         // probe's midpoint estimate carries up to `unc = Σ unc_s ≤ ε·m`
         // uncertainty, so accept when |ρ − r| ≤ ε·m − unc and otherwise
         // bisect to value collapse (Definition 1's boundary answer).
-        let eps_m = (self.epsilon * m as f64).floor() as u64;
+        let eps_m = (self.epsilon * self.stream_len() as f64).floor() as u64;
+        let (value, estimated_rank, steps) =
+            crate::query::bisect_summed_rank(r, eps_m, u, v, |z| self.probe_bounds(z, caches))?;
 
-        if v <= u {
-            let (lo, hi) = self.probe_bounds(v, caches)?;
-            return Ok(Some(QueryOutcome {
-                value: v,
-                io: self.io_since(&marks),
-                bisection_steps: 0,
-                estimated_rank: lo + (hi - lo) / 2,
-            }));
-        }
+        Ok(Some(QueryOutcome {
+            value,
+            io: self.io_since(&marks),
+            bisection_steps: steps,
+            estimated_rank,
+        }))
+    }
 
-        let mut steps = 0u32;
-        let (value, estimated_rank) = loop {
-            steps += 1;
-            if steps > T::UNIVERSE_BITS + 2 {
-                let (lo, hi) = self.probe_bounds(v, caches)?;
-                break (v, lo + (hi - lo) / 2);
-            }
-            let z = T::midpoint(u, v);
-            if z == u && z == v {
-                let (lo, hi) = self.probe_bounds(v, caches)?;
-                break (v, lo + (hi - lo) / 2);
-            }
-            let (lo, hi) = self.probe_bounds(z, caches)?;
-            let rho = lo + (hi - lo) / 2;
-            let unc = hi - rho;
-            let tol = eps_m.saturating_sub(unc);
-            if r < rho && rho - r > tol {
-                v = z; // too high: recurse left
-            } else if rho < r && r - rho > tol {
-                if z == u {
-                    // Interval degenerated to {u, v = u+ulp}: answer is v.
-                    let (lo2, hi2) = self.probe_bounds(v, caches)?;
-                    break (v, lo2 + (hi2 - lo2) / 2);
-                }
-                u = z; // too low: recurse right
-            } else {
-                break (z, rho);
-            }
+    /// Window sizes (in snapshot-time steps) answerable exactly across
+    /// **every** shard, ascending. Shards normally advance in lockstep so
+    /// their partition layouts align; byte-driven retention can retire
+    /// different step ranges per shard, in which case only windows aligned
+    /// on all shards are offered.
+    pub fn available_windows(&self) -> Vec<u64> {
+        let mut iter = self.shards.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
         };
+        let mut common: Vec<u64> = first.available_windows();
+        for s in iter {
+            let w = s.available_windows();
+            common.retain(|x| w.contains(x));
+        }
+        common
+    }
+
+    /// Every shard's window partitions plus the window's total size
+    /// (history in the window + the live stream); `None` when any
+    /// shard's partitions misalign with the boundary. Shared by the
+    /// windowed query entry points so the per-shard lists are computed
+    /// once per query.
+    #[allow(clippy::type_complexity)]
+    fn window_parts(
+        &self,
+        window_steps: u64,
+    ) -> Option<(Vec<Vec<&crate::warehouse::StoredPartition<T>>>, u64)> {
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut total = self.stream_len();
+        for s in &self.shards {
+            let parts = s.window_partitions(window_steps)?;
+            total += parts.iter().map(|p| p.run.len()).sum::<u64>();
+            per_shard.push(parts);
+        }
+        Some((per_shard, total))
+    }
+
+    /// Total items (history + stream) inside the newest `window_steps`
+    /// steps across all shards; `None` when any shard's partitions
+    /// misalign with the window boundary.
+    pub fn window_total(&self, window_steps: u64) -> Option<u64> {
+        self.window_parts(window_steps).map(|(_, n)| n)
+    }
+
+    /// Accurate φ-quantile over the union of every shard's live stream
+    /// and newest `window_steps` retained steps. `Ok(None)` when the
+    /// window misaligns with partition boundaries on any shard. Same
+    /// `ε·m` guarantee as [`ShardedSnapshot::quantile`], over the
+    /// windowed union.
+    pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let Some((per_shard, window_n)) = self.window_parts(window_steps) else {
+            return Ok(None);
+        };
+        if window_n == 0 {
+            return Ok(None);
+        }
+        let r = (phi * window_n as f64).ceil() as u64;
+        Ok(self
+            .rank_in_window_over(&per_shard, window_n, r)?
+            .map(|o| o.value))
+    }
+
+    /// Accurate cross-shard rank query over a window: the same fan-in
+    /// bisection as [`ShardedSnapshot::rank_query`], with per-shard
+    /// bounds summed over each shard's window partitions plus its stream
+    /// summary.
+    pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
+        let Some((per_shard, window_n)) = self.window_parts(window_steps) else {
+            return Ok(None);
+        };
+        if window_n == 0 {
+            return Ok(None);
+        }
+        self.rank_in_window_over(&per_shard, window_n, r)
+    }
+
+    /// The windowed fan-in over precomputed per-shard window partitions:
+    /// honors the configured cache budget (each shard's `cache_blocks`
+    /// split across its window partitions, as in
+    /// [`EngineSnapshot::new_caches`]) and probes shards concurrently
+    /// when `parallel_query` is set, exactly like the full-union path.
+    fn rank_in_window_over(
+        &self,
+        per_shard: &[Vec<&crate::warehouse::StoredPartition<T>>],
+        window_n: u64,
+        r: u64,
+    ) -> io::Result<Option<QueryOutcome<T>>> {
+        let m = self.stream_len();
+        let r = r.clamp(1, window_n);
+        let marks = self.io_marks();
+
+        // Filters from the combined summary of the *windowed* sources.
+        let mut sources: Vec<crate::bounds::SourceView<T>> = Vec::new();
+        for (s, parts) in self.shards.iter().zip(per_shard) {
+            for p in parts {
+                sources.push(crate::bounds::SourceView::from_partition(&p.summary));
+            }
+            sources.push(crate::bounds::SourceView::from_stream(s.stream_summary()));
+        }
+        let ts = CombinedSummary::build(&sources);
+        let (u_opt, v_opt) = ts.generate_filters(r);
+        let u = u_opt.unwrap_or(T::MIN);
+        let v = v_opt.unwrap_or(T::MAX);
+
+        let mut caches: Vec<Vec<BlockCache<T>>> = self
+            .shards
+            .iter()
+            .zip(per_shard)
+            .map(|(s, parts)| {
+                let per = (s.cache_blocks() / parts.len().max(1)).max(2);
+                parts.iter().map(|_| BlockCache::new(per)).collect()
+            })
+            .collect();
+        let eps_m = (self.epsilon * m as f64).floor() as u64;
+        let probe_one = |i: usize, cache: &mut Vec<BlockCache<T>>, z: T| {
+            crate::query::union_rank_bounds(
+                &**self.shards[i].device(),
+                &per_shard[i],
+                self.shards[i].stream_summary(),
+                z,
+                cache,
+            )
+        };
+        let (value, estimated_rank, steps) =
+            crate::query::bisect_summed_rank(r, eps_m, u, v, |z| {
+                let results = if self.parallel && self.shards.len() > 1 {
+                    crate::parallel::par_map_mut(&mut caches, |i, c| probe_one(i, c, z))
+                } else {
+                    caches
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, c)| probe_one(i, c, z))
+                        .collect()
+                };
+                let mut lo = 0u64;
+                let mut hi = 0u64;
+                for res in results {
+                    let (l, h) = res?;
+                    lo += l;
+                    hi += h;
+                }
+                Ok((lo, hi))
+            })?;
 
         Ok(Some(QueryOutcome {
             value,
@@ -702,6 +837,109 @@ mod tests {
         e.stream_update(42);
         assert_eq!(e.quantile(0.5).unwrap(), Some(42));
         assert_eq!(e.quantile(1.0).unwrap(), Some(42));
+    }
+
+    #[test]
+    fn windowed_cross_shard_queries_match_window_data() {
+        for n in [1usize, 2, 4] {
+            let mut e = sharded(n, 0.05, 2);
+            let mut steps: Vec<Vec<u64>> = Vec::new();
+            for step in 0..13u64 {
+                let batch: Vec<u64> = (0..120).map(|i| step * 120 + i).collect();
+                steps.push(batch.clone());
+                e.ingest_step(&batch).unwrap();
+            }
+            let windows = e.available_windows();
+            assert_eq!(windows, vec![1, 4, 13], "n={n}");
+            for &w in &windows {
+                let mut win: Vec<u64> = steps[steps.len() - w as usize..]
+                    .iter()
+                    .flatten()
+                    .copied()
+                    .collect();
+                win.sort_unstable();
+                // Empty stream: answers over the window are exact.
+                let med = e.quantile_in_window(w, 0.5).unwrap().unwrap();
+                let r = (win.len() as u64).div_ceil(2);
+                assert_eq!(med, win[r as usize - 1], "n={n} w={w}");
+                let out = e.rank_in_window(w, 1).unwrap().unwrap();
+                assert_eq!(out.value, win[0], "n={n} w={w} min");
+            }
+            // Misaligned window refused, matching the single-engine API.
+            assert!(e.quantile_in_window(2, 0.5).unwrap().is_none());
+        }
+    }
+
+    #[test]
+    fn windowed_cross_shard_includes_live_stream() {
+        let mut e = sharded(3, 0.05, 3);
+        for step in 0..3u64 {
+            let batch: Vec<u64> = (0..200).map(|i| step * 200 + i).collect();
+            e.ingest_step(&batch).unwrap();
+        }
+        let live: Vec<u64> = (600..800).collect();
+        e.stream_extend(&live);
+        // Window 1 = step 3 (400..600) + stream (600..800): median ~600.
+        let med = e.quantile_in_window(1, 0.5).unwrap().unwrap();
+        assert!((580..630).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn parallel_windowed_queries_match_serial() {
+        let mk = |parallel: bool| {
+            let cfg = HsqConfig::builder()
+                .epsilon(0.05)
+                .merge_threshold(2)
+                .cache_blocks(128)
+                .parallel_query(parallel)
+                .build();
+            let mut e = ShardedEngine::<u64, _>::with_shards(4, cfg, |_| MemDevice::new(256));
+            for step in 0..13u64 {
+                e.ingest_step(&gen_stream(step + 3, 300)).unwrap();
+            }
+            e.stream_extend(&gen_stream(777, 150));
+            e
+        };
+        let serial = mk(false);
+        let parallel = mk(true);
+        for w in serial.available_windows() {
+            for phi in [0.1, 0.5, 0.9] {
+                assert_eq!(
+                    serial.quantile_in_window(w, phi).unwrap(),
+                    parallel.quantile_in_window(w, phi).unwrap(),
+                    "window {w} phi {phi}"
+                );
+            }
+            let a = serial.rank_in_window(w, 100).unwrap().unwrap();
+            let b = parallel.rank_in_window(w, 100).unwrap().unwrap();
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.estimated_rank, b.estimated_rank);
+        }
+    }
+
+    #[test]
+    fn sharded_retention_applies_per_shard() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .merge_threshold(3)
+            .retention(crate::retention::RetentionPolicy::unbounded().with_max_age_steps(4))
+            .build();
+        let mut e = ShardedEngine::<u64, _>::with_shards(4, cfg, |_| MemDevice::new(256));
+        for step in 0..16u64 {
+            e.ingest_step(&gen_stream(step + 1, 400)).unwrap();
+        }
+        for s in e.shards() {
+            let horizon = s.warehouse().steps().saturating_sub(4);
+            for p in s.warehouse().partitions_newest_first() {
+                assert!(p.last_step > horizon, "shard retained expired data");
+            }
+        }
+        // Shards advance in lockstep: windows still align across shards.
+        let windows = e.available_windows();
+        assert!(!windows.is_empty());
+        assert!(*windows.last().unwrap() <= 4);
+        let med = e.quantile_in_window(*windows.last().unwrap(), 0.5).unwrap();
+        assert!(med.is_some());
     }
 
     #[test]

@@ -9,6 +9,19 @@
 //! record the sketch's *tracked* rank interval `[rmin, rmax]` for every
 //! extracted element — bounds that hold unconditionally and are what the
 //! combined-summary computation consumes (see `crate::bounds`).
+//!
+//! ## Stream/history boundary under retention
+//!
+//! The live stream is always the *current* time step: its age is zero by
+//! definition, so no [`crate::retention::RetentionPolicy`] can expire
+//! stream mass — expiry acts purely on archived partitions, at step
+//! boundaries, before the stream's contents are ever archived. The
+//! sketch therefore needs no expired-mass accounting: `m` always counts
+//! exactly the live elements, every one of which is inside any retention
+//! window, and `StreamReset` (end of step) empties the sketch at the
+//! same boundary where its data enters the warehouse as the newest —
+//! hence last-to-expire — partition. Queries over the retained union
+//! keep Theorem 2's `ε·m` error with `m` the live stream size.
 
 use hsq_sketch::GkSketch;
 use hsq_storage::Item;

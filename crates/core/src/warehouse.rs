@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use hsq_storage::{BlockDevice, FileId, IoSnapshot, Item, RunWriter, SortedRun};
 
 use crate::config::HsqConfig;
+use crate::retention::RetentionReport;
 use crate::summary::{summarize_sorted, PartitionSummary, SummaryBuilder};
 
 /// A partition of `HD`: a sorted run plus its summary and provenance.
@@ -65,6 +66,9 @@ pub struct UpdateReport {
     pub summary_time: Duration,
     /// Number of level merges triggered by this update.
     pub merges: usize,
+    /// What the step-boundary retention pass retired (all-zero when the
+    /// policy is unbounded or nothing expired).
+    pub retention: RetentionReport,
 }
 
 impl UpdateReport {
@@ -278,6 +282,21 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         out
     }
 
+    /// Pin an explicit file set (no partition cloning): the returned
+    /// [`PinGuard`] defers deletion of those files until it drops. Used
+    /// by [`crate::manifest::ManifestLog`] to keep every file its last
+    /// durable record references alive — write-ahead discipline — so a
+    /// crash between a step boundary and the next log append never
+    /// leaves the log pointing at deleted files.
+    pub(crate) fn pin_files(&self, files: Vec<FileId>) -> PinGuard<D> {
+        self.pins.pin(&files);
+        PinGuard {
+            registry: Arc::clone(&self.pins),
+            dev: Arc::clone(&self.dev),
+            files,
+        }
+    }
+
     /// Clone the current partition list (with levels) and pin its backing
     /// files: the returned [`PinGuard`] keeps every file readable even if
     /// later updates merge the partitions away. The building block of
@@ -378,6 +397,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         report.merges = self.cascade_merges()?;
         report.merge_io = self.dev.stats().snapshot() - before_merge;
         report.merge_time = t3.elapsed();
+        report.retention = self.apply_retention()?;
         Ok(report)
     }
 
@@ -392,7 +412,10 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         self.steps += 1;
         let eta = batch.len() as u64;
         if eta == 0 {
-            return Ok(report); // a step with no data: nothing stored
+            // A step with no data stores nothing, but the step clock still
+            // advances, so age-based retention may expire partitions.
+            report.retention = self.apply_retention()?;
+            return Ok(report);
         }
         self.total_len += eta;
 
@@ -426,6 +449,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         report.merges = self.cascade_merges()?;
         report.merge_io = self.dev.stats().snapshot() - before_merge;
         report.merge_time = t3.elapsed();
+        report.retention = self.apply_retention()?;
         Ok(report)
     }
 
@@ -490,6 +514,108 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         })
     }
 
+    /// Total on-device bytes of all live partitions (the quantity the
+    /// [`crate::retention::RetentionPolicy::max_bytes`] cap governs).
+    pub fn partition_bytes(&self) -> io::Result<u64> {
+        let mut total = 0u64;
+        for p in self.levels.iter().flatten() {
+            total += self.dev.file_len(p.run.file())?;
+        }
+        Ok(total)
+    }
+
+    /// First (oldest) retained time step, `None` when no partitions are
+    /// live. With retention enabled this is the start of the horizon
+    /// queries can still see.
+    pub fn first_retained_step(&self) -> Option<u64> {
+        self.levels.iter().flatten().map(|p| p.first_step).min()
+    }
+
+    /// Enforce the configured [`crate::retention::RetentionPolicy`]:
+    /// retire whole partitions oldest-first until every limit holds.
+    /// Called on every step boundary by [`Warehouse::add_batch`] /
+    /// [`Warehouse::add_sorted_batch`]; callable directly after changing
+    /// the policy out of band.
+    ///
+    /// Retired files pinned by live snapshots are *not* deleted here —
+    /// deletion defers to the last [`PinGuard`] drop, exactly as with
+    /// cascade merges, so concurrent readers never observe a missing
+    /// file.
+    pub fn apply_retention(&mut self) -> io::Result<RetentionReport> {
+        let mut report = RetentionReport::default();
+        let policy = self.config.retention.clone();
+        if policy.is_unbounded() {
+            return Ok(report);
+        }
+
+        // Age: every partition wholly older than the horizon expires.
+        if let Some(max_age) = policy.max_age_steps {
+            let horizon = self.steps.saturating_sub(max_age); // keep last_step > horizon
+            loop {
+                let expired = self
+                    .oldest_partition()
+                    .is_some_and(|(_, _, last)| last <= horizon);
+                if !expired {
+                    break;
+                }
+                self.retire_oldest(&mut report)?;
+            }
+        }
+
+        // Count: oldest-first until at most `max_partitions` remain.
+        if let Some(max_parts) = policy.max_partitions {
+            while self.num_partitions() > max_parts {
+                self.retire_oldest(&mut report)?;
+            }
+        }
+
+        // Bytes: oldest-first while over the cap. The newest partition is
+        // never retired (dropping the data just written would make the
+        // engine lie about the current step), so a single oversized
+        // partition can transiently exceed the cap.
+        if let Some(max_bytes) = policy.max_bytes {
+            let mut total = self.partition_bytes()?;
+            while total > max_bytes && self.num_partitions() > 1 {
+                let before = report.retired_bytes;
+                self.retire_oldest(&mut report)?;
+                total -= report.retired_bytes - before;
+            }
+        }
+        Ok(report)
+    }
+
+    /// Locate the globally oldest live partition: `(level, index within
+    /// level, last_step)`.
+    fn oldest_partition(&self) -> Option<(usize, usize, u64)> {
+        let mut best: Option<(usize, usize, u64, u64)> = None; // + first_step
+        for (l, level) in self.levels.iter().enumerate() {
+            for (i, p) in level.iter().enumerate() {
+                if best.is_none() || p.first_step < best.unwrap().3 {
+                    best = Some((l, i, p.last_step, p.first_step));
+                }
+            }
+        }
+        best.map(|(l, i, last, _)| (l, i, last))
+    }
+
+    /// Remove the oldest partition and retire its file through the pin
+    /// registry (immediate delete when unpinned, deferred otherwise).
+    fn retire_oldest(&mut self, report: &mut RetentionReport) -> io::Result<()> {
+        let Some((level, idx, _)) = self.oldest_partition() else {
+            return Ok(());
+        };
+        let p = self.levels[level].remove(idx);
+        report.retired_partitions += 1;
+        report.retired_items += p.run.len();
+        report.retired_bytes += self.dev.file_len(p.run.file()).unwrap_or(0);
+        report.retired_steps += p.span();
+        self.total_len -= p.run.len();
+        if self.pins.retire(p.run.file()) {
+            p.run.delete(&*self.dev)?;
+        }
+        Ok(())
+    }
+
     /// Window sizes (in time steps) over which exact partition-aligned
     /// queries are possible right now (§2.4 "Queries Over Windows"),
     /// ascending. The current (un-archived) stream is always included on
@@ -512,25 +638,11 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         out
     }
 
-    /// The partitions covering exactly the last `window_steps` *archived*
+    /// The partitions covering exactly the last `window_steps` *retained*
     /// steps, newest first; `None` if the window does not align with
     /// partition boundaries.
     pub fn window_partitions(&self, window_steps: u64) -> Option<Vec<&StoredPartition<T>>> {
-        let mut parts = self.partitions_newest_first();
-        parts.sort_by_key(|p| std::cmp::Reverse(p.first_step));
-        let mut out = Vec::new();
-        let mut acc = 0;
-        for p in parts {
-            if acc == window_steps {
-                break;
-            }
-            acc += p.span();
-            out.push(p);
-            if acc > window_steps {
-                return None; // boundary falls inside this partition
-            }
-        }
-        (acc == window_steps).then_some(out)
+        window_suffix(self.partitions_newest_first(), window_steps)
     }
 
     /// Verify the structural invariants of §2.1 (tests/debugging):
@@ -579,6 +691,30 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         }
         Ok(())
     }
+}
+
+/// The suffix of `parts` covering exactly the newest `window_steps` time
+/// steps, newest first; `None` when the boundary falls inside a
+/// partition. Shared by [`Warehouse::window_partitions`] and
+/// [`crate::engine::EngineSnapshot::window_partitions`].
+pub(crate) fn window_suffix<T: Item>(
+    mut parts: Vec<&StoredPartition<T>>,
+    window_steps: u64,
+) -> Option<Vec<&StoredPartition<T>>> {
+    parts.sort_by_key(|p| std::cmp::Reverse(p.first_step));
+    let mut out = Vec::new();
+    let mut acc = 0;
+    for p in parts {
+        if acc == window_steps {
+            break;
+        }
+        acc += p.span();
+        out.push(p);
+        if acc > window_steps {
+            return None; // boundary falls inside this partition
+        }
+    }
+    (acc == window_steps).then_some(out)
 }
 
 #[cfg(test)]
@@ -805,6 +941,154 @@ mod tests {
         );
         drop(g2);
         assert!(parts1[0].1.run.read_all(&**w.device()).is_err());
+    }
+
+    fn retention_warehouse(
+        kappa: usize,
+        policy: crate::retention::RetentionPolicy,
+    ) -> Warehouse<u64, MemDevice> {
+        let mut cfg = HsqConfig::with_epsilon(0.1);
+        cfg.kappa = kappa;
+        cfg.retention = policy;
+        Warehouse::new(MemDevice::new(256), cfg)
+    }
+
+    #[test]
+    fn age_policy_keeps_only_horizon() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(4);
+        let mut w = retention_warehouse(3, policy);
+        let mut retired_items = 0;
+        for step in 1..=20u64 {
+            let r = w.add_batch(batch(step, 10)).unwrap();
+            retired_items += r.retention.retired_items;
+            w.check_invariants().unwrap();
+            // Every retained partition's newest step is inside the horizon.
+            let horizon = w.steps().saturating_sub(4);
+            for p in w.partitions_newest_first() {
+                assert!(
+                    p.last_step > horizon,
+                    "step {step}: partition (.. {}) outlived horizon {horizon}",
+                    p.last_step
+                );
+            }
+        }
+        // The horizon can cover at most 4 steps of data.
+        assert!(w.total_len() <= 4 * 10, "total {}", w.total_len());
+        assert_eq!(w.total_len() + retired_items, 200, "items lost or doubled");
+        assert_eq!(w.first_retained_step(), Some(w.steps() - 3));
+    }
+
+    #[test]
+    fn partition_count_policy() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_partitions(2);
+        let mut w = retention_warehouse(4, policy);
+        for step in 1..=17u64 {
+            w.add_batch(batch(step, 8)).unwrap();
+            w.check_invariants().unwrap();
+            assert!(w.num_partitions() <= 2, "step {step}: {w:?}");
+        }
+        assert!(w.total_len() >= 8, "newest data must survive");
+    }
+
+    #[test]
+    fn byte_cap_policy_bounds_storage() {
+        // 256-byte blocks; 40-item steps = 320 bytes + merges. Cap at ~6
+        // steps' worth: steady state must stay at or under the cap.
+        let cap = 2048u64;
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_bytes(cap);
+        let mut w = retention_warehouse(3, policy);
+        for step in 1..=40u64 {
+            w.add_batch(batch(step, 40)).unwrap();
+            w.check_invariants().unwrap();
+            assert!(
+                w.partition_bytes().unwrap() <= cap,
+                "step {step}: {} bytes over cap {cap}",
+                w.partition_bytes().unwrap()
+            );
+        }
+        assert!(w.total_len() > 0, "cap must not drop everything");
+    }
+
+    #[test]
+    fn composed_policy_most_restrictive_wins() {
+        let policy = crate::retention::RetentionPolicy::unbounded()
+            .with_max_age_steps(6)
+            .with_max_partitions(3)
+            .with_max_bytes(1 << 20);
+        let mut w = retention_warehouse(2, policy);
+        for step in 1..=30u64 {
+            w.add_batch(batch(step, 5)).unwrap();
+            w.check_invariants().unwrap();
+            assert!(w.num_partitions() <= 3);
+            let horizon = w.steps().saturating_sub(6);
+            for p in w.partitions_newest_first() {
+                assert!(p.last_step > horizon);
+            }
+        }
+    }
+
+    #[test]
+    fn retention_defers_deletion_under_pins() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(2);
+        let mut w = retention_warehouse(4, policy);
+        w.add_batch(vec![1, 2, 3]).unwrap();
+        let (parts, guard) = w.pinned_partitions();
+        // Three more steps expire step 1 under the pin.
+        for step in 2..=4u64 {
+            let r = w.add_batch(batch(step, 3)).unwrap();
+            if step == 3 {
+                assert_eq!(r.retention.retired_partitions, 1);
+            }
+        }
+        // The expired run stays readable while pinned...
+        assert_eq!(
+            parts[0].1.run.read_all(&**w.device()).unwrap(),
+            vec![1, 2, 3]
+        );
+        // ...and is deleted once the last pin drops.
+        drop(guard);
+        assert!(parts[0].1.run.read_all(&**w.device()).is_err());
+    }
+
+    #[test]
+    fn unbounded_policy_is_noop() {
+        let mut w = warehouse(3);
+        for step in 1..=10u64 {
+            let r = w.add_batch(batch(step, 10)).unwrap();
+            assert_eq!(r.retention, crate::retention::RetentionReport::default());
+        }
+        assert_eq!(w.total_len(), 100);
+    }
+
+    #[test]
+    fn retention_report_accounts_bytes_and_steps() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(1);
+        let mut w = retention_warehouse(4, policy);
+        w.add_batch(batch(1, 32)).unwrap(); // 32 u64 = 256 bytes = 1 block
+        let r = w.add_batch(batch(2, 32)).unwrap();
+        assert_eq!(r.retention.retired_partitions, 1);
+        assert_eq!(r.retention.retired_items, 32);
+        assert_eq!(r.retention.retired_bytes, 256);
+        assert_eq!(r.retention.retired_steps, 1);
+        assert_eq!(w.total_len(), 32);
+    }
+
+    #[test]
+    fn windows_follow_retention() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(4);
+        let mut w = retention_warehouse(3, policy);
+        for step in 1..=12u64 {
+            w.add_batch(batch(step, 6)).unwrap();
+        }
+        // Windows only cover retained steps.
+        let windows = w.available_windows();
+        assert!(!windows.is_empty());
+        assert!(*windows.last().unwrap() <= 4, "windows {windows:?}");
+        for &win in &windows {
+            let parts = w.window_partitions(win).unwrap();
+            let covered: u64 = parts.iter().map(|p| p.span()).sum();
+            assert_eq!(covered, win);
+        }
     }
 
     #[test]

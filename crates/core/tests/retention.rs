@@ -1,0 +1,450 @@
+//! Expiry-under-query property harness: retention never corrupts an
+//! answer.
+//!
+//! The harness (module [`harness`]) is reusable machinery for any test
+//! that ingests a random schedule under a random [`RetentionPolicy`] and
+//! wants to know three things:
+//!
+//! 1. **Policy soundness** — every limit the policy declares actually
+//!    holds on every shard after every step (age horizon, partition
+//!    count, byte cap);
+//! 2. **Accounting** — the engine's reported sizes equal the exact
+//!    retained multiset, reconstructed *independently* from the input
+//!    schedule, the shard hash, and the partitions' step ranges;
+//! 3. **Accuracy under expiry** — every full and windowed quantile stays
+//!    within `ε·m` of the exact quantile computed over retained items
+//!    only (Theorem 2 restricted to the retained union), across shard
+//!    counts N ∈ {1, 2, 8}.
+//!
+//! Plus the acceptance check: a byte-capped engine ingesting indefinitely
+//! holds steady-state partition bytes at or under the cap.
+
+use hsq_core::retention::RetentionPolicy;
+use hsq_core::sharded::shard_index;
+use hsq_core::{HistStreamQuantiles, HsqConfig, ShardedEngine};
+use hsq_storage::MemDevice;
+use proptest::prelude::*;
+
+mod harness {
+    use super::*;
+
+    /// Shard counts every property sweeps (the ISSUE's N ∈ {1, 2, 8}).
+    pub const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+    /// Rank distance from target `r` to the occupied rank interval of `v`.
+    pub fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
+        let hi = sorted.partition_point(|&x| x <= v) as u64;
+        let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+        if lo > hi {
+            return r.abs_diff(hi); // v not present: rank(v) = hi
+        }
+        if r < lo {
+            lo - r
+        } else {
+            r.saturating_sub(hi)
+        }
+    }
+
+    /// Derive a policy from raw generated integers: kind selects a single
+    /// limit or a composition of all three.
+    pub fn make_policy(kind: u8, age: u64, parts: usize, cap_blocks: u64) -> RetentionPolicy {
+        let bytes = cap_blocks * 256; // device block size used by the harness
+        match kind % 4 {
+            0 => RetentionPolicy::unbounded().with_max_age_steps(age),
+            1 => RetentionPolicy::unbounded().with_max_partitions(parts),
+            2 => RetentionPolicy::unbounded().with_max_bytes(bytes),
+            _ => RetentionPolicy::unbounded()
+                .with_max_age_steps(age)
+                .with_max_partitions(parts)
+                .with_max_bytes(bytes),
+        }
+    }
+
+    pub fn config(eps: f64, kappa: usize, policy: RetentionPolicy) -> HsqConfig {
+        HsqConfig::builder()
+            .epsilon(eps)
+            .merge_threshold(kappa)
+            .retention(policy)
+            .build()
+    }
+
+    /// Every declared limit must hold on every shard (age horizon, count
+    /// cap, byte cap — the latter with the documented newest-partition
+    /// exception).
+    pub fn assert_policy_holds(e: &ShardedEngine<u64, MemDevice>, policy: &RetentionPolicy) {
+        for (s, shard) in e.shards().iter().enumerate() {
+            let wh = shard.warehouse();
+            if let Some(age) = policy.max_age_steps {
+                let horizon = wh.steps().saturating_sub(age);
+                for p in wh.partitions_newest_first() {
+                    assert!(
+                        p.last_step > horizon,
+                        "shard {s}: partition ending at step {} outlived horizon {horizon}",
+                        p.last_step
+                    );
+                }
+            }
+            if let Some(max_parts) = policy.max_partitions {
+                assert!(
+                    wh.num_partitions() <= max_parts,
+                    "shard {s}: {} partitions > cap {max_parts}",
+                    wh.num_partitions()
+                );
+            }
+            if let Some(max_bytes) = policy.max_bytes {
+                let bytes = wh.partition_bytes().unwrap();
+                assert!(
+                    bytes <= max_bytes || wh.num_partitions() <= 1,
+                    "shard {s}: {bytes} bytes > cap {max_bytes} with {} partitions",
+                    wh.num_partitions()
+                );
+            }
+        }
+    }
+
+    /// The exact multiset a shard retains, reconstructed independently:
+    /// items of the input schedule that hash to the shard and whose step
+    /// is covered by one of the shard's retained partition ranges.
+    fn shard_retained(e: &ShardedEngine<u64, MemDevice>, steps: &[Vec<u64>], s: usize) -> Vec<u64> {
+        let n = e.num_shards();
+        let mut out = Vec::new();
+        for p in e.shard(s).warehouse().partitions_newest_first() {
+            for step in p.first_step..=p.last_step {
+                out.extend(
+                    steps[(step - 1) as usize]
+                        .iter()
+                        .copied()
+                        .filter(|&v| shard_index(v, n) == s),
+                );
+            }
+        }
+        out
+    }
+
+    /// Exact retained union across all shards plus the live stream,
+    /// sorted. Also cross-checks the engine's size accounting.
+    pub fn retained_union(
+        e: &ShardedEngine<u64, MemDevice>,
+        steps: &[Vec<u64>],
+        live: &[u64],
+    ) -> Vec<u64> {
+        let mut all = Vec::new();
+        for s in 0..e.num_shards() {
+            all.extend(shard_retained(e, steps, s));
+        }
+        assert_eq!(
+            all.len() as u64,
+            e.historical_len(),
+            "retained accounting drifted from the exact multiset"
+        );
+        all.extend(live.iter().copied());
+        assert_eq!(all.len() as u64, e.total_len());
+        all.sort_unstable();
+        all
+    }
+
+    /// Exact content of the newest `w`-step window (per shard) plus the
+    /// live stream, sorted; `None` when any shard's partitions misalign.
+    pub fn window_union(
+        e: &ShardedEngine<u64, MemDevice>,
+        steps: &[Vec<u64>],
+        live: &[u64],
+        w: u64,
+    ) -> Option<Vec<u64>> {
+        let n = e.num_shards();
+        let mut out = Vec::new();
+        for s in 0..n {
+            let parts = e.shard(s).warehouse().window_partitions(w)?;
+            for p in parts {
+                for step in p.first_step..=p.last_step {
+                    out.extend(
+                        steps[(step - 1) as usize]
+                            .iter()
+                            .copied()
+                            .filter(|&v| shard_index(v, n) == s),
+                    );
+                }
+            }
+        }
+        out.extend(live.iter().copied());
+        out.sort_unstable();
+        Some(out)
+    }
+
+    /// The full expiry-under-query check on one engine: policy holds,
+    /// accounting is exact, and every full + windowed quantile stays
+    /// within `ε·m` of the exact quantile over retained items only.
+    pub fn check_expiry_under_query(
+        e: &ShardedEngine<u64, MemDevice>,
+        policy: &RetentionPolicy,
+        steps: &[Vec<u64>],
+        live: &[u64],
+        eps: f64,
+    ) {
+        assert_policy_holds(e, policy);
+        let m = live.len() as u64;
+        let allowed = (eps * m as f64).ceil() as u64 + 1;
+
+        // Full queries over the retained union.
+        let retained = retained_union(e, steps, live);
+        if retained.is_empty() {
+            assert!(e.quantile(0.5).unwrap().is_none());
+        } else {
+            for phi in [0.05, 0.5, 0.95, 1.0] {
+                let v = e.quantile(phi).unwrap().unwrap();
+                let r =
+                    ((phi * retained.len() as f64).ceil() as u64).clamp(1, retained.len() as u64);
+                let dist = rank_distance(&retained, v, r);
+                assert!(
+                    dist <= allowed,
+                    "full: shards={} phi={phi}: off by {dist} (allowed {allowed})",
+                    e.num_shards()
+                );
+            }
+        }
+
+        // Windowed queries over every exactly-answerable window.
+        for w in e.available_windows() {
+            let win = window_union(e, steps, live, w)
+                .expect("advertised window must align on every shard");
+            if win.is_empty() {
+                continue;
+            }
+            for phi in [0.1, 0.5, 0.9, 1.0] {
+                let v = e
+                    .quantile_in_window(w, phi)
+                    .unwrap()
+                    .expect("advertised window must answer");
+                let r = ((phi * win.len() as f64).ceil() as u64).clamp(1, win.len() as u64);
+                let dist = rank_distance(&win, v, r);
+                assert!(
+                    dist <= allowed,
+                    "window {w}: shards={} phi={phi}: value {v} off by {dist} (allowed {allowed})",
+                    e.num_shards()
+                );
+            }
+            // Windowed rank queries agree with the window's extremes.
+            let lo = e.rank_in_window(w, 1).unwrap().unwrap().value;
+            let dist = rank_distance(&win, lo, 1);
+            assert!(dist <= allowed, "window {w} min off by {dist}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline property: for random ingest schedules and random
+    /// retention policies, every windowed quantile stays within eps*m of
+    /// the exact quantile over retained items only — shards N in {1,2,8}.
+    #[test]
+    fn expiry_under_query_random_schedules(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(0u64..100_000, 0..120), 4..16),
+        live in proptest::collection::vec(0u64..100_000, 0..100),
+        kind in 0u8..4,
+        age in 1u64..6,
+        max_parts in 1usize..5,
+        cap_blocks in 4u64..40,
+        kappa in 2usize..5,
+    ) {
+        let eps = 0.05;
+        let policy = harness::make_policy(kind, age, max_parts, cap_blocks);
+        for &n in &harness::SHARD_COUNTS {
+            let cfg = harness::config(eps, kappa, policy.clone());
+            let mut e = ShardedEngine::<u64, _>::with_shards(n, cfg, |_| MemDevice::new(256));
+            for b in &steps {
+                e.ingest_step(b).unwrap();
+            }
+            e.stream_extend(&live);
+            for s in e.shards() {
+                s.warehouse().check_invariants().unwrap();
+            }
+            harness::check_expiry_under_query(&e, &policy, &steps, &live, eps);
+        }
+    }
+
+    /// The same property through the plain (unsharded) engine API, which
+    /// exercises `QueryContext` windows rather than the fan-in path.
+    #[test]
+    fn single_engine_expiry_under_query(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(0u64..50_000, 1..100), 3..14),
+        live in proptest::collection::vec(0u64..50_000, 0..80),
+        age in 1u64..6,
+        kappa in 2usize..5,
+    ) {
+        let eps = 0.1;
+        let policy = RetentionPolicy::unbounded().with_max_age_steps(age);
+        let cfg = harness::config(eps, kappa, policy);
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        for b in &steps {
+            h.ingest_step(b).unwrap();
+        }
+        for chunk in live.chunks(37) {
+            h.stream_extend(chunk);
+        }
+        h.warehouse().check_invariants().unwrap();
+        let m = live.len() as u64;
+        let allowed = (eps * m as f64).ceil() as u64 + 1;
+
+        // Exact retained multiset from the schedule + partition ranges.
+        let mut retained: Vec<u64> = Vec::new();
+        for p in h.warehouse().partitions_newest_first() {
+            for step in p.first_step..=p.last_step {
+                retained.extend(&steps[(step - 1) as usize]);
+            }
+        }
+        prop_assert_eq!(retained.len() as u64, h.historical_len());
+        retained.extend(&live);
+        retained.sort_unstable();
+
+        for w in h.available_windows() {
+            let mut win: Vec<u64> = Vec::new();
+            for p in h.warehouse().window_partitions(w).unwrap() {
+                for step in p.first_step..=p.last_step {
+                    win.extend(&steps[(step - 1) as usize]);
+                }
+            }
+            win.extend(&live);
+            win.sort_unstable();
+            if win.is_empty() {
+                continue;
+            }
+            for phi in [0.25, 0.5, 0.75, 1.0] {
+                let v = h.quantile_in_window(w, phi).unwrap().unwrap();
+                let r = ((phi * win.len() as f64).ceil() as u64).clamp(1, win.len() as u64);
+                let dist = harness::rank_distance(&win, v, r);
+                prop_assert!(
+                    dist <= allowed,
+                    "window {w} phi={phi}: off by {dist} (allowed {allowed})"
+                );
+            }
+        }
+        if !retained.is_empty() {
+            let v = h.quantile(0.5).unwrap().unwrap();
+            let r = (retained.len() as u64).div_ceil(2).max(1);
+            let dist = harness::rank_distance(&retained, v, r);
+            prop_assert!(dist <= allowed, "full median off by {dist}");
+        }
+    }
+
+    /// Snapshots taken before expiry keep answering from the pinned,
+    /// pre-expiry state: retention must never change a snapshot's answer.
+    #[test]
+    fn snapshots_immune_to_expiry(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(0u64..80_000, 5..80), 3..8),
+        more in proptest::collection::vec(
+            proptest::collection::vec(0u64..80_000, 5..80), 4..10),
+        age in 1u64..4,
+        kappa in 2usize..4,
+    ) {
+        let policy = RetentionPolicy::unbounded().with_max_age_steps(age);
+        let cfg = harness::config(0.1, kappa, policy);
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        for b in &steps {
+            h.ingest_step(b).unwrap();
+        }
+        let snap = h.snapshot();
+        let n_before = snap.total_len();
+        let answers_before: Vec<_> = [0.1, 0.5, 0.9]
+            .iter()
+            .map(|&phi| snap.quantile(phi).unwrap())
+            .collect();
+        // Enough further steps to expire everything the snapshot pins.
+        for b in &more {
+            h.ingest_step(b).unwrap();
+        }
+        let answers_after: Vec<_> = [0.1, 0.5, 0.9]
+            .iter()
+            .map(|&phi| snap.quantile(phi).unwrap())
+            .collect();
+        prop_assert_eq!(snap.total_len(), n_before);
+        prop_assert_eq!(answers_before, answers_after);
+    }
+}
+
+/// Acceptance criterion: a policy-bounded engine ingesting indefinitely
+/// holds steady-state partition bytes at or under the configured cap, on
+/// every step boundary, while still answering windowed queries.
+#[test]
+fn byte_capped_engine_holds_steady_state() {
+    let cap = 16 * 1024u64; // 16 KiB on a 256-byte-block device
+    let policy = RetentionPolicy::unbounded().with_max_bytes(cap);
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(4)
+        .retention(policy)
+        .build();
+    let dev = MemDevice::new(256);
+    let mut h = HistStreamQuantiles::<u64, _>::new(std::sync::Arc::clone(&dev), cfg);
+    let mut x = 3u64;
+    let mut gen = || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    };
+    for step in 0..300u64 {
+        let batch: Vec<u64> = (0..150).map(|_| gen()).collect();
+        h.ingest_step(&batch).unwrap();
+        let bytes = h.warehouse().partition_bytes().unwrap();
+        assert!(
+            bytes <= cap,
+            "step {step}: {bytes} partition bytes over the {cap} cap"
+        );
+        // No snapshots are live, so the device holds the partitions only:
+        // resident bytes are bounded too (no deferred-deletion leak).
+        assert!(
+            dev.resident_bytes() <= cap,
+            "step {step}: {} resident bytes over the {cap} cap",
+            dev.resident_bytes()
+        );
+        if step % 37 == 0 {
+            if let Some(&w) = h.available_windows().first() {
+                assert!(h.quantile_in_window(w, 0.99).unwrap().is_some());
+            }
+        }
+    }
+    // The engine did not degenerate: a healthy share of the cap is used.
+    assert!(
+        h.warehouse().partition_bytes().unwrap() >= cap / 4,
+        "steady state should sit near the cap"
+    );
+    assert!(h.historical_len() > 0);
+}
+
+/// The same steady-state guarantee through the sharded facade: every
+/// shard independently respects the cap on the shared step boundary.
+#[test]
+fn sharded_byte_cap_steady_state() {
+    let cap = 8 * 1024u64;
+    let policy = RetentionPolicy::unbounded().with_max_bytes(cap);
+    let cfg = HsqConfig::builder()
+        .epsilon(0.05)
+        .merge_threshold(3)
+        .retention(policy)
+        .build();
+    let mut e = ShardedEngine::<u64, _>::with_shards(4, cfg, |_| MemDevice::new(256));
+    let mut x = 11u64;
+    let mut gen = || {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        x >> 32
+    };
+    for step in 0..120u64 {
+        let batch: Vec<u64> = (0..400).map(|_| gen()).collect();
+        e.ingest_step(&batch).unwrap();
+        for (s, shard) in e.shards().iter().enumerate() {
+            let bytes = shard.warehouse().partition_bytes().unwrap();
+            assert!(
+                bytes <= cap,
+                "step {step} shard {s}: {bytes} bytes over cap {cap}"
+            );
+        }
+    }
+    // Cross-shard queries still answer over the retained union.
+    assert!(e.quantile(0.5).unwrap().is_some());
+    let windows = e.available_windows();
+    assert!(!windows.is_empty());
+}

@@ -77,6 +77,14 @@ pub trait BlockDevice: Send + Sync + 'static {
         Ok(total)
     }
 
+    /// Force `file`'s written blocks to durable storage (the barrier a
+    /// write-ahead log needs before acting on a record's durability —
+    /// see `hsq-core`'s manifest log). The default is a no-op, correct
+    /// for in-memory backends; real-file backends override it.
+    fn sync(&self, _file: FileId) -> io::Result<()> {
+        Ok(())
+    }
+
     /// Number of blocks currently in `file`.
     fn num_blocks(&self, file: FileId) -> io::Result<u64>;
 
@@ -472,6 +480,12 @@ impl BlockDevice for FileDevice {
                 .record_read(bs.min(want - j as usize * bs), sequential);
         }
         Ok(want)
+    }
+
+    fn sync(&self, file: FileId) -> io::Result<()> {
+        let handles = self.handles.lock();
+        let h = handles.get(&file).ok_or_else(|| bad_file(file))?;
+        h.file.sync_data()
     }
 
     fn num_blocks(&self, file: FileId) -> io::Result<u64> {

@@ -113,13 +113,57 @@
 //! assert_eq!(snapshot.total_len(), 40_000);
 //! assert_eq!(engine.total_len(), 50_000);
 //! ```
+//! ## Retention + windowed quickstart (TTL-bounded storage)
+//!
+//! Production services bound storage: a [`hsq_core::RetentionPolicy`]
+//! expires old partitions on every step boundary (whole partitions,
+//! oldest first, never under a live snapshot), and
+//! `quantile_in_window(w, phi)` answers "p99 over the last `w` steps" —
+//! the `ε·m` guarantee holds over the *retained* union:
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles, RetentionPolicy};
+//! use hsq::storage::MemDevice;
+//!
+//! let config = HsqConfig::builder()
+//!     .epsilon(0.01)
+//!     .merge_threshold(8)
+//!     // Keep only the newest 24 "hours" (steps); byte / partition-count
+//!     // caps compose the same way.
+//!     .retention(RetentionPolicy::unbounded().with_max_age_steps(24))
+//!     .build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//!
+//! // Three days of hourly steps: history stays bounded by the TTL.
+//! for hour in 0..72u64 {
+//!     let batch: Vec<u64> = (0..1_000u64).map(|i| hour * 1_000 + i).collect();
+//!     let report = hsq.ingest_step(&batch).unwrap();
+//!     let _ = report.retention.retired_items; // expiry accounting per step
+//! }
+//! // Expiry is partition-aligned (a merged partition straddling the
+//! // horizon is kept whole), so the bound is the TTL plus one merged
+//! // span — here kappa + 1 = 9 steps.
+//! assert!(hsq.historical_len() <= (24 + 9) * 1_000);
+//!
+//! // Sliding-window dashboard: the widest aligned window within 24h.
+//! let window = hsq.available_windows().into_iter().filter(|&w| w <= 24).max().unwrap();
+//! let p99 = hsq.quantile_in_window(window, 0.99).unwrap().unwrap();
+//! assert!(p99 >= 71_000, "p99 lives in the newest data");
+//! ```
+//!
+//! The same windowed API fans out across shards
+//! ([`ShardedEngine::quantile_in_window`] — per-shard retention applies
+//! on the shared step boundary), and
+//! [`hsq_core::manifest::ManifestLog`] persists per-step deltas with
+//! compaction so recovery replays live partitions only (see
+//! `examples/retention_window.rs`).
 pub use hsq_core as core;
 pub use hsq_sketch as sketch;
 pub use hsq_storage as storage;
 pub use hsq_workload as workload;
 
 pub use hsq_core::{
-    EngineSnapshot, HistStreamQuantiles, HsqConfig, ShardedEngine, ShardedSnapshot,
+    EngineSnapshot, HistStreamQuantiles, HsqConfig, RetentionPolicy, ShardedEngine, ShardedSnapshot,
 };
 pub use hsq_sketch::{GkSketch, QDigest};
 pub use hsq_storage::{FileDevice, MemDevice};

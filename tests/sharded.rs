@@ -124,6 +124,63 @@ fn sharded_persist_recover_across_restart() {
 }
 
 #[test]
+fn sharded_persist_recover_after_cascade_merge() {
+    // PR 2 never exercised persist/recover *after* a cascade merge had
+    // retired the original level-0 runs: the manifests must reference the
+    // merged files only, and recovered answers must equal pre-recovery
+    // answers. kappa = 2 over 13 steps forces merges up to level 2 on
+    // every shard (Figure 2's cascade).
+    let mut engine =
+        ShardedEngine::<u64, _>::with_shards(3, config(0.05, 2), |_| MemDevice::new(512));
+    for step in 0..13u64 {
+        let batch: Vec<u64> = (0..200).map(|i| step * 200 + i).collect();
+        engine.ingest_step(&batch).unwrap();
+    }
+    // Cascades happened: some shard holds a multi-step partition.
+    assert!(
+        engine
+            .shards()
+            .iter()
+            .any(|s| s.warehouse().num_levels() > 1),
+        "13 steps at kappa=2 must cascade"
+    );
+
+    let phis = [0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+    let before: Vec<Option<u64>> = engine.quantiles(&phis).unwrap();
+    let windows_before = engine.available_windows();
+
+    let manifests = engine.persist().unwrap();
+    let devices: Vec<_> = engine
+        .shards()
+        .iter()
+        .map(|s| Arc::clone(s.warehouse().device()))
+        .collect();
+    let recovered = ShardedEngine::<u64, _>::recover(devices, config(0.05, 2), &manifests).unwrap();
+
+    assert_eq!(recovered.total_len(), engine.total_len());
+    assert_eq!(recovered.available_windows(), windows_before);
+    // m = 0 on both sides: answers are deterministic and must match.
+    let after: Vec<Option<u64>> = recovered.quantiles(&phis).unwrap();
+    assert_eq!(before, after, "recovery changed query answers");
+    // Windowed answers survive recovery too.
+    for &w in &windows_before {
+        assert_eq!(
+            engine.quantile_in_window(w, 0.5).unwrap(),
+            recovered.quantile_in_window(w, 0.5).unwrap(),
+            "window {w} answer changed across recovery"
+        );
+    }
+    // The recovered engine keeps ingesting and merging cleanly.
+    let mut recovered = recovered;
+    let batch: Vec<u64> = (2600..2800).collect();
+    recovered.ingest_step(&batch).unwrap();
+    for s in recovered.shards() {
+        s.warehouse().check_invariants().unwrap();
+    }
+    assert_eq!(recovered.total_len(), engine.total_len() + 200);
+}
+
+#[test]
 fn sharded_windows_align_across_shards() {
     // Shards advance in lockstep, so every shard exposes the same
     // partition-aligned windows.
