@@ -349,9 +349,19 @@ pub fn classify(leaf: &str) -> (Direction, bool) {
     if l.contains("accuracy_ratio") {
         return (Direction::HigherBetter, false);
     }
-    if ["rel_err", "disk_reads", "memory_words", "steady_state"]
-        .iter()
-        .any(|k| l.contains(k))
+    if l.contains("hit_rate") {
+        return (Direction::HigherBetter, false);
+    }
+    if [
+        "rel_err",
+        "disk_reads",
+        "memory_words",
+        "steady_state",
+        "blocking_calls",
+        "blocking_sync",
+    ]
+    .iter()
+    .any(|k| l.contains(k))
     {
         return (Direction::LowerBetter, false);
     }
@@ -378,6 +388,9 @@ pub struct MetricDelta {
     pub regression: f64,
     /// Machine-dependent metric (gated at the loose threshold).
     pub noisy: bool,
+    /// Inside a section marked `"informational": true` (e.g. sharded
+    /// scaling recorded with a single worker): reported, never gated.
+    pub informational: bool,
     /// Whether the gate threshold was exceeded.
     pub failed: bool,
 }
@@ -408,8 +421,24 @@ impl Default for Thresholds {
 pub fn compare(base: &Json, fresh: &Json, t: Thresholds) -> (Vec<MetricDelta>, Vec<String>) {
     let mut deltas = Vec::new();
     let mut warnings = Vec::new();
-    walk(base, fresh, String::new(), t, &mut deltas, &mut warnings);
+    walk(
+        base,
+        fresh,
+        String::new(),
+        t,
+        false,
+        &mut deltas,
+        &mut warnings,
+    );
     (deltas, warnings)
+}
+
+/// An object opting its subtree out of gating (deltas are still listed).
+/// Written by benches whose numbers are only meaningful on the machine
+/// that produced them — e.g. `sharded_scaling` when it ran with a single
+/// worker, where fan-out speedups are structurally ~1x.
+fn is_informational(v: &Json) -> bool {
+    matches!(v.get("informational"), Some(Json::Bool(true)))
 }
 
 /// Identity key of an array element, used to match elements across the
@@ -427,16 +456,22 @@ fn element_key(v: &Json) -> Option<String> {
     None
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
     base: &Json,
     fresh: &Json,
     path: String,
     t: Thresholds,
+    informational: bool,
     deltas: &mut Vec<MetricDelta>,
     warnings: &mut Vec<String>,
 ) {
     match (base, fresh) {
         (Json::Obj(fields), _) => {
+            // Either side may mark the section informational: a baseline
+            // recorded on 1 worker must not gate a multicore fresh run
+            // and vice versa.
+            let informational = informational || is_informational(base) || is_informational(fresh);
             for (k, bv) in fields {
                 let sub = if path.is_empty() {
                     k.clone()
@@ -444,7 +479,7 @@ fn walk(
                     format!("{path}.{k}")
                 };
                 match fresh.get(k) {
-                    Some(fv) => walk(bv, fv, sub, t, deltas, warnings),
+                    Some(fv) => walk(bv, fv, sub, t, informational, deltas, warnings),
                     None => {
                         if metric_in(bv) {
                             warnings.push(format!("{sub}: missing from fresh run"));
@@ -465,7 +500,7 @@ fn walk(
                     None => (fitems.get(i), format!("{path}[{i}]")),
                 };
                 match fv {
-                    Some(fv) => walk(bv, fv, label, t, deltas, warnings),
+                    Some(fv) => walk(bv, fv, label, t, informational, deltas, warnings),
                     None => {
                         if metric_in(bv) {
                             warnings.push(format!("{label}: missing from fresh run"));
@@ -503,7 +538,8 @@ fn walk(
                 fresh: *f,
                 regression,
                 noisy,
-                failed: regression > threshold,
+                informational,
+                failed: !informational && regression > threshold,
             });
         }
         (Json::Num(_), _) => warnings.push(format!("{path}: fresh value is not a number")),
@@ -537,6 +573,8 @@ pub fn render_table(deltas: &[MetricDelta]) -> String {
         let change = -d.regression * 100.0; // positive = improved
         let status = if d.failed {
             "REGRESSED"
+        } else if d.informational {
+            "info"
         } else if d.regression < -0.02 {
             "improved"
         } else {
@@ -664,6 +702,75 @@ mod tests {
             .unwrap();
         assert!(d.failed, "50% storage growth must gate: {d:?}");
         assert!(deltas.iter().all(|d| !d.path.contains("byte_cap")));
+    }
+
+    #[test]
+    fn io_metrics_gate_as_stable() {
+        // Blocking calls are deterministic given the workload: growth
+        // past the tight threshold gates. Hit rate gates higher-better.
+        let (dir, noisy) = classify("overlapped_blocking_calls_per_step");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("prefetch_hit_rate");
+        assert_eq!(dir, Direction::HigherBetter);
+        assert!(!noisy);
+        assert_eq!(classify("io_depth").0, Direction::Ignore);
+
+        let base = Json::parse(
+            r#"{"io": {"io_depth": 4, "overlapped_blocking_calls_per_step": 4.0,
+                 "prefetch_hit_rate": 0.75, "overlap_speedup": 1.2}}"#,
+        )
+        .unwrap();
+        let mut worse = base.clone();
+        let mut io = base.get("io").unwrap().clone();
+        io.set("overlapped_blocking_calls_per_step", Json::Num(40.0));
+        io.set("prefetch_hit_rate", Json::Num(0.1));
+        worse.set("io", io);
+        let (deltas, _) = compare(&base, &worse, Thresholds::default());
+        assert!(
+            deltas
+                .iter()
+                .any(|d| d.path.contains("blocking_calls") && d.failed),
+            "10x more blocking calls must gate"
+        );
+        assert!(
+            deltas
+                .iter()
+                .any(|d| d.path.contains("hit_rate") && d.failed),
+            "collapsed hit rate must gate"
+        );
+    }
+
+    #[test]
+    fn informational_sections_report_but_never_gate() {
+        let base = Json::parse(
+            r#"{"sharded": {"workers": 4, "scaling": [
+                 {"shards": 4, "speedup_vs_1_shard": 3.5, "ingest_elems_per_sec": 4000000}]}}"#,
+        )
+        .unwrap();
+        // Fresh run on a 1-CPU box: speedups collapse, but the section is
+        // marked informational — reported, not gated.
+        let fresh = Json::parse(
+            r#"{"sharded": {"workers": 1, "informational": true, "scaling": [
+                 {"shards": 4, "speedup_vs_1_shard": 0.9, "ingest_elems_per_sec": 900000}]}}"#,
+        )
+        .unwrap();
+        let (deltas, _) = compare(&base, &fresh, Thresholds::default());
+        let speedup = deltas
+            .iter()
+            .find(|d| d.path.contains("speedup_vs_1_shard"))
+            .unwrap();
+        assert!(speedup.informational);
+        assert!(!speedup.failed, "informational sections must not gate");
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+        // Without the flag the same collapse fails the gate.
+        let plain = Json::parse(
+            r#"{"sharded": {"workers": 1, "scaling": [
+                 {"shards": 4, "speedup_vs_1_shard": 0.9, "ingest_elems_per_sec": 900000}]}}"#,
+        )
+        .unwrap();
+        let (deltas, _) = compare(&base, &plain, Thresholds::default());
+        assert!(deltas.iter().any(|d| d.failed));
     }
 
     #[test]

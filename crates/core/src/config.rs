@@ -32,6 +32,14 @@ pub struct HsqConfig {
     /// Answer queries by probing partitions in parallel (paper §4's
     /// future-work direction; see `crate::parallel`).
     pub parallel_query: bool,
+    /// Overlapped-I/O depth: worker threads of the per-warehouse
+    /// [`hsq_storage::IoScheduler`]. `0` (the default) keeps every device
+    /// call synchronous; `> 0` overlaps archival block writes and fsync
+    /// barriers with the ingest path's CPU work (run encoding, summary
+    /// construction, neighboring shards) and turns manifest-log syncs
+    /// into completion barriers. Queries and recovery are unaffected —
+    /// the engine inserts barriers before anything reads a pending run.
+    pub io_depth: usize,
     /// Retention limits enforced on every step boundary (see
     /// [`crate::retention`]). Default: unbounded (the paper's grow-only
     /// warehouse).
@@ -85,6 +93,7 @@ impl HsqConfig {
             sort_budget_items: 1 << 20,
             cache_blocks: 64,
             parallel_query: false,
+            io_depth: 0,
             retention: RetentionPolicy::unbounded(),
         }
     }
@@ -98,6 +107,7 @@ pub struct HsqConfigBuilder {
     sort_budget_items: usize,
     cache_blocks: usize,
     parallel_query: bool,
+    io_depth: usize,
     retention: RetentionPolicy,
 }
 
@@ -109,6 +119,7 @@ impl Default for HsqConfigBuilder {
             sort_budget_items: 1 << 20,
             cache_blocks: 64,
             parallel_query: false,
+            io_depth: 0,
             retention: RetentionPolicy::unbounded(),
         }
     }
@@ -150,6 +161,13 @@ impl HsqConfigBuilder {
         self
     }
 
+    /// Overlapped-I/O worker depth (`0` = synchronous device calls; see
+    /// [`HsqConfig::io_depth`]).
+    pub fn io_depth(mut self, depth: usize) -> Self {
+        self.io_depth = depth;
+        self
+    }
+
     /// Retention limits enforced on every step boundary.
     pub fn retention(mut self, policy: RetentionPolicy) -> Self {
         self.retention = policy;
@@ -163,6 +181,7 @@ impl HsqConfigBuilder {
         cfg.sort_budget_items = self.sort_budget_items;
         cfg.cache_blocks = self.cache_blocks;
         cfg.parallel_query = self.parallel_query;
+        cfg.io_depth = self.io_depth;
         cfg.retention = self.retention;
         cfg
     }
@@ -199,11 +218,14 @@ mod tests {
             .sort_budget_items(1024)
             .cache_blocks(7)
             .parallel_query(true)
+            .io_depth(4)
             .build();
         assert_eq!(cfg.kappa, 3);
         assert_eq!(cfg.sort_budget_items, 1024);
         assert_eq!(cfg.cache_blocks, 7);
         assert!(cfg.parallel_query);
+        assert_eq!(cfg.io_depth, 4);
+        assert_eq!(HsqConfig::with_epsilon(0.1).io_depth, 0, "sync default");
     }
 
     #[test]

@@ -80,6 +80,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             .as_ref()
             .expect("call enable_heavy_hitters() before querying heavy hitters");
         let threshold = ((phi * self.total_len() as f64).ceil() as u64).max(1);
+        self.warehouse.io_barrier()?;
         tracker.heavy_hitters(&self.warehouse, threshold, self.config.cache_blocks)
     }
 
@@ -182,7 +183,28 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// A step larger than the configured `sort_budget_items` takes the
     /// warehouse's external-sort path instead, honoring the working-set
     /// bound and keeping spill I/O in the report.
+    ///
+    /// With overlapped I/O configured (`io_depth > 0`) the partition's
+    /// block writes run on scheduler workers, overlapping the summary
+    /// and merge CPU work; this method still returns only after the
+    /// completion barrier, so everything the step wrote is on the device.
+    /// [`HistStreamQuantiles::end_time_step_deferred`] skips that final
+    /// barrier (the cross-shard overlap primitive).
     pub fn end_time_step(&mut self) -> io::Result<UpdateReport> {
+        let report = self.end_time_step_deferred()?;
+        self.warehouse.io_barrier()?;
+        Ok(report)
+    }
+
+    /// [`HistStreamQuantiles::end_time_step`] without the trailing
+    /// completion barrier: the archived run's writes may still be in
+    /// flight when this returns. Callers must pass
+    /// [`HistStreamQuantiles::io_barrier`] before reading — queries,
+    /// snapshots, and the next manifest append do so themselves. This is
+    /// how [`crate::ShardedEngine`] overlaps archival *across* shards:
+    /// every shard submits its writes, then one barrier per shard device
+    /// settles them all.
+    pub fn end_time_step_deferred(&mut self) -> io::Result<UpdateReport> {
         self.seal_staging_tail();
         let data = std::mem::take(&mut self.staging);
         let segments = std::mem::take(&mut self.staging_segments);
@@ -212,12 +234,23 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         self.end_time_step()
     }
 
+    /// Completion barrier over the warehouse's overlapped I/O (no-op when
+    /// `io_depth == 0`): after `Ok`, every submitted write is on the
+    /// device. Pairs with [`HistStreamQuantiles::end_time_step_deferred`].
+    pub fn io_barrier(&self) -> io::Result<()> {
+        self.warehouse.io_barrier()
+    }
+
     fn context(
         &self,
     ) -> (
         crate::stream::StreamSummary<T>,
         Vec<&crate::warehouse::StoredPartition<T>>,
     ) {
+        // Queries read partition blocks: settle any writes a deferred
+        // step left in flight. Errors are not lost — a failed write
+        // resurfaces when the probe touches the affected run.
+        let _ = self.warehouse.io_barrier();
         (
             self.stream.summary(),
             self.warehouse.partitions_newest_first(),
@@ -279,6 +312,9 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// This is the concurrent-reader primitive: hold the engine's lock
     /// just long enough to take the snapshot, then query it lock-free.
     pub fn snapshot(&self) -> EngineSnapshot<T, D> {
+        // Snapshot readers probe the pinned runs directly: settle any
+        // deferred writes first (see `context`).
+        let _ = self.warehouse.io_barrier();
         let (parts, pins) = self.warehouse.pinned_partitions();
         EngineSnapshot {
             dev: Arc::clone(self.warehouse.device()),
@@ -297,6 +333,9 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// recover later with [`Self::recover`]. The live stream is volatile
     /// and not persisted (recovery is at time-step granularity).
     pub fn persist(&self) -> io::Result<hsq_storage::FileId> {
+        // A manifest must never reference a run whose blocks are still
+        // in flight: settle them first.
+        self.warehouse.io_barrier()?;
         crate::manifest::persist(&self.warehouse)
     }
 
@@ -352,6 +391,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// boundaries").
     pub fn quantile_window(&self, phi: f64, window_steps: u64) -> io::Result<Option<T>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        self.warehouse.io_barrier()?;
         let Some(parts) = self.warehouse.window_partitions(window_steps) else {
             return Ok(None);
         };
@@ -374,6 +414,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         r: u64,
         window_steps: u64,
     ) -> io::Result<Option<QueryOutcome<T>>> {
+        self.warehouse.io_barrier()?;
         let Some(parts) = self.warehouse.window_partitions(window_steps) else {
             return Ok(None);
         };

@@ -448,6 +448,16 @@ pub struct ManifestLog<T: Item, D: BlockDevice> {
     dev: Arc<D>,
     file: FileId,
     next_block: u64,
+    /// The warehouse's overlapped-I/O scheduler, when it has one: fsync
+    /// barriers become submitted [`hsq_storage::IoOp::Sync`]s plus one
+    /// completion barrier (independent files fsync concurrently, the
+    /// caller blocks once) instead of one blocking `sync` per file.
+    sched: Option<Arc<hsq_storage::IoScheduler>>,
+    /// Calls that blocked this log on durability: per-file `sync`s on
+    /// the serial path, completion barriers on the overlapped path. The
+    /// overlapped count per step is bounded by a constant; the serial
+    /// count grows with the number of partitions a step adds.
+    blocking_syncs: u64,
     /// File ids recorded live as of the last record, for delta diffing.
     known: HashSet<FileId>,
     /// Write-ahead pin over `known`: every file the last durable record
@@ -473,6 +483,8 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
             dev,
             file,
             next_block: 0,
+            sched: w.scheduler().cloned(),
+            blocking_syncs: 0,
             known: HashSet::new(),
             guard: None,
             delta_records: 0,
@@ -481,6 +493,59 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
         log.write_header()?;
         log.write_base(w)?;
         Ok(log)
+    }
+
+    /// Durability calls that blocked this log so far (see the field docs;
+    /// the overlapped-vs-serial comparison the bench's `io` section
+    /// gates on).
+    pub fn blocking_syncs(&self) -> u64 {
+        self.blocking_syncs
+    }
+
+    /// Simulate process death for crash testing: leak the write-ahead
+    /// pins — exactly what a real crash does, since `Drop` never runs —
+    /// while still releasing ordinary resources (the I/O scheduler
+    /// handle, buffers). Returns the log's file id, the recovery handle.
+    /// Prefer this over `std::mem::forget(log)`, which would also leak
+    /// the scheduler's worker threads.
+    pub fn simulate_crash(mut self) -> FileId {
+        if let Some(guard) = self.guard.take() {
+            std::mem::forget(guard);
+        }
+        self.file
+    }
+
+    /// Make `files` durable before a record referencing them lands.
+    /// Serial: one blocking `sync` per file. Overlapped: submit the
+    /// syncs — each queues after its file's in-flight writes — and block
+    /// once at the completion barrier while the fsyncs run concurrently.
+    fn sync_files(&mut self, files: &[FileId]) -> io::Result<()> {
+        match &self.sched {
+            Some(sched) => {
+                for &f in files {
+                    sched.submit(hsq_storage::IoOp::Sync { file: f });
+                }
+                // Barrier even with no added file: the step's submitted
+                // run writes must settle before the record lands.
+                sched.barrier()?;
+                self.blocking_syncs += 1;
+            }
+            None => {
+                for &f in files {
+                    self.dev.sync(f)?;
+                    self.blocking_syncs += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The durability barrier on the log file itself, after a record is
+    /// written.
+    fn sync_log(&mut self) -> io::Result<()> {
+        self.dev.sync(self.file)?;
+        self.blocking_syncs += 1;
+        Ok(())
     }
 
     /// The log's file id — what [`recover`] (and hence
@@ -563,11 +628,18 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
 
     fn write_base(&mut self, w: &Warehouse<T, D>) -> io::Result<()> {
         let (payload, files) = Self::encode_state(w);
+        // Every file the base references must be settled (its in-flight
+        // writes completed) before the record lands; with no scheduler
+        // this is a no-op — serial writes already completed.
+        if self.sched.is_some() {
+            let files: Vec<FileId> = files.iter().copied().collect();
+            self.sync_files(&files)?;
+        }
         self.write_record(REC_BASE, &payload)?;
         // Durability barrier before acting on the record: pins are only
         // released (deleting superseded files) once the record that
         // supersedes them has actually reached storage.
-        self.dev.sync(self.file)?;
+        self.sync_log()?;
         // Pin the newly referenced set *before* releasing the previous
         // pins, so no referenced file is ever deletable in between.
         let new_guard = w.pin_files(files.iter().copied().collect());
@@ -601,6 +673,13 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
             .map(|(_, &(l, p))| (l, p))
             .collect();
 
+        // A record must never reference a partition whose data could be
+        // lost with it: the added runs reach durable storage before the
+        // record lands. On the overlapped path their writes + fsyncs run
+        // concurrently behind one completion barrier.
+        let added_files: Vec<FileId> = added.iter().map(|&(_, p)| p.run.file()).collect();
+        self.sync_files(&added_files)?;
+
         let mut out = Writer::new();
         out.u64(w.steps());
         out.u64(w.total_len());
@@ -610,9 +689,6 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
         }
         out.u64(added.len() as u64);
         for &(level, p) in &added {
-            // A record must never reference a partition whose data could
-            // be lost with it: sync added runs before the record lands.
-            self.dev.sync(p.run.file())?;
             encode_partition(&mut out, level, p);
         }
         self.write_record(REC_DELTA, &out.buf)?;
@@ -620,7 +696,7 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
         // re-pin the now-referenced set and drop the old pins — which
         // executes the deletions this step's merges and retention
         // deferred on the log's behalf.
-        self.dev.sync(self.file)?;
+        self.sync_log()?;
         let new_guard = w.pin_files(current.keys().copied().collect());
         self.guard = Some(new_guard);
         self.known = current.keys().copied().collect();
@@ -885,9 +961,8 @@ mod tests {
         for s in 6..9u64 {
             w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
         }
-        // Simulated process crash: Drop never runs, pins never release.
-        let file = log.file();
-        std::mem::forget(log);
+        // Simulated process crash: pins never release.
+        let file = log.simulate_crash();
         let recovered: Warehouse<u64, MemDevice> =
             recover(Arc::clone(w.device()), cfg, file).unwrap();
         recovered.check_invariants().unwrap();
@@ -918,6 +993,67 @@ mod tests {
             live + log_bytes,
             "append must delete files superseded by the last record"
         );
+    }
+
+    #[test]
+    fn overlapped_log_syncs_are_completion_barriers() {
+        // Append every third step: each delta then references several new
+        // runs. Serially that costs one blocking sync per added file plus
+        // the log sync; overlapped it is one completion barrier (the
+        // fsyncs run concurrently on the pool) plus the log sync — a
+        // constant per record, however many partitions a delta adds.
+        let drive = |io_depth: usize| {
+            let mut cfg = log_config(3, 64);
+            cfg.io_depth = io_depth;
+            let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+            let mut log = ManifestLog::create(&w).unwrap();
+            let mut records = 1u64; // the base
+            for s in 0..12u64 {
+                w.add_batch((0..64).map(|i| s * 64 + i).collect()).unwrap();
+                if (s + 1) % 3 == 0 {
+                    log.append(&w).unwrap();
+                    records += 1;
+                }
+            }
+            let recovered: Warehouse<u64, MemDevice> =
+                recover(Arc::clone(w.device()), cfg, log.file()).unwrap();
+            (log.blocking_syncs(), records, exact_quantiles(&recovered))
+        };
+        let (serial_syncs, records, serial_answers) = drive(0);
+        let (overlapped_syncs, _, overlapped_answers) = drive(4);
+        assert_eq!(serial_answers, overlapped_answers, "states must agree");
+        // Overlapped: exactly (barrier + log sync) per record.
+        assert_eq!(overlapped_syncs, 2 * records);
+        // Serial: every 3-partition delta pays 3 + 1 blocking syncs.
+        assert!(
+            serial_syncs > overlapped_syncs,
+            "serial {serial_syncs} vs overlapped {overlapped_syncs}"
+        );
+    }
+
+    #[test]
+    fn overlapped_log_crash_between_step_and_append() {
+        // The mem::forget crash regression (PR 3) on the overlapped path:
+        // write-ahead pins must hold across submitted writes and barrier
+        // syncs exactly as they do serially.
+        let mut cfg = log_config(2, 2);
+        cfg.io_depth = 2;
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..6u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        let logged_len = w.total_len();
+        for s in 6..9u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+        }
+        let file = log.simulate_crash();
+        w.io_barrier().unwrap();
+        let recovered: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(w.device()), cfg, file).unwrap();
+        recovered.check_invariants().unwrap();
+        assert_eq!(recovered.total_len(), logged_len);
     }
 
     #[test]

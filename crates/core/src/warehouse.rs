@@ -20,7 +20,7 @@ use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hsq_storage::{BlockDevice, FileId, IoSnapshot, Item, RunWriter, SortedRun};
+use hsq_storage::{BlockDevice, FileId, IoScheduler, IoSnapshot, Item, RunWriter, SortedRun};
 
 use crate::config::HsqConfig;
 use crate::retention::RetentionReport;
@@ -183,6 +183,21 @@ pub struct Warehouse<T: Item, D: BlockDevice> {
     steps: u64,
     /// Snapshot pins over partition files (deferred deletion).
     pins: Arc<PinRegistry>,
+    /// Overlapped-I/O scheduler (`config.io_depth > 0`): level-0 run
+    /// writes are submitted rather than awaited, merges prefetch their
+    /// input windows, and the manifest log turns per-file syncs into
+    /// completion barriers. `None` = every device call is synchronous.
+    sched: Option<Arc<IoScheduler>>,
+}
+
+/// The per-warehouse scheduler for `dev` when `config` asks for one.
+fn make_sched<D: BlockDevice>(dev: &Arc<D>, config: &HsqConfig) -> Option<Arc<IoScheduler>> {
+    (config.io_depth > 0).then(|| {
+        Arc::new(IoScheduler::new(
+            Arc::clone(dev) as Arc<dyn BlockDevice>,
+            config.io_depth,
+        ))
+    })
 }
 
 impl<T: Item, D: BlockDevice> std::fmt::Debug for Warehouse<T, D> {
@@ -201,6 +216,7 @@ impl<T: Item, D: BlockDevice> std::fmt::Debug for Warehouse<T, D> {
 impl<T: Item, D: BlockDevice> Warehouse<T, D> {
     /// `HistInit(ε₁, β₁)`: an empty warehouse on `dev`.
     pub fn new(dev: Arc<D>, config: HsqConfig) -> Self {
+        let sched = make_sched(&dev, &config);
         Warehouse {
             dev,
             config,
@@ -208,12 +224,29 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             total_len: 0,
             steps: 0,
             pins: Arc::new(PinRegistry::default()),
+            sched,
         }
     }
 
     /// The block device.
     pub fn device(&self) -> &Arc<D> {
         &self.dev
+    }
+
+    /// The overlapped-I/O scheduler, when `io_depth > 0`.
+    pub fn scheduler(&self) -> Option<&Arc<IoScheduler>> {
+        self.sched.as_ref()
+    }
+
+    /// Wait for every submitted device op to complete (no-op when
+    /// synchronous). Callers that read partitions directly after
+    /// [`Warehouse::add_sorted_batch`] under overlapped I/O must pass
+    /// this barrier first; the engine layer does it automatically.
+    pub fn io_barrier(&self) -> io::Result<()> {
+        match &self.sched {
+            Some(s) => s.barrier(),
+            None => Ok(()),
+        }
     }
 
     /// Reassemble a warehouse from recovered parts (manifest recovery;
@@ -235,6 +268,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         for level in &mut levels {
             level.sort_by_key(|p| p.first_step);
         }
+        let sched = make_sched(&dev, &config);
         Warehouse {
             dev,
             config,
@@ -242,6 +276,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             total_len,
             steps,
             pins: Arc::new(PinRegistry::default()),
+            sched,
         }
     }
 
@@ -370,7 +405,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
                 self.config.beta1,
                 self.dev.block_size(),
             );
-            hsq_storage::merge_into(&*self.dev, &spills, |v| {
+            hsq_storage::merge_into_prefetch(&*self.dev, self.sched.as_deref(), &spills, |v| {
                 sb.push(v);
                 writer.push(v)
             })?;
@@ -419,10 +454,17 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         }
         self.total_len += eta;
 
-        // Load = writing the sorted blocks.
+        // Load = writing the sorted blocks. Overlapped mode *submits*
+        // them instead: the writes run on scheduler workers while summary
+        // construction (and, for a sharded engine, neighboring shards)
+        // proceed on CPU. `load_io` then counts the ops that completed
+        // inside the window — the totals reconcile at the next barrier.
         let t1 = Instant::now();
         let before = self.dev.stats().snapshot();
-        let run = hsq_storage::write_run(&*self.dev, &batch)?;
+        let run = match &self.sched {
+            Some(sched) => hsq_storage::write_run_overlapped(sched, &batch)?,
+            None => hsq_storage::write_run(&*self.dev, &batch)?,
+        };
         report.load_io = self.dev.stats().snapshot() - before;
         report.load_time = t1.elapsed();
 
@@ -464,6 +506,16 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
     /// level into one partition at the next level. Returns the number of
     /// level merges performed.
     fn cascade_merges(&mut self) -> io::Result<usize> {
+        // A merge reads the partitions it collapses — including a level-0
+        // run whose writes may still be in flight. Reach the completion
+        // barrier before the first read.
+        if self
+            .levels
+            .iter()
+            .any(|level| level.len() > self.config.kappa)
+        {
+            self.io_barrier()?;
+        }
         let mut merges = 0;
         let mut level = 0;
         while level < self.levels.len() {
@@ -502,7 +554,10 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             self.config.beta1,
             self.dev.block_size(),
         );
-        hsq_storage::merge_into(&*self.dev, &runs, |v| {
+        // With a scheduler, input windows prefetch ahead of the heap
+        // merge: each run's next window is in flight while the current
+        // one drains through the sink.
+        hsq_storage::merge_into_prefetch(&*self.dev, self.sched.as_deref(), &runs, |v| {
             sb.push(v);
             writer.push(v)
         })?;
@@ -546,6 +601,15 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         let policy = self.config.retention.clone();
         if policy.is_unbounded() {
             return Ok(report);
+        }
+        // Only a byte cap needs the current step's submitted writes
+        // settled: it sizes the just-written run via `file_len`. Age and
+        // count policies touch only *older* partitions, whose writes
+        // earlier barriers settled (the newest partition is never
+        // retired by them — except by a zero partition cap), so they
+        // keep the deferred-step overlap intact.
+        if policy.max_bytes.is_some() || policy.max_partitions == Some(0) {
+            self.io_barrier()?;
         }
 
         // Age: every partition wholly older than the horizon expires.
@@ -611,7 +675,15 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
         report.retired_steps += p.span();
         self.total_len -= p.run.len();
         if self.pins.retire(p.run.file()) {
-            p.run.delete(&*self.dev)?;
+            match &self.sched {
+                // Submitted: the per-file FIFO queues the delete after
+                // any of the file's still-in-flight writes, so expiring
+                // a partition never races its own archival.
+                Some(sched) => {
+                    sched.submit(hsq_storage::IoOp::Delete { file: p.run.file() });
+                }
+                None => p.run.delete(&*self.dev)?,
+            }
         }
         Ok(())
     }

@@ -1,0 +1,278 @@
+//! Deterministic fault-injection & interleaving harness for the storage
+//! path (the test-archetype centerpiece of the overlapped-I/O PR).
+//!
+//! The durability claim under test is PR 3's write-ahead discipline, now
+//! that writes are concurrent: *a [`ManifestLog`]'s last durable record
+//! never references a missing partition file, at **any** crash point* —
+//! process death or power loss between any two device mutations, torn
+//! final blocks included, with archival either serial or overlapped.
+//!
+//! The harness shape:
+//!
+//! 1. run the append→sync→compact workload once un-faulted to learn the
+//!    total mutation count `M` and the non-crashing oracle state at
+//!    every step;
+//! 2. for **every** crash point `k ∈ 0..=M`, rerun the workload on a
+//!    fresh [`FaultDevice`] armed with `CrashAfter(k)` (or
+//!    `TornWrite(k)`), "reboot" ([`FaultDevice::revive`]), recover from
+//!    the manifest id the two-phase protocol had durably committed, and
+//!    assert the recovered engine's quantile answers match the oracle
+//!    within `ε·m` (the stream is empty after recovery, so the accurate
+//!    response is exact — the bound degenerates to equality);
+//! 3. with `io_depth > 0` the scheduler executes the same ops on worker
+//!    threads — under `HSQ_IO_REORDER_SEED` (the CI seed matrix) the
+//!    cross-file completion order is deterministically shuffled within
+//!    each barrier epoch, so the sweep explores reordered interleavings
+//!    too.
+
+use std::sync::Arc;
+
+use hsq_core::manifest::{self, ManifestLog};
+use hsq_core::query::QueryContext;
+use hsq_core::stream::StreamProcessor;
+use hsq_core::{HsqConfig, RetentionPolicy, Warehouse};
+use hsq_storage::{BlockDevice, Fault, FaultDevice, FileId, MemDevice};
+
+type FDev = FaultDevice<MemDevice>;
+
+const STEPS: u64 = 8;
+const STEP_ITEMS: u64 = 48;
+const COMPACT_EVERY: u64 = 3;
+
+/// Aggressive everything: kappa = 2 merges constantly, a 5-step TTL
+/// expires under the log's pins, compaction handoffs land mid-workload.
+fn cfg(io_depth: usize) -> HsqConfig {
+    HsqConfig::builder()
+        .epsilon(0.1)
+        .merge_threshold(2)
+        .retention(RetentionPolicy::unbounded().with_max_age_steps(5))
+        .io_depth(io_depth)
+        .build()
+}
+
+/// Step `step`'s batch (deterministic, distinct values).
+fn batch(step: u64) -> Vec<u64> {
+    (0..STEP_ITEMS).map(|i| step * 1_000 + i * 7).collect()
+}
+
+/// All retained data of `w`, sorted (reads every partition — which is
+/// itself the "no missing file" assertion).
+fn sorted_data<D: BlockDevice>(w: &Warehouse<u64, D>, label: &str) -> Vec<u64> {
+    let mut all = Vec::new();
+    for p in w.partitions_newest_first() {
+        all.extend(
+            p.run
+                .read_all(&**w.device())
+                .unwrap_or_else(|e| panic!("{label}: partition file unreadable: {e}")),
+        );
+    }
+    all.sort_unstable();
+    all
+}
+
+/// The non-crashing oracle: retained data after `s` steps, for every `s`.
+fn oracle_states() -> Vec<Vec<u64>> {
+    let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg(0));
+    let mut states = vec![Vec::new()];
+    for step in 1..=STEPS {
+        w.add_batch(batch(step)).unwrap();
+        states.push(sorted_data(&w, "oracle"));
+    }
+    states
+}
+
+/// Drive the workload until completion or the first injected failure,
+/// simulating process death at the failure (the log's write-ahead pins
+/// are leaked via `simulate_crash` — `Drop` does not run in a crash).
+/// Returns the manifest id the two-phase protocol had durably committed,
+/// `None` when the crash preceded the first base record.
+fn drive(dev: &Arc<FDev>, io_depth: usize) -> Option<FileId> {
+    let mut w = Warehouse::<u64, _>::new(Arc::clone(dev), cfg(io_depth));
+    let Ok(mut log) = ManifestLog::create(&w) else {
+        return None;
+    };
+    let mut committed = log.file();
+    for step in 1..=STEPS {
+        if w.add_batch(batch(step)).is_err() || log.append(&w).is_err() {
+            break;
+        }
+        if step % COMPACT_EVERY == 0 {
+            // Two-phase handoff: write the new base, durably record its
+            // id "out of band" (this variable), only then delete the old
+            // log. A crash anywhere in between leaves `committed` naming
+            // a file that recovers.
+            match log.compact(&w) {
+                Ok(old) => {
+                    committed = log.file();
+                    if dev.delete(old).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    }
+    let _ = log.simulate_crash(); // leak the pins, free the scheduler
+    Some(committed)
+}
+
+/// "Reboot" the device and recover from `committed`; the recovered
+/// warehouse must be structurally valid, reference no missing file, and
+/// answer quantiles exactly like the oracle at its recovered step count.
+fn assert_recovers(dev: &Arc<FDev>, committed: FileId, oracle: &[Vec<u64>], label: &str) {
+    dev.revive();
+    let cfg = cfg(0);
+    let recovered: Warehouse<u64, FDev> =
+        manifest::recover(Arc::clone(dev), cfg.clone(), committed)
+            .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"));
+    recovered
+        .check_invariants()
+        .unwrap_or_else(|e| panic!("{label}: invariants violated: {e}"));
+    let data = sorted_data(&recovered, label);
+    let expect = &oracle[recovered.steps() as usize];
+    assert_eq!(
+        &data,
+        expect,
+        "{label}: recovered multiset diverges from the oracle at step {}",
+        recovered.steps()
+    );
+    if expect.is_empty() {
+        return;
+    }
+    // Quantile answers vs the oracle: m = 0 after recovery, so the
+    // accurate response's eps*m window degenerates to exact equality.
+    let ss = StreamProcessor::<u64>::new(cfg.epsilon2, cfg.beta2).summary();
+    let ctx = QueryContext::new(
+        &**recovered.device(),
+        recovered.partitions_newest_first(),
+        &ss,
+        cfg.query_epsilon(),
+        cfg.cache_blocks,
+    );
+    for phi in [0.25f64, 0.5, 0.9] {
+        let r = ((phi * expect.len() as f64).ceil() as u64).max(1);
+        let got = ctx
+            .accurate_rank(r)
+            .unwrap_or_else(|e| panic!("{label}: query failed: {e}"))
+            .expect("non-empty warehouse answers");
+        let dist = rank_distance(expect, got.value, r);
+        assert_eq!(
+            dist, 0,
+            "{label}: phi={phi} answer {} off the oracle by {dist} ranks",
+            got.value
+        );
+    }
+}
+
+/// Rank distance of `v` from the requested rank `r` in `sorted` (0 when
+/// `v`'s rank interval covers `r` — Definition 1's acceptance).
+fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
+    let hi = sorted.partition_point(|&x| x <= v) as u64;
+    let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+    if lo > hi {
+        return r.abs_diff(hi);
+    }
+    if r < lo {
+        lo - r
+    } else {
+        r.saturating_sub(hi)
+    }
+}
+
+/// Sweep every mutation index with `fault_of(k)` armed: satellite 1's
+/// exhaustive enumeration (the PR 3 `mem::forget` crash test generalized
+/// from one hand-picked window to every op).
+fn crash_sweep(io_depth: usize, fault_of: fn(u64) -> Fault) {
+    let oracle = oracle_states();
+
+    // Recording pass: no fault, learn the op-index space.
+    let dev = FaultDevice::new(MemDevice::new(256));
+    let committed = drive(&dev, io_depth).expect("clean run commits a manifest");
+    assert!(!dev.halted());
+    let total = dev.mutations();
+    assert!(total > 60, "workload too small to sweep: {total} ops");
+    assert_recovers(&dev, committed, &oracle, "clean run");
+
+    for k in 0..=total {
+        let dev = FaultDevice::new(MemDevice::new(256));
+        dev.arm(fault_of(k));
+        let label = format!("{:?} (io_depth {io_depth})", fault_of(k));
+        match drive(&dev, io_depth) {
+            Some(committed) => assert_recovers(&dev, committed, &oracle, &label),
+            None => assert!(
+                k <= 12,
+                "{label}: only the first few ops may precede the first base"
+            ),
+        }
+    }
+}
+
+#[test]
+fn crash_point_sweep_serial() {
+    crash_sweep(0, Fault::CrashAfter);
+}
+
+#[test]
+fn crash_point_sweep_overlapped() {
+    crash_sweep(2, Fault::CrashAfter);
+}
+
+#[test]
+fn torn_write_sweep_serial() {
+    crash_sweep(0, Fault::TornWrite);
+}
+
+#[test]
+fn torn_write_sweep_overlapped() {
+    crash_sweep(2, Fault::TornWrite);
+}
+
+/// A transient (non-crash) failure surfaces as an error but never
+/// corrupts: the workload stops, yet the committed log still recovers —
+/// and an un-faulted retry from the recovered state proceeds normally.
+#[test]
+fn transient_fault_leaves_recoverable_state() {
+    let oracle = oracle_states();
+    for k in (0..80u64).step_by(7) {
+        let dev = FaultDevice::new(MemDevice::new(256));
+        dev.arm(Fault::FailOp(k));
+        let label = format!("FailOp({k})");
+        if let Some(committed) = drive(&dev, 0) {
+            assert_recovers(&dev, committed, &oracle, &label);
+            // The device is healthy again (the fault was one-shot):
+            // recovery + continued ingestion must work.
+            let mut w: Warehouse<u64, FDev> =
+                manifest::recover(Arc::clone(&dev), cfg(0), committed).unwrap();
+            w.add_batch(batch(99)).unwrap();
+            w.check_invariants().unwrap();
+        }
+    }
+}
+
+/// Overlapped archival equivalence: with io_depth > 0 (and whatever
+/// reorder seed the environment sets), every step's durable state is
+/// byte-identical to the serial engine's.
+#[test]
+fn overlapped_archival_matches_serial_state() {
+    let mut serial = Warehouse::<u64, _>::new(MemDevice::new(256), cfg(0));
+    let mut overlapped = Warehouse::<u64, _>::new(MemDevice::new(256), cfg(3));
+    for step in 1..=STEPS {
+        serial.add_batch(batch(step)).unwrap();
+        overlapped.add_batch(batch(step)).unwrap();
+        overlapped.io_barrier().unwrap();
+        assert_eq!(
+            sorted_data(&serial, "serial"),
+            sorted_data(&overlapped, "overlapped"),
+            "divergence at step {step}"
+        );
+        assert_eq!(serial.available_windows(), overlapped.available_windows());
+        overlapped.check_invariants().unwrap();
+    }
+    let sched = overlapped
+        .scheduler()
+        .expect("io_depth > 0 has a scheduler");
+    assert!(
+        sched.stats().async_writes > 0,
+        "overlapped archival must actually submit writes"
+    );
+}

@@ -1,0 +1,286 @@
+//! Deterministic fault injection for durability testing.
+//!
+//! [`FaultDevice`] wraps any [`BlockDevice`] and counts every *mutating*
+//! operation (create, write, sync, delete) in submission order. A
+//! [`Fault`] armed against that counter turns the wrapper into a
+//! reproducible failure machine:
+//!
+//! * [`Fault::FailOp`] — one transient error at a chosen op, then normal
+//!   operation (a flaky disk);
+//! * [`Fault::CrashAfter`] — the first `n` mutations succeed, everything
+//!   after fails and the device *halts* (crash-stop: reads fail too, as
+//!   they would on a dead machine) until [`FaultDevice::revive`];
+//! * [`Fault::TornWrite`] — the chosen mutation, if a write, persists
+//!   only a prefix of its payload and then halts — the torn final block
+//!   a power loss leaves behind.
+//!
+//! The intended harness shape (see `hsq-core`'s fault-injection tests):
+//! run the workload once un-faulted to learn the mutation count `M`,
+//! then for every crash point `k ∈ 0..=M` rerun it on a fresh device
+//! with [`Fault::CrashAfter`]`(k)`, [`FaultDevice::revive`] ("reboot"),
+//! recover, and compare answers against the non-crashing oracle.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::{BlockDevice, FileId};
+use crate::stats::IoStats;
+
+/// A deterministic fault schedule over the mutation-op counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The mutation with this index fails once; later ops proceed.
+    FailOp(u64),
+    /// Mutations `0..n` succeed; the op with index `n` (and everything
+    /// after, reads included) fails until [`FaultDevice::revive`].
+    CrashAfter(u64),
+    /// Like [`Fault::CrashAfter`], but if the chosen mutation is a block
+    /// write, half its payload is persisted first — a torn block.
+    TornWrite(u64),
+}
+
+/// A [`BlockDevice`] wrapper injecting deterministic faults (module docs).
+pub struct FaultDevice<D: BlockDevice> {
+    inner: Arc<D>,
+    mutations: AtomicU64,
+    halted: AtomicBool,
+    plan: Mutex<Option<Fault>>,
+}
+
+impl<D: BlockDevice> FaultDevice<D> {
+    /// Wrap `inner` with no fault armed (pure pass-through recording).
+    pub fn new(inner: Arc<D>) -> Arc<Self> {
+        Arc::new(FaultDevice {
+            inner,
+            mutations: AtomicU64::new(0),
+            halted: AtomicBool::new(false),
+            plan: Mutex::new(None),
+        })
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &Arc<D> {
+        &self.inner
+    }
+
+    /// Arm a fault (replacing any previous one).
+    pub fn arm(&self, fault: Fault) {
+        *self.plan.lock() = Some(fault);
+    }
+
+    /// Mutating ops observed so far (the crash-point index space).
+    pub fn mutations(&self) -> u64 {
+        self.mutations.load(Ordering::Relaxed)
+    }
+
+    /// Whether the device is crash-stopped.
+    pub fn halted(&self) -> bool {
+        self.halted.load(Ordering::Relaxed)
+    }
+
+    /// Clear the halt and any armed fault: the "reboot" before recovery.
+    /// Persisted state is exactly what the faulted run left behind.
+    pub fn revive(&self) {
+        self.halted.store(false, Ordering::Relaxed);
+        *self.plan.lock() = None;
+    }
+
+    fn crashed_err() -> io::Error {
+        io::Error::other("injected crash: device halted")
+    }
+
+    fn injected_err(idx: u64) -> io::Error {
+        io::Error::other(format!("injected fault at mutation {idx}"))
+    }
+
+    fn check_read(&self) -> io::Result<()> {
+        if self.halted() {
+            Err(Self::crashed_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Gate one mutating op. `Ok(None)` = proceed normally;
+    /// `Ok(Some(prefix_len))` = torn write of `prefix_len` bytes.
+    fn gate_mutation(&self, is_write: bool, data_len: usize) -> io::Result<Option<usize>> {
+        if self.halted() {
+            return Err(Self::crashed_err());
+        }
+        let idx = self.mutations.fetch_add(1, Ordering::Relaxed);
+        let mut plan = self.plan.lock();
+        match *plan {
+            Some(Fault::FailOp(n)) if idx == n => {
+                *plan = None; // one-shot
+                Err(Self::injected_err(idx))
+            }
+            Some(Fault::CrashAfter(n)) if idx >= n => {
+                self.halted.store(true, Ordering::Relaxed);
+                Err(Self::crashed_err())
+            }
+            Some(Fault::TornWrite(n)) if idx >= n => {
+                self.halted.store(true, Ordering::Relaxed);
+                if is_write && data_len >= 2 {
+                    Ok(Some(data_len / 2))
+                } else {
+                    Err(Self::crashed_err())
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn create(&self) -> io::Result<FileId> {
+        self.gate_mutation(false, 0)?;
+        self.inner.create()
+    }
+
+    fn write_block(&self, file: FileId, idx: u64, data: &[u8]) -> io::Result<()> {
+        match self.gate_mutation(true, data.len())? {
+            None => self.inner.write_block(file, idx, data),
+            Some(prefix) => {
+                // Torn write: persist the prefix, then report the crash.
+                let _ = self.inner.write_block(file, idx, &data[..prefix]);
+                Err(Self::crashed_err())
+            }
+        }
+    }
+
+    fn read_block(&self, file: FileId, idx: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.check_read()?;
+        self.inner.read_block(file, idx, buf)
+    }
+
+    fn read_blocks(
+        &self,
+        file: FileId,
+        first: u64,
+        count: u64,
+        buf: &mut [u8],
+    ) -> io::Result<usize> {
+        self.check_read()?;
+        self.inner.read_blocks(file, first, count, buf)
+    }
+
+    fn sync(&self, file: FileId) -> io::Result<()> {
+        self.gate_mutation(false, 0)?;
+        self.inner.sync(file)
+    }
+
+    fn num_blocks(&self, file: FileId) -> io::Result<u64> {
+        self.check_read()?;
+        self.inner.num_blocks(file)
+    }
+
+    fn file_len(&self, file: FileId) -> io::Result<u64> {
+        self.check_read()?;
+        self.inner.file_len(file)
+    }
+
+    fn delete(&self, file: FileId) -> io::Result<()> {
+        self.gate_mutation(false, 0)?;
+        self.inner.delete(file)
+    }
+
+    fn stats(&self) -> &IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    #[test]
+    fn passthrough_counts_mutations() {
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap(); // mutation 0
+        dev.write_block(f, 0, &[1u8; 64]).unwrap(); // 1
+        dev.sync(f).unwrap(); // 2
+        dev.delete(f).unwrap(); // 3
+        assert_eq!(dev.mutations(), 4);
+        assert!(!dev.halted());
+    }
+
+    #[test]
+    fn fail_op_is_transient() {
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.arm(Fault::FailOp(1));
+        assert!(dev.write_block(f, 0, &[1u8; 64]).is_err()); // mutation 1 fails
+                                                             // Next attempt succeeds: the fault was one-shot.
+        dev.write_block(f, 0, &[1u8; 64]).unwrap();
+        assert!(!dev.halted());
+    }
+
+    #[test]
+    fn crash_after_halts_everything_until_revive() {
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[7u8; 64]).unwrap();
+        dev.arm(Fault::CrashAfter(2));
+        assert!(dev.write_block(f, 1, &[8u8; 64]).is_err()); // mutation 2 crashes
+        assert!(dev.halted());
+        let mut buf = [0u8; 64];
+        assert!(dev.read_block(f, 0, &mut buf).is_err());
+        assert!(dev.num_blocks(f).is_err());
+        dev.revive();
+        // Pre-crash state survives; post-crash writes never landed.
+        assert_eq!(dev.num_blocks(f).unwrap(), 1);
+        assert_eq!(dev.read_block(f, 0, &mut buf).unwrap(), 64);
+        assert!(buf.iter().all(|&b| b == 7));
+    }
+
+    #[test]
+    fn torn_write_persists_half_a_block() {
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[1u8; 64]).unwrap();
+        dev.arm(Fault::TornWrite(2));
+        assert!(dev.write_block(f, 1, &[2u8; 64]).is_err());
+        assert!(dev.halted());
+        dev.revive();
+        // The tail block holds only the first 32 bytes.
+        assert_eq!(dev.file_len(f).unwrap(), 64 + 32);
+        let mut buf = [0u8; 64];
+        assert_eq!(dev.read_block(f, 1, &mut buf).unwrap(), 32);
+        assert!(buf[..32].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn deterministic_replay_reaches_same_crash_point() {
+        // The same workload against the same schedule crashes at the
+        // same op — the property the crash-point sweep relies on.
+        let run = |crash: u64| -> (u64, Vec<u64>) {
+            let dev = FaultDevice::new(MemDevice::new(64));
+            dev.arm(Fault::CrashAfter(crash));
+            let mut survived = Vec::new();
+            'outer: for fi in 0..4u64 {
+                let Ok(f) = dev.create() else { break };
+                for b in 0..3u64 {
+                    if dev.write_block(f, b, &[fi as u8; 64]).is_err() {
+                        break 'outer;
+                    }
+                }
+                survived.push(f);
+            }
+            dev.revive();
+            (dev.mutations(), survived)
+        };
+        for crash in 0..16u64 {
+            let a = run(crash);
+            let b = run(crash);
+            assert_eq!(a, b, "crash point {crash} must replay identically");
+        }
+    }
+}

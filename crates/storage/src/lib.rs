@@ -15,24 +15,34 @@
 //! * [`merge_runs`] / [`external_sort`] — the sequential-I/O bulk operations
 //!   the warehouse update path is built from ([`merge`], [`sort`]);
 //! * [`BlockCache`] — decoded-block cache implementing the paper's
-//!   single-block query optimization ([`cache`]).
+//!   single-block query optimization ([`cache`]);
+//! * [`IoScheduler`] — io_uring-style overlapped submission/completion
+//!   queues over a bounded worker pool ([`sched`]), behind the
+//!   [`BlockDevice::submit`]/[`BlockDevice::poll`] seam;
+//! * [`FaultDevice`] — deterministic fault injection (fail-op, torn
+//!   final block, crash-stop) for durability testing ([`fault`]).
 
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod device;
 pub mod encode;
+pub mod fault;
 pub mod merge;
 pub mod run;
+pub mod sched;
 pub mod sort;
 pub mod stats;
 
 pub use cache::BlockCache;
-pub use device::{BlockDevice, FileDevice, FileId, MemDevice};
+pub use device::{BlockDevice, FileDevice, FileId, IoOp, IoOutcome, IoTicket, MemDevice};
 pub use encode::{Item, F64};
-pub use merge::{merge_into, merge_runs};
+pub use fault::{Fault, FaultDevice};
+pub use merge::{merge_into, merge_into_prefetch, merge_runs};
 pub use run::{
-    items_per_block, write_run, RunReader, RunWriter, SortedRun, DEFAULT_READAHEAD_BLOCKS,
+    items_per_block, write_run, write_run_overlapped, RunReader, RunWriter, SortedRun,
+    DEFAULT_READAHEAD_BLOCKS,
 };
+pub use sched::{IoScheduler, SchedSnapshot};
 pub use sort::{external_sort, SortOutcome};
 pub use stats::{IoSnapshot, IoStats};

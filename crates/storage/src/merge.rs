@@ -15,6 +15,7 @@ use std::io;
 use crate::device::BlockDevice;
 use crate::encode::Item;
 use crate::run::{RunReader, RunWriter, SortedRun};
+use crate::sched::IoScheduler;
 
 /// Merge `runs` into a single new sorted run on `dev`.
 ///
@@ -39,11 +40,31 @@ pub fn merge_runs<T: Item, D: BlockDevice>(
 pub fn merge_into<T: Item, D: BlockDevice>(
     dev: &D,
     runs: &[SortedRun<T>],
+    sink: impl FnMut(T) -> io::Result<()>,
+) -> io::Result<()> {
+    merge_into_prefetch(dev, None, runs, sink)
+}
+
+/// [`merge_into`] with asynchronous readahead on each input run: while
+/// the heap merge consumes one window of an input, its next window's
+/// read is already in flight on `sched` (see
+/// [`SortedRun::iter_prefetch`]). `None` falls back to synchronous
+/// readahead. Output and accounting are identical either way.
+pub fn merge_into_prefetch<T: Item, D: BlockDevice>(
+    dev: &D,
+    sched: Option<&IoScheduler>,
+    runs: &[SortedRun<T>],
     mut sink: impl FnMut(T) -> io::Result<()>,
 ) -> io::Result<()> {
     // Heap of (next item, source index); Reverse for a min-heap. Ties are
     // broken by source index, making merges deterministic.
-    let mut sources: Vec<RunReader<'_, T, D>> = runs.iter().map(|r| r.iter(dev)).collect();
+    let mut sources: Vec<RunReader<'_, T, D>> = runs
+        .iter()
+        .map(|r| match sched {
+            Some(s) => r.iter_prefetch(dev, s),
+            None => r.iter(dev),
+        })
+        .collect();
     let mut heap: BinaryHeap<Reverse<(T, usize)>> = BinaryHeap::with_capacity(sources.len());
     for (i, src) in sources.iter_mut().enumerate() {
         if let Some(v) = src.next() {

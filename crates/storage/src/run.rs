@@ -11,8 +11,9 @@ use std::io;
 use std::marker::PhantomData;
 
 use crate::cache::BlockCache;
-use crate::device::{BlockDevice, FileId};
+use crate::device::{BlockDevice, FileId, IoOp, IoOutcome, IoTicket};
 use crate::encode::Item;
+use crate::sched::IoScheduler;
 
 /// Default readahead window (blocks) for sequential [`RunReader`] scans.
 pub const DEFAULT_READAHEAD_BLOCKS: usize = 8;
@@ -114,8 +115,26 @@ impl<T: Item> SortedRun<T> {
             block: 0,
             readahead: DEFAULT_READAHEAD_BLOCKS,
             raw: Vec::new(),
+            sched: None,
+            pending: None,
             _t: PhantomData,
         }
+    }
+
+    /// [`SortedRun::iter`] with asynchronous readahead: while one window
+    /// of blocks is being decoded and consumed, the next window's read is
+    /// already in flight on `sched` (which must schedule over the same
+    /// device as `dev`). The block-access *count* is unchanged — only the
+    /// device round-trip latency is hidden behind the consumer's CPU
+    /// work. Prefetch hit/miss counts land in [`IoScheduler::stats`].
+    pub fn iter_prefetch<'d, D: BlockDevice>(
+        &self,
+        dev: &'d D,
+        sched: &'d IoScheduler,
+    ) -> RunReader<'d, T, D> {
+        let mut r = self.iter(dev);
+        r.sched = Some(sched);
+        r
     }
 
     /// Read every item into memory (test/debug helper; O(len) memory).
@@ -290,6 +309,10 @@ pub struct RunReader<'d, T: Item, D: BlockDevice> {
     readahead: usize,
     /// Reused raw byte buffer for [`BlockDevice::read_blocks`].
     raw: Vec<u8>,
+    /// Asynchronous-readahead scheduler (see [`SortedRun::iter_prefetch`]).
+    sched: Option<&'d IoScheduler>,
+    /// In-flight prefetch: `(first block, block count, ticket)`.
+    pending: Option<(u64, u64, IoTicket)>,
     _t: PhantomData<T>,
 }
 
@@ -306,11 +329,37 @@ impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
         let remaining_items = self.len - self.next_idx;
         let blocks_left = remaining_items.div_ceil(per);
         let nblocks = (self.readahead as u64).min(blocks_left);
-        self.raw.clear();
-        self.raw.resize(nblocks as usize * bs, 0);
-        let got = self
-            .dev
-            .read_blocks(self.file, self.block, nblocks, &mut self.raw)?;
+        // A matching in-flight prefetch replaces the synchronous read. A
+        // stale one (readahead resized mid-scan) is reaped and dropped,
+        // and a failed wait — a barrier elsewhere may have reclaimed the
+        // completion — falls back to the synchronous read, where a real
+        // device error resurfaces.
+        let mut got = usize::MAX;
+        if let Some(sched) = self.sched {
+            if let Some((first, n, ticket)) = self.pending.take() {
+                if first == self.block && n == nblocks {
+                    if let Ok(IoOutcome::Read { data, len }) = sched.wait(ticket) {
+                        self.raw = data;
+                        got = len;
+                        sched.note_prefetch(true);
+                    } else {
+                        sched.note_prefetch(false);
+                    }
+                } else {
+                    let _ = sched.wait(ticket);
+                    sched.note_prefetch(false);
+                }
+            } else {
+                sched.note_prefetch(false);
+            }
+        }
+        if got == usize::MAX {
+            self.raw.clear();
+            self.raw.resize(nblocks as usize * bs, 0);
+            got = self
+                .dev
+                .read_blocks(self.file, self.block, nblocks, &mut self.raw)?;
+        }
         // Short-read guard: the blocks just read must carry at least the
         // encoded bytes of every item we are about to decode.
         debug_assert!(
@@ -335,12 +384,37 @@ impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
         }
         self.buf_pos = 0;
         self.block += nblocks;
+        // Issue the next window's read before the consumer touches this
+        // one: by the next refill it is (ideally) already complete.
+        if let Some(sched) = self.sched {
+            let items_after = remaining_items.saturating_sub(nblocks * per);
+            if items_after > 0 {
+                let next_blocks = (self.readahead as u64).min(items_after.div_ceil(per));
+                let ticket = sched.submit(IoOp::ReadBlocks {
+                    file: self.file,
+                    first: self.block,
+                    count: next_blocks,
+                });
+                self.pending = Some((self.block, next_blocks, ticket));
+            }
+        }
         Ok(())
     }
 
     /// Items remaining to be yielded.
     pub fn remaining(&self) -> u64 {
         self.len - self.next_idx
+    }
+}
+
+impl<T: Item, D: BlockDevice> Drop for RunReader<'_, T, D> {
+    fn drop(&mut self) {
+        // Reap an abandoned prefetch so its completion (or error) never
+        // leaks into a later barrier — and so the file can be deleted
+        // safely right after the reader goes away.
+        if let (Some(sched), Some((_, _, ticket))) = (self.sched, self.pending.take()) {
+            let _ = sched.wait(ticket);
+        }
     }
 }
 
@@ -391,6 +465,41 @@ pub fn write_run<T: Item, D: BlockDevice>(dev: &D, sorted: &[T]) -> io::Result<S
         w.push(v)?;
     }
     w.finish()
+}
+
+/// [`write_run`] with overlapped block writes: every block is encoded and
+/// *submitted* to `sched`, and the completed [`SortedRun`] handle is
+/// returned immediately — its length and extrema come from the slice, not
+/// the device. The run's blocks land in order (the scheduler's per-file
+/// FIFO), but the caller **must** pass an [`IoScheduler::barrier`] before
+/// reading the run or treating it as durable. This is the archival fast
+/// path: block encoding, summary construction, and the next partition's
+/// CPU work all overlap the device writes.
+pub fn write_run_overlapped<T: Item>(
+    sched: &IoScheduler,
+    sorted: &[T],
+) -> io::Result<SortedRun<T>> {
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
+    let dev = sched.device();
+    let per = items_per_block::<T>(dev.block_size());
+    let file = dev.create()?;
+    for (idx, chunk) in sorted.chunks(per).enumerate() {
+        let mut data = vec![0u8; chunk.len() * T::ENCODED_LEN];
+        for (i, v) in chunk.iter().enumerate() {
+            v.encode(&mut data[i * T::ENCODED_LEN..]);
+        }
+        sched.submit(IoOp::Write {
+            file,
+            idx: idx as u64,
+            data,
+        });
+    }
+    Ok(SortedRun {
+        file,
+        len: sorted.len() as u64,
+        min: sorted.first().copied().unwrap_or(T::MIN),
+        max: sorted.last().copied().unwrap_or(T::MIN),
+    })
 }
 
 #[cfg(test)]
@@ -529,6 +638,69 @@ mod tests {
         // (block accesses) is unchanged, and all reads stay sequential.
         assert_eq!(d.total_reads(), 10);
         assert_eq!(d.seq_reads, 10);
+    }
+
+    #[test]
+    fn prefetch_iter_matches_plain_iter() {
+        use crate::sched::IoScheduler;
+        use std::sync::Arc;
+        let dev = MemDevice::new(64); // 8 u64 per block
+        let data: Vec<u64> = (0..1234).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 2, None);
+        let before = dev.stats().snapshot();
+        let got: Vec<u64> = run
+            .iter_prefetch(&*dev, &sched)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, data);
+        sched.barrier().unwrap();
+        // Accounting unchanged: one block access per block, all sequential.
+        let d = dev.stats().snapshot() - before;
+        assert_eq!(d.total_reads(), 155);
+        assert_eq!(d.rand_reads, 0);
+        // Every window after the first came from an in-flight prefetch.
+        let st = sched.stats();
+        assert!(st.prefetch_hits >= 18, "hits {}", st.prefetch_hits);
+        assert_eq!(st.prefetch_misses, 1, "only the first window misses");
+    }
+
+    #[test]
+    fn abandoned_prefetch_is_reaped_on_drop() {
+        use crate::sched::IoScheduler;
+        use std::sync::Arc;
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..500).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 2, None);
+        {
+            let mut it = run.iter_prefetch(&*dev, &sched);
+            for _ in 0..20 {
+                it.next().unwrap().unwrap();
+            }
+            // Dropped mid-scan with a window in flight.
+        }
+        run.delete(&*dev).unwrap();
+        sched.barrier().unwrap(); // no stray read-after-delete error
+    }
+
+    #[test]
+    fn write_run_overlapped_matches_write_run() {
+        use crate::sched::IoScheduler;
+        use std::sync::Arc;
+        let dev = MemDevice::new(100); // padded geometry: 12 u64 + 4 bytes
+        let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 3, None);
+        for n in [0usize, 5, 12, 13, 500] {
+            let data: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+            let run = write_run_overlapped(&sched, &data).unwrap();
+            assert_eq!(run.len(), n as u64);
+            sched.barrier().unwrap();
+            assert_eq!(run.read_all(&*dev).unwrap(), data, "n = {n}");
+            if n > 0 {
+                assert_eq!(run.min(), 0);
+                assert_eq!(run.max(), (n as u64 - 1) * 3);
+            }
+        }
     }
 
     #[test]

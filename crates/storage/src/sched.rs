@@ -1,0 +1,568 @@
+//! Overlapped I/O: an io_uring-style scheduler over a bounded worker pool.
+//!
+//! The paper charges every algorithm in *block accesses* but implicitly
+//! assumes the I/O layer never stalls the sketch path — the
+//! small-update-time emphasis of the streaming-quantiles literature (GK,
+//! KLL, Ivkin et al.) only holds if archival writes and fsync barriers
+//! run *off* the ingest thread. [`IoScheduler`] provides that overlap in
+//! a form that runs anywhere (a bounded pool of worker threads executing
+//! [`IoOp`]s against any [`BlockDevice`]) while keeping the exact
+//! submission/completion-queue shape of io_uring, so a real
+//! `io_uring`-backed implementation can slot in behind the same API
+//! later without touching callers.
+//!
+//! ## Ordering model
+//!
+//! * **Per-file FIFO**: operations on the same [`FileId`] execute in
+//!   submission order (like chained SQEs). This is what lets a
+//!   [`crate::RunWriter`]-shaped producer submit appends without waiting:
+//!   the device's contiguous-append invariant is preserved.
+//! * **Cross-file freedom**: operations on different files may execute
+//!   in any order and concurrently — that is the overlap. With a seeded
+//!   reorder (the `HSQ_IO_REORDER_SEED` environment variable, or
+//!   [`IoScheduler::with_reorder`]) the cross-file execution order is
+//!   *deterministically shuffled*, which is how the fault-injection
+//!   harness explores completion reorderings within a barrier epoch.
+//! * **Barrier epochs**: [`IoScheduler::barrier`] blocks until every
+//!   previously submitted op has completed and returns the first error
+//!   among them. Durability protocols (see `hsq-core`'s `ManifestLog`)
+//!   turn their per-file blocking `sync` calls into submitted
+//!   [`IoOp::Sync`]s plus one barrier — fsyncs of independent files run
+//!   concurrently and the caller blocks once.
+//!
+//! Completions for tickets nobody [`IoScheduler::wait`]s on are drained
+//! by the next barrier; their errors are not lost — the barrier reports
+//! the first one.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use crate::device::{BlockDevice, FileId, IoOp, IoOutcome, IoTicket};
+
+/// Non-poisoning lock (a worker panic must not wedge submitters).
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Non-poisoning wait.
+fn wait_on<'a>(cv: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Point-in-time counters of an [`IoScheduler`] (see
+/// [`IoScheduler::stats`]). All counts are monotonic since construction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedSnapshot {
+    /// Ops submitted to the queues.
+    pub submitted: u64,
+    /// Ops fully executed by workers.
+    pub completed: u64,
+    /// Submitted ops that were block writes.
+    pub async_writes: u64,
+    /// Submitted ops that were syncs.
+    pub async_syncs: u64,
+    /// Calls that blocked the submitter ([`IoScheduler::wait`]).
+    pub blocking_waits: u64,
+    /// Completion barriers ([`IoScheduler::barrier`]).
+    pub barriers: u64,
+    /// Prefetched readahead windows that were consumed by a reader.
+    pub prefetch_hits: u64,
+    /// Readahead windows a reader had to fetch synchronously.
+    pub prefetch_misses: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    async_writes: AtomicU64,
+    async_syncs: AtomicU64,
+    blocking_waits: AtomicU64,
+    barriers: AtomicU64,
+    prefetch_hits: AtomicU64,
+    prefetch_misses: AtomicU64,
+}
+
+/// Queue state shared between submitters and workers.
+struct State {
+    /// Pending ops per file, submission order.
+    queues: HashMap<FileId, VecDeque<(u64, IoOp)>>,
+    /// Files with pending ops and no worker currently executing one.
+    ready: Vec<FileId>,
+    /// Files whose head op a worker is executing right now.
+    busy: Vec<FileId>,
+    /// Finished ops not yet claimed by `wait` or drained by `barrier`.
+    completions: HashMap<u64, io::Result<IoOutcome>>,
+    /// First error among drained-unclaimed completions (sticky until a
+    /// barrier reports it).
+    first_error: Option<(io::ErrorKind, String)>,
+    /// Ops submitted and not yet completed.
+    outstanding: usize,
+    next_id: u64,
+    /// Seeded LCG state for deterministic cross-file reordering.
+    reorder: Option<u64>,
+    shutdown: bool,
+}
+
+struct Shared {
+    dev: Arc<dyn BlockDevice>,
+    state: Mutex<State>,
+    /// Workers wait here for ready files.
+    work_cv: Condvar,
+    /// Waiters/barriers wait here for completions.
+    done_cv: Condvar,
+    counters: Counters,
+}
+
+/// Bounded-pool submission/completion queues over a [`BlockDevice`]
+/// (module docs have the ordering model). `depth` worker threads execute
+/// ops; submission never blocks.
+pub struct IoScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    depth: usize,
+}
+
+impl std::fmt::Debug for IoScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoScheduler")
+            .field("depth", &self.depth)
+            .finish()
+    }
+}
+
+impl IoScheduler {
+    /// A scheduler with `depth` workers (min 1) over `dev`. Reads the
+    /// `HSQ_IO_REORDER_SEED` environment variable: when set, cross-file
+    /// execution order is deterministically shuffled (the interleaving
+    /// seam the fault harness sweeps).
+    pub fn new(dev: Arc<dyn BlockDevice>, depth: usize) -> Self {
+        let seed = std::env::var("HSQ_IO_REORDER_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok());
+        Self::with_reorder(dev, depth, seed)
+    }
+
+    /// [`IoScheduler::new`] with an explicit cross-file reorder seed
+    /// (`None` = plain FIFO pick among ready files).
+    pub fn with_reorder(dev: Arc<dyn BlockDevice>, depth: usize, seed: Option<u64>) -> Self {
+        let depth = depth.max(1);
+        let shared = Arc::new(Shared {
+            dev,
+            state: Mutex::new(State {
+                queues: HashMap::new(),
+                ready: Vec::new(),
+                busy: Vec::new(),
+                completions: HashMap::new(),
+                first_error: None,
+                outstanding: 0,
+                next_id: 0,
+                reorder: seed.map(|s| s | 1),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..depth)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("hsq-io-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn io worker")
+            })
+            .collect();
+        IoScheduler {
+            shared,
+            workers,
+            depth,
+        }
+    }
+
+    /// Configured worker count (the `io_depth` knob).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The device ops execute against.
+    pub fn device(&self) -> &Arc<dyn BlockDevice> {
+        &self.shared.dev
+    }
+
+    /// Queue `op`; returns immediately. Ops on the same file execute in
+    /// submission order; ops on different files overlap. The result is
+    /// claimed with [`IoScheduler::wait`] / [`IoScheduler::try_poll`], or
+    /// swept (errors reported) by the next [`IoScheduler::barrier`].
+    pub fn submit(&self, op: IoOp) -> IoTicket {
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        match &op {
+            IoOp::Write { .. } => c.async_writes.fetch_add(1, Ordering::Relaxed),
+            IoOp::Sync { .. } => c.async_syncs.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
+        let file = op.file();
+        let mut st = lock(&self.shared.state);
+        let id = st.next_id;
+        st.next_id += 1;
+        st.outstanding += 1;
+        let q = st.queues.entry(file).or_default();
+        let was_empty = q.is_empty();
+        q.push_back((id, op));
+        if was_empty && !st.busy.contains(&file) {
+            st.ready.push(file);
+            self.shared.work_cv.notify_one();
+        }
+        IoTicket::queued(id)
+    }
+
+    /// Non-blocking completion check; `Some` at most once per ticket.
+    pub fn try_poll(&self, ticket: &mut IoTicket) -> Option<io::Result<IoOutcome>> {
+        match ticket.queued_id() {
+            None => ticket.take_ready(),
+            Some(id) => lock(&self.shared.state).completions.remove(&id),
+        }
+    }
+
+    /// Block until `ticket`'s op completes and return its result.
+    ///
+    /// A ticket whose completion was already drained by an intervening
+    /// [`IoScheduler::barrier`] resolves to an error (the scheduler's
+    /// sticky error if one exists) instead of hanging.
+    pub fn wait(&self, ticket: IoTicket) -> io::Result<IoOutcome> {
+        let mut ticket = ticket;
+        let Some(id) = ticket.queued_id() else {
+            return ticket
+                .take_ready()
+                .unwrap_or_else(|| Err(io::Error::other("ticket already consumed")));
+        };
+        self.shared
+            .counters
+            .blocking_waits
+            .fetch_add(1, Ordering::Relaxed);
+        let mut st = lock(&self.shared.state);
+        loop {
+            if let Some(r) = st.completions.remove(&id) {
+                return r;
+            }
+            if st.outstanding == 0 {
+                // Nothing in flight and the completion is gone: a
+                // barrier reclaimed it.
+                return Err(match &st.first_error {
+                    Some((kind, msg)) => io::Error::new(*kind, msg.clone()),
+                    None => io::Error::other("completion reclaimed by a barrier"),
+                });
+            }
+            st = wait_on(&self.shared.done_cv, st);
+        }
+    }
+
+    /// Completion barrier: block until **every** op submitted before this
+    /// call has executed, then report the first error among unclaimed
+    /// completions. This ends a *barrier epoch* — after it returns `Ok`,
+    /// everything submitted earlier is on the device.
+    ///
+    /// A failed op **poisons** the scheduler: the error stays sticky and
+    /// every later barrier keeps reporting it. A lost write leaves the
+    /// structures built on top (a run, a manifest record) permanently
+    /// inconsistent, so no later caller may be allowed to observe a
+    /// clean barrier — in particular a durability protocol must never
+    /// commit a record after some earlier barrier swallowed the failure.
+    pub fn barrier(&self) -> io::Result<()> {
+        self.shared
+            .counters
+            .barriers
+            .fetch_add(1, Ordering::Relaxed);
+        let mut st = lock(&self.shared.state);
+        while st.outstanding > 0 {
+            st = wait_on(&self.shared.done_cv, st);
+        }
+        let mut drained_error = None;
+        for (_, r) in st.completions.drain() {
+            if let Err(e) = r {
+                if drained_error.is_none() {
+                    drained_error = Some((e.kind(), e.to_string()));
+                }
+            }
+        }
+        if st.first_error.is_none() {
+            st.first_error = drained_error;
+        }
+        match &st.first_error {
+            Some((kind, msg)) => Err(io::Error::new(*kind, msg.clone())),
+            None => Ok(()),
+        }
+    }
+
+    /// Ops submitted and not yet completed.
+    pub fn in_flight(&self) -> usize {
+        lock(&self.shared.state).outstanding
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedSnapshot {
+        let c = &self.shared.counters;
+        SchedSnapshot {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            async_writes: c.async_writes.load(Ordering::Relaxed),
+            async_syncs: c.async_syncs.load(Ordering::Relaxed),
+            blocking_waits: c.blocking_waits.load(Ordering::Relaxed),
+            barriers: c.barriers.load(Ordering::Relaxed),
+            prefetch_hits: c.prefetch_hits.load(Ordering::Relaxed),
+            prefetch_misses: c.prefetch_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Readahead accounting hook for [`crate::RunReader`] prefetch.
+    pub(crate) fn note_prefetch(&self, hit: bool) {
+        let c = &self.shared.counters;
+        if hit {
+            c.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            c.prefetch_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for IoScheduler {
+    fn drop(&mut self) {
+        {
+            lock(&self.shared.state).shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (id, op, file) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if !st.ready.is_empty() {
+                    break;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = wait_on(&shared.work_cv, st);
+            }
+            // Pick the next file: FIFO by default, deterministically
+            // shuffled under a reorder seed (cross-file order only —
+            // per-file submission order is always preserved).
+            let idx = match st.reorder.as_mut() {
+                Some(s) => {
+                    *s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    ((*s >> 33) as usize) % st.ready.len()
+                }
+                None => 0,
+            };
+            let file = st.ready.swap_remove(idx);
+            let (id, op) = st
+                .queues
+                .get_mut(&file)
+                .and_then(VecDeque::pop_front)
+                .expect("ready file has a pending op");
+            st.busy.push(file);
+            (id, op, file)
+        };
+        let result = shared.dev.execute(op);
+        {
+            let mut st = lock(&shared.state);
+            st.busy.retain(|&f| f != file);
+            match st.queues.get(&file) {
+                Some(q) if !q.is_empty() => {
+                    st.ready.push(file);
+                    shared.work_cv.notify_one();
+                }
+                _ => {
+                    st.queues.remove(&file);
+                }
+            }
+            st.completions.insert(id, result);
+            st.outstanding -= 1;
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn sched(depth: usize) -> (Arc<MemDevice>, IoScheduler) {
+        let dev = MemDevice::new(64);
+        let s = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, depth, None);
+        (dev, s)
+    }
+
+    #[test]
+    fn submitted_writes_complete_in_file_order() {
+        let (dev, s) = sched(3);
+        let f = dev.create().unwrap();
+        for i in 0..20u64 {
+            s.submit(IoOp::Write {
+                file: f,
+                idx: i,
+                data: vec![i as u8; 64],
+            });
+        }
+        s.barrier().unwrap();
+        assert_eq!(dev.num_blocks(f).unwrap(), 20);
+        let mut buf = [0u8; 64];
+        for i in 0..20u64 {
+            dev.read_block(f, i, &mut buf).unwrap();
+            assert!(buf.iter().all(|&b| b == i as u8), "block {i}");
+        }
+    }
+
+    #[test]
+    fn cross_file_ops_overlap_but_stay_contiguous() {
+        let (dev, s) = sched(4);
+        let files: Vec<_> = (0..6).map(|_| dev.create().unwrap()).collect();
+        for i in 0..10u64 {
+            for (fi, &f) in files.iter().enumerate() {
+                s.submit(IoOp::Write {
+                    file: f,
+                    idx: i,
+                    data: vec![fi as u8 + 1; 64],
+                });
+            }
+        }
+        s.barrier().unwrap();
+        for &f in &files {
+            assert_eq!(dev.num_blocks(f).unwrap(), 10);
+        }
+        assert_eq!(s.stats().completed, 60);
+    }
+
+    #[test]
+    fn wait_returns_read_payload() {
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        for i in 0..4u64 {
+            dev.write_block(f, i, &[i as u8 + 1; 64]).unwrap();
+        }
+        let t = s.submit(IoOp::ReadBlocks {
+            file: f,
+            first: 1,
+            count: 2,
+        });
+        match s.wait(t).unwrap() {
+            IoOutcome::Read { data, len } => {
+                assert_eq!(len, 128);
+                assert!(data[..64].iter().all(|&b| b == 2));
+                assert!(data[64..128].iter().all(|&b| b == 3));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failed_op_poisons_every_later_barrier() {
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        // Non-contiguous write: fails when executed.
+        s.submit(IoOp::Write {
+            file: f,
+            idx: 5,
+            data: vec![0u8; 64],
+        });
+        let err = s.barrier().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        // Sticky: a lost write is permanent, so every later barrier must
+        // keep failing — a durability protocol layered on top can never
+        // observe a clean epoch after one.
+        let err = s.barrier().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn wait_after_barrier_drain_errors_instead_of_hanging() {
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[1u8; 64]).unwrap();
+        let t = s.submit(IoOp::ReadBlocks {
+            file: f,
+            first: 0,
+            count: 1,
+        });
+        // A barrier reclaims the unclaimed completion...
+        s.barrier().unwrap();
+        // ...so the straggler's wait resolves to an error, not a hang.
+        assert!(s.wait(t).is_err());
+    }
+
+    #[test]
+    fn reorder_seed_is_deterministic_and_correct() {
+        for seed in [1u64, 7, 23] {
+            let dev = MemDevice::new(64);
+            let s =
+                IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 1, Some(seed));
+            let files: Vec<_> = (0..4).map(|_| dev.create().unwrap()).collect();
+            for i in 0..8u64 {
+                for &f in &files {
+                    s.submit(IoOp::Write {
+                        file: f,
+                        idx: i,
+                        data: vec![(f + 1) as u8; 64],
+                    });
+                }
+            }
+            s.barrier().unwrap();
+            for &f in &files {
+                assert_eq!(dev.num_blocks(f).unwrap(), 8, "seed {seed}");
+                let mut buf = [0u8; 64];
+                for i in 0..8u64 {
+                    dev.read_block(f, i, &mut buf).unwrap();
+                    assert!(buf.iter().all(|&b| b == (f + 1) as u8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn drop_drains_pending_ops() {
+        let dev = MemDevice::new(64);
+        let f = dev.create().unwrap();
+        {
+            let s = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 2, None);
+            for i in 0..50u64 {
+                s.submit(IoOp::Write {
+                    file: f,
+                    idx: i,
+                    data: vec![9u8; 64],
+                });
+            }
+            // No barrier: Drop must still execute everything.
+        }
+        assert_eq!(dev.num_blocks(f).unwrap(), 50);
+    }
+
+    #[test]
+    fn sync_and_delete_ops() {
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        s.submit(IoOp::Write {
+            file: f,
+            idx: 0,
+            data: vec![1u8; 64],
+        });
+        s.submit(IoOp::Sync { file: f });
+        s.submit(IoOp::Delete { file: f });
+        s.barrier().unwrap();
+        assert!(dev.num_blocks(f).is_err(), "file must be deleted");
+        let st = s.stats();
+        assert_eq!(st.async_syncs, 1);
+        assert_eq!(st.async_writes, 1);
+        assert_eq!(st.barriers, 1);
+    }
+}

@@ -20,6 +20,7 @@ pub struct IoStats {
     seq_reads: AtomicU64,
     rand_reads: AtomicU64,
     writes: AtomicU64,
+    syncs: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
 }
@@ -47,12 +48,18 @@ impl IoStats {
             .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
+    #[inline]
+    pub(crate) fn record_sync(&self) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
             seq_reads: self.seq_reads.load(Ordering::Relaxed),
             rand_reads: self.rand_reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
         }
@@ -81,6 +88,8 @@ pub struct IoSnapshot {
     pub rand_reads: u64,
     /// Block writes.
     pub writes: u64,
+    /// Durability barriers (`sync` calls reaching the device).
+    pub syncs: u64,
     /// Total bytes read.
     pub bytes_read: u64,
     /// Total bytes written.
@@ -108,6 +117,7 @@ impl std::ops::Sub for IoSnapshot {
             seq_reads: self.seq_reads - rhs.seq_reads,
             rand_reads: self.rand_reads - rhs.rand_reads,
             writes: self.writes - rhs.writes,
+            syncs: self.syncs - rhs.syncs,
             bytes_read: self.bytes_read - rhs.bytes_read,
             bytes_written: self.bytes_written - rhs.bytes_written,
         }
@@ -122,6 +132,7 @@ impl std::ops::Add for IoSnapshot {
             seq_reads: self.seq_reads + rhs.seq_reads,
             rand_reads: self.rand_reads + rhs.rand_reads,
             writes: self.writes + rhs.writes,
+            syncs: self.syncs + rhs.syncs,
             bytes_read: self.bytes_read + rhs.bytes_read,
             bytes_written: self.bytes_written + rhs.bytes_written,
         }
@@ -132,11 +143,12 @@ impl std::fmt::Display for IoSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "reads={} (seq={}, rand={}), writes={}, MB read={:.2}, MB written={:.2}",
+            "reads={} (seq={}, rand={}), writes={}, syncs={}, MB read={:.2}, MB written={:.2}",
             self.total_reads(),
             self.seq_reads,
             self.rand_reads,
             self.writes,
+            self.syncs,
             self.bytes_read as f64 / (1024.0 * 1024.0),
             self.bytes_written as f64 / (1024.0 * 1024.0),
         )
@@ -170,11 +182,13 @@ mod tests {
             seq_reads: 1,
             rand_reads: 2,
             writes: 3,
+            syncs: 1,
             bytes_read: 4,
             bytes_written: 5,
         };
         let sum = a + a;
         assert_eq!(sum.seq_reads, 2);
+        assert_eq!(sum.syncs, 2);
         assert_eq!(sum.total_accesses(), 12);
     }
 }
