@@ -17,9 +17,184 @@ use std::time::Instant;
 use hsq_bench::*;
 use hsq_core::baseline::StreamingAlgo;
 use hsq_core::manifest::ManifestLog;
-use hsq_core::{HistStreamQuantiles, HsqConfig, RetentionPolicy, ShardedEngine};
-use hsq_storage::{BlockDevice, FileDevice, MemDevice};
+use hsq_core::{
+    HistStreamQuantiles, HsqConfig, QueryContext, RetentionPolicy, SeedMode, ShardedEngine,
+};
+use hsq_storage::{sort_items, BlockDevice, FileDevice, MemDevice};
 use hsq_workload::Dataset;
+
+/// Radix vs comparison batch sort at the ingest batch size. Min-of-k
+/// timing over many distinct batches (the noise-robust microbench
+/// estimator); the batch content is the headline ingest's own Uniform
+/// dataset. Returns `(radix_elems_per_sec, comparison_elems_per_sec,
+/// speedup)`.
+fn radix_metrics() -> (f64, f64, f64) {
+    const BATCH: usize = 4096;
+    const BATCHES: usize = 64;
+    const REPEATS: usize = 7;
+    let data: Vec<Vec<u64>> = (0..BATCHES)
+        .map(|i| Dataset::Uniform.generator(500 + i as u64).take_vec(BATCH))
+        .collect();
+    let mut buf = vec![0u64; BATCH];
+    let total = (BATCH * BATCHES) as f64;
+
+    let mut radix_best = f64::MAX;
+    let mut comparison_best = f64::MAX;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        for d in &data {
+            buf.copy_from_slice(d);
+            sort_items(&mut buf);
+        }
+        radix_best = radix_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for d in &data {
+            buf.copy_from_slice(d);
+            buf.sort_unstable();
+        }
+        comparison_best = comparison_best.min(t.elapsed().as_secs_f64());
+    }
+    let radix_eps = total / radix_best;
+    let comparison_eps = total / comparison_best;
+    (radix_eps, comparison_eps, radix_eps / comparison_eps)
+}
+
+fn percentile(sorted: &[u32], p: f64) -> f64 {
+    let idx = ((sorted.len() as f64 * p) as usize).min(sorted.len() - 1);
+    sorted[idx] as f64
+}
+
+/// Query-path metrics: bisection probe counts with summary vs domain
+/// bracket seeding (p50/p99 over a rank sweep), speculative-prefetch hit
+/// rate at `io_depth = 2`, and the cached cross-shard summary speedup of
+/// reusing one `ShardedSnapshot` for a dashboard's worth of queries.
+#[allow(clippy::type_complexity)]
+fn query_metrics() -> (f64, f64, f64, f64, f64, f64, f64, f64) {
+    const STEPS: u64 = 40;
+    const STEP_ITEMS: usize = 8192;
+    let mk = |io_depth: usize| {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.01)
+            .merge_threshold(10)
+            .io_depth(io_depth)
+            .build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), cfg);
+        for s in 0..STEPS {
+            let batch = Dataset::Uniform.generator(700 + s).take_vec(STEP_ITEMS);
+            h.ingest_step(&batch).expect("ingest");
+        }
+        h.stream_extend(&Dataset::Uniform.generator(999).take_vec(STEP_ITEMS));
+        h
+    };
+
+    // Probe counts: the same rank sweep under both seed modes.
+    let h = mk(0);
+    let n = h.total_len();
+    let ranks: Vec<u64> = (1..=100).map(|i| (n * i) / 101 + 1).collect();
+    let ss = h.stream().summary();
+    let cfg = h.config().clone();
+    let run_sweep = |mode: SeedMode| -> Vec<u32> {
+        let mut steps: Vec<u32> = ranks
+            .iter()
+            .map(|&r| {
+                QueryContext::new(
+                    &**h.warehouse().device(),
+                    h.warehouse().partitions_newest_first(),
+                    &ss,
+                    cfg.epsilon(),
+                    cfg.cache_blocks,
+                )
+                .with_seed_mode(mode)
+                .accurate_rank(r)
+                .expect("query")
+                .expect("non-empty")
+                .bisection_steps
+            })
+            .collect();
+        steps.sort_unstable();
+        steps
+    };
+    let summary_steps = run_sweep(SeedMode::Summary);
+    let domain_steps = run_sweep(SeedMode::Domain);
+    let (s_p50, s_p99) = (
+        percentile(&summary_steps, 0.50),
+        percentile(&summary_steps, 0.99),
+    );
+    let (d_p50, d_p99) = (
+        percentile(&domain_steps, 0.50),
+        percentile(&domain_steps, 0.99),
+    );
+    assert!(
+        s_p50 < d_p50 && s_p99 < d_p99,
+        "summary seeding must take strictly fewer probes: p50 {s_p50} vs {d_p50}, p99 {s_p99} vs {d_p99}"
+    );
+
+    // Prefetch hit rate: the same sweep on an overlapped engine.
+    let overlapped = mk(2);
+    let mut hits = 0u64;
+    let mut wasted = 0u64;
+    for &r in &ranks {
+        let out = overlapped.rank_query(r).expect("query").expect("non-empty");
+        hits += out.prefetch_hits as u64;
+        wasted += out.prefetch_wasted as u64;
+    }
+    let hit_rate = if hits + wasted > 0 {
+        hits as f64 / (hits + wasted) as f64
+    } else {
+        0.0
+    };
+    assert!(
+        hit_rate > 0.0,
+        "speculative prefetch never hit at io_depth 2"
+    );
+
+    // Cached cross-shard summaries: per-query snapshots vs one reused
+    // snapshot answering the same dashboard batch.
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(10)
+        .build();
+    let mut sharded = ShardedEngine::<u64, _>::with_shards(4, cfg, |_| MemDevice::new(4096));
+    for s in 0..20u64 {
+        let batch = Dataset::Uniform.generator(800 + s).take_vec(4096);
+        sharded.ingest_step(&batch).expect("ingest");
+    }
+    sharded.stream_extend(&Dataset::Uniform.generator(888).take_vec(4096));
+    let phis: Vec<f64> = (1..=40).map(|i| i as f64 / 41.0).collect();
+    let mut fresh_best = f64::MAX;
+    let mut reused_best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        for &phi in &phis {
+            let _ = sharded.snapshot().quantile(phi).expect("query");
+        }
+        fresh_best = fresh_best.min(t.elapsed().as_secs_f64());
+        let snap = sharded.snapshot();
+        let t = Instant::now();
+        for &phi in &phis {
+            let _ = snap.quantile(phi).expect("query");
+        }
+        reused_best = reused_best.min(t.elapsed().as_secs_f64());
+    }
+    let fresh_secs = fresh_best / phis.len() as f64;
+    let reused_secs = reused_best / phis.len() as f64;
+    let cached_speedup = fresh_secs / reused_secs;
+    assert!(
+        cached_speedup > 1.0,
+        "snapshot reuse must be faster than per-query snapshots ({cached_speedup:.2}x)"
+    );
+
+    (
+        s_p50,
+        s_p99,
+        d_p50,
+        d_p99,
+        hit_rate,
+        cached_speedup,
+        fresh_secs,
+        reused_secs,
+    )
+}
 
 /// Elements/second of the scalar and batched stream-ingest paths on a
 /// uniform u64 stream (the batched pipeline's headline speedup).
@@ -248,6 +423,24 @@ fn main() {
         batched_eps / scalar_eps.max(1.0),
     );
 
+    let (radix_eps, comparison_eps, radix_speedup) = radix_metrics();
+    println!(
+        "batch sort (4096): radix {:.1} Melem/s vs comparison {:.1} Melem/s ({radix_speedup:.2}x)",
+        radix_eps / 1e6,
+        comparison_eps / 1e6,
+    );
+
+    let (q_s_p50, q_s_p99, q_d_p50, q_d_p99, q_hit_rate, cached_speedup, fresh_secs, reused_secs) =
+        query_metrics();
+    println!(
+        "query: bisection probes p50/p99 {q_s_p50:.0}/{q_s_p99:.0} summary-seeded vs \
+         {q_d_p50:.0}/{q_d_p99:.0} domain-seeded; prefetch hit rate {:.0}% at io_depth 2; \
+         snapshot reuse {cached_speedup:.2}x ({:.0} vs {:.0} us/query)",
+        q_hit_rate * 100.0,
+        fresh_secs * 1e6,
+        reused_secs * 1e6,
+    );
+
     let (byte_cap, steady_bytes, window_secs, window_reads) = retention_metrics();
     println!(
         "retention: steady-state {} KB under a {} KB cap; window queries {:.0} us, {:.1} reads",
@@ -279,7 +472,15 @@ fn main() {
             "{{\n  \"bench\": \"headline\",\n  \"steps\": {},\n  \"step_items\": {},\n",
             "  \"memory_bytes\": {},\n  \"kappa\": {},\n  \"datasets\": [\n{}\n  ],\n",
             "  \"ingest\": {{\"scalar_elems_per_sec\": {:.0}, ",
-            "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}}},\n",
+            "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}, ",
+            "\"radix_sort_elems_per_sec\": {:.0}, ",
+            "\"comparison_sort_elems_per_sec\": {:.0}, \"radix_speedup\": {:.2}}},\n",
+            "  \"query\": {{\"summary_p50_probes\": {:.1}, \"summary_p99_probes\": {:.1}, ",
+            "\"domain_p50_probes\": {:.1}, \"domain_p99_probes\": {:.1}, ",
+            "\"prefetch_io_depth\": 2, \"prefetch_hit_rate\": {:.3}, ",
+            "\"cached_summary_speedup\": {:.2}, ",
+            "\"fresh_snapshot_query_seconds\": {:.8}, ",
+            "\"reused_snapshot_query_seconds\": {:.8}}},\n",
             "  \"retention\": {{\"byte_cap\": {}, \"steady_state_bytes\": {}, ",
             "\"window_query_seconds\": {:.6}, \"window_disk_reads_per_query\": {:.1}}},\n",
             "  \"io\": {{\"io_depth\": {}, \"shards\": {}, ",
@@ -297,6 +498,17 @@ fn main() {
         scalar_eps,
         batched_eps,
         batched_eps / scalar_eps.max(1.0),
+        radix_eps,
+        comparison_eps,
+        radix_speedup,
+        q_s_p50,
+        q_s_p99,
+        q_d_p50,
+        q_d_p99,
+        q_hit_rate,
+        cached_speedup,
+        fresh_secs,
+        reused_secs,
         byte_cap,
         steady_bytes,
         window_secs,

@@ -359,6 +359,7 @@ pub fn classify(leaf: &str) -> (Direction, bool) {
         "steady_state",
         "blocking_calls",
         "blocking_sync",
+        "probes",
     ]
     .iter()
     .any(|k| l.contains(k))
@@ -739,6 +740,53 @@ mod tests {
                 .any(|d| d.path.contains("hit_rate") && d.failed),
             "collapsed hit rate must gate"
         );
+    }
+
+    #[test]
+    fn query_metrics_gate_probes_stable_and_latency_loose() {
+        // Bisection probe counts are deterministic given code and seeds:
+        // stable lower-better gate. Latencies and speedups stay loose.
+        let (dir, noisy) = classify("summary_p50_probes");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("domain_p99_probes");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("cached_summary_speedup");
+        assert_eq!(dir, Direction::HigherBetter);
+        assert!(noisy);
+        let (dir, noisy) = classify("reused_snapshot_query_seconds");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(noisy);
+        let (dir, noisy) = classify("radix_speedup");
+        assert_eq!(dir, Direction::HigherBetter);
+        assert!(noisy);
+        assert_eq!(classify("prefetch_io_depth").0, Direction::Ignore);
+
+        let base = Json::parse(
+            r#"{"query": {"summary_p50_probes": 5.0, "domain_p50_probes": 33.0,
+                 "prefetch_hit_rate": 0.5, "cached_summary_speedup": 1.5}}"#,
+        )
+        .unwrap();
+        // Probe regression past the tight threshold gates.
+        let mut worse = base.clone();
+        let mut q = base.get("query").unwrap().clone();
+        q.set("summary_p50_probes", Json::Num(9.0));
+        worse.set("query", q);
+        let (deltas, _) = compare(&base, &worse, Thresholds::default());
+        assert!(
+            deltas
+                .iter()
+                .any(|d| d.path.contains("summary_p50_probes") && d.failed),
+            "80% more probes must gate: {deltas:?}"
+        );
+        // A cached-summary speedup drop within the loose threshold passes.
+        let mut slower = base.clone();
+        let mut q = base.get("query").unwrap().clone();
+        q.set("cached_summary_speedup", Json::Num(1.1));
+        slower.set("query", q);
+        let (deltas, _) = compare(&base, &slower, Thresholds::default());
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
     }
 
     #[test]

@@ -172,6 +172,26 @@ impl<T: Item> CombinedSummary<T> {
         let v = self.values.get(y).copied();
         (u, v)
     }
+
+    /// The tightest bisection bracket `[u, v]` this summary supports for
+    /// rank `r`: Algorithm 7's filters where they exist, otherwise the
+    /// summary's extreme values instead of the universe bounds.
+    ///
+    /// The fallbacks are sound because every source summary carries its
+    /// exact minimum and maximum, so `TS[0]` / `TS[δ−1]` are the union's
+    /// true extremes: the Definition-1 answer (the smallest value whose
+    /// rank reaches `r ≥ 1`) is never below the minimum — values below it
+    /// have rank 0 — and never above the maximum, whose rank is `N ≥ r`.
+    /// Seeding from them instead of `T::MIN`/`T::MAX` saves the bisection
+    /// steps that would otherwise be spent walking in from the empty
+    /// parts of the universe.
+    pub fn seed_bracket(&self, r: u64) -> (T, T) {
+        let (u, v) = self.generate_filters(r);
+        (
+            u.or_else(|| self.values.first().copied()).unwrap_or(T::MIN),
+            v.or_else(|| self.values.last().copied()).unwrap_or(T::MAX),
+        )
+    }
 }
 
 /// Which flavour of the paper's `Uᵢ` formula to use.

@@ -151,7 +151,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         let start = self.staging.len();
         self.staging.extend_from_slice(batch);
         let t0 = Instant::now();
-        self.staging[start..].sort_unstable();
+        hsq_storage::sort_items(&mut self.staging[start..]);
         self.staging_sort_time += t0.elapsed();
         self.stream.ingest_sorted_batch(&self.staging[start..]);
         self.staging_segments.push(self.staging.len());
@@ -163,7 +163,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         let sealed = self.staging_segments.last().copied().unwrap_or(0);
         if self.staging.len() > sealed {
             let t0 = Instant::now();
-            self.staging[sealed..].sort_unstable();
+            hsq_storage::sort_items(&mut self.staging[sealed..]);
             self.staging_sort_time += t0.elapsed();
             self.staging_segments.push(self.staging.len());
         }
@@ -265,7 +265,10 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         Ok(self.rank_query(r)?.map(|o| o.value))
     }
 
-    /// Accurate rank query with cost reporting.
+    /// Accurate rank query with cost reporting. With overlapped I/O
+    /// configured (`io_depth > 0`) the bisection speculatively prefetches
+    /// both candidate half-probes of each next step through the
+    /// warehouse's scheduler (see [`QueryContext::with_prefetch`]).
     pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
         let (ss, parts) = self.context();
         let ctx = QueryContext::new(
@@ -275,7 +278,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             self.config.query_epsilon(),
             self.config.cache_blocks,
         )
-        .with_parallel(self.config.parallel_query);
+        .with_parallel(self.config.parallel_query)
+        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
         ctx.accurate_rank(r)
     }
 
@@ -291,7 +295,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             self.config.query_epsilon(),
             self.config.cache_blocks,
         )
-        .with_parallel(self.config.parallel_query);
+        .with_parallel(self.config.parallel_query)
+        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
         let n = self.total_len();
         phis.iter()
             .map(|&phi| {
@@ -325,6 +330,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             epsilon: self.config.query_epsilon(),
             cache_blocks: self.config.cache_blocks,
             parallel: self.config.parallel_query,
+            sched: self.warehouse.scheduler().cloned(),
             _pins: pins,
         }
     }
@@ -404,7 +410,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             &ss,
             self.config.query_epsilon(),
             self.config.cache_blocks,
-        );
+        )
+        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
         Ok(ctx.accurate_rank(r)?.map(|o| o.value))
     }
 
@@ -425,7 +432,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             &ss,
             self.config.query_epsilon(),
             self.config.cache_blocks,
-        );
+        )
+        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
         ctx.accurate_rank(r)
     }
 
@@ -464,6 +472,10 @@ pub struct EngineSnapshot<T: Item, D: BlockDevice> {
     epsilon: f64,
     cache_blocks: usize,
     parallel: bool,
+    /// The warehouse's overlapped-I/O scheduler at snapshot time, if any:
+    /// snapshot queries speculatively prefetch bisection probes through
+    /// it exactly like live-engine queries.
+    sched: Option<Arc<hsq_storage::IoScheduler>>,
     _pins: PinGuard<D>,
 }
 
@@ -544,6 +556,7 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
             self.cache_blocks,
         )
         .with_parallel(self.parallel)
+        .with_prefetch(self.sched.as_deref())
     }
 
     /// Accurate φ-quantile over the snapshot (Theorem 2 at snapshot time).
@@ -602,6 +615,24 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
         crate::warehouse::window_suffix(self.parts.iter().map(|(_, p)| p).collect(), window_steps)
     }
 
+    /// Like [`EngineSnapshot::window_partitions`], but returning indices
+    /// into the pinned partition list — the storable form a cached
+    /// cross-shard window plan keeps (see [`crate::sharded`]).
+    pub(crate) fn window_partition_indices(&self, window_steps: u64) -> Option<Vec<usize>> {
+        let spans: Vec<(u64, u64)> = self
+            .parts
+            .iter()
+            .map(|(_, p)| (p.first_step, p.last_step))
+            .collect();
+        crate::warehouse::window_suffix_indices(&spans, window_steps)
+    }
+
+    /// The pinned partition at index `i` (see
+    /// [`EngineSnapshot::window_partition_indices`]).
+    pub(crate) fn partition_at(&self, i: usize) -> &StoredPartition<T> {
+        &self.parts[i].1
+    }
+
     /// Windowed φ-quantile over the snapshot: live-stream summary plus the
     /// newest `window_steps` pinned steps. Because the partitions are
     /// pinned, the answer is stable even while the live engine's
@@ -619,7 +650,8 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
             &self.stream,
             self.epsilon,
             self.cache_blocks,
-        );
+        )
+        .with_prefetch(self.sched.as_deref());
         Ok(ctx.accurate_rank(r)?.map(|o| o.value))
     }
 
@@ -634,7 +666,8 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
             &self.stream,
             self.epsilon,
             self.cache_blocks,
-        );
+        )
+        .with_prefetch(self.sched.as_deref());
         ctx.accurate_rank(r)
     }
 }

@@ -92,7 +92,7 @@ pub use budget::{plan_memory, MemoryPlan};
 pub use config::{HsqConfig, HsqConfigBuilder};
 pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
-pub use query::{QueryContext, QueryOutcome};
+pub use query::{QueryContext, QueryOutcome, SeedMode};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};
 pub use stream::{StreamProcessor, StreamSummary};

@@ -18,8 +18,12 @@
 //!   (§2.4 "Optimization").
 
 use std::io;
+use std::sync::Arc;
 
-use hsq_storage::{items_per_block, BlockCache, BlockDevice, IoSnapshot, Item};
+use hsq_storage::{
+    items_per_block, BlockCache, BlockDevice, IoOp, IoOutcome, IoScheduler, IoSnapshot, IoTicket,
+    Item,
+};
 
 use crate::bounds::{CombinedSummary, SourceView};
 use crate::stream::StreamSummary;
@@ -36,6 +40,25 @@ pub struct QueryOutcome<T> {
     pub bisection_steps: u32,
     /// The algorithm's final rank estimate for `value` in `T`.
     pub estimated_rank: u64,
+    /// Speculative probe-prefetch reads consumed by a later bisection
+    /// step (0 unless the query ran with `io_depth > 0`).
+    pub prefetch_hits: u32,
+    /// Speculative probe-prefetch reads that went unused (the candidate
+    /// direction the bisection did not take).
+    pub prefetch_wasted: u32,
+}
+
+/// How [`QueryContext::accurate_rank`] seeds its bisection bracket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SeedMode {
+    /// Seed `[u, v]` from the combined summary's tightest bracket
+    /// (Algorithm 7 filters with extreme-value fallback) — the default.
+    #[default]
+    Summary,
+    /// Seed from the full universe `[T::MIN, T::MAX]`, ignoring the
+    /// summary (the unoptimized Algorithm 8 baseline; kept for the
+    /// step-count comparison in tests and benches).
+    Domain,
 }
 
 /// Per-query evaluation context over a fixed set of partitions.
@@ -52,6 +75,13 @@ pub struct QueryContext<'a, T: Item, D: BlockDevice> {
     /// Probe partitions concurrently (crossbeam scoped threads); see
     /// `crate::parallel`.
     parallel: bool,
+    /// Overlapped-I/O scheduler for speculative bisection prefetch; when
+    /// set, both candidate half-probes of the next bisection step are
+    /// submitted while the current step finishes, so the next probe's
+    /// first block read is (ideally) already complete.
+    sched: Option<&'a IoScheduler>,
+    /// Bisection bracket seeding (see [`SeedMode`]).
+    seed: SeedMode,
 }
 
 impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
@@ -77,6 +107,8 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             epsilon,
             cache_blocks,
             parallel: false,
+            sched: None,
+            seed: SeedMode::default(),
         }
     }
 
@@ -85,6 +117,25 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
     /// parallel").
     pub fn with_parallel(mut self, yes: bool) -> Self {
         self.parallel = yes;
+        self
+    }
+
+    /// Enable speculative bisection prefetch through `sched` (must
+    /// schedule over the same device as this context): each bisection
+    /// step submits the first block read of **both** candidate
+    /// half-probes of the next step, so whichever direction the search
+    /// takes finds its block warm. Answers are identical with or without
+    /// prefetch — only the device round-trip latency moves off the
+    /// critical path. No-op when `None`.
+    pub fn with_prefetch(mut self, sched: Option<&'a IoScheduler>) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// Select the bisection bracket seeding (default
+    /// [`SeedMode::Summary`]).
+    pub fn with_seed_mode(mut self, seed: SeedMode) -> Self {
+        self.seed = seed;
         self
     }
 
@@ -114,9 +165,10 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
         let r = r.clamp(1, total);
         let before = self.dev.stats().snapshot();
 
-        let (u_opt, v_opt) = self.ts.generate_filters(r);
-        let mut u = u_opt.unwrap_or(T::MIN);
-        let mut v = v_opt.unwrap_or(T::MAX);
+        let (mut u, mut v) = match self.seed {
+            SeedMode::Summary => self.ts.seed_bracket(r),
+            SeedMode::Domain => (T::MIN, T::MAX),
+        };
         // One decoded-block cache per partition so parallel probes don't
         // contend; capacity split across partitions.
         let per_cache = (self.cache_blocks / self.partitions.len().max(1)).max(2);
@@ -139,6 +191,8 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
                 io: self.dev.stats().snapshot() - before,
                 bisection_steps: 0,
                 estimated_rank: rho,
+                prefetch_hits: 0,
+                prefetch_wasted: 0,
             }));
         }
 
@@ -156,6 +210,8 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
         // value collapse and returns the boundary, which is the
         // Definition-1 answer).
         let eps_m = (self.epsilon * m as f64).floor() as u64;
+        let per = items_per_block::<T>(self.dev.block_size()) as u64;
+        let mut prefetch = self.sched.map(SpecPrefetcher::new);
 
         let mut steps = 0u32;
         let (value, estimated_rank) = loop {
@@ -172,7 +228,20 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
                 break (v, rho);
             }
 
+            // Consume the speculative reads matching this step's probes
+            // before the synchronous path looks for their blocks.
+            if let Some(pf) = prefetch.as_mut() {
+                pf.harvest(&self.partitions, &windows, per, &mut caches);
+            }
             let (rho1, part_ranks) = self.rank_in_partitions(z, &windows, &mut caches)?;
+            // Speculate on the next step: submit the first-probe block of
+            // both candidate half-windows (left: v=z tightens the upper
+            // rank bound to the probe's result; right: u=z raises the
+            // lower) while the acceptance arithmetic below runs. One of
+            // them is the next step's first read — already in flight.
+            if let Some(pf) = prefetch.as_mut() {
+                pf.speculate(&self.partitions, &windows, &part_ranks, per, &caches);
+            }
             let (lo2, hi2) = self.stream.rank_bounds(z);
             let rho2 = lo2 + (hi2 - lo2) / 2;
             let unc = hi2 - rho2;
@@ -201,11 +270,17 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             }
         };
 
+        let (prefetch_hits, prefetch_wasted) = match prefetch {
+            Some(pf) => pf.finish(),
+            None => (0, 0),
+        };
         Ok(Some(QueryOutcome {
             value,
             io: self.dev.stats().snapshot() - before,
             bisection_steps: steps,
             estimated_rank,
+            prefetch_hits,
+            prefetch_wasted,
         }))
     }
 
@@ -239,6 +314,137 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
         let (rho1, _) = self.rank_in_partitions(z, windows, caches)?;
         let (lo2, hi2) = self.stream.rank_bounds(z);
         Ok(rho1 + lo2 + (hi2 - lo2) / 2)
+    }
+}
+
+/// Speculative bisection prefetch (the "summary-guided readahead" of the
+/// query path): while one bisection step's acceptance arithmetic runs,
+/// the first-probe block reads of **both** candidate next steps are
+/// already submitted to the [`IoScheduler`], so the step actually taken
+/// finds its block warm in the per-partition cache.
+///
+/// The first block a narrowed [`partition_rank`] search reads is fully
+/// determined by the rank window (`mid = lo + (hi-lo)/2`, block =
+/// `mid / per`), and both candidate windows follow from the current
+/// probe's per-partition ranks — so the speculation is exact: one of the
+/// two submissions per partition is the next step's first read.
+struct SpecPrefetcher<'d, T: Item> {
+    sched: &'d IoScheduler,
+    /// In-flight speculative single-block reads: `(partition, block,
+    /// ticket)`.
+    pending: Vec<(usize, u64, IoTicket)>,
+    hits: u32,
+    wasted: u32,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<'d, T: Item> SpecPrefetcher<'d, T> {
+    fn new(sched: &'d IoScheduler) -> Self {
+        SpecPrefetcher {
+            sched,
+            pending: Vec::new(),
+            hits: 0,
+            wasted: 0,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// First block the narrowed binary search over `window` reads, if it
+    /// reads at all.
+    fn first_probe_block(window: (u64, u64), per: u64) -> Option<u64> {
+        let (lo, hi) = window;
+        (lo < hi).then(|| (lo + (hi - lo) / 2) / per)
+    }
+
+    /// Submit the first-probe blocks of both candidate next-step windows
+    /// (left candidate caps each window's upper bound at the probed
+    /// rank; right candidate raises the lower bound), skipping blocks
+    /// already decoded in `caches`.
+    fn speculate(
+        &mut self,
+        partitions: &[&StoredPartition<T>],
+        windows: &[(u64, u64)],
+        part_ranks: &[u64],
+        per: u64,
+        caches: &[BlockCache<T>],
+    ) {
+        for (i, ((p, &w), &pr)) in partitions.iter().zip(windows).zip(part_ranks).enumerate() {
+            let left = (w.0, w.1.min(pr));
+            let right = (w.0.max(pr), w.1);
+            let mut submit = |window: (u64, u64)| {
+                let Some(block) = Self::first_probe_block(window, per) else {
+                    return;
+                };
+                if caches[i].contains(p.run.file(), block)
+                    || self.pending.iter().any(|&(pi, b, _)| pi == i && b == block)
+                {
+                    return;
+                }
+                let ticket = self.sched.submit_speculative(IoOp::ReadBlocks {
+                    file: p.run.file(),
+                    first: block,
+                    count: 1,
+                });
+                self.pending.push((i, block, ticket));
+            };
+            submit(left);
+            submit(right);
+        }
+    }
+
+    /// Claim the speculative reads matching this step's first-probe
+    /// blocks into `caches`; poll (without blocking) the rest, dropping
+    /// any that already completed as wasted.
+    fn harvest(
+        &mut self,
+        partitions: &[&StoredPartition<T>],
+        windows: &[(u64, u64)],
+        per: u64,
+        caches: &mut [BlockCache<T>],
+    ) {
+        let mut kept = Vec::with_capacity(self.pending.len());
+        for (i, block, mut ticket) in self.pending.drain(..) {
+            let p = &partitions[i];
+            let wanted = Self::first_probe_block(windows[i], per) == Some(block)
+                && !caches[i].contains(p.run.file(), block);
+            if wanted {
+                // The block the next synchronous read would fetch: wait
+                // for the in-flight copy instead of re-reading.
+                let bs = self.sched.device().block_size();
+                let in_block = (per.min(p.run.len() - block * per)) as usize;
+                match self.sched.wait(ticket) {
+                    Ok(IoOutcome::Read { data, len }) if len >= in_block * T::ENCODED_LEN => {
+                        let items = p.run.decode_block_items(block, bs, &data[..len]);
+                        caches[i].insert(p.run.file(), block, Arc::new(items));
+                        self.hits += 1;
+                    }
+                    // A failed or short speculative read is not an error:
+                    // the synchronous path re-reads and surfaces any real
+                    // device fault itself.
+                    _ => self.wasted += 1,
+                }
+            } else {
+                match self.sched.try_poll(&mut ticket) {
+                    Some(_) => self.wasted += 1,
+                    None => kept.push((i, block, ticket)),
+                }
+            }
+        }
+        self.pending = kept;
+    }
+
+    /// Claim every outstanding speculative read as wasted and return
+    /// `(hits, wasted)`. Claiming (rather than abandoning) keeps the
+    /// scheduler's completion map bounded even when no barrier ever runs
+    /// — the advertised long-lived-snapshot dashboard pattern; each wait
+    /// is bounded by the read's own device latency, and a ticket an
+    /// intervening barrier already drained resolves immediately.
+    fn finish(mut self) -> (u32, u32) {
+        for (_, _, ticket) in self.pending.drain(..) {
+            let _ = self.sched.wait(ticket);
+            self.wasted += 1;
+        }
+        (self.hits, self.wasted)
     }
 }
 
@@ -565,6 +771,105 @@ mod tests {
         let dist = rank_distance(&all, out.value, r);
         let allowed = (cfg.epsilon() * 100.0).ceil() as u64 + 1;
         assert!(dist <= allowed, "plateau query off by {dist}");
+    }
+
+    #[test]
+    fn prefetched_queries_match_synchronous_and_hit() {
+        // Speculative bisection prefetch must change nothing about the
+        // answer — only warm the caches — and must record hits.
+        use hsq_storage::IoScheduler;
+        let (w, sp, _, cfg) = build_scene(3, 12, 400, 0.05);
+        let ss = sp.summary();
+        let dev = Arc::clone(w.device());
+        let sched = IoScheduler::with_reorder(
+            Arc::clone(&dev) as Arc<dyn hsq_storage::BlockDevice>,
+            2,
+            None,
+        );
+        let mut total_hits = 0u32;
+        for r in [1u64, 480, 1200, 2400, 4799] {
+            let plain = QueryContext::new(
+                &*dev,
+                w.partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .accurate_rank(r)
+            .unwrap()
+            .unwrap();
+            let prefetched = QueryContext::new(
+                &*dev,
+                w.partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .with_prefetch(Some(&sched))
+            .accurate_rank(r)
+            .unwrap()
+            .unwrap();
+            assert_eq!(plain.value, prefetched.value, "r={r}");
+            assert_eq!(plain.estimated_rank, prefetched.estimated_rank, "r={r}");
+            assert_eq!(plain.bisection_steps, prefetched.bisection_steps, "r={r}");
+            assert_eq!(plain.prefetch_hits, 0);
+            total_hits += prefetched.prefetch_hits;
+        }
+        assert!(total_hits > 0, "no speculative read was ever consumed");
+        // Nothing may leak into a later barrier epoch.
+        sched.barrier().unwrap();
+    }
+
+    #[test]
+    fn summary_seeding_never_bisects_more_than_domain() {
+        let (w, sp, _, cfg) = build_scene(3, 10, 300, 0.05);
+        let ss = sp.summary();
+        let ctx = |seed| {
+            QueryContext::new(
+                &**w.device(),
+                w.partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .with_seed_mode(seed)
+        };
+        let n = 33 * 100; // just query across the range
+        let mut strictly_fewer = false;
+        for r in [1u64, n / 10, n / 4, n / 2, 3 * n / 4, n] {
+            let s = ctx(SeedMode::Summary).accurate_rank(r).unwrap().unwrap();
+            let d = ctx(SeedMode::Domain).accurate_rank(r).unwrap().unwrap();
+            assert!(
+                s.bisection_steps <= d.bisection_steps,
+                "r={r}: summary {} > domain {} steps",
+                s.bisection_steps,
+                d.bisection_steps
+            );
+            strictly_fewer |= s.bisection_steps < d.bisection_steps;
+        }
+        assert!(strictly_fewer, "summary seeding never saved a step");
+    }
+
+    #[test]
+    fn seed_bracket_falls_back_to_summary_extremes() {
+        // Duplicate-heavy minimum: no TS entry has U <= 1, so the u
+        // filter is undefined — the bracket must fall back to the exact
+        // minimum, not the universe minimum.
+        let dev = MemDevice::new(256);
+        let mut w = Warehouse::new(Arc::clone(&dev), HsqConfig::with_epsilon(0.1));
+        w.add_batch(vec![500u64; 100]).unwrap();
+        let mut sp = StreamProcessor::new(0.05, 21);
+        for _ in 0..50 {
+            sp.update(500u64);
+        }
+        let ss = sp.summary();
+        let ctx = QueryContext::new(&*dev, w.partitions_newest_first(), &ss, 0.1, 8);
+        let (u, v) = ctx.combined_summary().seed_bracket(1);
+        assert_eq!(u, 500, "u must fall back to the data minimum");
+        assert_eq!(v, 500);
+        let out = ctx.accurate_rank(1).unwrap().unwrap();
+        assert_eq!(out.value, 500);
+        assert_eq!(out.bisection_steps, 0, "degenerate bracket needs no search");
     }
 
     #[test]

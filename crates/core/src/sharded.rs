@@ -26,8 +26,9 @@
 //! ingestion: take the snapshot under the writer's lock, query it
 //! lock-free while `end_time_step` archives and merges underneath.
 
+use std::collections::HashMap;
 use std::io;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use hsq_storage::{BlockCache, BlockDevice, FileId, IoSnapshot, Item};
 
@@ -216,11 +217,18 @@ impl<T: Item, D: BlockDevice> ShardedEngine<T, D> {
 
     /// Immutable cross-shard view for concurrent readers: one pinned
     /// [`EngineSnapshot`] per shard. See [`HistStreamQuantiles::snapshot`].
+    ///
+    /// The snapshot caches its cross-shard [`CombinedSummary`] and its
+    /// per-window query plans on first use, so *reusing one snapshot* for
+    /// a dashboard's worth of queries builds the filters once — see the
+    /// crate-level perf notes.
     pub fn snapshot(&self) -> ShardedSnapshot<T, D> {
         ShardedSnapshot {
             shards: self.shards.iter().map(|s| s.snapshot()).collect(),
             epsilon: self.config.query_epsilon(),
             parallel: self.config.parallel_query,
+            ts: std::sync::OnceLock::new(),
+            window_plans: Mutex::new(HashMap::new()),
         }
     }
 
@@ -302,6 +310,14 @@ impl<T: Item, D: BlockDevice> ShardedEngine<T, D> {
 
 /// An immutable cross-shard view (see [`ShardedEngine::snapshot`]):
 /// per-shard pinned snapshots plus the fan-in query machinery.
+///
+/// The snapshot is also the **query-plan cache**: the cross-shard
+/// combined summary (every partition summary plus every shard's stream
+/// summary, sorted and bounded — the expensive per-query setup) is built
+/// once on first use, and each window size's plan (per-shard partition
+/// selection plus the windowed combined summary) likewise. Repeated
+/// quantile/rank/window queries against one snapshot therefore skip
+/// straight to the bisection.
 pub struct ShardedSnapshot<T: Item, D: BlockDevice> {
     shards: Vec<EngineSnapshot<T, D>>,
     epsilon: f64,
@@ -309,6 +325,21 @@ pub struct ShardedSnapshot<T: Item, D: BlockDevice> {
     /// worth it when shard devices overlap real I/O; serial probing is
     /// cheaper when everything is cache-resident.
     parallel: bool,
+    /// Lazily built cross-shard combined summary (full union).
+    ts: std::sync::OnceLock<CombinedSummary<T>>,
+    /// Lazily built per-window query plans, keyed by window size;
+    /// misaligned windows cache as `None` so repeats stay cheap too.
+    window_plans: Mutex<HashMap<u64, Option<Arc<WindowPlan<T>>>>>,
+}
+
+/// A cached plan for one window size on one [`ShardedSnapshot`].
+struct WindowPlan<T> {
+    /// Per shard: indices into that shard's pinned partition list.
+    parts: Vec<Vec<usize>>,
+    /// History inside the window plus the live stream at snapshot time.
+    total: u64,
+    /// Combined summary over the windowed sources (filter generation).
+    ts: CombinedSummary<T>,
 }
 
 impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
@@ -342,9 +373,14 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
     /// across disjoint sources, so this is exactly the single-engine `TS`
     /// of the union (paper §2.3.1) and powers quick responses and filter
     /// generation.
-    pub fn combined_summary(&self) -> CombinedSummary<T> {
-        let sources: Vec<_> = self.shards.iter().flat_map(|s| s.sources()).collect();
-        CombinedSummary::build(&sources)
+    ///
+    /// Built once per snapshot, on first use: the snapshot is immutable,
+    /// so every later query (from any thread) reuses the same summary.
+    pub fn combined_summary(&self) -> &CombinedSummary<T> {
+        self.ts.get_or_init(|| {
+            let sources: Vec<_> = self.shards.iter().flat_map(|s| s.sources()).collect();
+            CombinedSummary::build(&sources)
+        })
     }
 
     /// One global stream summary, merged from the per-shard summaries
@@ -390,7 +426,7 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
             .map(|&phi| {
                 assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
                 let r = (phi * n as f64).ceil() as u64;
-                Ok(self.rank_query_with(r, &ts, &mut caches)?.map(|o| o.value))
+                Ok(self.rank_query_with(r, ts, &mut caches)?.map(|o| o.value))
             })
             .collect()
     }
@@ -456,7 +492,7 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         let ts = self.combined_summary();
         let mut caches: Vec<Vec<BlockCache<T>>> =
             self.shards.iter().map(|s| s.new_caches()).collect();
-        self.rank_query_with(r, &ts, &mut caches)
+        self.rank_query_with(r, ts, &mut caches)
     }
 
     /// [`ShardedSnapshot::rank_query`] against a prebuilt combined
@@ -474,9 +510,8 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         let r = r.clamp(1, total);
         let marks = self.io_marks();
 
-        let (u_opt, v_opt) = ts.generate_filters(r);
-        let u = u_opt.unwrap_or(T::MIN);
-        let v = v_opt.unwrap_or(T::MAX);
+        // Tightest summary bracket (filters with extreme-value fallback).
+        let (u, v) = ts.seed_bracket(r);
 
         // Same acceptance rule as the single-engine accurate response: the
         // probe's midpoint estimate carries up to `unc = Σ unc_s ≤ ε·m`
@@ -491,6 +526,8 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
             io: self.io_since(&marks),
             bisection_steps: steps,
             estimated_rank,
+            prefetch_hits: 0,
+            prefetch_wasted: 0,
         }))
     }
 
@@ -512,31 +549,53 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         common
     }
 
-    /// Every shard's window partitions plus the window's total size
-    /// (history in the window + the live stream); `None` when any
-    /// shard's partitions misalign with the boundary. Shared by the
-    /// windowed query entry points so the per-shard lists are computed
-    /// once per query.
-    #[allow(clippy::type_complexity)]
-    fn window_parts(
-        &self,
-        window_steps: u64,
-    ) -> Option<(Vec<Vec<&crate::warehouse::StoredPartition<T>>>, u64)> {
-        let mut per_shard = Vec::with_capacity(self.shards.len());
-        let mut total = self.stream_len();
-        for s in &self.shards {
-            let parts = s.window_partitions(window_steps)?;
-            total += parts.iter().map(|p| p.run.len()).sum::<u64>();
-            per_shard.push(parts);
+    /// The cached query plan for `window_steps`: every shard's window
+    /// partition selection plus the windowed combined summary and total,
+    /// computed once per (snapshot, window size). `None` — also cached —
+    /// when any shard's partitions misalign with the boundary.
+    fn window_plan(&self, window_steps: u64) -> Option<Arc<WindowPlan<T>>> {
+        if let Some(cached) = self.window_plans.lock().unwrap().get(&window_steps) {
+            return cached.clone();
         }
-        Some((per_shard, total))
+        // Build outside the lock so concurrent readers of *other* window
+        // sizes never serialize on one plan's construction; a racing
+        // duplicate build produces an identical plan and the first insert
+        // wins.
+        let plan = self.build_window_plan(window_steps).map(Arc::new);
+        self.window_plans
+            .lock()
+            .unwrap()
+            .entry(window_steps)
+            .or_insert(plan)
+            .clone()
+    }
+
+    fn build_window_plan(&self, window_steps: u64) -> Option<WindowPlan<T>> {
+        let mut parts = Vec::with_capacity(self.shards.len());
+        let mut total = self.stream_len();
+        let mut sources: Vec<crate::bounds::SourceView<T>> = Vec::new();
+        for s in &self.shards {
+            let idx = s.window_partition_indices(window_steps)?;
+            for &i in &idx {
+                let p = s.partition_at(i);
+                total += p.run.len();
+                sources.push(crate::bounds::SourceView::from_partition(&p.summary));
+            }
+            sources.push(crate::bounds::SourceView::from_stream(s.stream_summary()));
+            parts.push(idx);
+        }
+        Some(WindowPlan {
+            parts,
+            total,
+            ts: CombinedSummary::build(&sources),
+        })
     }
 
     /// Total items (history + stream) inside the newest `window_steps`
     /// steps across all shards; `None` when any shard's partitions
     /// misalign with the window boundary.
     pub fn window_total(&self, window_steps: u64) -> Option<u64> {
-        self.window_parts(window_steps).map(|(_, n)| n)
+        self.window_plan(window_steps).map(|p| p.total)
     }
 
     /// Accurate φ-quantile over the union of every shard's live stream
@@ -546,16 +605,14 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
     /// windowed union.
     pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        let Some((per_shard, window_n)) = self.window_parts(window_steps) else {
+        let Some(plan) = self.window_plan(window_steps) else {
             return Ok(None);
         };
-        if window_n == 0 {
+        if plan.total == 0 {
             return Ok(None);
         }
-        let r = (phi * window_n as f64).ceil() as u64;
-        Ok(self
-            .rank_in_window_over(&per_shard, window_n, r)?
-            .map(|o| o.value))
+        let r = (phi * plan.total as f64).ceil() as u64;
+        Ok(self.rank_in_window_over(&plan, r)?.map(|o| o.value))
     }
 
     /// Accurate cross-shard rank query over a window: the same fan-in
@@ -563,42 +620,39 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
     /// bounds summed over each shard's window partitions plus its stream
     /// summary.
     pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
-        let Some((per_shard, window_n)) = self.window_parts(window_steps) else {
+        let Some(plan) = self.window_plan(window_steps) else {
             return Ok(None);
         };
-        if window_n == 0 {
+        if plan.total == 0 {
             return Ok(None);
         }
-        self.rank_in_window_over(&per_shard, window_n, r)
+        self.rank_in_window_over(&plan, r)
     }
 
-    /// The windowed fan-in over precomputed per-shard window partitions:
-    /// honors the configured cache budget (each shard's `cache_blocks`
-    /// split across its window partitions, as in
-    /// [`EngineSnapshot::new_caches`]) and probes shards concurrently
-    /// when `parallel_query` is set, exactly like the full-union path.
+    /// The windowed fan-in over a cached [`WindowPlan`]: honors the
+    /// configured cache budget (each shard's `cache_blocks` split across
+    /// its window partitions, as in [`EngineSnapshot::new_caches`]) and
+    /// probes shards concurrently when `parallel_query` is set, exactly
+    /// like the full-union path.
     fn rank_in_window_over(
         &self,
-        per_shard: &[Vec<&crate::warehouse::StoredPartition<T>>],
-        window_n: u64,
+        plan: &WindowPlan<T>,
         r: u64,
     ) -> io::Result<Option<QueryOutcome<T>>> {
         let m = self.stream_len();
-        let r = r.clamp(1, window_n);
+        let r = r.clamp(1, plan.total);
         let marks = self.io_marks();
 
-        // Filters from the combined summary of the *windowed* sources.
-        let mut sources: Vec<crate::bounds::SourceView<T>> = Vec::new();
-        for (s, parts) in self.shards.iter().zip(per_shard) {
-            for p in parts {
-                sources.push(crate::bounds::SourceView::from_partition(&p.summary));
-            }
-            sources.push(crate::bounds::SourceView::from_stream(s.stream_summary()));
-        }
-        let ts = CombinedSummary::build(&sources);
-        let (u_opt, v_opt) = ts.generate_filters(r);
-        let u = u_opt.unwrap_or(T::MIN);
-        let v = v_opt.unwrap_or(T::MAX);
+        // Per-shard partition refs resolved from the plan's indices.
+        let per_shard: Vec<Vec<&crate::warehouse::StoredPartition<T>>> = plan
+            .parts
+            .iter()
+            .zip(&self.shards)
+            .map(|(idx, s)| idx.iter().map(|&i| s.partition_at(i)).collect())
+            .collect();
+        let per_shard = &per_shard;
+        // Filters from the plan's cached windowed combined summary.
+        let (u, v) = plan.ts.seed_bracket(r);
 
         let mut caches: Vec<Vec<BlockCache<T>>> = self
             .shards
@@ -645,6 +699,8 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
             io: self.io_since(&marks),
             bisection_steps: steps,
             estimated_rank,
+            prefetch_hits: 0,
+            prefetch_wasted: 0,
         }))
     }
 }
@@ -957,6 +1013,55 @@ mod tests {
         assert!(*windows.last().unwrap() <= 4);
         let med = e.quantile_in_window(*windows.last().unwrap(), 0.5).unwrap();
         assert!(med.is_some());
+    }
+
+    #[test]
+    fn cached_snapshot_queries_are_identical_to_fresh() {
+        // The snapshot's cached combined summary and window plans must
+        // change nothing: repeated queries on one snapshot answer exactly
+        // like first queries on fresh snapshots, for 1, 2 and 8 shards.
+        for n in [1usize, 2, 8] {
+            let mut e = sharded(n, 0.05, 2);
+            for step in 0..13u64 {
+                e.ingest_step(&gen_stream(step + 3, 250)).unwrap();
+            }
+            e.stream_extend(&gen_stream(500, 200));
+            let reused = e.snapshot();
+            for round in 0..3 {
+                for r in [1u64, 300, 1500, 3000] {
+                    let fresh = e.snapshot().rank_query(r).unwrap().unwrap();
+                    let cached = reused.rank_query(r).unwrap().unwrap();
+                    assert_eq!(fresh.value, cached.value, "n={n} round={round} r={r}");
+                    assert_eq!(fresh.estimated_rank, cached.estimated_rank);
+                    assert_eq!(fresh.bisection_steps, cached.bisection_steps);
+                }
+                for w in reused.available_windows() {
+                    let fresh = e.snapshot().rank_in_window(w, 100).unwrap().unwrap();
+                    let cached = reused.rank_in_window(w, 100).unwrap().unwrap();
+                    assert_eq!(fresh.value, cached.value, "n={n} w={w}");
+                    assert_eq!(fresh.estimated_rank, cached.estimated_rank);
+                }
+                // Misaligned windows stay refused (and cache as None).
+                assert!(reused.rank_in_window(2, 10).unwrap().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_summary_is_built_once_and_shared() {
+        let mut e = sharded(4, 0.1, 3);
+        for step in 0..6u64 {
+            e.ingest_step(&gen_stream(step + 1, 300)).unwrap();
+        }
+        let snap = e.snapshot();
+        let a = snap.combined_summary() as *const _;
+        let _ = snap.quantile(0.5).unwrap();
+        let _ = snap.quantile(0.9).unwrap();
+        let b = snap.combined_summary() as *const _;
+        assert_eq!(a, b, "combined summary must be cached, not rebuilt");
+        // Window plans likewise: totals are stable across calls.
+        let w = *snap.available_windows().first().unwrap();
+        assert_eq!(snap.window_total(w), snap.window_total(w));
     }
 
     #[test]

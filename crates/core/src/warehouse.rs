@@ -369,9 +369,10 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
     /// then cascades merges while any level holds more than `κ` partitions.
     pub fn add_batch(&mut self, mut batch: Vec<T>) -> io::Result<UpdateReport> {
         if batch.len() <= self.config.sort_budget_items {
-            // In-memory sort, then the shared sorted-store path.
+            // In-memory sort (radix for radix-keyed items), then the
+            // shared sorted-store path.
             let t0 = Instant::now();
-            batch.sort_unstable();
+            hsq_storage::sort_items(&mut batch);
             let sort_time = t0.elapsed();
             let mut report = self.add_sorted_batch(batch)?;
             report.sort_time += sort_time;
@@ -390,7 +391,7 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             let before_sort = self.dev.stats().snapshot();
             let mut spills = Vec::new();
             for chunk in batch.chunks_mut(self.config.sort_budget_items) {
-                chunk.sort_unstable();
+                hsq_storage::sort_items(chunk);
                 spills.push(hsq_storage::write_run(&*self.dev, chunk)?);
             }
             report.sort_time = t0.elapsed();
@@ -770,18 +771,30 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
 /// partition. Shared by [`Warehouse::window_partitions`] and
 /// [`crate::engine::EngineSnapshot::window_partitions`].
 pub(crate) fn window_suffix<T: Item>(
-    mut parts: Vec<&StoredPartition<T>>,
+    parts: Vec<&StoredPartition<T>>,
     window_steps: u64,
 ) -> Option<Vec<&StoredPartition<T>>> {
-    parts.sort_by_key(|p| std::cmp::Reverse(p.first_step));
+    let spans: Vec<(u64, u64)> = parts.iter().map(|p| (p.first_step, p.last_step)).collect();
+    window_suffix_indices(&spans, window_steps)
+        .map(|idx| idx.into_iter().map(|i| parts[i]).collect())
+}
+
+/// Index form of [`window_suffix`] — the **single** copy of the
+/// partition-aligned window rule: positions (into `spans`, newest first)
+/// of the partitions covering exactly the newest `window_steps` steps,
+/// `None` when the boundary falls inside a partition. `spans` holds each
+/// partition's `(first_step, last_step)`, in any order.
+pub(crate) fn window_suffix_indices(spans: &[(u64, u64)], window_steps: u64) -> Option<Vec<usize>> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(spans[i].0));
     let mut out = Vec::new();
     let mut acc = 0;
-    for p in parts {
+    for i in order {
         if acc == window_steps {
             break;
         }
-        acc += p.span();
-        out.push(p);
+        acc += spans[i].1 - spans[i].0 + 1;
+        out.push(i);
         if acc > window_steps {
             return None; // boundary falls inside this partition
         }

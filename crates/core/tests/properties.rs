@@ -232,6 +232,68 @@ proptest! {
     }
 }
 
+/// Summary-seeded bisection never takes more steps than domain-seeded
+/// bisection, and strictly fewer somewhere, for the fixed seed matrix
+/// {0, 7, 23} (the same seeds the CI fault-injection matrix sweeps).
+#[test]
+fn summary_seeding_monotone_vs_domain_for_seed_matrix() {
+    for seed in [0u64, 7, 23] {
+        let mut x = seed | 1;
+        let mut gen = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let cfg = HsqConfig::builder()
+            .epsilon(0.05)
+            .merge_threshold(3)
+            .build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        for _ in 0..10 {
+            let batch: Vec<u64> = (0..400).map(|_| gen()).collect();
+            h.ingest_step(&batch).unwrap();
+        }
+        let stream: Vec<u64> = (0..400).map(|_| gen()).collect();
+        h.stream_extend(&stream);
+
+        let ss = h.stream().summary();
+        let ctx = |mode| {
+            QueryContext::new(
+                &**h.warehouse().device(),
+                h.warehouse().partitions_newest_first(),
+                &ss,
+                cfg.epsilon(),
+                cfg.cache_blocks,
+            )
+            .with_seed_mode(mode)
+        };
+        let n = h.total_len();
+        let mut strictly_fewer = false;
+        for r in [1, n / 10, n / 4, n / 2, 3 * n / 4, 9 * n / 10, n] {
+            let s = ctx(hsq_core::SeedMode::Summary)
+                .accurate_rank(r)
+                .unwrap()
+                .unwrap();
+            let d = ctx(hsq_core::SeedMode::Domain)
+                .accurate_rank(r)
+                .unwrap()
+                .unwrap();
+            assert!(
+                s.bisection_steps <= d.bisection_steps,
+                "seed {seed} r={r}: summary {} steps > domain {}",
+                s.bisection_steps,
+                d.bisection_steps
+            );
+            strictly_fewer |= s.bisection_steps < d.bisection_steps;
+        }
+        assert!(
+            strictly_fewer,
+            "seed {seed}: summary seeding never saved a bisection step"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -411,6 +473,92 @@ proptest! {
             let out = h.rank_query(r.max(1)).unwrap().unwrap();
             let dist = rank_distance(&all, out.value, r.max(1));
             prop_assert!(dist <= allowed, "r={r}: off by {dist} > {allowed}");
+        }
+    }
+
+    /// Radix-sorted batch archival is **byte-identical** to
+    /// comparison-sorted archival: feeding pre-comparison-sorted batches
+    /// (the radix kernel is a no-op on sorted input, so both engines
+    /// store the multiset the comparison sort produced) matches an engine
+    /// that radix-sorts raw batches, block for block — through cascade
+    /// merges included.
+    #[test]
+    fn radix_archival_is_byte_identical(
+        steps in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 1..600), 1..7),
+        kappa in 2usize..5,
+    ) {
+        let cfg = HsqConfig::builder().epsilon(0.05).merge_threshold(kappa).build();
+        let mut radix = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut comparison = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        for step in &steps {
+            // Radix side: raw batch, sorted by the radix path whenever the
+            // segment crosses RADIX_MIN_LEN.
+            radix.stream_extend(step);
+            radix.end_time_step().unwrap();
+            // Comparison side: the batch pre-sorted with the stdlib
+            // comparison sort (stream_extend's own sort then sees sorted
+            // input and cannot reorder anything).
+            let mut sorted = step.clone();
+            sorted.sort_unstable();
+            comparison.stream_extend(&sorted);
+            comparison.end_time_step().unwrap();
+        }
+        let rp = radix.warehouse().partitions_newest_first();
+        let cp = comparison.warehouse().partitions_newest_first();
+        prop_assert_eq!(rp.len(), cp.len());
+        let rdev = &**radix.warehouse().device();
+        let cdev = &**comparison.warehouse().device();
+        for (a, b) in rp.iter().zip(&cp) {
+            prop_assert_eq!(a.run.len(), b.run.len());
+            prop_assert_eq!(a.summary.entries(), b.summary.entries());
+            let nblocks = rdev.num_blocks(a.run.file()).unwrap();
+            prop_assert_eq!(nblocks, cdev.num_blocks(b.run.file()).unwrap());
+            let mut abuf = vec![0u8; rdev.block_size()];
+            let mut bbuf = vec![0u8; cdev.block_size()];
+            for blk in 0..nblocks {
+                let alen = rdev.read_block(a.run.file(), blk, &mut abuf).unwrap();
+                let blen = cdev.read_block(b.run.file(), blk, &mut bbuf).unwrap();
+                prop_assert_eq!(alen, blen);
+                prop_assert_eq!(&abuf[..alen], &bbuf[..blen], "block {} bytes differ", blk);
+            }
+        }
+    }
+
+    /// Speculative bisection prefetch is invisible in the answers: an
+    /// engine with `io_depth > 0` returns exactly the same values, rank
+    /// estimates and step counts as a synchronous engine on identical
+    /// data — only the prefetch counters differ.
+    #[test]
+    fn prefetched_engine_answers_identical(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 20..300), 2..6),
+        stream in proptest::collection::vec(0u64..1_000_000, 1..300),
+        kappa in 2usize..5,
+    ) {
+        let base = HsqConfig::builder().epsilon(0.05).merge_threshold(kappa);
+        let mut plain =
+            HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), base.clone().build());
+        let mut overlapped = HistStreamQuantiles::<u64, _>::new(
+            MemDevice::new(256),
+            base.io_depth(2).build(),
+        );
+        let mut n = 0u64;
+        for b in &batches {
+            n += b.len() as u64;
+            plain.ingest_step(b).unwrap();
+            overlapped.ingest_step(b).unwrap();
+        }
+        n += stream.len() as u64;
+        plain.stream_extend(&stream);
+        overlapped.stream_extend(&stream);
+        for r in [1, n / 3, n / 2, n] {
+            let a = plain.rank_query(r.max(1)).unwrap().unwrap();
+            let b = overlapped.rank_query(r.max(1)).unwrap().unwrap();
+            prop_assert_eq!(a.value, b.value, "r = {}", r);
+            prop_assert_eq!(a.estimated_rank, b.estimated_rank);
+            prop_assert_eq!(a.bisection_steps, b.bisection_steps);
+            prop_assert_eq!(a.prefetch_hits, 0);
         }
     }
 

@@ -144,14 +144,24 @@ impl<T: Copy + Ord> GkSketch<T> {
         self.insert_sorted_batch(&[v]);
     }
 
-    /// Insert a whole batch at once: sorts `batch` in place, then merges
-    /// it into the tuple list in **one linear pass** with a single
-    /// amortized COMPRESS — replacing `batch.len()` binary-search-plus-
-    /// `Vec`-shift insertions. The resulting sketch satisfies the same GK
-    /// invariant (`g + Δ ≤ ⌊2εn⌋`) and therefore the same `εn` rank
-    /// guarantee as element-wise insertion.
-    pub fn insert_batch(&mut self, batch: &mut [T]) {
-        batch.sort_unstable();
+    /// Insert a whole batch at once: sorts `batch` in place (via the LSD
+    /// radix path of [`crate::radix::sort_radixable`] for radix-keyed
+    /// types, comparison sort otherwise), then merges it into the tuple
+    /// list in **one linear pass** with a single amortized COMPRESS —
+    /// replacing `batch.len()` binary-search-plus-`Vec`-shift insertions.
+    /// The resulting sketch satisfies the same GK invariant
+    /// (`g + Δ ≤ ⌊2εn⌋`) and therefore the same `εn` rank guarantee as
+    /// element-wise insertion.
+    ///
+    /// The [`crate::radix::RadixKey`] bound is how the sort picks its
+    /// path: types without an order-preserving `u64` key implement the
+    /// trait with `RADIXABLE = false` (three lines — see the `u128`
+    /// impl) and every batch takes the comparison sort instead.
+    pub fn insert_batch(&mut self, batch: &mut [T])
+    where
+        T: crate::radix::RadixKey,
+    {
+        crate::radix::sort_radixable(batch);
         self.insert_sorted_batch(batch);
     }
 

@@ -13,7 +13,9 @@
 //! * [`MisraGries`] — frequent-elements sketch powering the heavy-hitter
 //!   extension (`hsq_core::heavy`);
 //! * [`ExactQuantiles`] — O(n)-memory ground-truth oracle used to measure
-//!   relative error exactly as the paper's §3.1 defines it.
+//!   relative error exactly as the paper's §3.1 defines it;
+//! * [`radix`] — the LSD radix-sort kernel and [`RadixKey`] trait shared
+//!   by the batched sketch and warehouse ingest paths.
 //!
 //! All sketches expose `memory_words()` so experiment harnesses can drive
 //! them by memory budget, matching the paper's memory-versus-accuracy
@@ -25,10 +27,12 @@ pub mod exact;
 pub mod gk;
 pub mod misra_gries;
 pub mod qdigest;
+pub mod radix;
 pub mod sampler;
 
 pub use exact::ExactQuantiles;
 pub use gk::{GkSketch, RankEstimate};
 pub use misra_gries::MisraGries;
 pub use qdigest::QDigest;
+pub use radix::{radix_sort_u64, sort_radixable, RadixKey, RADIX_MIN_LEN};
 pub use sampler::ReservoirQuantiles;

@@ -20,6 +20,11 @@ pub struct BlockCache<T: Item> {
     capacity: usize,
     map: HashMap<(FileId, u64), Arc<Vec<T>>>,
     order: VecDeque<(FileId, u64)>,
+    /// The block most recently served by [`BlockCache::get_block`]:
+    /// repeated probes that land in the same block answer from this memo
+    /// without even a map lookup (see [`SortedRun::rank_of_cached`]).
+    #[allow(clippy::type_complexity)]
+    last: Option<((FileId, u64), Arc<Vec<T>>)>,
     hits: u64,
     misses: u64,
 }
@@ -32,6 +37,7 @@ impl<T: Item> BlockCache<T> {
             capacity,
             map: HashMap::with_capacity(capacity),
             order: VecDeque::with_capacity(capacity),
+            last: None,
             hits: 0,
             misses: 0,
         }
@@ -47,18 +53,43 @@ impl<T: Item> BlockCache<T> {
         let key = (run.file(), block_idx);
         if let Some(items) = self.map.get(&key) {
             self.hits += 1;
+            self.last = Some((key, Arc::clone(items)));
             return Ok(Arc::clone(items));
         }
         self.misses += 1;
         let items = Arc::new(run.read_block_items(dev, block_idx)?);
+        self.store(key, Arc::clone(&items));
+        self.last = Some((key, Arc::clone(&items)));
+        Ok(items)
+    }
+
+    /// Insert an externally produced decoded block (e.g. a speculative
+    /// prefetch read), evicting FIFO like a miss would. Does not count as
+    /// a hit or a miss, and does not displace the last-probe memo.
+    pub fn insert(&mut self, file: FileId, block_idx: u64, items: Arc<Vec<T>>) {
+        let key = (file, block_idx);
+        if self.map.contains_key(&key) {
+            return;
+        }
+        self.store(key, items);
+    }
+
+    fn store(&mut self, key: (FileId, u64), items: Arc<Vec<T>>) {
         if self.map.len() == self.capacity {
             if let Some(old) = self.order.pop_front() {
                 self.map.remove(&old);
             }
         }
-        self.map.insert(key, Arc::clone(&items));
+        self.map.insert(key, items);
         self.order.push_back(key);
-        Ok(items)
+    }
+
+    /// The block most recently served by [`BlockCache::get_block`], if
+    /// any: `(file, block_idx, decoded items)`. The memo outlives FIFO
+    /// eviction (it holds its own reference), so callers may answer from
+    /// it without consulting the cache proper.
+    pub fn last_block(&self) -> Option<(FileId, u64, &Arc<Vec<T>>)> {
+        self.last.as_ref().map(|((f, b), items)| (*f, *b, items))
     }
 
     /// Whether the cache currently holds the given block.
@@ -71,10 +102,11 @@ impl<T: Item> BlockCache<T> {
         (self.hits, self.misses)
     }
 
-    /// Drop all cached blocks.
+    /// Drop all cached blocks (and the last-probe memo).
     pub fn clear(&mut self) {
         self.map.clear();
         self.order.clear();
+        self.last = None;
     }
 
     /// Number of cached blocks.

@@ -11,6 +11,8 @@
 //! and the size of their universe in bits (which bounds the recursion depth,
 //! Lemma 7's `log |U|` factor).
 
+pub use hsq_sketch::radix::RadixKey;
+
 /// A value that can be stored in the warehouse and summarized by sketches.
 ///
 /// Implementations must guarantee:
@@ -20,7 +22,14 @@
 /// * `midpoint(a, b)` for `a <= b` returns `z` with `a <= z <= b`, and
 ///   repeated bisection of `[a, b]` terminates in at most
 ///   [`Item::UNIVERSE_BITS`] steps.
-pub trait Item: Copy + Ord + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static {
+///
+/// The [`RadixKey`] supertrait feeds the batch-ingest radix sort
+/// ([`crate::sort_items`]): when `RadixKey::RADIXABLE` its key must agree
+/// with [`Item::to_ordered_u64`]; universes wider than 64 bits set it to
+/// `false` and every sort falls back to the comparison path.
+pub trait Item:
+    RadixKey + Copy + Ord + std::hash::Hash + Send + Sync + std::fmt::Debug + 'static
+{
     /// Width of the encoded form in bytes.
     const ENCODED_LEN: usize;
     /// Number of bits in the universe; bounds value-space bisection depth.
@@ -190,6 +199,20 @@ impl From<f64> for F64 {
 impl std::fmt::Display for F64 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.get())
+    }
+}
+
+impl RadixKey for F64 {
+    const RADIXABLE: bool = true;
+
+    #[inline]
+    fn radix_key(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn from_radix_key(key: u64) -> Self {
+        F64(key)
     }
 }
 

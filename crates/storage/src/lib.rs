@@ -36,7 +36,7 @@ pub mod stats;
 
 pub use cache::BlockCache;
 pub use device::{BlockDevice, FileDevice, FileId, IoOp, IoOutcome, IoTicket, MemDevice};
-pub use encode::{Item, F64};
+pub use encode::{Item, RadixKey, F64};
 pub use fault::{Fault, FaultDevice};
 pub use merge::{merge_into, merge_into_prefetch, merge_runs};
 pub use run::{
@@ -44,5 +44,5 @@ pub use run::{
     DEFAULT_READAHEAD_BLOCKS,
 };
 pub use sched::{IoScheduler, SchedSnapshot};
-pub use sort::{external_sort, SortOutcome};
+pub use sort::{external_sort, sort_items, SortOutcome};
 pub use stats::{IoSnapshot, IoStats};

@@ -90,16 +90,27 @@ impl<T: Item> SortedRun<T> {
 
     /// Read and decode all items of block `block_idx`.
     pub fn read_block_items<D: BlockDevice>(&self, dev: &D, block_idx: u64) -> io::Result<Vec<T>> {
-        let per = items_per_block::<T>(dev.block_size()) as u64;
+        let mut buf = vec![0u8; dev.block_size()];
+        let got = dev.read_block(self.file, block_idx, &mut buf)?;
+        Ok(self.decode_block_items(block_idx, dev.block_size(), &buf[..got]))
+    }
+
+    /// Decode the items of block `block_idx` from its raw bytes (already
+    /// read — e.g. by a scheduler-submitted speculative probe read).
+    /// `raw` must hold at least the block's encoded items.
+    pub fn decode_block_items(&self, block_idx: u64, block_size: usize, raw: &[u8]) -> Vec<T> {
+        let per = items_per_block::<T>(block_size) as u64;
         let start = block_idx * per;
         assert!(start < self.len, "block index {block_idx} out of range");
         let count = per.min(self.len - start) as usize;
-        let mut buf = vec![0u8; dev.block_size()];
-        let got = dev.read_block(self.file, block_idx, &mut buf)?;
-        debug_assert!(count * T::ENCODED_LEN <= got);
-        Ok((0..count)
-            .map(|i| T::decode(&buf[i * T::ENCODED_LEN..]))
-            .collect())
+        assert!(
+            count * T::ENCODED_LEN <= raw.len(),
+            "short block: {} bytes for {count} items",
+            raw.len()
+        );
+        (0..count)
+            .map(|i| T::decode(&raw[i * T::ENCODED_LEN..]))
+            .collect()
     }
 
     /// Stream the run in sorted order (sequential block reads with
@@ -161,6 +172,12 @@ impl<T: Item> SortedRun<T> {
     /// the same run (e.g. heavy-hitter threshold scans or query-time
     /// bisection) stop costing device reads as soon as their probe paths
     /// overlap.
+    ///
+    /// Consecutive probes that land in the block the previous probe
+    /// decoded skip the whole search — including the cache lookups — via
+    /// the cache's last-block memo: if the memoized block's value span
+    /// strictly contains `v`, the boundary is inside it and the answer is
+    /// one in-memory `partition_point`.
     pub fn rank_of_cached<D: BlockDevice>(
         &self,
         dev: &D,
@@ -174,6 +191,18 @@ impl<T: Item> SortedRun<T> {
             return Ok(self.len);
         }
         let per = items_per_block::<T>(dev.block_size()) as u64;
+        if let Some((file, blk, items)) = cache.last_block() {
+            // Sound iff the boundary block is provably this one: every
+            // earlier block ends ≤ items[0] ≤ v, and v < items[last]
+            // (strict) rules out duplicates of v spilling into the next
+            // block.
+            if file == self.file && !items.is_empty() {
+                let (first, last) = (items[0], *items.last().expect("non-empty"));
+                if first <= v && v < last {
+                    return Ok(blk * per + items.partition_point(|&x| x <= v) as u64);
+                }
+            }
+        }
         // Invariant: blocks < lo_b end with items <= v; blocks >= hi_b
         // start with items > v. The boundary block is in [lo_b, hi_b).
         let (mut lo_b, mut hi_b) = (0u64, self.len.div_ceil(per));
@@ -720,6 +749,71 @@ mod tests {
         assert_eq!(run.rank_of_cached(&*dev, 1001, &mut cache).unwrap(), 501);
         let second = (dev.stats().snapshot() - before).total_reads();
         assert!(second <= 2, "cached re-probe cost {second} reads");
+    }
+
+    #[test]
+    fn rank_of_cached_memoizes_last_block() {
+        // Regression (perf): a probe landing in the block the previous
+        // probe decoded must answer from the last-block memo — zero
+        // device reads AND zero BlockCache lookups — with the same
+        // answer as the uncached search.
+        let dev = MemDevice::new(64); // 8 u64/block
+        let data: Vec<u64> = (0..4096).map(|i| i * 2).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        let mut cache = BlockCache::new(64);
+        // Warm: first probe does the block-level binary search.
+        assert_eq!(run.rank_of_cached(&*dev, 1000, &mut cache).unwrap(), 501);
+        let stats_before = cache.stats();
+        let io_before = dev.stats().snapshot();
+        // Same-block re-probes: the warm probe decoded block 62 (indices
+        // 496..504, values 992..=1006), so anything in [992, 1006) must
+        // answer from the memo.
+        for v in [1000u64, 992, 993, 1001, 1005] {
+            let expect = data.iter().filter(|&&x| x <= v).count() as u64;
+            assert_eq!(run.rank_of_cached(&*dev, v, &mut cache).unwrap(), expect);
+        }
+        assert_eq!(
+            cache.stats(),
+            stats_before,
+            "same-block probes must not touch the cache"
+        );
+        assert_eq!(
+            (dev.stats().snapshot() - io_before).total_reads(),
+            0,
+            "same-block probes must not touch the device"
+        );
+        // A probe at or past the memo block's last value must NOT
+        // shortcut (duplicates could continue into the next block);
+        // answers stay exact either way.
+        for v in [1006u64, 1007, 2000] {
+            let expect = data.iter().filter(|&&x| x <= v).count() as u64;
+            assert_eq!(run.rank_of_cached(&*dev, v, &mut cache).unwrap(), expect);
+        }
+    }
+
+    #[test]
+    fn rank_of_cached_memo_exact_on_duplicate_plateaus() {
+        // A plateau spanning block boundaries: memoized answers must
+        // count the duplicates in later blocks too.
+        let dev = MemDevice::new(64); // 8 u64/block
+        let mut data = vec![10u64; 20];
+        data.extend(vec![50u64; 20]);
+        data.extend(60..200u64);
+        let run = write_run(&*dev, &data).unwrap();
+        let mut cache = BlockCache::new(16);
+        for v in [9u64, 10, 11, 49, 50, 51, 60, 199, 500] {
+            let expect = data.iter().filter(|&&x| x <= v).count() as u64;
+            assert_eq!(
+                run.rank_of_cached(&*dev, v, &mut cache).unwrap(),
+                expect,
+                "v = {v}"
+            );
+        }
+        // Interleave far-apart probes so the memo block keeps changing.
+        for v in [10u64, 199, 10, 50, 199, 50] {
+            let expect = data.iter().filter(|&&x| x <= v).count() as u64;
+            assert_eq!(run.rank_of_cached(&*dev, v, &mut cache).unwrap(), expect);
+        }
     }
 
     #[test]

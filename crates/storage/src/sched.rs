@@ -32,9 +32,13 @@
 //!
 //! Completions for tickets nobody [`IoScheduler::wait`]s on are drained
 //! by the next barrier; their errors are not lost — the barrier reports
-//! the first one.
+//! the first one. The single exception is **speculative reads**
+//! ([`IoScheduler::submit_speculative`], the query bisection's candidate
+//! half-probes): whoever actually needs such a block re-reads it
+//! synchronously, so a drained speculative failure is discarded instead
+//! of poisoning the epoch.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -101,6 +105,16 @@ struct State {
     /// Ops submitted and not yet completed.
     outstanding: usize,
     next_id: u64,
+    /// Every op with id below this was settled by a completed barrier:
+    /// its completion can never arrive anymore, so a straggling
+    /// [`IoScheduler::wait`] resolves immediately instead of waiting for
+    /// the whole scheduler to drain.
+    drained_below: u64,
+    /// Ids of *speculative* ops ([`IoScheduler::submit_speculative`])
+    /// whose completions have not been claimed yet: their failures are
+    /// the submitter's concern (it re-reads on demand) and must never
+    /// become the scheduler's sticky barrier error.
+    speculative: HashSet<u64>,
     /// Seeded LCG state for deterministic cross-file reordering.
     reorder: Option<u64>,
     shutdown: bool,
@@ -159,6 +173,8 @@ impl IoScheduler {
                 first_error: None,
                 outstanding: 0,
                 next_id: 0,
+                drained_below: 0,
+                speculative: HashSet::new(),
                 reorder: seed.map(|s| s | 1),
                 shutdown: false,
             }),
@@ -197,6 +213,25 @@ impl IoScheduler {
     /// claimed with [`IoScheduler::wait`] / [`IoScheduler::try_poll`], or
     /// swept (errors reported) by the next [`IoScheduler::barrier`].
     pub fn submit(&self, op: IoOp) -> IoTicket {
+        self.submit_inner(op, false)
+    }
+
+    /// [`IoScheduler::submit`] for a **speculative read**: an op whose
+    /// result may never be needed (e.g. the query bisection's candidate
+    /// half-probes). A speculative failure is the submitter's concern —
+    /// whoever actually needs the block re-reads it synchronously and
+    /// surfaces any real device fault there — so a barrier that drains an
+    /// unclaimed speculative completion discards its error instead of
+    /// recording it as the sticky epoch error. Read-only by contract.
+    pub fn submit_speculative(&self, op: IoOp) -> IoTicket {
+        debug_assert!(
+            matches!(op, IoOp::ReadBlocks { .. }),
+            "only reads may be speculative"
+        );
+        self.submit_inner(op, true)
+    }
+
+    fn submit_inner(&self, op: IoOp, speculative: bool) -> IoTicket {
         let c = &self.shared.counters;
         c.submitted.fetch_add(1, Ordering::Relaxed);
         match &op {
@@ -209,6 +244,9 @@ impl IoScheduler {
         let id = st.next_id;
         st.next_id += 1;
         st.outstanding += 1;
+        if speculative {
+            st.speculative.insert(id);
+        }
         let q = st.queues.entry(file).or_default();
         let was_empty = q.is_empty();
         q.push_back((id, op));
@@ -219,11 +257,27 @@ impl IoScheduler {
         IoTicket::queued(id)
     }
 
-    /// Non-blocking completion check; `Some` at most once per ticket.
+    /// Non-blocking completion check; `Some` at most once per ticket. A
+    /// ticket whose completion an intervening [`IoScheduler::barrier`]
+    /// drained resolves to `Some(Err)` — same semantics as
+    /// [`IoScheduler::wait`] — rather than looking in-flight forever.
     pub fn try_poll(&self, ticket: &mut IoTicket) -> Option<io::Result<IoOutcome>> {
         match ticket.queued_id() {
             None => ticket.take_ready(),
-            Some(id) => lock(&self.shared.state).completions.remove(&id),
+            Some(id) => {
+                let mut st = lock(&self.shared.state);
+                match st.completions.remove(&id) {
+                    Some(r) => {
+                        st.speculative.remove(&id);
+                        Some(r)
+                    }
+                    None if id < st.drained_below => Some(Err(match &st.first_error {
+                        Some((kind, msg)) => io::Error::new(*kind, msg.clone()),
+                        None => io::Error::other("completion reclaimed by a barrier"),
+                    })),
+                    None => None,
+                }
+            }
         }
     }
 
@@ -231,7 +285,10 @@ impl IoScheduler {
     ///
     /// A ticket whose completion was already drained by an intervening
     /// [`IoScheduler::barrier`] resolves to an error (the scheduler's
-    /// sticky error if one exists) instead of hanging.
+    /// sticky error if one exists) **immediately** — even while other ops
+    /// are still in flight — instead of hanging: every op submitted
+    /// before a completed barrier has settled, so such a completion can
+    /// never arrive anymore.
     pub fn wait(&self, ticket: IoTicket) -> io::Result<IoOutcome> {
         let mut ticket = ticket;
         let Some(id) = ticket.queued_id() else {
@@ -246,11 +303,12 @@ impl IoScheduler {
         let mut st = lock(&self.shared.state);
         loop {
             if let Some(r) = st.completions.remove(&id) {
+                st.speculative.remove(&id);
                 return r;
             }
-            if st.outstanding == 0 {
-                // Nothing in flight and the completion is gone: a
-                // barrier reclaimed it.
+            if id < st.drained_below || st.outstanding == 0 {
+                // The completion is gone: a barrier reclaimed it (or
+                // nothing is in flight and it never existed).
                 return Err(match &st.first_error {
                     Some((kind, msg)) => io::Error::new(*kind, msg.clone()),
                     None => io::Error::other("completion reclaimed by a barrier"),
@@ -281,13 +339,19 @@ impl IoScheduler {
             st = wait_on(&self.shared.done_cv, st);
         }
         let mut drained_error = None;
-        for (_, r) in st.completions.drain() {
+        let st = &mut *st;
+        for (id, r) in st.completions.drain() {
+            // Speculative reads are re-issued synchronously by whoever
+            // actually needs the block, so their drained errors are
+            // dropped — a failed speculation must not poison the epoch.
+            let was_speculative = st.speculative.remove(&id);
             if let Err(e) = r {
-                if drained_error.is_none() {
+                if !was_speculative && drained_error.is_none() {
                     drained_error = Some((e.kind(), e.to_string()));
                 }
             }
         }
+        st.drained_below = st.next_id;
         if st.first_error.is_none() {
             st.first_error = drained_error;
         }
@@ -527,6 +591,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn speculative_failures_never_poison_barriers() {
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[1u8; 64]).unwrap();
+        // A speculative read past EOF fails when executed; nobody claims
+        // it. The next barrier must discard the failure — a speculation
+        // the design re-issues synchronously on demand is not a lost op.
+        s.submit_speculative(IoOp::ReadBlocks {
+            file: 9999, // nonexistent file: the read errors
+            first: 0,
+            count: 1,
+        });
+        s.barrier().unwrap();
+        // The epoch stays clean for real work afterwards.
+        s.submit(IoOp::Write {
+            file: f,
+            idx: 1,
+            data: vec![2u8; 64],
+        });
+        s.barrier().unwrap();
+        // A claimed speculative failure surfaces to the claimant only.
+        let t = s.submit_speculative(IoOp::ReadBlocks {
+            file: 9999,
+            first: 0,
+            count: 1,
+        });
+        assert!(s.wait(t).is_err());
+        s.barrier().unwrap();
+        // Non-speculative failures still poison, as before.
+        s.submit(IoOp::Write {
+            file: f,
+            idx: 7, // non-contiguous: fails
+            data: vec![0u8; 64],
+        });
+        assert!(s.barrier().is_err());
+        assert!(s.barrier().is_err(), "real failures stay sticky");
+    }
+
+    #[test]
+    fn wait_after_drain_resolves_while_other_ops_in_flight() {
+        // A ticket drained by a barrier must error promptly even though
+        // later ops keep the scheduler busy — the waiter must not be
+        // forced to wait for full quiescence.
+        let (dev, s) = sched(2);
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[5u8; 64]).unwrap();
+        let stale = s.submit(IoOp::ReadBlocks {
+            file: f,
+            first: 0,
+            count: 1,
+        });
+        s.barrier().unwrap(); // drains the unclaimed completion
+        let g = dev.create().unwrap();
+        for i in 0..50u64 {
+            s.submit(IoOp::Write {
+                file: g,
+                idx: i,
+                data: vec![3u8; 64],
+            });
+        }
+        // With 50 writes in flight, the stale wait resolves immediately.
+        assert!(s.wait(stale).is_err());
+        s.barrier().unwrap();
     }
 
     #[test]

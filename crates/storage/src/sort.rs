@@ -5,8 +5,9 @@
 //! external sort, depending on the size of D" (paper §2.1). This module
 //! implements both paths behind one entry point, [`external_sort`]:
 //!
-//! * if the batch fits in the caller's memory budget, it is sorted with the
-//!   standard unstable sort and written out in one sequential pass;
+//! * if the batch fits in the caller's memory budget, it is sorted in
+//!   memory ([`sort_items`]: LSD radix for radix-keyed items, comparison
+//!   sort otherwise) and written out in one sequential pass;
 //! * otherwise it is cut into budget-sized runs (each sorted in memory and
 //!   spilled), which are then multi-way merged in a single pass — the
 //!   constant-pass regime that prior work (\[2\] in the paper) shows suffices
@@ -18,6 +19,25 @@ use crate::device::BlockDevice;
 use crate::encode::Item;
 use crate::merge::merge_runs;
 use crate::run::{write_run, SortedRun};
+
+/// Sort a batch of items in memory, nondecreasing.
+///
+/// Items whose [`hsq_sketch::RadixKey`] is radixable take the LSD radix
+/// path (`O(n)` byte-bucket passes over the order-preserving `u64` key,
+/// skipping constant-digit positions — see [`hsq_sketch::radix`]); all
+/// other item types, and slices too short to amortize the bucket passes,
+/// fall back to the standard unstable comparison sort. The resulting
+/// order is identical either way, so batches archived through this
+/// function are byte-identical regardless of which path ran.
+///
+/// This is the single in-memory sort used by batch ingestion: engine
+/// segment staging, warehouse level-0 preparation, and the spill chunks
+/// of [`external_sort`] all route through it. Returns `true` iff the
+/// radix path ran.
+#[inline]
+pub fn sort_items<T: Item>(items: &mut [T]) -> bool {
+    hsq_sketch::sort_radixable(items)
+}
 
 /// Statistics about one external sort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,7 +70,7 @@ pub fn external_sort<T: Item, D: BlockDevice>(
         if chunk.is_empty() {
             break;
         }
-        chunk.sort_unstable();
+        sort_items(&mut chunk);
         if spilled.is_empty() && chunk.len() < mem_budget_items {
             // Single chunk, never spilled a previous one: pure in-memory sort.
             let run = write_run(dev, &chunk)?;
@@ -158,6 +178,66 @@ mod tests {
         let data = vec![4u64, 4, 4, 2, 2, 8];
         let (run, _) = external_sort(&*dev, data, 2).unwrap();
         assert_eq!(run.read_all(&*dev).unwrap(), vec![2, 2, 4, 4, 4, 8]);
+    }
+
+    #[test]
+    fn sort_items_matches_comparison_sort() {
+        // The radix path must order exactly like sort_unstable for every
+        // Item type, including the sign-biased and float-keyed ones.
+        let mut x = 99u64;
+        let mut gen = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        let u: Vec<u64> = (0..5000).map(|_| gen()).collect();
+        let i: Vec<i64> = u.iter().map(|&v| v as i64).collect();
+        let f: Vec<crate::F64> = u
+            .iter()
+            .map(|&v| crate::F64::new((v as f64 - 1e18) / 3.7))
+            .collect();
+
+        let mut a = u.clone();
+        let mut b = u.clone();
+        assert!(sort_items(&mut a));
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let mut a = i.clone();
+        let mut b = i;
+        assert!(sort_items(&mut a));
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        let mut a = f.clone();
+        let mut b = f;
+        assert!(sort_items(&mut a));
+        b.sort_unstable();
+        assert_eq!(a, b);
+
+        // Short slices fall back but still sort.
+        let mut short = vec![9u64, 3, 7];
+        assert!(!sort_items(&mut short));
+        assert_eq!(short, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn external_sort_uses_radix_chunks() {
+        // Spilled chunks are radix sorted; the merged result must equal
+        // the comparison-sorted input exactly.
+        let dev = MemDevice::new(64);
+        let mut x = 5u64;
+        let data: Vec<u64> = (0..1000)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(13);
+                x
+            })
+            .collect();
+        let mut expect = data.clone();
+        expect.sort_unstable();
+        let (run, _) = external_sort(&*dev, data, 128).unwrap();
+        assert_eq!(run.read_all(&*dev).unwrap(), expect);
     }
 
     #[test]
