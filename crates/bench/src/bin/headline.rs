@@ -20,7 +20,10 @@ use hsq_core::manifest::ManifestLog;
 use hsq_core::{
     HistStreamQuantiles, HsqConfig, QueryContext, RetentionPolicy, SeedMode, ShardedEngine,
 };
-use hsq_storage::{sort_items, BlockDevice, FileDevice, MemDevice};
+use hsq_storage::{
+    sort_items, BlockDevice, Fault, FaultDevice, FileDevice, FileId, MemDevice, RetryDevice,
+    RetryPolicy,
+};
 use hsq_workload::Dataset;
 
 /// Radix vs comparison batch sort at the ingest batch size. Min-of-k
@@ -194,6 +197,94 @@ fn query_metrics() -> (f64, f64, f64, f64, f64, f64, f64, f64) {
         fresh_secs,
         reused_secs,
     )
+}
+
+/// Self-healing storage metrics. Rot one block in every partition of a
+/// warehouse; scrub must detect all of them (`detection_hit_rate`, gated
+/// at 1.0) and repair by salvaging every other block
+/// (`salvage_hit_rate` — deterministic given the layout). Also measures
+/// clean-scrub verify throughput, and a deterministic flaky-read
+/// schedule masked by a `RetryDevice`: retries per query are exact given
+/// the seed, and query latency under flakiness is the noisy companion.
+/// Returns `(detection_hit_rate, salvage_hit_rate, scrub_blocks_per_sec,
+/// flaky_retry_disk_reads_per_query, flaky_query_seconds)`.
+fn robustness_metrics() -> (f64, f64, f64, f64, f64) {
+    const STEPS: u64 = 10;
+    const STEP_ITEMS: usize = 8192;
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(10)
+        .retry(RetryPolicy::immediate(32))
+        .build();
+    fn ingest<D: BlockDevice>(h: &mut HistStreamQuantiles<u64, D>) {
+        for s in 0..STEPS {
+            let batch = Dataset::Uniform.generator(1_300 + s).take_vec(STEP_ITEMS);
+            h.ingest_step(&batch).expect("ingest");
+        }
+        h.stream_extend(&Dataset::Uniform.generator(1_399).take_vec(STEP_ITEMS));
+    }
+
+    // Detection + salvage: one rotted block per partition.
+    let dev = MemDevice::new(4096);
+    let mut h = HistStreamQuantiles::<u64, _>::new(std::sync::Arc::clone(&dev), cfg.clone());
+    ingest(&mut h);
+    let layout: Vec<(FileId, u64)> = h
+        .warehouse()
+        .partitions_newest_first()
+        .iter()
+        .map(|p| {
+            let per = p.run.items_per_block(dev.block_size()) as u64;
+            (p.run.file(), p.run.len().div_ceil(per))
+        })
+        .collect();
+    for (i, &(file, blocks)) in layout.iter().enumerate() {
+        let block = (i as u64 * 7) % blocks;
+        let mut buf = vec![0u8; dev.block_size()];
+        let n = dev.read_block(file, block, &mut buf).expect("read");
+        buf[n / 2] ^= 0x01;
+        dev.write_block(file, block, &buf[..n]).expect("write");
+    }
+    let found = h.scrub(u64::MAX).expect("scrub");
+    let detection = found.corrupt_blocks as f64 / layout.len() as f64;
+    assert!(
+        (detection - 1.0).abs() < f64::EPSILON,
+        "scrub must detect every rotted block: {}/{}",
+        found.corrupt_blocks,
+        layout.len()
+    );
+    let healed = h.scrub(u64::MAX).expect("scrub");
+    assert_eq!(healed.quarantined_after, 0, "repair must clear quarantine");
+    let salvage = healed.items_salvaged as f64 / (healed.items_salvaged + healed.items_lost) as f64;
+
+    // Clean-scrub verify throughput over the repaired warehouse.
+    let t = Instant::now();
+    let clean = h.scrub(u64::MAX).expect("scrub");
+    let scrub_bps = clean.blocks_verified as f64 / t.elapsed().as_secs_f64();
+    assert_eq!(
+        clean.corrupt_blocks, 0,
+        "repaired warehouse must verify clean"
+    );
+
+    // Flaky reads masked below the engine: deterministic schedule, exact
+    // retry counts, zero query-visible failures.
+    let fault = FaultDevice::new(MemDevice::new(4096));
+    let rdev = RetryDevice::new(std::sync::Arc::clone(&fault), RetryPolicy::immediate(32));
+    let mut h = HistStreamQuantiles::<u64, _>::new(rdev, cfg);
+    ingest(&mut h);
+    fault.arm(Fault::FlakyReads { seed: 9, rate: 4 });
+    let n = h.total_len();
+    let ranks: Vec<u64> = (1..=50).map(|i| (n * i) / 51 + 1).collect();
+    let before = fault.stats().snapshot().retries;
+    let t = Instant::now();
+    for &r in &ranks {
+        let o = h.rank_query(r).expect("query").expect("non-empty");
+        assert!(!o.degraded, "transients must never quarantine");
+    }
+    let flaky_secs = t.elapsed().as_secs_f64() / ranks.len() as f64;
+    let retries = (fault.stats().snapshot().retries - before) as f64 / ranks.len() as f64;
+    assert!(retries > 0.0, "the flaky schedule must have fired");
+
+    (detection, salvage, scrub_bps, retries, flaky_secs)
 }
 
 /// Elements/second of the scalar and batched stream-ingest paths on a
@@ -465,6 +556,18 @@ fn main() {
         hit_rate * 100.0,
     );
 
+    let (detection, salvage, scrub_bps, flaky_retries, flaky_secs) = robustness_metrics();
+    println!(
+        "robustness: scrub detected {:.0}% of rotted blocks, salvaged {:.1}% on repair, \
+         verify {:.0} blocks/s; flaky reads cost {:.2} retries/query ({:.0} us/query), \
+         zero visible failures",
+        detection * 100.0,
+        salvage * 100.0,
+        scrub_bps,
+        flaky_retries,
+        flaky_secs * 1e6,
+    );
+
     let path =
         std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
     let json = format!(
@@ -488,7 +591,11 @@ fn main() {
             "\"overlapped_blocking_calls_per_step\": {:.1}, ",
             "\"serial_archival_elems_per_sec\": {:.0}, ",
             "\"overlapped_archival_elems_per_sec\": {:.0}, ",
-            "\"overlap_speedup\": {:.2}, \"prefetch_hit_rate\": {:.3}}}\n}}\n"
+            "\"overlap_speedup\": {:.2}, \"prefetch_hit_rate\": {:.3}}},\n",
+            "  \"robustness\": {{\"detection_hit_rate\": {:.3}, ",
+            "\"salvage_hit_rate\": {:.3}, \"scrub_blocks_per_sec\": {:.0}, ",
+            "\"flaky_retry_disk_reads_per_query\": {:.2}, ",
+            "\"flaky_query_seconds\": {:.8}}}\n}}\n"
         ),
         scale.steps,
         scale.step_items,
@@ -521,6 +628,11 @@ fn main() {
         overlapped_io_eps,
         overlapped_io_eps / serial_io_eps.max(1.0),
         hit_rate,
+        detection,
+        salvage,
+        scrub_bps,
+        flaky_retries,
+        flaky_secs,
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path}"),

@@ -9,6 +9,7 @@
 //! here.
 
 use crate::retention::RetentionPolicy;
+use hsq_storage::RetryPolicy;
 
 /// Configuration for [`crate::HistStreamQuantiles`] and its parts.
 #[derive(Clone, Debug, PartialEq)]
@@ -44,6 +45,20 @@ pub struct HsqConfig {
     /// [`crate::retention`]). Default: unbounded (the paper's grow-only
     /// warehouse).
     pub retention: RetentionPolicy,
+    /// Retry policy for transient I/O failures. Applied to every
+    /// scheduler worker (`io_depth > 0`) via
+    /// [`hsq_storage::IoScheduler::with_retry`]; synchronous device
+    /// reads retry the same way when the device is wrapped in
+    /// [`hsq_storage::RetryDevice`], and the engine's query loop
+    /// re-runs a whole probe on a transient error under this policy's
+    /// attempt cap. Default: [`RetryPolicy::none`] (fail fast, the
+    /// pre-existing behavior).
+    pub retry: RetryPolicy,
+    /// Strict corruption handling: when `true`, queries over a warehouse
+    /// with quarantined (confirmed-corrupt) partitions return the
+    /// corruption error instead of a degraded answer with widened rank
+    /// bounds. Default `false` (answer with explicit bound widening).
+    pub strict: bool,
 }
 
 impl HsqConfig {
@@ -95,6 +110,8 @@ impl HsqConfig {
             parallel_query: false,
             io_depth: 0,
             retention: RetentionPolicy::unbounded(),
+            retry: RetryPolicy::none(),
+            strict: false,
         }
     }
 }
@@ -109,6 +126,8 @@ pub struct HsqConfigBuilder {
     parallel_query: bool,
     io_depth: usize,
     retention: RetentionPolicy,
+    retry: RetryPolicy,
+    strict: bool,
 }
 
 impl Default for HsqConfigBuilder {
@@ -121,6 +140,8 @@ impl Default for HsqConfigBuilder {
             parallel_query: false,
             io_depth: 0,
             retention: RetentionPolicy::unbounded(),
+            retry: RetryPolicy::none(),
+            strict: false,
         }
     }
 }
@@ -174,6 +195,20 @@ impl HsqConfigBuilder {
         self
     }
 
+    /// Retry policy for transient I/O failures (see
+    /// [`HsqConfig::retry`]). Default: no retries.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Strict corruption handling (see [`HsqConfig::strict`]): error out
+    /// instead of answering degraded queries over quarantined data.
+    pub fn strict(mut self, yes: bool) -> Self {
+        self.strict = yes;
+        self
+    }
+
     /// Finalize, applying Algorithm 1's parameter split.
     pub fn build(self) -> HsqConfig {
         let mut cfg = HsqConfig::with_epsilons(self.epsilon / 2.0, self.epsilon / 4.0);
@@ -183,6 +218,8 @@ impl HsqConfigBuilder {
         cfg.parallel_query = self.parallel_query;
         cfg.io_depth = self.io_depth;
         cfg.retention = self.retention;
+        cfg.retry = self.retry;
+        cfg.strict = self.strict;
         cfg
     }
 }
@@ -226,6 +263,20 @@ mod tests {
         assert!(cfg.parallel_query);
         assert_eq!(cfg.io_depth, 4);
         assert_eq!(HsqConfig::with_epsilon(0.1).io_depth, 0, "sync default");
+    }
+
+    #[test]
+    fn retry_and_strict_knobs() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .retry(RetryPolicy::standard(5))
+            .strict(true)
+            .build();
+        assert_eq!(cfg.retry.max_retries, 5);
+        assert!(cfg.strict);
+        let default = HsqConfig::with_epsilon(0.1);
+        assert_eq!(default.retry, RetryPolicy::none(), "fail-fast default");
+        assert!(!default.strict);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
-use hsq_storage::{BlockCache, BlockDevice, Item};
+use hsq_storage::{corruption_in, is_transient, BlockCache, BlockDevice, FileId, Item};
 
 use crate::config::HsqConfig;
 use crate::query::{QueryContext, QueryOutcome};
@@ -251,10 +251,52 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         // step left in flight. Errors are not lost — a failed write
         // resurfaces when the probe touches the affected run.
         let _ = self.warehouse.io_barrier();
+        // Quarantined (confirmed-corrupt) partitions are excluded; the
+        // outcome's rank bounds widen by their mass instead.
         (
             self.stream.summary(),
-            self.warehouse.partitions_newest_first(),
+            self.warehouse.healthy_partitions_newest_first(),
         )
+    }
+
+    /// Strict-mode gate: refuse to answer over quarantined data.
+    fn strict_check(&self) -> io::Result<()> {
+        let q = self.warehouse.quarantined_mass();
+        if self.config.strict && q > 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("query refused: {q} items quarantined (strict mode)"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Run a query probe with self-healing: a confirmed-corrupt block
+    /// quarantines its partition and re-runs the probe over the remaining
+    /// healthy set (degraded, bounds widened); a transient failure that
+    /// survived the device-level retries re-runs the whole probe under
+    /// the configured attempt cap. Anything else propagates.
+    fn with_recovery<R>(&self, mut probe: impl FnMut() -> io::Result<R>) -> io::Result<R> {
+        let mut transient_left = self.config.retry.max_retries;
+        loop {
+            match probe() {
+                Ok(r) => return Ok(r),
+                Err(e) => {
+                    if let Some((file, _)) = corruption_in(&e) {
+                        if self.warehouse.quarantine(file) {
+                            self.strict_check()?;
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                    if is_transient(&e) && transient_left > 0 {
+                        transient_left -= 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Accurate φ-quantile over `T = H ∪ R` (Theorem 2): the returned
@@ -270,41 +312,49 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// both candidate half-probes of each next step through the
     /// warehouse's scheduler (see [`QueryContext::with_prefetch`]).
     pub fn rank_query(&self, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
-        let (ss, parts) = self.context();
-        let ctx = QueryContext::new(
-            &**self.warehouse.device(),
-            parts,
-            &ss,
-            self.config.query_epsilon(),
-            self.config.cache_blocks,
-        )
-        .with_parallel(self.config.parallel_query)
-        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
-        ctx.accurate_rank(r)
+        self.strict_check()?;
+        self.with_recovery(|| {
+            let (ss, parts) = self.context();
+            let ctx = QueryContext::new(
+                &**self.warehouse.device(),
+                parts,
+                &ss,
+                self.config.query_epsilon(),
+                self.config.cache_blocks,
+            )
+            .with_parallel(self.config.parallel_query)
+            .with_prefetch(self.warehouse.scheduler().map(|s| &**s))
+            .with_degraded(self.warehouse.quarantined_mass());
+            ctx.accurate_rank(r)
+        })
     }
 
     /// Batch of φ-quantiles sharing one stream-summary extraction and one
     /// combined-summary build: cheaper than separate [`Self::quantile`]
     /// calls when reporting e.g. p50/p95/p99 together.
     pub fn quantiles(&self, phis: &[f64]) -> io::Result<Vec<Option<T>>> {
-        let (ss, parts) = self.context();
-        let ctx = QueryContext::new(
-            &**self.warehouse.device(),
-            parts,
-            &ss,
-            self.config.query_epsilon(),
-            self.config.cache_blocks,
-        )
-        .with_parallel(self.config.parallel_query)
-        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
+        self.strict_check()?;
         let n = self.total_len();
-        phis.iter()
-            .map(|&phi| {
-                assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-                let r = (phi * n as f64).ceil() as u64;
-                Ok(ctx.accurate_rank(r)?.map(|o| o.value))
-            })
-            .collect()
+        self.with_recovery(|| {
+            let (ss, parts) = self.context();
+            let ctx = QueryContext::new(
+                &**self.warehouse.device(),
+                parts,
+                &ss,
+                self.config.query_epsilon(),
+                self.config.cache_blocks,
+            )
+            .with_parallel(self.config.parallel_query)
+            .with_prefetch(self.warehouse.scheduler().map(|s| &**s))
+            .with_degraded(self.warehouse.quarantined_mass());
+            phis.iter()
+                .map(|&phi| {
+                    assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+                    let r = (phi * n as f64).ceil() as u64;
+                    Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+                })
+                .collect()
+        })
     }
 
     /// An immutable, self-contained view of everything ingested so far:
@@ -331,6 +381,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
             cache_blocks: self.config.cache_blocks,
             parallel: self.config.parallel_query,
             sched: self.warehouse.scheduler().cloned(),
+            lost: self.warehouse.lost_items(),
+            quarantined_files: self.warehouse.quarantined_files(),
             _pins: pins,
         }
     }
@@ -397,22 +449,12 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// boundaries").
     pub fn quantile_window(&self, phi: f64, window_steps: u64) -> io::Result<Option<T>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        self.warehouse.io_barrier()?;
-        let Some(parts) = self.warehouse.window_partitions(window_steps) else {
-            return Ok(None);
-        };
-        let window_n: u64 = parts.iter().map(|p| p.run.len()).sum::<u64>() + self.stream_len();
-        let r = (phi * window_n as f64).ceil() as u64;
-        let ss = self.stream.summary();
-        let ctx = QueryContext::new(
-            &**self.warehouse.device(),
-            parts,
-            &ss,
-            self.config.query_epsilon(),
-            self.config.cache_blocks,
-        )
-        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
-        Ok(ctx.accurate_rank(r)?.map(|o| o.value))
+        Ok(self
+            .window_query(window_steps, |ctx, window_n| {
+                let r = (phi * (window_n + self.stream_len()) as f64).ceil() as u64;
+                ctx.accurate_rank(r)
+            })?
+            .map(|o| o.value))
     }
 
     /// Rank query over a window, with cost reporting.
@@ -421,20 +463,38 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         r: u64,
         window_steps: u64,
     ) -> io::Result<Option<QueryOutcome<T>>> {
+        self.window_query(window_steps, |ctx, _| ctx.accurate_rank(r))
+    }
+
+    /// Shared window-query driver: resolve the window's partitions, drop
+    /// quarantined ones (widening the outcome by the full quarantined
+    /// mass — conservative but sound for any window), and run `f` under
+    /// the self-healing recovery loop.
+    fn window_query<R>(
+        &self,
+        window_steps: u64,
+        f: impl Fn(&QueryContext<'_, T, D>, u64) -> io::Result<Option<R>>,
+    ) -> io::Result<Option<R>> {
+        self.strict_check()?;
         self.warehouse.io_barrier()?;
-        let Some(parts) = self.warehouse.window_partitions(window_steps) else {
-            return Ok(None);
-        };
-        let ss = self.stream.summary();
-        let ctx = QueryContext::new(
-            &**self.warehouse.device(),
-            parts,
-            &ss,
-            self.config.query_epsilon(),
-            self.config.cache_blocks,
-        )
-        .with_prefetch(self.warehouse.scheduler().map(|s| &**s));
-        ctx.accurate_rank(r)
+        self.with_recovery(|| {
+            let Some(mut parts) = self.warehouse.window_partitions(window_steps) else {
+                return Ok(None);
+            };
+            parts.retain(|p| !self.warehouse.is_quarantined(p.run.file()));
+            let window_n: u64 = parts.iter().map(|p| p.run.len()).sum();
+            let ss = self.stream.summary();
+            let ctx = QueryContext::new(
+                &**self.warehouse.device(),
+                parts,
+                &ss,
+                self.config.query_epsilon(),
+                self.config.cache_blocks,
+            )
+            .with_prefetch(self.warehouse.scheduler().map(|s| &**s))
+            .with_degraded(self.warehouse.quarantined_mass());
+            f(&ctx, window_n)
+        })
     }
 
     /// First-class windowed quantile: the φ-quantile over the live stream
@@ -451,6 +511,15 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// [`HistStreamQuantiles::quantile_in_window`]).
     pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
         self.rank_query_window(r, window_steps)
+    }
+
+    /// One rate-limited self-healing pass over the warehouse: repair
+    /// quarantined partitions by salvaging their checksum-valid blocks,
+    /// then verify healthy partitions round-robin (see
+    /// [`Warehouse::scrub`]). Call periodically from an operations loop;
+    /// `budget_blocks` bounds the pass's read I/O.
+    pub fn scrub(&mut self, budget_blocks: u64) -> io::Result<crate::warehouse::ScrubReport> {
+        self.warehouse.scrub(budget_blocks)
     }
 }
 
@@ -476,6 +545,12 @@ pub struct EngineSnapshot<T: Item, D: BlockDevice> {
     /// snapshot queries speculatively prefetch bisection probes through
     /// it exactly like live-engine queries.
     sched: Option<Arc<hsq_storage::IoScheduler>>,
+    /// Confirmed-lost item count at snapshot time (see
+    /// [`Warehouse::lost_items`]).
+    lost: u64,
+    /// Quarantined partition files at snapshot time, sorted — snapshot
+    /// queries exclude them and widen their bounds like the live engine.
+    quarantined_files: Vec<FileId>,
     _pins: PinGuard<D>,
 }
 
@@ -510,6 +585,41 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
         &self.parts
     }
 
+    /// Items confirmed lost to corruption at snapshot time.
+    pub fn lost_items(&self) -> u64 {
+        self.lost
+    }
+
+    /// Quarantined partition files at snapshot time, sorted.
+    pub fn quarantined_files(&self) -> &[FileId] {
+        &self.quarantined_files
+    }
+
+    pub(crate) fn is_quarantined(&self, file: FileId) -> bool {
+        self.quarantined_files.binary_search(&file).is_ok()
+    }
+
+    /// Items this snapshot's queries exclude (quarantined partitions'
+    /// mass + confirmed-lost items): the exact `rank_hi` widening every
+    /// outcome carries.
+    pub fn quarantined_mass(&self) -> u64 {
+        self.parts
+            .iter()
+            .filter(|(_, p)| self.is_quarantined(p.run.file()))
+            .map(|(_, p)| p.run.len())
+            .sum::<u64>()
+            + self.lost
+    }
+
+    /// The pinned partitions that are NOT quarantined.
+    fn healthy(&self) -> Vec<&StoredPartition<T>> {
+        self.parts
+            .iter()
+            .filter(|(_, p)| !self.is_quarantined(p.run.file()))
+            .map(|(_, p)| p)
+            .collect()
+    }
+
     /// The extracted stream summary.
     pub fn stream_summary(&self) -> &StreamSummary<T> {
         &self.stream
@@ -524,39 +634,45 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
     /// cross-shard [`crate::bounds::CombinedSummary`] is assembled from.
     pub fn sources(&self) -> Vec<crate::bounds::SourceView<T>> {
         let mut out: Vec<crate::bounds::SourceView<T>> = self
-            .parts
-            .iter()
-            .map(|(_, p)| crate::bounds::SourceView::from_partition(&p.summary))
+            .healthy()
+            .into_iter()
+            .map(|p| crate::bounds::SourceView::from_partition(&p.summary))
             .collect();
         out.push(crate::bounds::SourceView::from_stream(&self.stream));
         out
     }
 
-    /// One decoded-block cache per partition, splitting the configured
-    /// budget — reuse across probes of one logical query.
+    /// One decoded-block cache per (healthy) partition, splitting the
+    /// configured budget — reuse across probes of one logical query.
     pub fn new_caches(&self) -> Vec<BlockCache<T>> {
-        let per = (self.cache_blocks / self.parts.len().max(1)).max(2);
-        self.parts.iter().map(|_| BlockCache::new(per)).collect()
+        let healthy = self.healthy();
+        let per = (self.cache_blocks / healthy.len().max(1)).max(2);
+        healthy.iter().map(|_| BlockCache::new(per)).collect()
     }
 
     /// Rigorous bounds on `rank(z, T)` at snapshot time: exact disk ranks
     /// (summary-narrowed, cache-served) plus the stream's tracked interval.
+    /// Quarantined partitions are skipped; the upper bound widens by the
+    /// quarantined mass, since every unreadable item could be ≤ `z`.
     /// `caches` must come from [`EngineSnapshot::new_caches`].
     pub fn rank_bounds(&self, z: T, caches: &mut [BlockCache<T>]) -> io::Result<(u64, u64)> {
-        let parts: Vec<&StoredPartition<T>> = self.parts.iter().map(|(_, p)| p).collect();
-        crate::query::union_rank_bounds(&*self.dev, &parts, &self.stream, z, caches)
+        let parts = self.healthy();
+        let (lo, hi) =
+            crate::query::union_rank_bounds(&*self.dev, &parts, &self.stream, z, caches)?;
+        Ok((lo, hi + self.quarantined_mass()))
     }
 
     fn context(&self) -> QueryContext<'_, T, D> {
         QueryContext::new(
             &*self.dev,
-            self.parts.iter().map(|(_, p)| p).collect(),
+            self.healthy(),
             &self.stream,
             self.epsilon,
             self.cache_blocks,
         )
         .with_parallel(self.parallel)
         .with_prefetch(self.sched.as_deref())
+        .with_degraded(self.quarantined_mass())
     }
 
     /// Accurate φ-quantile over the snapshot (Theorem 2 at snapshot time).
@@ -639,9 +755,10 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
     /// retention expires those steps underneath.
     pub fn quantile_in_window(&self, window_steps: u64, phi: f64) -> io::Result<Option<T>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        let Some(parts) = self.window_partitions(window_steps) else {
+        let Some(mut parts) = self.window_partitions(window_steps) else {
             return Ok(None);
         };
+        parts.retain(|p| !self.is_quarantined(p.run.file()));
         let window_n: u64 = parts.iter().map(|p| p.run.len()).sum::<u64>() + self.stream_len();
         let r = (phi * window_n as f64).ceil() as u64;
         let ctx = QueryContext::new(
@@ -651,15 +768,17 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
             self.epsilon,
             self.cache_blocks,
         )
-        .with_prefetch(self.sched.as_deref());
+        .with_prefetch(self.sched.as_deref())
+        .with_degraded(self.quarantined_mass());
         Ok(ctx.accurate_rank(r)?.map(|o| o.value))
     }
 
     /// Windowed rank query over the snapshot, with cost reporting.
     pub fn rank_in_window(&self, window_steps: u64, r: u64) -> io::Result<Option<QueryOutcome<T>>> {
-        let Some(parts) = self.window_partitions(window_steps) else {
+        let Some(mut parts) = self.window_partitions(window_steps) else {
             return Ok(None);
         };
+        parts.retain(|p| !self.is_quarantined(p.run.file()));
         let ctx = QueryContext::new(
             &*self.dev,
             parts,
@@ -667,7 +786,8 @@ impl<T: Item, D: BlockDevice> EngineSnapshot<T, D> {
             self.epsilon,
             self.cache_blocks,
         )
-        .with_prefetch(self.sched.as_deref());
+        .with_prefetch(self.sched.as_deref())
+        .with_degraded(self.quarantined_mass());
         ctx.accurate_rank(r)
     }
 }

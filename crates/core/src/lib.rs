@@ -97,4 +97,4 @@ pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};
 pub use stream::{StreamProcessor, StreamSummary};
 pub use summary::{PartitionSummary, SummaryEntry};
-pub use warehouse::{PinGuard, StoredPartition, UpdateReport, Warehouse};
+pub use warehouse::{PinGuard, ScrubReport, StoredPartition, UpdateReport, Warehouse};

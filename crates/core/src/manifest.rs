@@ -59,7 +59,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::Arc;
 
-use hsq_storage::{BlockDevice, FileId, Item, SortedRun};
+use hsq_storage::{crc64, BlockDevice, FileId, Item, RunFormat, SortedRun};
 
 use crate::config::HsqConfig;
 use crate::summary::{PartitionSummary, SummaryEntry};
@@ -67,28 +67,22 @@ use crate::warehouse::{StoredPartition, Warehouse};
 
 const MAGIC: &[u8; 4] = b"HSQM";
 const LOG_MAGIC: &[u8; 4] = b"HSQL";
-const VERSION: u64 = 1;
+/// Current format version. Version 2 added the per-partition run-format
+/// byte (checksummed V2 runs vs legacy V1), the quarantine state in the
+/// snapshot header / `Base` payload, and the `Quarantine` log record.
+/// Version-1 files (all-V1 runs, no quarantine) still recover.
+const VERSION: u64 = 2;
 
 /// Record kinds of the [`ManifestLog`].
 const REC_BASE: u64 = 0;
 const REC_DELTA: u64 = 1;
+/// Full quarantine state (lost item count + every quarantined file),
+/// replayed by replacement. Appended whenever the state changed since
+/// the last record; version-2 logs only.
+const REC_QUARANTINE: u64 = 2;
 
-/// Simple CRC-64 (ECMA polynomial, bitwise) for manifest integrity.
-fn crc64(data: &[u8]) -> u64 {
-    const POLY: u64 = 0x42F0_E1EB_A9EA_3693;
-    let mut crc = !0u64;
-    for &b in data {
-        crc ^= (b as u64) << 56;
-        for _ in 0..8 {
-            crc = if crc >> 63 == 1 {
-                (crc << 1) ^ POLY
-            } else {
-                crc << 1
-            };
-        }
-    }
-    !crc
-}
+/// Recovered quarantine state: `(lost_items, quarantined files)`.
+type QuarantineParts = (u64, Vec<FileId>);
 
 struct Writer {
     buf: Vec<u8>,
@@ -153,7 +147,14 @@ pub fn persist<T: Item, D: BlockDevice>(w: &Warehouse<T, D>) -> io::Result<FileI
             parts.push((level as u64, p));
         }
     }
-    write_manifest(&**w.device(), w.steps(), w.total_len(), &parts)
+    write_manifest(
+        &**w.device(),
+        w.steps(),
+        w.total_len(),
+        w.lost_items(),
+        &w.quarantined_files(),
+        &parts,
+    )
 }
 
 /// Serialize an [`crate::engine::EngineSnapshot`]'s pinned partition list
@@ -178,12 +179,16 @@ pub fn persist_snapshot<T: Item, D: BlockDevice>(
         &**snap.device(),
         snap.steps(),
         snap.historical_len(),
+        snap.lost_items(),
+        snap.quarantined_files(),
         &parts,
     )
 }
 
-/// Encode one partition (level + run metadata + full summary).
+/// Encode one partition (run format + level + run metadata + full
+/// summary). The leading format byte is a version-2 addition.
 fn encode_partition<T: Item>(out: &mut Writer, level: u64, p: &StoredPartition<T>) {
+    out.u64(p.run.format().as_byte() as u64);
     out.u64(level);
     out.u64(p.run.file());
     out.u64(p.run.len());
@@ -199,10 +204,24 @@ fn encode_partition<T: Item>(out: &mut Writer, level: u64, p: &StoredPartition<T
     }
 }
 
-/// Decode one partition written by [`encode_partition`]. Backing-file
+/// Decode one partition written by [`encode_partition`] at the given
+/// manifest `version` (version-1 manifests predate the format byte — all
+/// their runs use the legacy unchecksummed layout). Backing-file
 /// existence is *not* checked here — log replay may remove the partition
 /// again before the final state is validated.
-fn decode_partition<T: Item>(r: &mut Reader) -> io::Result<(usize, StoredPartition<T>)> {
+fn decode_partition<T: Item>(
+    r: &mut Reader,
+    version: u64,
+) -> io::Result<(usize, StoredPartition<T>)> {
+    let format = if version >= 2 {
+        let b = r.u64()?;
+        u8::try_from(b)
+            .ok()
+            .and_then(RunFormat::from_byte)
+            .ok_or_else(|| corrupt("bad run format byte"))?
+    } else {
+        RunFormat::V1
+    };
     let level = r.u64()? as usize;
     let file = r.u64()?;
     let run_len = r.u64()?;
@@ -211,7 +230,15 @@ fn decode_partition<T: Item>(r: &mut Reader) -> io::Result<(usize, StoredPartiti
     let min: T = r.item()?;
     let max: T = r.item()?;
     let num_entries = r.u64()?;
-    let mut entries = Vec::with_capacity(num_entries as usize);
+    // A garbled (but CRC-valid, e.g. crafted) count must not drive a huge
+    // allocation: each entry occupies ENCODED_LEN + 16 bytes, so the
+    // count can never exceed what the remaining buffer holds.
+    let entry_bytes = T::ENCODED_LEN + 16;
+    let remaining = r.buf.len().saturating_sub(r.pos);
+    if (num_entries as usize).saturating_mul(entry_bytes) > remaining {
+        return Err(corrupt("summary entry count overruns buffer"));
+    }
+    let mut entries: Vec<SummaryEntry<T>> = Vec::with_capacity(num_entries as usize);
     for _ in 0..num_entries {
         let value: T = r.item()?;
         let rank = r.u64()?;
@@ -219,17 +246,48 @@ fn decode_partition<T: Item>(r: &mut Reader) -> io::Result<(usize, StoredPartiti
         if rank == 0 || rank > run_len {
             return Err(corrupt("summary rank out of range"));
         }
+        if let Some(prev) = entries.last() {
+            if prev.rank >= rank || prev.value > value {
+                return Err(corrupt("summary entries out of order"));
+            }
+        }
         entries.push(SummaryEntry { value, rank, block });
     }
     Ok((
         level,
         StoredPartition {
-            run: SortedRun::from_raw_parts(file, run_len, min, max),
+            run: SortedRun::from_raw_parts(file, run_len, min, max).with_format(format),
             summary: PartitionSummary::from_raw_parts(entries, run_len),
             first_step,
             last_step,
         },
     ))
+}
+
+/// Decode a quarantine block (`lost_items`, count, file ids) — shared by
+/// the version-2 snapshot header, `Base` payload, and `Quarantine`
+/// record.
+fn decode_quarantine(r: &mut Reader) -> io::Result<QuarantineParts> {
+    let lost = r.u64()?;
+    let num = r.u64()?;
+    let remaining = r.buf.len().saturating_sub(r.pos);
+    if (num as usize).saturating_mul(8) > remaining {
+        return Err(corrupt("quarantine file count overruns buffer"));
+    }
+    let mut files = Vec::with_capacity(num as usize);
+    for _ in 0..num {
+        files.push(r.u64()?);
+    }
+    Ok((lost, files))
+}
+
+/// Encode the quarantine block written by [`decode_quarantine`]'s reader.
+fn encode_quarantine(out: &mut Writer, lost: u64, files: &[FileId]) {
+    out.u64(lost);
+    out.u64(files.len() as u64);
+    for &f in files {
+        out.u64(f);
+    }
 }
 
 /// Check that every live partition's backing file exists, then rebuild
@@ -240,6 +298,7 @@ fn validate_and_build<T: Item, D: BlockDevice>(
     partitions: Vec<(usize, StoredPartition<T>)>,
     steps: u64,
     total_len: u64,
+    quarantine: QuarantineParts,
 ) -> io::Result<Warehouse<T, D>> {
     for (_, p) in &partitions {
         let file_blocks = dev.num_blocks(p.run.file())?;
@@ -248,6 +307,10 @@ fn validate_and_build<T: Item, D: BlockDevice>(
         }
     }
     let w = Warehouse::from_recovered_parts(dev, config, partitions, steps, total_len);
+    // Install quarantine before checking invariants: a quarantined level
+    // is legitimately allowed to exceed the merge threshold.
+    let (lost, files) = quarantine;
+    w.set_quarantine(lost, files);
     w.check_invariants()
         .map_err(|e| corrupt(&format!("recovered state invalid: {e}")))?;
     Ok(w)
@@ -258,6 +321,8 @@ fn write_manifest<T: Item, D: BlockDevice>(
     dev: &D,
     steps: u64,
     total_len: u64,
+    lost_items: u64,
+    quarantined: &[FileId],
     parts: &[(u64, &StoredPartition<T>)],
 ) -> io::Result<FileId> {
     let mut out = Writer::new();
@@ -266,6 +331,7 @@ fn write_manifest<T: Item, D: BlockDevice>(
     out.u64(T::ENCODED_LEN as u64);
     out.u64(steps);
     out.u64(total_len);
+    encode_quarantine(&mut out, lost_items, quarantined);
 
     out.u64(parts.len() as u64);
     for &(level, p) in parts {
@@ -317,7 +383,8 @@ pub fn recover<T: Item, D: BlockDevice>(
         buf: &raw[..body_end],
         pos: 4,
     };
-    if r.u64()? != VERSION {
+    let version = r.u64()?;
+    if version == 0 || version > VERSION {
         return Err(corrupt("unsupported version"));
     }
     if r.u64()? != T::ENCODED_LEN as u64 {
@@ -325,13 +392,18 @@ pub fn recover<T: Item, D: BlockDevice>(
     }
     let steps = r.u64()?;
     let total_len = r.u64()?;
+    let quarantine = if version >= 2 {
+        decode_quarantine(&mut r)?
+    } else {
+        (0, Vec::new())
+    };
     let num_parts = r.u64()?;
 
     let mut partitions: Vec<(usize, StoredPartition<T>)> = Vec::new();
     for _ in 0..num_parts {
-        partitions.push(decode_partition(&mut r)?);
+        partitions.push(decode_partition(&mut r, version)?);
     }
-    validate_and_build(dev, config, partitions, steps, total_len)
+    validate_and_build(dev, config, partitions, steps, total_len, quarantine)
 }
 
 /// Replay an `HSQL` log image: apply the `Base` record then every valid
@@ -343,19 +415,22 @@ fn replay_log<T: Item, D: BlockDevice>(
 ) -> io::Result<Warehouse<T, D>> {
     let bs = dev.block_size();
     // Header block: magic, version, item width.
-    {
+    let version = {
         let mut r = Reader { buf: raw, pos: 4 };
-        if r.u64()? != VERSION {
+        let version = r.u64()?;
+        if version == 0 || version > VERSION {
             return Err(corrupt("unsupported log version"));
         }
         if r.u64()? != T::ENCODED_LEN as u64 {
             return Err(corrupt("item width mismatch"));
         }
-    }
+        version
+    };
 
     let mut state: HashMap<FileId, (usize, StoredPartition<T>)> = HashMap::new();
     let mut steps = 0u64;
     let mut total_len = 0u64;
+    let mut quarantine: QuarantineParts = (0, Vec::new());
     let mut applied = 0usize;
 
     let mut pos = bs; // records start at block 1
@@ -380,9 +455,14 @@ fn replay_log<T: Item, D: BlockDevice>(
                 state.clear();
                 steps = r.u64()?;
                 total_len = r.u64()?;
+                quarantine = if version >= 2 {
+                    decode_quarantine(&mut r)?
+                } else {
+                    (0, Vec::new())
+                };
                 let num = r.u64()?;
                 for _ in 0..num {
-                    let (level, p) = decode_partition(&mut r)?;
+                    let (level, p) = decode_partition(&mut r, version)?;
                     state.insert(p.run.file(), (level, p));
                 }
             }
@@ -391,13 +471,21 @@ fn replay_log<T: Item, D: BlockDevice>(
                 total_len = r.u64()?;
                 let removed = r.u64()?;
                 for _ in 0..removed {
-                    state.remove(&r.u64()?);
+                    let gone = r.u64()?;
+                    state.remove(&gone);
+                    // A retired quarantined file (retention expiry) stops
+                    // being quarantined — its mass left the warehouse.
+                    quarantine.1.retain(|&f| f != gone);
                 }
                 let added = r.u64()?;
                 for _ in 0..added {
-                    let (level, p) = decode_partition(&mut r)?;
+                    let (level, p) = decode_partition(&mut r, version)?;
                     state.insert(p.run.file(), (level, p));
                 }
+            }
+            REC_QUARANTINE => {
+                // Full state, replayed by replacement.
+                quarantine = decode_quarantine(&mut r)?;
             }
             _ => return Err(corrupt("unknown log record kind")),
         }
@@ -409,7 +497,7 @@ fn replay_log<T: Item, D: BlockDevice>(
         return Err(corrupt("log holds no valid records"));
     }
     let partitions: Vec<(usize, StoredPartition<T>)> = state.into_values().collect();
-    validate_and_build(dev, config, partitions, steps, total_len)
+    validate_and_build(dev, config, partitions, steps, total_len, quarantine)
 }
 
 /// An append-only manifest for long-running engines: one file holding a
@@ -470,6 +558,9 @@ pub struct ManifestLog<T: Item, D: BlockDevice> {
     guard: Option<crate::warehouse::PinGuard<D>>,
     /// Delta records appended since the last `Base`.
     delta_records: u64,
+    /// Quarantine state as of the last record (`lost`, sorted files); a
+    /// change appends a `Quarantine` record alongside the next delta.
+    last_quarantine: QuarantineParts,
     _t: std::marker::PhantomData<T>,
 }
 
@@ -488,6 +579,7 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
             known: HashSet::new(),
             guard: None,
             delta_records: 0,
+            last_quarantine: (0, Vec::new()),
             _t: std::marker::PhantomData,
         };
         log.write_header()?;
@@ -611,6 +703,7 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
         let mut out = Writer::new();
         out.u64(w.steps());
         out.u64(w.total_len());
+        encode_quarantine(&mut out, w.lost_items(), &w.quarantined_files());
         let mut parts: Vec<(u64, &StoredPartition<T>)> = Vec::new();
         for level in 0..w.num_levels() {
             for p in w.level(level) {
@@ -646,6 +739,7 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
         self.guard = Some(new_guard);
         self.known = files;
         self.delta_records = 0;
+        self.last_quarantine = (w.lost_items(), w.quarantined_files());
         Ok(())
     }
 
@@ -692,6 +786,16 @@ impl<T: Item, D: BlockDevice> ManifestLog<T, D> {
             encode_partition(&mut out, level, p);
         }
         self.write_record(REC_DELTA, &out.buf)?;
+        // Quarantine changes (scrub repairs, new corruption finds) ride
+        // as a full-state record whenever the state moved since the last
+        // record — replayed by replacement, so one record suffices.
+        let quarantine = (w.lost_items(), w.quarantined_files());
+        if quarantine != self.last_quarantine {
+            let mut q = Writer::new();
+            encode_quarantine(&mut q, quarantine.0, &quarantine.1);
+            self.write_record(REC_QUARANTINE, &q.buf)?;
+            self.last_quarantine = quarantine;
+        }
         // Durability barrier, then swap pins: the delta is on storage, so
         // re-pin the now-referenced set and drop the old pins — which
         // executes the deletions this step's merges and retention
@@ -1152,5 +1256,193 @@ mod tests {
             assert_eq!(med.estimated_rank, 650);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Read a manifest/log file's full byte image.
+    fn read_image(dev: &MemDevice, file: FileId) -> Vec<u8> {
+        let bs = dev.block_size();
+        let mut raw = Vec::new();
+        let mut buf = vec![0u8; bs];
+        for b in 0..dev.num_blocks(file).unwrap() {
+            let got = dev.read_block(file, b, &mut buf).unwrap();
+            raw.extend_from_slice(&buf[..got]);
+        }
+        raw
+    }
+
+    /// Write a byte image as a fresh file on the device.
+    fn write_image(dev: &MemDevice, raw: &[u8]) -> FileId {
+        let file = dev.create().unwrap();
+        for (i, chunk) in raw.chunks(dev.block_size()).enumerate() {
+            dev.write_block(file, i as u64, chunk).unwrap();
+        }
+        file
+    }
+
+    #[test]
+    fn quarantine_state_survives_persist_recover() {
+        let w = build(2);
+        let file = w.partitions_newest_first()[0].run.file();
+        w.set_quarantine(17, vec![file]);
+        let manifest = persist(&w).unwrap();
+        let cfg = HsqConfig::with_epsilon(0.1);
+        let r: Warehouse<u64, MemDevice> = recover(Arc::clone(w.device()), cfg, manifest).unwrap();
+        assert_eq!(r.lost_items(), 17);
+        assert_eq!(r.quarantined_files(), vec![file]);
+        assert_eq!(r.quarantined_mass(), w.quarantined_mass());
+        assert_eq!(
+            r.healthy_partitions_newest_first().len(),
+            w.num_partitions() - 1
+        );
+    }
+
+    #[test]
+    fn quarantine_rides_the_log_through_detection_and_repair() {
+        let cfg = log_config(3, 64);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..4u64 {
+            w.add_batch((0..62).map(|i| s * 62 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        // Rot a block; the scrub's verify pass quarantines the partition
+        // and the next append records it as a Quarantine record.
+        let file = w.partitions_newest_first()[0].run.file();
+        let dev = Arc::clone(w.device());
+        let mut buf = vec![0u8; dev.block_size()];
+        let got = dev.read_block(file, 1, &mut buf).unwrap();
+        buf[got / 2] ^= 0x01;
+        dev.write_block(file, 1, &buf[..got]).unwrap();
+        assert_eq!(w.scrub(1_000).unwrap().quarantined_after, 1);
+        w.add_batch((500..562u64).collect()).unwrap();
+        log.append(&w).unwrap();
+        let mid: Warehouse<u64, MemDevice> =
+            recover(Arc::clone(&dev), cfg.clone(), log.file()).unwrap();
+        assert_eq!(mid.quarantined_files(), vec![file]);
+        assert_eq!(mid.quarantined_mass(), w.quarantined_mass());
+
+        // Repair, append again: replay must land on the healed state —
+        // suspect file gone, only the confirmed loss remaining.
+        let healed = w.scrub(1_000).unwrap();
+        assert_eq!(healed.partitions_repaired, 1);
+        w.add_batch((600..662u64).collect()).unwrap();
+        log.append(&w).unwrap();
+        let end: Warehouse<u64, MemDevice> = recover(Arc::clone(&dev), cfg, log.file()).unwrap();
+        assert!(end.quarantined_files().is_empty());
+        assert_eq!(end.lost_items(), healed.items_lost);
+        assert_eq!(end.total_len(), w.total_len());
+        end.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn version1_manifest_accepted() {
+        // A hand-built version-1 image (no quarantine block, no run
+        // format bytes): the reader must still accept it.
+        let dev = MemDevice::new(256);
+        let mut out = Writer::new();
+        out.buf.extend_from_slice(MAGIC);
+        out.u64(1); // version 1
+        out.u64(8); // u64 item width
+        out.u64(4); // steps
+        out.u64(0); // total_len
+        out.u64(0); // num partitions
+        let crc = crc64(&out.buf);
+        out.u64(crc);
+        let file = write_image(&dev, &out.buf);
+        let w: Warehouse<u64, MemDevice> =
+            recover(dev, HsqConfig::with_epsilon(0.1), file).unwrap();
+        assert_eq!(w.steps(), 4);
+        assert_eq!(w.total_len(), 0);
+        assert_eq!(w.quarantined_mass(), 0);
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let dev = MemDevice::new(256);
+        let mut out = Writer::new();
+        out.buf.extend_from_slice(MAGIC);
+        out.u64(VERSION + 1);
+        out.u64(8);
+        out.u64(0);
+        out.u64(0);
+        out.u64(0);
+        let crc = crc64(&out.buf);
+        out.u64(crc);
+        let file = write_image(&dev, &out.buf);
+        let err = recover::<u64, _>(dev, HsqConfig::with_epsilon(0.1), file).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_manifest_never_panics() {
+        // Fuzz-style sweep: every strict prefix of a valid snapshot
+        // manifest must be rejected with an error — never a panic, never
+        // a bogus warehouse.
+        let w = build(2);
+        let manifest = persist(&w).unwrap();
+        let dev = w.device();
+        let raw = read_image(dev, manifest);
+        let cfg = HsqConfig::with_epsilon(0.1);
+        for len in 0..raw.len() {
+            let trunc = write_image(dev, &raw[..len]);
+            assert!(
+                recover::<u64, _>(Arc::clone(dev), cfg.clone(), trunc).is_err(),
+                "a {len}-byte prefix of a {}-byte manifest must be rejected",
+                raw.len()
+            );
+            dev.delete(trunc).unwrap();
+        }
+    }
+
+    #[test]
+    fn bit_flipped_manifest_never_panics() {
+        // The whole-image CRC makes every single-bit flip detectable.
+        let w = build(2);
+        let manifest = persist(&w).unwrap();
+        let dev = w.device();
+        let raw = read_image(dev, manifest);
+        let cfg = HsqConfig::with_epsilon(0.1);
+        for pos in (0..raw.len()).step_by(7) {
+            let mut img = raw.clone();
+            img[pos] ^= 1 << (pos % 8);
+            let f = write_image(dev, &img);
+            assert!(
+                recover::<u64, _>(Arc::clone(dev), cfg.clone(), f).is_err(),
+                "bit flip at byte {pos} must be rejected"
+            );
+            dev.delete(f).unwrap();
+        }
+    }
+
+    #[test]
+    fn bit_flipped_log_recovers_cleanly_or_rejects() {
+        // Log replay treats a record failing its CRC as a torn tail: a
+        // flip may legitimately roll recovery back to an earlier record,
+        // but must never panic or yield an invalid warehouse.
+        let cfg = log_config(3, 64);
+        let mut w = Warehouse::<u64, _>::new(MemDevice::new(256), cfg.clone());
+        let mut log = ManifestLog::create(&w).unwrap();
+        for s in 0..6u64 {
+            w.add_batch((0..60).map(|i| s * 60 + i).collect()).unwrap();
+            log.append(&w).unwrap();
+        }
+        let dev = w.device();
+        let raw = read_image(dev, log.file());
+        let final_len = w.total_len();
+        for pos in (0..raw.len()).step_by(13) {
+            let mut img = raw.clone();
+            img[pos] ^= 1 << (pos % 8);
+            let f = write_image(dev, &img);
+            // An error is a clean rejection (InvalidData for garbled
+            // bytes, NotFound when a flipped file id dangles).
+            if let Ok(r) = recover::<u64, _>(Arc::clone(dev), cfg.clone(), f) {
+                r.check_invariants().unwrap();
+                assert!(
+                    r.total_len() <= final_len,
+                    "rolled-back state can only be a prefix of history"
+                );
+            }
+            dev.delete(f).unwrap();
+        }
     }
 }

@@ -21,8 +21,7 @@ use std::io;
 use std::sync::Arc;
 
 use hsq_storage::{
-    items_per_block, BlockCache, BlockDevice, IoOp, IoOutcome, IoScheduler, IoSnapshot, IoTicket,
-    Item,
+    BlockCache, BlockDevice, IoOp, IoOutcome, IoScheduler, IoSnapshot, IoTicket, Item,
 };
 
 use crate::bounds::{CombinedSummary, SourceView};
@@ -46,6 +45,20 @@ pub struct QueryOutcome<T> {
     /// Speculative probe-prefetch reads that went unused (the candidate
     /// direction the bisection did not take).
     pub prefetch_wasted: u32,
+    /// Rigorous lower bound on `rank(value, T)`: `estimated_rank − ε·m`.
+    pub rank_lo: u64,
+    /// Rigorous upper bound on `rank(value, T)`:
+    /// `estimated_rank + ε·m + quarantined` — degraded queries widen the
+    /// upper bound by **exactly** the quarantined item count, since every
+    /// unreadable item could fall at or below `value`.
+    pub rank_hi: u64,
+    /// `true` when the context excluded quarantined (confirmed-corrupt)
+    /// partitions: the answer is still rank-correct within
+    /// `[rank_lo, rank_hi]`, just wider than the healthy-path `ε·m`.
+    pub degraded: bool,
+    /// Items excluded by quarantine (suspect partitions + confirmed-lost
+    /// mass) — the exact widening applied to `rank_hi`.
+    pub quarantined: u64,
 }
 
 /// How [`QueryContext::accurate_rank`] seeds its bisection bracket.
@@ -82,6 +95,9 @@ pub struct QueryContext<'a, T: Item, D: BlockDevice> {
     sched: Option<&'a IoScheduler>,
     /// Bisection bracket seeding (see [`SeedMode`]).
     seed: SeedMode,
+    /// Items quarantined (excluded) from this context's partition set;
+    /// widens every outcome's `rank_hi` and sets its `degraded` flag.
+    quarantined: u64,
 }
 
 impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
@@ -109,6 +125,7 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             parallel: false,
             sched: None,
             seed: SeedMode::default(),
+            quarantined: 0,
         }
     }
 
@@ -136,6 +153,15 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
     /// [`SeedMode::Summary`]).
     pub fn with_seed_mode(mut self, seed: SeedMode) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Mark this context as degraded: `quarantined` items were excluded
+    /// from its partition set (corruption quarantine). Outcomes widen
+    /// `rank_hi` by exactly this amount and set their `degraded` flag.
+    /// No-op at 0 (the healthy path).
+    pub fn with_degraded(mut self, quarantined: u64) -> Self {
+        self.quarantined = quarantined;
         self
     }
 
@@ -186,6 +212,7 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
                 .map(|p| p.summary.narrow(v, v))
                 .collect();
             let rho = self.estimate_rank(v, &mut windows, &mut caches)?;
+            let eps_m = (self.epsilon * self.stream.stream_len() as f64).floor() as u64;
             return Ok(Some(QueryOutcome {
                 value: v,
                 io: self.dev.stats().snapshot() - before,
@@ -193,6 +220,10 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
                 estimated_rank: rho,
                 prefetch_hits: 0,
                 prefetch_wasted: 0,
+                rank_lo: rho.saturating_sub(eps_m),
+                rank_hi: rho + eps_m + self.quarantined,
+                degraded: self.quarantined > 0,
+                quarantined: self.quarantined,
             }));
         }
 
@@ -210,7 +241,7 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
         // value collapse and returns the boundary, which is the
         // Definition-1 answer).
         let eps_m = (self.epsilon * m as f64).floor() as u64;
-        let per = items_per_block::<T>(self.dev.block_size()) as u64;
+        let bs = self.dev.block_size();
         let mut prefetch = self.sched.map(SpecPrefetcher::new);
 
         let mut steps = 0u32;
@@ -231,7 +262,7 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             // Consume the speculative reads matching this step's probes
             // before the synchronous path looks for their blocks.
             if let Some(pf) = prefetch.as_mut() {
-                pf.harvest(&self.partitions, &windows, per, &mut caches);
+                pf.harvest(&self.partitions, &windows, bs, &mut caches);
             }
             let (rho1, part_ranks) = self.rank_in_partitions(z, &windows, &mut caches)?;
             // Speculate on the next step: submit the first-probe block of
@@ -240,7 +271,7 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             // lower) while the acceptance arithmetic below runs. One of
             // them is the next step's first read — already in flight.
             if let Some(pf) = prefetch.as_mut() {
-                pf.speculate(&self.partitions, &windows, &part_ranks, per, &caches);
+                pf.speculate(&self.partitions, &windows, &part_ranks, bs, &caches);
             }
             let (lo2, hi2) = self.stream.rank_bounds(z);
             let rho2 = lo2 + (hi2 - lo2) / 2;
@@ -281,6 +312,10 @@ impl<'a, T: Item, D: BlockDevice> QueryContext<'a, T, D> {
             estimated_rank,
             prefetch_hits,
             prefetch_wasted,
+            rank_lo: estimated_rank.saturating_sub(eps_m),
+            rank_hi: estimated_rank + eps_m + self.quarantined,
+            degraded: self.quarantined > 0,
+            quarantined: self.quarantined,
         }))
     }
 
@@ -365,10 +400,11 @@ impl<'d, T: Item> SpecPrefetcher<'d, T> {
         partitions: &[&StoredPartition<T>],
         windows: &[(u64, u64)],
         part_ranks: &[u64],
-        per: u64,
+        bs: usize,
         caches: &[BlockCache<T>],
     ) {
         for (i, ((p, &w), &pr)) in partitions.iter().zip(windows).zip(part_ranks).enumerate() {
+            let per = p.run.items_per_block(bs) as u64;
             let left = (w.0, w.1.min(pr));
             let right = (w.0.max(pr), w.1);
             let mut submit = |window: (u64, u64)| {
@@ -399,24 +435,31 @@ impl<'d, T: Item> SpecPrefetcher<'d, T> {
         &mut self,
         partitions: &[&StoredPartition<T>],
         windows: &[(u64, u64)],
-        per: u64,
+        bs: usize,
         caches: &mut [BlockCache<T>],
     ) {
         let mut kept = Vec::with_capacity(self.pending.len());
         for (i, block, mut ticket) in self.pending.drain(..) {
             let p = &partitions[i];
+            let per = p.run.items_per_block(bs) as u64;
             let wanted = Self::first_probe_block(windows[i], per) == Some(block)
                 && !caches[i].contains(p.run.file(), block);
             if wanted {
                 // The block the next synchronous read would fetch: wait
                 // for the in-flight copy instead of re-reading.
-                let bs = self.sched.device().block_size();
                 let in_block = (per.min(p.run.len() - block * per)) as usize;
                 match self.sched.wait(ticket) {
                     Ok(IoOutcome::Read { data, len }) if len >= in_block * T::ENCODED_LEN => {
-                        let items = p.run.decode_block_items(block, bs, &data[..len]);
-                        caches[i].insert(p.run.file(), block, Arc::new(items));
-                        self.hits += 1;
+                        // A speculative block that fails verification is
+                        // simply dropped: the synchronous path re-reads
+                        // and surfaces the corruption itself.
+                        match p.run.decode_block_items(block, bs, &data[..len]) {
+                            Ok(items) => {
+                                caches[i].insert(p.run.file(), block, Arc::new(items));
+                                self.hits += 1;
+                            }
+                            Err(_) => self.wasted += 1,
+                        }
                     }
                     // A failed or short speculative read is not an error:
                     // the synchronous path re-reads and surfaces any real
@@ -542,7 +585,7 @@ pub fn partition_rank<T: Item, D: BlockDevice>(
 ) -> io::Result<u64> {
     let (mut lo, mut hi) = window;
     debug_assert!(hi <= p.run.len());
-    let per = items_per_block::<T>(dev.block_size()) as u64;
+    let per = p.run.items_per_block(dev.block_size()) as u64;
     loop {
         if lo >= hi {
             return Ok(lo);

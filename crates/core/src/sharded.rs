@@ -521,6 +521,7 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         let (value, estimated_rank, steps) =
             crate::query::bisect_summed_rank(r, eps_m, u, v, |z| self.probe_bounds(z, caches))?;
 
+        let quarantined = self.quarantined_total();
         Ok(Some(QueryOutcome {
             value,
             io: self.io_since(&marks),
@@ -528,7 +529,17 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
             estimated_rank,
             prefetch_hits: 0,
             prefetch_wasted: 0,
+            rank_lo: estimated_rank.saturating_sub(eps_m),
+            rank_hi: estimated_rank + eps_m + quarantined,
+            degraded: quarantined > 0,
+            quarantined,
         }))
+    }
+
+    /// Items excluded by quarantine across every shard — the `rank_hi`
+    /// widening cross-shard outcomes carry.
+    pub fn quarantined_total(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined_mass()).sum()
     }
 
     /// Window sizes (in snapshot-time steps) answerable exactly across
@@ -575,7 +586,13 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         let mut total = self.stream_len();
         let mut sources: Vec<crate::bounds::SourceView<T>> = Vec::new();
         for s in &self.shards {
-            let idx = s.window_partition_indices(window_steps)?;
+            // Quarantined partitions stay out of the plan: windowed
+            // queries answer over readable data with widened bounds.
+            let idx: Vec<usize> = s
+                .window_partition_indices(window_steps)?
+                .into_iter()
+                .filter(|&i| !s.is_quarantined(s.partition_at(i).run.file()))
+                .collect();
             for &i in &idx {
                 let p = s.partition_at(i);
                 total += p.run.len();
@@ -694,6 +711,7 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
                 Ok((lo, hi))
             })?;
 
+        let quarantined = self.quarantined_total();
         Ok(Some(QueryOutcome {
             value,
             io: self.io_since(&marks),
@@ -701,6 +719,10 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
             estimated_rank,
             prefetch_hits: 0,
             prefetch_wasted: 0,
+            rank_lo: estimated_rank.saturating_sub(eps_m),
+            rank_hi: estimated_rank + eps_m + quarantined,
+            degraded: quarantined > 0,
+            quarantined,
         }))
     }
 }

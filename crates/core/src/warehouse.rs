@@ -15,12 +15,14 @@
 //! partition's blocks are being written — zero additional reads) and its
 //! time-step interval, which powers window queries (§2.4).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use hsq_storage::{BlockDevice, FileId, IoScheduler, IoSnapshot, Item, RunWriter, SortedRun};
+use hsq_storage::{
+    corruption_in, BlockDevice, FileId, IoScheduler, IoSnapshot, Item, RunWriter, SortedRun,
+};
 
 use crate::config::HsqConfig;
 use crate::retention::RetentionReport;
@@ -173,6 +175,33 @@ impl<D: BlockDevice> Drop for PinGuard<D> {
     }
 }
 
+/// Corruption-quarantine bookkeeping: the files whose runs failed a
+/// checksum (still on disk, excluded from queries and merges until
+/// [`Warehouse::scrub`] repairs them) and the item mass already confirmed
+/// unrecoverable by past repairs.
+#[derive(Debug, Default)]
+struct QuarantineState {
+    files: HashSet<FileId>,
+    lost: u64,
+}
+
+/// What one [`Warehouse::scrub`] pass did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Checksummed blocks read and verified (healthy partitions).
+    pub blocks_verified: u64,
+    /// Blocks that failed verification during this pass.
+    pub corrupt_blocks: u64,
+    /// Quarantined partitions rebuilt from their readable blocks.
+    pub partitions_repaired: u64,
+    /// Items salvaged into fresh runs by those repairs.
+    pub items_salvaged: u64,
+    /// Items confirmed unrecoverable by those repairs.
+    pub items_lost: u64,
+    /// Files still quarantined when the pass ended.
+    pub quarantined_after: u64,
+}
+
 /// `HD` + `HS`: the historical store (Algorithm 3).
 pub struct Warehouse<T: Item, D: BlockDevice> {
     dev: Arc<D>,
@@ -188,14 +217,26 @@ pub struct Warehouse<T: Item, D: BlockDevice> {
     /// input windows, and the manifest log turns per-file syncs into
     /// completion barriers. `None` = every device call is synchronous.
     sched: Option<Arc<IoScheduler>>,
+    /// Interior-mutable because corruption is *discovered* on read paths
+    /// that take `&self` (the engine's query loop quarantines and
+    /// retries without a write lock on the warehouse).
+    quarantine: Mutex<QuarantineState>,
+    /// Where the next [`Warehouse::scrub`] verify pass resumes, as an
+    /// index into the level-major partition list (wraps; approximate
+    /// under concurrent restructuring, which is fine for a rate-limited
+    /// background pass).
+    scrub_cursor: usize,
 }
 
 /// The per-warehouse scheduler for `dev` when `config` asks for one.
+/// Workers retry transient failures per `config.retry`.
 fn make_sched<D: BlockDevice>(dev: &Arc<D>, config: &HsqConfig) -> Option<Arc<IoScheduler>> {
     (config.io_depth > 0).then(|| {
-        Arc::new(IoScheduler::new(
+        Arc::new(IoScheduler::with_retry(
             Arc::clone(dev) as Arc<dyn BlockDevice>,
             config.io_depth,
+            None,
+            config.retry,
         ))
     })
 }
@@ -225,6 +266,8 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             steps: 0,
             pins: Arc::new(PinRegistry::default()),
             sched,
+            quarantine: Mutex::new(QuarantineState::default()),
+            scrub_cursor: 0,
         }
     }
 
@@ -277,7 +320,19 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             steps,
             pins: Arc::new(PinRegistry::default()),
             sched,
+            quarantine: Mutex::new(QuarantineState::default()),
+            scrub_cursor: 0,
         }
+    }
+
+    /// Install recovered quarantine state (manifest recovery): the lost
+    /// item count and the files quarantined when the state was persisted.
+    /// Files no longer backing a live partition are dropped.
+    pub(crate) fn set_quarantine(&self, lost: u64, files: Vec<FileId>) {
+        let live: HashSet<FileId> = self.levels.iter().flatten().map(|p| p.run.file()).collect();
+        let mut q = self.quarantine.lock().unwrap();
+        q.lost = lost;
+        q.files = files.into_iter().filter(|f| live.contains(f)).collect();
     }
 
     /// Historical data size `n`.
@@ -315,6 +370,69 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             }
         }
         out
+    }
+
+    /// Quarantine the partition backed by `file` after a confirmed
+    /// checksum failure: it is excluded from queries (which widen their
+    /// rank bounds by its item count instead — see
+    /// [`crate::query::QueryOutcome`]) and from cascade merges until
+    /// [`Warehouse::scrub`] repairs it. Returns `true` if `file` backs a
+    /// live partition and was not already quarantined.
+    pub fn quarantine(&self, file: FileId) -> bool {
+        if !self.levels.iter().flatten().any(|p| p.run.file() == file) {
+            return false;
+        }
+        self.quarantine.lock().unwrap().files.insert(file)
+    }
+
+    /// Is `file` currently quarantined?
+    pub fn is_quarantined(&self, file: FileId) -> bool {
+        self.quarantine.lock().unwrap().files.contains(&file)
+    }
+
+    /// Files currently quarantined, sorted (deterministic order).
+    pub fn quarantined_files(&self) -> Vec<FileId> {
+        let mut files: Vec<FileId> = self
+            .quarantine
+            .lock()
+            .unwrap()
+            .files
+            .iter()
+            .copied()
+            .collect();
+        files.sort_unstable();
+        files
+    }
+
+    /// Items confirmed unrecoverable by past [`Warehouse::scrub`] repairs
+    /// (the permanent part of the degraded-query widening).
+    pub fn lost_items(&self) -> u64 {
+        self.quarantine.lock().unwrap().lost
+    }
+
+    /// Total item mass queries cannot currently see: items in quarantined
+    /// partitions plus items already confirmed lost. Degraded queries
+    /// widen their rank bounds by **exactly** this amount.
+    pub fn quarantined_mass(&self) -> u64 {
+        let q = self.quarantine.lock().unwrap();
+        let suspect: u64 = self
+            .levels
+            .iter()
+            .flatten()
+            .filter(|p| q.files.contains(&p.run.file()))
+            .map(|p| p.run.len())
+            .sum();
+        suspect + q.lost
+    }
+
+    /// [`Warehouse::partitions_newest_first`] minus quarantined
+    /// partitions — the set degraded queries answer over.
+    pub fn healthy_partitions_newest_first(&self) -> Vec<&StoredPartition<T>> {
+        let q = self.quarantine.lock().unwrap();
+        self.partitions_newest_first()
+            .into_iter()
+            .filter(|p| !q.files.contains(&p.run.file()))
+            .collect()
     }
 
     /// Pin an explicit file set (no partition cloning): the returned
@@ -524,8 +642,32 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
                 level += 1;
                 continue;
             }
+            // A level holding a quarantined partition stays unmerged (the
+            // merge would have to read the corrupt blocks); it may exceed
+            // kappa until scrub repairs the partition.
+            if self.levels[level]
+                .iter()
+                .any(|p| self.is_quarantined(p.run.file()))
+            {
+                level += 1;
+                continue;
+            }
             let olds: Vec<StoredPartition<T>> = std::mem::take(&mut self.levels[level]);
-            let merged = self.merge_partitions(&olds)?;
+            let merged = match self.merge_partitions(&olds) {
+                Ok(m) => m,
+                Err(e) => {
+                    // Put the sources back; on confirmed corruption,
+                    // quarantine the bad run and carry on — the step
+                    // still succeeds, queries degrade, scrub repairs.
+                    self.levels[level] = olds;
+                    if let Some((file, _)) = corruption_in(&e) {
+                        self.quarantine(file);
+                        level += 1;
+                        continue;
+                    }
+                    return Err(e);
+                }
+            };
             for p in olds {
                 // Snapshot readers may still hold the run: deletion is
                 // deferred to the last pin if so.
@@ -670,6 +812,9 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
             return Ok(());
         };
         let p = self.levels[level].remove(idx);
+        // A retained-out partition leaves quarantine: its data is gone by
+        // policy, not by corruption, so it no longer widens queries.
+        self.quarantine.lock().unwrap().files.remove(&p.run.file());
         report.retired_partitions += 1;
         report.retired_items += p.run.len();
         report.retired_bytes += self.dev.file_len(p.run.file()).unwrap_or(0);
@@ -685,6 +830,212 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
                 }
                 None => p.run.delete(&*self.dev)?,
             }
+        }
+        Ok(())
+    }
+
+    /// Background self-healing pass, rate-limited to about
+    /// `budget_blocks` block reads.
+    ///
+    /// Two phases:
+    /// 1. **Repair**: every quarantined partition (budget permitting) is
+    ///    rebuilt by salvaging each block that still passes its checksum
+    ///    into a fresh checksummed run with a rebuilt summary; the mass
+    ///    of unreadable blocks moves from "suspect" to "confirmed lost",
+    ///    shrinking the degraded-query widening to truly lost items. A
+    ///    started repair always completes, so the budget is a soft cap.
+    /// 2. **Verify**: healthy partitions' blocks are read and
+    ///    checksum-verified (through the overlapped-I/O scheduler when
+    ///    one is configured), resuming where the previous pass stopped;
+    ///    a failing block quarantines its partition for the next pass's
+    ///    repair phase.
+    ///
+    /// Returns what the pass did; `quarantined_after > 0` means another
+    /// pass has repair work left.
+    pub fn scrub(&mut self, budget_blocks: u64) -> io::Result<ScrubReport> {
+        self.io_barrier()?;
+        let mut report = ScrubReport::default();
+        let mut budget = budget_blocks;
+
+        for file in self.quarantined_files() {
+            if budget == 0 {
+                break;
+            }
+            self.repair_partition(file, &mut budget, &mut report)?;
+        }
+
+        let total = self.num_partitions();
+        let start = if total == 0 {
+            0
+        } else {
+            self.scrub_cursor % total
+        };
+        'verify: for off in 0..total {
+            let pos = (start + off) % total;
+            if budget == 0 {
+                self.scrub_cursor = pos;
+                break 'verify;
+            }
+            let (level, idx) = self.nth_partition(pos);
+            let file = self.levels[level][idx].run.file();
+            if self.is_quarantined(file) {
+                continue;
+            }
+            if let Some(bad) = self.verify_partition(level, idx, &mut budget, &mut report)? {
+                self.quarantine(bad);
+            }
+            self.scrub_cursor = (pos + 1) % total.max(1);
+        }
+
+        report.quarantined_after = self.quarantined_files().len() as u64;
+        Ok(report)
+    }
+
+    /// `(level, index)` of the `pos`-th partition in level-major order.
+    fn nth_partition(&self, pos: usize) -> (usize, usize) {
+        let mut rem = pos;
+        for (l, level) in self.levels.iter().enumerate() {
+            if rem < level.len() {
+                return (l, rem);
+            }
+            rem -= level.len();
+        }
+        unreachable!("partition position {pos} out of range");
+    }
+
+    /// Checksum-verify the blocks of the partition at `(level, idx)`,
+    /// consuming `budget`. Returns the file to quarantine if a block
+    /// failed. Transient/fatal device errors propagate.
+    fn verify_partition(
+        &self,
+        level: usize,
+        idx: usize,
+        budget: &mut u64,
+        report: &mut ScrubReport,
+    ) -> io::Result<Option<FileId>> {
+        let p = &self.levels[level][idx];
+        let bs = self.dev.block_size();
+        let per = p.run.items_per_block(bs) as u64;
+        let blocks = p.run.len().div_ceil(per);
+        let file = p.run.file();
+        match &self.sched {
+            Some(sched) => {
+                // Pipeline the reads through the scheduler: keep up to
+                // `depth` block reads in flight while decoding.
+                let depth = sched.depth().max(1) as u64;
+                let mut tickets = std::collections::VecDeque::new();
+                let mut next = 0u64;
+                let mut checked = 0u64;
+                while checked < blocks {
+                    while next < blocks && (tickets.len() as u64) < depth && *budget > 0 {
+                        *budget -= 1;
+                        tickets.push_back((
+                            next,
+                            sched.submit(hsq_storage::IoOp::ReadBlocks {
+                                file,
+                                first: next,
+                                count: 1,
+                            }),
+                        ));
+                        next += 1;
+                    }
+                    let Some((block, t)) = tickets.pop_front() else {
+                        break; // budget exhausted
+                    };
+                    let hsq_storage::IoOutcome::Read { data, len } = sched.wait(t)? else {
+                        unreachable!("read op completed with non-read outcome")
+                    };
+                    report.blocks_verified += 1;
+                    checked += 1;
+                    if let Err(e) = p.run.decode_block_items(block, bs, &data[..len]) {
+                        if corruption_in(&e).is_none() {
+                            return Err(e);
+                        }
+                        report.corrupt_blocks += 1;
+                        // Drain the in-flight tail before bailing.
+                        for (_, t) in tickets {
+                            let _ = sched.wait(t);
+                        }
+                        return Ok(Some(file));
+                    }
+                }
+            }
+            None => {
+                for block in 0..blocks {
+                    if *budget == 0 {
+                        break;
+                    }
+                    *budget -= 1;
+                    report.blocks_verified += 1;
+                    if let Err(e) = p.run.read_block_items(&*self.dev, block) {
+                        if corruption_in(&e).is_none() {
+                            return Err(e);
+                        }
+                        report.corrupt_blocks += 1;
+                        return Ok(Some(file));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Rebuild the quarantined partition backed by `file` from its
+    /// readable blocks (see [`Warehouse::scrub`], phase 1).
+    fn repair_partition(
+        &mut self,
+        file: FileId,
+        budget: &mut u64,
+        report: &mut ScrubReport,
+    ) -> io::Result<()> {
+        let located = self.levels.iter().enumerate().find_map(|(l, level)| {
+            level
+                .iter()
+                .position(|p| p.run.file() == file)
+                .map(|i| (l, i))
+        });
+        let Some((level, idx)) = located else {
+            // The partition was merged or retained away; nothing to heal.
+            self.quarantine.lock().unwrap().files.remove(&file);
+            return Ok(());
+        };
+        let old = self.levels[level][idx].clone();
+        let bs = self.dev.block_size();
+        let per = old.run.items_per_block(bs) as u64;
+        let blocks = old.run.len().div_ceil(per);
+        let mut salvaged: Vec<T> = Vec::with_capacity(old.run.len() as usize);
+        for block in 0..blocks {
+            *budget = budget.saturating_sub(1);
+            match old.run.read_block_items(&*self.dev, block) {
+                Ok(items) => salvaged.extend(items),
+                Err(e) => {
+                    if corruption_in(&e).is_none() {
+                        return Err(e);
+                    }
+                    report.corrupt_blocks += 1;
+                }
+            }
+        }
+        let lost = old.run.len() - salvaged.len() as u64;
+        let run = hsq_storage::write_run(&*self.dev, &salvaged)?;
+        let summary = summarize_sorted(&salvaged, self.config.epsilon1, self.config.beta1, bs);
+        self.levels[level][idx] = StoredPartition {
+            run,
+            summary,
+            first_step: old.first_step,
+            last_step: old.last_step,
+        };
+        {
+            let mut q = self.quarantine.lock().unwrap();
+            q.files.remove(&file);
+            q.lost += lost;
+        }
+        self.total_len -= lost;
+        report.partitions_repaired += 1;
+        report.items_salvaged += salvaged.len() as u64;
+        report.items_lost += lost;
+        if self.pins.retire(file) {
+            self.dev.delete(file)?;
         }
         Ok(())
     }
@@ -723,7 +1074,11 @@ impl<T: Item, D: BlockDevice> Warehouse<T, D> {
     /// step ranges disjoint and collectively contiguous.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (l, level) in self.levels.iter().enumerate() {
-            if level.len() > self.config.kappa {
+            // A quarantined partition legitimately blocks its level's
+            // merge, so the kappa cap is only enforced on clean levels.
+            if level.len() > self.config.kappa
+                && !level.iter().any(|p| self.is_quarantined(p.run.file()))
+            {
                 return Err(format!(
                     "level {l} has {} partitions > kappa = {}",
                     level.len(),
@@ -915,10 +1270,11 @@ mod tests {
 
     #[test]
     fn update_io_accounting() {
-        // 256-byte blocks, 32 u64/block. 320 items = 10 blocks.
+        // 256-byte checksummed blocks: 31 u64 + CRC trailer per block.
+        // 320 items = ceil(320/31) = 11 blocks.
         let mut w = warehouse(4);
         let report = w.add_batch((0..320u64).rev().collect()).unwrap();
-        assert_eq!(report.load_io.writes, 10);
+        assert_eq!(report.load_io.writes, 11);
         assert_eq!(report.merge_io.total_accesses(), 0);
         assert_eq!(report.merges, 0);
 
@@ -1149,11 +1505,13 @@ mod tests {
     fn retention_report_accounts_bytes_and_steps() {
         let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(1);
         let mut w = retention_warehouse(4, policy);
-        w.add_batch(batch(1, 32)).unwrap(); // 32 u64 = 256 bytes = 1 block
+        // 32 u64 in 256-byte checksummed blocks: 31 in a full block plus
+        // a short tail block of 1 item + CRC trailer = 256 + 16 bytes.
+        w.add_batch(batch(1, 32)).unwrap();
         let r = w.add_batch(batch(2, 32)).unwrap();
         assert_eq!(r.retention.retired_partitions, 1);
         assert_eq!(r.retention.retired_items, 32);
-        assert_eq!(r.retention.retired_bytes, 256);
+        assert_eq!(r.retention.retired_bytes, 272);
         assert_eq!(r.retention.retired_steps, 1);
         assert_eq!(w.total_len(), 32);
     }
@@ -1189,5 +1547,147 @@ mod tests {
             "{} words > bound {bound}",
             w.summary_memory_words()
         );
+    }
+
+    /// Flip one payload byte of a run's block in place: the silent
+    /// corruption the per-block CRC trailer exists to catch.
+    fn rot_block(dev: &MemDevice, file: hsq_storage::FileId, block: u64) {
+        let mut buf = vec![0u8; dev.block_size()];
+        let n = dev.read_block(file, block, &mut buf).unwrap();
+        buf[n / 2] ^= 0x01;
+        dev.write_block(file, block, &buf[..n]).unwrap();
+    }
+
+    #[test]
+    fn quarantine_excludes_partition_and_accounts_mass() {
+        let mut w = warehouse(4);
+        for s in 1..=3u64 {
+            w.add_batch(batch(s, 50)).unwrap();
+        }
+        let file = w.partitions_newest_first()[0].run.file();
+        assert!(!w.is_quarantined(file));
+        assert!(w.quarantine(file));
+        assert!(!w.quarantine(file), "re-quarantine must be a no-op");
+        assert!(!w.quarantine(999_999), "unknown file must be refused");
+        assert!(w.is_quarantined(file));
+        assert_eq!(w.quarantined_files(), vec![file]);
+        // Suspect (not yet confirmed-lost) mass: the whole partition.
+        assert_eq!(w.quarantined_mass(), 50);
+        assert_eq!(w.lost_items(), 0);
+        assert_eq!(w.total_len(), 150, "total_len shrinks only on repair");
+        let healthy = w.healthy_partitions_newest_first();
+        assert_eq!(healthy.len(), 2);
+        assert!(healthy.iter().all(|p| p.run.file() != file));
+        w.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn scrub_detects_bit_rot_then_repairs_salvaging_good_blocks() {
+        let mut w = warehouse(4);
+        // 62 items per partition = exactly two 31-item checksummed blocks.
+        for s in 1..=2u64 {
+            w.add_batch(batch(s, 62)).unwrap();
+        }
+        let file = w.partitions_newest_first()[0].run.file();
+        rot_block(w.device(), file, 1);
+
+        // Pass 1: verify phase finds the rotted block and quarantines.
+        let r1 = w.scrub(1_000).unwrap();
+        assert_eq!(r1.corrupt_blocks, 1);
+        assert_eq!(r1.partitions_repaired, 0);
+        assert_eq!(r1.quarantined_after, 1);
+        assert!(w.is_quarantined(file));
+        assert_eq!(w.quarantined_mass(), 62, "whole partition suspect");
+
+        // Pass 2: repair phase salvages the clean block, confirms the
+        // rotted one lost, and the partition leaves quarantine.
+        let r2 = w.scrub(1_000).unwrap();
+        assert_eq!(r2.partitions_repaired, 1);
+        assert_eq!(r2.items_salvaged, 31);
+        assert_eq!(r2.items_lost, 31);
+        assert_eq!(r2.quarantined_after, 0);
+        assert_eq!(w.lost_items(), 31);
+        assert_eq!(w.quarantined_mass(), 31, "only confirmed loss remains");
+        assert_eq!(w.total_len(), 2 * 62 - 31);
+        assert!(!w.is_quarantined(file));
+        w.check_invariants().unwrap();
+
+        // The replacement run reads back clean and sorted.
+        let healthy = w.healthy_partitions_newest_first();
+        assert_eq!(healthy.len(), 2);
+        for p in healthy {
+            let items = p.run.read_all(&**w.device()).unwrap();
+            assert!(items.windows(2).all(|x| x[0] <= x[1]));
+        }
+
+        // A further pass is pure verification: nothing left to heal.
+        let r3 = w.scrub(1_000).unwrap();
+        assert_eq!(r3.corrupt_blocks, 0);
+        assert_eq!(r3.partitions_repaired, 0);
+    }
+
+    #[test]
+    fn scrub_budget_bounds_reads_and_cursor_resumes() {
+        let mut w = warehouse(8);
+        // Four single-block partitions, all on level 0.
+        for s in 1..=4u64 {
+            w.add_batch(batch(s, 31)).unwrap();
+        }
+        // Rot the newest partition — the last position in level-major
+        // order, reached only after the cursor advances past the others.
+        let file = w.partitions_newest_first()[0].run.file();
+        rot_block(w.device(), file, 0);
+
+        let r1 = w.scrub(2).unwrap();
+        assert_eq!(r1.blocks_verified, 2, "budget caps the pass");
+        assert_eq!(r1.quarantined_after, 0, "rot not reached yet");
+        let r2 = w.scrub(2).unwrap();
+        assert_eq!(r2.quarantined_after, 1, "resumed pass reaches the rot");
+        assert!(w.is_quarantined(file));
+    }
+
+    #[test]
+    fn merge_skips_quarantined_level_and_invariants_hold() {
+        // kappa = 2: a third level-0 partition would normally cascade.
+        // With one of them quarantined the level must stay unmerged (a
+        // merge would read the corrupt run), tolerated by the invariant
+        // checker, and heal back to normal after repair.
+        let mut w = warehouse(2);
+        w.add_batch(batch(1, 62)).unwrap();
+        w.add_batch(batch(2, 62)).unwrap();
+        let file = w.partitions_newest_first()[0].run.file();
+        rot_block(w.device(), file, 0);
+        assert!(w.quarantine(file));
+
+        w.add_batch(batch(3, 62)).unwrap();
+        assert!(
+            w.level(0).len() > w.config.kappa,
+            "quarantined level must not merge"
+        );
+        w.check_invariants().unwrap();
+
+        // Repair, then the next step's cascade drains the level.
+        let r = w.scrub(1_000).unwrap();
+        assert_eq!(r.partitions_repaired, 1);
+        w.add_batch(batch(4, 62)).unwrap();
+        assert!(w.level(0).len() <= w.config.kappa);
+        w.check_invariants().unwrap();
+        assert_eq!(w.total_len(), 4 * 62 - r.items_lost);
+    }
+
+    #[test]
+    fn retention_expiry_clears_quarantine() {
+        let policy = crate::retention::RetentionPolicy::unbounded().with_max_age_steps(2);
+        let mut w = retention_warehouse(4, policy);
+        w.add_batch(batch(1, 31)).unwrap();
+        let file = w.partitions_newest_first()[0].run.file();
+        assert!(w.quarantine(file));
+        // Two more steps expire step 1, taking its quarantine entry along.
+        for s in 2..=4u64 {
+            w.add_batch(batch(s, 31)).unwrap();
+        }
+        assert!(!w.is_quarantined(file));
+        assert_eq!(w.quarantined_mass(), 0);
+        w.check_invariants().unwrap();
     }
 }

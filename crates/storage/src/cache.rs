@@ -161,6 +161,6 @@ mod tests {
         let run = write_run(&*dev, &data).unwrap();
         let mut cache = BlockCache::new(8);
         let block1 = cache.get_block(&*dev, &run, 1).unwrap();
-        assert_eq!(&**block1, &(108..116).collect::<Vec<u64>>());
+        assert_eq!(&**block1, &(107..114).collect::<Vec<u64>>());
     }
 }

@@ -1,0 +1,405 @@
+//! Typed storage errors and transient-I/O retry.
+//!
+//! The read paths of this crate distinguish three failure classes:
+//!
+//! * [`StorageError::Transient`] — the device hiccuped (a flaky bus, a
+//!   timeout). Retrying the same operation may succeed; the capped
+//!   exponential backoff of [`RetryPolicy`] governs how hard to try.
+//! * [`StorageError::Corruption`] — a block was read back but its
+//!   checksum (or structural decode) failed. Retrying is pointless: the
+//!   bytes on the device are wrong. The offending `(file, block)` is
+//!   carried so the warehouse can quarantine the partition and keep
+//!   answering queries with explicitly widened rank bounds.
+//! * [`StorageError::Fatal`] — everything else (missing file, bad
+//!   arguments, a halted fault device). Surfaced unchanged.
+//!
+//! The taxonomy rides *inside* `std::io::Error` rather than replacing it:
+//! every fallible signature in the crate stays `io::Result`, and a typed
+//! error converts losslessly in both directions ([`From`] into
+//! `io::Error`, [`StorageError::classify`] back out). Classification of a
+//! foreign `io::Error` falls back on its [`io::ErrorKind`]:
+//! `Interrupted` is transient (the convention [`crate::Fault::FlakyReads`]
+//! uses), `InvalidData` is corruption, anything else is fatal.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+use crate::device::FileId;
+
+/// A classified storage failure (see module docs).
+#[derive(Debug)]
+pub enum StorageError {
+    /// A retryable device hiccup.
+    Transient(String),
+    /// Checksum or decode failure: the stored bytes are wrong.
+    Corruption {
+        /// File holding the corrupt block.
+        file: FileId,
+        /// Block index within the file.
+        block: u64,
+        /// Human-readable detail (which check failed).
+        detail: String,
+    },
+    /// A non-retryable, non-corruption failure.
+    Fatal(String),
+}
+
+impl StorageError {
+    /// A corruption error for `block` of `file`.
+    pub fn corruption(file: FileId, block: u64, detail: impl Into<String>) -> Self {
+        StorageError::Corruption {
+            file,
+            block,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classify an `io::Error`: unwrap a typed payload if one is inside,
+    /// otherwise map the error kind (see module docs).
+    pub fn classify(e: &io::Error) -> StorageErrorKind {
+        if let Some(inner) = e.get_ref() {
+            if let Some(se) = inner.downcast_ref::<StorageError>() {
+                return match se {
+                    StorageError::Transient(_) => StorageErrorKind::Transient,
+                    StorageError::Corruption { .. } => StorageErrorKind::Corruption,
+                    StorageError::Fatal(_) => StorageErrorKind::Fatal,
+                };
+            }
+        }
+        match e.kind() {
+            io::ErrorKind::Interrupted => StorageErrorKind::Transient,
+            io::ErrorKind::InvalidData => StorageErrorKind::Corruption,
+            _ => StorageErrorKind::Fatal,
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Transient(msg) => write!(f, "transient I/O error: {msg}"),
+            StorageError::Corruption {
+                file,
+                block,
+                detail,
+            } => write!(f, "corruption in file {file} block {block}: {detail}"),
+            StorageError::Fatal(msg) => write!(f, "fatal storage error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<StorageError> for io::Error {
+    fn from(e: StorageError) -> io::Error {
+        let kind = match &e {
+            StorageError::Transient(_) => io::ErrorKind::Interrupted,
+            StorageError::Corruption { .. } => io::ErrorKind::InvalidData,
+            StorageError::Fatal(_) => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, e)
+    }
+}
+
+/// The class of a storage failure, extracted by [`StorageError::classify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageErrorKind {
+    /// Worth retrying.
+    Transient,
+    /// Wrong bytes on the device; quarantine, don't retry.
+    Corruption,
+    /// Neither.
+    Fatal,
+}
+
+/// True iff `e` classifies as a retryable transient failure.
+pub fn is_transient(e: &io::Error) -> bool {
+    StorageError::classify(e) == StorageErrorKind::Transient
+}
+
+/// If `e` carries a typed corruption report, its `(file, block)`.
+///
+/// This is the hook the warehouse quarantine path uses: a query that
+/// fails with a checksum mismatch names the partition file to fence off.
+pub fn corruption_in(e: &io::Error) -> Option<(FileId, u64)> {
+    let inner = e.get_ref()?;
+    match inner.downcast_ref::<StorageError>()? {
+        StorageError::Corruption { file, block, .. } => Some((*file, *block)),
+        _ => None,
+    }
+}
+
+/// Capped exponential backoff for transient failures.
+///
+/// The default policy performs **no retries** — opt in via
+/// `HsqConfig::builder().retry(..)` in `hsq-core` or construct one here.
+/// Delays double from `base_delay` up to `max_delay`; a zero base delay
+/// retries immediately (what deterministic tests use).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the first failure (0 = no retries).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: transient errors surface immediately.
+    pub const fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Up to `n` immediate retries (no backoff) — the deterministic-test
+    /// configuration.
+    pub const fn immediate(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// `n` retries with exponential backoff from 100µs capped at 10ms.
+    pub const fn standard(n: u32) -> Self {
+        RetryPolicy {
+            max_retries: n,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (1-based).
+    pub fn delay_for(&self, attempt: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        self.base_delay
+            .saturating_mul(1u32 << exp)
+            .min(self.max_delay)
+    }
+
+    /// Run `op`, retrying transient failures per this policy. Counts each
+    /// retry through `note_retry` (wire it to
+    /// [`crate::IoStats::record_retry`]). Corruption and fatal errors are
+    /// never retried.
+    pub fn run<T>(
+        &self,
+        mut note_retry: impl FnMut(),
+        mut op: impl FnMut() -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.max_retries && is_transient(&e) => {
+                    attempt += 1;
+                    note_retry();
+                    let d = self.delay_for(attempt);
+                    if !d.is_zero() {
+                        std::thread::sleep(d);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// A [`crate::BlockDevice`] wrapper that applies a [`RetryPolicy`] to the
+/// *synchronous* read paths (`read_block` / `read_blocks`), masking
+/// transient failures such as [`crate::Fault::FlakyReads`]. Mutations are
+/// not retried — write-side failures are the durability protocol's
+/// concern, not a retry loop's. Each masked failure is counted in the
+/// wrapped device's [`crate::IoStats::retries`].
+pub struct RetryDevice<D: crate::BlockDevice> {
+    inner: std::sync::Arc<D>,
+    policy: RetryPolicy,
+}
+
+impl<D: crate::BlockDevice> RetryDevice<D> {
+    /// Wrap `inner`, retrying transient synchronous-read failures.
+    pub fn new(inner: std::sync::Arc<D>, policy: RetryPolicy) -> std::sync::Arc<Self> {
+        std::sync::Arc::new(RetryDevice { inner, policy })
+    }
+
+    /// The wrapped device.
+    pub fn inner(&self) -> &std::sync::Arc<D> {
+        &self.inner
+    }
+}
+
+impl<D: crate::BlockDevice> crate::BlockDevice for RetryDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn create(&self) -> io::Result<FileId> {
+        self.inner.create()
+    }
+
+    fn write_block(&self, file: FileId, idx: u64, data: &[u8]) -> io::Result<()> {
+        self.inner.write_block(file, idx, data)
+    }
+
+    fn read_block(&self, file: FileId, idx: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.policy.run(
+            || self.inner.stats().record_retry(),
+            || self.inner.read_block(file, idx, buf),
+        )
+    }
+
+    fn read_blocks(
+        &self,
+        file: FileId,
+        first: u64,
+        count: u64,
+        buf: &mut [u8],
+    ) -> io::Result<usize> {
+        self.policy.run(
+            || self.inner.stats().record_retry(),
+            || self.inner.read_blocks(file, first, count, buf),
+        )
+    }
+
+    fn sync(&self, file: FileId) -> io::Result<()> {
+        self.inner.sync(file)
+    }
+
+    fn num_blocks(&self, file: FileId) -> io::Result<u64> {
+        self.inner.num_blocks(file)
+    }
+
+    fn file_len(&self, file: FileId) -> io::Result<u64> {
+        self.inner.file_len(file)
+    }
+
+    fn delete(&self, file: FileId) -> io::Result<()> {
+        self.inner.delete(file)
+    }
+
+    fn stats(&self) -> &crate::IoStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_roundtrip_preserves_class() {
+        let e: io::Error = StorageError::corruption(7, 42, "crc mismatch").into();
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(StorageError::classify(&e), StorageErrorKind::Corruption);
+        assert_eq!(corruption_in(&e), Some((7, 42)));
+
+        let e: io::Error = StorageError::Transient("bus timeout".into()).into();
+        assert_eq!(e.kind(), io::ErrorKind::Interrupted);
+        assert!(is_transient(&e));
+        assert_eq!(corruption_in(&e), None);
+
+        let e: io::Error = StorageError::Fatal("no such file".into()).into();
+        assert_eq!(StorageError::classify(&e), StorageErrorKind::Fatal);
+    }
+
+    #[test]
+    fn foreign_errors_classify_by_kind() {
+        let e = io::Error::new(io::ErrorKind::Interrupted, "plain interrupt");
+        assert!(is_transient(&e));
+        let e = io::Error::new(io::ErrorKind::InvalidData, "plain bad data");
+        assert_eq!(StorageError::classify(&e), StorageErrorKind::Corruption);
+        assert_eq!(corruption_in(&e), None, "untyped corruption has no site");
+        let e = io::Error::other("anything else");
+        assert_eq!(StorageError::classify(&e), StorageErrorKind::Fatal);
+    }
+
+    #[test]
+    fn retry_masks_transients_up_to_cap() {
+        let policy = RetryPolicy::immediate(3);
+        let mut fails = 2;
+        let mut retries = 0;
+        let out: io::Result<u32> = policy.run(
+            || retries += 1,
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(StorageError::Transient("flaky".into()).into())
+                } else {
+                    Ok(99)
+                }
+            },
+        );
+        assert_eq!(out.unwrap(), 99);
+        assert_eq!(retries, 2);
+
+        // More failures than the cap: the error surfaces.
+        let mut fails = 5;
+        let out: io::Result<u32> = policy.run(
+            || {},
+            || {
+                if fails > 0 {
+                    fails -= 1;
+                    Err(StorageError::Transient("flaky".into()).into())
+                } else {
+                    Ok(0)
+                }
+            },
+        );
+        assert!(out.is_err());
+    }
+
+    #[test]
+    fn retry_never_touches_corruption_or_fatal() {
+        let policy = RetryPolicy::immediate(10);
+        let mut calls = 0;
+        let out: io::Result<()> = policy.run(
+            || {},
+            || {
+                calls += 1;
+                Err(StorageError::corruption(1, 2, "rot").into())
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "corruption must not be retried");
+
+        let mut calls = 0;
+        let out: io::Result<()> = policy.run(
+            || {},
+            || {
+                calls += 1;
+                Err(io::Error::other("fatal-ish"))
+            },
+        );
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        let p = RetryPolicy {
+            max_retries: 10,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_micros(500),
+        };
+        assert_eq!(p.delay_for(1), Duration::from_micros(100));
+        assert_eq!(p.delay_for(2), Duration::from_micros(200));
+        assert_eq!(p.delay_for(3), Duration::from_micros(400));
+        assert_eq!(p.delay_for(4), Duration::from_micros(500));
+        assert_eq!(p.delay_for(30), Duration::from_micros(500));
+        assert_eq!(RetryPolicy::none().delay_for(5), Duration::ZERO);
+    }
+}

@@ -12,7 +12,13 @@
 //!   they would on a dead machine) until [`FaultDevice::revive`];
 //! * [`Fault::TornWrite`] — the chosen mutation, if a write, persists
 //!   only a prefix of its payload and then halts — the torn final block
-//!   a power loss leaves behind.
+//!   a power loss leaves behind;
+//! * [`Fault::BitRot`] — the n-th block *write* silently lands with one
+//!   byte flipped: the device reports success and later reads return the
+//!   rotted bytes, exactly what checksummed runs must catch;
+//! * [`Fault::FlakyReads`] — a deterministic fraction of reads fail with
+//!   a *transient* ([`std::io::ErrorKind::Interrupted`]) error, the kind
+//!   a [`crate::RetryPolicy`] is expected to mask.
 //!
 //! The intended harness shape (see `hsq-core`'s fault-injection tests):
 //! run the workload once un-faulted to learn the mutation count `M`,
@@ -40,12 +46,30 @@ pub enum Fault {
     /// Like [`Fault::CrashAfter`], but if the chosen mutation is a block
     /// write, half its payload is persisted first — a torn block.
     TornWrite(u64),
+    /// The block write with this index (counting block writes only, not
+    /// all mutations) silently persists with one byte flipped. The write
+    /// reports success — the corruption is only observable by verifying
+    /// what reads return. One-shot.
+    BitRot(u64),
+    /// Every read whose index (counting reads since arming) hashes to
+    /// `0 (mod rate)` under `seed` fails with a transient
+    /// [`std::io::ErrorKind::Interrupted`] error. Stays armed; the same
+    /// `(seed, rate)` yields the same failing read indices on replay.
+    FlakyReads {
+        /// Mixes into the read-index hash so different seeds fail
+        /// different reads.
+        seed: u64,
+        /// Roughly one in `rate` reads fails (must be ≥ 1).
+        rate: u64,
+    },
 }
 
 /// A [`BlockDevice`] wrapper injecting deterministic faults (module docs).
 pub struct FaultDevice<D: BlockDevice> {
     inner: Arc<D>,
     mutations: AtomicU64,
+    block_writes: AtomicU64,
+    reads: AtomicU64,
     halted: AtomicBool,
     plan: Mutex<Option<Fault>>,
 }
@@ -56,6 +80,8 @@ impl<D: BlockDevice> FaultDevice<D> {
         Arc::new(FaultDevice {
             inner,
             mutations: AtomicU64::new(0),
+            block_writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
             halted: AtomicBool::new(false),
             plan: Mutex::new(None),
         })
@@ -74,6 +100,16 @@ impl<D: BlockDevice> FaultDevice<D> {
     /// Mutating ops observed so far (the crash-point index space).
     pub fn mutations(&self) -> u64 {
         self.mutations.load(Ordering::Relaxed)
+    }
+
+    /// Block writes observed so far (the [`Fault::BitRot`] index space).
+    pub fn block_writes(&self) -> u64 {
+        self.block_writes.load(Ordering::Relaxed)
+    }
+
+    /// Reads observed so far (the [`Fault::FlakyReads`] index space).
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Whether the device is crash-stopped.
@@ -102,6 +138,46 @@ impl<D: BlockDevice> FaultDevice<D> {
         } else {
             Ok(())
         }
+    }
+
+    /// Gate one block-read op: crash-stop check plus the deterministic
+    /// [`Fault::FlakyReads`] schedule.
+    fn gate_read(&self) -> io::Result<()> {
+        self.check_read()?;
+        let idx = self.reads.fetch_add(1, Ordering::Relaxed);
+        if let Some(Fault::FlakyReads { seed, rate }) = *self.plan.lock() {
+            assert!(rate >= 1, "FlakyReads rate must be >= 1");
+            // SplitMix-style avalanche so the failing reads are spread
+            // over the index space instead of striding.
+            let mut h = idx ^ seed;
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            if h.is_multiple_of(rate) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    format!("injected transient read failure (read {idx})"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// If [`Fault::BitRot`] is armed for this block write, return the
+    /// payload with one byte flipped (and disarm); else `None`.
+    fn gate_bit_rot(&self, data: &[u8]) -> Option<Vec<u8>> {
+        let idx = self.block_writes.fetch_add(1, Ordering::Relaxed);
+        let mut plan = self.plan.lock();
+        if let Some(Fault::BitRot(n)) = *plan {
+            if idx == n && !data.is_empty() {
+                *plan = None; // one-shot
+                let mut rotted = data.to_vec();
+                let byte = (idx as usize).wrapping_mul(31) % rotted.len();
+                rotted[byte] ^= 0x20;
+                return Some(rotted);
+            }
+        }
+        None
     }
 
     /// Gate one mutating op. `Ok(None)` = proceed normally;
@@ -146,7 +222,11 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
 
     fn write_block(&self, file: FileId, idx: u64, data: &[u8]) -> io::Result<()> {
         match self.gate_mutation(true, data.len())? {
-            None => self.inner.write_block(file, idx, data),
+            None => match self.gate_bit_rot(data) {
+                // Silent corruption: success reported, rot persisted.
+                Some(rotted) => self.inner.write_block(file, idx, &rotted),
+                None => self.inner.write_block(file, idx, data),
+            },
             Some(prefix) => {
                 // Torn write: persist the prefix, then report the crash.
                 let _ = self.inner.write_block(file, idx, &data[..prefix]);
@@ -156,7 +236,7 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
     }
 
     fn read_block(&self, file: FileId, idx: u64, buf: &mut [u8]) -> io::Result<usize> {
-        self.check_read()?;
+        self.gate_read()?;
         self.inner.read_block(file, idx, buf)
     }
 
@@ -167,7 +247,7 @@ impl<D: BlockDevice> BlockDevice for FaultDevice<D> {
         count: u64,
         buf: &mut [u8],
     ) -> io::Result<usize> {
-        self.check_read()?;
+        self.gate_read()?;
         self.inner.read_blocks(file, first, count, buf)
     }
 
@@ -255,6 +335,79 @@ mod tests {
         let mut buf = [0u8; 64];
         assert_eq!(dev.read_block(f, 1, &mut buf).unwrap(), 32);
         assert!(buf[..32].iter().all(|&b| b == 2));
+    }
+
+    #[test]
+    fn bit_rot_is_silent_and_one_shot() {
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.arm(Fault::BitRot(1)); // rot the second block write
+        dev.write_block(f, 0, &[7u8; 64]).unwrap();
+        dev.write_block(f, 1, &[7u8; 64]).unwrap(); // silently rotted
+        dev.write_block(f, 2, &[7u8; 64]).unwrap(); // one-shot: clean
+        assert_eq!(dev.block_writes(), 3);
+        assert!(!dev.halted());
+        let mut buf = [0u8; 64];
+        dev.read_block(f, 0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7), "block 0 clean");
+        dev.read_block(f, 1, &mut buf).unwrap();
+        assert_eq!(
+            buf.iter().filter(|&&b| b != 7).count(),
+            1,
+            "exactly one byte of block 1 rotted"
+        );
+        dev.read_block(f, 2, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 7), "block 2 clean");
+    }
+
+    #[test]
+    fn flaky_reads_are_transient_and_deterministic() {
+        use crate::error::is_transient;
+        let observe = |seed: u64| -> Vec<bool> {
+            let dev = FaultDevice::new(MemDevice::new(64));
+            let f = dev.create().unwrap();
+            dev.write_block(f, 0, &[1u8; 64]).unwrap();
+            dev.arm(Fault::FlakyReads { seed, rate: 4 });
+            let mut buf = [0u8; 64];
+            (0..64)
+                .map(|_| dev.read_block(f, 0, &mut buf).is_err())
+                .collect()
+        };
+        let a = observe(42);
+        assert_eq!(a, observe(42), "same seed, same failing reads");
+        assert_ne!(a, observe(43), "different seed, different schedule");
+        let failures = a.iter().filter(|&&x| x).count();
+        assert!(
+            (4..=28).contains(&failures),
+            "rate 4 should fail roughly 1/4 of 64 reads, got {failures}"
+        );
+        // And the errors are classified transient (retryable).
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[1u8; 64]).unwrap();
+        dev.arm(Fault::FlakyReads { seed: 42, rate: 1 }); // every read fails
+        let mut buf = [0u8; 64];
+        let err = dev.read_block(f, 0, &mut buf).unwrap_err();
+        assert!(is_transient(&err));
+    }
+
+    #[test]
+    fn retry_device_masks_flaky_reads() {
+        use crate::error::{RetryDevice, RetryPolicy};
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        dev.write_block(f, 0, &[9u8; 64]).unwrap();
+        dev.arm(Fault::FlakyReads { seed: 7, rate: 2 });
+        let retrying = RetryDevice::new(Arc::clone(&dev), RetryPolicy::immediate(16));
+        let mut buf = [0u8; 64];
+        for _ in 0..100 {
+            assert_eq!(retrying.read_block(f, 0, &mut buf).unwrap(), 64);
+            assert!(buf.iter().all(|&b| b == 9));
+        }
+        assert!(
+            dev.stats().snapshot().retries > 0,
+            "masked transients must be counted"
+        );
     }
 
     #[test]

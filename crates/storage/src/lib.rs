@@ -20,13 +20,19 @@
 //!   queues over a bounded worker pool ([`sched`]), behind the
 //!   [`BlockDevice::submit`]/[`BlockDevice::poll`] seam;
 //! * [`FaultDevice`] — deterministic fault injection (fail-op, torn
-//!   final block, crash-stop) for durability testing ([`fault`]).
+//!   final block, crash-stop, bit rot, flaky reads) for durability and
+//!   robustness testing ([`fault`]);
+//! * [`StorageError`] / [`RetryPolicy`] — typed error taxonomy (transient
+//!   vs. corruption vs. fatal) and capped-backoff retry ([`error`]), with
+//!   [`crc64`] block/record checksums ([`crc`]).
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod crc;
 pub mod device;
 pub mod encode;
+pub mod error;
 pub mod fault;
 pub mod merge;
 pub mod run;
@@ -35,12 +41,16 @@ pub mod sort;
 pub mod stats;
 
 pub use cache::BlockCache;
+pub use crc::crc64;
 pub use device::{BlockDevice, FileDevice, FileId, IoOp, IoOutcome, IoTicket, MemDevice};
 pub use encode::{Item, RadixKey, F64};
+pub use error::{
+    corruption_in, is_transient, RetryDevice, RetryPolicy, StorageError, StorageErrorKind,
+};
 pub use fault::{Fault, FaultDevice};
 pub use merge::{merge_into, merge_into_prefetch, merge_runs};
 pub use run::{
-    items_per_block, write_run, write_run_overlapped, RunReader, RunWriter, SortedRun,
+    items_per_block, write_run, write_run_overlapped, RunFormat, RunReader, RunWriter, SortedRun,
     DEFAULT_READAHEAD_BLOCKS,
 };
 pub use sched::{IoScheduler, SchedSnapshot};

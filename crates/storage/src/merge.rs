@@ -129,15 +129,15 @@ mod tests {
 
     #[test]
     fn merge_io_is_linear_and_sequential() {
-        let dev = MemDevice::new(64); // 8 u64 per block
-        let a = write_run(&*dev, &(0..80).map(|i| i * 2).collect::<Vec<u64>>()).unwrap(); // 10 blocks
-        let b = write_run(&*dev, &(0..80).map(|i| i * 2 + 1).collect::<Vec<u64>>()).unwrap(); // 10 blocks
+        let dev = MemDevice::new(64); // 7 u64 per block
+        let a = write_run(&*dev, &(0..84).map(|i| i * 2).collect::<Vec<u64>>()).unwrap(); // 12 blocks
+        let b = write_run(&*dev, &(0..84).map(|i| i * 2 + 1).collect::<Vec<u64>>()).unwrap(); // 12 blocks
         let before = dev.stats().snapshot();
         let merged = merge_runs(&*dev, &[a, b]).unwrap();
         let d = dev.stats().snapshot() - before;
-        assert_eq!(merged.len(), 160);
-        assert_eq!(d.total_reads(), 20, "one read per input block");
+        assert_eq!(merged.len(), 168);
+        assert_eq!(d.total_reads(), 24, "one read per input block");
         assert_eq!(d.rand_reads, 0, "merge must be fully sequential");
-        assert_eq!(d.writes, 20, "one write per output block");
+        assert_eq!(d.writes, 24, "one write per output block");
     }
 }

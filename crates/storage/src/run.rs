@@ -2,23 +2,41 @@
 //!
 //! Each partition of the warehouse's `HD` structure (paper §2.1) is one
 //! *sorted run*: a file of fixed-width encoded items in nondecreasing order.
-//! Items never straddle blocks — each block holds
-//! `block_size / ENCODED_LEN` items — so a rank (item index) maps to a block
+//! Items never straddle blocks, so a rank (item index) maps to a block
 //! index with one division, which is what makes the query algorithm's
 //! rank-addressed probes single-block reads.
+//!
+//! Two on-disk layouts exist ([`RunFormat`]). Everything written today is
+//! **V2**: each block ends with a CRC64 trailer over its item payload, and
+//! every read path — single-block probes, cache fills, sequential
+//! readahead, scheduler-completed speculative reads — verifies the
+//! trailer before decoding, surfacing mismatches as typed
+//! [`crate::StorageError::Corruption`] errors naming the `(file, block)`.
+//! **V1** is the unchecksummed seed layout, kept readable so warehouses
+//! persisted before the format bump recover unchanged.
 
 use std::io;
 use std::marker::PhantomData;
 
 use crate::cache::BlockCache;
+use crate::crc::crc64;
 use crate::device::{BlockDevice, FileId, IoOp, IoOutcome, IoTicket};
 use crate::encode::Item;
+use crate::error::StorageError;
 use crate::sched::IoScheduler;
 
 /// Default readahead window (blocks) for sequential [`RunReader`] scans.
 pub const DEFAULT_READAHEAD_BLOCKS: usize = 8;
 
-/// Items stored per block for item type `T` on a device with `block_size`.
+/// Bytes of the per-block CRC64 trailer in [`RunFormat::V2`] blocks.
+const CRC_TRAILER: usize = 8;
+
+/// Items stored per block for item type `T` on a device with `block_size`,
+/// in the unchecksummed [`RunFormat::V1`] layout.
+///
+/// Freshly written runs are always [`RunFormat::V2`] (checksummed, lower
+/// capacity); geometry for a specific run must come from
+/// [`SortedRun::items_per_block`], which respects the run's format.
 #[inline]
 pub fn items_per_block<T: Item>(block_size: usize) -> usize {
     assert!(
@@ -28,6 +46,54 @@ pub fn items_per_block<T: Item>(block_size: usize) -> usize {
         T::ENCODED_LEN
     );
     block_size / T::ENCODED_LEN
+}
+
+/// On-disk layout version of a [`SortedRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunFormat {
+    /// Unchecksummed seed layout: `block_size / ENCODED_LEN` items per
+    /// block, no trailer. Read-only back-compat — nothing writes V1.
+    V1,
+    /// Checksummed layout: `(block_size - 8) / ENCODED_LEN` items per
+    /// block, each block's item payload followed by its CRC64.
+    V2,
+}
+
+impl RunFormat {
+    /// Items stored per block for item type `T` under this layout.
+    #[inline]
+    pub fn items_per_block<T: Item>(self, block_size: usize) -> usize {
+        match self {
+            RunFormat::V1 => items_per_block::<T>(block_size),
+            RunFormat::V2 => {
+                assert!(
+                    block_size >= T::ENCODED_LEN + CRC_TRAILER,
+                    "block size {} too small for a checksummed item ({} + {} bytes)",
+                    block_size,
+                    T::ENCODED_LEN,
+                    CRC_TRAILER
+                );
+                (block_size - CRC_TRAILER) / T::ENCODED_LEN
+            }
+        }
+    }
+
+    /// Manifest encoding of this format.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            RunFormat::V1 => 0,
+            RunFormat::V2 => 1,
+        }
+    }
+
+    /// Inverse of [`RunFormat::as_byte`].
+    pub fn from_byte(b: u8) -> Option<RunFormat> {
+        match b {
+            0 => Some(RunFormat::V1),
+            1 => Some(RunFormat::V2),
+            _ => None,
+        }
+    }
 }
 
 /// A handle to an immutable sorted file of `T` on some [`BlockDevice`].
@@ -40,12 +106,24 @@ pub struct SortedRun<T: Item> {
     len: u64,
     min: T,
     max: T,
+    format: RunFormat,
 }
 
 impl<T: Item> SortedRun<T> {
     /// The underlying file id.
     pub fn file(&self) -> FileId {
         self.file
+    }
+
+    /// The run's on-disk layout version.
+    pub fn format(&self) -> RunFormat {
+        self.format
+    }
+
+    /// Items stored per block of this run on a `block_size`-byte device.
+    #[inline]
+    pub fn items_per_block(&self, block_size: usize) -> usize {
+        self.format.items_per_block::<T>(block_size)
     }
 
     /// Number of items in the run.
@@ -71,46 +149,80 @@ impl<T: Item> SortedRun<T> {
     /// Block index holding item `idx`.
     #[inline]
     pub fn block_of(&self, idx: u64, block_size: usize) -> u64 {
-        idx / items_per_block::<T>(block_size) as u64
+        idx / self.items_per_block(block_size) as u64
     }
 
     /// Read the single item at index `idx` (0-based, sorted order).
     ///
-    /// Costs one block read on `dev` unless served from `cache`.
+    /// Costs one block read on `dev` unless served from `cache`. The
+    /// block is checksum-verified before the item is decoded.
     pub fn get<D: BlockDevice>(&self, dev: &D, idx: u64) -> io::Result<T> {
         assert!(idx < self.len, "item index {idx} out of range {}", self.len);
-        let per = items_per_block::<T>(dev.block_size()) as u64;
-        let block_idx = idx / per;
-        let within = (idx % per) as usize;
-        let mut buf = vec![0u8; dev.block_size()];
-        let got = dev.read_block(self.file, block_idx, &mut buf)?;
-        debug_assert!((within + 1) * T::ENCODED_LEN <= got);
-        Ok(T::decode(&buf[within * T::ENCODED_LEN..]))
+        let per = self.items_per_block(dev.block_size()) as u64;
+        let items = self.read_block_items(dev, idx / per)?;
+        Ok(items[(idx % per) as usize])
     }
 
-    /// Read and decode all items of block `block_idx`.
+    /// Read, verify, and decode all items of block `block_idx`.
     pub fn read_block_items<D: BlockDevice>(&self, dev: &D, block_idx: u64) -> io::Result<Vec<T>> {
         let mut buf = vec![0u8; dev.block_size()];
         let got = dev.read_block(self.file, block_idx, &mut buf)?;
-        Ok(self.decode_block_items(block_idx, dev.block_size(), &buf[..got]))
+        match self.decode_block_items(block_idx, dev.block_size(), &buf[..got]) {
+            Ok(items) => Ok(items),
+            Err(e) => {
+                dev.stats().record_corruption();
+                Err(e)
+            }
+        }
     }
 
     /// Decode the items of block `block_idx` from its raw bytes (already
-    /// read — e.g. by a scheduler-submitted speculative probe read).
-    /// `raw` must hold at least the block's encoded items.
-    pub fn decode_block_items(&self, block_idx: u64, block_size: usize, raw: &[u8]) -> Vec<T> {
-        let per = items_per_block::<T>(block_size) as u64;
+    /// read — e.g. by a scheduler-submitted speculative probe read),
+    /// verifying the CRC64 trailer for [`RunFormat::V2`] runs. A short
+    /// buffer or a checksum mismatch is a typed
+    /// [`StorageError::Corruption`] naming this run's file and the block.
+    pub fn decode_block_items(
+        &self,
+        block_idx: u64,
+        block_size: usize,
+        raw: &[u8],
+    ) -> io::Result<Vec<T>> {
+        let per = self.items_per_block(block_size) as u64;
         let start = block_idx * per;
         assert!(start < self.len, "block index {block_idx} out of range");
         let count = per.min(self.len - start) as usize;
-        assert!(
-            count * T::ENCODED_LEN <= raw.len(),
-            "short block: {} bytes for {count} items",
-            raw.len()
-        );
-        (0..count)
+        let payload = count * T::ENCODED_LEN;
+        let needed = match self.format {
+            RunFormat::V1 => payload,
+            RunFormat::V2 => payload + CRC_TRAILER,
+        };
+        if raw.len() < needed {
+            return Err(StorageError::corruption(
+                self.file,
+                block_idx,
+                format!("short block: {} bytes, {needed} needed", raw.len()),
+            )
+            .into());
+        }
+        if self.format == RunFormat::V2 {
+            let stored = u64::from_le_bytes(
+                raw[payload..payload + CRC_TRAILER]
+                    .try_into()
+                    .expect("trailer slice is 8 bytes"),
+            );
+            let actual = crc64(&raw[..payload]);
+            if stored != actual {
+                return Err(StorageError::corruption(
+                    self.file,
+                    block_idx,
+                    format!("crc mismatch: stored {stored:#018x}, computed {actual:#018x}"),
+                )
+                .into());
+            }
+        }
+        Ok((0..count)
             .map(|i| T::decode(&raw[i * T::ENCODED_LEN..]))
-            .collect()
+            .collect())
     }
 
     /// Stream the run in sorted order (sequential block reads with
@@ -120,6 +232,7 @@ impl<T: Item> SortedRun<T> {
             dev,
             file: self.file,
             len: self.len,
+            format: self.format,
             next_idx: 0,
             buf: Vec::new(),
             buf_pos: 0,
@@ -190,7 +303,7 @@ impl<T: Item> SortedRun<T> {
         if v >= self.max {
             return Ok(self.len);
         }
-        let per = items_per_block::<T>(dev.block_size()) as u64;
+        let per = self.items_per_block(dev.block_size()) as u64;
         if let Some((file, blk, items)) = cache.last_block() {
             // Sound iff the boundary block is provably this one: every
             // earlier block ends ≤ items[0] ≤ v, and v < items[last]
@@ -228,24 +341,37 @@ impl<T: Item> SortedRun<T> {
 
     /// Reconstruct a handle from raw parts (used by warehouse recovery and
     /// tests). The caller asserts the file holds `len` sorted items with
-    /// the given extrema.
+    /// the given extrema, laid out in the **V1** (unchecksummed seed)
+    /// format; chain [`SortedRun::with_format`] for checksummed runs.
     pub fn from_raw_parts(file: FileId, len: u64, min: T, max: T) -> Self {
         SortedRun {
             file,
             len,
             min,
             max,
+            format: RunFormat::V1,
         }
+    }
+
+    /// This handle reinterpreted under `format` (manifest recovery of
+    /// checksummed runs).
+    pub fn with_format(mut self, format: RunFormat) -> Self {
+        self.format = format;
+        self
     }
 }
 
-/// Buffered writer that produces a [`SortedRun`].
+/// Buffered writer that produces a [`SortedRun`] in the checksummed
+/// [`RunFormat::V2`] layout.
 ///
-/// Enforces nondecreasing order on `push`; flushes whole blocks.
+/// Enforces nondecreasing order on `push`; flushes whole blocks, each
+/// with a CRC64 trailer over its item payload.
 pub struct RunWriter<'d, T: Item, D: BlockDevice> {
     dev: &'d D,
     file: FileId,
     buf: Vec<u8>,
+    /// Payload capacity of one block, in bytes (`per · ENCODED_LEN`).
+    cap: usize,
     next_block: u64,
     len: u64,
     min: Option<T>,
@@ -255,11 +381,12 @@ pub struct RunWriter<'d, T: Item, D: BlockDevice> {
 impl<'d, T: Item, D: BlockDevice> RunWriter<'d, T, D> {
     /// Open a new run on `dev`.
     pub fn new(dev: &'d D) -> io::Result<Self> {
-        let _ = items_per_block::<T>(dev.block_size()); // validate geometry
+        let per = RunFormat::V2.items_per_block::<T>(dev.block_size()); // validates geometry
         Ok(RunWriter {
             dev,
             file: dev.create()?,
             buf: Vec::with_capacity(dev.block_size()),
+            cap: per * T::ENCODED_LEN,
             next_block: 0,
             len: 0,
             min: None,
@@ -278,10 +405,7 @@ impl<'d, T: Item, D: BlockDevice> RunWriter<'d, T, D> {
         self.buf.resize(old + T::ENCODED_LEN, 0);
         v.encode(&mut self.buf[old..]);
         self.len += 1;
-        // Flush when the block is full *of items* (padding-free geometry:
-        // items_per_block * ENCODED_LEN <= block_size).
-        let cap = items_per_block::<T>(self.dev.block_size()) * T::ENCODED_LEN;
-        if self.buf.len() >= cap {
+        if self.buf.len() >= self.cap {
             self.flush_block()?;
         }
         Ok(())
@@ -291,6 +415,8 @@ impl<'d, T: Item, D: BlockDevice> RunWriter<'d, T, D> {
         if self.buf.is_empty() {
             return Ok(());
         }
+        let crc = crc64(&self.buf);
+        self.buf.extend_from_slice(&crc.to_le_bytes());
         self.dev
             .write_block(self.file, self.next_block, &self.buf)?;
         self.next_block += 1;
@@ -306,6 +432,7 @@ impl<'d, T: Item, D: BlockDevice> RunWriter<'d, T, D> {
             len: self.len,
             min: self.min.unwrap_or(T::MIN),
             max: self.last.unwrap_or(T::MIN),
+            format: RunFormat::V2,
         })
     }
 
@@ -331,6 +458,7 @@ pub struct RunReader<'d, T: Item, D: BlockDevice> {
     dev: &'d D,
     file: FileId,
     len: u64,
+    format: RunFormat,
     next_idx: u64,
     buf: Vec<T>,
     buf_pos: usize,
@@ -354,7 +482,7 @@ impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
 
     fn refill(&mut self) -> io::Result<()> {
         let bs = self.dev.block_size();
-        let per = items_per_block::<T>(bs) as u64;
+        let per = self.format.items_per_block::<T>(bs) as u64;
         let remaining_items = self.len - self.next_idx;
         let blocks_left = remaining_items.div_ceil(per);
         let nblocks = (self.readahead as u64).min(blocks_left);
@@ -389,21 +517,48 @@ impl<T: Item, D: BlockDevice> RunReader<'_, T, D> {
                 .dev
                 .read_blocks(self.file, self.block, nblocks, &mut self.raw)?;
         }
-        // Short-read guard: the blocks just read must carry at least the
-        // encoded bytes of every item we are about to decode.
-        debug_assert!(
-            got as u64 >= remaining_items.min(nblocks * per) * T::ENCODED_LEN as u64,
-            "short read: {got} bytes for {} items",
-            remaining_items.min(nblocks * per)
-        );
         self.buf.clear();
         // Decode block by block: items never straddle blocks, so each
         // block contributes `per` items (fewer for the final one) at the
-        // start of its `block_size` slice.
+        // start of its `block_size` slice. For V2, each block's CRC64
+        // trailer sits right after its payload and is verified before the
+        // items are trusted; a short device read shows up as a missing or
+        // mismatched trailer.
+        let trailer = match self.format {
+            RunFormat::V1 => 0,
+            RunFormat::V2 => CRC_TRAILER,
+        };
+        let first_block = self.block;
+        let (dev, file) = (self.dev, self.file);
         let mut idx = self.next_idx;
+        let mut bytes_seen = 0usize;
         for j in 0..nblocks as usize {
             let base = j * bs;
             let in_block = per.min(self.len - idx) as usize;
+            let payload = in_block * T::ENCODED_LEN;
+            bytes_seen += payload + trailer;
+            let corrupt = move |detail: String| -> io::Error {
+                dev.stats().record_corruption();
+                StorageError::corruption(file, first_block + j as u64, detail).into()
+            };
+            if base + payload + trailer > self.raw.len() || bytes_seen > got {
+                return Err(corrupt(format!(
+                    "short read: {got} bytes for window of {nblocks} blocks"
+                )));
+            }
+            if self.format == RunFormat::V2 {
+                let stored = u64::from_le_bytes(
+                    self.raw[base + payload..base + payload + CRC_TRAILER]
+                        .try_into()
+                        .expect("trailer slice is 8 bytes"),
+                );
+                let actual = crc64(&self.raw[base..base + payload]);
+                if stored != actual {
+                    return Err(corrupt(format!(
+                        "crc mismatch: stored {stored:#018x}, computed {actual:#018x}"
+                    )));
+                }
+            }
             self.buf
                 .extend((0..in_block).map(|i| T::decode(&self.raw[base + i * T::ENCODED_LEN..])));
             idx += in_block as u64;
@@ -510,13 +665,16 @@ pub fn write_run_overlapped<T: Item>(
 ) -> io::Result<SortedRun<T>> {
     debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "run not sorted");
     let dev = sched.device();
-    let per = items_per_block::<T>(dev.block_size());
+    let per = RunFormat::V2.items_per_block::<T>(dev.block_size());
     let file = dev.create()?;
     for (idx, chunk) in sorted.chunks(per).enumerate() {
-        let mut data = vec![0u8; chunk.len() * T::ENCODED_LEN];
+        let payload = chunk.len() * T::ENCODED_LEN;
+        let mut data = vec![0u8; payload + CRC_TRAILER];
         for (i, v) in chunk.iter().enumerate() {
             v.encode(&mut data[i * T::ENCODED_LEN..]);
         }
+        let crc = crc64(&data[..payload]);
+        data[payload..].copy_from_slice(&crc.to_le_bytes());
         sched.submit(IoOp::Write {
             file,
             idx: idx as u64,
@@ -528,6 +686,7 @@ pub fn write_run_overlapped<T: Item>(
         len: sorted.len() as u64,
         min: sorted.first().copied().unwrap_or(T::MIN),
         max: sorted.last().copied().unwrap_or(T::MIN),
+        format: RunFormat::V2,
     })
 }
 
@@ -538,7 +697,7 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let dev = MemDevice::new(64); // 8 u64s per block
+        let dev = MemDevice::new(64); // 7 u64s per block
         let data: Vec<u64> = (0..1000).collect();
         let run = write_run(&*dev, &data).unwrap();
         assert_eq!(run.len(), 1000);
@@ -559,16 +718,16 @@ mod tests {
 
     #[test]
     fn read_block_items_partial_tail() {
-        let dev = MemDevice::new(64); // 8 per block
+        let dev = MemDevice::new(64); // 7 per block + CRC trailer
         let data: Vec<u64> = (0..19).collect();
         let run = write_run(&*dev, &data).unwrap();
         assert_eq!(
             run.read_block_items(&*dev, 0).unwrap(),
-            (0..8).collect::<Vec<_>>()
+            (0..7).collect::<Vec<_>>()
         );
         assert_eq!(
             run.read_block_items(&*dev, 2).unwrap(),
-            (16..19).collect::<Vec<_>>()
+            (14..19).collect::<Vec<_>>()
         );
     }
 
@@ -603,31 +762,31 @@ mod tests {
 
     #[test]
     fn sequential_scan_costs_one_read_per_block() {
-        let dev = MemDevice::new(64); // 8 u64 per block
-        let data: Vec<u64> = (0..80).collect(); // 10 blocks
+        let dev = MemDevice::new(64); // 7 u64 per block (+ CRC trailer)
+        let data: Vec<u64> = (0..84).collect(); // 12 blocks
         let run = write_run(&*dev, &data).unwrap();
         let before = dev.stats().snapshot();
         let _ = run.read_all(&*dev).unwrap();
         let d = dev.stats().snapshot() - before;
-        assert_eq!(d.total_reads(), 10);
-        assert_eq!(d.seq_reads, 10);
+        assert_eq!(d.total_reads(), 12);
+        assert_eq!(d.seq_reads, 12);
     }
 
     #[test]
     fn items_never_straddle_blocks_with_odd_block_size() {
-        // 100-byte blocks hold 12 u64s (96 bytes) + 4 bytes padding.
+        // 100-byte blocks hold 11 u64s (88 bytes) + 8-byte CRC + 4 padding.
         let dev = MemDevice::new(100);
         let data: Vec<u64> = (0..100).collect();
         let run = write_run(&*dev, &data).unwrap();
         assert_eq!(run.read_all(&*dev).unwrap(), data);
-        assert_eq!(run.get(&*dev, 12).unwrap(), 12); // first item of block 1
-        assert_eq!(run.block_of(11, 100), 0);
-        assert_eq!(run.block_of(12, 100), 1);
+        assert_eq!(run.get(&*dev, 11).unwrap(), 11); // first item of block 1
+        assert_eq!(run.block_of(10, 100), 0);
+        assert_eq!(run.block_of(11, 100), 1);
     }
 
     #[test]
     fn readahead_matches_block_at_a_time() {
-        let dev = MemDevice::new(64); // 8 u64 per block
+        let dev = MemDevice::new(64); // 7 u64 per block
         let data: Vec<u64> = (0..1234).collect();
         let run = write_run(&*dev, &data).unwrap();
         for ra in [1usize, 2, 8, 64, 1000] {
@@ -642,8 +801,8 @@ mod tests {
 
     #[test]
     fn readahead_with_padded_blocks() {
-        // 100-byte blocks hold 12 u64s + 4 bytes padding: readahead must
-        // skip the padding between blocks.
+        // 100-byte blocks hold 11 u64s + CRC trailer + 4 bytes padding:
+        // readahead must skip the padding between blocks.
         let dev = MemDevice::new(100);
         let data: Vec<u64> = (0..500).map(|i| i * 7).collect();
         let run = write_run(&*dev, &data).unwrap();
@@ -657,23 +816,23 @@ mod tests {
 
     #[test]
     fn readahead_preserves_block_access_counts() {
-        let dev = MemDevice::new(64); // 8 u64 per block
-        let data: Vec<u64> = (0..80).collect(); // 10 blocks
+        let dev = MemDevice::new(64); // 7 u64 per block
+        let data: Vec<u64> = (0..84).collect(); // 12 blocks
         let run = write_run(&*dev, &data).unwrap();
         let before = dev.stats().snapshot();
         let _ = run.read_all(&*dev).unwrap();
         let d = dev.stats().snapshot() - before;
         // Readahead batches device round-trips but the paper's cost unit
         // (block accesses) is unchanged, and all reads stay sequential.
-        assert_eq!(d.total_reads(), 10);
-        assert_eq!(d.seq_reads, 10);
+        assert_eq!(d.total_reads(), 12);
+        assert_eq!(d.seq_reads, 12);
     }
 
     #[test]
     fn prefetch_iter_matches_plain_iter() {
         use crate::sched::IoScheduler;
         use std::sync::Arc;
-        let dev = MemDevice::new(64); // 8 u64 per block
+        let dev = MemDevice::new(64); // 7 u64 per block
         let data: Vec<u64> = (0..1234).collect();
         let run = write_run(&*dev, &data).unwrap();
         let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 2, None);
@@ -684,9 +843,10 @@ mod tests {
             .collect();
         assert_eq!(got, data);
         sched.barrier().unwrap();
-        // Accounting unchanged: one block access per block, all sequential.
+        // Accounting unchanged: one block access per block (ceil(1234/7)),
+        // all sequential.
         let d = dev.stats().snapshot() - before;
-        assert_eq!(d.total_reads(), 155);
+        assert_eq!(d.total_reads(), 177);
         assert_eq!(d.rand_reads, 0);
         // Every window after the first came from an in-flight prefetch.
         let st = sched.stats();
@@ -717,9 +877,9 @@ mod tests {
     fn write_run_overlapped_matches_write_run() {
         use crate::sched::IoScheduler;
         use std::sync::Arc;
-        let dev = MemDevice::new(100); // padded geometry: 12 u64 + 4 bytes
+        let dev = MemDevice::new(100); // padded geometry: 11 u64 + CRC + 4 bytes
         let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 3, None);
-        for n in [0usize, 5, 12, 13, 500] {
+        for n in [0usize, 5, 11, 12, 500] {
             let data: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
             let run = write_run_overlapped(&sched, &data).unwrap();
             assert_eq!(run.len(), n as u64);
@@ -735,15 +895,15 @@ mod tests {
     #[test]
     fn rank_of_cached_reuses_blocks() {
         let dev = MemDevice::new(64);
-        let data: Vec<u64> = (0..4096).map(|i| i * 2).collect(); // 512 blocks
+        let data: Vec<u64> = (0..4096).map(|i| i * 2).collect(); // 586 blocks
         let run = write_run(&*dev, &data).unwrap();
         let mut cache = BlockCache::new(64);
         let before = dev.stats().snapshot();
         assert_eq!(run.rank_of_cached(&*dev, 999, &mut cache).unwrap(), 500);
         let first = (dev.stats().snapshot() - before).total_reads();
-        // Block-level search: ~log2(512) = 9 block reads, far below the
+        // Block-level search: ~log2(586) = 10 block reads, far below the
         // ~12 item reads of an item-level search, and bounded by it.
-        assert!(first <= 10, "first probe cost {first} block reads");
+        assert!(first <= 11, "first probe cost {first} block reads");
         // A nearby probe shares most of its search path: nearly free.
         let before = dev.stats().snapshot();
         assert_eq!(run.rank_of_cached(&*dev, 1001, &mut cache).unwrap(), 501);
@@ -757,7 +917,7 @@ mod tests {
         // probe decoded must answer from the last-block memo — zero
         // device reads AND zero BlockCache lookups — with the same
         // answer as the uncached search.
-        let dev = MemDevice::new(64); // 8 u64/block
+        let dev = MemDevice::new(64); // 7 u64/block
         let data: Vec<u64> = (0..4096).map(|i| i * 2).collect();
         let run = write_run(&*dev, &data).unwrap();
         let mut cache = BlockCache::new(64);
@@ -765,10 +925,10 @@ mod tests {
         assert_eq!(run.rank_of_cached(&*dev, 1000, &mut cache).unwrap(), 501);
         let stats_before = cache.stats();
         let io_before = dev.stats().snapshot();
-        // Same-block re-probes: the warm probe decoded block 62 (indices
-        // 496..504, values 992..=1006), so anything in [992, 1006) must
+        // Same-block re-probes: the warm probe decoded block 71 (indices
+        // 497..504, values 994..=1006), so anything in [994, 1006) must
         // answer from the memo.
-        for v in [1000u64, 992, 993, 1001, 1005] {
+        for v in [1000u64, 994, 995, 1001, 1005] {
             let expect = data.iter().filter(|&&x| x <= v).count() as u64;
             assert_eq!(run.rank_of_cached(&*dev, v, &mut cache).unwrap(), expect);
         }
@@ -795,7 +955,7 @@ mod tests {
     fn rank_of_cached_memo_exact_on_duplicate_plateaus() {
         // A plateau spanning block boundaries: memoized answers must
         // count the duplicates in later blocks too.
-        let dev = MemDevice::new(64); // 8 u64/block
+        let dev = MemDevice::new(64); // 7 u64/block
         let mut data = vec![10u64; 20];
         data.extend(vec![50u64; 20]);
         data.extend(60..200u64);
@@ -823,5 +983,110 @@ mod tests {
         let run = write_run(&*dev, &data).unwrap();
         assert_eq!(run.read_all(&*dev).unwrap(), data);
         assert_eq!(run.rank_of(&*dev, -1).unwrap(), 50);
+    }
+
+    /// Flip one byte of one stored block, in place, via the raw device.
+    fn rot_block(dev: &MemDevice, run: &SortedRun<u64>, block: u64) {
+        let bs = dev.block_size();
+        let mut raw = vec![0u8; bs];
+        dev.read_block(run.file(), block, &mut raw).unwrap();
+        raw[3] ^= 0x40;
+        dev.write_block(run.file(), block, &raw).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_detected_on_every_read_path() {
+        use crate::error::corruption_in;
+        let dev = MemDevice::new(64); // 7 u64 per block
+        let data: Vec<u64> = (0..70).collect(); // 10 blocks
+        let run = write_run(&*dev, &data).unwrap();
+        rot_block(&dev, &run, 4);
+
+        // Direct block read: typed corruption naming the exact block.
+        let err = run.read_block_items(&*dev, 4).unwrap_err();
+        assert_eq!(corruption_in(&err), Some((run.file(), 4)));
+        // Point lookup into the rotted block.
+        let err = run.get(&*dev, 30).unwrap_err();
+        assert_eq!(corruption_in(&err), Some((run.file(), 4)));
+        // Sequential iteration (readahead path) stops with the error.
+        let got: io::Result<Vec<u64>> = run.iter(&*dev).with_readahead(3).collect();
+        assert_eq!(corruption_in(&got.unwrap_err()), Some((run.file(), 4)));
+        // Healthy blocks still read clean.
+        assert_eq!(
+            run.read_block_items(&*dev, 3).unwrap(),
+            (21..28).collect::<Vec<_>>()
+        );
+        // Every detection bumped the corruption counter.
+        assert!(dev.stats().snapshot().corruptions >= 3);
+    }
+
+    #[test]
+    fn bit_flip_detected_by_prefetch_iter() {
+        use crate::error::corruption_in;
+        use crate::sched::IoScheduler;
+        use std::sync::Arc;
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..700).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        rot_block(&dev, &run, 50);
+        let sched = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, 2, None);
+        let got: io::Result<Vec<u64>> = run.iter_prefetch(&*dev, &sched).collect();
+        assert_eq!(corruption_in(&got.unwrap_err()), Some((run.file(), 50)));
+        sched.barrier().unwrap();
+    }
+
+    #[test]
+    fn truncated_block_is_corruption_not_panic() {
+        use crate::error::corruption_in;
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..70).collect();
+        let run = write_run(&*dev, &data).unwrap();
+        // Overwrite block 5 with a torn (10-byte) write: the decode sees
+        // a short buffer and must return a typed corruption, not panic.
+        dev.write_block(run.file(), 5, &[0xEEu8; 10]).unwrap();
+        let err = run.read_block_items(&*dev, 5).unwrap_err();
+        assert_eq!(corruption_in(&err), Some((run.file(), 5)));
+    }
+
+    #[test]
+    fn v1_runs_read_back_compat() {
+        // Hand-write an unchecksummed (V1) run: 8 u64 per 64-byte block,
+        // no trailer — the seed format. Reads must succeed unverified.
+        let dev = MemDevice::new(64);
+        let data: Vec<u64> = (0..100).collect();
+        let per = items_per_block::<u64>(64); // V1 geometry: 8
+        assert_eq!(per, 8);
+        let file = dev.create().unwrap();
+        for (idx, chunk) in data.chunks(per).enumerate() {
+            let mut raw = vec![0u8; chunk.len() * 8];
+            for (i, v) in chunk.iter().enumerate() {
+                v.encode(&mut raw[i * 8..]);
+            }
+            dev.write_block(file, idx as u64, &raw).unwrap();
+        }
+        let run = SortedRun::<u64>::from_raw_parts(file, 100, 0, 99);
+        assert_eq!(run.format(), RunFormat::V1);
+        assert_eq!(run.items_per_block(64), 8);
+        assert_eq!(run.read_all(&*dev).unwrap(), data);
+        assert_eq!(run.get(&*dev, 42).unwrap(), 42);
+        assert_eq!(run.rank_of(&*dev, 50).unwrap(), 51);
+        assert_eq!(
+            run.read_block_items(&*dev, 12).unwrap(),
+            (96..100).collect::<Vec<_>>()
+        );
+        let got: Vec<u64> = run
+            .iter(&*dev)
+            .with_readahead(4)
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn format_round_trips_through_byte() {
+        for fmt in [RunFormat::V1, RunFormat::V2] {
+            assert_eq!(RunFormat::from_byte(fmt.as_byte()), Some(fmt));
+        }
+        assert_eq!(RunFormat::from_byte(9), None);
     }
 }

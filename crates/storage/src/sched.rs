@@ -128,6 +128,8 @@ struct Shared {
     /// Waiters/barriers wait here for completions.
     done_cv: Condvar,
     counters: Counters,
+    /// Transient-failure retry applied by workers around each op.
+    retry: crate::error::RetryPolicy,
 }
 
 /// Bounded-pool submission/completion queues over a [`BlockDevice`]
@@ -162,6 +164,20 @@ impl IoScheduler {
     /// [`IoScheduler::new`] with an explicit cross-file reorder seed
     /// (`None` = plain FIFO pick among ready files).
     pub fn with_reorder(dev: Arc<dyn BlockDevice>, depth: usize, seed: Option<u64>) -> Self {
+        Self::with_retry(dev, depth, seed, crate::error::RetryPolicy::none())
+    }
+
+    /// [`IoScheduler::with_reorder`] plus a [`crate::RetryPolicy`]:
+    /// workers retry transiently-failing ops (capped backoff) before a
+    /// completion is recorded, so masked hiccups never become sticky
+    /// scheduler errors. Each masked failure is counted in the device's
+    /// [`crate::IoStats::retries`].
+    pub fn with_retry(
+        dev: Arc<dyn BlockDevice>,
+        depth: usize,
+        seed: Option<u64>,
+        retry: crate::error::RetryPolicy,
+    ) -> Self {
         let depth = depth.max(1);
         let shared = Arc::new(Shared {
             dev,
@@ -181,6 +197,7 @@ impl IoScheduler {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
             counters: Counters::default(),
+            retry,
         });
         let workers = (0..depth)
             .map(|i| {
@@ -436,7 +453,14 @@ fn worker_loop(shared: &Shared) {
             st.busy.push(file);
             (id, op, file)
         };
-        let result = shared.dev.execute(op);
+        let result = if shared.retry.max_retries == 0 {
+            shared.dev.execute(op)
+        } else {
+            shared.retry.run(
+                || shared.dev.stats().record_retry(),
+                || shared.dev.execute(op.clone()),
+            )
+        };
         {
             let mut st = lock(&shared.state);
             st.busy.retain(|&f| f != file);
@@ -466,6 +490,47 @@ mod tests {
         let dev = MemDevice::new(64);
         let s = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, depth, None);
         (dev, s)
+    }
+
+    #[test]
+    fn worker_retry_masks_flaky_reads() {
+        use crate::error::RetryPolicy;
+        use crate::fault::{Fault, FaultDevice};
+        let dev = FaultDevice::new(MemDevice::new(64));
+        let f = dev.create().unwrap();
+        for i in 0..32u64 {
+            dev.write_block(f, i, &[i as u8; 64]).unwrap();
+        }
+        dev.arm(Fault::FlakyReads { seed: 11, rate: 3 });
+        let s = IoScheduler::with_retry(
+            Arc::clone(&dev) as Arc<dyn BlockDevice>,
+            2,
+            None,
+            RetryPolicy::immediate(16),
+        );
+        let tickets: Vec<_> = (0..32u64)
+            .map(|i| {
+                s.submit(IoOp::ReadBlocks {
+                    file: f,
+                    first: i,
+                    count: 1,
+                })
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            match s.wait(t).unwrap() {
+                IoOutcome::Read { data, len } => {
+                    assert_eq!(len, 64);
+                    assert!(data[..64].iter().all(|&b| b == i as u8), "block {i}");
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        s.barrier().unwrap();
+        assert!(
+            dev.stats().snapshot().retries > 0,
+            "flaky schedule at rate 3 must have forced at least one retry"
+        );
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct IoStats {
     syncs: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    retries: AtomicU64,
+    corruptions: AtomicU64,
 }
 
 impl IoStats {
@@ -53,6 +55,21 @@ impl IoStats {
         self.syncs.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Count one retried operation (a transient failure that was masked
+    /// by a [`crate::RetryPolicy`], in the scheduler or a
+    /// [`crate::RetryDevice`]).
+    #[inline]
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one detected corruption (a block whose CRC64 trailer or
+    /// structural decode failed verification).
+    #[inline]
+    pub fn record_corruption(&self) {
+        self.corruptions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -62,6 +79,8 @@ impl IoStats {
             syncs: self.syncs.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            corruptions: self.corruptions.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +113,10 @@ pub struct IoSnapshot {
     pub bytes_read: u64,
     /// Total bytes written.
     pub bytes_written: u64,
+    /// Transient failures masked by a retry policy.
+    pub retries: u64,
+    /// Blocks that failed checksum/decode verification.
+    pub corruptions: u64,
 }
 
 impl IoSnapshot {
@@ -120,6 +143,8 @@ impl std::ops::Sub for IoSnapshot {
             syncs: self.syncs - rhs.syncs,
             bytes_read: self.bytes_read - rhs.bytes_read,
             bytes_written: self.bytes_written - rhs.bytes_written,
+            retries: self.retries - rhs.retries,
+            corruptions: self.corruptions - rhs.corruptions,
         }
     }
 }
@@ -135,6 +160,8 @@ impl std::ops::Add for IoSnapshot {
             syncs: self.syncs + rhs.syncs,
             bytes_read: self.bytes_read + rhs.bytes_read,
             bytes_written: self.bytes_written + rhs.bytes_written,
+            retries: self.retries + rhs.retries,
+            corruptions: self.corruptions + rhs.corruptions,
         }
     }
 }
@@ -151,7 +178,15 @@ impl std::fmt::Display for IoSnapshot {
             self.syncs,
             self.bytes_read as f64 / (1024.0 * 1024.0),
             self.bytes_written as f64 / (1024.0 * 1024.0),
-        )
+        )?;
+        if self.retries > 0 || self.corruptions > 0 {
+            write!(
+                f,
+                ", retries={}, corruptions={}",
+                self.retries, self.corruptions
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -185,10 +220,14 @@ mod tests {
             syncs: 1,
             bytes_read: 4,
             bytes_written: 5,
+            retries: 1,
+            corruptions: 1,
         };
         let sum = a + a;
         assert_eq!(sum.seq_reads, 2);
         assert_eq!(sum.syncs, 2);
+        assert_eq!(sum.retries, 2);
+        assert_eq!(sum.corruptions, 2);
         assert_eq!(sum.total_accesses(), 12);
     }
 }

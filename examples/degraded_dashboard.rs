@@ -1,0 +1,136 @@
+//! Self-healing storage from the operator's seat.
+//!
+//! A latency dashboard keeps querying one engine while its disk
+//! misbehaves in both of the ways disks misbehave:
+//!
+//! * **Bit-rot** — a byte flips inside an archived run block. The
+//!   per-block CRC catches it, the partition is quarantined, and the
+//!   dashboard keeps answering *degraded*: every response carries rank
+//!   bounds widened by exactly the quarantined mass, so the operator
+//!   sees precisely how much the answer can be off by. A `scrub` pass
+//!   then salvages every checksum-valid block, and the widening shrinks
+//!   to just the items that were truly lost. (With
+//!   `HsqConfig::builder().strict(true)` the same queries would refuse
+//!   with `InvalidData` instead of degrading.)
+//! * **Transient read failures** — a deterministic flaky-read schedule
+//!   makes ~1 in 6 device reads fail. A `RetryDevice` below the engine
+//!   masks every one; the dashboard never sees an error, and the retry
+//!   counter shows the absorbed failures.
+//!
+//! Run: `cargo run --release --example degraded_dashboard`
+
+use std::sync::Arc;
+
+use hsq::core::{HistStreamQuantiles, HsqConfig};
+use hsq::storage::{BlockDevice, Fault, FaultDevice, MemDevice, RetryDevice, RetryPolicy};
+
+type Dev = RetryDevice<FaultDevice<MemDevice>>;
+
+fn dashboard(h: &HistStreamQuantiles<u64, Dev>, label: &str) {
+    let n = h.total_len();
+    println!("  [{label}] {} items:", n);
+    for phi in [0.50, 0.95, 0.99] {
+        let r = ((n as f64 * phi) as u64).max(1);
+        let o = h.rank_query(r).expect("query").expect("non-empty");
+        println!(
+            "    p{:02}: value {:>6}  rank in [{}, {}]{}",
+            (phi * 100.0) as u32,
+            o.value,
+            o.rank_lo,
+            o.rank_hi,
+            if o.degraded {
+                format!("  DEGRADED ({} items quarantined)", o.quarantined)
+            } else {
+                String::new()
+            }
+        );
+    }
+}
+
+fn main() {
+    let cfg = HsqConfig::builder()
+        .epsilon(0.01)
+        .merge_threshold(4)
+        .retry(RetryPolicy::immediate(16)) // per-query transient retries
+        .build();
+    // FaultDevice injects the failures; RetryDevice masks the transient
+    // ones below the engine and counts what it absorbed.
+    let fault = FaultDevice::new(MemDevice::new(256));
+    let dev: Arc<Dev> = RetryDevice::new(Arc::clone(&fault), RetryPolicy::immediate(16));
+    let mut hsq = HistStreamQuantiles::<u64, _>::new(dev, cfg);
+
+    // Six archived days plus a live stream (eps * m = 200).
+    for day in 0..6u64 {
+        let batch: Vec<u64> = (0..20_000u64)
+            .map(|i| (i * 2_654_435_761 + day) >> 14)
+            .collect();
+        hsq.ingest_step(&batch).expect("ingest");
+    }
+    let live: Vec<u64> = (0..20_000u64).map(|i| (i * 40_503 + 7) >> 14).collect();
+    hsq.stream_extend(&live);
+    let eps_m = (hsq.config().epsilon() * live.len() as f64).floor() as u64;
+
+    println!("== healthy ==");
+    dashboard(&hsq, "healthy");
+
+    // ---- Bit-rot: flip one byte of the newest partition's first block ----
+    let (file, part_len) = {
+        let p = hsq.warehouse().partitions_newest_first()[0];
+        (p.run.file(), p.run.len())
+    };
+    let mut buf = vec![0u8; 256];
+    let n = fault.read_block(file, 0, &mut buf).expect("read");
+    buf[n / 2] ^= 0x01;
+    fault.write_block(file, 0, &buf[..n]).expect("write");
+    println!("\n== bit-rot injected into file {file:?}, block 0 ==");
+
+    // A scrub pass (here unbudgeted; in production, rate-limited and
+    // periodic) verifies checksums and quarantines the damage.
+    let found = hsq.scrub(u64::MAX).expect("scrub");
+    println!(
+        "  scrub: {} blocks verified, {} corrupt -> {} partition(s) quarantined",
+        found.blocks_verified, found.corrupt_blocks, found.quarantined_after
+    );
+    assert_eq!(found.quarantined_after, 1);
+
+    // Queries still answer — flagged, bounds widened by exactly the
+    // quarantined partition's mass.
+    dashboard(&hsq, "degraded");
+    let o = hsq
+        .rank_query(hsq.total_len() / 2)
+        .expect("query")
+        .expect("non-empty");
+    assert!(o.degraded);
+    assert_eq!(o.quarantined, part_len);
+    assert_eq!(o.rank_hi - o.rank_lo, 2 * eps_m + part_len);
+
+    // ---- Repair: salvage every checksum-valid block ----
+    let healed = hsq.scrub(u64::MAX).expect("scrub");
+    println!(
+        "\n== repaired: {} partition(s) rebuilt, {} items salvaged, {} lost ==",
+        healed.partitions_repaired, healed.items_salvaged, healed.items_lost
+    );
+    assert_eq!(healed.quarantined_after, 0);
+    assert!(
+        healed.items_lost <= 31,
+        "at most one 256-byte block of items"
+    );
+    dashboard(&hsq, "repaired");
+    let o = hsq
+        .rank_query(hsq.total_len() / 2)
+        .expect("query")
+        .expect("non-empty");
+    assert_eq!(
+        o.quarantined, healed.items_lost,
+        "widening shrinks to the confirmed loss"
+    );
+
+    // ---- Transient failures: flaky reads, invisibly retried ----
+    fault.arm(Fault::FlakyReads { seed: 11, rate: 6 });
+    let before = fault.stats().snapshot().retries;
+    dashboard(&hsq, "flaky device");
+    let absorbed = fault.stats().snapshot().retries - before;
+    println!("\n== {absorbed} transient read failures absorbed by the retry layer ==");
+    assert!(absorbed > 0, "the flaky schedule must have fired");
+    println!("dashboard never saw an error: self-healing OK");
+}

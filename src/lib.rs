@@ -202,6 +202,99 @@
 //! Use that harness as the template for future durability tests; see
 //! `examples/overlapped_archival.rs` for the end-to-end shape.
 //!
+//! ## Self-healing storage (robustness & operations)
+//!
+//! Disks lie: reads fail transiently, and bits rot silently. The storage
+//! layer defends both, end to end:
+//!
+//! * **Checksummed run blocks.** Every run block written by the V2
+//!   format carries a CRC64 trailer, verified on *every* read path —
+//!   queries, merges, recovery, backups, scrub. V1 (unchecksummed) runs
+//!   remain readable. Manifests get the same treatment: whole-image
+//!   CRCs on snapshots, per-record CRCs with torn-tail truncation on
+//!   the append-only log (fuzzed in `crates/core/src/manifest.rs`).
+//! * **A typed error taxonomy.** Device errors are classified as
+//!   *transient* (worth retrying), *corruption* (pinned to a
+//!   `(file, block)`), or *fatal*, carried inside `io::Error` and
+//!   inspected with [`hsq_storage::is_transient`] /
+//!   [`hsq_storage::corruption_in`].
+//! * **Transient-I/O retry.** [`hsq_storage::RetryPolicy`] retries
+//!   transients at two seams: `HsqConfig::builder().retry(..)` makes
+//!   every query retry a failed probe whole, and
+//!   [`hsq_storage::RetryDevice`] wraps any device to mask flaky reads
+//!   below the engine (retries are counted in `IoStats`). Transients
+//!   never quarantine data.
+//! * **Corruption quarantine + degraded queries.** When a read fails
+//!   its checksum, the owning partition is *quarantined* (durably — the
+//!   manifest log records it, recovery replays it): merges route around
+//!   it and queries keep answering, **degraded**, with
+//!   [`hsq_core::QueryOutcome::rank_lo`]`..`[`rank_hi`](hsq_core::QueryOutcome::rank_hi)
+//!   widened by *exactly* the quarantined mass — the answer is honest
+//!   about what it can no longer see. `strict(true)` flips the policy:
+//!   queries refuse (`InvalidData`) while any mass is quarantined.
+//! * **Scrub.** [`HistStreamQuantiles::scrub`](hsq_core::HistStreamQuantiles::scrub)
+//!   runs one rate-limited pass: first it *repairs* quarantined
+//!   partitions — salvaging every checksum-valid block into a fresh run
+//!   and counting what was truly lost — then it *verifies* healthy
+//!   partitions round-robin within a block budget, resuming where the
+//!   last pass stopped. Call it from a periodic operations loop; size
+//!   `budget_blocks` to your background-I/O allowance.
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles};
+//! use hsq::storage::{BlockDevice, MemDevice, RetryPolicy};
+//! use std::sync::Arc;
+//!
+//! let config = HsqConfig::builder()
+//!     .epsilon(0.01)
+//!     .merge_threshold(4)
+//!     .retry(RetryPolicy::standard(4)) // per-query transient retries
+//!     .build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), config);
+//! for day in 0..3u64 {
+//!     let batch: Vec<u64> = (0..10_000u64).map(|i| day * 10_000 + i).collect();
+//!     hsq.ingest_step(&batch).unwrap();
+//! }
+//! for i in 30_000..40_000u64 {
+//!     hsq.stream_update(i); // eps * m = 100
+//! }
+//!
+//! // Silent bit-rot: flip one byte inside a run block on "disk".
+//! let dev = Arc::clone(hsq.warehouse().device());
+//! let file = hsq.warehouse().partitions_newest_first()[0].run.file();
+//! let mut buf = vec![0u8; 256];
+//! let n = dev.read_block(file, 0, &mut buf).unwrap();
+//! buf[n / 2] ^= 1;
+//! dev.write_block(file, 0, &buf[..n]).unwrap();
+//!
+//! // A scrub pass catches the bad checksum and quarantines the partition.
+//! let found = hsq.scrub(u64::MAX).unwrap();
+//! assert_eq!(found.corrupt_blocks, 1);
+//! assert_eq!(found.quarantined_after, 1);
+//!
+//! // Queries still answer — flagged, with bounds widened by exactly the
+//! // 10_000 quarantined items (strict(true) would refuse instead).
+//! let o = hsq.rank_query(20_000).unwrap().unwrap();
+//! assert!(o.degraded);
+//! assert_eq!(o.quarantined, 10_000);
+//! assert_eq!(o.rank_hi - o.rank_lo, 2 * 100 + 10_000);
+//!
+//! // The next pass repairs: every checksum-valid block is salvaged; only
+//! // the rotted block's items (31 per 256-byte block) are truly lost.
+//! let healed = hsq.scrub(u64::MAX).unwrap();
+//! assert_eq!(healed.partitions_repaired, 1);
+//! assert_eq!(healed.items_lost, 31);
+//! assert_eq!(healed.quarantined_after, 0);
+//! let o = hsq.rank_query(20_000).unwrap().unwrap();
+//! assert_eq!(o.quarantined, 31); // widening shrank to the confirmed loss
+//! ```
+//!
+//! The guarantees are swept in `tests/corruption_sweep.rs` (bit-rot in
+//! every block of every partition: each answer is oracle-correct or
+//! flagged with exact widening; flaky-read schedules masked with zero
+//! query-visible failures) and demonstrated operationally in
+//! `examples/degraded_dashboard.rs`.
+//!
 //! ## Performance tuning
 //!
 //! The hot paths self-tune, but three levers are worth knowing:

@@ -147,9 +147,10 @@ fn i64_negative_values_end_to_end() {
 
 #[test]
 fn u32_items_and_one_item_blocks() {
-    // Degenerate geometry: each block holds exactly one u32.
+    // Degenerate geometry: each checksummed block holds exactly one u32
+    // (4 bytes of payload + the 8-byte CRC trailer).
     let cfg = HsqConfig::builder().epsilon(0.1).merge_threshold(3).build();
-    let mut h = HistStreamQuantiles::<u32, _>::new(MemDevice::new(4), cfg);
+    let mut h = HistStreamQuantiles::<u32, _>::new(MemDevice::new(12), cfg);
     for step in 0..4u32 {
         let batch: Vec<u32> = (0..200).map(|i| i * 5 + step).collect();
         h.ingest_step(&batch).unwrap();
