@@ -314,6 +314,99 @@ fn ingest_throughput() -> (f64, f64) {
     (scalar, batched)
 }
 
+/// One backend's row in the sketch A/B section.
+struct SketchRow {
+    name: &'static str,
+    update_eps: f64,
+    batch_eps: f64,
+    max_rel_err: f64,
+    merge_secs: f64,
+    memory_words: usize,
+}
+
+/// Pluggable-sketch A/B: for each backend (GK, KLL) at the same ε,
+/// scalar update throughput, batched insert throughput (chunks of 4096
+/// through the radix sort path), observed max rank error against exact
+/// in units of the promised `ε·n` (asserted `< 1` for both backends —
+/// the union guarantee's in-bin gate), the cost of an 8-way shard
+/// merge, and the memory footprint.
+fn sketch_metrics() -> Vec<SketchRow> {
+    use hsq_sketch::{AnySketch, QuantileSketch, SketchKind};
+    const EPS: f64 = 0.01;
+    const N: usize = 1 << 19;
+    const SHARDS: usize = 8;
+    let data: Vec<u64> = Dataset::Uniform.generator(4242).take_vec(N);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+
+    let mut rows = Vec::new();
+    for kind in [SketchKind::Gk, SketchKind::Kll] {
+        // Scalar updates.
+        let mut s = AnySketch::<u64>::new(kind, EPS);
+        let t = Instant::now();
+        for &v in &data {
+            s.insert(v);
+        }
+        let update_eps = N as f64 / t.elapsed().as_secs_f64();
+
+        // Batched inserts at the engine's ingest chunk size.
+        let mut b = AnySketch::<u64>::new(kind, EPS);
+        let mut buf = data.clone();
+        let t = Instant::now();
+        for chunk in buf.chunks_mut(4096) {
+            b.insert_batch(chunk);
+        }
+        let batch_eps = N as f64 / t.elapsed().as_secs_f64();
+
+        // Observed accuracy of the scalar-built sketch vs exact ranks,
+        // normalized by the promised eps*n: > 1 would break Theorem 2's
+        // union bound, so both backends gate on it in-bin.
+        let mut max_dist = 0u64;
+        for i in 1..=200u64 {
+            let r = (N as u64 * i) / 201 + 1;
+            let est = s.rank_query(r).expect("non-empty sketch");
+            let lo = sorted.partition_point(|&x| x < est.value) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= est.value) as u64;
+            let dist = if r < lo { lo - r } else { r.saturating_sub(hi) };
+            max_dist = max_dist.max(dist);
+        }
+        // The promise is dist <= eps*n (+1 rank of discreteness slack).
+        assert!(
+            max_dist as f64 <= EPS * N as f64 + 1.0,
+            "{kind}: observed rank error {max_dist} breaks the eps*n = {} bound",
+            EPS * N as f64
+        );
+        let max_err = max_dist as f64 / (EPS * N as f64);
+
+        // Merge cost: fold 8 shard sketches (N/8 items each) into one.
+        let shards: Vec<AnySketch<u64>> = (0..SHARDS)
+            .map(|i| {
+                let mut sh = AnySketch::<u64>::new(kind, EPS);
+                let mut chunk = data[i * (N / SHARDS)..(i + 1) * (N / SHARDS)].to_vec();
+                sh.insert_batch(&mut chunk);
+                sh
+            })
+            .collect();
+        let t = Instant::now();
+        let mut merged = AnySketch::<u64>::new(kind, EPS);
+        for sh in &shards {
+            merged.merge_from(sh);
+        }
+        let merge_secs = t.elapsed().as_secs_f64();
+        assert_eq!(merged.len(), N as u64, "{kind}: merge lost items");
+
+        rows.push(SketchRow {
+            name: kind.as_str(),
+            update_eps,
+            batch_eps,
+            max_rel_err: max_err,
+            merge_secs,
+            memory_words: s.memory_words(),
+        });
+    }
+    rows
+}
+
 /// Retention metrics: steady-state partition bytes of an engine
 /// ingesting indefinitely under a byte-cap policy (deterministic given
 /// the seed), and the cost of sliding-window queries over the retained
@@ -521,6 +614,20 @@ fn main() {
         comparison_eps / 1e6,
     );
 
+    let sketch_rows = sketch_metrics();
+    for r in &sketch_rows {
+        println!(
+            "sketch[{}]: update {:.2} Melem/s, batch(4096) {:.2} Melem/s, \
+             max err {:.2} eps*n, 8-way merge {:.0} us, {} words",
+            r.name,
+            r.update_eps / 1e6,
+            r.batch_eps / 1e6,
+            r.max_rel_err,
+            r.merge_secs * 1e6,
+            r.memory_words,
+        );
+    }
+
     let (q_s_p50, q_s_p99, q_d_p50, q_d_p99, q_hit_rate, cached_speedup, fresh_secs, reused_secs) =
         query_metrics();
     println!(
@@ -570,6 +677,20 @@ fn main() {
 
     let path =
         std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
+    let sketch_json = sketch_rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"name\": \"{}\", \"update_elems_per_sec\": {:.0}, ",
+                    "\"batch_4096_elems_per_sec\": {:.0}, \"max_rel_err\": {:.4}, ",
+                    "\"merge_8way_seconds\": {:.8}, \"memory_words\": {}}}"
+                ),
+                r.name, r.update_eps, r.batch_eps, r.max_rel_err, r.merge_secs, r.memory_words
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n  \"bench\": \"headline\",\n  \"steps\": {},\n  \"step_items\": {},\n",
@@ -578,6 +699,7 @@ fn main() {
             "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}, ",
             "\"radix_sort_elems_per_sec\": {:.0}, ",
             "\"comparison_sort_elems_per_sec\": {:.0}, \"radix_speedup\": {:.2}}},\n",
+            "  \"sketch\": {{\"epsilon\": 0.01, \"elems\": 524288, \"backends\": [\n{}\n  ]}},\n",
             "  \"query\": {{\"summary_p50_probes\": {:.1}, \"summary_p99_probes\": {:.1}, ",
             "\"domain_p50_probes\": {:.1}, \"domain_p99_probes\": {:.1}, ",
             "\"prefetch_io_depth\": 2, \"prefetch_hit_rate\": {:.3}, ",
@@ -608,6 +730,7 @@ fn main() {
         radix_eps,
         comparison_eps,
         radix_speedup,
+        sketch_json,
         q_s_p50,
         q_s_p99,
         q_d_p50,

@@ -9,6 +9,7 @@
 //! here.
 
 use crate::retention::RetentionPolicy;
+use hsq_sketch::SketchKind;
 use hsq_storage::RetryPolicy;
 
 /// Configuration for [`crate::HistStreamQuantiles`] and its parts.
@@ -59,6 +60,13 @@ pub struct HsqConfig {
     /// corruption error instead of a degraded answer with widened rank
     /// bounds. Default `false` (answer with explicit bound widening).
     pub strict: bool,
+    /// Which [`hsq_sketch::QuantileSketch`] backend absorbs the live
+    /// stream: [`SketchKind::Gk`] (the paper-faithful default) or
+    /// [`SketchKind::Kll`] (O(1) amortized updates, exact merges). The
+    /// builder default honors the `HSQ_SKETCH` environment variable
+    /// (`"gk"` / `"kll"`), which is how CI runs the whole property suite
+    /// under both backends without per-test plumbing.
+    pub sketch: SketchKind,
 }
 
 impl HsqConfig {
@@ -112,6 +120,7 @@ impl HsqConfig {
             retention: RetentionPolicy::unbounded(),
             retry: RetryPolicy::none(),
             strict: false,
+            sketch: SketchKind::from_env_or(SketchKind::Gk),
         }
     }
 }
@@ -128,6 +137,7 @@ pub struct HsqConfigBuilder {
     retention: RetentionPolicy,
     retry: RetryPolicy,
     strict: bool,
+    sketch: SketchKind,
 }
 
 impl Default for HsqConfigBuilder {
@@ -142,6 +152,7 @@ impl Default for HsqConfigBuilder {
             retention: RetentionPolicy::unbounded(),
             retry: RetryPolicy::none(),
             strict: false,
+            sketch: SketchKind::from_env_or(SketchKind::Gk),
         }
     }
 }
@@ -209,9 +220,16 @@ impl HsqConfigBuilder {
         self
     }
 
+    /// Select the stream-sketch backend (see [`HsqConfig::sketch`]).
+    pub fn sketch(mut self, kind: SketchKind) -> Self {
+        self.sketch = kind;
+        self
+    }
+
     /// Finalize, applying Algorithm 1's parameter split.
     pub fn build(self) -> HsqConfig {
         let mut cfg = HsqConfig::with_epsilons(self.epsilon / 2.0, self.epsilon / 4.0);
+        cfg.sketch = self.sketch;
         cfg.kappa = self.kappa;
         cfg.sort_budget_items = self.sort_budget_items;
         cfg.cache_blocks = self.cache_blocks;
@@ -277,6 +295,24 @@ mod tests {
         let default = HsqConfig::with_epsilon(0.1);
         assert_eq!(default.retry, RetryPolicy::none(), "fail-fast default");
         assert!(!default.strict);
+    }
+
+    #[test]
+    fn sketch_knob() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .sketch(SketchKind::Kll)
+            .build();
+        assert_eq!(cfg.sketch, SketchKind::Kll);
+        let gk = HsqConfig::builder()
+            .epsilon(0.1)
+            .sketch(SketchKind::Gk)
+            .build();
+        assert_eq!(gk.sketch, SketchKind::Gk);
+        // The default honors HSQ_SKETCH (the CI matrix may set it), with
+        // GK as the fallback.
+        let default = HsqConfig::with_epsilon(0.1);
+        assert_eq!(default.sketch, SketchKind::from_env_or(SketchKind::Gk));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! [`HistStreamQuantiles`] owns:
 //! * a [`Warehouse`] (`HD` + `HS`) on a caller-supplied block device;
-//! * a [`StreamProcessor`] (GK sketch) absorbing the live stream;
+//! * a [`StreamProcessor`] (pluggable GK or KLL sketch, selected by
+//!   [`HsqConfig`]'s `sketch` knob) absorbing the live stream;
 //! * the staging buffer holding the current time step's raw data, which is
 //!   archived into the warehouse when [`HistStreamQuantiles::end_time_step`]
 //!   is called (and the stream sketch reset — Algorithm 4's `StreamReset`).
@@ -51,7 +52,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// Create an engine on `dev` with the given configuration
     /// (Algorithm 1's initialization).
     pub fn new(dev: Arc<D>, config: HsqConfig) -> Self {
-        let stream = StreamProcessor::new(config.epsilon2, config.beta2);
+        let stream = StreamProcessor::with_kind(config.sketch, config.epsilon2, config.beta2);
         HistStreamQuantiles {
             warehouse: Warehouse::new(dev, config.clone()),
             stream,
@@ -115,7 +116,7 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     }
 
     /// Words of main memory held by the algorithm's summaries
-    /// (`HS` + GK sketch; Observation 1's quantity).
+    /// (`HS` + stream sketch; Observation 1's quantity).
     pub fn memory_words(&self) -> usize {
         self.warehouse.summary_memory_words() + self.stream.memory_words()
     }
@@ -132,7 +133,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
 
     /// Batched `StreamUpdate`: absorb a whole slice of streaming elements
     /// at once. The batch is sorted once; the sorted copy feeds the stream
-    /// sketch in a single linear merge ([`hsq_sketch::GkSketch::insert_batch`])
+    /// sketch in one sorted-batch absorption (a linear merge for GK, a
+    /// buffered append for KLL — see [`hsq_sketch::QuantileSketch`])
     /// and is kept as a sorted staging segment, so the following
     /// [`HistStreamQuantiles::end_time_step`] archives without re-sorting
     /// it. Equivalent (same multiset, same `ε` guarantees) to calling
@@ -363,6 +365,8 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// snapshot keeps answering queries — with the same `εm` guarantee,
     /// where `m` is the stream size at snapshot time — while this engine
     /// continues to ingest, archive, and merge partitions underneath.
+    /// (The summary is extracted from whichever sketch backend the stream
+    /// runs on — snapshots are backend-oblivious.)
     ///
     /// This is the concurrent-reader primitive: hold the engine's lock
     /// just long enough to take the snapshot, then query it lock-free.
@@ -387,29 +391,52 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         }
     }
 
-    /// Persist the warehouse's metadata (see [`crate::manifest`]);
-    /// recover later with [`Self::recover`]. The live stream is volatile
-    /// and not persisted (recovery is at time-step granularity).
+    /// Persist the full engine state (see [`crate::manifest`]): the
+    /// warehouse's metadata plus the live stream — sketch and staging
+    /// buffer — so [`Self::recover`] resumes *mid-step* with identical
+    /// query answers, under either sketch backend. The optional
+    /// heavy-hitter tracker is not persisted; re-enable it after
+    /// recovery (it sees elements from that point on).
     pub fn persist(&self) -> io::Result<hsq_storage::FileId> {
         // A manifest must never reference a run whose blocks are still
         // in flight: settle them first.
         self.warehouse.io_barrier()?;
-        crate::manifest::persist(&self.warehouse)
+        crate::manifest::persist_engine(
+            &self.warehouse,
+            &self.stream,
+            &self.staging,
+            &self.staging_segments,
+        )
     }
 
-    /// Reopen an engine from a manifest written by [`Self::persist`].
+    /// Reopen an engine from a manifest written by [`Self::persist`]
+    /// (the stream is restored, resuming mid-step). Warehouse-only
+    /// manifests — [`crate::manifest::persist`] /
+    /// [`crate::manifest::persist_snapshot`] backups,
+    /// [`crate::manifest::ManifestLog`] files, and pre-version-3
+    /// manifests — recover with an empty stream. A stream written under
+    /// one sketch backend recovers under either build; the configured
+    /// backend takes over at the next step boundary.
     pub fn recover(
         dev: Arc<D>,
         config: HsqConfig,
         manifest: hsq_storage::FileId,
     ) -> io::Result<Self> {
-        let warehouse = crate::manifest::recover(dev, config.clone(), manifest)?;
-        let stream = StreamProcessor::new(config.epsilon2, config.beta2);
+        let (warehouse, recovered) =
+            crate::manifest::recover_with_stream(dev, config.clone(), manifest)?;
+        let (stream, staging, staging_segments) = match recovered {
+            Some(s) => (s.proc, s.staging, s.segments),
+            None => (
+                StreamProcessor::with_kind(config.sketch, config.epsilon2, config.beta2),
+                Vec::new(),
+                Vec::new(),
+            ),
+        };
         Ok(HistStreamQuantiles {
             warehouse,
             stream,
-            staging: Vec::new(),
-            staging_segments: Vec::new(),
+            staging,
+            staging_segments,
             staging_sort_time: std::time::Duration::ZERO,
             config,
             heavy: None,

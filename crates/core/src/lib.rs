@@ -18,9 +18,11 @@
 //! * **`HS`** ([`summary::PartitionSummary`]): per-partition in-memory
 //!   summaries of `β₁` evenly spaced elements with exact ranks and block
 //!   pointers;
-//! * **`SS`** ([`stream::StreamProcessor`]): a Greenwald–Khanna sketch
-//!   over the live stream, from which a `β₂`-element summary is extracted
-//!   at query time;
+//! * **`SS`** ([`stream::StreamProcessor`]): a pluggable quantile sketch
+//!   over the live stream — Greenwald–Khanna by default (the paper's
+//!   choice), or a KLL compactor ladder selected via the [`HsqConfig`]
+//!   builder's `sketch` knob ([`SketchKind`]) — from which a
+//!   `β₂`-element summary is extracted at query time;
 //! * **queries** ([`query::QueryContext`]): a quick in-memory response
 //!   (Algorithm 5, error ≤ 1.5εN) and an accurate response (Algorithms
 //!   6–8) that bisects the value space between summary-derived filters,
@@ -92,6 +94,7 @@ pub use budget::{plan_memory, MemoryPlan};
 pub use config::{HsqConfig, HsqConfigBuilder};
 pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
+pub use hsq_sketch::SketchKind;
 pub use query::{QueryContext, QueryOutcome, SeedMode};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};

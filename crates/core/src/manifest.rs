@@ -14,10 +14,15 @@
 //! written by [`persist`] / [`persist_snapshot`]:
 //!
 //! ```text
-//! magic "HSQM"  version  item_width  steps  total_len  num_partitions
+//! magic "HSQM"  version  item_width  steps  total_len
+//! quarantine: lost_items num_files file*
+//! num_partitions
 //! per partition:
-//!   level  file_id  run_len  first_step  last_step  min  max
+//!   format  level  file_id  run_len  first_step  last_step  min  max
 //!   num_entries  (value rank block)*
+//! stream_flag (0|1); if 1 (version ≥ 3):
+//!   kind  epsilon  n  [min max]  sketch payload (GK tuples | KLL levels)
+//!   num_staged  item*  num_segments  segment_end*
 //! crc64 (of everything above)
 //! ```
 //!
@@ -51,17 +56,28 @@
 //! [`recover`] accepts either form (it dispatches on the magic), so
 //! engine-level recovery is oblivious to which one produced the file.
 //!
-//! The stream (`R`) is deliberately *not* persisted: in the paper's model
-//! (§1.1) un-archived data is the volatile stream; recovery is at
-//! time-step granularity.
+//! Version 3 adds an optional **stream section** after the partition
+//! list: the live sketch (kind-tagged — GK tuples or KLL compactor
+//! levels, per [`hsq_sketch::SketchKind`]) plus the staging buffer with
+//! its sorted-segment boundaries. The engine-level
+//! [`crate::engine::HistStreamQuantiles::persist`] writes it, so recovery
+//! resumes *mid-step* with identical query answers — whichever sketch
+//! backend wrote the state, under whichever backend recovers it.
+//! Warehouse-level [`persist`] / [`persist_snapshot`] still write
+//! warehouse-only manifests (stream flag 0), and version-1/2 files
+//! (which predate the section) recover with an empty stream — the
+//! paper's §1.1 model, where un-archived data is the volatile stream and
+//! recovery is at time-step granularity.
 
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::Arc;
 
+use hsq_sketch::{AnySketch, GkSketch, KllSketch, QuantileSketch, SketchKind};
 use hsq_storage::{crc64, BlockDevice, FileId, Item, RunFormat, SortedRun};
 
 use crate::config::HsqConfig;
+use crate::stream::StreamProcessor;
 use crate::summary::{PartitionSummary, SummaryEntry};
 use crate::warehouse::{StoredPartition, Warehouse};
 
@@ -70,8 +86,14 @@ const LOG_MAGIC: &[u8; 4] = b"HSQL";
 /// Current format version. Version 2 added the per-partition run-format
 /// byte (checksummed V2 runs vs legacy V1), the quarantine state in the
 /// snapshot header / `Base` payload, and the `Quarantine` log record.
-/// Version-1 files (all-V1 runs, no quarantine) still recover.
-const VERSION: u64 = 2;
+/// Version 3 added the optional stream-state section (kind-tagged sketch
+/// blob + staging buffer) after the partition list. Version-1 and
+/// version-2 files still recover — with an empty stream.
+const VERSION: u64 = 3;
+
+/// Stream-sketch kind tags of the version-3 stream section.
+const SKETCH_GK: u64 = 0;
+const SKETCH_KLL: u64 = 1;
 
 /// Record kinds of the [`ManifestLog`].
 const REC_BASE: u64 = 0;
@@ -154,6 +176,7 @@ pub fn persist<T: Item, D: BlockDevice>(w: &Warehouse<T, D>) -> io::Result<FileI
         w.lost_items(),
         &w.quarantined_files(),
         &parts,
+        None,
     )
 }
 
@@ -182,6 +205,7 @@ pub fn persist_snapshot<T: Item, D: BlockDevice>(
         snap.lost_items(),
         snap.quarantined_files(),
         &parts,
+        None,
     )
 }
 
@@ -290,6 +314,209 @@ fn encode_quarantine(out: &mut Writer, lost: u64, files: &[FileId]) {
     }
 }
 
+/// Borrowed live-stream state handed to [`persist_engine`]'s serializer.
+struct StreamRefs<'a, T: Item> {
+    proc: &'a StreamProcessor<T>,
+    staging: &'a [T],
+    segments: &'a [usize],
+}
+
+/// A stream state decoded from a version-3 manifest: the live sketch
+/// (restored verbatim, like partition summaries) plus the staging buffer
+/// the interrupted step had accumulated.
+pub(crate) struct RecoveredStream<T: Copy + Ord> {
+    pub(crate) proc: StreamProcessor<T>,
+    pub(crate) staging: Vec<T>,
+    pub(crate) segments: Vec<usize>,
+}
+
+/// Encode the version-3 stream section: the kind-tagged sketch blob plus
+/// the staging buffer with its sorted-segment boundaries.
+fn encode_stream_state<T: Item>(out: &mut Writer, s: &StreamRefs<'_, T>) {
+    let sketch = s.proc.sketch();
+    out.u64(match sketch.kind() {
+        SketchKind::Gk => SKETCH_GK,
+        SketchKind::Kll => SKETCH_KLL,
+    });
+    out.u64(sketch.epsilon().to_bits());
+    out.u64(sketch.len());
+    if let (Some(lo), Some(hi)) = (sketch.min(), sketch.max()) {
+        out.item(lo);
+        out.item(hi);
+    }
+    match sketch {
+        AnySketch::Gk(gk) => {
+            out.u64(gk.tuple_parts().count() as u64);
+            for (v, g, delta) in gk.tuple_parts() {
+                out.item(v);
+                out.u64(g);
+                out.u64(delta);
+            }
+        }
+        AnySketch::Kll(kll) => {
+            out.u64(kll.tracked_err());
+            out.u64(kll.parity_mask());
+            out.u64(kll.raw_levels().len() as u64);
+            for level in kll.raw_levels() {
+                out.u64(level.len() as u64);
+                for &v in level {
+                    out.item(v);
+                }
+            }
+        }
+    }
+    out.u64(s.staging.len() as u64);
+    for &v in s.staging {
+        out.item(v);
+    }
+    out.u64(s.segments.len() as u64);
+    for &end in s.segments {
+        out.u64(end as u64);
+    }
+}
+
+/// Decode the stream section written by [`encode_stream_state`]. The
+/// sketch is rebuilt through its backend's validating constructor, so a
+/// CRC-valid but crafted blob cannot install an unsound summary; counts
+/// are bounded by the remaining buffer before any allocation.
+fn decode_stream_state<T: Item>(
+    r: &mut Reader,
+    config: &HsqConfig,
+) -> io::Result<RecoveredStream<T>> {
+    let kind = match r.u64()? {
+        SKETCH_GK => SketchKind::Gk,
+        SKETCH_KLL => SketchKind::Kll,
+        _ => return Err(corrupt("unknown stream sketch kind")),
+    };
+    let epsilon = f64::from_bits(r.u64()?);
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(corrupt("stream sketch epsilon out of range"));
+    }
+    let n = r.u64()?;
+    let (min, max) = if n > 0 {
+        (Some(r.item()?), Some(r.item()?))
+    } else {
+        (None, None)
+    };
+    let sketch = match kind {
+        SketchKind::Gk => {
+            let num = r.u64()?;
+            let tuple_bytes = T::ENCODED_LEN + 16;
+            let remaining = r.buf.len().saturating_sub(r.pos);
+            if (num as usize).saturating_mul(tuple_bytes) > remaining {
+                return Err(corrupt("sketch tuple count overruns buffer"));
+            }
+            let mut parts = Vec::with_capacity(num as usize);
+            for _ in 0..num {
+                let v: T = r.item()?;
+                let g = r.u64()?;
+                let delta = r.u64()?;
+                parts.push((v, g, delta));
+            }
+            AnySketch::Gk(
+                GkSketch::from_tuple_parts(epsilon, n, min, max, parts)
+                    .map_err(|e| corrupt(&format!("stream sketch invalid: {e}")))?,
+            )
+        }
+        SketchKind::Kll => {
+            let err = r.u64()?;
+            let parity = r.u64()?;
+            let num_levels = r.u64()?;
+            if num_levels > 64 {
+                return Err(corrupt("sketch level count out of range"));
+            }
+            let mut levels = Vec::with_capacity(num_levels as usize);
+            for _ in 0..num_levels {
+                let len = r.u64()?;
+                let remaining = r.buf.len().saturating_sub(r.pos);
+                if (len as usize).saturating_mul(T::ENCODED_LEN) > remaining {
+                    return Err(corrupt("sketch level length overruns buffer"));
+                }
+                let mut level = Vec::with_capacity(len as usize);
+                for _ in 0..len {
+                    level.push(r.item::<T>()?);
+                }
+                levels.push(level);
+            }
+            AnySketch::Kll(
+                KllSketch::from_raw_parts(epsilon, n, min, max, err, parity, levels)
+                    .map_err(|e| corrupt(&format!("stream sketch invalid: {e}")))?,
+            )
+        }
+    };
+    let num_staged = r.u64()?;
+    let remaining = r.buf.len().saturating_sub(r.pos);
+    if (num_staged as usize).saturating_mul(T::ENCODED_LEN) > remaining {
+        return Err(corrupt("staging length overruns buffer"));
+    }
+    let mut staging = Vec::with_capacity(num_staged as usize);
+    for _ in 0..num_staged {
+        staging.push(r.item::<T>()?);
+    }
+    // Every streamed element lands in both the sketch and staging, so
+    // the two sizes agree in any state an engine actually persisted.
+    if sketch.len() != staging.len() as u64 {
+        return Err(corrupt("stream sketch size disagrees with staging"));
+    }
+    let num_segments = r.u64()?;
+    let remaining = r.buf.len().saturating_sub(r.pos);
+    if (num_segments as usize).saturating_mul(8) > remaining {
+        return Err(corrupt("segment count overruns buffer"));
+    }
+    let mut segments = Vec::with_capacity(num_segments as usize);
+    let mut prev = 0usize;
+    for _ in 0..num_segments {
+        let end = r.u64()? as usize;
+        if end <= prev || end > staging.len() {
+            return Err(corrupt("staging segments out of order"));
+        }
+        if staging[prev..end].windows(2).any(|w| w[0] > w[1]) {
+            return Err(corrupt("staging segment not sorted"));
+        }
+        segments.push(end);
+        prev = end;
+    }
+    let proc =
+        StreamProcessor::from_recovered(sketch, config.sketch, config.epsilon2, config.beta2);
+    Ok(RecoveredStream {
+        proc,
+        staging,
+        segments,
+    })
+}
+
+/// Serialize the warehouse's metadata *plus* the engine's live stream
+/// state (sketch + staging buffer): the full-fidelity form behind
+/// [`crate::engine::HistStreamQuantiles::persist`]. Recovery restores the
+/// stream mid-step, so queries answer identically before and after a
+/// restart — under either sketch backend.
+pub(crate) fn persist_engine<T: Item, D: BlockDevice>(
+    w: &Warehouse<T, D>,
+    proc: &StreamProcessor<T>,
+    staging: &[T],
+    segments: &[usize],
+) -> io::Result<FileId> {
+    let mut parts: Vec<(u64, &StoredPartition<T>)> = Vec::new();
+    for level in 0..w.num_levels() {
+        for p in w.level(level) {
+            parts.push((level as u64, p));
+        }
+    }
+    write_manifest(
+        &**w.device(),
+        w.steps(),
+        w.total_len(),
+        w.lost_items(),
+        &w.quarantined_files(),
+        &parts,
+        Some(StreamRefs {
+            proc,
+            staging,
+            segments,
+        }),
+    )
+}
+
 /// Check that every live partition's backing file exists, then rebuild
 /// the warehouse and verify its structural invariants.
 fn validate_and_build<T: Item, D: BlockDevice>(
@@ -316,7 +543,8 @@ fn validate_and_build<T: Item, D: BlockDevice>(
     Ok(w)
 }
 
-/// Shared serializer behind [`persist`] and [`persist_snapshot`].
+/// Shared serializer behind [`persist`], [`persist_snapshot`] and
+/// [`persist_engine`] (the only caller passing a stream section).
 fn write_manifest<T: Item, D: BlockDevice>(
     dev: &D,
     steps: u64,
@@ -324,6 +552,7 @@ fn write_manifest<T: Item, D: BlockDevice>(
     lost_items: u64,
     quarantined: &[FileId],
     parts: &[(u64, &StoredPartition<T>)],
+    stream: Option<StreamRefs<'_, T>>,
 ) -> io::Result<FileId> {
     let mut out = Writer::new();
     out.buf.extend_from_slice(MAGIC);
@@ -336,6 +565,13 @@ fn write_manifest<T: Item, D: BlockDevice>(
     out.u64(parts.len() as u64);
     for &(level, p) in parts {
         encode_partition(&mut out, level, p);
+    }
+    match &stream {
+        Some(s) => {
+            out.u64(1);
+            encode_stream_state(&mut out, s);
+        }
+        None => out.u64(0),
     }
     let crc = crc64(&out.buf);
     out.u64(crc);
@@ -359,6 +595,18 @@ pub fn recover<T: Item, D: BlockDevice>(
     config: HsqConfig,
     manifest: FileId,
 ) -> io::Result<Warehouse<T, D>> {
+    recover_with_stream(dev, config, manifest).map(|(w, _)| w)
+}
+
+/// [`recover`], additionally returning the stream section when the
+/// manifest carries one (version-3 engine manifests) — the full path
+/// behind [`crate::engine::HistStreamQuantiles::recover`].
+#[allow(clippy::type_complexity)]
+pub(crate) fn recover_with_stream<T: Item, D: BlockDevice>(
+    dev: Arc<D>,
+    config: HsqConfig,
+    manifest: FileId,
+) -> io::Result<(Warehouse<T, D>, Option<RecoveredStream<T>>)> {
     // Read the manifest file fully.
     let blocks = dev.num_blocks(manifest)?;
     let mut raw = Vec::with_capacity((blocks as usize) * dev.block_size());
@@ -368,7 +616,9 @@ pub fn recover<T: Item, D: BlockDevice>(
         raw.extend_from_slice(&buf[..got]);
     }
     if raw.len() >= 4 && &raw[..4] == LOG_MAGIC {
-        return replay_log(dev, config, &raw);
+        // Log records never carry a stream section: logs checkpoint at
+        // step boundaries, where the stream is empty by definition.
+        return replay_log(dev, config, &raw).map(|w| (w, None));
     }
     if raw.len() < 4 + 8 || &raw[..4] != MAGIC {
         return Err(corrupt("bad magic"));
@@ -403,7 +653,17 @@ pub fn recover<T: Item, D: BlockDevice>(
     for _ in 0..num_parts {
         partitions.push(decode_partition(&mut r, version)?);
     }
-    validate_and_build(dev, config, partitions, steps, total_len, quarantine)
+    let stream = if version >= 3 {
+        match r.u64()? {
+            0 => None,
+            1 => Some(decode_stream_state(&mut r, &config)?),
+            _ => return Err(corrupt("bad stream flag")),
+        }
+    } else {
+        None
+    };
+    let w = validate_and_build(dev, config, partitions, steps, total_len, quarantine)?;
+    Ok((w, stream))
 }
 
 /// Replay an `HSQL` log image: apply the `Base` record then every valid
@@ -1354,6 +1614,110 @@ mod tests {
         assert_eq!(w.steps(), 4);
         assert_eq!(w.total_len(), 0);
         assert_eq!(w.quarantined_mass(), 0);
+    }
+
+    #[test]
+    fn version2_manifest_without_stream_section_accepted() {
+        // A hand-built version-2 image — quarantine block and run-format
+        // bytes, but no stream section — must recover exactly as before
+        // this format version existed (empty stream).
+        let dev = MemDevice::new(256);
+        let mut out = Writer::new();
+        out.buf.extend_from_slice(MAGIC);
+        out.u64(2); // version 2
+        out.u64(8); // u64 item width
+        out.u64(7); // steps
+        out.u64(0); // total_len
+        out.u64(3); // lost items
+        out.u64(0); // no quarantined files
+        out.u64(0); // num partitions
+        let crc = crc64(&out.buf);
+        out.u64(crc);
+        let file = write_image(&dev, &out.buf);
+        let (w, stream) =
+            recover_with_stream::<u64, _>(dev, HsqConfig::with_epsilon(0.1), file).unwrap();
+        assert_eq!(w.steps(), 7);
+        assert_eq!(w.lost_items(), 3);
+        assert!(stream.is_none(), "v2 manifests carry no stream");
+    }
+
+    #[test]
+    fn engine_manifest_roundtrips_stream_state() {
+        // persist() mid-step: the recovered engine must hold the same
+        // sketch, staging and segment boundaries, for both backends.
+        for kind in [hsq_sketch::SketchKind::Gk, hsq_sketch::SketchKind::Kll] {
+            let cfg = HsqConfig::builder()
+                .epsilon(0.1)
+                .merge_threshold(3)
+                .sketch(kind)
+                .build();
+            let dev = MemDevice::new(256);
+            let mut engine =
+                crate::engine::HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg.clone());
+            for s in 0..4u64 {
+                engine
+                    .ingest_step(&(s * 100..s * 100 + 100).collect::<Vec<_>>())
+                    .unwrap();
+            }
+            // Mid-step state: one sorted batch segment + a scalar tail.
+            engine.stream_extend(&(400..450u64).collect::<Vec<_>>());
+            for v in [777u64, 5, 450] {
+                engine.stream_update(v);
+            }
+            let manifest = engine.persist().unwrap();
+            let recovered =
+                crate::engine::HistStreamQuantiles::<u64, _>::recover(dev, cfg, manifest).unwrap();
+            assert_eq!(recovered.stream_len(), engine.stream_len());
+            assert_eq!(recovered.total_len(), engine.total_len());
+            assert_eq!(recovered.stream().sketch().kind(), kind);
+            for phi in [0.1, 0.5, 0.9, 1.0] {
+                assert_eq!(
+                    recovered.quantile(phi).unwrap(),
+                    engine.quantile(phi).unwrap(),
+                    "kind {kind}, phi {phi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_manifest_recovers_under_other_backend() {
+        // A GK-written stream recovers under a KLL-configured build (and
+        // vice versa): the persisted sketch is used as-is, the configured
+        // backend takes over at the next step boundary.
+        for (wrote, reopens) in [
+            (hsq_sketch::SketchKind::Gk, hsq_sketch::SketchKind::Kll),
+            (hsq_sketch::SketchKind::Kll, hsq_sketch::SketchKind::Gk),
+        ] {
+            let cfg = |k| {
+                HsqConfig::builder()
+                    .epsilon(0.1)
+                    .merge_threshold(3)
+                    .sketch(k)
+                    .build()
+            };
+            let dev = MemDevice::new(256);
+            let mut engine =
+                crate::engine::HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg(wrote));
+            engine
+                .ingest_step(&(0..300u64).collect::<Vec<_>>())
+                .unwrap();
+            engine.stream_extend(&(300..400u64).collect::<Vec<_>>());
+            let manifest = engine.persist().unwrap();
+            let mut recovered =
+                crate::engine::HistStreamQuantiles::<u64, _>::recover(dev, cfg(reopens), manifest)
+                    .unwrap();
+            assert_eq!(recovered.stream().sketch().kind(), wrote);
+            assert_eq!(
+                recovered.quantile(0.5).unwrap(),
+                engine.quantile(0.5).unwrap()
+            );
+            // The interrupted step finishes; the configured backend takes
+            // over from the reset.
+            recovered.end_time_step().unwrap();
+            assert_eq!(recovered.stream().sketch().kind(), reopens);
+            assert_eq!(recovered.historical_len(), 400);
+        }
     }
 
     #[test]

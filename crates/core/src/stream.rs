@@ -1,14 +1,20 @@
 //! Stream processing and the stream summary `SS` (paper §2.2, Algorithm 4).
 //!
-//! The live stream `R` is absorbed by a Greenwald–Khanna sketch. When a
-//! query arrives, `StreamSummary` extracts `β₂` elements at approximate
+//! The live stream `R` is absorbed by a pluggable
+//! [`hsq_sketch::QuantileSketch`] backend — Greenwald–Khanna (the
+//! paper-faithful default) or the KLL compactor ladder, selected by
+//! [`hsq_sketch::SketchKind`] via `HsqConfig::builder().sketch(..)`. When
+//! a query arrives, `StreamSummary` extracts `β₂` elements at approximate
 //! ranks `i·ε₂·m` (`StreamSummary` in Algorithm 4). Lemma 1 needs the
 //! one-sided guarantee `i·ε₂·m ≤ rank(SS[i]) ≤ (i+1)·ε₂·m`; the paper
 //! obtains it by quoting Theorem 1's one-sided form. Textbook GK is
 //! two-sided (`±εn`), so we run the sketch at `ε₂/2` and, in addition,
 //! record the sketch's *tracked* rank interval `[rmin, rmax]` for every
 //! extracted element — bounds that hold unconditionally and are what the
-//! combined-summary computation consumes (see `crate::bounds`).
+//! combined-summary computation consumes (see `crate::bounds`). The KLL
+//! backend reports tracked intervals of the same shape (widened by its
+//! exact compaction-error counter), so everything downstream of the
+//! extract — seeding, bisection, union bounds — is backend-agnostic.
 //!
 //! ## Stream/history boundary under retention
 //!
@@ -23,7 +29,7 @@
 //! hence last-to-expire — partition. Queries over the retained union
 //! keep Theorem 2's `ε·m` error with `m` the live stream size.
 
-use hsq_sketch::GkSketch;
+use hsq_sketch::{AnySketch, QuantileSketch, RankEstimate, SketchKind};
 use hsq_storage::Item;
 
 /// One extracted stream-summary element with rigorous rank bounds in `R`.
@@ -97,6 +103,13 @@ impl<T: Item> StreamSummary<T> {
     /// [`crate::sharded::ShardedSnapshot`] can expose one global stream
     /// view no matter how many shards contributed. Associative and
     /// commutative (up to bound tightness).
+    ///
+    /// Implemented as one linear two-pointer sweep over the two entry
+    /// lists (both already in value order): for each distinct value the
+    /// sweep carries the running "last entry ≤ v" lower bound per side
+    /// and reads the "first entry > v" upper bound from the unconsumed
+    /// head — the same quantities [`StreamSummary::rank_bounds`] would
+    /// binary-search for, at O(β₂) total instead of O(β₂ log β₂).
     pub fn merge(&self, other: &Self) -> Self {
         if self.m == 0 {
             return other.clone();
@@ -104,26 +117,42 @@ impl<T: Item> StreamSummary<T> {
         if other.m == 0 {
             return self.clone();
         }
-        let mut values: Vec<T> = self
-            .entries
-            .iter()
-            .chain(other.entries.iter())
-            .map(|e| e.value)
-            .collect();
-        values.sort_unstable();
-        values.dedup();
-        let entries = values
-            .into_iter()
-            .map(|v| {
-                let (a_lo, a_hi) = self.rank_bounds(v);
-                let (b_lo, b_hi) = other.rank_bounds(v);
-                SsEntry {
-                    value: v,
-                    rmin: a_lo + b_lo,
-                    rmax: a_hi + b_hi,
-                }
-            })
-            .collect();
+        let (a, b) = (&self.entries[..], &other.entries[..]);
+        let mut entries = Vec::with_capacity(a.len() + b.len());
+        let (mut ja, mut jb) = (0usize, 0usize); // heads: first entry > v
+        let (mut la, mut lb) = (0u64, 0u64); // rmin of last entry ≤ v
+        while ja < a.len() || jb < b.len() {
+            let v = match (a.get(ja), b.get(jb)) {
+                (Some(x), Some(y)) => x.value.min(y.value),
+                (Some(x), None) => x.value,
+                (None, Some(y)) => y.value,
+                (None, None) => unreachable!(),
+            };
+            while ja < a.len() && a[ja].value <= v {
+                la = a[ja].rmin;
+                ja += 1;
+            }
+            while jb < b.len() && b[jb].value <= v {
+                lb = b[jb].rmin;
+                jb += 1;
+            }
+            let ha = a
+                .get(ja)
+                .map(|e| e.rmax.saturating_sub(1))
+                .unwrap_or(self.m);
+            let hb = b
+                .get(jb)
+                .map(|e| e.rmax.saturating_sub(1))
+                .unwrap_or(other.m);
+            // Per-side clamp, exactly as `rank_bounds` applies it.
+            let (a_lo, a_hi) = (la.min(ha), ha.max(la));
+            let (b_lo, b_hi) = (lb.min(hb), hb.max(lb));
+            entries.push(SsEntry {
+                value: v,
+                rmin: a_lo + b_lo,
+                rmax: a_hi + b_hi,
+            });
+        }
         StreamSummary {
             entries,
             m: self.m + other.m,
@@ -140,20 +169,49 @@ impl<T: Item> StreamSummary<T> {
     }
 }
 
-/// Live processor for the current time step's stream (Algorithm 4).
+/// Live processor for the current time step's stream (Algorithm 4),
+/// generic at runtime over the [`hsq_sketch::QuantileSketch`] backend.
 #[derive(Clone, Debug)]
 pub struct StreamProcessor<T: Copy + Ord> {
-    gk: GkSketch<T>,
+    sketch: AnySketch<T>,
+    /// The *configured* backend: [`StreamProcessor::reset`] re-creates
+    /// the sketch at this kind, so a recovered foreign-backend sketch
+    /// switches over at the next step boundary.
+    kind: SketchKind,
     epsilon2: f64,
     beta2: usize,
 }
 
 impl<T: Item> StreamProcessor<T> {
-    /// `StreamInit(ε₂, β₂)`: the internal GK sketch runs at `ε₂/2` (see
-    /// module docs).
+    /// `StreamInit(ε₂, β₂)` on the paper-faithful GK backend: the
+    /// internal sketch runs at `ε₂/2` (see module docs).
     pub fn new(epsilon2: f64, beta2: usize) -> Self {
+        Self::with_kind(SketchKind::Gk, epsilon2, beta2)
+    }
+
+    /// `StreamInit(ε₂, β₂)` on an explicitly chosen sketch backend.
+    pub fn with_kind(kind: SketchKind, epsilon2: f64, beta2: usize) -> Self {
         StreamProcessor {
-            gk: GkSketch::new(epsilon2 / 2.0),
+            sketch: AnySketch::new(kind, epsilon2 / 2.0),
+            kind,
+            epsilon2,
+            beta2,
+        }
+    }
+
+    /// Adopt a recovered sketch (whose kind may differ from the
+    /// configured `kind` when a manifest written under one backend is
+    /// recovered under another — it is used as-is until the next
+    /// [`StreamProcessor::reset`]).
+    pub(crate) fn from_recovered(
+        sketch: AnySketch<T>,
+        kind: SketchKind,
+        epsilon2: f64,
+        beta2: usize,
+    ) -> Self {
+        StreamProcessor {
+            sketch,
+            kind,
             epsilon2,
             beta2,
         }
@@ -162,59 +220,94 @@ impl<T: Item> StreamProcessor<T> {
     /// `StreamUpdate(e)`: absorb one streaming element.
     #[inline]
     pub fn update(&mut self, e: T) {
-        self.gk.insert(e);
+        self.sketch.insert(e);
     }
 
-    /// Absorb a whole batch at once (sorts `batch` in place): one linear
-    /// merge into the sketch instead of `batch.len()` scalar updates. Same
-    /// `ε₂` guarantee; see [`hsq_sketch::GkSketch::insert_batch`].
+    /// Absorb a whole batch at once: one linear merge into the sketch
+    /// (GK — sorts `batch` in place via the radix kernel) or a buffer
+    /// append (KLL) instead of `batch.len()` scalar updates. Same `ε₂`
+    /// guarantee; see [`hsq_sketch::QuantileSketch::insert_batch`].
     #[inline]
     pub fn ingest_batch(&mut self, batch: &mut [T]) {
-        self.gk.insert_batch(batch);
+        self.sketch.insert_batch(batch);
     }
 
     /// [`StreamProcessor::ingest_batch`] for an already-sorted batch.
     #[inline]
     pub fn ingest_sorted_batch(&mut self, batch: &[T]) {
-        self.gk.insert_sorted_batch(batch);
+        self.sketch.insert_sorted_batch(batch);
     }
 
     /// Elements in the current stream (`m`).
     pub fn len(&self) -> u64 {
-        self.gk.len()
+        self.sketch.len()
     }
 
     /// True iff the current stream is empty.
     pub fn is_empty(&self) -> bool {
-        self.gk.is_empty()
+        self.sketch.is_empty()
     }
 
     /// Direct access to the underlying sketch (rank bounds for query
     /// refinement — Algorithm 8's ρ₂ computation uses these).
-    pub fn sketch(&self) -> &GkSketch<T> {
-        &self.gk
+    pub fn sketch(&self) -> &AnySketch<T> {
+        &self.sketch
+    }
+
+    /// The backend this processor is configured to run on. The live
+    /// sketch may transiently differ right after a cross-backend
+    /// recovery; see [`StreamProcessor::reset`].
+    pub fn kind(&self) -> SketchKind {
+        self.kind
     }
 
     /// Words of memory used by the sketch (Lemma 9's budget unit).
     pub fn memory_words(&self) -> usize {
-        self.gk.memory_words()
+        self.sketch.memory_words()
     }
 
     /// `StreamSummary()`: extract `SS` (Algorithm 4 lines 6–11).
+    ///
+    /// GK answers each of the `β₂` rank targets from its tuple list
+    /// directly; KLL compiles its ladder into a cumulative view once and
+    /// answers every target from it, so the extract stays O(size + β₂
+    /// log size) rather than re-flattening per target.
     pub fn summary(&self) -> StreamSummary<T> {
-        let m = self.gk.len();
+        let m = self.sketch.len();
         if m == 0 {
             return StreamSummary {
                 entries: Vec::new(),
                 m: 0,
             };
         }
+        let min = self.sketch.min().expect("non-empty");
+        let max = self.sketch.max().expect("non-empty");
+        match &self.sketch {
+            AnySketch::Gk(gk) => {
+                self.summary_from(m, min, max, |r| gk.rank_query(r).expect("non-empty"))
+            }
+            AnySketch::Kll(kll) => {
+                let cum = kll.cumulative();
+                self.summary_from(m, min, max, |r| cum.rank_query(r).expect("non-empty"))
+            }
+        }
+    }
+
+    /// The backend-independent extract loop behind
+    /// [`StreamProcessor::summary`]: probe `β₂` rank targets through
+    /// `rank_query`, anchor the exact extremes, and monotonize.
+    fn summary_from(
+        &self,
+        m: u64,
+        min: T,
+        max: T,
+        rank_query: impl Fn(u64) -> RankEstimate<T>,
+    ) -> StreamSummary<T> {
         let mut entries = Vec::with_capacity(self.beta2 + 1);
         // SS[0]: the smallest element in the stream so far (tracked
         // exactly by the sketch). rmin = 1; rank(min) may exceed 1 with
         // duplicates, but 1 is the sound lower bound and `rmax = 1` makes
         // the "elements strictly below min" upper contribution zero.
-        let min = self.gk.min().expect("non-empty");
         entries.push(SsEntry {
             value: min,
             rmin: 1,
@@ -223,7 +316,7 @@ impl<T: Item> StreamProcessor<T> {
         for i in 1..self.beta2 as u64 {
             let target = ((i as f64) * self.epsilon2 * m as f64).floor() as u64;
             let target = target.clamp(1, m);
-            let est = self.gk.rank_query(target).expect("non-empty");
+            let est = rank_query(target);
             entries.push(SsEntry {
                 value: est.value,
                 rmin: est.rmin,
@@ -235,7 +328,6 @@ impl<T: Item> StreamProcessor<T> {
         }
         // Ensure the maximum is represented (rank m exactly: the sketch
         // tracks max, and rank(max) = m by definition).
-        let max = self.gk.max().expect("non-empty");
         if entries.last().map(|e| e.value) != Some(max) {
             entries.push(SsEntry {
                 value: max,
@@ -243,8 +335,8 @@ impl<T: Item> StreamProcessor<T> {
                 rmax: m,
             });
         }
-        // GK queries at increasing ranks return nondecreasing values, but
-        // duplicates can interleave bounds; normalize monotonicity.
+        // Rank queries at increasing targets return nondecreasing values,
+        // but duplicates can interleave bounds; normalize monotonicity.
         entries.sort_by(|a, b| a.value.cmp(&b.value).then(a.rmin.cmp(&b.rmin)));
         // Monotonize the bounds: rank() is monotone in value, so a later
         // entry's rank is at least any earlier rmin (forward running max)
@@ -266,9 +358,16 @@ impl<T: Item> StreamProcessor<T> {
     }
 
     /// `StreamReset()`: called at the end of each time step once the batch
-    /// has been archived (Algorithm 4 lines 12–13).
+    /// has been archived (Algorithm 4 lines 12–13). If the live sketch's
+    /// backend differs from the configured one (possible only right after
+    /// a cross-backend recovery), the step boundary is where the
+    /// configured backend takes over.
     pub fn reset(&mut self) {
-        self.gk.reset();
+        if self.sketch.kind() == self.kind {
+            self.sketch.reset();
+        } else {
+            self.sketch = AnySketch::new(self.kind, self.epsilon2 / 2.0);
+        }
     }
 }
 
@@ -408,5 +507,124 @@ mod tests {
         // beta2 = 65 targets (+ possibly max): small and bounded.
         assert!(ss.entries().len() <= 67, "got {}", ss.entries().len());
         assert!(ss.entries().len() >= 60);
+    }
+
+    fn kll_processor_with(data: &[u64], eps2: f64) -> StreamProcessor<u64> {
+        let beta2 = (1.0 / eps2 + 1.0).ceil() as usize;
+        let mut sp = StreamProcessor::with_kind(SketchKind::Kll, eps2, beta2);
+        for &v in data {
+            sp.update(v);
+        }
+        sp
+    }
+
+    /// The KLL-backed extract satisfies the same tracked-bound and
+    /// spacing contract as the GK-backed one.
+    #[test]
+    fn kll_summary_bounds_and_extremes() {
+        let data: Vec<u64> = (0..20_000).map(|i| (i * 7919) % 100_000).collect();
+        let sp = kll_processor_with(&data, 0.05);
+        assert_eq!(sp.kind(), SketchKind::Kll);
+        assert_eq!(sp.sketch().kind(), SketchKind::Kll);
+        let ss = sp.summary();
+        assert_eq!(ss.stream_len(), 20_000);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(ss.entries().first().unwrap().value, sorted[0]);
+        assert_eq!(ss.entries().last().unwrap().value, *sorted.last().unwrap());
+        for e in ss.entries() {
+            let truth = sorted.partition_point(|&x| x <= e.value) as u64;
+            assert!(
+                e.rmin <= truth && truth <= e.rmax,
+                "entry {} tracked [{},{}] misses rank {truth}",
+                e.value,
+                e.rmin,
+                e.rmax
+            );
+        }
+        for probe in (0..100_000).step_by(9973) {
+            let truth = sorted.partition_point(|&x| x <= probe) as u64;
+            let (lo, hi) = ss.rank_bounds(probe);
+            assert!(lo <= truth && truth <= hi);
+        }
+    }
+
+    /// Reset is where the configured backend takes over after a
+    /// cross-backend recovery.
+    #[test]
+    fn reset_switches_to_configured_kind() {
+        let mut sp = StreamProcessor::<u64>::from_recovered(
+            hsq_sketch::AnySketch::new(SketchKind::Gk, 0.05),
+            SketchKind::Kll,
+            0.1,
+            11,
+        );
+        sp.update(7);
+        assert_eq!(sp.sketch().kind(), SketchKind::Gk);
+        assert_eq!(sp.kind(), SketchKind::Kll);
+        sp.reset();
+        assert_eq!(sp.sketch().kind(), SketchKind::Kll);
+        sp.update(9);
+        assert_eq!(sp.len(), 1);
+    }
+
+    /// Regression for the linear merge rewrite: an N-way shard merge must
+    /// answer like single-stream insertion, within ε·m (plus the
+    /// per-shard quantization slack), for both backends.
+    #[test]
+    fn n_way_shard_merge_matches_single_stream() {
+        let eps2 = 0.1f64;
+        let m = 12_000u64;
+        let data: Vec<u64> = (0..m)
+            .map(|i| i.wrapping_mul(2654435761) % 50_000)
+            .collect();
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        let beta2 = (1.0 / eps2 + 1.0).ceil() as usize;
+        for kind in [SketchKind::Gk, SketchKind::Kll] {
+            for shards in [2usize, 4, 8] {
+                let mut parts: Vec<StreamProcessor<u64>> = (0..shards)
+                    .map(|_| StreamProcessor::with_kind(kind, eps2, beta2))
+                    .collect();
+                for (i, &v) in data.iter().enumerate() {
+                    parts[i % shards].update(v);
+                }
+                let merged = parts
+                    .iter()
+                    .map(|p| p.summary())
+                    .reduce(|acc, s| acc.merge(&s))
+                    .unwrap();
+                assert_eq!(merged.stream_len(), m);
+                let single = if kind == SketchKind::Gk {
+                    processor_with(&data, eps2).summary()
+                } else {
+                    kll_processor_with(&data, eps2).summary()
+                };
+                // Each side's bound overshoots truth by at most one rank-
+                // target spacing (ε₂·m — Algorithm 4's extraction grid)
+                // plus its sketch interval (≤ ε₂·m/2 summed over shards),
+                // so two brackets of the same truth sit within 2·ε₂·m of
+                // each other, modulo per-shard rounding units.
+                let slack = 2 * (eps2 * m as f64).ceil() as u64 + 2 * shards as u64 + 2;
+                for probe in (0..50_000u64).step_by(701) {
+                    let truth = sorted.partition_point(|&x| x <= probe) as u64;
+                    let (mlo, mhi) = merged.rank_bounds(probe);
+                    let (slo, shi) = single.rank_bounds(probe);
+                    assert!(
+                        mlo <= truth && truth <= mhi,
+                        "{kind:?}/{shards}: merged [{mlo},{mhi}] misses {truth} at {probe}"
+                    );
+                    assert!(slo <= truth && truth <= shi);
+                    // Merged bounds within eps*m of the single-stream ones.
+                    assert!(
+                        mlo.abs_diff(slo) <= slack && mhi.abs_diff(shi) <= slack,
+                        "{kind:?}/{shards}: merged [{mlo},{mhi}] vs single [{slo},{shi}] \
+                         exceeds slack {slack} at {probe}"
+                    );
+                    // And the merged width stays summary-quality.
+                    assert!(mhi - mlo <= 2 * slack);
+                }
+            }
+        }
     }
 }

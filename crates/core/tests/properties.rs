@@ -112,7 +112,7 @@ proptest! {
             all.extend(b);
             w.add_batch(b.clone()).unwrap();
         }
-        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        let mut sp = StreamProcessor::with_kind(cfg.sketch, cfg.epsilon2, cfg.beta2);
         for &v in &stream {
             all.push(v);
             sp.update(v);
@@ -212,7 +212,7 @@ proptest! {
             total += b.len() as u64;
             w.add_batch(b.clone()).unwrap();
         }
-        let mut sp = StreamProcessor::new(cfg.epsilon2, cfg.beta2);
+        let mut sp = StreamProcessor::with_kind(cfg.sketch, cfg.epsilon2, cfg.beta2);
         for &v in &stream {
             sp.update(v);
         }

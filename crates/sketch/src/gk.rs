@@ -326,7 +326,10 @@ impl<T: Copy + Ord> GkSketch<T> {
     /// have produced them; only same-or-newer bands may be absorbed.
     #[inline]
     fn band(delta: u64, cap: u64) -> u32 {
-        debug_assert!(delta <= cap);
+        // Tuples produced by [`GkSketch::merge_from`] may carry Δ above
+        // the current cap; clamp for banding only — the absorption test
+        // uses the real Δ, so soundness is unaffected.
+        let delta = delta.min(cap);
         if delta == cap {
             0
         } else {
@@ -465,6 +468,186 @@ impl<T: Copy + Ord> GkSketch<T> {
             return Err("last tuple must have delta 0".into());
         }
         Ok(())
+    }
+
+    /// Fold `other` into `self`, producing a sketch whose tracked
+    /// intervals bracket ranks in the union of both streams.
+    ///
+    /// GK has no exact merge: each merged tuple's interval is its own
+    /// absolute interval shifted by the other side's rank bounds at that
+    /// value, so tracked widths **add** — the folded sketch answers
+    /// within `ε_a·n_a + ε_b·n_b` rather than `ε·(n_a + n_b)`. Every
+    /// query on the result is sound (it reads only the tracked values),
+    /// but the per-tuple capacity `g + Δ ≤ ⌊2εn⌋` may be exceeded until
+    /// further inserts raise `n`, so [`GkSketch::check_invariants`] is
+    /// not meaningful on a freshly merged sketch. This is the structural
+    /// contrast with the KLL backend, whose merge is exact.
+    pub fn merge_from(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        // Each side's tuples as absolute-rank intervals.
+        fn abs<T: Copy>(tuples: &[Tuple<T>]) -> Vec<(T, u64, u64)> {
+            let mut rmin = 0u64;
+            tuples
+                .iter()
+                .map(|t| {
+                    rmin += t.g;
+                    (t.v, rmin, rmin + t.delta)
+                })
+                .collect()
+        }
+        // Bounds the OTHER side contributes at probe `v`: rmin of its
+        // last tuple ≤ v, and rmax − 1 of its first tuple > v (or n when
+        // none). `j` only ever advances — probes arrive in value order.
+        fn other_bounds<T: Copy + Ord>(
+            side: &[(T, u64, u64)],
+            j: &mut usize,
+            v: T,
+            n: u64,
+        ) -> (u64, u64) {
+            while *j < side.len() && side[*j].0 <= v {
+                *j += 1;
+            }
+            let lo = if *j == 0 { 0 } else { side[*j - 1].1 };
+            let hi = if *j < side.len() { side[*j].2 - 1 } else { n };
+            (lo, hi)
+        }
+        let a = abs(&self.tuples);
+        let b = abs(&other.tuples);
+        let mut entries: Vec<(T, u64, u64)> = Vec::with_capacity(a.len() + b.len());
+        let (mut ia, mut ib) = (0usize, 0usize);
+        let (mut ja, mut jb) = (0usize, 0usize);
+        while ia < a.len() || ib < b.len() {
+            let take_a = match (a.get(ia), b.get(ib)) {
+                (Some(x), Some(y)) => x.0 <= y.0,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let (v, own_lo, own_hi) = if take_a {
+                let x = a[ia];
+                ia += 1;
+                x
+            } else {
+                let y = b[ib];
+                ib += 1;
+                y
+            };
+            let (olo, ohi) = if take_a {
+                other_bounds(&b, &mut jb, v, other.n)
+            } else {
+                other_bounds(&a, &mut ja, v, self.n)
+            };
+            entries.push((v, own_lo + olo, own_hi + ohi));
+        }
+        // Equal values from the two sides can emit in either order;
+        // restore monotone lower bounds so g = loᵢ − loᵢ₋₁ is sound.
+        entries.sort_by_key(|x| (x.0, x.1));
+        // The union minimum has rank exactly 1; pin it so the leading
+        // tuple keeps Δ = 0 even when both sides share the minimum.
+        if entries.first().map(|e| e.1 > 1).unwrap_or(false) {
+            let union_min = match (self.min, other.min) {
+                (Some(x), Some(y)) => x.min(y),
+                _ => unreachable!("both sides are non-empty"),
+            };
+            entries.insert(0, (union_min, 1, 1));
+        }
+        let n = self.n + other.n;
+        let mut tuples: Vec<Tuple<T>> = Vec::with_capacity(entries.len());
+        let mut prev_lo = 0u64;
+        for (v, lo, hi) in entries {
+            debug_assert!(lo >= prev_lo, "merged lower bounds must be monotone");
+            let hi = hi.max(lo);
+            if prev_lo == lo && hi == lo {
+                // Zero-width duplicate of the previous bound: redundant.
+                if tuples.last().map(|t: &Tuple<T>| t.v == v).unwrap_or(false) {
+                    continue;
+                }
+            }
+            tuples.push(Tuple {
+                v,
+                g: lo.saturating_sub(prev_lo),
+                delta: hi - lo,
+            });
+            prev_lo = lo;
+        }
+        debug_assert_eq!(prev_lo, n, "merged rank mass must equal n_a + n_b");
+        self.tuples = tuples;
+        self.n = n;
+        self.min = match (self.min, other.min) {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, y) => x.or(y),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(x), Some(y)) => Some(x.max(y)),
+            (x, y) => x.or(y),
+        };
+        // The weaker guarantee governs future capacity computations.
+        self.epsilon = self.epsilon.max(other.epsilon);
+        self.compress_period = ((1.0 / (2.0 * self.epsilon)).floor() as u64).max(1);
+        self.since_compress = 0;
+    }
+
+    /// The summary tuples as `(value, g, Δ)` triples, for serialization.
+    pub fn tuple_parts(&self) -> impl Iterator<Item = (T, u64, u64)> + '_ {
+        self.tuples.iter().map(|t| (t.v, t.g, t.delta))
+    }
+
+    /// Rebuild a sketch from serialized parts, validating ordering, rank
+    /// mass and min/max consistency. The capacity invariant is *not*
+    /// enforced: sketches that went through [`GkSketch::merge_from`]
+    /// legitimately exceed it while staying sound.
+    pub fn from_tuple_parts(
+        epsilon: f64,
+        n: u64,
+        min: Option<T>,
+        max: Option<T>,
+        parts: Vec<(T, u64, u64)>,
+    ) -> Result<Self, String> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(format!("epsilon {epsilon} out of (0, 1]"));
+        }
+        let tuples: Vec<Tuple<T>> = parts
+            .into_iter()
+            .map(|(v, g, delta)| Tuple { v, g, delta })
+            .collect();
+        if let Some(w) = tuples.windows(2).position(|w| w[1].v < w[0].v) {
+            return Err(format!("tuple {} out of order", w + 1));
+        }
+        let mut total_g = 0u64;
+        for t in &tuples {
+            total_g = total_g
+                .checked_add(t.g)
+                .ok_or_else(|| "rank mass overflows u64".to_string())?;
+        }
+        if total_g != n {
+            return Err(format!("sum of g = {total_g} != n = {n}"));
+        }
+        if (n == 0) != tuples.is_empty() {
+            return Err("tuple list inconsistent with n".into());
+        }
+        if (n == 0) != (min.is_none() && max.is_none()) {
+            return Err("min/max tracking inconsistent with n".into());
+        }
+        if let (Some(lo), Some(hi)) = (min, max) {
+            if lo > hi {
+                return Err("min > max".into());
+            }
+        }
+        Ok(GkSketch {
+            epsilon,
+            tuples,
+            n,
+            min,
+            max,
+            since_compress: 0,
+            compress_period: ((1.0 / (2.0 * epsilon)).floor() as u64).max(1),
+            scratch: Vec::new(),
+        })
     }
 
     /// Drop all state, keeping the error parameter (paper Algorithm 4,

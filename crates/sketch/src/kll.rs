@@ -1,0 +1,753 @@
+//! A deterministic KLL-style compactor sketch with tracked error bounds.
+//!
+//! References: Karnin, Lang and Liberty, *Optimal quantile approximation
+//! in streams*, FOCS 2016 (the compactor-hierarchy architecture), and
+//! Ivkin et al., *Streaming quantiles algorithms with small space and
+//! update time* (the lazy, amortized-O(1) update schedule). Both are the
+//! ROADMAP's named successors to the paper's GK stream summary.
+//!
+//! The sketch keeps a ladder of *compactor levels*: level `h` holds items
+//! each representing `2^h` stream elements. Inserts append to level 0 —
+//! a plain `Vec::push`, so updates are O(1) amortized — and when a level
+//! reaches the capacity `k` it is *compacted*: sorted (through the LSD
+//! radix kernel of [`crate::radix::sort_radixable`], the same path the
+//! warehouse batch ingest uses), split into odd- and even-indexed halves,
+//! and one half (chosen by a deterministic alternating parity bit) is
+//! promoted to level `h + 1` at double weight.
+//!
+//! ## Determinism and tracked error
+//!
+//! The classical KLL analysis randomizes the surviving half; this
+//! implementation is **deterministic** (alternating parity), which keeps
+//! every run, test and recovery bit-reproducible — a property the rest of
+//! this codebase leans on heavily. Instead of a probabilistic guarantee
+//! the sketch *tracks* its worst-case rank error exactly: compacting
+//! level `h` displaces any rank by at most `2^h` (the surviving half
+//! over- or under-counts each prefix by at most one item of weight
+//! `2^h`), so the running sum `err` of `2^h` over all compactions
+//! performed is a hard bound on the rank error of every estimate. All
+//! intervals reported by [`KllSketch::rank_query`] and
+//! [`KllSketch::rank_bounds_of`] are widened by exactly `err` and are
+//! therefore unconditionally sound.
+//!
+//! With capacity `k = ⌈48/ε⌉`, level `h` receives at most `n/2^h` items
+//! and therefore compacts at most `n/(k·2^h)` times, contributing at most
+//! `n/k` to `err`; across `H ≤ 24` levels, `err ≤ H·n/k ≤ ε·n/2`. The
+//! `H ≤ 24` premise holds for any `n ≤ k·2^24` (for ε = 0.005 that is
+//! ≈ 1.6·10¹¹ elements); beyond it the a-priori bound degrades gracefully
+//! by `H/24` while the *tracked* bounds remain sound regardless.
+//!
+//! ## Mergeability
+//!
+//! Unlike GK, merging is exact and associative by construction:
+//! concatenate the two ladders level-wise, add the tracked errors, and
+//! compact any level now over capacity ([`KllSketch::merge_from`]). No
+//! estimate is degraded beyond what `err` records.
+
+use crate::gk::RankEstimate;
+use crate::radix::{sort_radixable, RadixKey};
+
+/// Levels at or above this budget exceed the a-priori `ε·n/2` error
+/// analysis (tracked bounds stay sound); see the module docs.
+const LEVEL_BUDGET: u32 = 24;
+
+/// Deterministic KLL compactor sketch over a radix-sortable `T`.
+///
+/// ```
+/// use hsq_sketch::KllSketch;
+/// let mut kll = KllSketch::new(0.01);
+/// for v in 0..10_000u64 {
+///     kll.insert(v);
+/// }
+/// let med = kll.quantile(0.5).unwrap();
+/// assert!((med as i64 - 5_000).abs() <= 100); // epsilon * n = 100
+/// ```
+#[derive(Clone, Debug)]
+pub struct KllSketch<T> {
+    epsilon: f64,
+    /// `levels[h]` holds items of weight `2^h`. Level 0 is an unsorted
+    /// append buffer; levels ≥ 1 are kept sorted at all times.
+    levels: Vec<Vec<T>>,
+    /// Bit `h` = "keep odd-indexed survivors" on the next compaction of
+    /// level `h`; flipped after each use so systematic bias cancels.
+    parity: u64,
+    n: u64,
+    min: Option<T>,
+    max: Option<T>,
+    /// Tracked worst-case rank error: `Σ 2^h` over all compactions run.
+    err: u64,
+    /// Per-level capacity `k`, derived from `epsilon`.
+    cap: usize,
+}
+
+impl<T: Copy + Ord + RadixKey> KllSketch<T> {
+    /// Create a sketch with error parameter `epsilon ∈ (0, 1]`: any rank
+    /// query is answered within `εn` (tracked, and a-priori within
+    /// `εn/2` while the level count stays under the analysed budget —
+    /// see the module docs).
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "epsilon must be in (0, 1], got {epsilon}"
+        );
+        KllSketch {
+            epsilon,
+            levels: vec![Vec::new()],
+            parity: 0,
+            n: 0,
+            min: None,
+            max: None,
+            err: 0,
+            cap: Self::capacity_for(epsilon),
+        }
+    }
+
+    /// Per-level capacity `k = max(8, ⌈2·LEVEL_BUDGET/ε⌉)`.
+    fn capacity_for(epsilon: f64) -> usize {
+        (((2 * LEVEL_BUDGET) as f64 / epsilon).ceil() as usize).max(8)
+    }
+
+    /// The error parameter.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of elements inserted.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Smallest element seen (tracked exactly).
+    pub fn min(&self) -> Option<T> {
+        self.min
+    }
+
+    /// Largest element seen (tracked exactly).
+    pub fn max(&self) -> Option<T> {
+        self.max
+    }
+
+    /// Tracked worst-case rank error of every reported estimate.
+    pub fn tracked_err(&self) -> u64 {
+        self.err
+    }
+
+    /// Per-level item capacity `k`.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of compactor levels currently allocated.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total items retained across all levels.
+    pub fn num_retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate words of memory used (1 word per retained item plus
+    /// per-level and header overhead) — the unit the paper's memory
+    /// budgets are expressed in.
+    pub fn memory_words(&self) -> usize {
+        self.num_retained() + 2 * self.levels.len() + 8
+    }
+
+    #[inline]
+    fn touch_minmax(&mut self, lo: T, hi: T) {
+        self.min = Some(match self.min {
+            Some(m) => m.min(lo),
+            None => lo,
+        });
+        self.max = Some(match self.max {
+            Some(m) => m.max(hi),
+            None => hi,
+        });
+    }
+
+    /// Insert one element: a `Vec::push` plus an amortized-O(1) share of
+    /// the compaction cascade.
+    #[inline]
+    pub fn insert(&mut self, v: T) {
+        self.touch_minmax(v, v);
+        self.n += 1;
+        self.levels[0].push(v);
+        if self.levels[0].len() >= self.cap {
+            self.compact_pending();
+        }
+    }
+
+    /// Insert a whole batch at once. Order is irrelevant — level 0 is an
+    /// unsorted buffer and sorting happens lazily inside the compaction,
+    /// through the radix kernel — so this is a single `extend` plus the
+    /// (error-cheap) cascade: compacting a level costs one `2^h` error
+    /// unit regardless of how many items it holds, which makes large
+    /// batches *cheaper* in error than the same items compacted k at a
+    /// time.
+    pub fn insert_batch(&mut self, batch: &[T]) {
+        if batch.is_empty() {
+            return;
+        }
+        let (mut lo, mut hi) = (batch[0], batch[0]);
+        for &v in &batch[1..] {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        self.touch_minmax(lo, hi);
+        self.n += batch.len() as u64;
+        self.levels[0].extend_from_slice(batch);
+        if self.levels[0].len() >= self.cap {
+            self.compact_pending();
+        }
+    }
+
+    /// [`KllSketch::insert_batch`] for a batch the caller has already
+    /// sorted (nondecreasing). The min/max scan collapses to the batch
+    /// endpoints; the buffer append is identical.
+    pub fn insert_sorted_batch(&mut self, batch: &[T]) {
+        if batch.is_empty() {
+            return;
+        }
+        debug_assert!(batch.windows(2).all(|w| w[0] <= w[1]), "batch not sorted");
+        self.touch_minmax(batch[0], batch[batch.len() - 1]);
+        self.n += batch.len() as u64;
+        self.levels[0].extend_from_slice(batch);
+        if self.levels[0].len() >= self.cap {
+            self.compact_pending();
+        }
+    }
+
+    /// Run the compaction cascade: compact every level at or over
+    /// capacity, bottom-up (a compaction can push the next level over).
+    fn compact_pending(&mut self) {
+        let mut h = 0;
+        while h < self.levels.len() {
+            if self.levels[h].len() >= self.cap {
+                self.compact_level(h);
+            }
+            h += 1;
+        }
+    }
+
+    /// Compact level `h`: sort (level 0 only — higher levels are kept
+    /// sorted), promote alternate items to level `h + 1` at double
+    /// weight, leave at most one leftover item behind, and charge `2^h`
+    /// to the tracked error.
+    fn compact_level(&mut self, h: usize) {
+        if h == 0 {
+            sort_radixable(&mut self.levels[0]);
+        }
+        if self.levels.len() == h + 1 {
+            self.levels.push(Vec::new());
+        }
+        let keep_odd = (self.parity >> h) & 1 == 1;
+        self.parity ^= 1u64 << h;
+        let (lower, upper) = self.levels.split_at_mut(h + 1);
+        let lvl = &mut lower[h];
+        let dst = &mut upper[0];
+        let even = lvl.len() & !1;
+        let survivors: Vec<T> = lvl[..even]
+            .iter()
+            .skip(usize::from(keep_odd))
+            .step_by(2)
+            .copied()
+            .collect();
+        let leftover = (lvl.len() > even).then(|| lvl[even]);
+        lvl.clear();
+        if let Some(x) = leftover {
+            lvl.push(x);
+        }
+        *dst = merge_sorted(dst, &survivors);
+        self.err += 1u64 << h;
+    }
+
+    /// Merge `other` into `self`: concatenate compactor levels (sorted
+    /// levels via a linear merge), add the tracked errors, and compact
+    /// any level now over capacity. Exact and associative: the merged
+    /// sketch's estimates carry precisely the summed tracked error, with
+    /// no further degradation.
+    pub fn merge_from(&mut self, other: &Self) {
+        if other.n == 0 {
+            return;
+        }
+        if let (Some(lo), Some(hi)) = (other.min, other.max) {
+            self.touch_minmax(lo, hi);
+        }
+        self.n += other.n;
+        self.err += other.err;
+        // The weaker (larger-ε, smaller-k) configuration governs the
+        // merged sketch; the tracked error keeps bounds sound either way.
+        if other.epsilon > self.epsilon {
+            self.epsilon = other.epsilon;
+            self.cap = Self::capacity_for(self.epsilon);
+        }
+        for (h, lvl) in other.levels.iter().enumerate() {
+            if lvl.is_empty() {
+                continue;
+            }
+            while self.levels.len() <= h {
+                self.levels.push(Vec::new());
+            }
+            if h == 0 {
+                self.levels[0].extend_from_slice(lvl);
+            } else {
+                self.levels[h] = merge_sorted(&self.levels[h], lvl);
+            }
+        }
+        self.compact_pending();
+    }
+
+    /// Compile the ladder into a [`KllCumulative`]: one sorted pass over
+    /// every retained item, after which any number of rank queries cost
+    /// a binary search each. Extract loops that probe hundreds of
+    /// targets (the stream-summary builder upstream) should compile once
+    /// and query the compiled view rather than calling
+    /// [`KllSketch::rank_query`] (which compiles per call) in a loop.
+    pub fn cumulative(&self) -> KllCumulative<T> {
+        let mut pairs: Vec<(T, u64)> = Vec::with_capacity(self.num_retained());
+        for (h, lvl) in self.levels.iter().enumerate() {
+            let w = 1u64 << h;
+            pairs.extend(lvl.iter().map(|&v| (v, w)));
+        }
+        pairs.sort_unstable_by_key(|a| a.0);
+        // Collapse duplicates; store the cumulative weight through the
+        // LAST retained occurrence of each value.
+        let mut items: Vec<(T, u64)> = Vec::with_capacity(pairs.len());
+        let mut cum = 0u64;
+        for (v, w) in pairs {
+            cum += w;
+            match items.last_mut() {
+                Some(last) if last.0 == v => last.1 = cum,
+                _ => items.push((v, cum)),
+            }
+        }
+        debug_assert_eq!(cum, self.n, "weighted mass must equal n");
+        KllCumulative {
+            items,
+            err: self.err,
+            n: self.n,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Answer a query for 1-based rank `r` (clamped into `[1, n]`);
+    /// `None` iff the sketch is empty. Compiles the ladder per call —
+    /// use [`KllSketch::cumulative`] for query loops.
+    pub fn rank_query(&self, r: u64) -> Option<RankEstimate<T>> {
+        self.cumulative().rank_query(r)
+    }
+
+    /// Rigorous bounds `[lo, hi]` on the rank of an arbitrary value `v`
+    /// (the count of stream elements ≤ `v`), which need not have been
+    /// inserted. Compiles the ladder per call — use
+    /// [`KllSketch::cumulative`] for query loops.
+    pub fn rank_bounds_of(&self, v: T) -> (u64, u64) {
+        self.cumulative().rank_bounds_of(v)
+    }
+
+    /// The φ-quantile (`phi ∈ (0, 1]`): the sketch's answer for rank
+    /// `⌈φn⌉`. `None` iff empty.
+    pub fn quantile(&self, phi: f64) -> Option<T> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.n as f64).ceil() as u64;
+        self.rank_query(r).map(|e| e.value)
+    }
+
+    /// Clear the sketch back to empty, retaining allocations where
+    /// possible.
+    pub fn reset(&mut self) {
+        self.levels.truncate(1);
+        self.levels[0].clear();
+        self.parity = 0;
+        self.n = 0;
+        self.min = None;
+        self.max = None;
+        self.err = 0;
+    }
+
+    /// Structural self-check: weighted mass equals `n`, levels ≥ 1
+    /// sorted, min/max consistent with emptiness, level count within the
+    /// representable parity mask.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.levels.len() > 64 {
+            return Err(format!(
+                "{} levels exceed the parity mask",
+                self.levels.len()
+            ));
+        }
+        let mut mass = 0u64;
+        for (h, lvl) in self.levels.iter().enumerate() {
+            if h >= 1 && !lvl.windows(2).all(|w| w[0] <= w[1]) {
+                return Err(format!("level {h} is not sorted"));
+            }
+            mass = mass
+                .checked_add((lvl.len() as u64) << h)
+                .ok_or_else(|| "weighted mass overflows u64".to_string())?;
+        }
+        if mass != self.n {
+            return Err(format!("weighted mass {mass} != n {}", self.n));
+        }
+        if (self.n == 0) != (self.min.is_none() && self.max.is_none()) {
+            return Err("min/max tracking inconsistent with n".into());
+        }
+        if let (Some(lo), Some(hi)) = (self.min, self.max) {
+            if lo > hi {
+                return Err("min > max".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The raw compactor levels (level `h` = weight `2^h`), for
+    /// serialization. Level 0 may be unsorted.
+    pub fn raw_levels(&self) -> &[Vec<T>] {
+        &self.levels
+    }
+
+    /// The compaction parity bitmask, for serialization.
+    pub fn parity_mask(&self) -> u64 {
+        self.parity
+    }
+
+    /// Rebuild a sketch from serialized parts, validating structural
+    /// invariants (per [`KllSketch::check_invariants`]). The capacity is
+    /// re-derived from `epsilon`, so it is not part of the encoding.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_parts(
+        epsilon: f64,
+        n: u64,
+        min: Option<T>,
+        max: Option<T>,
+        err: u64,
+        parity: u64,
+        levels: Vec<Vec<T>>,
+    ) -> Result<Self, String> {
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(format!("epsilon {epsilon} out of (0, 1]"));
+        }
+        let mut sk = KllSketch {
+            epsilon,
+            levels,
+            parity,
+            n,
+            min,
+            max,
+            err,
+            cap: Self::capacity_for(epsilon),
+        };
+        if sk.levels.is_empty() {
+            sk.levels.push(Vec::new());
+        }
+        sk.check_invariants()?;
+        Ok(sk)
+    }
+}
+
+/// A compiled, query-ready view of a [`KllSketch`]: distinct retained
+/// values with cumulative weighted counts, plus the tracked error. Built
+/// by [`KllSketch::cumulative`]; answers any number of rank queries at a
+/// binary search each without re-flattening the ladder.
+#[derive(Clone, Debug)]
+pub struct KllCumulative<T> {
+    /// `(value, cumulative weight through the last retained occurrence)`,
+    /// strictly increasing in both components.
+    items: Vec<(T, u64)>,
+    err: u64,
+    n: u64,
+    min: Option<T>,
+    max: Option<T>,
+}
+
+impl<T: Copy + Ord> KllCumulative<T> {
+    /// Number of elements the source sketch had seen.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True iff the source sketch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Answer a query for 1-based rank `r` (clamped into `[1, n]`);
+    /// `None` iff empty. The returned interval brackets the rank of the
+    /// value's last stream occurrence, widened by the tracked error.
+    pub fn rank_query(&self, r: u64) -> Option<RankEstimate<T>> {
+        if self.n == 0 {
+            return None;
+        }
+        let r = r.clamp(1, self.n);
+        let idx = self.items.partition_point(|&(_, c)| c < r);
+        let idx = idx.min(self.items.len() - 1);
+        let (value, c) = self.items[idx];
+        Some(RankEstimate {
+            value,
+            rmin: c.saturating_sub(self.err).max(1),
+            rmax: (c + self.err).min(self.n),
+        })
+    }
+
+    /// Rigorous bounds `[lo, hi]` on the rank of an arbitrary value `v`
+    /// (the count of stream elements ≤ `v`). Exact at and beyond the
+    /// tracked extremes.
+    pub fn rank_bounds_of(&self, v: T) -> (u64, u64) {
+        let (min, max) = match (self.min, self.max) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => return (0, 0),
+        };
+        if v < min {
+            return (0, 0);
+        }
+        if v >= max {
+            return (self.n, self.n);
+        }
+        let idx = self.items.partition_point(|&(x, _)| x <= v);
+        let w = if idx == 0 { 0 } else { self.items[idx - 1].1 };
+        let lo = w.saturating_sub(self.err).max(1);
+        let hi = (w + self.err).min(self.n);
+        (lo.min(hi), hi)
+    }
+}
+
+/// Linear merge of two sorted slices into a freshly allocated sorted
+/// `Vec`.
+fn merge_sorted<T: Copy + Ord>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactQuantiles;
+
+    fn lcg(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        }
+    }
+
+    /// Every reported interval must contain the true rank, and the
+    /// tracked error must stay within the a-priori ε·n/2 analysis.
+    #[test]
+    fn tracked_bounds_are_sound_and_within_epsilon() {
+        for &eps in &[0.1, 0.02, 0.005] {
+            let mut rng = lcg(7);
+            let n = 40_000usize;
+            let mut kll = KllSketch::new(eps);
+            let mut exact = ExactQuantiles::new();
+            for _ in 0..n {
+                let v = rng() % 1_000_003;
+                kll.insert(v);
+                exact.insert(v);
+            }
+            kll.check_invariants().unwrap();
+            assert!(
+                kll.tracked_err() as f64 <= eps * n as f64 / 2.0 + 1.0,
+                "tracked err {} exceeds eps*n/2 for eps {eps}",
+                kll.tracked_err()
+            );
+            let cum = kll.cumulative();
+            for i in 0..=100u64 {
+                let r = (i * n as u64 / 100).max(1);
+                let est = cum.rank_query(r).unwrap();
+                let true_rank = exact.rank_of(est.value);
+                assert!(
+                    est.rmin <= true_rank && true_rank <= est.rmax,
+                    "rank {true_rank} of {} outside [{}, {}]",
+                    est.value,
+                    est.rmin,
+                    est.rmax
+                );
+                assert!(
+                    true_rank.abs_diff(r) as f64 <= eps * n as f64 + 1.0,
+                    "rank error {} exceeds eps*n at target {r}",
+                    true_rank.abs_diff(r)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_bounds_of_brackets_arbitrary_values() {
+        let mut rng = lcg(11);
+        let mut kll = KllSketch::new(0.02);
+        let mut exact = ExactQuantiles::new();
+        for _ in 0..20_000 {
+            let v = rng() % 10_000;
+            kll.insert(v);
+            exact.insert(v);
+        }
+        let cum = kll.cumulative();
+        for probe in (0..10_500).step_by(37) {
+            let (lo, hi) = cum.rank_bounds_of(probe);
+            let truth = exact.rank_of(probe);
+            assert!(
+                lo <= truth && truth <= hi,
+                "rank {truth} of probe {probe} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    /// Below one capacity's worth of items nothing compacts: answers are
+    /// exact.
+    #[test]
+    fn no_compaction_means_exact() {
+        let mut kll = KllSketch::new(0.1);
+        assert!(kll.capacity() > 200);
+        for v in (0..200u64).rev() {
+            kll.insert(v);
+        }
+        assert_eq!(kll.tracked_err(), 0);
+        for r in 1..=200u64 {
+            let est = kll.rank_query(r).unwrap();
+            assert_eq!(est.value, r - 1);
+            assert_eq!((est.rmin, est.rmax), (r, r));
+        }
+    }
+
+    /// Merging equals tracking both streams in one sketch, error-wise:
+    /// merged tracked error = sum of parts + any merge compactions, and
+    /// the merged bounds bracket union ranks.
+    #[test]
+    fn merge_is_exact_and_sound() {
+        let mut rng = lcg(23);
+        let mut parts: Vec<KllSketch<u64>> = Vec::new();
+        let mut exact = ExactQuantiles::new();
+        for _ in 0..8 {
+            let mut kll = KllSketch::new(0.02);
+            for _ in 0..5_000 {
+                let v = rng() % 100_000;
+                kll.insert(v);
+                exact.insert(v);
+            }
+            parts.push(kll);
+        }
+        let mut merged = parts[0].clone();
+        for p in &parts[1..] {
+            merged.merge_from(p);
+        }
+        merged.check_invariants().unwrap();
+        assert_eq!(merged.len(), 40_000);
+        let n = merged.len();
+        assert!(
+            merged.tracked_err() as f64 <= 0.02 * n as f64 / 2.0 + 1.0,
+            "merged tracked err {} breaks the eps*n/2 budget",
+            merged.tracked_err()
+        );
+        let cum = merged.cumulative();
+        for i in 1..=50u64 {
+            let r = i * n / 50;
+            let est = cum.rank_query(r).unwrap();
+            let truth = exact.rank_of(est.value);
+            assert!(est.rmin <= truth && truth <= est.rmax);
+            assert!(truth.abs_diff(r) <= (0.02 * n as f64) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn batch_scalar_equivalence_in_bounds() {
+        let mut rng = lcg(5);
+        let data: Vec<u64> = (0..30_000).map(|_| rng() % 65_536).collect();
+        let mut scalar = KllSketch::new(0.01);
+        let mut batched = KllSketch::new(0.01);
+        for &v in &data {
+            scalar.insert(v);
+        }
+        for chunk in data.chunks(997) {
+            batched.insert_batch(chunk);
+        }
+        assert_eq!(scalar.len(), batched.len());
+        assert_eq!(scalar.min(), batched.min());
+        assert_eq!(scalar.max(), batched.max());
+        // Batching compacts less often, so its tracked error can only be
+        // at most the scalar path's.
+        assert!(batched.tracked_err() <= scalar.tracked_err());
+        let mut exact = ExactQuantiles::from_data(data);
+        for i in 1..=20u64 {
+            let r = i * 30_000 / 20;
+            for sk in [&scalar, &batched] {
+                let est = sk.rank_query(r).unwrap();
+                let truth = exact.rank_of(est.value);
+                assert!(est.rmin <= truth && truth <= est.rmax);
+            }
+        }
+    }
+
+    #[test]
+    fn reset_and_raw_parts_roundtrip() {
+        let mut kll = KllSketch::new(0.05);
+        for v in 0..10_000u64 {
+            kll.insert(v * 3);
+        }
+        let rebuilt = KllSketch::from_raw_parts(
+            kll.epsilon(),
+            kll.len(),
+            kll.min(),
+            kll.max(),
+            kll.tracked_err(),
+            kll.parity_mask(),
+            kll.raw_levels().to_vec(),
+        )
+        .unwrap();
+        for i in 1..=10u64 {
+            assert_eq!(
+                kll.quantile(i as f64 / 10.0),
+                rebuilt.quantile(i as f64 / 10.0)
+            );
+        }
+        kll.reset();
+        assert!(kll.is_empty());
+        assert_eq!(kll.tracked_err(), 0);
+        assert_eq!(kll.min(), None);
+        kll.insert(42);
+        assert_eq!(kll.quantile(1.0), Some(42));
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_garbage() {
+        // Mass mismatch.
+        assert!(
+            KllSketch::<u64>::from_raw_parts(0.1, 5, Some(1), Some(9), 0, 0, vec![vec![1, 9]])
+                .is_err()
+        );
+        // Unsorted upper level.
+        assert!(KllSketch::<u64>::from_raw_parts(
+            0.1,
+            5,
+            Some(1),
+            Some(9),
+            0,
+            0,
+            vec![vec![9], vec![5, 1]]
+        )
+        .is_err());
+        // min/max on an empty sketch.
+        assert!(
+            KllSketch::<u64>::from_raw_parts(0.1, 0, Some(1), Some(9), 0, 0, vec![vec![]]).is_err()
+        );
+    }
+}

@@ -6,6 +6,11 @@
 //!
 //! * [`GkSketch`] — Greenwald–Khanna (paper ref \[15\]); powers the stream
 //!   summary `SS` (§2.2) and the strongest pure-streaming baseline;
+//! * [`KllSketch`] — deterministic KLL compactor ladder (Karnin–Lang–
+//!   Liberty, FOCS 2016; lazy schedule per Ivkin et al.): O(1) amortized
+//!   updates and exact mergeability, selectable as the stream backend;
+//! * [`QuantileSketch`] / [`AnySketch`] / [`SketchKind`] — the pluggable
+//!   sketch abstraction the engine's stream processor is written against;
 //! * [`QDigest`] — Shrivastava et al. (paper ref \[24\]); the second
 //!   pure-streaming baseline;
 //! * [`ReservoirQuantiles`] — the RANDOM baseline of Wang et al. (paper
@@ -25,14 +30,18 @@
 
 pub mod exact;
 pub mod gk;
+pub mod kll;
 pub mod misra_gries;
 pub mod qdigest;
+pub mod quantile;
 pub mod radix;
 pub mod sampler;
 
 pub use exact::ExactQuantiles;
 pub use gk::{GkSketch, RankEstimate};
+pub use kll::{KllCumulative, KllSketch};
 pub use misra_gries::MisraGries;
 pub use qdigest::QDigest;
+pub use quantile::{AnySketch, QuantileSketch, SketchKind};
 pub use radix::{radix_sort_u64, sort_radixable, RadixKey, RADIX_MIN_LEN};
 pub use sampler::ReservoirQuantiles;

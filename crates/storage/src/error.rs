@@ -224,7 +224,7 @@ impl RetryPolicy {
 /// transient failures such as [`crate::Fault::FlakyReads`]. Mutations are
 /// not retried — write-side failures are the durability protocol's
 /// concern, not a retry loop's. Each masked failure is counted in the
-/// wrapped device's [`crate::IoStats::retries`].
+/// wrapped device's [`crate::IoSnapshot::retries`].
 pub struct RetryDevice<D: crate::BlockDevice> {
     inner: std::sync::Arc<D>,
     policy: RetryPolicy,

@@ -171,7 +171,7 @@ impl IoScheduler {
     /// workers retry transiently-failing ops (capped backoff) before a
     /// completion is recorded, so masked hiccups never become sticky
     /// scheduler errors. Each masked failure is counted in the device's
-    /// [`crate::IoStats::retries`].
+    /// [`crate::IoSnapshot::retries`].
     pub fn with_retry(
         dev: Arc<dyn BlockDevice>,
         depth: usize,

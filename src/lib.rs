@@ -76,6 +76,52 @@
 //! assert_eq!(gk.len(), 4096);
 //! ```
 //!
+//! ## Choosing a sketch backend
+//!
+//! The stream-side summary `SS` is built against a pluggable
+//! [`hsq_sketch::QuantileSketch`] layer. Two backends ship:
+//!
+//! * [`SketchKind::Gk`] (default) — the Greenwald–Khanna sketch the
+//!   paper specifies: the smallest memory footprint at a given `ε`;
+//! * [`SketchKind::Kll`] — a deterministic KLL compactor ladder: O(1)
+//!   amortized updates, batch inserts that skip the per-element merge,
+//!   and *exact* mergeability, at somewhat more memory for the same
+//!   observed error.
+//!
+//! Both honour the same tracked rank-bound contract, so Theorem 2's
+//! `ε·m` union guarantee holds unchanged under either (A/B'd by the
+//! `headline` bench's `sketch` section and CI's `sketch-ab` matrix).
+//! Select per engine with the builder knob — or fleet-wide with
+//! `HSQ_SKETCH=gk|kll`, which the builder reads as its default:
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles};
+//! use hsq::storage::MemDevice;
+//! use hsq::SketchKind;
+//!
+//! let config = HsqConfig::builder()
+//!     .epsilon(0.01)
+//!     .merge_threshold(4)
+//!     .sketch(SketchKind::Kll) // paper-faithful default: SketchKind::Gk
+//!     .build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//! for day in 0..3u64 {
+//!     let batch: Vec<u64> = (0..10_000u64).map(|i| day * 10_000 + i).collect();
+//!     hsq.ingest_step(&batch).unwrap();
+//! }
+//! for i in 30_000..40_000u64 {
+//!     hsq.stream_update(i);
+//! }
+//! let median = hsq.quantile(0.5).unwrap().expect("data is non-empty");
+//! assert!((median as i64 - 20_000).unsigned_abs() < 200); // same eps * m bound
+//! assert_eq!(hsq.stream().sketch().kind(), SketchKind::Kll);
+//! ```
+//!
+//! Engine manifests persist the live sketch kind-tagged (see
+//! [`hsq_core::manifest`]), so state written under one backend recovers
+//! under either build; the configured backend takes over at the next
+//! step boundary.
+//!
 //! ## Sharded quickstart (multi-tenant / concurrent readers)
 //!
 //! [`ShardedEngine`] hash-partitions items across independent engine
@@ -358,5 +404,5 @@ pub use hsq_workload as workload;
 pub use hsq_core::{
     EngineSnapshot, HistStreamQuantiles, HsqConfig, RetentionPolicy, ShardedEngine, ShardedSnapshot,
 };
-pub use hsq_sketch::{GkSketch, QDigest};
+pub use hsq_sketch::{GkSketch, KllSketch, QDigest, QuantileSketch, SketchKind};
 pub use hsq_storage::{FileDevice, MemDevice};
