@@ -322,6 +322,12 @@ struct SketchRow {
     max_rel_err: f64,
     merge_secs: f64,
     memory_words: usize,
+    /// Weighted-insert throughput in *weight units* (expanded elements)
+    /// per second — the headline win of native weighted ingestion.
+    weighted_wps: f64,
+    /// Observed max rank error of the weighted sketch against exact over
+    /// the replicated expansion, in units of `ε·W` (gated `< 1`).
+    weighted_max_rel_err: f64,
 }
 
 /// Pluggable-sketch A/B: for each backend (GK, KLL) at the same ε,
@@ -395,12 +401,135 @@ fn sketch_metrics() -> Vec<SketchRow> {
         let merge_secs = t.elapsed().as_secs_f64();
         assert_eq!(merged.len(), N as u64, "{kind}: merge lost items");
 
+        // Weighted inserts: geometric weights (mean ~8.5 weight units per
+        // pair), ingested natively. Throughput counts *weight units* —
+        // the replicated-equivalent element rate — and the observed rank
+        // error against exact-over-replicated gates within eps*W.
+        const PAIRS: usize = 1 << 17;
+        let mut lcg = 0x1357_9BDFu64;
+        let pairs: Vec<(u64, u64)> = data[..PAIRS]
+            .iter()
+            .map(|&v| {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (v, (lcg >> 33) % 16 + 1)
+            })
+            .collect();
+        let big_w: u64 = pairs.iter().map(|&(_, w)| w).sum();
+        let mut ws = AnySketch::<u64>::new(kind, EPS);
+        let mut buf = pairs.clone();
+        let t = Instant::now();
+        for chunk in buf.chunks_mut(4096) {
+            ws.insert_weighted_batch(chunk);
+        }
+        let weighted_wps = big_w as f64 / t.elapsed().as_secs_f64();
+        assert_eq!(ws.len(), big_w, "{kind}: weighted mass lost");
+        let mut replicated: Vec<u64> = Vec::with_capacity(big_w as usize);
+        for &(v, w) in &pairs {
+            replicated.extend(std::iter::repeat_n(v, w as usize));
+        }
+        replicated.sort_unstable();
+        let mut weighted_max_dist = 0u64;
+        for i in 1..=200u64 {
+            let r = (big_w * i) / 201 + 1;
+            let est = ws.rank_query(r).expect("non-empty sketch");
+            let lo = replicated.partition_point(|&x| x < est.value) as u64 + 1;
+            let hi = replicated.partition_point(|&x| x <= est.value) as u64;
+            let dist = if r < lo { lo - r } else { r.saturating_sub(hi) };
+            weighted_max_dist = weighted_max_dist.max(dist);
+        }
+        assert!(
+            weighted_max_dist as f64 <= EPS * big_w as f64 + 1.0,
+            "{kind}: weighted rank error {weighted_max_dist} breaks the eps*W = {} bound",
+            EPS * big_w as f64
+        );
+        let weighted_max_rel_err = weighted_max_dist as f64 / (EPS * big_w as f64);
+
         rows.push(SketchRow {
             name: kind.as_str(),
             update_eps,
             batch_eps,
             max_rel_err: max_err,
             merge_secs,
+            memory_words: s.memory_words(),
+            weighted_wps,
+            weighted_max_rel_err,
+        });
+    }
+    rows
+}
+
+/// One compaction policy's row in the KLL det-vs-rand A/B.
+struct CompactionRow {
+    name: String,
+    max_rel_err: f64,
+    memory_words: usize,
+}
+
+/// Deterministic vs seeded-randomized KLL compaction at the same ε over
+/// the same stream: observed max rank error (gated in-bin at `ε·n` for
+/// every policy) and memory. The randomized policy is additionally
+/// asserted to *replay identically* — two sketches under the same seed
+/// answer the same rank sweep with the same values.
+fn compaction_ab_metrics() -> Vec<CompactionRow> {
+    use hsq_sketch::{AnySketch, QuantileSketch, SketchCompaction, SketchKind};
+    const EPS: f64 = 0.01;
+    const N: usize = 1 << 19;
+    const SEED: u64 = 42;
+    let data: Vec<u64> = Dataset::Uniform.generator(4242).take_vec(N);
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+
+    let build = |mode: SketchCompaction| {
+        let mut s = AnySketch::<u64>::with_compaction(SketchKind::Kll, EPS, mode);
+        let mut buf = data.clone();
+        for chunk in buf.chunks_mut(4096) {
+            s.insert_batch(chunk);
+        }
+        s
+    };
+    let sweep = |s: &AnySketch<u64>| -> Vec<u64> {
+        (1..=200u64)
+            .map(|i| {
+                let r = (N as u64 * i) / 201 + 1;
+                s.rank_query(r).expect("non-empty sketch").value
+            })
+            .collect()
+    };
+
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("kll-det".to_string(), SketchCompaction::Deterministic),
+        (
+            format!("kll-rand-{SEED}"),
+            SketchCompaction::Randomized { seed: SEED },
+        ),
+    ] {
+        let s = build(mode);
+        if let SketchCompaction::Randomized { .. } = mode {
+            assert_eq!(
+                sweep(&s),
+                sweep(&build(mode)),
+                "randomized compaction must replay identically under seed {SEED}"
+            );
+        }
+        let mut max_dist = 0u64;
+        for (i, &v) in sweep(&s).iter().enumerate() {
+            let r = (N as u64 * (i as u64 + 1)) / 201 + 1;
+            let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+            let hi = sorted.partition_point(|&x| x <= v) as u64;
+            let dist = if r < lo { lo - r } else { r.saturating_sub(hi) };
+            max_dist = max_dist.max(dist);
+        }
+        assert!(
+            max_dist as f64 <= EPS * N as f64 + 1.0,
+            "{name}: observed rank error {max_dist} breaks the eps*n = {} bound",
+            EPS * N as f64
+        );
+        rows.push(CompactionRow {
+            name,
+            max_rel_err: max_dist as f64 / (EPS * N as f64),
             memory_words: s.memory_words(),
         });
     }
@@ -618,13 +747,24 @@ fn main() {
     for r in &sketch_rows {
         println!(
             "sketch[{}]: update {:.2} Melem/s, batch(4096) {:.2} Melem/s, \
+             weighted {:.2} Mweight/s (err {:.2} eps*W), \
              max err {:.2} eps*n, 8-way merge {:.0} us, {} words",
             r.name,
             r.update_eps / 1e6,
             r.batch_eps / 1e6,
+            r.weighted_wps / 1e6,
+            r.weighted_max_rel_err,
             r.max_rel_err,
             r.merge_secs * 1e6,
             r.memory_words,
+        );
+    }
+
+    let compaction_rows = compaction_ab_metrics();
+    for r in &compaction_rows {
+        println!(
+            "compaction[{}]: max err {:.2} eps*n, {} words",
+            r.name, r.max_rel_err, r.memory_words,
         );
     }
 
@@ -683,10 +823,29 @@ fn main() {
             format!(
                 concat!(
                     "    {{\"name\": \"{}\", \"update_elems_per_sec\": {:.0}, ",
-                    "\"batch_4096_elems_per_sec\": {:.0}, \"max_rel_err\": {:.4}, ",
+                    "\"batch_4096_elems_per_sec\": {:.0}, ",
+                    "\"weighted_insert_weight_per_sec\": {:.0}, ",
+                    "\"weighted_max_rel_err\": {:.4}, \"max_rel_err\": {:.4}, ",
                     "\"merge_8way_seconds\": {:.8}, \"memory_words\": {}}}"
                 ),
-                r.name, r.update_eps, r.batch_eps, r.max_rel_err, r.merge_secs, r.memory_words
+                r.name,
+                r.update_eps,
+                r.batch_eps,
+                r.weighted_wps,
+                r.weighted_max_rel_err,
+                r.max_rel_err,
+                r.merge_secs,
+                r.memory_words
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let compaction_json = compaction_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"max_rel_err\": {:.4}, \"memory_words\": {}}}",
+                r.name, r.max_rel_err, r.memory_words
             )
         })
         .collect::<Vec<_>>()
@@ -699,7 +858,8 @@ fn main() {
             "\"batched_4096_elems_per_sec\": {:.0}, \"speedup\": {:.2}, ",
             "\"radix_sort_elems_per_sec\": {:.0}, ",
             "\"comparison_sort_elems_per_sec\": {:.0}, \"radix_speedup\": {:.2}}},\n",
-            "  \"sketch\": {{\"epsilon\": 0.01, \"elems\": 524288, \"backends\": [\n{}\n  ]}},\n",
+            "  \"sketch\": {{\"epsilon\": 0.01, \"elems\": 524288, \"backends\": [\n{}\n  ],\n",
+            "  \"compaction_ab\": [\n{}\n  ]}},\n",
             "  \"query\": {{\"summary_p50_probes\": {:.1}, \"summary_p99_probes\": {:.1}, ",
             "\"domain_p50_probes\": {:.1}, \"domain_p99_probes\": {:.1}, ",
             "\"prefetch_io_depth\": 2, \"prefetch_hit_rate\": {:.3}, ",
@@ -731,6 +891,7 @@ fn main() {
         comparison_eps,
         radix_speedup,
         sketch_json,
+        compaction_json,
         q_s_p50,
         q_s_p99,
         q_d_p50,

@@ -630,6 +630,23 @@ mod tests {
     }
 
     #[test]
+    fn weighted_metrics_classify() {
+        // Weighted-ingest throughput is wall-clock (loose timing gate);
+        // the weighted error ratio and the compaction-A/B fields are
+        // deterministic and gate at the tight stable threshold.
+        assert_eq!(
+            classify("weighted_insert_weight_per_sec"),
+            (Direction::HigherBetter, true)
+        );
+        assert_eq!(
+            classify("weighted_max_rel_err"),
+            (Direction::LowerBetter, false)
+        );
+        assert_eq!(classify("max_rel_err"), (Direction::LowerBetter, false));
+        assert_eq!(classify("memory_words"), (Direction::LowerBetter, false));
+    }
+
+    #[test]
     fn identical_snapshots_pass() {
         let v = Json::parse(SAMPLE).unwrap();
         let (deltas, warnings) = compare(&v, &v, Thresholds::default());

@@ -8,9 +8,36 @@
 //! memory, query block-cache size, retention policy) are also carried
 //! here.
 
+use std::fmt;
+
 use crate::retention::RetentionPolicy;
-use hsq_sketch::SketchKind;
+use hsq_sketch::{SketchCompaction, SketchKind};
 use hsq_storage::RetryPolicy;
+
+/// Typed rejection of an invalid configuration value, so embedders can
+/// surface misconfiguration without parsing panic strings. The builder's
+/// panicking setters go through the same validation and panic with this
+/// error's `Display` message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The overall error parameter must be finite and in `(0, 1]` —
+    /// NaN, infinities, zero and negatives would all turn the downstream
+    /// `f64 → usize` capacity formulas (KLL's `⌈2·budget/ε⌉`, GK's
+    /// `⌊1/2ε⌋` cadence) into garbage sizes.
+    InvalidEpsilon(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be finite and in (0, 1], got {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Configuration for [`crate::HistStreamQuantiles`] and its parts.
 #[derive(Clone, Debug, PartialEq)]
@@ -67,6 +94,14 @@ pub struct HsqConfig {
     /// (`"gk"` / `"kll"`), which is how CI runs the whole property suite
     /// under both backends without per-test plumbing.
     pub sketch: SketchKind,
+    /// Compaction policy for the KLL stream sketch (ignored by GK):
+    /// [`SketchCompaction::Deterministic`] (the default; alternating
+    /// parity per level) or [`SketchCompaction::Randomized`] (seeded
+    /// coin-flip parity, the classic KLL analysis). The builder default
+    /// honors the `HSQ_COMPACTION` / `HSQ_SEED` environment variables so
+    /// CI can sweep the randomized mode without per-test plumbing; both
+    /// modes replay byte-identically for a fixed seed.
+    pub sketch_compaction: SketchCompaction,
 }
 
 impl HsqConfig {
@@ -121,6 +156,7 @@ impl HsqConfig {
             retry: RetryPolicy::none(),
             strict: false,
             sketch: SketchKind::from_env_or(SketchKind::Gk),
+            sketch_compaction: SketchCompaction::from_env_or(SketchCompaction::Deterministic),
         }
     }
 }
@@ -138,6 +174,7 @@ pub struct HsqConfigBuilder {
     retry: RetryPolicy,
     strict: bool,
     sketch: SketchKind,
+    sketch_compaction: SketchCompaction,
 }
 
 impl Default for HsqConfigBuilder {
@@ -153,6 +190,7 @@ impl Default for HsqConfigBuilder {
             retry: RetryPolicy::none(),
             strict: false,
             sketch: SketchKind::from_env_or(SketchKind::Gk),
+            sketch_compaction: SketchCompaction::from_env_or(SketchCompaction::Deterministic),
         }
     }
 }
@@ -160,10 +198,27 @@ impl Default for HsqConfigBuilder {
 impl HsqConfigBuilder {
     /// Overall error parameter `ε ∈ (0, 1]`: accurate quantile queries are
     /// answered within rank error `εm`, `m` = stream size.
-    pub fn epsilon(mut self, epsilon: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon <= 1.0, "epsilon must be in (0,1]");
+    ///
+    /// Panics on invalid input; use [`Self::try_epsilon`] for a typed
+    /// rejection.
+    pub fn epsilon(self, epsilon: f64) -> Self {
+        match self.try_epsilon(epsilon) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Self::epsilon`]: rejects NaN, infinities and
+    /// anything outside `(0, 1]` with [`ConfigError::InvalidEpsilon`]
+    /// instead of panicking. `NaN` fails every comparison, so the check
+    /// must be an explicit accept-list — `is_finite` plus the open/closed
+    /// interval test — rather than a rejection of `epsilon <= 0.0`.
+    pub fn try_epsilon(mut self, epsilon: f64) -> Result<Self, ConfigError> {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(ConfigError::InvalidEpsilon(epsilon));
+        }
         self.epsilon = epsilon;
-        self
+        Ok(self)
     }
 
     /// Merge threshold `κ ≥ 2` (paper default in experiments: 10).
@@ -226,10 +281,18 @@ impl HsqConfigBuilder {
         self
     }
 
+    /// Select the KLL compaction policy (see
+    /// [`HsqConfig::sketch_compaction`]); no effect under GK.
+    pub fn sketch_compaction(mut self, mode: SketchCompaction) -> Self {
+        self.sketch_compaction = mode;
+        self
+    }
+
     /// Finalize, applying Algorithm 1's parameter split.
     pub fn build(self) -> HsqConfig {
         let mut cfg = HsqConfig::with_epsilons(self.epsilon / 2.0, self.epsilon / 4.0);
         cfg.sketch = self.sketch;
+        cfg.sketch_compaction = self.sketch_compaction;
         cfg.kappa = self.kappa;
         cfg.sort_budget_items = self.sort_budget_items;
         cfg.cache_blocks = self.cache_blocks;
@@ -325,5 +388,46 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn zero_epsilon_rejected() {
         let _ = HsqConfig::builder().epsilon(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn nan_epsilon_rejected() {
+        let _ = HsqConfig::builder().epsilon(f64::NAN);
+    }
+
+    #[test]
+    fn try_epsilon_is_typed() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = HsqConfig::builder().try_epsilon(bad).unwrap_err();
+            match err {
+                ConfigError::InvalidEpsilon(e) => {
+                    assert!(e.is_nan() && bad.is_nan() || e == bad)
+                }
+            }
+            assert!(err.to_string().contains("epsilon"));
+        }
+        let cfg = HsqConfig::builder().try_epsilon(0.2).unwrap().build();
+        assert!((cfg.epsilon() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sketch_compaction_knob() {
+        let cfg = HsqConfig::builder()
+            .epsilon(0.1)
+            .sketch(SketchKind::Kll)
+            .sketch_compaction(SketchCompaction::Randomized { seed: 7 })
+            .build();
+        assert_eq!(
+            cfg.sketch_compaction,
+            SketchCompaction::Randomized { seed: 7 }
+        );
+        // The default honors HSQ_COMPACTION/HSQ_SEED (the CI matrix may
+        // set them), with deterministic alternation as the fallback.
+        let default = HsqConfig::with_epsilon(0.1);
+        assert_eq!(
+            default.sketch_compaction,
+            SketchCompaction::from_env_or(SketchCompaction::Deterministic)
+        );
     }
 }

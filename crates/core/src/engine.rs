@@ -52,7 +52,12 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
     /// Create an engine on `dev` with the given configuration
     /// (Algorithm 1's initialization).
     pub fn new(dev: Arc<D>, config: HsqConfig) -> Self {
-        let stream = StreamProcessor::with_kind(config.sketch, config.epsilon2, config.beta2);
+        let stream = StreamProcessor::with_compaction(
+            config.sketch,
+            config.sketch_compaction,
+            config.epsilon2,
+            config.beta2,
+        );
         HistStreamQuantiles {
             warehouse: Warehouse::new(dev, config.clone()),
             stream,
@@ -156,6 +161,56 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         hsq_storage::sort_items(&mut self.staging[start..]);
         self.staging_sort_time += t0.elapsed();
         self.stream.ingest_sorted_batch(&self.staging[start..]);
+        self.staging_segments.push(self.staging.len());
+    }
+
+    /// `StreamUpdate(e, w)`: one streaming element with multiplicity `w`
+    /// (sampled or pre-aggregated telemetry). Counts `w` toward the
+    /// stream size `m` and stages `w` raw copies for archival, so every
+    /// guarantee stays `ε·m` with `m` the summed weight and the archived
+    /// multiset is exactly what the sketch absorbed.
+    pub fn stream_update_weighted(&mut self, e: T, w: u64) {
+        if w == 0 {
+            return;
+        }
+        self.stream.update_weighted(e, w);
+        if let Some(h) = &mut self.heavy {
+            for _ in 0..w {
+                h.update(e);
+            }
+        }
+        self.staging.extend(std::iter::repeat_n(e, w as usize));
+    }
+
+    /// Batched weighted `StreamUpdate`: absorb `(value, weight)` pairs at
+    /// once. The sketch ingests the weights natively — KLL decomposes each
+    /// onto its levels in O(log w), GK splices with exact rank arithmetic
+    /// — while staging expands them into replicated raw copies (sorted,
+    /// recorded as one segment) so archival and recovery see the exact
+    /// multiset. Equivalent to `w`-fold [`HistStreamQuantiles::stream_update`]
+    /// per pair, without paying `Σw` sketch updates.
+    pub fn stream_extend_weighted(&mut self, batch: &[(T, u64)]) {
+        let total: u64 = batch.iter().map(|&(_, w)| w).sum();
+        if total == 0 {
+            return;
+        }
+        if let Some(h) = &mut self.heavy {
+            for &(e, w) in batch {
+                for _ in 0..w {
+                    h.update(e);
+                }
+            }
+        }
+        self.seal_staging_tail();
+        let mut pairs: Vec<(T, u64)> = batch.iter().copied().filter(|&(_, w)| w > 0).collect();
+        let t0 = Instant::now();
+        pairs.sort_unstable_by_key(|a| a.0);
+        self.staging.reserve(total as usize);
+        for &(v, w) in &pairs {
+            self.staging.extend(std::iter::repeat_n(v, w as usize));
+        }
+        self.staging_sort_time += t0.elapsed();
+        self.stream.ingest_weighted_sorted_batch(&pairs);
         self.staging_segments.push(self.staging.len());
     }
 
@@ -427,7 +482,12 @@ impl<T: Item, D: BlockDevice> HistStreamQuantiles<T, D> {
         let (stream, staging, staging_segments) = match recovered {
             Some(s) => (s.proc, s.staging, s.segments),
             None => (
-                StreamProcessor::with_kind(config.sketch, config.epsilon2, config.beta2),
+                StreamProcessor::with_compaction(
+                    config.sketch,
+                    config.sketch_compaction,
+                    config.epsilon2,
+                    config.beta2,
+                ),
                 Vec::new(),
                 Vec::new(),
             ),
@@ -1384,6 +1444,56 @@ mod tests {
         assert_eq!(snap.total_len(), 0);
         assert!(snap.quantile(0.5).unwrap().is_none());
         assert!(snap.quantile_quick(0.5).is_none());
+    }
+
+    #[test]
+    fn weighted_stream_matches_replicated() {
+        // Weighted ingest must be indistinguishable (same multiset, same
+        // ε·m guarantee, same archived bytes) from replicated scalar
+        // ingest — across a step boundary and mid-step.
+        let mut h = engine(0.05, 3);
+        let mut all: Vec<u64> = Vec::new();
+        let pairs: Vec<(u64, u64)> = (0..500u64)
+            .map(|i| {
+                let v = i.wrapping_mul(2654435761) % 10_000;
+                (v, (v % 5) + 1)
+            })
+            .collect();
+        for &(v, w) in &pairs {
+            all.extend(std::iter::repeat_n(v, w as usize));
+        }
+        h.stream_extend_weighted(&pairs[..250]);
+        h.end_time_step().unwrap();
+        h.stream_extend_weighted(&pairs[250..400]);
+        for &(v, w) in &pairs[400..] {
+            h.stream_update_weighted(v, w);
+        }
+        let total: u64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert_eq!(h.total_len(), total);
+        let m = h.stream_len();
+        let allowed = (0.05 * m as f64).ceil() as u64 + 1;
+        for phi in [0.1, 0.5, 0.9, 1.0] {
+            let v = h.quantile(phi).unwrap().unwrap();
+            let r = (phi * total as f64).ceil() as u64;
+            let dist = rank_distance(&all, v, r);
+            assert!(dist <= allowed, "phi={phi}: off by {dist}");
+        }
+        // The archived partition holds the replicated multiset.
+        let stored = h.warehouse().partitions_newest_first()[0]
+            .run
+            .read_all(&**h.warehouse().device())
+            .unwrap();
+        let mut expect: Vec<u64> = Vec::new();
+        for &(v, w) in &pairs[..250] {
+            expect.extend(std::iter::repeat_n(v, w as usize));
+        }
+        expect.sort_unstable();
+        assert_eq!(stored, expect);
+        // Zero-weight pairs are dropped, not staged.
+        let before = h.stream_len();
+        h.stream_extend_weighted(&[(1, 0), (2, 0)]);
+        h.stream_update_weighted(3, 0);
+        assert_eq!(h.stream_len(), before);
     }
 
     #[test]

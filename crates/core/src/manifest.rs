@@ -21,7 +21,8 @@
 //!   format  level  file_id  run_len  first_step  last_step  min  max
 //!   num_entries  (value rank block)*
 //! stream_flag (0|1); if 1 (version ≥ 3):
-//!   kind  epsilon  n  [min max]  sketch payload (GK tuples | KLL levels)
+//!   kind  epsilon  n  [min max]  sketch payload (GK tuples | KLL levels;
+//!   version ≥ 4 KLL adds: compaction tag, seed, rng cursor)
 //!   num_staged  item*  num_segments  segment_end*
 //! crc64 (of everything above)
 //! ```
@@ -73,7 +74,7 @@ use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::Arc;
 
-use hsq_sketch::{AnySketch, GkSketch, KllSketch, QuantileSketch, SketchKind};
+use hsq_sketch::{AnySketch, GkSketch, KllSketch, QuantileSketch, SketchCompaction, SketchKind};
 use hsq_storage::{crc64, BlockDevice, FileId, Item, RunFormat, SortedRun};
 
 use crate::config::HsqConfig;
@@ -87,9 +88,13 @@ const LOG_MAGIC: &[u8; 4] = b"HSQL";
 /// byte (checksummed V2 runs vs legacy V1), the quarantine state in the
 /// snapshot header / `Base` payload, and the `Quarantine` log record.
 /// Version 3 added the optional stream-state section (kind-tagged sketch
-/// blob + staging buffer) after the partition list. Version-1 and
-/// version-2 files still recover — with an empty stream.
-const VERSION: u64 = 3;
+/// blob + staging buffer) after the partition list. Version 4 appends
+/// the KLL compaction descriptor (mode tag, seed, RNG cursor) to the KLL
+/// sketch blob, so a randomized-compaction stream resumes its coin-flip
+/// sequence mid-step and replays byte-identically. Version-1 and
+/// version-2 files still recover — with an empty stream; version-3 KLL
+/// streams recover as deterministic (the only mode that version wrote).
+const VERSION: u64 = 4;
 
 /// Stream-sketch kind tags of the version-3 stream section.
 const SKETCH_GK: u64 = 0;
@@ -363,6 +368,16 @@ fn encode_stream_state<T: Item>(out: &mut Writer, s: &StreamRefs<'_, T>) {
                     out.item(v);
                 }
             }
+            // Version-4 compaction descriptor: mode tag, seed, RNG
+            // cursor — what lets a randomized sketch resume its coin-flip
+            // sequence exactly where the persisted state left off.
+            let (tag, seed) = match kll.compaction() {
+                SketchCompaction::Deterministic => (0u64, 0u64),
+                SketchCompaction::Randomized { seed } => (1, seed),
+            };
+            out.u64(tag);
+            out.u64(seed);
+            out.u64(kll.rng_state());
         }
     }
     out.u64(s.staging.len() as u64);
@@ -382,6 +397,7 @@ fn encode_stream_state<T: Item>(out: &mut Writer, s: &StreamRefs<'_, T>) {
 fn decode_stream_state<T: Item>(
     r: &mut Reader,
     config: &HsqConfig,
+    version: u64,
 ) -> io::Result<RecoveredStream<T>> {
     let kind = match r.u64()? {
         SKETCH_GK => SketchKind::Gk,
@@ -438,10 +454,22 @@ fn decode_stream_state<T: Item>(
                 }
                 levels.push(level);
             }
-            AnySketch::Kll(
-                KllSketch::from_raw_parts(epsilon, n, min, max, err, parity, levels)
-                    .map_err(|e| corrupt(&format!("stream sketch invalid: {e}")))?,
-            )
+            let mut kll = KllSketch::from_raw_parts(epsilon, n, min, max, err, parity, levels)
+                .map_err(|e| corrupt(&format!("stream sketch invalid: {e}")))?;
+            if version >= 4 {
+                let tag = r.u64()?;
+                let seed = r.u64()?;
+                let rng = r.u64()?;
+                let mode = match tag {
+                    0 => SketchCompaction::Deterministic,
+                    1 => SketchCompaction::Randomized { seed },
+                    _ => return Err(corrupt("unknown compaction mode tag")),
+                };
+                kll.restore_compaction(mode, rng);
+            }
+            // Version-3 KLL blobs predate the descriptor: deterministic
+            // was the only mode that version could write.
+            AnySketch::Kll(kll)
         }
     };
     let num_staged = r.u64()?;
@@ -476,8 +504,13 @@ fn decode_stream_state<T: Item>(
         segments.push(end);
         prev = end;
     }
-    let proc =
-        StreamProcessor::from_recovered(sketch, config.sketch, config.epsilon2, config.beta2);
+    let proc = StreamProcessor::from_recovered(
+        sketch,
+        config.sketch,
+        config.sketch_compaction,
+        config.epsilon2,
+        config.beta2,
+    );
     Ok(RecoveredStream {
         proc,
         staging,
@@ -656,7 +689,7 @@ pub(crate) fn recover_with_stream<T: Item, D: BlockDevice>(
     let stream = if version >= 3 {
         match r.u64()? {
             0 => None,
-            1 => Some(decode_stream_state(&mut r, &config)?),
+            1 => Some(decode_stream_state(&mut r, &config, version)?),
             _ => return Err(corrupt("bad stream flag")),
         }
     } else {
@@ -1717,6 +1750,94 @@ mod tests {
             recovered.end_time_step().unwrap();
             assert_eq!(recovered.stream().sketch().kind(), reopens);
             assert_eq!(recovered.historical_len(), 400);
+        }
+    }
+
+    #[test]
+    fn randomized_kll_stream_resumes_mid_step() {
+        // Persist mid-step under randomized compaction, recover, and run
+        // both engines through the same suffix: the recovered RNG cursor
+        // must continue the exact coin-flip sequence, so the two sketches
+        // stay byte-identical.
+        let mode = hsq_sketch::SketchCompaction::Randomized { seed: 23 };
+        let cfg = HsqConfig::builder()
+            .epsilon(0.05)
+            .merge_threshold(3)
+            .sketch(hsq_sketch::SketchKind::Kll)
+            .sketch_compaction(mode)
+            .build();
+        let dev = MemDevice::new(256);
+        let mut engine =
+            crate::engine::HistStreamQuantiles::<u64, _>::new(Arc::clone(&dev), cfg.clone());
+        let data: Vec<u64> = (0..30_000u64)
+            .map(|i| i.wrapping_mul(2654435761) % 100_000)
+            .collect();
+        engine.stream_extend(&data[..20_000]);
+        let manifest = engine.persist().unwrap();
+        let mut recovered =
+            crate::engine::HistStreamQuantiles::<u64, _>::recover(dev, cfg, manifest).unwrap();
+        engine.stream_extend(&data[20_000..]);
+        recovered.stream_extend(&data[20_000..]);
+        match (engine.stream().sketch(), recovered.stream().sketch()) {
+            (AnySketch::Kll(x), AnySketch::Kll(y)) => {
+                assert_eq!(x.compaction(), mode);
+                assert_eq!(y.compaction(), mode);
+                assert_eq!(x.rng_state(), y.rng_state(), "RNG cursor must resume");
+                assert_eq!(x.raw_levels(), y.raw_levels());
+                assert_eq!(x.tracked_err(), y.tracked_err());
+            }
+            _ => panic!("expected KLL on both sides"),
+        }
+        for phi in [0.1, 0.5, 0.9] {
+            assert_eq!(
+                engine.quantile(phi).unwrap(),
+                recovered.quantile(phi).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn version3_kll_stream_recovers_as_deterministic() {
+        // A hand-built version-3 image with a KLL stream blob (no
+        // compaction descriptor — that version couldn't write one) must
+        // recover as a deterministic-compaction sketch.
+        let dev = MemDevice::new(256);
+        let mut out = Writer::new();
+        out.buf.extend_from_slice(MAGIC);
+        out.u64(3); // version 3
+        out.u64(8); // u64 item width
+        out.u64(0); // steps
+        out.u64(0); // total_len
+        out.u64(0); // lost items
+        out.u64(0); // no quarantined files
+        out.u64(0); // num partitions
+        out.u64(1); // stream flag
+        out.u64(SKETCH_KLL);
+        out.u64(0.05f64.to_bits());
+        out.u64(1); // n
+        out.item(5u64); // min
+        out.item(5u64); // max
+        out.u64(0); // tracked err
+        out.u64(0); // parity
+        out.u64(1); // one level...
+        out.u64(1); // ...of one item
+        out.item(5u64);
+        out.u64(1); // staging length
+        out.item(5u64);
+        out.u64(1); // one segment
+        out.u64(1); // ending at 1
+        let crc = crc64(&out.buf);
+        out.u64(crc);
+        let file = write_image(&dev, &out.buf);
+        let (_, stream) =
+            recover_with_stream::<u64, _>(dev, HsqConfig::with_epsilon(0.1), file).unwrap();
+        let s = stream.expect("v3 stream section must recover");
+        match s.proc.sketch() {
+            AnySketch::Kll(k) => {
+                assert_eq!(k.compaction(), SketchCompaction::Deterministic);
+                assert_eq!(k.len(), 1);
+            }
+            _ => panic!("expected KLL"),
         }
     }
 

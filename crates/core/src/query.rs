@@ -10,6 +10,16 @@
 //! right until `ρ = ρ₁ + ρ₂` lands within the acceptance window of the
 //! target rank.
 //!
+//! Ranks throughout this module are *summed weights*, not item counts:
+//! with weighted ingestion (`stream_update_weighted`) an item of weight
+//! `w` contributes `w` to every `rank(z)` with `z ≥ item`, the total
+//! size `N` and stream size `m` are summed weights, and every error
+//! bound reads `ε·m` with `m = W`, the total stream weight. Unweighted
+//! ingestion is the `w = 1` special case, where weights and counts
+//! coincide — nothing below changes shape either way, because archived
+//! partitions materialize weight as replication while the stream sketch
+//! carries it natively.
+//!
 //! Two paper optimizations are implemented:
 //! * per-partition search windows start from the summary's `narrow`
 //!   (Algorithm 8 line 5) and tighten monotonically as the filters move;
@@ -494,8 +504,9 @@ impl<'d, T: Item> SpecPrefetcher<'d, T> {
 /// Value-space bisection over *summed* rank bounds (the cross-shard
 /// fan-in of [`crate::sharded`], shared by full and windowed queries).
 ///
-/// `probe(z)` returns rigorous `(lo, hi)` bounds on `rank(z)` over the
-/// queried union; the midpoint estimate carries up to `hi − mid`
+/// `probe(z)` returns rigorous `(lo, hi)` bounds on `rank(z)` — summed
+/// weights under weighted ingestion — over the queried union; the
+/// midpoint estimate carries up to `hi − mid`
 /// uncertainty, so a probe is accepted when `|ρ − r| ≤ eps_m − unc` and
 /// the search otherwise bisects `[u, v]` to value collapse (Definition
 /// 1's boundary answer). Returns `(value, estimated_rank,
@@ -569,8 +580,10 @@ pub fn union_rank_bounds<T: Item, D: BlockDevice>(
     Ok((rho1 + lo, rho1 + hi))
 }
 
-/// Exact `rank(z, P)` (count of elements ≤ z) with the search confined to
-/// the window `[lo, hi]` (counts), probing whole blocks through the cache.
+/// Exact `rank(z, P)` (summed weight of elements ≤ z — archived runs
+/// materialize weight as replicated copies, so the count *is* the
+/// weight) with the search confined to the window `[lo, hi]`, probing
+/// whole blocks through the cache.
 ///
 /// Each loop iteration reads the block containing the middle candidate
 /// position and uses *all* of its items to shrink the window, so a

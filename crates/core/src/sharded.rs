@@ -53,6 +53,10 @@ pub fn shard_index<T: Item>(e: T, shards: usize) -> usize {
     ((h >> 32) as usize) % shards
 }
 
+/// A weighted fan-out unit: one shard paired with its routed chunk of
+/// `(item, weight)` pairs.
+type WeightedShardTask<'a, T, D> = (&'a mut HistStreamQuantiles<T, D>, &'a [(T, u64)]);
+
 /// `k` independent engine shards behind one ingestion/query facade.
 ///
 /// See the module docs for the design; see the crate-level quickstart for
@@ -180,6 +184,49 @@ impl<T: Item, D: BlockDevice> ShardedEngine<T, D> {
         for bucket in &mut self.scratch {
             bucket.clear();
         }
+    }
+
+    /// Weighted `StreamUpdate(e, w)`: route one `(item, weight)` pair to
+    /// its shard. Equivalent to `w` calls to
+    /// [`ShardedEngine::stream_update`]; the shard's sketch ingests the
+    /// weight natively (see [`HistStreamQuantiles::stream_update_weighted`]).
+    #[inline]
+    pub fn stream_update_weighted(&mut self, e: T, w: u64) {
+        let i = self.shard_of(e);
+        self.shards[i].stream_update_weighted(e, w);
+    }
+
+    /// Batched weighted `StreamUpdate`: split `batch` by shard hash (the
+    /// hash depends only on the item, so weighted routing agrees with
+    /// unweighted), then fan out each shard's
+    /// [`HistStreamQuantiles::stream_extend_weighted`] over the bounded
+    /// pool. Rank bounds still sum across shards with `m` now the total
+    /// *weight*, so cross-shard queries keep the `ε·W` guarantee.
+    pub fn stream_extend_weighted(&mut self, batch: &[(T, u64)]) {
+        if batch.is_empty() {
+            return;
+        }
+        if self.shards.len() == 1 {
+            self.shards[0].stream_extend_weighted(batch);
+            return;
+        }
+        let k = self.shards.len();
+        let mut buckets: Vec<Vec<(T, u64)>> = (0..k)
+            .map(|_| Vec::with_capacity(batch.len() / k + 16))
+            .collect();
+        for &(e, w) in batch {
+            buckets[shard_index(e, k)].push((e, w));
+        }
+        let mut tasks: Vec<WeightedShardTask<'_, T, D>> = self
+            .shards
+            .iter_mut()
+            .zip(buckets.iter().map(Vec::as_slice))
+            .collect();
+        crate::parallel::par_map_mut(&mut tasks, |_, (shard, chunk)| {
+            if !chunk.is_empty() {
+                shard.stream_extend_weighted(chunk);
+            }
+        });
     }
 
     /// End the time step on **every** shard (shards advance in lockstep,
@@ -832,6 +879,49 @@ mod tests {
         b.stream_extend(&data);
         assert_eq!(a.shard_lens(), b.shard_lens());
         assert_eq!(a.total_len(), 600);
+    }
+
+    #[test]
+    fn weighted_sharded_matches_replicated() {
+        // Weighted ingest across shards ≡ replicated unweighted ingest:
+        // same routing (the hash ignores the weight), quantiles within
+        // ε·W of the replicated exact answer, for 1, 2 and 8 shards.
+        for n in [1usize, 2, 8] {
+            let eps = 0.05;
+            let mut e = sharded(n, eps, 3);
+            let items = gen_stream(41, 1200);
+            let pairs: Vec<(u64, u64)> = items
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, (i as u64 % 5) + 1))
+                .collect();
+            // Interleave batched and scalar weighted routes.
+            e.stream_extend_weighted(&pairs[..800]);
+            for &(v, w) in &pairs[800..] {
+                e.stream_update_weighted(v, w);
+            }
+            let mut replicated: Vec<u64> = Vec::new();
+            for &(v, w) in &pairs {
+                replicated.extend(std::iter::repeat_n(v, w as usize));
+            }
+            let total_w: u64 = pairs.iter().map(|&(_, w)| w).sum();
+            assert_eq!(e.stream_len(), total_w, "n={n}: m must be summed weight");
+            replicated.sort_unstable();
+            let allowed = (eps * total_w as f64).ceil() as u64 + 1;
+            for phi in [0.1, 0.5, 0.9, 1.0] {
+                let v = e.quantile(phi).unwrap().unwrap();
+                let r = ((phi * total_w as f64).ceil() as u64).clamp(1, total_w);
+                let dist = rank_distance(&replicated, v, r);
+                assert!(
+                    dist <= allowed,
+                    "n={n} phi={phi}: off by {dist} (allowed {allowed})"
+                );
+            }
+            // Zero-weight pairs are dropped everywhere.
+            e.stream_extend_weighted(&[(7, 0), (9, 0)]);
+            e.stream_update_weighted(11, 0);
+            assert_eq!(e.stream_len(), total_w);
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! hence last-to-expire — partition. Queries over the retained union
 //! keep Theorem 2's `ε·m` error with `m` the live stream size.
 
-use hsq_sketch::{AnySketch, QuantileSketch, RankEstimate, SketchKind};
+use hsq_sketch::{AnySketch, QuantileSketch, RankEstimate, SketchCompaction, SketchKind};
 use hsq_storage::Item;
 
 /// One extracted stream-summary element with rigorous rank bounds in `R`.
@@ -178,6 +178,9 @@ pub struct StreamProcessor<T: Copy + Ord> {
     /// the sketch at this kind, so a recovered foreign-backend sketch
     /// switches over at the next step boundary.
     kind: SketchKind,
+    /// Configured KLL compaction policy (carried so [`Self::reset`] and
+    /// cross-backend switchovers preserve it; GK ignores it).
+    compaction: SketchCompaction,
     epsilon2: f64,
     beta2: usize,
 }
@@ -191,9 +194,21 @@ impl<T: Item> StreamProcessor<T> {
 
     /// `StreamInit(ε₂, β₂)` on an explicitly chosen sketch backend.
     pub fn with_kind(kind: SketchKind, epsilon2: f64, beta2: usize) -> Self {
+        Self::with_compaction(kind, SketchCompaction::Deterministic, epsilon2, beta2)
+    }
+
+    /// `StreamInit(ε₂, β₂)` on an explicitly chosen backend *and* KLL
+    /// compaction policy (GK ignores the policy).
+    pub fn with_compaction(
+        kind: SketchKind,
+        compaction: SketchCompaction,
+        epsilon2: f64,
+        beta2: usize,
+    ) -> Self {
         StreamProcessor {
-            sketch: AnySketch::new(kind, epsilon2 / 2.0),
+            sketch: AnySketch::with_compaction(kind, epsilon2 / 2.0, compaction),
             kind,
+            compaction,
             epsilon2,
             beta2,
         }
@@ -206,12 +221,14 @@ impl<T: Item> StreamProcessor<T> {
     pub(crate) fn from_recovered(
         sketch: AnySketch<T>,
         kind: SketchKind,
+        compaction: SketchCompaction,
         epsilon2: f64,
         beta2: usize,
     ) -> Self {
         StreamProcessor {
             sketch,
             kind,
+            compaction,
             epsilon2,
             beta2,
         }
@@ -238,6 +255,29 @@ impl<T: Item> StreamProcessor<T> {
         self.sketch.insert_sorted_batch(batch);
     }
 
+    /// `StreamUpdate(e)` with multiplicity: absorb `w` copies of one
+    /// element at once (sampled/pre-aggregated telemetry). Counts `w`
+    /// toward the stream size `m`; every downstream guarantee is `ε·m`
+    /// with `m` the *summed weight*. KLL decomposes the weight onto its
+    /// levels in O(log w); GK splices it in with exact rank arithmetic.
+    #[inline]
+    pub fn update_weighted(&mut self, e: T, w: u64) {
+        self.sketch.insert_weighted(e, w);
+    }
+
+    /// Absorb a whole weighted batch at once (may reorder `batch`).
+    #[inline]
+    pub fn ingest_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        self.sketch.insert_weighted_batch(batch);
+    }
+
+    /// [`StreamProcessor::ingest_weighted_batch`] for pairs already
+    /// sorted by value.
+    #[inline]
+    pub fn ingest_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        self.sketch.insert_weighted_sorted_batch(batch);
+    }
+
     /// Elements in the current stream (`m`).
     pub fn len(&self) -> u64 {
         self.sketch.len()
@@ -259,6 +299,11 @@ impl<T: Item> StreamProcessor<T> {
     /// recovery; see [`StreamProcessor::reset`].
     pub fn kind(&self) -> SketchKind {
         self.kind
+    }
+
+    /// The configured KLL compaction policy.
+    pub fn compaction(&self) -> SketchCompaction {
+        self.compaction
     }
 
     /// Words of memory used by the sketch (Lemma 9's budget unit).
@@ -364,9 +409,12 @@ impl<T: Item> StreamProcessor<T> {
     /// configured backend takes over.
     pub fn reset(&mut self) {
         if self.sketch.kind() == self.kind {
+            // KLL's reset keeps its configured compaction mode (and, in
+            // randomized mode, re-derives the RNG from the seed).
             self.sketch.reset();
         } else {
-            self.sketch = AnySketch::new(self.kind, self.epsilon2 / 2.0);
+            self.sketch =
+                AnySketch::with_compaction(self.kind, self.epsilon2 / 2.0, self.compaction);
         }
     }
 }
@@ -556,6 +604,7 @@ mod tests {
         let mut sp = StreamProcessor::<u64>::from_recovered(
             hsq_sketch::AnySketch::new(SketchKind::Gk, 0.05),
             SketchKind::Kll,
+            SketchCompaction::Deterministic,
             0.1,
             11,
         );
@@ -566,6 +615,81 @@ mod tests {
         assert_eq!(sp.sketch().kind(), SketchKind::Kll);
         sp.update(9);
         assert_eq!(sp.len(), 1);
+    }
+
+    /// Weighted ingest must summarize exactly like the replicated stream:
+    /// `m` counts summed weight and every extracted bound brackets the
+    /// replicated truth, on both backends and all three ingest paths.
+    #[test]
+    fn weighted_updates_match_replication() {
+        let eps2 = 0.1f64;
+        let beta2 = (1.0 / eps2 + 1.0).ceil() as usize;
+        let pairs: Vec<(u64, u64)> = (0..4000u64)
+            .map(|i| {
+                let v = i.wrapping_mul(2654435761) % 30_000;
+                (v, (v % 7) + 1)
+            })
+            .collect();
+        let total: u64 = pairs.iter().map(|&(_, w)| w).sum();
+        let mut replicated: Vec<u64> = Vec::new();
+        for &(v, w) in &pairs {
+            replicated.extend(std::iter::repeat_n(v, w as usize));
+        }
+        replicated.sort_unstable();
+        for kind in [SketchKind::Gk, SketchKind::Kll] {
+            let mut sp = StreamProcessor::with_kind(kind, eps2, beta2);
+            let third = pairs.len() / 3;
+            for &(v, w) in &pairs[..third] {
+                sp.update_weighted(v, w);
+            }
+            let mut mid: Vec<(u64, u64)> = pairs[third..2 * third].to_vec();
+            sp.ingest_weighted_batch(&mut mid);
+            let mut tail: Vec<(u64, u64)> = pairs[2 * third..].to_vec();
+            tail.sort_unstable_by_key(|a| a.0);
+            sp.ingest_weighted_sorted_batch(&tail);
+            assert_eq!(sp.len(), total, "{kind:?}: m must be summed weight");
+            let ss = sp.summary();
+            assert_eq!(ss.stream_len(), total);
+            for probe in (0..30_000u64).step_by(911) {
+                let truth = replicated.partition_point(|&x| x <= probe) as u64;
+                let (lo, hi) = ss.rank_bounds(probe);
+                assert!(
+                    lo <= truth && truth <= hi,
+                    "{kind:?}: probe {probe} truth {truth} outside [{lo},{hi}]"
+                );
+            }
+        }
+    }
+
+    /// The configured compaction policy survives both reset arms.
+    #[test]
+    fn reset_preserves_compaction_policy() {
+        let mode = SketchCompaction::Randomized { seed: 23 };
+        let mut sp = StreamProcessor::<u64>::with_compaction(SketchKind::Kll, mode, 0.1, 11);
+        assert_eq!(sp.compaction(), mode);
+        for v in 0..5000u64 {
+            sp.update(v);
+        }
+        sp.reset();
+        assert!(sp.is_empty());
+        assert_eq!(sp.compaction(), mode);
+        match sp.sketch() {
+            hsq_sketch::AnySketch::Kll(k) => assert_eq!(k.compaction(), mode),
+            other => panic!("expected KLL, got {:?}", other.kind()),
+        }
+        // Cross-backend switchover also lands on the configured mode.
+        let mut sp = StreamProcessor::<u64>::from_recovered(
+            hsq_sketch::AnySketch::new(SketchKind::Gk, 0.05),
+            SketchKind::Kll,
+            mode,
+            0.1,
+            11,
+        );
+        sp.reset();
+        match sp.sketch() {
+            hsq_sketch::AnySketch::Kll(k) => assert_eq!(k.compaction(), mode),
+            other => panic!("expected KLL, got {:?}", other.kind()),
+        }
     }
 
     /// Regression for the linear merge rewrite: an N-way shard merge must

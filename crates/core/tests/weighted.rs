@@ -1,0 +1,280 @@
+//! Property harness for weighted ingestion and seeded randomized KLL
+//! compaction.
+//!
+//! The weighted contract under test: feeding `(item, w)` pairs through
+//! the weighted ingestion paths is equivalent to feeding `w` replicated
+//! copies through the unweighted paths — same `m` (now the summed
+//! weight `W`), same archived bytes, and quantile answers within the
+//! Theorem 2 `ε·W` bound of exact-over-replicated — for the single
+//! engine, sharded engines at 1/2/8 shards, and windowed queries.
+//!
+//! The randomized-compaction contract: under a fixed seed the KLL
+//! coin-flip sequence is a pure function of sketch state, so two engines
+//! fed identical data answer identically (per seed), while each seed
+//! still meets the same `ε·m` union guarantee as the deterministic
+//! policy.
+
+use std::sync::Arc;
+
+use hsq_core::{HistStreamQuantiles, HsqConfig, ShardedEngine, SketchCompaction, SketchKind};
+use hsq_storage::MemDevice;
+
+const SEEDS: [u64; 3] = [0, 7, 23];
+
+fn lcg(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x >> 33
+    }
+}
+
+/// Deterministic `(value, weight)` pairs with weights in `1..=max_w`.
+fn gen_pairs(seed: u64, len: usize, max_w: u64) -> Vec<(u64, u64)> {
+    let mut gen = lcg(seed);
+    (0..len)
+        .map(|_| {
+            let v = gen() % 1_000_000;
+            let w = gen() % max_w + 1;
+            (v, w)
+        })
+        .collect()
+}
+
+fn replicate(pairs: &[(u64, u64)]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &(v, w) in pairs {
+        out.extend(std::iter::repeat_n(v, w as usize));
+    }
+    out
+}
+
+/// Rank distance from target `r` to the rank interval of `v` in `sorted`
+/// (zero when `v`'s occupied interval covers `r`).
+fn rank_distance(sorted: &[u64], v: u64, r: u64) -> u64 {
+    let hi = sorted.partition_point(|&x| x <= v) as u64;
+    let lo = sorted.partition_point(|&x| x < v) as u64 + 1;
+    if lo > hi {
+        return r.abs_diff(hi);
+    }
+    if r < lo {
+        lo - r
+    } else {
+        r.saturating_sub(hi)
+    }
+}
+
+fn config(eps: f64, kind: SketchKind) -> HsqConfig {
+    HsqConfig::builder()
+        .epsilon(eps)
+        .merge_threshold(3)
+        .sketch(kind)
+        .build()
+}
+
+fn assert_within(sorted: &[u64], v: u64, phi: f64, allowed: u64, label: &str) {
+    let n = sorted.len() as u64;
+    let r = ((phi * n as f64).ceil() as u64).clamp(1, n);
+    let dist = rank_distance(sorted, v, r);
+    assert!(
+        dist <= allowed,
+        "{label} phi={phi}: value {v} off by {dist} ranks (allowed {allowed})"
+    );
+}
+
+/// Single engine: weighted ingest across archived steps and a live
+/// stream answers within `ε·W` of exact over the replicated expansion,
+/// under both backends.
+#[test]
+fn weighted_engine_matches_replicated_both_backends() {
+    let eps = 0.05;
+    for kind in [SketchKind::Gk, SketchKind::Kll] {
+        let mut w_eng = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), config(eps, kind));
+        let mut r_eng = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), config(eps, kind));
+        let mut all: Vec<u64> = Vec::new();
+        for step in 0..3u64 {
+            let pairs = gen_pairs(step * 31 + 1, 400, 6);
+            let expanded = replicate(&pairs);
+            w_eng.stream_extend_weighted(&pairs);
+            r_eng.stream_extend(&expanded);
+            all.extend(&expanded);
+            w_eng.end_time_step().unwrap();
+            r_eng.end_time_step().unwrap();
+        }
+        // Live stream: batch then scalar weighted updates.
+        let live = gen_pairs(777, 500, 6);
+        w_eng.stream_extend_weighted(&live[..300]);
+        for &(v, w) in &live[300..] {
+            w_eng.stream_update_weighted(v, w);
+        }
+        let live_expanded = replicate(&live);
+        r_eng.stream_extend(&live_expanded);
+        all.extend(&live_expanded);
+
+        let big_w: u64 = live.iter().map(|&(_, w)| w).sum();
+        assert_eq!(w_eng.stream_len(), big_w, "{kind}: m must be summed weight");
+        assert_eq!(w_eng.total_len(), r_eng.total_len(), "{kind}");
+        all.sort_unstable();
+        let allowed = (eps * big_w as f64).ceil() as u64 + 1;
+        for phi_pct in [1u32, 10, 50, 90, 100] {
+            let phi = phi_pct as f64 / 100.0;
+            let v = w_eng.quantile(phi).unwrap().unwrap();
+            assert_within(&all, v, phi, allowed, &format!("{kind}/weighted"));
+        }
+    }
+}
+
+/// Sharded engines at 1, 2 and 8 shards keep the `ε·W` bound under
+/// weighted ingestion, and weighted routing agrees with unweighted
+/// (the shard hash ignores the weight).
+#[test]
+fn weighted_sharded_matches_replicated() {
+    let eps = 0.1;
+    for kind in [SketchKind::Gk, SketchKind::Kll] {
+        let pairs = gen_pairs(0x5EED ^ kind as u64, 1500, 5);
+        let mut all = replicate(&pairs);
+        let big_w = all.len() as u64;
+        all.sort_unstable();
+        let allowed = (eps * big_w as f64).ceil() as u64 + 1;
+        for shards in [1usize, 2, 8] {
+            let mut e = ShardedEngine::<u64, _>::with_shards(shards, config(eps, kind), |_| {
+                MemDevice::new(256)
+            });
+            e.stream_extend_weighted(&pairs);
+            assert_eq!(e.stream_len(), big_w, "{kind}/shards={shards}");
+            for phi_pct in [5u32, 50, 95] {
+                let phi = phi_pct as f64 / 100.0;
+                let v = e.quantile(phi).unwrap().unwrap();
+                assert_within(
+                    &all,
+                    v,
+                    phi,
+                    allowed,
+                    &format!("{kind}/shards={shards}/weighted"),
+                );
+            }
+        }
+    }
+}
+
+/// Windowed queries over weighted-ingested steps answer within `ε·W` of
+/// exact over the replicated window contents.
+#[test]
+fn weighted_windowed_matches_replicated() {
+    let eps = 0.1;
+    for kind in [SketchKind::Gk, SketchKind::Kll] {
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), config(eps, kind));
+        let mut step_data: Vec<Vec<u64>> = Vec::new();
+        for step in 0..5u64 {
+            let pairs = gen_pairs(step * 7 + 3, 200, 4);
+            h.stream_extend_weighted(&pairs);
+            h.end_time_step().unwrap();
+            step_data.push(replicate(&pairs));
+        }
+        let live = gen_pairs(999, 250, 4);
+        h.stream_extend_weighted(&live);
+        let live_expanded = replicate(&live);
+        let m = live_expanded.len() as u64;
+        let allowed = (eps * m as f64).ceil() as u64 + 1;
+        for w in h.available_windows() {
+            let mut win: Vec<u64> = step_data[step_data.len() - w as usize..]
+                .iter()
+                .flatten()
+                .copied()
+                .collect();
+            win.extend(&live_expanded);
+            win.sort_unstable();
+            for phi_pct in [10u32, 50, 90] {
+                let phi = phi_pct as f64 / 100.0;
+                let v = h.quantile_window(phi, w).unwrap().unwrap();
+                assert_within(&win, v, phi, allowed, &format!("{kind}/window={w}"));
+            }
+        }
+    }
+}
+
+/// Deterministic vs randomized KLL compaction A/B: per seed, two engines
+/// fed identical weighted data answer *identically* (the coin flips are
+/// a pure function of seed and state), and every seed independently
+/// meets the `ε·m` bound the deterministic policy meets.
+#[test]
+fn kll_randomized_replays_identically_and_meets_bound() {
+    let eps = 0.05;
+    let pairs = gen_pairs(0xABCD, 2000, 5);
+    let mut all = replicate(&pairs);
+    let m = all.len() as u64;
+    all.sort_unstable();
+    let allowed = (eps * m as f64).ceil() as u64 + 1;
+    let phis: Vec<f64> = [1u32, 10, 25, 50, 75, 90, 99, 100]
+        .iter()
+        .map(|&p| p as f64 / 100.0)
+        .collect();
+
+    let run = |mode: SketchCompaction| {
+        let cfg = HsqConfig::builder()
+            .epsilon(eps)
+            .merge_threshold(3)
+            .sketch(SketchKind::Kll)
+            .sketch_compaction(mode)
+            .build();
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(256), cfg);
+        h.stream_extend_weighted(&pairs[..1200]);
+        for &(v, w) in &pairs[1200..] {
+            h.stream_update_weighted(v, w);
+        }
+        phis.iter()
+            .map(|&phi| h.quantile(phi).unwrap().unwrap())
+            .collect::<Vec<u64>>()
+    };
+
+    let det = run(SketchCompaction::Deterministic);
+    for (i, &phi) in phis.iter().enumerate() {
+        assert_within(&all, det[i], phi, allowed, "det");
+    }
+    for seed in SEEDS {
+        let a = run(SketchCompaction::Randomized { seed });
+        let b = run(SketchCompaction::Randomized { seed });
+        assert_eq!(a, b, "seed={seed}: replay must be identical");
+        for (i, &phi) in phis.iter().enumerate() {
+            assert_within(&all, a[i], phi, allowed, &format!("rand seed={seed}"));
+        }
+    }
+}
+
+/// A randomized KLL engine persisted mid-stream resumes byte-identically:
+/// the recovered engine's answers match the uninterrupted original both
+/// immediately and after both absorb the same suffix.
+#[test]
+fn randomized_kll_persist_recover_resumes_identically() {
+    let eps = 0.05;
+    for seed in SEEDS {
+        let cfg = HsqConfig::builder()
+            .epsilon(eps)
+            .merge_threshold(3)
+            .sketch(SketchKind::Kll)
+            .sketch_compaction(SketchCompaction::Randomized { seed })
+            .build();
+        let pairs = gen_pairs(seed.wrapping_add(11), 1600, 4);
+        let mut h = HistStreamQuantiles::<u64, _>::new(MemDevice::new(512), cfg.clone());
+        h.ingest_step(&replicate(&pairs[..400])).unwrap();
+        h.stream_extend_weighted(&pairs[400..1000]);
+        let manifest = h.persist().unwrap();
+        let dev = Arc::clone(h.warehouse().device());
+        let mut r = HistStreamQuantiles::<u64, _>::recover(dev, cfg, manifest).unwrap();
+
+        // Both continue with the identical weighted suffix.
+        h.stream_extend_weighted(&pairs[1000..]);
+        r.stream_extend_weighted(&pairs[1000..]);
+        assert_eq!(r.stream_len(), h.stream_len(), "seed={seed}");
+        for phi_pct in [1u32, 25, 50, 75, 100] {
+            let phi = phi_pct as f64 / 100.0;
+            assert_eq!(
+                r.quantile(phi).unwrap(),
+                h.quantile(phi).unwrap(),
+                "seed={seed}: recovered randomized engine diverges at phi={phi}"
+            );
+        }
+    }
+}

@@ -76,7 +76,7 @@ impl<T: Copy + Ord> GkSketch<T> {
     /// query over the first `n` inserts is answered within `εn`.
     pub fn new(epsilon: f64) -> Self {
         assert!(
-            epsilon > 0.0 && epsilon <= 1.0,
+            epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0,
             "epsilon must be in (0, 1], got {epsilon}"
         );
         GkSketch {
@@ -86,9 +86,20 @@ impl<T: Copy + Ord> GkSketch<T> {
             min: None,
             max: None,
             since_compress: 0,
-            compress_period: ((1.0 / (2.0 * epsilon)).floor() as u64).max(1),
+            compress_period: Self::period_for(epsilon),
             scratch: Vec::new(),
         }
+    }
+
+    /// COMPRESS cadence `max(1, ⌊1/2ε⌋)`. Like the KLL capacity formula,
+    /// this `f64 → u64` cast turns garbage for a non-finite or
+    /// out-of-range `epsilon`; callers must have validated it.
+    fn period_for(epsilon: f64) -> u64 {
+        debug_assert!(
+            epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0,
+            "period_for needs a validated epsilon, got {epsilon}"
+        );
+        ((1.0 / (2.0 * epsilon)).floor() as u64).max(1)
     }
 
     /// The error parameter.
@@ -588,8 +599,167 @@ impl<T: Copy + Ord> GkSketch<T> {
         };
         // The weaker guarantee governs future capacity computations.
         self.epsilon = self.epsilon.max(other.epsilon);
-        self.compress_period = ((1.0 / (2.0 * self.epsilon)).floor() as u64).max(1);
+        self.compress_period = Self::period_for(self.epsilon);
         self.since_compress = 0;
+    }
+
+    /// Insert one element carrying integer weight `w` — semantically `w`
+    /// repeated [`GkSketch::insert`] calls. See
+    /// [`GkSketch::insert_weighted_sorted_batch`] for the mechanism and
+    /// error accounting. `w = 0` is a no-op.
+    pub fn insert_weighted(&mut self, v: T, w: u64) {
+        self.insert_weighted_sorted_batch(&[(v, w)]);
+    }
+
+    /// Insert a batch of `(value, weight)` pairs, unsorted: sorts by
+    /// value (comparison sort — the weight payload cannot ride along an
+    /// order-preserving `u64` radix key, so the pair is not
+    /// [`crate::radix::RadixKey`] material) and folds through
+    /// [`GkSketch::insert_weighted_sorted_batch`].
+    pub fn insert_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        batch.sort_unstable_by_key(|a| a.0);
+        self.insert_weighted_sorted_batch(batch);
+    }
+
+    /// Weighted batch insert for pairs the caller has already sorted by
+    /// value (nondecreasing; zero weights are skipped).
+    ///
+    /// GK has no weight-carrying levels to exploit, so this is *bound
+    /// surgery*: the batch, being fully known, is an **exact** summary
+    /// of itself, and folding it in widens nothing that was not already
+    /// wide. Existing tuples are shifted by the exact batch mass at or
+    /// below their value (zero added width — this is where the generic
+    /// [`GkSketch::merge_from`], which must assume the other side's gap
+    /// mass can sit anywhere, would pay `Δ`-width per fold and compound
+    /// over repeated batches). Batch values enter with the sketch's own
+    /// local rank width, split into invariant-sized (`⌊2εn⌋`) same-value
+    /// chunks so heavy weights cannot wreck rank-query navigation. All
+    /// tracked intervals on the result remain within the pre-existing
+    /// `ε·n_old ≤ ε·W` widths, for total weight `W = n_old + Σw`; cost
+    /// is `O(tuples + pairs + Σ⌈w/⌊2εW⌋⌉)`, independent of the weight
+    /// magnitudes. A COMPRESS pass then re-bounds the tuple count.
+    pub fn insert_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].0 <= w[1].0),
+            "batch not sorted by value"
+        );
+        let total: u64 = batch.iter().map(|p| p.1).sum();
+        if total == 0 {
+            return;
+        }
+        let n_new = self.n + total;
+        let cap_new = (2.0 * self.epsilon * n_new as f64).floor() as u64;
+        // Self tuples as absolute-rank intervals.
+        let mut rmin = 0u64;
+        let a: Vec<(T, u64, u64)> = self
+            .tuples
+            .iter()
+            .map(|t| {
+                rmin += t.g;
+                (t.v, rmin, rmin + t.delta)
+            })
+            .collect();
+        // The batch as (value, cumulative weight through value).
+        let mut b: Vec<(T, u64)> = Vec::with_capacity(batch.len());
+        let mut cum = 0u64;
+        for &(v, w) in batch {
+            if w == 0 {
+                continue;
+            }
+            cum += w;
+            match b.last_mut() {
+                Some(last) if last.0 == v => last.1 = cum,
+                _ => b.push((v, cum)),
+            }
+        }
+        // Cumulative batch weight ≤ v — exact, because the batch has no
+        // uncertainty. `j` only advances: probes arrive in value order.
+        fn batch_le<T: Copy + Ord>(b: &[(T, u64)], j: &mut usize, v: T) -> u64 {
+            while *j < b.len() && b[*j].0 <= v {
+                *j += 1;
+            }
+            if *j == 0 {
+                0
+            } else {
+                b[*j - 1].1
+            }
+        }
+        // Self's rank bounds at v, from the absolute intervals.
+        fn self_bounds<T: Copy + Ord>(
+            a: &[(T, u64, u64)],
+            j: &mut usize,
+            v: T,
+            n: u64,
+        ) -> (u64, u64) {
+            while *j < a.len() && a[*j].0 <= v {
+                *j += 1;
+            }
+            let lo = if *j == 0 { 0 } else { a[*j - 1].1 };
+            let hi = if *j < a.len() { a[*j].2 - 1 } else { n };
+            (lo, hi)
+        }
+        let mut entries: Vec<(T, u64, u64)> = Vec::with_capacity(a.len() + b.len());
+        let (mut ja, mut jb) = (0usize, 0usize);
+        for &(v, lo, hi) in &a {
+            let m = batch_le(&b, &mut jb, v);
+            entries.push((v, lo + m, hi + m));
+        }
+        let mut prev_cum = 0u64;
+        for &(v, c) in &b {
+            let (slo, shi) = self_bounds(&a, &mut ja, v, self.n);
+            // Chunk the weight so each resulting tuple satisfies the
+            // invariant at the new n: its Δ is the sketch's local width
+            // `shi − slo`, so a chunk `g ≤ cap − Δ` keeps `g + Δ ≤ cap`.
+            // Existing tuples keep their own (g, Δ) — the batch mass
+            // between any two of them telescopes through these chunk
+            // entries — so the whole result obeys `g + Δ ≤ ⌊2εn⌋` and
+            // rank queries retain their full εn (= ε·W) navigation
+            // guarantee. The i-th chunk's last copy has batch-rank `ci`,
+            // hence union rank in [ci + slo, ci + shi].
+            let chunk = cap_new.saturating_sub(shi - slo).max(1);
+            let mut ci = prev_cum;
+            while ci < c {
+                ci = (ci + chunk).min(c);
+                entries.push((v, ci + slo, ci + shi));
+            }
+            prev_cum = c;
+        }
+        entries.sort_by_key(|x| (x.0, x.1));
+        // The union minimum has rank exactly 1; pin it so the leading
+        // tuple keeps Δ = 0 even when both sides share the minimum.
+        if entries.first().map(|e| e.1 > 1).unwrap_or(false) {
+            let union_min = match self.min {
+                Some(x) => x.min(b[0].0),
+                None => b[0].0,
+            };
+            entries.insert(0, (union_min, 1, 1));
+        }
+        let mut tuples: Vec<Tuple<T>> = Vec::with_capacity(entries.len());
+        let mut prev_lo = 0u64;
+        for (v, lo, hi) in entries {
+            debug_assert!(lo >= prev_lo, "merged lower bounds must be monotone");
+            let hi = hi.max(lo);
+            if prev_lo == lo && hi == lo {
+                // Zero-width duplicate of the previous bound: redundant.
+                if tuples.last().map(|t: &Tuple<T>| t.v == v).unwrap_or(false) {
+                    continue;
+                }
+            }
+            tuples.push(Tuple {
+                v,
+                g: lo.saturating_sub(prev_lo),
+                delta: hi - lo,
+            });
+            prev_lo = lo;
+        }
+        debug_assert_eq!(prev_lo, n_new, "weighted rank mass must equal n + W");
+        self.tuples = tuples;
+        self.n = n_new;
+        let (blo, bhi) = (b[0].0, b[b.len() - 1].0);
+        self.min = Some(self.min.map_or(blo, |x| x.min(blo)));
+        self.max = Some(self.max.map_or(bhi, |x| x.max(bhi)));
+        self.since_compress = 0;
+        self.compress();
     }
 
     /// The summary tuples as `(value, g, Δ)` triples, for serialization.
@@ -608,7 +778,7 @@ impl<T: Copy + Ord> GkSketch<T> {
         max: Option<T>,
         parts: Vec<(T, u64, u64)>,
     ) -> Result<Self, String> {
-        if !(epsilon > 0.0 && epsilon <= 1.0) {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0) {
             return Err(format!("epsilon {epsilon} out of (0, 1]"));
         }
         let tuples: Vec<Tuple<T>> = parts
@@ -645,7 +815,7 @@ impl<T: Copy + Ord> GkSketch<T> {
             min,
             max,
             since_compress: 0,
-            compress_period: ((1.0 / (2.0 * epsilon)).floor() as u64).max(1),
+            compress_period: Self::period_for(epsilon),
             scratch: Vec::new(),
         })
     }
@@ -854,5 +1024,120 @@ mod tests {
         }
         let med = gk.quantile(0.5).unwrap();
         assert!(med.abs() <= 100);
+    }
+
+    /// Weighted insertion must bound ranks of the replicated multiset
+    /// within ε·W, for both the scalar and the batch entry points.
+    #[test]
+    fn weighted_insert_matches_replicated() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pairs: Vec<(u64, u64)> = (0..3_000)
+            .map(|_| (rng.gen_range(0..50_000), rng.gen_range(0..40)))
+            .collect();
+        let total: u64 = pairs.iter().map(|p| p.1).sum();
+        let mut data = Vec::with_capacity(total as usize);
+        for &(v, w) in &pairs {
+            for _ in 0..w {
+                data.push(v);
+            }
+        }
+        let mut scalar = GkSketch::new(0.02);
+        for &(v, w) in &pairs {
+            scalar.insert_weighted(v, w);
+        }
+        let mut batched = GkSketch::new(0.02);
+        let mut shuffled = pairs.clone();
+        shuffled.shuffle(&mut rng);
+        for chunk in shuffled.chunks_mut(491) {
+            batched.insert_weighted_batch(chunk);
+        }
+        for gk in [&scalar, &batched] {
+            // The weighted fold preserves the full GK invariant, not just
+            // interval soundness.
+            gk.check_invariants().unwrap();
+            assert_eq!(gk.len(), total);
+            assert_eq!(gk.min(), data.iter().min().copied());
+            assert_eq!(gk.max(), data.iter().max().copied());
+            for i in 1..=20u64 {
+                let r = i * total / 20;
+                let est = gk.rank_query(r).unwrap();
+                // Occurrence-rank semantics: the weighted copies of
+                // est.value span [count(<v) + 1, count(≤v)] and the
+                // tracked interval brackets one of them.
+                let truth_hi = exact_rank(&data, est.value);
+                let truth_lo = data.iter().filter(|&&x| x < est.value).count() as u64 + 1;
+                assert!(
+                    est.rmin <= truth_hi && truth_lo <= est.rmax,
+                    "interval [{}, {}] misses occurrence ranks [{truth_lo}, {truth_hi}]",
+                    est.rmin,
+                    est.rmax
+                );
+                let dist = if r < truth_lo {
+                    truth_lo - r
+                } else {
+                    r.saturating_sub(truth_hi)
+                };
+                assert!(
+                    dist as f64 <= 0.02 * total as f64 + 1.0,
+                    "weighted rank_query off by {dist} at target {r}"
+                );
+            }
+            for probe in (0..50_000).step_by(1_733) {
+                let (lo, hi) = gk.rank_bounds_of(probe);
+                let truth = exact_rank(&data, probe);
+                assert!(
+                    lo <= truth && truth <= hi,
+                    "probe {probe}: truth {truth} not in [{lo},{hi}]"
+                );
+                assert!(
+                    (hi - lo) as f64 <= 2.0 * 0.02 * total as f64 + 2.0,
+                    "weighted bounds wider than 2·ε·W: [{lo},{hi}]"
+                );
+            }
+            // Weighted folding must not blow up the summary size.
+            assert!(gk.num_tuples() < 4_000, "{} tuples", gk.num_tuples());
+        }
+    }
+
+    /// Satellite audit: exhaustive bound-soundness at n ∈ {0, 1, 2} —
+    /// an empty sketch must never claim mass.
+    #[test]
+    fn tiny_sketch_bounds_are_exact() {
+        let empty = GkSketch::<u64>::new(0.05);
+        assert_eq!(empty.rank_query(1), None);
+        for probe in [0u64, 1, u64::MAX] {
+            assert_eq!(empty.rank_bounds_of(probe), (0, 0));
+        }
+        let mut one = GkSketch::new(0.05);
+        one.insert(10u64);
+        let est = one.rank_query(1).unwrap();
+        assert_eq!((est.value, est.rmin, est.rmax), (10, 1, 1));
+        assert_eq!(one.rank_bounds_of(9), (0, 0));
+        assert_eq!(one.rank_bounds_of(10), (1, 1));
+        assert_eq!(one.rank_bounds_of(11), (1, 1));
+        let mut two = GkSketch::new(0.05);
+        two.insert(10u64);
+        two.insert(20);
+        assert_eq!(two.rank_bounds_of(9), (0, 0));
+        assert_eq!(two.rank_bounds_of(10), (1, 1));
+        assert_eq!(two.rank_bounds_of(15), (1, 1));
+        assert_eq!(two.rank_bounds_of(20), (2, 2));
+        assert_eq!(two.rank_bounds_of(21), (2, 2));
+        let mut dup = GkSketch::new(0.05);
+        dup.insert_weighted(10u64, 2);
+        assert_eq!(dup.rank_bounds_of(9), (0, 0));
+        assert_eq!(dup.rank_bounds_of(10), (2, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn nan_epsilon_rejected() {
+        GkSketch::<u64>::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn zero_epsilon_rejected() {
+        GkSketch::<u64>::new(0.0);
     }
 }

@@ -18,9 +18,14 @@
 //! ## Determinism and tracked error
 //!
 //! The classical KLL analysis randomizes the surviving half; this
-//! implementation is **deterministic** (alternating parity), which keeps
-//! every run, test and recovery bit-reproducible — a property the rest of
-//! this codebase leans on heavily. Instead of a probabilistic guarantee
+//! implementation is **deterministic by default** (alternating parity),
+//! which keeps every run, test and recovery bit-reproducible — a property
+//! the rest of this codebase leans on heavily. The classical coin-flip
+//! schedule is available as an opt-in via
+//! [`SketchCompaction::Randomized`]: parity is then drawn from a
+//! per-sketch LCG whose seed (and mid-stream position) is part of the
+//! sketch state, so replay determinism is preserved under a fixed seed.
+//! Instead of a probabilistic guarantee
 //! the sketch *tracks* its worst-case rank error exactly: compacting
 //! level `h` displaces any rank by at most `2^h` (the surviving half
 //! over- or under-counts each prefix by at most one item of weight
@@ -51,6 +56,82 @@ use crate::radix::{sort_radixable, RadixKey};
 /// analysis (tracked bounds stay sound); see the module docs.
 const LEVEL_BUDGET: u32 = 24;
 
+/// How a [`KllSketch`] chooses the surviving half on each compaction.
+///
+/// Both modes are *replayable*: given the same inputs (and, for
+/// [`SketchCompaction::Randomized`], the same seed) the sketch goes
+/// through byte-identical states, which is what keeps CI, the
+/// fault-injection sweep and the corruption sweep deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SketchCompaction {
+    /// Alternating per-level parity (the default): a bitmask flip per
+    /// compaction, zero extra state. Systematic bias cancels pairwise,
+    /// but adversarial inputs can still correlate with the fixed
+    /// schedule.
+    Deterministic,
+    /// Coin-flip parity drawn from a per-sketch LCG — the classical
+    /// Karnin–Lang–Liberty randomization, which decorrelates the
+    /// surviving half from any fixed input pattern. Still fully
+    /// replayable: the stream position of the LCG is part of the sketch
+    /// state (and of the persisted manifest), so a fixed seed always
+    /// reproduces the same compactions.
+    Randomized {
+        /// LCG seed, typically sourced from the `HSQ_SEED` environment
+        /// variable (see [`SketchCompaction::from_env`]).
+        seed: u64,
+    },
+}
+
+impl SketchCompaction {
+    /// Parse an `HSQ_COMPACTION` value (with the already-read `HSQ_SEED`
+    /// value, if any). Panics on anything unparsable — misconfiguration
+    /// must fail loudly, matching the `HSQ_SKETCH` / `HSQ_WORKERS`
+    /// convention.
+    fn parse_env(mode: &str, seed: Option<&str>) -> SketchCompaction {
+        match mode.trim().to_ascii_lowercase().as_str() {
+            "det" | "deterministic" => SketchCompaction::Deterministic,
+            "rand" | "randomized" => {
+                let seed = seed
+                    .map(|s| {
+                        s.trim()
+                            .parse::<u64>()
+                            .unwrap_or_else(|e| panic!("invalid HSQ_SEED {s:?}: {e} (want a u64)"))
+                    })
+                    .unwrap_or(0);
+                SketchCompaction::Randomized { seed }
+            }
+            other => panic!("invalid HSQ_COMPACTION {other:?} (want deterministic|randomized)"),
+        }
+    }
+
+    /// Read the `HSQ_COMPACTION` environment variable
+    /// (`"deterministic"` / `"randomized"`, case-insensitive; `"det"` /
+    /// `"rand"` accepted), taking the randomized seed from `HSQ_SEED`
+    /// (default 0). `None` when `HSQ_COMPACTION` is unset; **panics** on
+    /// an unparsable value — a typo must not silently change the
+    /// compaction schedule fleet-wide.
+    pub fn from_env() -> Option<SketchCompaction> {
+        let mode = std::env::var("HSQ_COMPACTION").ok()?;
+        let seed = std::env::var("HSQ_SEED").ok();
+        Some(Self::parse_env(&mode, seed.as_deref()))
+    }
+
+    /// [`SketchCompaction::from_env`] with a fallback default.
+    pub fn from_env_or(default: SketchCompaction) -> SketchCompaction {
+        SketchCompaction::from_env().unwrap_or(default)
+    }
+
+    /// Initial LCG state for this mode: a SplitMix-style scramble of the
+    /// seed (forced odd so the multiplicative walk never degenerates).
+    /// Deterministic mode carries no RNG state.
+    fn rng_init(self) -> u64 {
+        match self {
+            SketchCompaction::Deterministic => 0,
+            SketchCompaction::Randomized { seed } => seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        }
+    }
+}
+
 /// Deterministic KLL compactor sketch over a radix-sortable `T`.
 ///
 /// ```
@@ -70,7 +151,15 @@ pub struct KllSketch<T> {
     levels: Vec<Vec<T>>,
     /// Bit `h` = "keep odd-indexed survivors" on the next compaction of
     /// level `h`; flipped after each use so systematic bias cancels.
+    /// Only consulted in [`SketchCompaction::Deterministic`] mode.
     parity: u64,
+    /// How survivors are chosen; see [`SketchCompaction`].
+    mode: SketchCompaction,
+    /// Current LCG state for [`SketchCompaction::Randomized`] (0 in
+    /// deterministic mode). Advanced once per compaction, so the pair
+    /// `(mode, rng)` pins the sketch's entire future coin sequence —
+    /// which is why both are persisted and restored.
+    rng: u64,
     n: u64,
     min: Option<T>,
     max: Option<T>,
@@ -86,14 +175,25 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
     /// `εn/2` while the level count stays under the analysed budget —
     /// see the module docs).
     pub fn new(epsilon: f64) -> Self {
+        Self::with_compaction(epsilon, SketchCompaction::Deterministic)
+    }
+
+    /// [`KllSketch::new`] with an explicit compaction mode; `new` is the
+    /// deterministic default. The randomized mode draws each surviving
+    /// half from a per-sketch LCG, trading the fixed alternating
+    /// schedule for pattern-independence while staying replayable under
+    /// a fixed seed.
+    pub fn with_compaction(epsilon: f64, mode: SketchCompaction) -> Self {
         assert!(
-            epsilon > 0.0 && epsilon <= 1.0,
+            epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0,
             "epsilon must be in (0, 1], got {epsilon}"
         );
         KllSketch {
             epsilon,
             levels: vec![Vec::new()],
             parity: 0,
+            mode,
+            rng: mode.rng_init(),
             n: 0,
             min: None,
             max: None,
@@ -102,8 +202,15 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
         }
     }
 
-    /// Per-level capacity `k = max(8, ⌈2·LEVEL_BUDGET/ε⌉)`.
+    /// Per-level capacity `k = max(8, ⌈2·LEVEL_BUDGET/ε⌉)`. Callers
+    /// (constructors, merge, deserialization) must have validated
+    /// `epsilon` already: a non-finite or out-of-range value would turn
+    /// the `f64 → usize` cast into a garbage capacity.
     fn capacity_for(epsilon: f64) -> usize {
+        debug_assert!(
+            epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0,
+            "capacity_for needs a validated epsilon, got {epsilon}"
+        );
         (((2 * LEVEL_BUDGET) as f64 / epsilon).ceil() as usize).max(8)
     }
 
@@ -223,6 +330,116 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
         }
     }
 
+    /// Insert one element carrying integer weight `w` — semantically `w`
+    /// repeated [`KllSketch::insert`] calls, at O(log w) cost and with
+    /// **zero** added error: the binary decomposition of `w` is placed
+    /// directly onto the weight-`2^h` compactor levels (bit `h` of `w`
+    /// becomes one item at level `h`), so the mass invariant
+    /// `Σ len·2^h = n` holds exactly and no compaction is charged for
+    /// the placement itself. `w = 0` is a no-op.
+    pub fn insert_weighted(&mut self, v: T, w: u64) {
+        if w == 0 {
+            return;
+        }
+        self.touch_minmax(v, v);
+        self.n += w;
+        self.place_weight(v, w);
+        self.compact_pending();
+    }
+
+    /// Place the binary decomposition of `w` onto the ladder without
+    /// touching `n`/min/max or compacting — shared by the scalar and
+    /// batch weighted paths.
+    fn place_weight(&mut self, v: T, w: u64) {
+        let mut bits = w;
+        while bits != 0 {
+            let h = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            while self.levels.len() <= h {
+                self.levels.push(Vec::new());
+            }
+            if h == 0 {
+                self.levels[0].push(v);
+            } else {
+                // Levels ≥ 1 stay sorted at all times.
+                let at = self.levels[h].partition_point(|&x| x <= v);
+                self.levels[h].insert(at, v);
+            }
+        }
+    }
+
+    /// Insert a batch of `(value, weight)` pairs in one pass: per-level
+    /// contributions are gathered first, level 0 takes a single append,
+    /// higher levels take one radix sort plus one linear merge each
+    /// (the same [`crate::radix::sort_radixable`] kernel the unweighted
+    /// batch path compacts through), and the compaction cascade runs
+    /// once at the end. Order of pairs is irrelevant; zero weights are
+    /// skipped. Exact, like [`KllSketch::insert_weighted`].
+    pub fn insert_weighted_batch(&mut self, batch: &[(T, u64)]) {
+        let mut total = 0u64;
+        let mut extremes: Option<(T, T)> = None;
+        let mut per_level: Vec<Vec<T>> = Vec::new();
+        for &(v, w) in batch {
+            if w == 0 {
+                continue;
+            }
+            total += w;
+            extremes = Some(match extremes {
+                Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                None => (v, v),
+            });
+            let mut bits = w;
+            while bits != 0 {
+                let h = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                while per_level.len() <= h {
+                    per_level.push(Vec::new());
+                }
+                per_level[h].push(v);
+            }
+        }
+        let Some((lo, hi)) = extremes else { return };
+        self.touch_minmax(lo, hi);
+        self.n += total;
+        while self.levels.len() < per_level.len() {
+            self.levels.push(Vec::new());
+        }
+        for (h, mut items) in per_level.into_iter().enumerate() {
+            if items.is_empty() {
+                continue;
+            }
+            if h == 0 {
+                self.levels[0].append(&mut items);
+            } else {
+                sort_radixable(&mut items);
+                self.levels[h] = merge_sorted(&self.levels[h], &items);
+            }
+        }
+        self.compact_pending();
+    }
+
+    /// The compaction mode this sketch was configured with.
+    pub fn compaction(&self) -> SketchCompaction {
+        self.mode
+    }
+
+    /// Current LCG state (0 in deterministic mode), for serialization:
+    /// persisting it mid-stream lets recovery resume the exact coin
+    /// sequence.
+    pub fn rng_state(&self) -> u64 {
+        self.rng
+    }
+
+    /// Restore the compaction mode and mid-stream RNG position after
+    /// [`KllSketch::from_raw_parts`] (which rebuilds in the
+    /// deterministic default). `rng = 0` re-derives the initial state
+    /// from the mode's seed, so pre-randomization encodings stay
+    /// loadable.
+    pub fn restore_compaction(&mut self, mode: SketchCompaction, rng: u64) {
+        self.mode = mode;
+        self.rng = if rng == 0 { mode.rng_init() } else { rng };
+    }
+
     /// Run the compaction cascade: compact every level at or over
     /// capacity, bottom-up (a compaction can push the next level over).
     fn compact_pending(&mut self) {
@@ -246,8 +463,20 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
         if self.levels.len() == h + 1 {
             self.levels.push(Vec::new());
         }
-        let keep_odd = (self.parity >> h) & 1 == 1;
-        self.parity ^= 1u64 << h;
+        let keep_odd = match self.mode {
+            SketchCompaction::Deterministic => {
+                let k = (self.parity >> h) & 1 == 1;
+                self.parity ^= 1u64 << h;
+                k
+            }
+            SketchCompaction::Randomized { .. } => {
+                self.rng = self
+                    .rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.rng >> 33) & 1 == 1
+            }
+        };
         let (lower, upper) = self.levels.split_at_mut(h + 1);
         let lvl = &mut lower[h];
         let dst = &mut upper[0];
@@ -366,6 +595,7 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
         self.levels.truncate(1);
         self.levels[0].clear();
         self.parity = 0;
+        self.rng = self.mode.rng_init();
         self.n = 0;
         self.min = None;
         self.max = None;
@@ -418,7 +648,10 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
 
     /// Rebuild a sketch from serialized parts, validating structural
     /// invariants (per [`KllSketch::check_invariants`]). The capacity is
-    /// re-derived from `epsilon`, so it is not part of the encoding.
+    /// re-derived from `epsilon`, so it is not part of the encoding. The
+    /// result is in the deterministic compaction default; call
+    /// [`KllSketch::restore_compaction`] afterwards to resume a
+    /// randomized schedule mid-sequence.
     #[allow(clippy::too_many_arguments)]
     pub fn from_raw_parts(
         epsilon: f64,
@@ -429,13 +662,15 @@ impl<T: Copy + Ord + RadixKey> KllSketch<T> {
         parity: u64,
         levels: Vec<Vec<T>>,
     ) -> Result<Self, String> {
-        if !(epsilon > 0.0 && epsilon <= 1.0) {
+        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0) {
             return Err(format!("epsilon {epsilon} out of (0, 1]"));
         }
         let mut sk = KllSketch {
             epsilon,
             levels,
             parity,
+            mode: SketchCompaction::Deterministic,
+            rng: 0,
             n,
             min,
             max,
@@ -487,6 +722,10 @@ impl<T: Copy + Ord> KllCumulative<T> {
         let idx = self.items.partition_point(|&(_, c)| c < r);
         let idx = idx.min(self.items.len() - 1);
         let (value, c) = self.items[idx];
+        // The `.max(1)` clamp is sound precisely because this point is
+        // unreachable for an empty sketch (`n == 0` returned above): the
+        // reported value was retained, hence inserted, hence its true
+        // rank is at least 1.
         Some(RankEstimate {
             value,
             rmin: c.saturating_sub(self.err).max(1),
@@ -510,6 +749,13 @@ impl<T: Copy + Ord> KllCumulative<T> {
         }
         let idx = self.items.partition_point(|&(x, _)| x <= v);
         let w = if idx == 0 { 0 } else { self.items[idx - 1].1 };
+        // Reachable only with `min ≤ v < max` (the early returns above
+        // cover empty sketches and out-of-range probes), so the true
+        // rank of `v` counts at least the tracked minimum: `.max(1)` can
+        // never claim mass that is not there. The `lo.min(hi)` guard is
+        // belt-and-braces for `w = 0 ∧ err = 0`, which is itself
+        // unreachable here: `err = 0` means every item (including
+        // `min ≤ v`) is retained, forcing `w ≥ 1`.
         let lo = w.saturating_sub(self.err).max(1);
         let hi = (w + self.err).min(self.n);
         (lo.min(hi), hi)
@@ -725,6 +971,218 @@ mod tests {
         assert_eq!(kll.min(), None);
         kll.insert(42);
         assert_eq!(kll.quantile(1.0), Some(42));
+    }
+
+    /// Weighted insertion is exact: it must agree with w-fold replicated
+    /// insertion on n/min/max, add no tracked error of its own, and keep
+    /// every reported interval sound against the replicated multiset.
+    #[test]
+    fn weighted_insert_matches_replicated() {
+        let mut rng = lcg(41);
+        let pairs: Vec<(u64, u64)> = (0..4_000)
+            .map(|_| {
+                (
+                    rng() % 50_000,
+                    rng() % 37 + rng().is_multiple_of(11) as u64 * 900,
+                )
+            })
+            .collect();
+        let total: u64 = pairs.iter().map(|p| p.1).sum();
+        let mut weighted = KllSketch::new(0.01);
+        let mut batched = KllSketch::new(0.01);
+        let mut exact = ExactQuantiles::new();
+        for &(v, w) in &pairs {
+            weighted.insert_weighted(v, w);
+            for _ in 0..w {
+                exact.insert(v);
+            }
+        }
+        for chunk in pairs.chunks(397) {
+            batched.insert_weighted_batch(chunk);
+        }
+        for sk in [&weighted, &batched] {
+            sk.check_invariants().unwrap();
+            assert_eq!(sk.len(), total);
+            let cum = sk.cumulative();
+            for i in 1..=40u64 {
+                let r = i * total / 40;
+                let est = cum.rank_query(r).unwrap();
+                let truth = exact.rank_of(est.value);
+                assert!(
+                    est.rmin <= truth && truth <= est.rmax,
+                    "weighted rank {truth} outside [{}, {}]",
+                    est.rmin,
+                    est.rmax
+                );
+                assert!(
+                    truth.abs_diff(r) as f64 <= 0.01 * total as f64 + 1.0,
+                    "weighted rank error exceeds eps*W at target {r}"
+                );
+            }
+        }
+    }
+
+    /// A weight-w insert below the compaction threshold is exact and
+    /// charges nothing: the decomposition lands directly on the ladder.
+    #[test]
+    fn weighted_insert_is_exact_without_compaction() {
+        let mut kll = KllSketch::new(0.1);
+        kll.insert_weighted(5, 13); // 0b1101 → levels 0, 2, 3
+        kll.insert_weighted(9, 2); // → level 1
+        kll.insert_weighted(1, 0); // no-op
+        kll.check_invariants().unwrap();
+        assert_eq!(kll.len(), 15);
+        assert_eq!(kll.tracked_err(), 0);
+        assert_eq!(kll.min(), Some(5));
+        assert_eq!(kll.max(), Some(9));
+        assert_eq!(kll.rank_bounds_of(5), (13, 13));
+        assert_eq!(kll.rank_bounds_of(9), (15, 15));
+    }
+
+    /// Per seed, randomized compaction replays byte-identically; the
+    /// bounds it reports stay sound (the tracked-error accounting is
+    /// mode-independent).
+    #[test]
+    fn randomized_compaction_replays_per_seed_and_stays_sound() {
+        for &seed in &[0u64, 7, 23] {
+            let mode = SketchCompaction::Randomized { seed };
+            let mut rng = lcg(seed ^ 0xABCD);
+            let data: Vec<u64> = (0..30_000).map(|_| rng() % 99_991).collect();
+            let mut a = KllSketch::with_compaction(0.01, mode);
+            let mut b = KllSketch::with_compaction(0.01, mode);
+            for &v in &data {
+                a.insert(v);
+            }
+            for chunk in data.chunks(1013) {
+                b.insert_batch(chunk);
+            }
+            a.check_invariants().unwrap();
+            // Same seed ⇒ same coin sequence; the scalar path replayed
+            // against itself is byte-identical.
+            let mut a2 = KllSketch::with_compaction(0.01, mode);
+            for &v in &data {
+                a2.insert(v);
+            }
+            assert_eq!(a.raw_levels(), a2.raw_levels());
+            assert_eq!(a.rng_state(), a2.rng_state());
+            assert_eq!(a.tracked_err(), a2.tracked_err());
+            // Soundness for both ingest shapes.
+            let mut exact = ExactQuantiles::from_data(data);
+            for sk in [&a, &b] {
+                let cum = sk.cumulative();
+                for i in 1..=25u64 {
+                    let est = cum.rank_query(i * 30_000 / 25).unwrap();
+                    let truth = exact.rank_of(est.value);
+                    assert!(est.rmin <= truth && truth <= est.rmax);
+                }
+            }
+        }
+    }
+
+    /// Snapshotting a randomized sketch mid-stream and restoring the
+    /// (mode, rng position) pair resumes the exact coin sequence: the
+    /// restored sketch and the original finish byte-identical.
+    #[test]
+    fn randomized_restore_resumes_mid_sequence() {
+        let mode = SketchCompaction::Randomized { seed: 7 };
+        let mut rng = lcg(3);
+        let data: Vec<u64> = (0..40_000).map(|_| rng() % 65_536).collect();
+        let (head, tail) = data.split_at(17_500);
+        let mut live = KllSketch::with_compaction(0.02, mode);
+        for &v in head {
+            live.insert(v);
+        }
+        let mut restored = KllSketch::from_raw_parts(
+            live.epsilon(),
+            live.len(),
+            live.min(),
+            live.max(),
+            live.tracked_err(),
+            live.parity_mask(),
+            live.raw_levels().to_vec(),
+        )
+        .unwrap();
+        restored.restore_compaction(live.compaction(), live.rng_state());
+        assert_eq!(restored.compaction(), mode);
+        for &v in tail {
+            live.insert(v);
+            restored.insert(v);
+        }
+        assert_eq!(live.raw_levels(), restored.raw_levels());
+        assert_eq!(live.rng_state(), restored.rng_state());
+        assert_eq!(live.tracked_err(), restored.tracked_err());
+    }
+
+    /// Satellite audit: exhaustive bound-soundness at n ∈ {0, 1, 2}. An
+    /// empty sketch must never claim mass (`max(1)` is gated behind the
+    /// emptiness/out-of-range returns), and with one or two items every
+    /// probe interval must bracket the exact rank.
+    #[test]
+    fn tiny_sketch_bounds_are_exact() {
+        for mode in [
+            SketchCompaction::Deterministic,
+            SketchCompaction::Randomized { seed: 7 },
+        ] {
+            // n = 0: no rank exists, no probe has mass.
+            let empty = KllSketch::<u64>::with_compaction(0.05, mode);
+            assert_eq!(empty.rank_query(1), None);
+            for probe in [0u64, 1, u64::MAX] {
+                assert_eq!(empty.rank_bounds_of(probe), (0, 0));
+            }
+            // n = 1.
+            let mut one = KllSketch::with_compaction(0.05, mode);
+            one.insert(10u64);
+            let est = one.rank_query(1).unwrap();
+            assert_eq!((est.value, est.rmin, est.rmax), (10, 1, 1));
+            assert_eq!(one.rank_bounds_of(9), (0, 0));
+            assert_eq!(one.rank_bounds_of(10), (1, 1));
+            assert_eq!(one.rank_bounds_of(11), (1, 1));
+            // n = 2, distinct and duplicate.
+            let mut two = KllSketch::with_compaction(0.05, mode);
+            two.insert(10u64);
+            two.insert(20);
+            assert_eq!(two.rank_bounds_of(9), (0, 0));
+            assert_eq!(two.rank_bounds_of(10), (1, 1));
+            assert_eq!(two.rank_bounds_of(15), (1, 1));
+            assert_eq!(two.rank_bounds_of(20), (2, 2));
+            assert_eq!(two.rank_bounds_of(21), (2, 2));
+            let mut dup = KllSketch::with_compaction(0.05, mode);
+            dup.insert_weighted(10u64, 2);
+            assert_eq!(dup.rank_bounds_of(9), (0, 0));
+            assert_eq!(dup.rank_bounds_of(10), (2, 2));
+        }
+    }
+
+    #[test]
+    fn compaction_env_parsing_is_loud() {
+        assert_eq!(
+            SketchCompaction::parse_env("Deterministic", None),
+            SketchCompaction::Deterministic
+        );
+        assert_eq!(
+            SketchCompaction::parse_env(" det ", Some("99")),
+            SketchCompaction::Deterministic
+        );
+        assert_eq!(
+            SketchCompaction::parse_env("RAND", Some("23")),
+            SketchCompaction::Randomized { seed: 23 }
+        );
+        assert_eq!(
+            SketchCompaction::parse_env("randomized", None),
+            SketchCompaction::Randomized { seed: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_COMPACTION")]
+    fn invalid_compaction_mode_panics() {
+        SketchCompaction::parse_env("rnd", None);
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_SEED")]
+    fn invalid_compaction_seed_panics() {
+        SketchCompaction::parse_env("rand", Some("not-a-number"));
     }
 
     #[test]

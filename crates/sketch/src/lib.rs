@@ -6,9 +6,11 @@
 //!
 //! * [`GkSketch`] — Greenwald–Khanna (paper ref \[15\]); powers the stream
 //!   summary `SS` (§2.2) and the strongest pure-streaming baseline;
-//! * [`KllSketch`] — deterministic KLL compactor ladder (Karnin–Lang–
-//!   Liberty, FOCS 2016; lazy schedule per Ivkin et al.): O(1) amortized
-//!   updates and exact mergeability, selectable as the stream backend;
+//! * [`KllSketch`] — KLL compactor ladder (Karnin–Lang–Liberty, FOCS
+//!   2016; lazy schedule per Ivkin et al.): O(1) amortized updates,
+//!   exact mergeability, O(log w) weighted inserts, and a seeded
+//!   randomized compaction mode ([`SketchCompaction`]), selectable as
+//!   the stream backend;
 //! * [`QuantileSketch`] / [`AnySketch`] / [`SketchKind`] — the pluggable
 //!   sketch abstraction the engine's stream processor is written against;
 //! * [`QDigest`] — Shrivastava et al. (paper ref \[24\]); the second
@@ -39,7 +41,7 @@ pub mod sampler;
 
 pub use exact::ExactQuantiles;
 pub use gk::{GkSketch, RankEstimate};
-pub use kll::{KllCumulative, KllSketch};
+pub use kll::{KllCumulative, KllSketch, SketchCompaction};
 pub use misra_gries::MisraGries;
 pub use qdigest::QDigest;
 pub use quantile::{AnySketch, QuantileSketch, SketchKind};

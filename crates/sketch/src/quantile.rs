@@ -14,7 +14,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use crate::gk::{GkSketch, RankEstimate};
-use crate::kll::KllSketch;
+use crate::kll::{KllSketch, SketchCompaction};
 use crate::radix::RadixKey;
 
 /// Common interface of ε-approximate quantile sketches: bounded-error
@@ -55,6 +55,39 @@ pub trait QuantileSketch<T: Copy + Ord>: Clone {
     {
         crate::radix::sort_radixable(batch);
         self.insert_sorted_batch(batch);
+    }
+
+    /// Insert one element carrying integer weight `w` — semantically
+    /// identical to `w` repeated [`QuantileSketch::insert`] calls, with
+    /// every tracked interval sound against the replicated multiset
+    /// (total mass `W = Σw`, so all guarantees read `ε·W`). `w = 0` is a
+    /// no-op. The default really does replicate; both backends override
+    /// with sub-linear implementations (KLL places the binary
+    /// decomposition of `w` onto its weight-`2^h` levels at O(log w);
+    /// GK folds an exact chunked summary in at O(tuples)).
+    fn insert_weighted(&mut self, v: T, w: u64) {
+        for _ in 0..w {
+            self.insert(v);
+        }
+    }
+
+    /// Insert a batch of `(value, weight)` pairs, unsorted. The default
+    /// sorts by value (comparison sort — the weight payload disqualifies
+    /// the pair from the order-preserving `u64` radix key, so the LSD
+    /// kernel cannot apply at this level; KLL's override recovers the
+    /// radix path by sorting per-level value slices instead) and folds
+    /// through [`QuantileSketch::insert_weighted_sorted_batch`].
+    fn insert_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        batch.sort_unstable_by_key(|a| a.0);
+        self.insert_weighted_sorted_batch(batch);
+    }
+
+    /// Weighted batch insert for pairs the caller has already sorted by
+    /// value (nondecreasing). Zero weights are skipped.
+    fn insert_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        for &(v, w) in batch {
+            self.insert_weighted(v, w);
+        }
     }
 
     /// Answer a query for 1-based rank `r` (clamped into `[1, n]`):
@@ -121,6 +154,18 @@ impl<T: Copy + Ord + RadixKey> QuantileSketch<T> for GkSketch<T> {
         GkSketch::insert_batch(self, batch);
     }
 
+    fn insert_weighted(&mut self, v: T, w: u64) {
+        GkSketch::insert_weighted(self, v, w);
+    }
+
+    fn insert_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        GkSketch::insert_weighted_batch(self, batch);
+    }
+
+    fn insert_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        GkSketch::insert_weighted_sorted_batch(self, batch);
+    }
+
     fn rank_query(&self, r: u64) -> Option<RankEstimate<T>> {
         GkSketch::rank_query(self, r)
     }
@@ -177,6 +222,20 @@ impl<T: Copy + Ord + RadixKey> QuantileSketch<T> for KllSketch<T> {
         KllSketch::insert_batch(self, batch);
     }
 
+    fn insert_weighted(&mut self, v: T, w: u64) {
+        KllSketch::insert_weighted(self, v, w);
+    }
+
+    fn insert_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        // Order-indifferent, like the unweighted batch path: per-level
+        // contributions are radix-sorted inside.
+        KllSketch::insert_weighted_batch(self, batch);
+    }
+
+    fn insert_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        KllSketch::insert_weighted_batch(self, batch);
+    }
+
     fn rank_query(&self, r: u64) -> Option<RankEstimate<T>> {
         KllSketch::rank_query(self, r)
     }
@@ -225,12 +284,23 @@ impl SketchKind {
         }
     }
 
+    /// Parse an `HSQ_SKETCH` value, panicking (with the variable name in
+    /// the message) on anything [`SketchKind::from_str`] rejects.
+    fn parse_env(value: &str) -> SketchKind {
+        value
+            .parse()
+            .unwrap_or_else(|e| panic!("invalid HSQ_SKETCH: {e}"))
+    }
+
     /// Read the `HSQ_SKETCH` environment variable (`"gk"` / `"kll"`,
-    /// case-insensitive). `None` when unset or unparsable — callers fall
-    /// back to their default, so a typo degrades to GK rather than a
-    /// panic deep inside test setup.
+    /// case-insensitive). `None` when unset; **panics** when set to an
+    /// unparsable value — a typo like `HSQ_SKETCH=klll` must fail the
+    /// run loudly rather than silently selecting the GK default
+    /// fleet-wide.
     pub fn from_env() -> Option<SketchKind> {
-        std::env::var("HSQ_SKETCH").ok()?.parse().ok()
+        std::env::var("HSQ_SKETCH")
+            .ok()
+            .map(|s| Self::parse_env(&s))
     }
 
     /// [`SketchKind::from_env`] with a fallback default.
@@ -283,6 +353,16 @@ impl<T: Copy + Ord + RadixKey> AnySketch<T> {
         match kind {
             SketchKind::Gk => AnySketch::Gk(GkSketch::new(epsilon)),
             SketchKind::Kll => AnySketch::Kll(KllSketch::new(epsilon)),
+        }
+    }
+
+    /// [`AnySketch::new`] with an explicit compaction mode. Only the KLL
+    /// ladder has a compaction schedule to randomize; GK ignores the
+    /// mode (its COMPRESS is structurally deterministic).
+    pub fn with_compaction(kind: SketchKind, epsilon: f64, mode: SketchCompaction) -> Self {
+        match kind {
+            SketchKind::Gk => AnySketch::Gk(GkSketch::new(epsilon)),
+            SketchKind::Kll => AnySketch::Kll(KllSketch::with_compaction(epsilon, mode)),
         }
     }
 
@@ -358,6 +438,27 @@ impl<T: Copy + Ord + RadixKey> QuantileSketch<T> for AnySketch<T> {
         match self {
             AnySketch::Gk(s) => s.insert_batch(batch),
             AnySketch::Kll(s) => KllSketch::insert_batch(s, batch),
+        }
+    }
+
+    fn insert_weighted(&mut self, v: T, w: u64) {
+        match self {
+            AnySketch::Gk(s) => GkSketch::insert_weighted(s, v, w),
+            AnySketch::Kll(s) => KllSketch::insert_weighted(s, v, w),
+        }
+    }
+
+    fn insert_weighted_batch(&mut self, batch: &mut [(T, u64)]) {
+        match self {
+            AnySketch::Gk(s) => GkSketch::insert_weighted_batch(s, batch),
+            AnySketch::Kll(s) => KllSketch::insert_weighted_batch(s, batch),
+        }
+    }
+
+    fn insert_weighted_sorted_batch(&mut self, batch: &[(T, u64)]) {
+        match self {
+            AnySketch::Gk(s) => GkSketch::insert_weighted_sorted_batch(s, batch),
+            AnySketch::Kll(s) => KllSketch::insert_weighted_batch(s, batch),
         }
     }
 
@@ -477,6 +578,97 @@ mod tests {
         assert!("tdigest".parse::<SketchKind>().is_err());
         assert_eq!(SketchKind::Kll.to_string(), "kll");
         assert_eq!(SketchKind::Gk.as_str(), "gk");
+    }
+
+    /// `HSQ_SKETCH` parsing goes through this helper; valid values (any
+    /// case, surrounding whitespace) select the backend...
+    #[test]
+    fn env_parsing_accepts_valid_kinds() {
+        assert_eq!(SketchKind::parse_env("gk"), SketchKind::Gk);
+        assert_eq!(SketchKind::parse_env("KLL"), SketchKind::Kll);
+        assert_eq!(SketchKind::parse_env(" Kll "), SketchKind::Kll);
+    }
+
+    /// ...and a typo panics with the variable name in the message rather
+    /// than silently degrading to the GK default fleet-wide.
+    #[test]
+    #[should_panic(expected = "HSQ_SKETCH")]
+    fn env_parsing_panics_on_typo() {
+        SketchKind::parse_env("klll");
+    }
+
+    /// The weighted trait surface: every backend (and the enum
+    /// dispatcher) must agree with w-fold replication within ε·W, for
+    /// scalar, unsorted-batch, and sorted-batch entry points.
+    #[test]
+    fn weighted_trait_paths_match_replication_within_bound() {
+        let eps = 0.02;
+        let mut state = 0xFEEDu64;
+        let mut lcg = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 16
+        };
+        let pairs: Vec<(u64, u64)> = (0..2_000).map(|_| (lcg() % 20_000, lcg() % 25)).collect();
+        let total: u64 = pairs.iter().map(|p| p.1).sum();
+        let mut mirror = ExactQuantiles::new();
+        for &(v, w) in &pairs {
+            for _ in 0..w {
+                mirror.insert(v);
+            }
+        }
+        fn drive_weighted<S: QuantileSketch<u64>>(mut sk: S, pairs: &[(u64, u64)]) -> S {
+            let (scalar, rest) = pairs.split_at(pairs.len() / 3);
+            let (unsorted, sorted) = rest.split_at(rest.len() / 2);
+            for &(v, w) in scalar {
+                sk.insert_weighted(v, w);
+            }
+            let mut unsorted = unsorted.to_vec();
+            sk.insert_weighted_batch(&mut unsorted);
+            let mut sorted = sorted.to_vec();
+            sorted.sort_unstable_by_key(|p| p.0);
+            sk.insert_weighted_sorted_batch(&sorted);
+            sk
+        }
+        for sk in [
+            drive_weighted(AnySketch::<u64>::new(SketchKind::Gk, eps), &pairs),
+            drive_weighted(AnySketch::<u64>::new(SketchKind::Kll, eps), &pairs),
+        ] {
+            assert_eq!(sk.len(), total);
+            for i in 1..=30u64 {
+                let r = i * total / 30;
+                let est = sk.rank_query(r).unwrap();
+                // Heavy weights mean heavily duplicated values: the
+                // occurrences of est.value span ranks
+                // [count(<v) + 1, count(≤v)], and the tracked interval
+                // brackets the rank of *some* occurrence.
+                let truth_hi = mirror.rank_of(est.value);
+                let truth_lo = if est.value == 0 {
+                    1
+                } else {
+                    mirror.rank_of(est.value - 1) + 1
+                };
+                assert!(
+                    est.rmin <= truth_hi && truth_lo <= est.rmax,
+                    "{}: weighted interval [{}, {}] misses occurrence ranks [{truth_lo}, {truth_hi}] at target {r}",
+                    sk.kind(),
+                    est.rmin,
+                    est.rmax
+                );
+                let dist = if r < truth_lo {
+                    truth_lo - r
+                } else {
+                    r.saturating_sub(truth_hi)
+                };
+                assert!(
+                    dist as f64 <= eps * total as f64 + 1.0,
+                    "{}: weighted answer off by {dist} at target {r} (eps*W = {})",
+                    sk.kind(),
+                    eps * total as f64
+                );
+            }
+        }
     }
 
     #[test]

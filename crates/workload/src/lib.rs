@@ -16,6 +16,9 @@
 //!
 //! [`TimeStepDriver`] slices any generator into the paper's processing
 //! model: a stream of per-time-step batches (§1.1, Figure 1).
+//! [`SampledTelemetryGen`] wraps any generator into weighted
+//! `(value, weight)` pairs — sampled telemetry where each record stands
+//! in for `w` originals — for the engine's weighted ingestion path.
 
 #![warn(missing_docs)]
 
@@ -203,6 +206,62 @@ impl DataGen for NetTraceGen {
     }
 }
 
+/// Weighted `(value, weight)` pairs modeling *sampled telemetry*: each
+/// record stands in for `w` identical originals (the inverse sampling
+/// rate), the regime the engine's weighted ingestion
+/// (`stream_update_weighted`) targets.
+///
+/// Weights are powers of two — `w = 2^k` with probability `2^-(k+1)`,
+/// capped at `max_weight` — mirroring how samplers typically halve their
+/// rate under load: most records arrive unsampled (`w = 1`) while a
+/// geometric tail carries large weights, so the *weight mass* is spread
+/// far more evenly than the record count. Values come from any wrapped
+/// [`DataGen`]; weights come from an independent LCG, so the value
+/// stream is identical to the unweighted generator under the same seed.
+pub struct SampledTelemetryGen {
+    gen: Box<dyn DataGen + Send>,
+    /// LCG state for the weight channel (kept separate from the value
+    /// generator so weighting never perturbs the values).
+    lcg: u64,
+    max_weight: u64,
+}
+
+impl SampledTelemetryGen {
+    /// Wrap `dataset`'s generator; weights capped at `max_weight`
+    /// (rounded down to a power of two, at least 1).
+    pub fn new(dataset: Dataset, seed: u64, max_weight: u64) -> Self {
+        Self::wrapping(dataset.generator(seed), seed, max_weight)
+    }
+
+    /// Wrap an arbitrary generator (same weight channel semantics).
+    pub fn wrapping(gen: Box<dyn DataGen + Send>, seed: u64, max_weight: u64) -> Self {
+        assert!(max_weight >= 1, "max_weight must be at least 1");
+        SampledTelemetryGen {
+            gen,
+            lcg: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            max_weight: max_weight.next_power_of_two().min(1 << 62),
+        }
+    }
+
+    /// Produce the next `(value, weight)` pair.
+    pub fn next_pair(&mut self) -> (u64, u64) {
+        self.lcg = self
+            .lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        // Trailing-zero count of uniform bits is geometric(1/2): k zeros
+        // with probability 2^-(k+1).
+        let k = ((self.lcg >> 33) | (1 << 30)).trailing_zeros();
+        let w = (1u64 << k).min(self.max_weight);
+        (self.gen.next_value(), w)
+    }
+
+    /// Produce `n` pairs into a fresh vector.
+    pub fn take_pairs(&mut self, n: usize) -> Vec<(u64, u64)> {
+        (0..n).map(|_| self.next_pair()).collect()
+    }
+}
+
 /// The four evaluation datasets of the paper's §3.1, by name.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Dataset {
@@ -379,6 +438,30 @@ mod tests {
             let c = ds.generator(100).take_vec(1000);
             assert_ne!(a, c, "{:?} ignores seed", ds);
         }
+    }
+
+    #[test]
+    fn sampled_telemetry_weights_are_geometric_and_deterministic() {
+        let mut g = SampledTelemetryGen::new(Dataset::Uniform, 7, 64);
+        let pairs = g.take_pairs(50_000);
+        assert!(pairs.iter().all(|&(_, w)| (1..=64).contains(&w)));
+        assert!(pairs.iter().all(|&(_, w)| w.is_power_of_two()));
+        // Roughly half the records are unsampled (w = 1)...
+        let ones = pairs.iter().filter(|&&(_, w)| w == 1).count();
+        assert!(
+            (20_000..30_000).contains(&ones),
+            "w=1 share off: {ones}/50000"
+        );
+        // ...yet the heavy tail carries real mass.
+        let total: u64 = pairs.iter().map(|&(_, w)| w).sum();
+        assert!(total > 50_000 * 2, "total weight {total} not heavy enough");
+        // Deterministic, and the value channel matches the unweighted
+        // generator under the same seed.
+        let again = SampledTelemetryGen::new(Dataset::Uniform, 7, 64).take_pairs(50_000);
+        assert_eq!(pairs, again);
+        let plain = Dataset::Uniform.generator(7).take_vec(100);
+        let values: Vec<u64> = pairs[..100].iter().map(|&(v, _)| v).collect();
+        assert_eq!(values, plain, "weighting must not perturb values");
     }
 
     #[test]

@@ -122,6 +122,56 @@
 //! under either build; the configured backend takes over at the next
 //! step boundary.
 //!
+//! ## Weighted items & sampled telemetry
+//!
+//! Sampled telemetry delivers `(value, weight)` pairs — each record
+//! stands in for `weight` identical originals (the inverse sampling
+//! rate). The weighted ingestion paths (`stream_update_weighted`,
+//! `stream_extend_weighted`, on both the single and the sharded engine)
+//! absorb the weight *natively* in the stream sketch — KLL places a
+//! weight-`w` item directly onto its weight-`2^h` compactor levels in
+//! `O(log w)`, GK splices it in with an exact-shift merge — so a
+//! weight-million record costs nothing like a million updates, while
+//! every rank, size (`m`, `N`) and error bound simply reads *summed
+//! weight*: answers stay within `ε·W` of exact over the replicated
+//! expansion, `W` the total stream weight. Archival materializes weight
+//! as replication, so windowed queries, persistence, sharding and
+//! retention all compose unchanged:
+//!
+//! ```
+//! use hsq::core::{HsqConfig, HistStreamQuantiles};
+//! use hsq::storage::MemDevice;
+//! use hsq::workload::{Dataset, SampledTelemetryGen};
+//!
+//! let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//! let mut hsq = HistStreamQuantiles::<u64, _>::new(MemDevice::new(4096), config);
+//!
+//! // Sampled telemetry: each pair (value, w) stands in for w originals.
+//! let mut telemetry = SampledTelemetryGen::new(Dataset::Uniform, 42, 64);
+//! let pairs = telemetry.take_pairs(10_000);
+//! hsq.stream_extend_weighted(&pairs);          // batched
+//! hsq.stream_update_weighted(123_456_789, 1_000_000); // scalar, O(log w)
+//!
+//! let total_w: u64 = pairs.iter().map(|&(_, w)| w).sum::<u64>() + 1_000_000;
+//! assert_eq!(hsq.stream_len(), total_w); // m is the summed weight W
+//! let median = hsq.quantile(0.5).unwrap().expect("data is non-empty");
+//! assert!(median > 100_000_000); // the heavy item dominates the mass
+//! ```
+//!
+//! **Randomized KLL compaction.** KLL compactions keep every odd- or
+//! every even-indexed survivor; the classic analysis flips a fair coin
+//! per compaction, while this crate defaults to a deterministic
+//! alternation (reproducible byte-for-byte, and immune to adversarial
+//! inputs aligned against a fixed parity). Select the seeded randomized
+//! policy with
+//! `HsqConfig::builder().sketch_compaction(SketchCompaction::Randomized { seed })`
+//! — or fleet-wide with `HSQ_COMPACTION=rand` plus `HSQ_SEED=<u64>` —
+//! and replay stays exact: the per-sketch coin sequence is a pure
+//! function of the seed and sketch state, engine manifests persist the
+//! seed and RNG cursor, so a persisted engine resumes mid-stream
+//! byte-identically (A/B'd against deterministic in the `headline`
+//! bench's `sketch` section and CI's `sketch-ab` matrix).
+//!
 //! ## Sharded quickstart (multi-tenant / concurrent readers)
 //!
 //! [`ShardedEngine`] hash-partitions items across independent engine
@@ -404,5 +454,5 @@ pub use hsq_workload as workload;
 pub use hsq_core::{
     EngineSnapshot, HistStreamQuantiles, HsqConfig, RetentionPolicy, ShardedEngine, ShardedSnapshot,
 };
-pub use hsq_sketch::{GkSketch, KllSketch, QDigest, QuantileSketch, SketchKind};
+pub use hsq_sketch::{GkSketch, KllSketch, QDigest, QuantileSketch, SketchCompaction, SketchKind};
 pub use hsq_storage::{FileDevice, MemDevice};
