@@ -12,6 +12,7 @@
 //! PRs.
 
 use std::io::Write as _;
+use std::net::TcpListener;
 use std::time::Instant;
 
 use hsq_bench::*;
@@ -20,6 +21,7 @@ use hsq_core::manifest::ManifestLog;
 use hsq_core::{
     HistStreamQuantiles, HsqConfig, QueryContext, RetentionPolicy, SeedMode, ShardedEngine,
 };
+use hsq_service::{Coordinator, QuantileServer};
 use hsq_storage::{
     sort_items, BlockDevice, Fault, FaultDevice, FileDevice, FileId, MemDevice, RetryDevice,
     RetryPolicy,
@@ -196,6 +198,136 @@ fn query_metrics() -> (f64, f64, f64, f64, f64, f64, f64, f64) {
         cached_speedup,
         fresh_secs,
         reused_secs,
+    )
+}
+
+/// Served-path metrics: a two-node loopback fleet behind a
+/// [`Coordinator`], answering the same rank sweep a single in-process
+/// engine answers over the identical union of data. Gates the probe
+/// economy of the wire path (p50 probe rounds ≤ 4, every answer's rank
+/// interval containing a true rank of the returned value) and measures
+/// the latency tax of going through TCP versus the in-process
+/// reused-snapshot path. Returns `(p50_probe_rounds,
+/// round_trips_per_query, served_query_seconds,
+/// inprocess_query_seconds)`.
+fn service_metrics() -> (f64, f64, f64, f64) {
+    const NODES: usize = 2;
+    const SHARDS_PER_NODE: usize = 2;
+    const STEPS: u64 = 12;
+    const STEP_ITEMS: usize = 4096;
+    const REPEATS: usize = 3;
+    let cfg = || {
+        HsqConfig::builder()
+            .epsilon(0.01)
+            .merge_threshold(10)
+            .build()
+    };
+
+    let handles: Vec<_> = (0..NODES)
+        .map(|_| {
+            let engine = ShardedEngine::<u64, _>::with_shards(SHARDS_PER_NODE, cfg(), |_| {
+                MemDevice::new(4096)
+            });
+            QuantileServer::new(engine)
+                .spawn(TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+                .expect("spawn server")
+        })
+        .collect();
+    let addrs: Vec<_> = handles.iter().map(|h| h.addr()).collect();
+    let mut coord = Coordinator::<u64>::connect(&addrs).expect("connect fleet");
+
+    // Identical union on the wire and in-process: each node ingests its
+    // own slice, the local engine ingests the concatenation.
+    let mut local = ShardedEngine::<u64, _>::with_shards(NODES * SHARDS_PER_NODE, cfg(), |_| {
+        MemDevice::new(4096)
+    });
+    let mut all_values: Vec<u64> = Vec::with_capacity(NODES * STEPS as usize * STEP_ITEMS);
+    for s in 0..STEPS {
+        let mut union = Vec::with_capacity(NODES * STEP_ITEMS);
+        for (node, _) in addrs.iter().enumerate() {
+            let batch = Dataset::Uniform
+                .generator(1300 + s * NODES as u64 + node as u64)
+                .take_vec(STEP_ITEMS);
+            let pairs: Vec<(u64, u64)> = batch.iter().map(|&v| (v, 1)).collect();
+            coord.ingest(node, &pairs).expect("ingest");
+            union.extend_from_slice(&batch);
+        }
+        all_values.extend_from_slice(&union);
+        if s + 1 < STEPS {
+            coord.end_step().expect("end step");
+            local.ingest_step(&union).expect("local ingest");
+        } else {
+            local.stream_extend(&union);
+        }
+    }
+    all_values.sort_unstable();
+
+    let mut session = coord.session(7).expect("open session");
+    let n = session.total_len();
+    assert_eq!(n, all_values.len() as u64, "fleet and local union differ");
+    let ranks: Vec<u64> = (1..=40).map(|i| (n * i) / 41 + 1).collect();
+
+    // First query per path is the warm-up (summary extract fetch /
+    // combined-summary build); the timed sweeps ride the cached path.
+    let _ = session.rank_query(ranks[0]).expect("warm");
+    let mut rounds: Vec<u32> = Vec::with_capacity(ranks.len());
+    let mut trips = 0u64;
+    let mut served_best = f64::MAX;
+    for rep in 0..REPEATS {
+        let t = Instant::now();
+        for &r in &ranks {
+            let served = session
+                .rank_query(r)
+                .expect("served query")
+                .expect("non-empty");
+            if rep == 0 {
+                rounds.push(served.probe_rounds);
+                trips += served.round_trips;
+                // The answer must honor the paper's guarantee: the
+                // reported rank interval contains a true rank of the
+                // returned value in the union.
+                let v = served.outcome.value;
+                let lt = all_values.partition_point(|&x| x < v) as u64;
+                let le = all_values.partition_point(|&x| x <= v) as u64;
+                assert!(
+                    served.outcome.rank_lo <= le && lt < served.outcome.rank_hi,
+                    "served rank interval [{}, {}] misses true ranks [{}, {}] of {v}",
+                    served.outcome.rank_lo,
+                    served.outcome.rank_hi,
+                    lt + 1,
+                    le,
+                );
+            }
+        }
+        served_best = served_best.min(t.elapsed().as_secs_f64());
+    }
+    rounds.sort_unstable();
+    let p50_rounds = percentile(&rounds, 0.50);
+    assert!(
+        p50_rounds <= 4.0,
+        "served bisection should settle in ≤ 4 probe rounds at p50, took {p50_rounds}"
+    );
+    let trips_per_query = trips as f64 / ranks.len() as f64;
+
+    let snap = local.snapshot();
+    let _ = snap.rank_query(ranks[0]).expect("warm");
+    let mut inproc_best = f64::MAX;
+    for _ in 0..REPEATS {
+        let t = Instant::now();
+        for &r in &ranks {
+            let _ = snap.rank_query(r).expect("local query").expect("non-empty");
+        }
+        inproc_best = inproc_best.min(t.elapsed().as_secs_f64());
+    }
+    for h in handles {
+        h.shutdown();
+    }
+
+    (
+        p50_rounds,
+        trips_per_query,
+        served_best / ranks.len() as f64,
+        inproc_best / ranks.len() as f64,
     )
 }
 
@@ -815,6 +947,16 @@ fn main() {
         flaky_secs * 1e6,
     );
 
+    let (served_p50_rounds, trips_per_query, served_secs, inproc_secs) = service_metrics();
+    println!(
+        "service: 2 nodes x 2 shards over loopback, {served_p50_rounds:.0} probe rounds p50, \
+         {trips_per_query:.1} round trips/query; served {:.0} us/query vs {:.0} us in-process \
+         ({:.1}x wire tax)",
+        served_secs * 1e6,
+        inproc_secs * 1e6,
+        served_secs / inproc_secs.max(1e-9),
+    );
+
     let path =
         std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
     let sketch_json = sketch_rows
@@ -877,7 +1019,12 @@ fn main() {
             "  \"robustness\": {{\"detection_hit_rate\": {:.3}, ",
             "\"salvage_hit_rate\": {:.3}, \"scrub_blocks_per_sec\": {:.0}, ",
             "\"flaky_retry_disk_reads_per_query\": {:.2}, ",
-            "\"flaky_query_seconds\": {:.8}}}\n}}\n"
+            "\"flaky_query_seconds\": {:.8}}},\n",
+            "  \"service\": {{\"nodes\": 2, \"shards_per_node\": 2, ",
+            "\"served_p50_probe_rounds\": {:.1}, ",
+            "\"round_trips_per_query\": {:.2}, ",
+            "\"served_query_seconds\": {:.8}, ",
+            "\"inprocess_query_seconds\": {:.8}}}\n}}\n"
         ),
         scale.steps,
         scale.step_items,
@@ -917,6 +1064,10 @@ fn main() {
         scrub_bps,
         flaky_retries,
         flaky_secs,
+        served_p50_rounds,
+        trips_per_query,
+        served_secs,
+        inproc_secs,
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path}"),

@@ -70,10 +70,16 @@ impl Scale {
         }
     }
 
-    /// Parse `--full` from the process args; also honors `HSQ_BENCH_FULL`.
+    /// Parse `--full` from the process args; also honors `HSQ_BENCH_FULL`
+    /// as a boolean flag: `1`/`true`/`on`/`yes` select the full scale,
+    /// `0`/`false`/`off`/`no`/empty select quick, anything else panics
+    /// (the `HSQ_WORKERS` convention — `HSQ_BENCH_FULL=0` must not
+    /// silently run a multi-minute full sweep).
     pub fn from_args() -> Self {
-        let full =
-            std::env::args().any(|a| a == "--full") || std::env::var("HSQ_BENCH_FULL").is_ok();
+        let full = std::env::args().any(|a| a == "--full")
+            || std::env::var("HSQ_BENCH_FULL")
+                .map(|v| parse_bench_full(&v))
+                .unwrap_or(false);
         if full {
             Self::full()
         } else {
@@ -84,6 +90,15 @@ impl Scale {
     /// Total historical items.
     pub fn total_items(&self) -> u64 {
         (self.steps * self.step_items) as u64
+    }
+}
+
+/// Parse an `HSQ_BENCH_FULL` value as a boolean flag; panics on garbage.
+fn parse_bench_full(v: &str) -> bool {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" | "0" | "false" | "off" | "no" => false,
+        "1" | "true" | "on" | "yes" => true,
+        other => panic!("invalid HSQ_BENCH_FULL {other:?} (want 1/0/true/false/on/off/yes/no)"),
     }
 }
 
@@ -353,5 +368,21 @@ mod tests {
     fn median_helper() {
         let mut xs = [3.0, 1.0, 2.0];
         assert_eq!(median(&mut xs), 2.0);
+    }
+
+    #[test]
+    fn bench_full_flag_truthiness() {
+        for off in ["", "0", "false", "off", "no", " FALSE ", "Off"] {
+            assert!(!parse_bench_full(off), "{off:?} should be off");
+        }
+        for on in ["1", "true", "on", "yes", " TRUE ", "On"] {
+            assert!(parse_bench_full(on), "{on:?} should be on");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_BENCH_FULL")]
+    fn bench_full_garbage_panics() {
+        parse_bench_full("definitely");
     }
 }

@@ -360,6 +360,8 @@ pub fn classify(leaf: &str) -> (Direction, bool) {
         "blocking_calls",
         "blocking_sync",
         "probes",
+        "probe_rounds",
+        "round_trips",
     ]
     .iter()
     .any(|k| l.contains(k))
@@ -804,6 +806,39 @@ mod tests {
         slower.set("query", q);
         let (deltas, _) = compare(&base, &slower, Thresholds::default());
         assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
+    }
+
+    #[test]
+    fn service_metrics_gate_rounds_stable_and_latency_loose() {
+        // Probe rounds and wire round-trips per served query are
+        // deterministic given code and seeds: tight gate. Served-query
+        // latency is wall clock: loose gate.
+        let (dir, noisy) = classify("served_p50_probe_rounds");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("round_trips_per_query");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("served_query_seconds");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(noisy);
+
+        let base = Json::parse(
+            r#"{"service": {"nodes": 1, "served_p50_probe_rounds": 3.0,
+                 "round_trips_per_query": 3.0, "served_query_seconds": 0.001}}"#,
+        )
+        .unwrap();
+        let mut worse = base.clone();
+        let mut s = base.get("service").unwrap().clone();
+        s.set("served_p50_probe_rounds", Json::Num(5.0));
+        worse.set("service", s);
+        let (deltas, _) = compare(&base, &worse, Thresholds::default());
+        assert!(
+            deltas
+                .iter()
+                .any(|d| d.path.contains("served_p50_probe_rounds") && d.failed),
+            "probe-round regression must gate: {deltas:?}"
+        );
     }
 
     #[test]

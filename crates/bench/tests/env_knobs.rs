@@ -1,0 +1,200 @@
+//! Consistency sweep over every `HSQ_*` environment knob.
+//!
+//! The repo's convention: a *set but garbage* knob must fail the process
+//! loudly, naming the variable — never silently fall back to a default
+//! (a typo'd `HSQ_WORKERS=eight` running single-threaded would corrupt a
+//! benchmark with zero signal; `HSQ_SEED` without randomized compaction
+//! would claim a sweep that never ran). This sweep drives every knob's
+//! reader with garbage and with good values and checks both directions.
+//!
+//! Knob readers run at engine-construction time deep inside library
+//! code, so the panic cannot be caught in-process per case. Instead the
+//! sweep re-executes this test binary: the hidden `env_knob_probe` test
+//! below (ignored, so it never runs in a normal `cargo test`) reads
+//! `HSQ_KNOB_PROBE` to pick a knob reader and invokes it; the sweep
+//! spawns one probe subprocess per case with a scrubbed `HSQ_*`
+//! environment and asserts on its exit status and output.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+/// Every knob the sweep scrubs before injecting a case. Keep in sync
+/// with the `HSQ_*` reads across the workspace (`rg 'HSQ_[A-Z_]+'`);
+/// CI legs export several of these, and a leaked one would cross-talk
+/// into an unrelated probe (e.g. `HSQ_SEED` leaking into the
+/// `compaction` probe flips its verdict).
+const ALL_KNOBS: &[&str] = &[
+    "HSQ_WORKERS",
+    "HSQ_SKETCH",
+    "HSQ_COMPACTION",
+    "HSQ_SEED",
+    "HSQ_IO_REORDER_SEED",
+    "HSQ_BENCH_FULL",
+    "HSQ_BENCH_JSON",
+    "HSQ_KNOB_PROBE",
+];
+
+/// The probe body: picks the knob reader named by `HSQ_KNOB_PROBE` and
+/// invokes it. Hidden from normal runs by `#[ignore]`; the sweep runs it
+/// via `--ignored --exact`.
+#[test]
+#[ignore = "subprocess probe for the env-knob sweep, not a standalone test"]
+fn env_knob_probe() {
+    let knob = std::env::var("HSQ_KNOB_PROBE").expect("probe needs HSQ_KNOB_PROBE");
+    match knob.as_str() {
+        "workers" => {
+            let w = hsq_core::parallel::worker_count(64);
+            println!("probe ok: worker_count = {w}");
+        }
+        "sketch" => {
+            let k = hsq_sketch::SketchKind::from_env();
+            println!("probe ok: sketch = {k:?}");
+        }
+        "compaction" => {
+            let c = hsq_sketch::SketchCompaction::from_env();
+            println!("probe ok: compaction = {c:?}");
+        }
+        "io_reorder" => {
+            let dev = hsq_storage::MemDevice::new(4096);
+            let sched = hsq_storage::IoScheduler::new(dev, 2);
+            println!("probe ok: scheduler = {sched:?}");
+        }
+        "bench_full" => {
+            let scale = hsq_bench::Scale::from_args();
+            println!("probe ok: steps = {}", scale.steps);
+        }
+        other => panic!("unknown probe {other:?}"),
+    }
+}
+
+/// One probe subprocess: scrub every `HSQ_*` knob, set `vars`, run the
+/// hidden probe for `knob`. Returns `(success, combined_output)`.
+fn run_probe(knob: &str, vars: &BTreeMap<&str, &str>) -> (bool, String) {
+    let exe = std::env::current_exe().expect("current test binary");
+    let mut cmd = Command::new(exe);
+    cmd.args(["--exact", "env_knob_probe", "--ignored", "--nocapture"]);
+    for k in ALL_KNOBS {
+        cmd.env_remove(k);
+    }
+    cmd.env("HSQ_KNOB_PROBE", knob);
+    for (k, v) in vars {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn probe");
+    let mut text = String::from_utf8_lossy(&out.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
+}
+
+/// Assert the probe accepts this environment.
+fn accepts(knob: &str, vars: &[(&str, &str)]) {
+    let vars: BTreeMap<_, _> = vars.iter().copied().collect();
+    let (ok, out) = run_probe(knob, &vars);
+    assert!(ok, "probe {knob} rejected {vars:?}:\n{out}");
+    assert!(
+        out.contains("probe ok"),
+        "probe {knob} exited 0 without running for {vars:?}:\n{out}"
+    );
+}
+
+/// Assert the probe dies loudly, naming `var`, under this environment.
+fn rejects(knob: &str, vars: &[(&str, &str)], var: &str) {
+    let vars: BTreeMap<_, _> = vars.iter().copied().collect();
+    let (ok, out) = run_probe(knob, &vars);
+    assert!(!ok, "probe {knob} accepted garbage {vars:?}:\n{out}");
+    assert!(
+        out.contains(var),
+        "probe {knob} failed on {vars:?} without naming {var}:\n{out}"
+    );
+}
+
+#[test]
+fn hsq_workers_sweep() {
+    accepts("workers", &[]);
+    accepts("workers", &[("HSQ_WORKERS", "1")]);
+    accepts("workers", &[("HSQ_WORKERS", " 8 ")]);
+    for garbage in ["0", "eight", "-3", "1.5", ""] {
+        rejects("workers", &[("HSQ_WORKERS", garbage)], "HSQ_WORKERS");
+    }
+}
+
+#[test]
+fn hsq_sketch_sweep() {
+    accepts("sketch", &[]);
+    accepts("sketch", &[("HSQ_SKETCH", "gk")]);
+    accepts("sketch", &[("HSQ_SKETCH", "KLL")]);
+    for garbage in ["klll", "gk2", "", "quantile"] {
+        rejects("sketch", &[("HSQ_SKETCH", garbage)], "HSQ_SKETCH");
+    }
+}
+
+#[test]
+fn hsq_compaction_and_seed_sweep() {
+    accepts("compaction", &[]);
+    accepts("compaction", &[("HSQ_COMPACTION", "deterministic")]);
+    accepts("compaction", &[("HSQ_COMPACTION", "det")]);
+    accepts(
+        "compaction",
+        &[("HSQ_COMPACTION", "randomized"), ("HSQ_SEED", "42")],
+    );
+    // Randomized without a seed defaults to seed 0; an empty seed counts
+    // as unset (matrix legs blank it on non-randomized legs).
+    accepts("compaction", &[("HSQ_COMPACTION", "rand")]);
+    accepts(
+        "compaction",
+        &[("HSQ_COMPACTION", "deterministic"), ("HSQ_SEED", "  ")],
+    );
+    for garbage in ["fifo", "random!", "", "deterministc"] {
+        rejects(
+            "compaction",
+            &[("HSQ_COMPACTION", garbage)],
+            "HSQ_COMPACTION",
+        );
+    }
+    for garbage in ["banana", "-1", "1.5"] {
+        rejects(
+            "compaction",
+            &[("HSQ_COMPACTION", "randomized"), ("HSQ_SEED", garbage)],
+            "HSQ_SEED",
+        );
+    }
+    // Consistency, not just parsing: a seed the selected mode would
+    // silently drop is itself an error.
+    rejects("compaction", &[("HSQ_SEED", "42")], "HSQ_SEED");
+    rejects(
+        "compaction",
+        &[("HSQ_COMPACTION", "deterministic"), ("HSQ_SEED", "42")],
+        "HSQ_SEED",
+    );
+}
+
+#[test]
+fn hsq_io_reorder_seed_sweep() {
+    accepts("io_reorder", &[]);
+    accepts("io_reorder", &[("HSQ_IO_REORDER_SEED", "0")]);
+    accepts("io_reorder", &[("HSQ_IO_REORDER_SEED", " 31337 ")]);
+    for garbage in ["banana", "-1", "0x10", ""] {
+        rejects(
+            "io_reorder",
+            &[("HSQ_IO_REORDER_SEED", garbage)],
+            "HSQ_IO_REORDER_SEED",
+        );
+    }
+}
+
+#[test]
+fn hsq_bench_full_sweep() {
+    // HSQ_BENCH_JSON is deliberately absent from the sweep: it is a
+    // free-form output path, so every value is well-formed.
+    accepts("bench_full", &[]);
+    for good in ["", "0", "1", "true", "FALSE", "on", "off", "yes", "no"] {
+        accepts("bench_full", &[("HSQ_BENCH_FULL", good)]);
+    }
+    for garbage in ["2", "full", "yes please", "-1"] {
+        rejects(
+            "bench_full",
+            &[("HSQ_BENCH_FULL", garbage)],
+            "HSQ_BENCH_FULL",
+        );
+    }
+}

@@ -30,7 +30,7 @@ use crate::summary::PartitionSummary;
 /// Semantics required of each entry `(value, lo, hi)`:
 /// * at least `lo` elements of the source are `≤ value`;
 /// * at most `hi − 1` elements of the source are `< value`.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SourceView<T> {
     entries: Vec<(T, u64, u64)>,
     total: u64,
@@ -65,6 +65,38 @@ impl<T: Item> SourceView<T> {
     pub fn from_raw(entries: Vec<(T, u64, u64)>, total: u64) -> Self {
         debug_assert!(entries.windows(2).all(|w| w[0].0 <= w[1].0));
         SourceView { entries, total }
+    }
+
+    /// Validating construction for views that crossed a trust boundary
+    /// (e.g. decoded from a wire frame): entries must be sorted by value
+    /// with `lo ≤ hi ≤ total` — the invariants
+    /// [`CombinedSummary::build`]'s two-pointer sweep and the bisection's
+    /// soundness argument rely on. Anything else is rejected rather than
+    /// silently producing unsound rank bounds.
+    pub fn try_from_raw(entries: Vec<(T, u64, u64)>, total: u64) -> Result<Self, &'static str> {
+        if !entries.windows(2).all(|w| w[0].0 <= w[1].0) {
+            return Err("source view entries not sorted by value");
+        }
+        for &(_, lo, hi) in &entries {
+            if lo > hi {
+                return Err("source view entry has lo > hi");
+            }
+            if hi > total {
+                return Err("source view entry bound exceeds source total");
+            }
+        }
+        Ok(SourceView { entries, total })
+    }
+
+    /// The `(value, lo, hi)` entries, sorted by value — the serializable
+    /// form a serving node ships to a coordinator.
+    pub fn entries(&self) -> &[(T, u64, u64)] {
+        &self.entries
+    }
+
+    /// The source's total size (summed weight).
+    pub fn total(&self) -> u64 {
+        self.total
     }
 }
 

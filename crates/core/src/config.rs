@@ -39,6 +39,22 @@ impl fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// Validate an overall error parameter `ε`: finite and in `(0, 1]`.
+///
+/// The single gate for every path an ε can enter the system through —
+/// the [`HsqConfigBuilder`] setters and values decoded from service
+/// handshake frames (a coordinator must reject a garbage ε before using
+/// it to size acceptance windows, exactly as a local builder would).
+/// `NaN` fails every comparison, so the check is an explicit accept-list
+/// rather than a rejection of `epsilon <= 0.0`.
+pub fn validate_epsilon(epsilon: f64) -> Result<f64, ConfigError> {
+    if epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0 {
+        Ok(epsilon)
+    } else {
+        Err(ConfigError::InvalidEpsilon(epsilon))
+    }
+}
+
 /// Configuration for [`crate::HistStreamQuantiles`] and its parts.
 #[derive(Clone, Debug, PartialEq)]
 pub struct HsqConfig {
@@ -214,10 +230,7 @@ impl HsqConfigBuilder {
     /// must be an explicit accept-list — `is_finite` plus the open/closed
     /// interval test — rather than a rejection of `epsilon <= 0.0`.
     pub fn try_epsilon(mut self, epsilon: f64) -> Result<Self, ConfigError> {
-        if !(epsilon.is_finite() && epsilon > 0.0 && epsilon <= 1.0) {
-            return Err(ConfigError::InvalidEpsilon(epsilon));
-        }
-        self.epsilon = epsilon;
+        self.epsilon = validate_epsilon(epsilon)?;
         Ok(self)
     }
 

@@ -91,11 +91,11 @@ pub mod warehouse;
 pub use baseline::{PureStreaming, Strawman, StreamingAlgo};
 pub use bounds::{CombinedSummary, SourceView};
 pub use budget::{plan_memory, MemoryPlan};
-pub use config::{ConfigError, HsqConfig, HsqConfigBuilder};
+pub use config::{validate_epsilon, ConfigError, HsqConfig, HsqConfigBuilder};
 pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
 pub use hsq_sketch::{SketchCompaction, SketchKind};
-pub use query::{QueryContext, QueryOutcome, SeedMode};
+pub use query::{QueryContext, QueryOutcome, RankProbeSource, SeedMode};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};
 pub use stream::{StreamProcessor, StreamSummary};

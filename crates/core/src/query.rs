@@ -501,29 +501,54 @@ impl<'d, T: Item> SpecPrefetcher<'d, T> {
     }
 }
 
-/// Value-space bisection over *summed* rank bounds (the cross-shard
-/// fan-in of [`crate::sharded`], shared by full and windowed queries).
+/// A source of rigorous rank bounds for the value-space bisection
+/// ([`bisect_summed_rank`]): `probe(z)` returns `(lo, hi)` with
+/// `lo ≤ rank(z, union) ≤ hi` (summed weights under weighted ingestion)
+/// over whatever union the source fronts.
 ///
-/// `probe(z)` returns rigorous `(lo, hi)` bounds on `rank(z)` — summed
+/// The trait is the seam between *where the data lives* and *how the
+/// query runs*: an in-process [`crate::ShardedSnapshot`] probes its
+/// shards directly (any `FnMut(T) -> io::Result<(u64, u64)>` closure
+/// implements the trait), while a networked coordinator batches one
+/// probe round per call across remote nodes — bounds from disjoint
+/// sources add, so both drive the *same* bisection and inherit the same
+/// `ε·m` guarantee.
+pub trait RankProbeSource<T: Item> {
+    /// Rigorous `(lo, hi)` bounds on `rank(z)` over the fronted union.
+    fn probe(&mut self, z: T) -> io::Result<(u64, u64)>;
+}
+
+impl<T: Item, F: FnMut(T) -> io::Result<(u64, u64)>> RankProbeSource<T> for F {
+    fn probe(&mut self, z: T) -> io::Result<(u64, u64)> {
+        self(z)
+    }
+}
+
+/// Value-space bisection over *summed* rank bounds (the cross-shard
+/// fan-in of [`crate::sharded`], shared by full and windowed queries —
+/// and, through the [`RankProbeSource`] seam, by remote coordinators
+/// probing nodes over the wire).
+///
+/// `probe` returns rigorous `(lo, hi)` bounds on `rank(z)` — summed
 /// weights under weighted ingestion — over the queried union; the
 /// midpoint estimate carries up to `hi − mid`
 /// uncertainty, so a probe is accepted when `|ρ − r| ≤ eps_m − unc` and
 /// the search otherwise bisects `[u, v]` to value collapse (Definition
 /// 1's boundary answer). Returns `(value, estimated_rank,
 /// bisection_steps)`.
-pub(crate) fn bisect_summed_rank<T: Item>(
+pub fn bisect_summed_rank<T: Item>(
     r: u64,
     eps_m: u64,
     mut u: T,
     mut v: T,
-    mut probe: impl FnMut(T) -> io::Result<(u64, u64)>,
+    probe: &mut dyn RankProbeSource<T>,
 ) -> io::Result<(T, u64, u32)> {
     fn midpoint_estimate((lo, hi): (u64, u64)) -> u64 {
         lo + (hi - lo) / 2
     }
     if v <= u {
         // Both filters pin rank r exactly; v is Definition 1's answer.
-        return Ok((v, midpoint_estimate(probe(v)?), 0));
+        return Ok((v, midpoint_estimate(probe.probe(v)?), 0));
     }
     let mut steps = 0u32;
     loop {
@@ -531,13 +556,13 @@ pub(crate) fn bisect_summed_rank<T: Item>(
         if steps > T::UNIVERSE_BITS + 2 {
             // Value space exhausted; v is the smallest value whose
             // estimated rank reaches r.
-            break Ok((v, midpoint_estimate(probe(v)?), steps));
+            break Ok((v, midpoint_estimate(probe.probe(v)?), steps));
         }
         let z = T::midpoint(u, v);
         if z == u && z == v {
-            break Ok((v, midpoint_estimate(probe(v)?), steps));
+            break Ok((v, midpoint_estimate(probe.probe(v)?), steps));
         }
-        let (lo, hi) = probe(z)?;
+        let (lo, hi) = probe.probe(z)?;
         let rho = lo + (hi - lo) / 2;
         let unc = hi - rho;
         let tol = eps_m.saturating_sub(unc);
@@ -546,7 +571,7 @@ pub(crate) fn bisect_summed_rank<T: Item>(
         } else if rho < r && r - rho > tol {
             if z == u {
                 // Interval degenerated to {u, v = u+ulp}: answer is v.
-                break Ok((v, midpoint_estimate(probe(v)?), steps));
+                break Ok((v, midpoint_estimate(probe.probe(v)?), steps));
             }
             u = z; // too low: recurse right
         } else {

@@ -481,8 +481,13 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
     /// Summed `rank(z)` bounds across shards — concurrently over the
     /// bounded pool when `parallel_query` is configured, serially
     /// otherwise. `caches` = one cache set per shard, from
-    /// [`EngineSnapshot::new_caches`].
-    fn probe_bounds(&self, z: T, caches: &mut [Vec<BlockCache<T>>]) -> io::Result<(u64, u64)> {
+    /// [`ShardedSnapshot::new_cache_set`].
+    ///
+    /// Public because it is the per-node probe of the networked fan-in:
+    /// a serving node answers each probe round with exactly this sum,
+    /// and bounds from disjoint nodes add, so a coordinator bisecting
+    /// over node-summed bounds inherits the in-process guarantee.
+    pub fn probe_bounds(&self, z: T, caches: &mut [Vec<BlockCache<T>>]) -> io::Result<(u64, u64)> {
         let results = if self.parallel && self.shards.len() > 1 {
             crate::parallel::par_map_mut(caches, |i, c| self.shards[i].rank_bounds(z, c))
         } else {
@@ -565,8 +570,9 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
         // uncertainty, so accept when |ρ − r| ≤ ε·m − unc and otherwise
         // bisect to value collapse (Definition 1's boundary answer).
         let eps_m = (self.epsilon * self.stream_len() as f64).floor() as u64;
+        let mut probe = |z| self.probe_bounds(z, caches);
         let (value, estimated_rank, steps) =
-            crate::query::bisect_summed_rank(r, eps_m, u, v, |z| self.probe_bounds(z, caches))?;
+            crate::query::bisect_summed_rank(r, eps_m, u, v, &mut probe)?;
 
         let quarantined = self.quarantined_total();
         Ok(Some(QueryOutcome {
@@ -587,6 +593,126 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
     /// widening cross-shard outcomes carry.
     pub fn quarantined_total(&self) -> u64 {
         self.shards.iter().map(|s| s.quarantined_mass()).sum()
+    }
+
+    /// The error parameter governing this snapshot's accurate responses
+    /// (`4ε₂`, from [`crate::HsqConfig::query_epsilon`]): outcomes are
+    /// rank-correct within `ε·m`, `m` = stream weight at snapshot time.
+    /// A serving node hands this to its coordinator so remote and
+    /// in-process acceptance windows are bit-identical.
+    pub fn query_epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// One block-cache set per shard, for [`ShardedSnapshot::probe_bounds`].
+    /// Callers probing concurrently (e.g. one serving connection per
+    /// tenant) hold their own set; the snapshot itself stays shared.
+    pub fn new_cache_set(&self) -> Vec<Vec<BlockCache<T>>> {
+        self.shards.iter().map(|s| s.new_caches()).collect()
+    }
+
+    /// Every per-source view this snapshot's combined summary is built
+    /// from — each shard's partition summaries plus its stream summary,
+    /// in shard order. This is the *summary extract* a serving node
+    /// ships to a coordinator: rebuilding [`CombinedSummary::build`]
+    /// over the concatenated extracts of disjoint nodes reproduces the
+    /// union's summary exactly (values are a sorted multiset, bounds are
+    /// order-independent sums), so remotely seeded bisection brackets
+    /// match the in-process ones bit for bit.
+    pub fn source_views(&self) -> Vec<crate::bounds::SourceView<T>> {
+        self.shards.iter().flat_map(|s| s.sources()).collect()
+    }
+
+    /// The windowed counterpart of [`ShardedSnapshot::source_views`]:
+    /// per-source views over the newest `window_steps` steps (each
+    /// shard's in-window, non-quarantined partition summaries plus its
+    /// stream summary) and the windowed total. `None` when the window
+    /// misaligns with partition boundaries on any shard. Built in the
+    /// same source order as the cached window plan, so a summary rebuilt
+    /// from the extract equals the plan's.
+    pub fn window_source_views(
+        &self,
+        window_steps: u64,
+    ) -> Option<(Vec<crate::bounds::SourceView<T>>, u64)> {
+        let plan = self.window_plan(window_steps)?;
+        let mut sources = Vec::new();
+        for (s, idx) in self.shards.iter().zip(&plan.parts) {
+            for &i in idx {
+                sources.push(crate::bounds::SourceView::from_partition(
+                    &s.partition_at(i).summary,
+                ));
+            }
+            sources.push(crate::bounds::SourceView::from_stream(s.stream_summary()));
+        }
+        Some((sources, plan.total))
+    }
+
+    /// Block caches shaped for [`ShardedSnapshot::window_probe_bounds`]
+    /// (per shard, one cache per in-window partition, the shard's cache
+    /// budget split across them). `None` when the window misaligns.
+    pub fn window_cache_set(&self, window_steps: u64) -> Option<Vec<Vec<BlockCache<T>>>> {
+        let plan = self.window_plan(window_steps)?;
+        Some(
+            self.shards
+                .iter()
+                .zip(&plan.parts)
+                .map(|(s, idx)| {
+                    let per = (s.cache_blocks() / idx.len().max(1)).max(2);
+                    idx.iter().map(|_| BlockCache::new(per)).collect()
+                })
+                .collect(),
+        )
+    }
+
+    /// Summed windowed `rank(z)` bounds across shards — the per-node
+    /// probe of the networked *windowed* fan-in, summing
+    /// [`crate::query::union_rank_bounds`] over each shard's in-window
+    /// partitions plus its stream summary (exactly the sum
+    /// [`ShardedSnapshot::rank_in_window`] bisects over). `caches` from
+    /// [`ShardedSnapshot::window_cache_set`]; `None` when the window
+    /// misaligns.
+    pub fn window_probe_bounds(
+        &self,
+        window_steps: u64,
+        z: T,
+        caches: &mut [Vec<BlockCache<T>>],
+    ) -> io::Result<Option<(u64, u64)>> {
+        let Some(plan) = self.window_plan(window_steps) else {
+            return Ok(None);
+        };
+        let per_shard: Vec<Vec<&crate::warehouse::StoredPartition<T>>> = plan
+            .parts
+            .iter()
+            .zip(&self.shards)
+            .map(|(idx, s)| idx.iter().map(|&i| s.partition_at(i)).collect())
+            .collect();
+        let per_shard = &per_shard;
+        let probe_one = |i: usize, cache: &mut Vec<BlockCache<T>>| {
+            crate::query::union_rank_bounds(
+                &**self.shards[i].device(),
+                &per_shard[i],
+                self.shards[i].stream_summary(),
+                z,
+                cache,
+            )
+        };
+        let results = if self.parallel && self.shards.len() > 1 {
+            crate::parallel::par_map_mut(caches, |i, c| probe_one(i, c))
+        } else {
+            caches
+                .iter_mut()
+                .enumerate()
+                .map(|(i, c)| probe_one(i, c))
+                .collect()
+        };
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for res in results {
+            let (l, h) = res?;
+            lo += l;
+            hi += h;
+        }
+        Ok(Some((lo, hi)))
     }
 
     /// Window sizes (in snapshot-time steps) answerable exactly across
@@ -737,26 +863,27 @@ impl<T: Item, D: BlockDevice> ShardedSnapshot<T, D> {
                 cache,
             )
         };
+        let mut probe = |z| {
+            let results = if self.parallel && self.shards.len() > 1 {
+                crate::parallel::par_map_mut(&mut caches, |i, c| probe_one(i, c, z))
+            } else {
+                caches
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(i, c)| probe_one(i, c, z))
+                    .collect()
+            };
+            let mut lo = 0u64;
+            let mut hi = 0u64;
+            for res in results {
+                let (l, h) = res?;
+                lo += l;
+                hi += h;
+            }
+            Ok((lo, hi))
+        };
         let (value, estimated_rank, steps) =
-            crate::query::bisect_summed_rank(r, eps_m, u, v, |z| {
-                let results = if self.parallel && self.shards.len() > 1 {
-                    crate::parallel::par_map_mut(&mut caches, |i, c| probe_one(i, c, z))
-                } else {
-                    caches
-                        .iter_mut()
-                        .enumerate()
-                        .map(|(i, c)| probe_one(i, c, z))
-                        .collect()
-                };
-                let mut lo = 0u64;
-                let mut hi = 0u64;
-                for res in results {
-                    let (l, h) = res?;
-                    lo += l;
-                    hi += h;
-                }
-                Ok((lo, hi))
-            })?;
+            crate::query::bisect_summed_rank(r, eps_m, u, v, &mut probe)?;
 
         let quarantined = self.quarantined_total();
         Ok(Some(QueryOutcome {

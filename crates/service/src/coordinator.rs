@@ -1,0 +1,513 @@
+//! The query-side client: a [`Coordinator`] fans one logical query out
+//! across serving nodes and merges their answers into a single
+//! [`QueryOutcome`] carrying the union-wide `ε·m` guarantee.
+//!
+//! ## Probe-round protocol
+//!
+//! Ranks over disjoint unions **add**: if node `i` bounds `rank(z)` over
+//! its data by `(lo_i, hi_i)`, then `(Σ lo_i, Σ hi_i)` bounds `rank(z)`
+//! over the union. The coordinator therefore runs the *same* value-space
+//! bisection as the in-process engine
+//! ([`hsq_core::query::bisect_summed_rank`], via the
+//! [`RankProbeSource`] seam), with each probe answered by one *round*:
+//! the probe value is written to every node back-to-back, then all
+//! responses are collected and summed — so a round costs one RTT
+//! regardless of node count, and `round_trips = rounds × nodes`.
+//!
+//! ## Why so few rounds
+//!
+//! Before bisecting, the session fetches each node's *summary extract*
+//! (its per-source views) and rebuilds the union's combined summary
+//! locally. Because [`CombinedSummary::build`] sorts a value multiset
+//! and sums order-independent per-source bounds, the rebuilt summary is
+//! bit-identical to what a single in-process engine over the same
+//! sources would build — so the bisection starts from the same tight
+//! summary-seeded bracket `(u, v)` and accepts under the same
+//! `ε·m − unc` tolerance. Empirically that means **~3 probe rounds at
+//! the median** (≤ 4 at p50 is asserted in the loopback tests): the
+//! bracket is already within a few summary gaps of the answer, and each
+//! round halves it. The extract is fetched once per session and reused
+//! across every subsequent query (the dashboard pattern), so steady
+//! state is pure probe rounds.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use hsq_core::query::bisect_summed_rank;
+use hsq_core::{CombinedSummary, QueryOutcome, RankProbeSource, SourceView};
+use hsq_storage::{IoSnapshot, Item};
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+
+fn svc_err(msg: impl Into<String>) -> io::Error {
+    io::Error::other(msg.into())
+}
+
+/// An accurate answer served over the network, plus what it cost on the
+/// wire. `outcome.io` is always zero — disk I/O happens on the nodes.
+#[derive(Clone, Debug)]
+pub struct ServedQuery<T> {
+    /// The merged outcome, same semantics as the in-process
+    /// [`hsq_core::ShardedSnapshot::rank_query`].
+    pub outcome: QueryOutcome<T>,
+    /// Bisection probe rounds this query spent (one RTT each).
+    pub probe_rounds: u32,
+    /// Total request/response pairs on the wire (`rounds × nodes`).
+    pub round_trips: u64,
+}
+
+/// A client connected to a set of serving nodes, each holding a disjoint
+/// part of the dataset. All queries go through a per-tenant
+/// [`TenantSession`].
+pub struct Coordinator<T: Item> {
+    nodes: Vec<TcpStream>,
+    _items: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Item> Coordinator<T> {
+    /// Connect to every node; the union of their datasets is what
+    /// queries answer over. Errors if `addrs` is empty or any
+    /// connection fails.
+    pub fn connect<A: ToSocketAddrs>(addrs: &[A]) -> io::Result<Coordinator<T>> {
+        if addrs.is_empty() {
+            return Err(svc_err("coordinator needs at least one node"));
+        }
+        let mut nodes = Vec::with_capacity(addrs.len());
+        for a in addrs {
+            let s = TcpStream::connect(a)?;
+            s.set_nodelay(true)?;
+            nodes.push(s);
+        }
+        Ok(Coordinator {
+            nodes,
+            _items: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of connected nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// One batched round: the frame goes to every node back-to-back,
+    /// then all responses are read — one RTT total on the wire.
+    fn broadcast(&mut self, req: &Request<T>) -> io::Result<Vec<Response<T>>> {
+        let frame = req.encode();
+        for n in &mut self.nodes {
+            write_frame(n, &frame)?;
+        }
+        self.nodes
+            .iter_mut()
+            .map(|n| Response::decode(&read_frame(n)?))
+            .collect()
+    }
+
+    /// Liveness round-trip to every node.
+    pub fn ping(&mut self) -> io::Result<()> {
+        for resp in self.broadcast(&Request::Ping)? {
+            match resp {
+                Response::Pong => {}
+                other => return Err(unexpected("Pong", &other)),
+            }
+        }
+        Ok(())
+    }
+
+    /// Weighted stream ingest into one node's engine. Returns
+    /// `(items, weight)` acknowledged.
+    pub fn ingest(&mut self, node: usize, items: &[(T, u64)]) -> io::Result<(u64, u64)> {
+        let req = Request::Ingest {
+            items: items.to_vec(),
+        };
+        let frame = req.encode();
+        let n = self
+            .nodes
+            .get_mut(node)
+            .ok_or_else(|| svc_err(format!("no node {node}")))?;
+        write_frame(n, &frame)?;
+        match Response::<T>::decode(&read_frame(n)?)? {
+            Response::Ingested { items, weight } => Ok((items, weight)),
+            Response::Error { message } => Err(svc_err(message)),
+            other => Err(unexpected("Ingested", &other)),
+        }
+    }
+
+    /// Archive the current stream into a time-step partition on every
+    /// node. Returns per-node shard counts.
+    pub fn end_step(&mut self) -> io::Result<Vec<u64>> {
+        self.broadcast(&Request::EndStep)?
+            .into_iter()
+            .map(|resp| match resp {
+                Response::StepEnded { shards } => Ok(shards),
+                Response::Error { message } => Err(svc_err(message)),
+                other => Err(unexpected("StepEnded", &other)),
+            })
+            .collect()
+    }
+
+    /// Open (or resume) the tenant's session on every node, pinning one
+    /// snapshot epoch per node. Repeated sessions for the same tenant
+    /// reuse the pinned snapshots — and therefore the nodes' cached
+    /// summaries — until [`TenantSession::refresh`].
+    pub fn session(&mut self, tenant: u64) -> io::Result<TenantSession<'_, T>> {
+        let vitals = open_sessions(self, tenant, false)?;
+        Ok(TenantSession {
+            coord: self,
+            tenant,
+            vitals,
+            summary: None,
+            windows: HashMap::new(),
+        })
+    }
+}
+
+/// Session-wide vitals merged from every node's `Session` response.
+#[derive(Clone, Debug)]
+struct SessionVitals {
+    total: u64,
+    stream_weight: u64,
+    quarantined: u64,
+    epsilon: f64,
+}
+
+fn unexpected<T>(wanted: &str, got: &Response<T>) -> io::Error {
+    let kind = match got {
+        Response::Pong => "Pong",
+        Response::Ingested { .. } => "Ingested",
+        Response::StepEnded { .. } => "StepEnded",
+        Response::Session { .. } => "Session",
+        Response::Extract { .. } => "Extract",
+        Response::WindowUnavailable => "WindowUnavailable",
+        Response::Bounds { .. } => "Bounds",
+        Response::Error { .. } => "Error",
+    };
+    svc_err(format!("expected {wanted} response, got {kind}"))
+}
+
+fn open_sessions<T: Item>(
+    coord: &mut Coordinator<T>,
+    tenant: u64,
+    refresh: bool,
+) -> io::Result<SessionVitals> {
+    let responses = coord.broadcast(&Request::OpenSession { tenant, refresh })?;
+    let mut vitals = SessionVitals {
+        total: 0,
+        stream_weight: 0,
+        quarantined: 0,
+        epsilon: 0.0,
+    };
+    for (i, resp) in responses.into_iter().enumerate() {
+        match resp {
+            Response::Session {
+                total,
+                stream_weight,
+                quarantined,
+                epsilon,
+                ..
+            } => {
+                vitals.total += total;
+                vitals.stream_weight += stream_weight;
+                vitals.quarantined += quarantined;
+                if i == 0 {
+                    vitals.epsilon = epsilon;
+                } else if epsilon.to_bits() != vitals.epsilon.to_bits() {
+                    // A mixed-ε fleet has no single acceptance window;
+                    // refuse rather than serve a bound nobody holds.
+                    return Err(svc_err(format!(
+                        "node {i} runs query epsilon {epsilon}, node 0 runs {}",
+                        vitals.epsilon
+                    )));
+                }
+            }
+            Response::Error { message } => return Err(svc_err(message)),
+            other => return Err(unexpected("Session", &other)),
+        }
+    }
+    Ok(vitals)
+}
+
+/// The remote [`RankProbeSource`]: each probe is one batched round over
+/// every node, bounds summed.
+struct RemoteProbes<'a, T: Item> {
+    nodes: &'a mut [TcpStream],
+    tenant: u64,
+    window: Option<u64>,
+    rounds: u32,
+    trips: u64,
+    _items: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Item> RankProbeSource<T> for RemoteProbes<'_, T> {
+    fn probe(&mut self, z: T) -> io::Result<(u64, u64)> {
+        let req: Request<T> = Request::Probe {
+            tenant: self.tenant,
+            window: self.window,
+            zs: vec![z],
+        };
+        let frame = req.encode();
+        for n in self.nodes.iter_mut() {
+            write_frame(n, &frame)?;
+        }
+        let mut lo = 0u64;
+        let mut hi = 0u64;
+        for n in self.nodes.iter_mut() {
+            match Response::<T>::decode(&read_frame(n)?)? {
+                Response::Bounds { bounds } if bounds.len() == 1 => {
+                    lo += bounds[0].0;
+                    hi += bounds[0].1;
+                }
+                Response::Bounds { bounds } => {
+                    return Err(svc_err(format!(
+                        "probe round answered {} bounds for 1 probe",
+                        bounds.len()
+                    )))
+                }
+                Response::Error { message } => return Err(svc_err(message)),
+                other => return Err(unexpected("Bounds", &other)),
+            }
+        }
+        self.rounds += 1;
+        self.trips += self.nodes.len() as u64;
+        Ok((lo, hi))
+    }
+}
+
+/// One tenant's query session: pinned node snapshots, a locally rebuilt
+/// combined summary (fetched once, reused across queries), and the
+/// query API mirroring [`hsq_core::ShardedSnapshot`].
+pub struct TenantSession<'a, T: Item> {
+    coord: &'a mut Coordinator<T>,
+    tenant: u64,
+    vitals: SessionVitals,
+    summary: Option<CombinedSummary<T>>,
+    windows: HashMap<u64, Option<(CombinedSummary<T>, u64)>>,
+}
+
+impl<T: Item> TenantSession<'_, T> {
+    /// Total size `N` of the union at session-pin time.
+    pub fn total_len(&self) -> u64 {
+        self.vitals.total
+    }
+
+    /// Stream weight `m` at session-pin time — the `ε·m` denominator.
+    pub fn stream_len(&self) -> u64 {
+        self.vitals.stream_weight
+    }
+
+    /// The fleet's accurate-response error parameter.
+    pub fn query_epsilon(&self) -> f64 {
+        self.vitals.epsilon
+    }
+
+    /// Re-pin every node's snapshot to current engine state and drop the
+    /// locally cached summaries.
+    pub fn refresh(&mut self) -> io::Result<()> {
+        self.vitals = open_sessions(self.coord, self.tenant, true)?;
+        self.summary = None;
+        self.windows.clear();
+        Ok(())
+    }
+
+    /// Fetch-and-rebuild the union's combined summary (once per
+    /// session): every node's extract, concatenated in node order.
+    fn ensure_summary(&mut self) -> io::Result<()> {
+        if self.summary.is_some() {
+            return Ok(());
+        }
+        let responses = self.coord.broadcast(&Request::Extract {
+            tenant: self.tenant,
+            window: None,
+        })?;
+        let mut sources: Vec<SourceView<T>> = Vec::new();
+        let mut total = 0u64;
+        for resp in responses {
+            match resp {
+                Response::Extract {
+                    total: t,
+                    sources: s,
+                } => {
+                    total += t;
+                    sources.extend(s);
+                }
+                Response::Error { message } => return Err(svc_err(message)),
+                other => return Err(unexpected("Extract", &other)),
+            }
+        }
+        if total != self.vitals.total {
+            return Err(svc_err(format!(
+                "extract total {total} disagrees with session total {}",
+                self.vitals.total
+            )));
+        }
+        self.summary = Some(CombinedSummary::build(&sources));
+        Ok(())
+    }
+
+    /// Fetch-and-rebuild the windowed summary for `window_steps` (once
+    /// per session per window). `None` — cached — when any node reports
+    /// the window unavailable.
+    fn ensure_window(&mut self, window_steps: u64) -> io::Result<()> {
+        if self.windows.contains_key(&window_steps) {
+            return Ok(());
+        }
+        let responses = self.coord.broadcast(&Request::Extract {
+            tenant: self.tenant,
+            window: Some(window_steps),
+        })?;
+        let mut sources: Vec<SourceView<T>> = Vec::new();
+        let mut total = 0u64;
+        let mut available = true;
+        for resp in responses {
+            match resp {
+                Response::Extract {
+                    total: t,
+                    sources: s,
+                } => {
+                    total += t;
+                    sources.extend(s);
+                }
+                Response::WindowUnavailable => available = false,
+                Response::Error { message } => return Err(svc_err(message)),
+                other => return Err(unexpected("Extract", &other)),
+            }
+        }
+        let entry = if available {
+            Some((CombinedSummary::build(&sources), total))
+        } else {
+            None
+        };
+        self.windows.insert(window_steps, entry);
+        Ok(())
+    }
+
+    fn outcome(&self, value: T, estimated_rank: u64, steps: u32) -> QueryOutcome<T> {
+        let eps_m = self.eps_m();
+        let quarantined = self.vitals.quarantined;
+        QueryOutcome {
+            value,
+            io: IoSnapshot::default(),
+            bisection_steps: steps,
+            estimated_rank,
+            prefetch_hits: 0,
+            prefetch_wasted: 0,
+            rank_lo: estimated_rank.saturating_sub(eps_m),
+            rank_hi: estimated_rank + eps_m + quarantined,
+            degraded: quarantined > 0,
+            quarantined,
+        }
+    }
+
+    /// `⌊ε·m⌋` — same rounding as the in-process acceptance rule, so
+    /// remote and in-process bisections accept identically.
+    fn eps_m(&self) -> u64 {
+        (self.vitals.epsilon * self.vitals.stream_weight as f64).floor() as u64
+    }
+
+    /// Accurate cross-node rank query: same bisection, same seed
+    /// bracket, same tolerance as
+    /// [`hsq_core::ShardedSnapshot::rank_query`] — the probes just
+    /// travel over TCP.
+    pub fn rank_query(&mut self, r: u64) -> io::Result<Option<ServedQuery<T>>> {
+        if self.vitals.total == 0 {
+            return Ok(None);
+        }
+        let r = r.clamp(1, self.vitals.total);
+        self.ensure_summary()?;
+        let ts = self.summary.as_ref().expect("summary just ensured");
+        let (u, v) = ts.seed_bracket(r);
+        let eps_m = self.eps_m();
+        let mut probes = RemoteProbes {
+            nodes: &mut self.coord.nodes,
+            tenant: self.tenant,
+            window: None,
+            rounds: 0,
+            trips: 0,
+            _items: std::marker::PhantomData,
+        };
+        let (value, estimated_rank, steps) = bisect_summed_rank(r, eps_m, u, v, &mut probes)?;
+        let (probe_rounds, round_trips) = (probes.rounds, probes.trips);
+        Ok(Some(ServedQuery {
+            outcome: self.outcome(value, estimated_rank, steps),
+            probe_rounds,
+            round_trips,
+        }))
+    }
+
+    /// Accurate φ-quantile over the union of every node's data.
+    pub fn quantile(&mut self, phi: f64) -> io::Result<Option<ServedQuery<T>>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.vitals.total as f64).ceil() as u64;
+        self.rank_query(r)
+    }
+
+    /// Quick response from the locally rebuilt combined summary: no
+    /// probe rounds at all (after the one-time extract fetch), error
+    /// ≤ 1.5·ε·N — the dashboard fast path.
+    pub fn quantile_quick(&mut self, phi: f64) -> io::Result<Option<T>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        let r = (phi * self.vitals.total as f64).ceil() as u64;
+        self.ensure_summary()?;
+        let ts = self.summary.as_ref().expect("summary just ensured");
+        Ok(ts.quick_response(r.clamp(1, ts.total().max(1))))
+    }
+
+    /// Windowed accurate rank query (newest `window_steps` steps on
+    /// every node). `Ok(None)` when any node's partitions misalign with
+    /// the window boundary, mirroring
+    /// [`hsq_core::ShardedSnapshot::rank_in_window`].
+    pub fn rank_in_window(
+        &mut self,
+        window_steps: u64,
+        r: u64,
+    ) -> io::Result<Option<ServedQuery<T>>> {
+        self.ensure_window(window_steps)?;
+        let Some((ts, wtotal)) = self.windows[&window_steps].as_ref() else {
+            return Ok(None);
+        };
+        let wtotal = *wtotal;
+        if wtotal == 0 {
+            return Ok(None);
+        }
+        let r = r.clamp(1, wtotal);
+        let (u, v) = ts.seed_bracket(r);
+        // ε·m over the FULL stream weight, exactly as in-process windowed
+        // queries: the stream is entirely inside every window.
+        let eps_m = self.eps_m();
+        let mut probes = RemoteProbes {
+            nodes: &mut self.coord.nodes,
+            tenant: self.tenant,
+            window: Some(window_steps),
+            rounds: 0,
+            trips: 0,
+            _items: std::marker::PhantomData,
+        };
+        let (value, estimated_rank, steps) = bisect_summed_rank(r, eps_m, u, v, &mut probes)?;
+        let (probe_rounds, round_trips) = (probes.rounds, probes.trips);
+        Ok(Some(ServedQuery {
+            outcome: self.outcome(value, estimated_rank, steps),
+            probe_rounds,
+            round_trips,
+        }))
+    }
+
+    /// Windowed accurate φ-quantile; `Ok(None)` when the window
+    /// misaligns on any node or holds no data.
+    pub fn quantile_in_window(
+        &mut self,
+        window_steps: u64,
+        phi: f64,
+    ) -> io::Result<Option<ServedQuery<T>>> {
+        assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        self.ensure_window(window_steps)?;
+        let Some((_, wtotal)) = self.windows[&window_steps].as_ref() else {
+            return Ok(None);
+        };
+        let wtotal = *wtotal;
+        if wtotal == 0 {
+            return Ok(None);
+        }
+        let r = (phi * wtotal as f64).ceil() as u64;
+        self.rank_in_window(window_steps, r)
+    }
+}

@@ -1,0 +1,40 @@
+//! # hsq-service — quantiles over the network
+//!
+//! Scales the [`hsq_core`] engine *out*: a fleet of serving nodes, each
+//! hosting a [`hsq_core::ShardedEngine`] over its own slice of the
+//! data, answers union-wide φ-quantile / rank / window queries driven
+//! by a [`Coordinator`] — with the same `ε·m` rank guarantee as a
+//! single in-process engine, because rank bounds over disjoint data
+//! **add** and the coordinator runs the identical value-space bisection
+//! over node-summed bounds.
+//!
+//! The moving parts:
+//!
+//! * [`proto`] — a length-prefixed, CRC-framed wire protocol (versioned
+//!   frames, validating decoders; torn/truncated/garbage frames surface
+//!   as `InvalidData`, never as a wrong answer);
+//! * [`QuantileServer`] — a node: engine shards behind a
+//!   `std::net::TcpListener`, a thread-pool accept loop (no async
+//!   runtime), per-tenant pinned snapshot sessions;
+//! * [`Coordinator`] / [`TenantSession`] — the client: opens per-tenant
+//!   sessions, fetches each node's summary extract once, rebuilds the
+//!   union's combined summary locally (bit-identical to the in-process
+//!   build), then answers queries in **~3 batched probe rounds** — each
+//!   round one RTT, all nodes probed back-to-back.
+//!
+//! Repeated queries from one tenant reuse the pinned snapshots and the
+//! locally rebuilt summary, so a dashboard's steady state rides the
+//! same cached-summary fast path that makes in-process repeated queries
+//! ~25× cheaper than cold ones.
+//!
+//! See the root crate's "Serving quantiles over the network" quickstart
+//! for an end-to-end loopback example.
+
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod proto;
+pub mod server;
+
+pub use coordinator::{Coordinator, ServedQuery, TenantSession};
+pub use server::{QuantileServer, ServerHandle};

@@ -89,7 +89,14 @@ impl SketchCompaction {
     /// convention.
     fn parse_env(mode: &str, seed: Option<&str>) -> SketchCompaction {
         match mode.trim().to_ascii_lowercase().as_str() {
-            "det" | "deterministic" => SketchCompaction::Deterministic,
+            "det" | "deterministic" => match seed {
+                Some(s) => panic!(
+                    "HSQ_SEED={s:?} is set but HSQ_COMPACTION is deterministic, which takes no \
+                     seed: the seed would be silently ignored (export HSQ_COMPACTION=randomized \
+                     to use it, or unset HSQ_SEED)"
+                ),
+                None => SketchCompaction::Deterministic,
+            },
             "rand" | "randomized" => {
                 let seed = seed
                     .map(|s| {
@@ -104,16 +111,41 @@ impl SketchCompaction {
         }
     }
 
+    /// Resolve the `(HSQ_COMPACTION, HSQ_SEED)` pair. An empty or
+    /// whitespace-only `HSQ_SEED` counts as unset (so matrix jobs can
+    /// blank the seed on legs it does not apply to); a *non-empty* seed
+    /// whose mode cannot consume it — `HSQ_COMPACTION` unset, or
+    /// explicitly deterministic — panics instead of being silently
+    /// dropped.
+    fn resolve_env(mode: Option<&str>, seed: Option<&str>) -> Option<SketchCompaction> {
+        let seed = seed.map(str::trim).filter(|s| !s.is_empty());
+        match mode {
+            Some(m) => Some(Self::parse_env(m, seed)),
+            None => match seed {
+                Some(s) => panic!(
+                    "HSQ_SEED={s:?} is set but HSQ_COMPACTION is not: the seed only applies to \
+                     randomized compaction, so it would be silently ignored (export \
+                     HSQ_COMPACTION=randomized, or unset HSQ_SEED)"
+                ),
+                None => None,
+            },
+        }
+    }
+
     /// Read the `HSQ_COMPACTION` environment variable
     /// (`"deterministic"` / `"randomized"`, case-insensitive; `"det"` /
     /// `"rand"` accepted), taking the randomized seed from `HSQ_SEED`
     /// (default 0). `None` when `HSQ_COMPACTION` is unset; **panics** on
     /// an unparsable value — a typo must not silently change the
-    /// compaction schedule fleet-wide.
+    /// compaction schedule fleet-wide — and on a non-empty `HSQ_SEED`
+    /// that the selected mode would ignore (unset or deterministic
+    /// `HSQ_COMPACTION`): an operator who exports only `HSQ_SEED` gets
+    /// no randomization, and must hear about it rather than trust a
+    /// schedule that never ran. An empty `HSQ_SEED` is treated as unset.
     pub fn from_env() -> Option<SketchCompaction> {
-        let mode = std::env::var("HSQ_COMPACTION").ok()?;
+        let mode = std::env::var("HSQ_COMPACTION").ok();
         let seed = std::env::var("HSQ_SEED").ok();
-        Some(Self::parse_env(&mode, seed.as_deref()))
+        Self::resolve_env(mode.as_deref(), seed.as_deref())
     }
 
     /// [`SketchCompaction::from_env`] with a fallback default.
@@ -1160,10 +1192,6 @@ mod tests {
             SketchCompaction::Deterministic
         );
         assert_eq!(
-            SketchCompaction::parse_env(" det ", Some("99")),
-            SketchCompaction::Deterministic
-        );
-        assert_eq!(
             SketchCompaction::parse_env("RAND", Some("23")),
             SketchCompaction::Randomized { seed: 23 }
         );
@@ -1183,6 +1211,38 @@ mod tests {
     #[should_panic(expected = "HSQ_SEED")]
     fn invalid_compaction_seed_panics() {
         SketchCompaction::parse_env("rand", Some("not-a-number"));
+    }
+
+    #[test]
+    fn env_seed_resolution() {
+        // No knobs set: nothing selected.
+        assert_eq!(SketchCompaction::resolve_env(None, None), None);
+        // Empty / whitespace seed counts as unset, whatever the mode.
+        assert_eq!(SketchCompaction::resolve_env(None, Some("")), None);
+        assert_eq!(SketchCompaction::resolve_env(None, Some("  ")), None);
+        assert_eq!(
+            SketchCompaction::resolve_env(Some("det"), Some("")),
+            Some(SketchCompaction::Deterministic)
+        );
+        // Randomized consumes the seed.
+        assert_eq!(
+            SketchCompaction::resolve_env(Some("rand"), Some("42")),
+            Some(SketchCompaction::Randomized { seed: 42 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_SEED")]
+    fn orphaned_seed_panics() {
+        // HSQ_SEED exported with no HSQ_COMPACTION: the operator expects
+        // randomization but would silently get none.
+        SketchCompaction::resolve_env(None, Some("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_SEED")]
+    fn deterministic_mode_rejects_seed() {
+        SketchCompaction::resolve_env(Some("det"), Some("99"));
     }
 
     #[test]

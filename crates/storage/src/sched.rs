@@ -149,15 +149,28 @@ impl std::fmt::Debug for IoScheduler {
     }
 }
 
+/// Parse an `HSQ_IO_REORDER_SEED` value. Panics on garbage: a set-but-
+/// unparsable seed must fail loudly, not silently fall back to FIFO
+/// order (which would run the fault-injection sweep un-reordered with
+/// zero signal).
+fn parse_reorder_seed(s: &str) -> u64 {
+    s.trim()
+        .parse::<u64>()
+        .unwrap_or_else(|e| panic!("invalid HSQ_IO_REORDER_SEED {s:?}: {e} (want a u64)"))
+}
+
 impl IoScheduler {
     /// A scheduler with `depth` workers (min 1) over `dev`. Reads the
     /// `HSQ_IO_REORDER_SEED` environment variable: when set, cross-file
     /// execution order is deterministically shuffled (the interleaving
-    /// seam the fault harness sweeps).
+    /// seam the fault harness sweeps). **Panics** on an unparsable value
+    /// — the fault-injection matrix depends on this seed, and a typo
+    /// silently running un-reordered would void the whole sweep (same
+    /// convention as `HSQ_WORKERS`/`HSQ_SKETCH`/`HSQ_COMPACTION`).
     pub fn new(dev: Arc<dyn BlockDevice>, depth: usize) -> Self {
         let seed = std::env::var("HSQ_IO_REORDER_SEED")
             .ok()
-            .and_then(|s| s.parse::<u64>().ok());
+            .map(|s| parse_reorder_seed(&s));
         Self::with_reorder(dev, depth, seed)
     }
 
@@ -490,6 +503,25 @@ mod tests {
         let dev = MemDevice::new(64);
         let s = IoScheduler::with_reorder(Arc::clone(&dev) as Arc<dyn BlockDevice>, depth, None);
         (dev, s)
+    }
+
+    #[test]
+    fn reorder_seed_parses_valid_values() {
+        assert_eq!(parse_reorder_seed("0"), 0);
+        assert_eq!(parse_reorder_seed(" 23 "), 23);
+        assert_eq!(parse_reorder_seed(&u64::MAX.to_string()), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_IO_REORDER_SEED")]
+    fn reorder_seed_garbage_panics() {
+        parse_reorder_seed("not-a-seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "HSQ_IO_REORDER_SEED")]
+    fn reorder_seed_negative_panics() {
+        parse_reorder_seed("-1");
     }
 
     #[test]

@@ -446,7 +446,58 @@
 //! let p99 = snap.quantile(0.99).unwrap().unwrap();
 //! assert!(p50 <= p95 && p95 <= p99);
 //! ```
+//!
+//! ## Serving quantiles over the network
+//!
+//! [`hsq_service`] scales the engine *out*: each node wraps a
+//! [`ShardedEngine`] in a [`service::QuantileServer`] (plain
+//! `std::net::TcpListener`, no async runtime), and a
+//! [`service::Coordinator`] answers union-wide queries across the fleet
+//! with the *same* `ε·m` guarantee — rank bounds over disjoint node
+//! data add, so the coordinator runs the identical value-space
+//! bisection, just with each probe batched to every node in one
+//! round-trip. Per-tenant sessions pin a snapshot epoch on every node
+//! and fetch each node's summary extract once, so a dashboard's
+//! repeated queries ride the cached-summary fast path and settle in ~3
+//! probe rounds each; on a single node the served answers are
+//! *byte-identical* to in-process [`ShardedSnapshot`] answers
+//! (property-tested in `crates/service/tests/loopback.rs`):
+//!
+//! ```
+//! use hsq::core::HsqConfig;
+//! use hsq::service::{Coordinator, QuantileServer};
+//! use hsq::core::ShardedEngine;
+//! use hsq::storage::MemDevice;
+//! use std::net::TcpListener;
+//!
+//! // A serving node: 2 engine shards behind a loopback listener.
+//! let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//! let engine = ShardedEngine::<u64, _>::with_shards(2, config, |_| MemDevice::new(4096));
+//! let node = QuantileServer::new(engine)
+//!     .spawn(TcpListener::bind("127.0.0.1:0").unwrap())
+//!     .unwrap();
+//!
+//! // The coordinator drives ingest and queries over the wire.
+//! let mut coord = Coordinator::<u64>::connect(&[node.addr()]).unwrap();
+//! for day in 0..3u64 {
+//!     let batch: Vec<(u64, u64)> =
+//!         (0..10_000u64).map(|i| (day * 10_000 + i, 1)).collect();
+//!     coord.ingest(0, &batch).unwrap();
+//!     coord.end_step().unwrap();
+//! }
+//!
+//! // A tenant session pins the node's snapshot and fetches its summary
+//! // extract once; every query after that is a few probe rounds.
+//! let mut session = coord.session(/* tenant */ 1).unwrap();
+//! let served = session.quantile(0.5).unwrap().unwrap();
+//! assert!((served.outcome.value as i64 - 15_000).unsigned_abs() <= 100);
+//! assert!(served.probe_rounds <= 6); // summary-seeded bisection
+//! let p99_quick = session.quantile_quick(0.99).unwrap().unwrap(); // zero rounds
+//! assert!(p99_quick >= 29_000);
+//! node.shutdown();
+//! ```
 pub use hsq_core as core;
+pub use hsq_service as service;
 pub use hsq_sketch as sketch;
 pub use hsq_storage as storage;
 pub use hsq_workload as workload;
