@@ -21,12 +21,16 @@ use hsq_core::manifest::ManifestLog;
 use hsq_core::{
     HistStreamQuantiles, HsqConfig, QueryContext, RetentionPolicy, SeedMode, ShardedEngine,
 };
-use hsq_service::{Coordinator, QuantileServer};
+use hsq_service::{
+    Coordinator, FaultConnector, FaultPlan, FleetConfig, NetFault, NetRetryPolicy, QuantileServer,
+    TcpConnector,
+};
 use hsq_storage::{
     sort_items, BlockDevice, Fault, FaultDevice, FileDevice, FileId, MemDevice, RetryDevice,
     RetryPolicy,
 };
 use hsq_workload::Dataset;
+use std::sync::Arc;
 
 /// Radix vs comparison batch sort at the ingest batch size. Min-of-k
 /// timing over many distinct batches (the noise-robust microbench
@@ -329,6 +333,172 @@ fn service_metrics() -> (f64, f64, f64, f64) {
         served_best / ranks.len() as f64,
         inproc_best / ranks.len() as f64,
     )
+}
+
+/// Failover metrics: the same query sweep against a 2-groups × 2-replicas
+/// loopback fleet, three ways. *Healthy*: all replicas up. *Failover*:
+/// every group's preferred replica is partitioned away from the first op,
+/// so every read is served by the surviving replica — answers must stay
+/// byte-identical to healthy, and the timed sweep prices what failover
+/// costs once it has settled. *Degraded*: both replicas of group 0 are
+/// lost after the session opens; answers must widen their upper bound by
+/// exactly the lost group's recorded weight (asserted in-bench — the
+/// widening is deterministic, not a tuning knob). Returns
+/// `(healthy_query_seconds, failover_query_seconds,
+/// degraded_extra_width_frac)`.
+fn failover_metrics() -> (f64, f64, f64) {
+    const GROUPS: usize = 2;
+    const REPLICAS: usize = 2;
+    const STEPS: u64 = 8;
+    const STEP_ITEMS: usize = 2048;
+    const REPEATS: usize = 3;
+    let cfg = || {
+        HsqConfig::builder()
+            .epsilon(0.01)
+            .merge_threshold(10)
+            .build()
+    };
+    let policy = NetRetryPolicy::fast();
+
+    // Spawn the fleet; the coordinator's replicated writes feed every
+    // replica of a group the same slice.
+    let mut handles = Vec::new();
+    let mut addrs = Vec::new();
+    let mut group_addrs = Vec::new();
+    for _ in 0..GROUPS {
+        let mut g = Vec::new();
+        for _ in 0..REPLICAS {
+            let engine = ShardedEngine::<u64, _>::with_shards(1, cfg(), |_| MemDevice::new(4096));
+            let handle = QuantileServer::new(engine)
+                .spawn(TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+                .expect("spawn server");
+            let addr = handle.addr().to_string();
+            handles.push(handle);
+            addrs.push(addr.clone());
+            g.push(addr);
+        }
+        group_addrs.push(g);
+    }
+    let fleet = FleetConfig::new(group_addrs).expect("fleet config");
+    let connect = |plan: Arc<FaultPlan>| {
+        let connector = Arc::new(FaultConnector::new(
+            Arc::new(TcpConnector::from_policy(&policy)),
+            plan,
+            addrs.clone(),
+        ));
+        Coordinator::<u64>::connect_fleet_with(&fleet, connector, policy).expect("connect fleet")
+    };
+
+    let mut coord = connect(FaultPlan::clean());
+    let mut group0_weight = 0u64;
+    for s in 0..STEPS {
+        for g in 0..GROUPS {
+            let batch = Dataset::Uniform
+                .generator(2600 + s * GROUPS as u64 + g as u64)
+                .take_vec(STEP_ITEMS);
+            let pairs: Vec<(u64, u64)> = batch.iter().map(|&v| (v, 1)).collect();
+            coord.ingest(g, &pairs).expect("ingest");
+            if g == 0 {
+                group0_weight += STEP_ITEMS as u64;
+            }
+        }
+        if s + 1 < STEPS {
+            coord.end_step().expect("end step");
+        }
+    }
+    drop(coord);
+
+    // Timed sweep of one session; returns (best seconds/query, answers).
+    let sweep = |coord: &mut Coordinator<u64>, tenant: u64| {
+        let mut session = coord.session(tenant).expect("open session");
+        let n = session.total_len();
+        let ranks: Vec<u64> = (1..=20).map(|i| (n * i) / 21 + 1).collect();
+        let _ = session.rank_query(ranks[0]).expect("warm");
+        let mut answers = Vec::new();
+        let mut best = f64::MAX;
+        for rep in 0..REPEATS {
+            let t = Instant::now();
+            for &r in &ranks {
+                let q = session.rank_query(r).expect("query").expect("non-empty");
+                if rep == 0 {
+                    answers.push(q);
+                }
+            }
+            best = best.min(t.elapsed().as_secs_f64() / ranks.len() as f64);
+        }
+        answers
+            .iter()
+            .for_each(|q| assert_eq!(q.missing_weight, 0, "unexpected degradation"));
+        (best, answers)
+    };
+
+    // Counting run: learn the op budget so the degraded partition can be
+    // armed after the session opens.
+    let count_plan = FaultPlan::clean();
+    let mut coord = connect(Arc::clone(&count_plan));
+    let (_, _) = sweep(&mut coord, 40);
+    let ops = count_plan.ops();
+    drop(coord);
+
+    let mut coord = connect(FaultPlan::clean());
+    let (healthy_secs, healthy) = sweep(&mut coord, 41);
+    drop(coord);
+
+    // Partition every group's preferred replica from the very first op:
+    // construction, session, and all reads fail over to the survivors.
+    let preferred: Vec<usize> = (0..GROUPS).map(|g| g * REPLICAS).collect();
+    let mut coord = connect(FaultPlan::script(vec![NetFault::Partition {
+        replicas: preferred,
+        from: 0,
+        to: u64::MAX,
+    }]));
+    let (failover_secs, failed_over) = sweep(&mut coord, 42);
+    assert!(coord.failovers() > 0, "failover path was not exercised");
+    drop(coord);
+    assert_eq!(healthy.len(), failed_over.len());
+    for (h, f) in healthy.iter().zip(&failed_over) {
+        assert_eq!(
+            (h.outcome.value, h.outcome.rank_lo, h.outcome.rank_hi),
+            (f.outcome.value, f.outcome.rank_lo, f.outcome.rank_hi),
+            "failover answers must be byte-identical to healthy"
+        );
+    }
+
+    // Lose all of group 0 right after the sweep's session is pinned: the
+    // remaining queries degrade, widening rank_hi by exactly the missing
+    // group's weight.
+    let mut coord = connect(FaultPlan::script(vec![NetFault::Partition {
+        replicas: vec![0, 1],
+        from: ops / 8,
+        to: u64::MAX,
+    }]));
+    let mut session = coord.session(43).expect("open session");
+    let n = session.total_len();
+    let ranks: Vec<u64> = (1..=20).map(|i| (n * i) / 21 + 1).collect();
+    let mut extra = Vec::new();
+    for &r in &ranks {
+        let q = session.rank_query(r).expect("query").expect("non-empty");
+        if q.outcome.degraded {
+            assert_eq!(q.missing_weight, group0_weight, "missing weight");
+            let eps_m = (session.query_epsilon() * session.stream_len() as f64).floor() as u64;
+            assert_eq!(
+                q.outcome.rank_hi,
+                q.outcome.estimated_rank + eps_m + group0_weight,
+                "degraded upper bound must widen by exactly the lost weight"
+            );
+            extra.push(q.missing_weight as f64);
+        }
+    }
+    assert!(!extra.is_empty(), "degraded path was not exercised");
+    let total: u64 = group0_weight * GROUPS as u64;
+    let extra_width_frac = extra.iter().sum::<f64>() / extra.len() as f64 / total as f64;
+    drop(session);
+    drop(coord);
+
+    for h in handles {
+        h.shutdown();
+    }
+    (healthy_secs, failover_secs, extra_width_frac)
 }
 
 /// Self-healing storage metrics. Rot one block in every partition of a
@@ -957,6 +1127,17 @@ fn main() {
         served_secs / inproc_secs.max(1e-9),
     );
 
+    let (healthy_secs, failover_secs, extra_width_frac) = failover_metrics();
+    println!(
+        "failover: 2 groups x 2 replicas, preferred replicas partitioned away: \
+         {:.0} us/query vs {:.0} us healthy ({:.2}x), answers byte-identical; \
+         whole-group loss widens bounds by {:.0}% of the union (exactly the lost weight)",
+        failover_secs * 1e6,
+        healthy_secs * 1e6,
+        failover_secs / healthy_secs.max(1e-9),
+        extra_width_frac * 100.0,
+    );
+
     let path =
         std::env::var("HSQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_headline.json".to_string());
     let sketch_json = sketch_rows
@@ -1024,7 +1205,11 @@ fn main() {
             "\"served_p50_probe_rounds\": {:.1}, ",
             "\"round_trips_per_query\": {:.2}, ",
             "\"served_query_seconds\": {:.8}, ",
-            "\"inprocess_query_seconds\": {:.8}}}\n}}\n"
+            "\"inprocess_query_seconds\": {:.8}, ",
+            "\"failover\": {{\"groups\": 2, \"replicas\": 2, ",
+            "\"healthy_query_seconds\": {:.8}, ",
+            "\"failover_query_seconds\": {:.8}, ",
+            "\"degraded_extra_width_frac\": {:.4}}}}}\n}}\n"
         ),
         scale.steps,
         scale.step_items,
@@ -1068,6 +1253,9 @@ fn main() {
         trips_per_query,
         served_secs,
         inproc_secs,
+        healthy_secs,
+        failover_secs,
+        extra_width_frac,
     );
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path}"),

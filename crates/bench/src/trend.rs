@@ -362,6 +362,7 @@ pub fn classify(leaf: &str) -> (Direction, bool) {
         "probes",
         "probe_rounds",
         "round_trips",
+        "extra_width",
     ]
     .iter()
     .any(|k| l.contains(k))
@@ -839,6 +840,54 @@ mod tests {
                 .any(|d| d.path.contains("served_p50_probe_rounds") && d.failed),
             "probe-round regression must gate: {deltas:?}"
         );
+    }
+
+    #[test]
+    fn failover_metrics_gate_width_stable_and_latency_loose() {
+        // The degraded extra width is deterministic — it is exactly the
+        // lost group's weight fraction — so it gates tight; the healthy
+        // and failover sweep latencies are wall clock and gate loose.
+        let (dir, noisy) = classify("degraded_extra_width_frac");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(!noisy);
+        let (dir, noisy) = classify("failover_query_seconds");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(noisy);
+        let (dir, noisy) = classify("healthy_query_seconds");
+        assert_eq!(dir, Direction::LowerBetter);
+        assert!(noisy);
+        assert_eq!(classify("replicas").0, Direction::Ignore);
+
+        let base = Json::parse(
+            r#"{"service": {"failover": {"groups": 2, "replicas": 2,
+                 "healthy_query_seconds": 0.0002, "failover_query_seconds": 0.0002,
+                 "degraded_extra_width_frac": 0.5}}}"#,
+        )
+        .unwrap();
+        // Widening growing past the tight threshold gates (the coordinator
+        // started over-pricing missing groups).
+        let mut worse = base.clone();
+        let mut s = base.get("service").unwrap().clone();
+        let mut f = s.get("failover").unwrap().clone();
+        f.set("degraded_extra_width_frac", Json::Num(0.9));
+        s.set("failover", f);
+        worse.set("service", s);
+        let (deltas, _) = compare(&base, &worse, Thresholds::default());
+        assert!(
+            deltas
+                .iter()
+                .any(|d| d.path.contains("degraded_extra_width_frac") && d.failed),
+            "80% wider degraded bounds must gate: {deltas:?}"
+        );
+        // A modest failover latency wobble passes the loose gate.
+        let mut slower = base.clone();
+        let mut s = base.get("service").unwrap().clone();
+        let mut f = s.get("failover").unwrap().clone();
+        f.set("failover_query_seconds", Json::Num(0.0003));
+        s.set("failover", f);
+        slower.set("service", s);
+        let (deltas, _) = compare(&base, &slower, Thresholds::default());
+        assert!(deltas.iter().all(|d| !d.failed), "{deltas:?}");
     }
 
     #[test]

@@ -31,6 +31,9 @@ const ALL_KNOBS: &[&str] = &[
     "HSQ_IO_REORDER_SEED",
     "HSQ_BENCH_FULL",
     "HSQ_BENCH_JSON",
+    "HSQ_FLEET",
+    "HSQ_FLEET_STRICT",
+    "HSQ_CHAOS_SEED",
     "HSQ_KNOB_PROBE",
 ];
 
@@ -62,6 +65,10 @@ fn env_knob_probe() {
         "bench_full" => {
             let scale = hsq_bench::Scale::from_args();
             println!("probe ok: steps = {}", scale.steps);
+        }
+        "fleet" => {
+            let f = hsq_service::FleetConfig::from_env();
+            println!("probe ok: fleet = {f:?}");
         }
         other => panic!("unknown probe {other:?}"),
     }
@@ -178,6 +185,38 @@ fn hsq_io_reorder_seed_sweep() {
             "io_reorder",
             &[("HSQ_IO_REORDER_SEED", garbage)],
             "HSQ_IO_REORDER_SEED",
+        );
+    }
+}
+
+#[test]
+fn hsq_fleet_sweep() {
+    // HSQ_CHAOS_SEED is scrubbed but not probed here: it is read only by
+    // the service crate's chaos test binary, which panics on garbage
+    // itself (same loud-failure convention).
+    accepts("fleet", &[]);
+    accepts("fleet", &[("HSQ_FLEET", "")]);
+    accepts("fleet", &[("HSQ_FLEET", "a:7001,b:7001;a:7002,b:7002")]);
+    accepts("fleet", &[("HSQ_FLEET", "localhost:9000")]);
+    accepts(
+        "fleet",
+        &[("HSQ_FLEET", "a:1;b:1"), ("HSQ_FLEET_STRICT", "1")],
+    );
+    accepts(
+        "fleet",
+        &[("HSQ_FLEET", "a:1"), ("HSQ_FLEET_STRICT", "false")],
+    );
+    // A strict flag with no fleet is inert (the knob reader never runs),
+    // matching how single-node deployments ignore fleet knobs.
+    accepts("fleet", &[("HSQ_FLEET_STRICT", "1")]);
+    for garbage in ["noport", ";", "a:1;noport", ","] {
+        rejects("fleet", &[("HSQ_FLEET", garbage)], "HSQ_FLEET");
+    }
+    for garbage in ["2", "strict", "yes please"] {
+        rejects(
+            "fleet",
+            &[("HSQ_FLEET", "a:1"), ("HSQ_FLEET_STRICT", garbage)],
+            "HSQ_FLEET_STRICT",
         );
     }
 }

@@ -94,7 +94,13 @@ pub use budget::{plan_memory, MemoryPlan};
 pub use config::{validate_epsilon, ConfigError, HsqConfig, HsqConfigBuilder};
 pub use engine::{EngineSnapshot, HistStreamQuantiles};
 pub use heavy::{HeavyHitter, HeavyHitterConfig, HeavyTracker};
+// The storage error taxonomy, re-exported so downstream layers (the
+// networked service's `NetRetryPolicy` mirrors `RetryPolicy`) classify
+// failures with one vocabulary.
 pub use hsq_sketch::{SketchCompaction, SketchKind};
+pub use hsq_storage::{
+    corruption_in, is_transient, RetryDevice, RetryPolicy, StorageError, StorageErrorKind,
+};
 pub use query::{QueryContext, QueryOutcome, RankProbeSource, SeedMode};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use sharded::{ShardedEngine, ShardedSnapshot};

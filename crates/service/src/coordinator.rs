@@ -1,22 +1,54 @@
 //! The query-side client: a [`Coordinator`] fans one logical query out
-//! across serving nodes and merges their answers into a single
+//! across replica groups and merges their answers into a single
 //! [`QueryOutcome`] carrying the union-wide `ε·m` guarantee.
 //!
 //! ## Probe-round protocol
 //!
-//! Ranks over disjoint unions **add**: if node `i` bounds `rank(z)` over
-//! its data by `(lo_i, hi_i)`, then `(Σ lo_i, Σ hi_i)` bounds `rank(z)`
-//! over the union. The coordinator therefore runs the *same* value-space
-//! bisection as the in-process engine
+//! Ranks over disjoint unions **add**: if group `g` bounds `rank(z)`
+//! over its shard-range by `(lo_g, hi_g)`, then `(Σ lo_g, Σ hi_g)`
+//! bounds `rank(z)` over the union. The coordinator therefore runs the
+//! *same* value-space bisection as the in-process engine
 //! ([`hsq_core::query::bisect_summed_rank`], via the
 //! [`RankProbeSource`] seam), with each probe answered by one *round*:
-//! the probe value is written to every node back-to-back, then all
-//! responses are collected and summed — so a round costs one RTT
-//! regardless of node count, and `round_trips = rounds × nodes`.
+//! the probe value is written to every group's preferred replica
+//! back-to-back, then all responses are collected and summed — so a
+//! round costs one RTT regardless of group count, and
+//! `round_trips = rounds × groups`.
+//!
+//! ## Replication and failover
+//!
+//! Each shard-range is served by an ordered *replica group*
+//! ([`FleetConfig`]): writes go to **every** replica of the group, so
+//! replicas hold bit-identical data; reads go to the group's preferred
+//! replica and fail over down the list on error or timeout, governed by
+//! the [`NetRetryPolicy`] (transient link faults retry the same replica
+//! after a reconnect + session re-pin; refused connections skip to the
+//! next replica immediately). Because replicas are identical and the
+//! extract/probe protocol is stateless per pinned epoch, a failover
+//! mid-bisection re-issues the same probe to the replacement and gets
+//! the same bounds — served answers stay **byte-identical** to the
+//! healthy fleet's. On every re-pin the replica's vitals are checked
+//! bit-for-bit against the group's recorded ones; any divergence
+//! re-seeds the session (summaries re-fetched, query restarted) instead
+//! of silently mixing snapshots.
+//!
+//! ## Degraded answers
+//!
+//! When *every* replica of a group is down, the coordinator keeps
+//! serving from the reachable union and widens each answer's rank
+//! bounds by exactly the missing groups' recorded weight — the same
+//! principled degradation the storage layer applies to quarantined
+//! runs, riding the paper's interval arithmetic: a true rank over the
+//! full union can exceed one over the reachable union by at most the
+//! missing mass. [`ServedQuery::missing_weight`] carries the widening;
+//! `strict` mode ([`FleetConfig::strict`]) refuses with a typed error
+//! ([`crate::strict_refusal_weight`]) instead. A group whose weight was
+//! never observed cannot be bounded away — losing it is an error, not a
+//! degraded answer.
 //!
 //! ## Why so few rounds
 //!
-//! Before bisecting, the session fetches each node's *summary extract*
+//! Before bisecting, the session fetches each group's *summary extract*
 //! (its per-source views) and rebuilds the union's combined summary
 //! locally. Because [`CombinedSummary::build`] sorts a value multiset
 //! and sums order-independent per-source bounds, the rebuilt summary is
@@ -24,24 +56,50 @@
 //! sources would build — so the bisection starts from the same tight
 //! summary-seeded bracket `(u, v)` and accepts under the same
 //! `ε·m − unc` tolerance. Empirically that means **~3 probe rounds at
-//! the median** (≤ 4 at p50 is asserted in the loopback tests): the
-//! bracket is already within a few summary gaps of the answer, and each
-//! round halves it. The extract is fetched once per session and reused
-//! across every subsequent query (the dashboard pattern), so steady
-//! state is pure probe rounds.
+//! the median** (≤ 4 at p50 is asserted in the loopback tests). The
+//! extract is fetched once per session and reused across every
+//! subsequent query (the dashboard pattern), so steady state is pure
+//! probe rounds.
 
 use std::collections::HashMap;
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::ToSocketAddrs;
+use std::sync::Arc;
 
 use hsq_core::query::bisect_summed_rank;
 use hsq_core::{CombinedSummary, QueryOutcome, RankProbeSource, SourceView};
 use hsq_storage::{IoSnapshot, Item};
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::fleet::FleetConfig;
+use crate::proto::{Request, Response};
+use crate::retry::{classify_net, strict_refusal, NetError, NetErrorKind, NetRetryPolicy};
+use crate::transport::{Connector, TcpConnector, Transport};
 
 fn svc_err(msg: impl Into<String>) -> io::Error {
     io::Error::other(msg.into())
+}
+
+/// Internal marker: fleet membership (or a replica's vitals) changed
+/// mid-query; the query must re-sync and restart. Never escapes the
+/// session API.
+#[derive(Debug)]
+struct QueryInterrupted;
+
+impl std::fmt::Display for QueryInterrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fleet membership changed mid-query")
+    }
+}
+
+impl std::error::Error for QueryInterrupted {}
+
+fn interrupted() -> io::Error {
+    io::Error::other(QueryInterrupted)
+}
+
+fn is_interrupted(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.downcast_ref::<QueryInterrupted>().is_some())
 }
 
 /// An accurate answer served over the network, plus what it cost on the
@@ -49,126 +107,660 @@ fn svc_err(msg: impl Into<String>) -> io::Error {
 #[derive(Clone, Debug)]
 pub struct ServedQuery<T> {
     /// The merged outcome, same semantics as the in-process
-    /// [`hsq_core::ShardedSnapshot::rank_query`].
+    /// [`hsq_core::ShardedSnapshot::rank_query`]. When `missing_weight`
+    /// is non-zero, `rank_hi` is widened by it and `degraded` is set.
     pub outcome: QueryOutcome<T>,
     /// Bisection probe rounds this query spent (one RTT each).
     pub probe_rounds: u32,
-    /// Total request/response pairs on the wire (`rounds × nodes`).
+    /// Total request/response pairs on the wire (`rounds × up groups`).
     pub round_trips: u64,
+    /// Summed recorded weight of replica groups that were unreachable
+    /// when this answer was computed (folded into `outcome.rank_hi`).
+    pub missing_weight: u64,
+    /// Replica failovers the coordinator performed during this query.
+    pub failovers: u64,
 }
 
-/// A client connected to a set of serving nodes, each holding a disjoint
-/// part of the dataset. All queries go through a per-tenant
+/// Last observed session vitals for one replica group — the per-group
+/// `W` cache that prices degraded answers when the group later
+/// disappears.
+#[derive(Clone, Copy, Debug)]
+struct GroupVitals {
+    total: u64,
+    stream_weight: u64,
+    quarantined: u64,
+    epsilon: f64,
+}
+
+/// One replica group: ordered replicas, lazily established transports,
+/// and failover state.
+struct Group {
+    replicas: Vec<String>,
+    conns: Vec<Option<Box<dyn Transport>>>,
+    /// Which tenant's session is pinned on each replica connection.
+    pinned: Vec<Option<u64>>,
+    /// Preferred replica for reads (sticky across failovers).
+    active: usize,
+    /// Every replica exhausted; excluded from queries until a refresh.
+    down: bool,
+    vitals: Option<GroupVitals>,
+}
+
+impl Group {
+    fn new(replicas: Vec<String>) -> Group {
+        let n = replicas.len();
+        Group {
+            replicas,
+            conns: (0..n).map(|_| None).collect(),
+            pinned: vec![None; n],
+            active: 0,
+            down: false,
+            vitals: None,
+        }
+    }
+}
+
+/// Per-coordinator session context (one tenant at a time — the session
+/// API takes `&mut Coordinator`).
+struct SessionCtx {
+    tenant: u64,
+    /// Per group: the next pin must ask the server for a fresh snapshot.
+    refresh_pending: Vec<bool>,
+    /// A re-pin observed vitals diverging from the group's recorded
+    /// ones; sessions must drop caches and restart in-flight queries.
+    reseeded: bool,
+}
+
+/// What a group produced for one op.
+enum GroupReply<T> {
+    /// A decoded response from some replica of the group.
+    Resp(Response<T>),
+    /// Pin-only op (no frame) succeeded.
+    Pinned,
+    /// The group is down (strict mode never reaches this — marking a
+    /// group down under `strict` is an error).
+    Down,
+}
+
+/// A client connected to a fleet of replica groups, each serving a
+/// disjoint part of the dataset. All queries go through a per-tenant
 /// [`TenantSession`].
 pub struct Coordinator<T: Item> {
-    nodes: Vec<TcpStream>,
+    groups: Vec<Group>,
+    connector: Arc<dyn Connector>,
+    retry: NetRetryPolicy,
+    strict: bool,
+    /// Decorrelated-jitter state for backoff draws.
+    rng: u64,
+    /// Bumped whenever the set of down groups changes; sessions use it
+    /// to notice mid-query membership changes.
+    down_epoch: u64,
+    failovers: u64,
+    session: Option<SessionCtx>,
     _items: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: Item> Coordinator<T> {
-    /// Connect to every node; the union of their datasets is what
-    /// queries answer over. Errors if `addrs` is empty or any
-    /// connection fails.
+    /// Connect to an unreplicated fleet: each address is a
+    /// single-replica group (the pre-replication topology). Errors if
+    /// `addrs` is empty or any node is unreachable.
     pub fn connect<A: ToSocketAddrs>(addrs: &[A]) -> io::Result<Coordinator<T>> {
-        if addrs.is_empty() {
-            return Err(svc_err("coordinator needs at least one node"));
-        }
-        let mut nodes = Vec::with_capacity(addrs.len());
+        let mut groups = Vec::with_capacity(addrs.len());
         for a in addrs {
-            let s = TcpStream::connect(a)?;
-            s.set_nodelay(true)?;
-            nodes.push(s);
+            let sa = a
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| svc_err("address resolved to nothing"))?;
+            groups.push(vec![sa.to_string()]);
         }
-        Ok(Coordinator {
-            nodes,
+        let config =
+            FleetConfig::new(groups).map_err(|_| svc_err("coordinator needs at least one node"))?;
+        Coordinator::connect_fleet(&config)
+    }
+
+    /// Connect to a replicated fleet over real TCP with the standard
+    /// retry policy.
+    pub fn connect_fleet(config: &FleetConfig) -> io::Result<Coordinator<T>> {
+        let retry = NetRetryPolicy::standard();
+        Coordinator::connect_fleet_with(config, Arc::new(TcpConnector::from_policy(&retry)), retry)
+    }
+
+    /// Connect to a replicated fleet over an explicit [`Connector`]
+    /// (the chaos harness injects its [`crate::FaultConnector`] here)
+    /// with an explicit [`NetRetryPolicy`]. Every group must be
+    /// reachable through at least one replica at construction — until a
+    /// group's weight has been observed once, losing it cannot be
+    /// priced into a degraded answer.
+    pub fn connect_fleet_with(
+        config: &FleetConfig,
+        connector: Arc<dyn Connector>,
+        retry: NetRetryPolicy,
+    ) -> io::Result<Coordinator<T>> {
+        let mut coord = Coordinator {
+            groups: config
+                .groups()
+                .iter()
+                .map(|replicas| Group::new(replicas.clone()))
+                .collect(),
+            connector,
+            retry,
+            strict: config.is_strict(),
+            rng: retry.jitter_seed,
+            down_epoch: 0,
+            failovers: 0,
+            session: None,
             _items: std::marker::PhantomData,
-        })
-    }
-
-    /// Number of connected nodes.
-    pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
-    }
-
-    /// One batched round: the frame goes to every node back-to-back,
-    /// then all responses are read — one RTT total on the wire.
-    fn broadcast(&mut self, req: &Request<T>) -> io::Result<Vec<Response<T>>> {
-        let frame = req.encode();
-        for n in &mut self.nodes {
-            write_frame(n, &frame)?;
+        };
+        for g in 0..coord.groups.len() {
+            if let GroupReply::Down = coord.group_op(g, None)? {
+                // Unreachable with no vitals recorded is always an
+                // error inside group_op; reaching Down here means a
+                // logic bug, not a network condition.
+                return Err(svc_err(format!("group {g} down at construction")));
+            }
         }
-        self.nodes
-            .iter_mut()
-            .map(|n| Response::decode(&read_frame(n)?))
+        Ok(coord)
+    }
+
+    /// Number of replica groups (formerly: nodes) — the unit of shard
+    /// routing for [`Coordinator::ingest`].
+    pub fn num_nodes(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of replica groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Replica failovers performed so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Groups currently marked down.
+    pub fn down_groups(&self) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(g, grp)| grp.down.then_some(g))
             .collect()
     }
 
-    /// Liveness round-trip to every node.
-    pub fn ping(&mut self) -> io::Result<()> {
-        for resp in self.broadcast(&Request::Ping)? {
+    /// Summed recorded weight of the down groups — what degraded
+    /// answers widen their upper rank bound by.
+    pub fn missing_weight(&self) -> u64 {
+        self.groups
+            .iter()
+            .filter(|grp| grp.down)
+            .map(|grp| grp.vitals.expect("down groups always have vitals").total)
+            .sum()
+    }
+
+    /// Whether degraded answers are refused ([`FleetConfig::strict`]).
+    pub fn is_strict(&self) -> bool {
+        self.strict
+    }
+
+    // -----------------------------------------------------------------
+    // Failover op engine.
+
+    /// Try one op (or a pin-only touch, `frame = None`) on one replica:
+    /// connect if needed, re-pin the session if needed, send, receive,
+    /// decode.
+    fn try_replica(
+        &mut self,
+        g: usize,
+        rid: usize,
+        frame: Option<&[u8]>,
+    ) -> io::Result<Option<Response<T>>> {
+        if self.groups[g].conns[rid].is_none() {
+            let addr = self.groups[g].replicas[rid].clone();
+            let t = self.connector.connect(&addr)?;
+            self.groups[g].conns[rid] = Some(t);
+            self.groups[g].pinned[rid] = None;
+        }
+        // Session re-establishment: a replica this session has never
+        // pinned (fresh connection, or a failover target) gets the
+        // tenant's OpenSession first, and its vitals are verified
+        // bit-for-bit against the group's recorded ones.
+        let pin = match &self.session {
+            Some(ctx)
+                if self.groups[g].pinned[rid] != Some(ctx.tenant) || ctx.refresh_pending[g] =>
+            {
+                Some((ctx.tenant, ctx.refresh_pending[g]))
+            }
+            _ => None,
+        };
+        if let Some((tenant, refresh)) = pin {
+            let pin_frame = Request::<T>::OpenSession { tenant, refresh }.encode();
+            let conn = self.groups[g].conns[rid].as_mut().expect("just ensured");
+            conn.send_frame(&pin_frame)?;
+            let raw = conn.recv_frame()?;
+            let vitals = match Response::<T>::decode(&raw)? {
+                Response::Session {
+                    total,
+                    stream_weight,
+                    quarantined,
+                    epsilon,
+                    ..
+                } => GroupVitals {
+                    total,
+                    stream_weight,
+                    quarantined,
+                    epsilon,
+                },
+                Response::Error { message } => return Err(svc_err(message)),
+                other => return Err(unexpected("Session", &other)),
+            };
+            if !refresh {
+                if let Some(old) = self.groups[g].vitals {
+                    let same = old.total == vitals.total
+                        && old.stream_weight == vitals.stream_weight
+                        && old.quarantined == vitals.quarantined
+                        && old.epsilon.to_bits() == vitals.epsilon.to_bits();
+                    if !same {
+                        // The replacement replica pinned a different
+                        // snapshot than the session was built on: flag a
+                        // re-seed so cached summaries are re-fetched and
+                        // in-flight bisections restart.
+                        if let Some(ctx) = &mut self.session {
+                            ctx.reseeded = true;
+                        }
+                    }
+                }
+            }
+            self.groups[g].vitals = Some(vitals);
+            self.groups[g].pinned[rid] = Some(tenant);
+            if refresh {
+                if let Some(ctx) = &mut self.session {
+                    ctx.refresh_pending[g] = false;
+                }
+            }
+        }
+        match frame {
+            Some(frame) => {
+                let conn = self.groups[g].conns[rid].as_mut().expect("just ensured");
+                conn.send_frame(frame)?;
+                let raw = conn.recv_frame()?;
+                Ok(Some(Response::decode(&raw)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// One read op against group `g` with the full retry/failover
+    /// ladder: transient faults reconnect and retry the same replica up
+    /// to `max_attempts` (decorrelated-jitter backoff between tries),
+    /// refused nodes fail over immediately, and exhausting every
+    /// replica marks the group down.
+    fn group_op(&mut self, g: usize, frame: Option<&[u8]>) -> io::Result<GroupReply<T>> {
+        if self.groups[g].down {
+            return Ok(GroupReply::Down);
+        }
+        let n = self.groups[g].replicas.len();
+        let start = self.groups[g].active;
+        let mut last_err: Option<io::Error> = None;
+        for k in 0..n {
+            let rid = (start + k) % n;
+            let mut prev_delay = self.retry.base_delay;
+            for attempt in 1..=self.retry.max_attempts.max(1) {
+                match self.try_replica(g, rid, frame) {
+                    Ok(resp) => {
+                        if self.groups[g].active != rid {
+                            self.groups[g].active = rid;
+                            self.failovers += 1;
+                        }
+                        return Ok(match resp {
+                            Some(r) => GroupReply::Resp(r),
+                            None => GroupReply::Pinned,
+                        });
+                    }
+                    Err(e) => {
+                        // Whatever failed, this link is framing-unsafe.
+                        self.groups[g].conns[rid] = None;
+                        self.groups[g].pinned[rid] = None;
+                        match classify_net(&e) {
+                            NetErrorKind::Fatal => return Err(e),
+                            NetErrorKind::NodeDown => {
+                                last_err = Some(e);
+                                break;
+                            }
+                            NetErrorKind::Transient => {
+                                last_err = Some(e);
+                                if attempt < self.retry.max_attempts.max(1) {
+                                    prev_delay = self.retry.next_backoff(&mut self.rng, prev_delay);
+                                    if !prev_delay.is_zero() {
+                                        std::thread::sleep(prev_delay);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.mark_down(g, last_err)
+    }
+
+    /// Every replica of group `g` is exhausted: price the loss (needs
+    /// recorded vitals), refuse under `strict`, otherwise mark the
+    /// group down and let degraded accounting take over.
+    fn mark_down(&mut self, g: usize, last_err: Option<io::Error>) -> io::Result<GroupReply<T>> {
+        let cause = last_err
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "all replicas failed".into());
+        if self.groups[g].vitals.is_none() {
+            return Err(NetError::Fatal(format!(
+                "replica group {g} is unreachable and its weight was never observed; \
+                 cannot bound the union without it (last error: {cause})"
+            ))
+            .into());
+        }
+        self.groups[g].down = true;
+        self.down_epoch += 1;
+        if self.strict {
+            return Err(strict_refusal(self.missing_weight()));
+        }
+        Ok(GroupReply::Down)
+    }
+
+    /// One batched round: the frame goes to every up group's preferred
+    /// replica back-to-back, then all responses are read — one RTT
+    /// total on the healthy path. Groups whose preferred link fails
+    /// drop to the sequential [`Coordinator::group_op`] ladder.
+    /// `None` entries are down groups.
+    fn round(&mut self, frame: &[u8]) -> io::Result<Vec<Option<Response<T>>>> {
+        let n = self.groups.len();
+        let mut out: Vec<Option<Response<T>>> = (0..n).map(|_| None).collect();
+        let mut inflight: Vec<usize> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        for g in 0..n {
+            if self.groups[g].down {
+                continue;
+            }
+            let rid = self.groups[g].active;
+            let ready = self.groups[g].conns[rid].is_some()
+                && match &self.session {
+                    Some(ctx) => {
+                        self.groups[g].pinned[rid] == Some(ctx.tenant) && !ctx.refresh_pending[g]
+                    }
+                    None => true,
+                };
+            if !ready {
+                pending.push(g);
+                continue;
+            }
+            match self.groups[g].conns[rid]
+                .as_mut()
+                .expect("checked ready")
+                .send_frame(frame)
+            {
+                Ok(()) => inflight.push(g),
+                Err(e) => {
+                    if classify_net(&e) == NetErrorKind::Fatal {
+                        return Err(e);
+                    }
+                    self.groups[g].conns[rid] = None;
+                    self.groups[g].pinned[rid] = None;
+                    pending.push(g);
+                }
+            }
+        }
+        for g in inflight {
+            let rid = self.groups[g].active;
+            let resp = self.groups[g].conns[rid]
+                .as_mut()
+                .expect("sent on this link")
+                .recv_frame()
+                .and_then(|raw| Response::decode(&raw));
             match resp {
-                Response::Pong => {}
-                other => return Err(unexpected("Pong", &other)),
+                Ok(r) => out[g] = Some(r),
+                Err(e) => {
+                    if classify_net(&e) == NetErrorKind::Fatal {
+                        return Err(e);
+                    }
+                    self.groups[g].conns[rid] = None;
+                    self.groups[g].pinned[rid] = None;
+                    pending.push(g);
+                }
+            }
+        }
+        for g in pending {
+            out[g] = match self.group_op(g, Some(frame))? {
+                GroupReply::Resp(r) => Some(r),
+                GroupReply::Pinned => unreachable!("frame was provided"),
+                GroupReply::Down => None,
+            };
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Write path: replicated, at-most-once.
+
+    /// One write op to one replica. Connect errors retry under the
+    /// policy, but once the frame has been sent there is **no** retry —
+    /// writes are not idempotent, and a replica that cannot acknowledge
+    /// a write is an error, not a failover (the replication contract
+    /// requires every replica to apply it).
+    fn write_replica(&mut self, g: usize, rid: usize, frame: &[u8]) -> io::Result<Response<T>> {
+        let mut prev_delay = self.retry.base_delay;
+        for attempt in 1..=self.retry.max_attempts.max(1) {
+            if self.groups[g].conns[rid].is_none() {
+                let addr = self.groups[g].replicas[rid].clone();
+                match self.connector.connect(&addr) {
+                    Ok(t) => {
+                        self.groups[g].conns[rid] = Some(t);
+                        self.groups[g].pinned[rid] = None;
+                    }
+                    Err(e) => {
+                        if classify_net(&e) == NetErrorKind::Transient
+                            && attempt < self.retry.max_attempts.max(1)
+                        {
+                            prev_delay = self.retry.next_backoff(&mut self.rng, prev_delay);
+                            if !prev_delay.is_zero() {
+                                std::thread::sleep(prev_delay);
+                            }
+                            continue;
+                        }
+                        return Err(e);
+                    }
+                }
+            }
+            let conn = self.groups[g].conns[rid].as_mut().expect("just ensured");
+            let sent = conn
+                .send_frame(frame)
+                .and_then(|()| conn.recv_frame())
+                .and_then(|raw| Response::decode(&raw));
+            return match sent {
+                Ok(resp) => Ok(resp),
+                Err(e) => {
+                    self.groups[g].conns[rid] = None;
+                    self.groups[g].pinned[rid] = None;
+                    Err(e)
+                }
+            };
+        }
+        unreachable!("loop always returns")
+    }
+
+    /// Liveness round-trip to every group (one reachable replica each);
+    /// errors if any group is down.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let frame = Request::<T>::Ping.encode();
+        for (g, resp) in self.round(&frame)?.into_iter().enumerate() {
+            match resp {
+                Some(Response::Pong) => {}
+                Some(other) => return Err(unexpected("Pong", &other)),
+                None => return Err(svc_err(format!("replica group {g} is down"))),
             }
         }
         Ok(())
     }
 
-    /// Weighted stream ingest into one node's engine. Returns
-    /// `(items, weight)` acknowledged.
-    pub fn ingest(&mut self, node: usize, items: &[(T, u64)]) -> io::Result<(u64, u64)> {
-        let req = Request::Ingest {
-            items: items.to_vec(),
-        };
-        let frame = req.encode();
-        let n = self
-            .nodes
-            .get_mut(node)
-            .ok_or_else(|| svc_err(format!("no node {node}")))?;
-        write_frame(n, &frame)?;
-        match Response::<T>::decode(&read_frame(n)?)? {
-            Response::Ingested { items, weight } => Ok((items, weight)),
-            Response::Error { message } => Err(svc_err(message)),
-            other => Err(unexpected("Ingested", &other)),
+    /// Weighted stream ingest into one group's engine — applied to
+    /// **every** replica of the group, which is what entitles reads to
+    /// fail over between them. Returns `(items, weight)` acknowledged.
+    pub fn ingest(&mut self, group: usize, items: &[(T, u64)]) -> io::Result<(u64, u64)> {
+        if group >= self.groups.len() {
+            return Err(svc_err(format!("no group {group}")));
         }
+        let frame = Request::Ingest {
+            items: items.to_vec(),
+        }
+        .encode();
+        let mut acked = None;
+        for rid in 0..self.groups[group].replicas.len() {
+            match self.write_replica(group, rid, &frame)? {
+                Response::Ingested { items, weight } => acked = Some((items, weight)),
+                Response::Error { message } => return Err(svc_err(message)),
+                other => return Err(unexpected("Ingested", &other)),
+            }
+        }
+        Ok(acked.expect("groups have at least one replica"))
     }
 
     /// Archive the current stream into a time-step partition on every
-    /// node. Returns per-node shard counts.
+    /// replica of every group. Returns per-group shard counts.
     pub fn end_step(&mut self) -> io::Result<Vec<u64>> {
-        self.broadcast(&Request::EndStep)?
-            .into_iter()
-            .map(|resp| match resp {
-                Response::StepEnded { shards } => Ok(shards),
-                Response::Error { message } => Err(svc_err(message)),
-                other => Err(unexpected("StepEnded", &other)),
-            })
-            .collect()
+        let frame = Request::<T>::EndStep.encode();
+        let mut out = Vec::with_capacity(self.groups.len());
+        for g in 0..self.groups.len() {
+            let mut group_shards = None;
+            for rid in 0..self.groups[g].replicas.len() {
+                match self.write_replica(g, rid, &frame)? {
+                    Response::StepEnded { shards } => group_shards = Some(shards),
+                    Response::Error { message } => return Err(svc_err(message)),
+                    other => return Err(unexpected("StepEnded", &other)),
+                }
+            }
+            out.push(group_shards.expect("groups have at least one replica"));
+        }
+        Ok(out)
     }
 
-    /// Open (or resume) the tenant's session on every node, pinning one
-    /// snapshot epoch per node. Repeated sessions for the same tenant
-    /// reuse the pinned snapshots — and therefore the nodes' cached
-    /// summaries — until [`TenantSession::refresh`].
+    // -----------------------------------------------------------------
+    // Sessions.
+
+    /// Pin (or re-pin) `tenant`'s session on every group's preferred
+    /// replica; `refresh` asks the servers for fresh snapshots and
+    /// re-attempts down groups (the one healing point).
+    fn open_sessions(&mut self, tenant: u64, refresh: bool) -> io::Result<()> {
+        let n = self.groups.len();
+        self.session = Some(SessionCtx {
+            tenant,
+            refresh_pending: vec![refresh; n],
+            reseeded: false,
+        });
+        if refresh {
+            let mut healed = false;
+            for grp in &mut self.groups {
+                healed |= grp.down;
+                grp.down = false;
+                // Force a fresh pin everywhere so every replica that
+                // serves this session observes the refreshed epoch.
+                for p in &mut grp.pinned {
+                    *p = None;
+                }
+            }
+            if healed {
+                self.down_epoch += 1;
+            }
+        }
+        for g in 0..n {
+            self.group_op(g, None)?;
+        }
+        Ok(())
+    }
+
+    /// Merge up-group vitals into session vitals; errors when no group
+    /// is reachable or the up groups disagree on ε (a mixed-ε fleet has
+    /// no single acceptance window).
+    fn fleet_vitals(&self) -> io::Result<SessionVitals> {
+        let mut vitals = SessionVitals {
+            total: 0,
+            stream_weight: 0,
+            quarantined: 0,
+            epsilon: 0.0,
+            missing_weight: self.missing_weight(),
+        };
+        let mut first_eps: Option<(usize, f64)> = None;
+        for (g, grp) in self.groups.iter().enumerate() {
+            if grp.down {
+                continue;
+            }
+            let v = grp
+                .vitals
+                .ok_or_else(|| svc_err(format!("group {g} has no recorded vitals")))?;
+            vitals.total += v.total;
+            vitals.stream_weight += v.stream_weight;
+            vitals.quarantined += v.quarantined;
+            match first_eps {
+                None => {
+                    first_eps = Some((g, v.epsilon));
+                    vitals.epsilon = v.epsilon;
+                }
+                Some((g0, eps0)) if eps0.to_bits() != v.epsilon.to_bits() => {
+                    return Err(svc_err(format!(
+                        "group {g} runs query epsilon {}, group {g0} runs {eps0}",
+                        v.epsilon
+                    )));
+                }
+                Some(_) => {}
+            }
+        }
+        if first_eps.is_none() {
+            return Err(NetError::Fatal(
+                "every replica group is down; nothing reachable to answer from".into(),
+            )
+            .into());
+        }
+        Ok(vitals)
+    }
+
+    /// Non-destructive peek at the session's re-seed flag.
+    fn session_reseeded(&self) -> bool {
+        self.session.as_ref().is_some_and(|ctx| ctx.reseeded)
+    }
+
+    fn clear_reseeded(&mut self) {
+        if let Some(ctx) = &mut self.session {
+            ctx.reseeded = false;
+        }
+    }
+
+    /// Open (or resume) the tenant's session on every group, pinning
+    /// one snapshot epoch per group. Repeated sessions for the same
+    /// tenant reuse the pinned snapshots — and therefore the nodes'
+    /// cached summaries — until [`TenantSession::refresh`].
     pub fn session(&mut self, tenant: u64) -> io::Result<TenantSession<'_, T>> {
-        let vitals = open_sessions(self, tenant, false)?;
+        self.open_sessions(tenant, false)?;
+        self.clear_reseeded();
+        if self.strict && self.missing_weight() > 0 {
+            return Err(strict_refusal(self.missing_weight()));
+        }
+        let vitals = self.fleet_vitals()?;
+        let seen_down_epoch = self.down_epoch;
         Ok(TenantSession {
             coord: self,
             tenant,
             vitals,
+            seen_down_epoch,
             summary: None,
             windows: HashMap::new(),
         })
     }
 }
 
-/// Session-wide vitals merged from every node's `Session` response.
+/// Session-wide vitals merged from every up group's recorded vitals.
 #[derive(Clone, Debug)]
 struct SessionVitals {
     total: u64,
     stream_weight: u64,
     quarantined: u64,
     epsilon: f64,
+    missing_weight: u64,
 }
 
 fn unexpected<T>(wanted: &str, got: &Response<T>) -> io::Error {
@@ -185,77 +777,40 @@ fn unexpected<T>(wanted: &str, got: &Response<T>) -> io::Error {
     svc_err(format!("expected {wanted} response, got {kind}"))
 }
 
-fn open_sessions<T: Item>(
-    coord: &mut Coordinator<T>,
-    tenant: u64,
-    refresh: bool,
-) -> io::Result<SessionVitals> {
-    let responses = coord.broadcast(&Request::OpenSession { tenant, refresh })?;
-    let mut vitals = SessionVitals {
-        total: 0,
-        stream_weight: 0,
-        quarantined: 0,
-        epsilon: 0.0,
-    };
-    for (i, resp) in responses.into_iter().enumerate() {
-        match resp {
-            Response::Session {
-                total,
-                stream_weight,
-                quarantined,
-                epsilon,
-                ..
-            } => {
-                vitals.total += total;
-                vitals.stream_weight += stream_weight;
-                vitals.quarantined += quarantined;
-                if i == 0 {
-                    vitals.epsilon = epsilon;
-                } else if epsilon.to_bits() != vitals.epsilon.to_bits() {
-                    // A mixed-ε fleet has no single acceptance window;
-                    // refuse rather than serve a bound nobody holds.
-                    return Err(svc_err(format!(
-                        "node {i} runs query epsilon {epsilon}, node 0 runs {}",
-                        vitals.epsilon
-                    )));
-                }
-            }
-            Response::Error { message } => return Err(svc_err(message)),
-            other => return Err(unexpected("Session", &other)),
-        }
-    }
-    Ok(vitals)
-}
-
 /// The remote [`RankProbeSource`]: each probe is one batched round over
-/// every node, bounds summed.
+/// every up group, bounds summed. A membership change or session
+/// re-seed mid-bisection surfaces as [`QueryInterrupted`] so the query
+/// loop can re-sync and restart against the surviving fleet.
 struct RemoteProbes<'a, T: Item> {
-    nodes: &'a mut [TcpStream],
+    coord: &'a mut Coordinator<T>,
     tenant: u64,
     window: Option<u64>,
     rounds: u32,
     trips: u64,
-    _items: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: Item> RankProbeSource<T> for RemoteProbes<'_, T> {
     fn probe(&mut self, z: T) -> io::Result<(u64, u64)> {
+        let epoch0 = self.coord.down_epoch;
         let req: Request<T> = Request::Probe {
             tenant: self.tenant,
             window: self.window,
             zs: vec![z],
         };
         let frame = req.encode();
-        for n in self.nodes.iter_mut() {
-            write_frame(n, &frame)?;
+        let responses = self.coord.round(&frame)?;
+        if self.coord.down_epoch != epoch0 || self.coord.session_reseeded() {
+            return Err(interrupted());
         }
         let mut lo = 0u64;
         let mut hi = 0u64;
-        for n in self.nodes.iter_mut() {
-            match Response::<T>::decode(&read_frame(n)?)? {
+        let mut up = 0u64;
+        for resp in responses.into_iter().flatten() {
+            match resp {
                 Response::Bounds { bounds } if bounds.len() == 1 => {
                     lo += bounds[0].0;
                     hi += bounds[0].1;
+                    up += 1;
                 }
                 Response::Bounds { bounds } => {
                     return Err(svc_err(format!(
@@ -268,29 +823,33 @@ impl<T: Item> RankProbeSource<T> for RemoteProbes<'_, T> {
             }
         }
         self.rounds += 1;
-        self.trips += self.nodes.len() as u64;
+        self.trips += up;
         Ok((lo, hi))
     }
 }
 
-/// One tenant's query session: pinned node snapshots, a locally rebuilt
-/// combined summary (fetched once, reused across queries), and the
-/// query API mirroring [`hsq_core::ShardedSnapshot`].
+/// One tenant's query session: pinned group snapshots, a locally
+/// rebuilt combined summary (fetched once, reused across queries), and
+/// the query API mirroring [`hsq_core::ShardedSnapshot`]. Failovers,
+/// retries, and degraded accounting all happen underneath this API —
+/// callers only see them in [`ServedQuery`]'s metadata.
 pub struct TenantSession<'a, T: Item> {
     coord: &'a mut Coordinator<T>,
     tenant: u64,
     vitals: SessionVitals,
+    seen_down_epoch: u64,
     summary: Option<CombinedSummary<T>>,
     windows: HashMap<u64, Option<(CombinedSummary<T>, u64)>>,
 }
 
 impl<T: Item> TenantSession<'_, T> {
-    /// Total size `N` of the union at session-pin time.
+    /// Total size `N` of the *reachable* union at session-pin time.
     pub fn total_len(&self) -> u64 {
         self.vitals.total
     }
 
-    /// Stream weight `m` at session-pin time — the `ε·m` denominator.
+    /// Stream weight `m` over the reachable union — the `ε·m`
+    /// denominator.
     pub fn stream_len(&self) -> u64 {
         self.vitals.stream_weight
     }
@@ -300,28 +859,64 @@ impl<T: Item> TenantSession<'_, T> {
         self.vitals.epsilon
     }
 
-    /// Re-pin every node's snapshot to current engine state and drop the
-    /// locally cached summaries.
+    /// Summed recorded weight of unreachable groups; non-zero means
+    /// answers are degraded (or refused, under strict mode).
+    pub fn missing_weight(&self) -> u64 {
+        self.vitals.missing_weight
+    }
+
+    /// Re-pin every group's snapshot to current engine state, re-attempt
+    /// down groups, and drop the locally cached summaries.
     pub fn refresh(&mut self) -> io::Result<()> {
-        self.vitals = open_sessions(self.coord, self.tenant, true)?;
+        self.coord.open_sessions(self.tenant, true)?;
+        self.coord.clear_reseeded();
+        if self.coord.strict && self.coord.missing_weight() > 0 {
+            return Err(strict_refusal(self.coord.missing_weight()));
+        }
+        self.vitals = self.coord.fleet_vitals()?;
+        self.seen_down_epoch = self.coord.down_epoch;
         self.summary = None;
         self.windows.clear();
         Ok(())
     }
 
-    /// Fetch-and-rebuild the union's combined summary (once per
-    /// session): every node's extract, concatenated in node order.
+    /// Fold fleet changes (groups lost, sessions re-seeded after
+    /// failover) into this session: drop stale caches and recompute
+    /// vitals over the reachable union.
+    fn sync(&mut self) -> io::Result<()> {
+        if self.coord.strict && self.coord.missing_weight() > 0 {
+            return Err(strict_refusal(self.coord.missing_weight()));
+        }
+        if self.seen_down_epoch != self.coord.down_epoch || self.coord.session_reseeded() {
+            self.coord.clear_reseeded();
+            self.seen_down_epoch = self.coord.down_epoch;
+            self.summary = None;
+            self.windows.clear();
+            self.vitals = self.coord.fleet_vitals()?;
+        }
+        Ok(())
+    }
+
+    /// Fetch-and-rebuild the reachable union's combined summary (once
+    /// per session): every up group's extract, concatenated in group
+    /// order.
     fn ensure_summary(&mut self) -> io::Result<()> {
         if self.summary.is_some() {
             return Ok(());
         }
-        let responses = self.coord.broadcast(&Request::Extract {
+        let epoch0 = self.coord.down_epoch;
+        let frame = Request::<T>::Extract {
             tenant: self.tenant,
             window: None,
-        })?;
+        }
+        .encode();
+        let responses = self.coord.round(&frame)?;
+        if self.coord.down_epoch != epoch0 || self.coord.session_reseeded() {
+            return Err(interrupted());
+        }
         let mut sources: Vec<SourceView<T>> = Vec::new();
         let mut total = 0u64;
-        for resp in responses {
+        for resp in responses.into_iter().flatten() {
             match resp {
                 Response::Extract {
                     total: t,
@@ -345,20 +940,26 @@ impl<T: Item> TenantSession<'_, T> {
     }
 
     /// Fetch-and-rebuild the windowed summary for `window_steps` (once
-    /// per session per window). `None` — cached — when any node reports
-    /// the window unavailable.
+    /// per session per window). `None` — cached — when any up group
+    /// reports the window unavailable.
     fn ensure_window(&mut self, window_steps: u64) -> io::Result<()> {
         if self.windows.contains_key(&window_steps) {
             return Ok(());
         }
-        let responses = self.coord.broadcast(&Request::Extract {
+        let epoch0 = self.coord.down_epoch;
+        let frame = Request::<T>::Extract {
             tenant: self.tenant,
             window: Some(window_steps),
-        })?;
+        }
+        .encode();
+        let responses = self.coord.round(&frame)?;
+        if self.coord.down_epoch != epoch0 || self.coord.session_reseeded() {
+            return Err(interrupted());
+        }
         let mut sources: Vec<SourceView<T>> = Vec::new();
         let mut total = 0u64;
         let mut available = true;
-        for resp in responses {
+        for resp in responses.into_iter().flatten() {
             match resp {
                 Response::Extract {
                     total: t,
@@ -384,6 +985,7 @@ impl<T: Item> TenantSession<'_, T> {
     fn outcome(&self, value: T, estimated_rank: u64, steps: u32) -> QueryOutcome<T> {
         let eps_m = self.eps_m();
         let quarantined = self.vitals.quarantined;
+        let missing = self.vitals.missing_weight;
         QueryOutcome {
             value,
             io: IoSnapshot::default(),
@@ -392,8 +994,11 @@ impl<T: Item> TenantSession<'_, T> {
             prefetch_hits: 0,
             prefetch_wasted: 0,
             rank_lo: estimated_rank.saturating_sub(eps_m),
-            rank_hi: estimated_rank + eps_m + quarantined,
-            degraded: quarantined > 0,
+            // One-sided widening, exactly as for quarantined mass: the
+            // unreachable groups' items can only push a true full-union
+            // rank up, never below the reachable-union lower bound.
+            rank_hi: estimated_rank + eps_m + quarantined + missing,
+            degraded: quarantined > 0 || missing > 0,
             quarantined,
         }
     }
@@ -404,39 +1009,67 @@ impl<T: Item> TenantSession<'_, T> {
         (self.vitals.epsilon * self.vitals.stream_weight as f64).floor() as u64
     }
 
-    /// Accurate cross-node rank query: same bisection, same seed
-    /// bracket, same tolerance as
-    /// [`hsq_core::ShardedSnapshot::rank_query`] — the probes just
-    /// travel over TCP.
-    pub fn rank_query(&mut self, r: u64) -> io::Result<Option<ServedQuery<T>>> {
-        if self.vitals.total == 0 {
-            return Ok(None);
-        }
-        let r = r.clamp(1, self.vitals.total);
-        self.ensure_summary()?;
-        let ts = self.summary.as_ref().expect("summary just ensured");
-        let (u, v) = ts.seed_bracket(r);
-        let eps_m = self.eps_m();
-        let mut probes = RemoteProbes {
-            nodes: &mut self.coord.nodes,
-            tenant: self.tenant,
-            window: None,
-            rounds: 0,
-            trips: 0,
-            _items: std::marker::PhantomData,
-        };
-        let (value, estimated_rank, steps) = bisect_summed_rank(r, eps_m, u, v, &mut probes)?;
-        let (probe_rounds, round_trips) = (probes.rounds, probes.trips);
-        Ok(Some(ServedQuery {
-            outcome: self.outcome(value, estimated_rank, steps),
-            probe_rounds,
-            round_trips,
-        }))
+    /// Restart budget for one query: each restart needs a membership
+    /// change or re-seed, both of which are bounded, but keep a hard
+    /// cap against pathological flapping.
+    fn restart_budget(&self) -> u32 {
+        let replicas: usize = self.coord.groups.iter().map(|g| g.replicas.len()).sum();
+        replicas as u32 + 8
     }
 
-    /// Accurate φ-quantile over the union of every node's data.
+    /// Accurate cross-group rank query: same bisection, same seed
+    /// bracket, same tolerance as
+    /// [`hsq_core::ShardedSnapshot::rank_query`] — the probes just
+    /// travel over TCP, with failover/degradation handled underneath.
+    pub fn rank_query(&mut self, r: u64) -> io::Result<Option<ServedQuery<T>>> {
+        let failovers0 = self.coord.failovers;
+        let mut rounds = 0u32;
+        let mut trips = 0u64;
+        for _ in 0..self.restart_budget() {
+            self.sync()?;
+            if self.vitals.total == 0 {
+                return Ok(None);
+            }
+            let r = r.clamp(1, self.vitals.total);
+            match self.ensure_summary() {
+                Ok(()) => {}
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+            let ts = self.summary.as_ref().expect("summary just ensured");
+            let (u, v) = ts.seed_bracket(r);
+            let eps_m = self.eps_m();
+            let mut probes = RemoteProbes {
+                coord: self.coord,
+                tenant: self.tenant,
+                window: None,
+                rounds: 0,
+                trips: 0,
+            };
+            let result = bisect_summed_rank(r, eps_m, u, v, &mut probes);
+            rounds += probes.rounds;
+            trips += probes.trips;
+            match result {
+                Ok((value, estimated_rank, steps)) => {
+                    return Ok(Some(ServedQuery {
+                        outcome: self.outcome(value, estimated_rank, steps),
+                        probe_rounds: rounds,
+                        round_trips: trips,
+                        missing_weight: self.vitals.missing_weight,
+                        failovers: self.coord.failovers - failovers0,
+                    }));
+                }
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(svc_err("query restarted too many times; fleet is flapping"))
+    }
+
+    /// Accurate φ-quantile over the reachable union.
     pub fn quantile(&mut self, phi: f64) -> io::Result<Option<ServedQuery<T>>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
+        self.sync()?;
         let r = (phi * self.vitals.total as f64).ceil() as u64;
         self.rank_query(r)
     }
@@ -446,68 +1079,104 @@ impl<T: Item> TenantSession<'_, T> {
     /// ≤ 1.5·ε·N — the dashboard fast path.
     pub fn quantile_quick(&mut self, phi: f64) -> io::Result<Option<T>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        let r = (phi * self.vitals.total as f64).ceil() as u64;
-        self.ensure_summary()?;
-        let ts = self.summary.as_ref().expect("summary just ensured");
-        Ok(ts.quick_response(r.clamp(1, ts.total().max(1))))
+        for _ in 0..self.restart_budget() {
+            self.sync()?;
+            let r = (phi * self.vitals.total as f64).ceil() as u64;
+            match self.ensure_summary() {
+                Ok(()) => {}
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+            let ts = self.summary.as_ref().expect("summary just ensured");
+            return Ok(ts.quick_response(r.clamp(1, ts.total().max(1))));
+        }
+        Err(svc_err("query restarted too many times; fleet is flapping"))
     }
 
     /// Windowed accurate rank query (newest `window_steps` steps on
-    /// every node). `Ok(None)` when any node's partitions misalign with
-    /// the window boundary, mirroring
+    /// every up group). `Ok(None)` when any group's partitions misalign
+    /// with the window boundary, mirroring
     /// [`hsq_core::ShardedSnapshot::rank_in_window`].
     pub fn rank_in_window(
         &mut self,
         window_steps: u64,
         r: u64,
     ) -> io::Result<Option<ServedQuery<T>>> {
-        self.ensure_window(window_steps)?;
-        let Some((ts, wtotal)) = self.windows[&window_steps].as_ref() else {
-            return Ok(None);
-        };
-        let wtotal = *wtotal;
-        if wtotal == 0 {
-            return Ok(None);
+        let failovers0 = self.coord.failovers;
+        let mut rounds = 0u32;
+        let mut trips = 0u64;
+        for _ in 0..self.restart_budget() {
+            self.sync()?;
+            match self.ensure_window(window_steps) {
+                Ok(()) => {}
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+            let Some((ts, wtotal)) = self.windows[&window_steps].as_ref() else {
+                return Ok(None);
+            };
+            let wtotal = *wtotal;
+            if wtotal == 0 {
+                return Ok(None);
+            }
+            let r = r.clamp(1, wtotal);
+            let (u, v) = ts.seed_bracket(r);
+            // ε·m over the FULL stream weight, exactly as in-process
+            // windowed queries: the stream is entirely inside every
+            // window.
+            let eps_m = self.eps_m();
+            let mut probes = RemoteProbes {
+                coord: self.coord,
+                tenant: self.tenant,
+                window: Some(window_steps),
+                rounds: 0,
+                trips: 0,
+            };
+            let result = bisect_summed_rank(r, eps_m, u, v, &mut probes);
+            rounds += probes.rounds;
+            trips += probes.trips;
+            match result {
+                Ok((value, estimated_rank, steps)) => {
+                    return Ok(Some(ServedQuery {
+                        outcome: self.outcome(value, estimated_rank, steps),
+                        probe_rounds: rounds,
+                        round_trips: trips,
+                        missing_weight: self.vitals.missing_weight,
+                        failovers: self.coord.failovers - failovers0,
+                    }));
+                }
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
         }
-        let r = r.clamp(1, wtotal);
-        let (u, v) = ts.seed_bracket(r);
-        // ε·m over the FULL stream weight, exactly as in-process windowed
-        // queries: the stream is entirely inside every window.
-        let eps_m = self.eps_m();
-        let mut probes = RemoteProbes {
-            nodes: &mut self.coord.nodes,
-            tenant: self.tenant,
-            window: Some(window_steps),
-            rounds: 0,
-            trips: 0,
-            _items: std::marker::PhantomData,
-        };
-        let (value, estimated_rank, steps) = bisect_summed_rank(r, eps_m, u, v, &mut probes)?;
-        let (probe_rounds, round_trips) = (probes.rounds, probes.trips);
-        Ok(Some(ServedQuery {
-            outcome: self.outcome(value, estimated_rank, steps),
-            probe_rounds,
-            round_trips,
-        }))
+        Err(svc_err("query restarted too many times; fleet is flapping"))
     }
 
     /// Windowed accurate φ-quantile; `Ok(None)` when the window
-    /// misaligns on any node or holds no data.
+    /// misaligns on any up group or holds no data.
     pub fn quantile_in_window(
         &mut self,
         window_steps: u64,
         phi: f64,
     ) -> io::Result<Option<ServedQuery<T>>> {
         assert!(phi > 0.0 && phi <= 1.0, "phi must be in (0, 1]");
-        self.ensure_window(window_steps)?;
-        let Some((_, wtotal)) = self.windows[&window_steps].as_ref() else {
-            return Ok(None);
-        };
-        let wtotal = *wtotal;
-        if wtotal == 0 {
-            return Ok(None);
+        for _ in 0..self.restart_budget() {
+            self.sync()?;
+            match self.ensure_window(window_steps) {
+                Ok(()) => {}
+                Err(e) if is_interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+            let Some((_, wtotal)) = self.windows[&window_steps].as_ref() else {
+                return Ok(None);
+            };
+            let wtotal = *wtotal;
+            if wtotal == 0 {
+                return Ok(None);
+            }
+            let r = (phi * wtotal as f64).ceil() as u64;
+            return self.rank_in_window(window_steps, r);
         }
-        let r = (phi * wtotal as f64).ceil() as u64;
-        self.rank_in_window(window_steps, r)
+        Err(svc_err("query restarted too many times; fleet is flapping"))
     }
 }

@@ -17,24 +17,46 @@
 //!   `std::net::TcpListener`, a thread-pool accept loop (no async
 //!   runtime), per-tenant pinned snapshot sessions;
 //! * [`Coordinator`] / [`TenantSession`] — the client: opens per-tenant
-//!   sessions, fetches each node's summary extract once, rebuilds the
+//!   sessions, fetches each group's summary extract once, rebuilds the
 //!   union's combined summary locally (bit-identical to the in-process
 //!   build), then answers queries in **~3 batched probe rounds** — each
-//!   round one RTT, all nodes probed back-to-back.
+//!   round one RTT, all groups probed back-to-back;
+//! * [`fleet`] / [`transport`] / [`retry`] — fault tolerance: a
+//!   [`FleetConfig`] maps each shard-range to an ordered replica set
+//!   (writes replicated to all, reads failing over between them), a
+//!   [`NetRetryPolicy`] governs attempts/backoff/deadlines with a typed
+//!   `Transient`/`NodeDown`/`Fatal` error taxonomy, and a [`Transport`]
+//!   seam lets the deterministic [`FaultTransport`] chaos harness
+//!   replay seeded failure schedules in CI. When every replica of a
+//!   group is down, answers widen rank bounds by exactly the missing
+//!   weight (strict mode refuses instead, typed via
+//!   [`strict_refusal_weight`]).
 //!
 //! Repeated queries from one tenant reuse the pinned snapshots and the
 //! locally rebuilt summary, so a dashboard's steady state rides the
 //! same cached-summary fast path that makes in-process repeated queries
 //! ~25× cheaper than cold ones.
 //!
-//! See the root crate's "Serving quantiles over the network" quickstart
-//! for an end-to-end loopback example.
+//! See the root crate's "Serving quantiles over the network" and
+//! "Running a fault-tolerant fleet" quickstarts for end-to-end loopback
+//! examples.
 
 #![warn(missing_docs)]
 
 pub mod coordinator;
+pub mod fleet;
 pub mod proto;
+pub mod retry;
 pub mod server;
+pub mod transport;
 
 pub use coordinator::{Coordinator, ServedQuery, TenantSession};
+pub use fleet::FleetConfig;
+pub use retry::{
+    classify_net, strict_refusal, strict_refusal_weight, NetError, NetErrorKind, NetRetryPolicy,
+};
 pub use server::{QuantileServer, ServerHandle};
+pub use transport::{
+    Connector, FaultConnector, FaultPlan, FaultTransport, NetFault, TcpConnector, TcpTransport,
+    Transport,
+};

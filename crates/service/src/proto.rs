@@ -575,14 +575,67 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
     }
 }
 
-/// Frame read for the server side: distinguishes a clean EOF (peer
-/// done), an idle timeout before the first length byte (poll shutdown
-/// and retry), and a torn frame (error). A timeout that strikes *inside*
-/// a frame is a torn frame: the length prefix promised bytes that never
-/// came.
+/// Limits on one bounded frame read ([`read_frame_bounded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameLimits {
+    /// Reject a length prefix above this *before* allocating anything —
+    /// a hostile 4 GiB prefix costs four bytes of reading, not an
+    /// allocation. At most [`MAX_FRAME_LEN`] (the encoder's own cap).
+    pub max_len: usize,
+    /// How many timed-out reads to tolerate *inside* a frame (after the
+    /// first length byte) before declaring it torn. Each poll lasts one
+    /// socket read-timeout, so `stall_polls × SO_RCVTIMEO` bounds how
+    /// long a half-sent frame can pin the reader.
+    pub stall_polls: u32,
+}
+
+impl FrameLimits {
+    /// Coordinator-side defaults: full `MAX_FRAME_LEN`, a generous
+    /// (but finite) stall budget.
+    pub const fn standard() -> Self {
+        FrameLimits {
+            max_len: MAX_FRAME_LEN,
+            stall_polls: 600,
+        }
+    }
+
+    /// Server-side defaults: a tight stall budget so a hung peer
+    /// mid-frame releases its connection thread after ~1 s (10 polls of
+    /// the server's 100 ms idle timeout) instead of pinning it forever.
+    pub const fn server() -> Self {
+        FrameLimits {
+            max_len: MAX_FRAME_LEN,
+            stall_polls: 10,
+        }
+    }
+}
+
+impl Default for FrameLimits {
+    fn default() -> Self {
+        FrameLimits::standard()
+    }
+}
+
+/// Frame read for the server side with [`FrameLimits::standard`]
+/// limits; see [`read_frame_bounded`].
 pub fn read_frame_or_eof(r: &mut impl Read) -> io::Result<FrameRead> {
+    read_frame_bounded(r, FrameLimits::standard())
+}
+
+/// Chunk size for incremental frame-body allocation: memory is
+/// committed as bytes actually arrive, never on the peer's say-so.
+const BODY_CHUNK: usize = 64 * 1024;
+
+/// Frame read distinguishing a clean EOF (peer done), an idle timeout
+/// before the first length byte (poll shutdown and retry), and a torn
+/// frame (error). A timeout that strikes *inside* a frame consumes one
+/// unit of `limits.stall_polls`; exhausting the budget is a torn frame —
+/// the length prefix promised bytes that never came. A declared length
+/// above `limits.max_len` is rejected before any body allocation.
+pub fn read_frame_bounded(r: &mut impl Read, limits: FrameLimits) -> io::Result<FrameRead> {
     let mut len_buf = [0u8; 4];
     let mut got = 0usize;
+    let mut stalls = 0u32;
     while got < 4 {
         match r.read(&mut len_buf[got..]) {
             Ok(0) if got == 0 => return Ok(FrameRead::Eof),
@@ -590,38 +643,51 @@ pub fn read_frame_or_eof(r: &mut impl Read) -> io::Result<FrameRead> {
             Ok(n) => got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e)
-                if got == 0
-                    && (e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut) =>
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                return Ok(FrameRead::Idle)
+                if got == 0 {
+                    return Ok(FrameRead::Idle);
+                }
+                stalls += 1;
+                if stalls >= limits.stall_polls {
+                    return Err(corrupt("peer stalled mid length prefix"));
+                }
             }
             Err(e) => return Err(e),
         }
     }
     let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_LEN {
+    if len > limits.max_len.min(MAX_FRAME_LEN) {
         return Err(corrupt("oversized frame"));
     }
-    let mut buf = vec![0u8; len];
+    // Grow the body buffer chunk-by-chunk as bytes arrive instead of
+    // trusting `len` with one up-front allocation.
+    let mut buf: Vec<u8> = Vec::new();
     let mut filled = 0usize;
     while filled < len {
+        if filled == buf.len() {
+            let grow = (len - filled).min(BODY_CHUNK);
+            buf.resize(filled + grow, 0);
+        }
         match r.read(&mut buf[filled..]) {
             Ok(0) => return Err(corrupt("torn frame body")),
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                // Mid-frame stall: keep waiting — the sender has
-                // committed to `len` bytes and loopback peers deliver
-                // them promptly unless the connection is dead, which the
-                // next read reports as EOF/reset.
-                continue;
+                stalls += 1;
+                if stalls >= limits.stall_polls {
+                    return Err(corrupt("peer stalled mid frame body"));
+                }
             }
             Err(e) => return Err(e),
         }
     }
+    buf.truncate(len);
     Ok(FrameRead::Frame(buf))
 }
 
@@ -909,5 +975,118 @@ mod tests {
         huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
         huge.extend_from_slice(&[0u8; 16]);
         assert!(read_frame(&mut io::Cursor::new(&huge[..])).is_err());
+    }
+
+    /// A reader that hands out its bytes one at a time, then reports
+    /// `WouldBlock` forever — a peer that went quiet mid-frame.
+    struct StalledPeer {
+        data: Vec<u8>,
+        pos: usize,
+        reads: usize,
+    }
+
+    impl Read for StalledPeer {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.reads += 1;
+            if self.pos < self.data.len() && !buf.is_empty() {
+                buf[0] = self.data[self.pos];
+                self.pos += 1;
+                Ok(1)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "stalled"))
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_before_allocating() {
+        // A ~4 GiB declared length: the reader must reject after the
+        // four prefix bytes, without ever asking the peer for a body
+        // byte (which is the observable proxy for "no allocation was
+        // sized by the hostile prefix").
+        let mut peer = StalledPeer {
+            data: u32::MAX.to_le_bytes().to_vec(),
+            pos: 0,
+            reads: 0,
+        };
+        let err = read_frame_bounded(&mut peer, FrameLimits::standard()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert_eq!(peer.pos, 4, "only the prefix was consumed");
+
+        // The cap is configurable below MAX_FRAME_LEN...
+        let tight = FrameLimits {
+            max_len: 1024,
+            stall_polls: 4,
+        };
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&2048u32.to_le_bytes());
+        wire.extend_from_slice(&[0u8; 2048]);
+        assert!(read_frame_bounded(&mut io::Cursor::new(&wire[..]), tight).is_err());
+        // ...and cannot be raised above it.
+        let loose = FrameLimits {
+            max_len: usize::MAX,
+            stall_polls: 4,
+        };
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(read_frame_bounded(&mut io::Cursor::new(&huge[..]), loose).is_err());
+
+        // A frame within the cap still round-trips through the bounded
+        // reader, including bodies larger than one allocation chunk.
+        let big = Request::<u64>::encode(&Request::Ingest {
+            items: (0..16384u64).map(|v| (v, 1)).collect(),
+        });
+        assert!(big.len() > super::BODY_CHUNK);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &big).unwrap();
+        match read_frame_bounded(&mut io::Cursor::new(&wire[..]), FrameLimits::standard()).unwrap()
+        {
+            FrameRead::Frame(f) => assert_eq!(f, big),
+            other => panic!("expected frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mid_frame_stall_budget_is_finite() {
+        // Half a frame then silence: the bounded reader gives up after
+        // `stall_polls` timed-out reads instead of looping forever.
+        let frame = Request::<u64>::encode(&Request::Ping);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let half = 4 + frame.len() / 2;
+        let limits = FrameLimits {
+            max_len: MAX_FRAME_LEN,
+            stall_polls: 5,
+        };
+        let mut peer = StalledPeer {
+            data: wire[..half].to_vec(),
+            pos: 0,
+            reads: 0,
+        };
+        let err = read_frame_bounded(&mut peer, limits).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            peer.reads <= half + 5 + 1,
+            "reader kept polling past its stall budget ({} reads)",
+            peer.reads
+        );
+        // A stall before any prefix byte is Idle, not an error — that is
+        // the server's shutdown-poll signal.
+        let mut quiet = StalledPeer {
+            data: Vec::new(),
+            pos: 0,
+            reads: 0,
+        };
+        match read_frame_bounded(&mut quiet, limits).unwrap() {
+            FrameRead::Idle => {}
+            other => panic!("expected Idle, got {other:?}"),
+        }
+        // And a stall budget applies to a torn length prefix too.
+        let mut torn = StalledPeer {
+            data: wire[..2].to_vec(),
+            pos: 0,
+            reads: 0,
+        };
+        assert!(read_frame_bounded(&mut torn, limits).is_err());
     }
 }

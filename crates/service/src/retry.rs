@@ -1,0 +1,304 @@
+//! Typed network errors and the coordinator's retry/backoff policy.
+//!
+//! Mirrors the storage-side taxonomy ([`hsq_storage::StorageError`] /
+//! [`hsq_storage::RetryPolicy`], re-exported from `hsq_core`): every
+//! fallible signature stays `io::Result`, a typed [`NetError`] rides
+//! *inside* `io::Error`, and classification of a foreign error falls
+//! back on its [`io::ErrorKind`]. The classes drive the coordinator's
+//! failover loop:
+//!
+//! * [`NetErrorKind::Transient`] — the *link* hiccuped (timeout, reset,
+//!   torn frame). The connection is framing-unsafe afterwards, so a
+//!   retry means reconnect → re-pin the session → resend, on the **same
+//!   replica**, up to [`NetRetryPolicy::max_attempts`] with
+//!   decorrelated-jitter backoff.
+//! * [`NetErrorKind::NodeDown`] — the *node* refused us (connection
+//!   refused, host unreachable). Retrying the same replica is pointless;
+//!   fail over to the next replica in the group immediately.
+//! * [`NetErrorKind::Fatal`] — a semantic failure (an `Error` response,
+//!   vitals divergence, a mixed-ε fleet). Surfaced unchanged; neither
+//!   retried nor failed over, because every replica would answer the
+//!   same.
+//!
+//! A fourth typed payload, [`NetError::StrictRefusal`], is not a link
+//! failure at all: it is the answer a `strict`-mode fleet gives instead
+//! of a degraded (bound-widened) response when a whole replica group is
+//! unreachable. [`strict_refusal_weight`] recovers the missing mass.
+
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// A classified network failure (see module docs).
+#[derive(Debug)]
+pub enum NetError {
+    /// A retryable link hiccup; the connection must be re-established.
+    Transient(String),
+    /// The node actively refused; fail over, don't retry.
+    NodeDown(String),
+    /// A semantic failure every replica would repeat.
+    Fatal(String),
+    /// `strict` mode refusing to serve a degraded answer: a whole
+    /// replica group is down and its `missing_weight` items cannot be
+    /// bounded away.
+    StrictRefusal {
+        /// Total weight of the unreachable groups' data.
+        missing_weight: u64,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Transient(m) => write!(f, "transient network error: {m}"),
+            NetError::NodeDown(m) => write!(f, "node down: {m}"),
+            NetError::Fatal(m) => write!(f, "fatal service error: {m}"),
+            NetError::StrictRefusal { missing_weight } => write!(
+                f,
+                "strict fleet refuses degraded answer: {missing_weight} weight unreachable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<NetError> for io::Error {
+    fn from(e: NetError) -> io::Error {
+        let kind = match &e {
+            NetError::Transient(_) => io::ErrorKind::TimedOut,
+            NetError::NodeDown(_) => io::ErrorKind::ConnectionRefused,
+            NetError::Fatal(_) => io::ErrorKind::Other,
+            NetError::StrictRefusal { .. } => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, e)
+    }
+}
+
+/// The class of a network failure, extracted by [`classify_net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetErrorKind {
+    /// Reconnect and retry the same replica.
+    Transient,
+    /// Fail over to the next replica.
+    NodeDown,
+    /// Surface unchanged.
+    Fatal,
+}
+
+/// Classify an `io::Error`: unwrap a typed [`NetError`] if one is
+/// inside, otherwise map the error kind. `InvalidData` counts as
+/// transient here — a response frame that fails its CRC or decode is
+/// link corruption (the server never *sends* invalid frames), and the
+/// remedy is the same reconnect a timeout gets.
+pub fn classify_net(e: &io::Error) -> NetErrorKind {
+    if let Some(inner) = e.get_ref() {
+        if let Some(ne) = inner.downcast_ref::<NetError>() {
+            return match ne {
+                NetError::Transient(_) => NetErrorKind::Transient,
+                NetError::NodeDown(_) => NetErrorKind::NodeDown,
+                NetError::Fatal(_) | NetError::StrictRefusal { .. } => NetErrorKind::Fatal,
+            };
+        }
+    }
+    match e.kind() {
+        io::ErrorKind::ConnectionRefused => NetErrorKind::NodeDown,
+        io::ErrorKind::TimedOut
+        | io::ErrorKind::WouldBlock
+        | io::ErrorKind::ConnectionReset
+        | io::ErrorKind::ConnectionAborted
+        | io::ErrorKind::BrokenPipe
+        | io::ErrorKind::UnexpectedEof
+        | io::ErrorKind::Interrupted
+        | io::ErrorKind::InvalidData => NetErrorKind::Transient,
+        _ => NetErrorKind::Fatal,
+    }
+}
+
+/// Build the typed strict-mode refusal for `missing_weight` unreachable
+/// mass.
+pub fn strict_refusal(missing_weight: u64) -> io::Error {
+    NetError::StrictRefusal { missing_weight }.into()
+}
+
+/// If `e` is a strict-mode degraded-answer refusal, the missing weight
+/// it refused over. The typed hook callers use to distinguish "the
+/// fleet is degraded and I asked for strict" from real failures.
+pub fn strict_refusal_weight(e: &io::Error) -> Option<u64> {
+    let inner = e.get_ref()?;
+    match inner.downcast_ref::<NetError>()? {
+        NetError::StrictRefusal { missing_weight } => Some(*missing_weight),
+        _ => None,
+    }
+}
+
+/// Retry/timeout/backoff policy for coordinator-side network ops —
+/// the wire-facing sibling of the storage layer's
+/// [`hsq_storage::RetryPolicy`].
+///
+/// * `max_attempts` bounds tries **per replica per op** (1 = no
+///   retries); exhausting them fails over to the next replica of the
+///   group, and exhausting every replica marks the group down.
+/// * Backoff between attempts uses *decorrelated jitter*: each delay is
+///   drawn uniformly from `[base_delay, 3 × previous]` (capped at
+///   `max_delay`) by a seeded LCG, so retry storms from many
+///   coordinators decorrelate while any single schedule replays exactly
+///   given the seed.
+/// * `connect_timeout` bounds connection establishment;  `op_timeout`
+///   is applied to every established socket as its read *and* write
+///   timeout (`SO_RCVTIMEO`/`SO_SNDTIMEO`), turning a stalled peer into
+///   a classified [`NetErrorKind::Transient`] instead of a hung thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetRetryPolicy {
+    /// Attempts per replica per op (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff floor (and first draw's lower bound).
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Per-operation socket deadline (`SO_RCVTIMEO`/`SO_SNDTIMEO`).
+    pub op_timeout: Duration,
+    /// Seed for the decorrelated-jitter draws.
+    pub jitter_seed: u64,
+}
+
+impl Default for NetRetryPolicy {
+    fn default() -> Self {
+        NetRetryPolicy::standard()
+    }
+}
+
+impl NetRetryPolicy {
+    /// Production-shaped defaults: 3 attempts, 1 ms → 50 ms jittered
+    /// backoff, 2 s connects, 10 s ops.
+    pub const fn standard() -> Self {
+        NetRetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(50),
+            connect_timeout: Duration::from_secs(2),
+            op_timeout: Duration::from_secs(10),
+            jitter_seed: 0x5EED_F1EE,
+        }
+    }
+
+    /// Deterministic-test configuration: 3 attempts, zero backoff,
+    /// short (but not flaky-short) deadlines.
+    pub const fn fast() -> Self {
+        NetRetryPolicy {
+            max_attempts: 3,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            connect_timeout: Duration::from_millis(500),
+            op_timeout: Duration::from_secs(5),
+            jitter_seed: 0,
+        }
+    }
+
+    /// Fail-fast: one attempt, no backoff.
+    pub const fn none() -> Self {
+        NetRetryPolicy {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            connect_timeout: Duration::from_secs(2),
+            op_timeout: Duration::from_secs(10),
+            jitter_seed: 0,
+        }
+    }
+
+    /// Next decorrelated-jitter delay. `rng` is the caller-held LCG
+    /// state (seed it from `jitter_seed`), `prev` the previous delay
+    /// (pass `base_delay` for the first retry).
+    pub fn next_backoff(&self, rng: &mut u64, prev: Duration) -> Duration {
+        if self.base_delay.is_zero() && self.max_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        *rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let base = self.base_delay.as_micros() as u64;
+        let hi = (prev.as_micros() as u64).saturating_mul(3).max(base + 1);
+        let draw = base + (*rng >> 11) % (hi - base);
+        Duration::from_micros(draw)
+            .min(self.max_delay)
+            .max(self.base_delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_errors_roundtrip_through_io_error() {
+        let e: io::Error = NetError::Transient("probe timeout".into()).into();
+        assert_eq!(classify_net(&e), NetErrorKind::Transient);
+        let e: io::Error = NetError::NodeDown("refused".into()).into();
+        assert_eq!(classify_net(&e), NetErrorKind::NodeDown);
+        let e: io::Error = NetError::Fatal("mixed epsilon".into()).into();
+        assert_eq!(classify_net(&e), NetErrorKind::Fatal);
+        let e = strict_refusal(1234);
+        assert_eq!(classify_net(&e), NetErrorKind::Fatal);
+        assert_eq!(strict_refusal_weight(&e), Some(1234));
+        assert_eq!(
+            strict_refusal_weight(&io::Error::other("nope")),
+            None,
+            "foreign errors are not refusals"
+        );
+    }
+
+    #[test]
+    fn foreign_errors_classify_by_kind() {
+        for kind in [
+            io::ErrorKind::TimedOut,
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::ConnectionAborted,
+            io::ErrorKind::BrokenPipe,
+            io::ErrorKind::UnexpectedEof,
+            io::ErrorKind::Interrupted,
+            io::ErrorKind::InvalidData,
+        ] {
+            let e = io::Error::new(kind, "x");
+            assert_eq!(classify_net(&e), NetErrorKind::Transient, "{kind:?}");
+        }
+        let e = io::Error::new(io::ErrorKind::ConnectionRefused, "x");
+        assert_eq!(classify_net(&e), NetErrorKind::NodeDown);
+        let e = io::Error::other("x");
+        assert_eq!(classify_net(&e), NetErrorKind::Fatal);
+    }
+
+    #[test]
+    fn jitter_is_seeded_bounded_and_replayable() {
+        let p = NetRetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_micros(100),
+            max_delay: Duration::from_millis(10),
+            connect_timeout: Duration::from_secs(1),
+            op_timeout: Duration::from_secs(1),
+            jitter_seed: 42,
+        };
+        let run = |seed: u64| {
+            let mut rng = seed;
+            let mut prev = p.base_delay;
+            let mut out = Vec::new();
+            for _ in 0..16 {
+                prev = p.next_backoff(&mut rng, prev);
+                assert!(prev >= p.base_delay && prev <= p.max_delay);
+                out.push(prev);
+            }
+            out
+        };
+        assert_eq!(run(42), run(42), "same seed replays the same schedule");
+        assert_ne!(run(42), run(43), "different seeds decorrelate");
+        // Zero-delay policies never sleep.
+        let mut rng = 7;
+        assert_eq!(
+            NetRetryPolicy::fast().next_backoff(&mut rng, Duration::ZERO),
+            Duration::ZERO
+        );
+    }
+}

@@ -35,11 +35,16 @@ use hsq_core::parallel::worker_count;
 use hsq_core::{ShardedEngine, ShardedSnapshot};
 use hsq_storage::{BlockCache, BlockDevice, Item};
 
-use crate::proto::{read_frame_or_eof, write_frame, FrameRead, Request, Response};
+use crate::proto::{read_frame_bounded, write_frame, FrameLimits, FrameRead, Request, Response};
 
 /// How long a serving thread waits for the next frame before polling
 /// the shutdown flag.
 const IDLE_POLL: Duration = Duration::from_millis(100);
+
+/// Write deadline per response (`SO_SNDTIMEO`): a peer that stops
+/// draining its socket gets its connection dropped instead of pinning a
+/// serving thread in `write()` forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
 struct SessionEntry<T: Item, D: BlockDevice> {
     epoch: u64,
@@ -218,12 +223,15 @@ fn serve_conn<T: Item, D: BlockDevice>(
 ) -> io::Result<()> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(IDLE_POLL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
     let mut caches: HashMap<CacheKey, Vec<Vec<BlockCache<T>>>> = HashMap::new();
     loop {
         if shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        let raw = match read_frame_or_eof(&mut stream) {
+        // The tight server stall budget (≈ 1 s of IDLE_POLLs) is what
+        // lets shutdown join promptly even when a peer hangs mid-frame.
+        let raw = match read_frame_bounded(&mut stream, FrameLimits::server()) {
             Ok(FrameRead::Frame(raw)) => raw,
             Ok(FrameRead::Eof) => return Ok(()),
             Ok(FrameRead::Idle) => continue,

@@ -1,0 +1,525 @@
+//! The transport seam under the coordinator, and its deterministic
+//! fault-injecting double.
+//!
+//! [`Connector`] establishes a [`Transport`] — one framed, ordered,
+//! deadline-bounded connection to a replica. Production code uses
+//! [`TcpConnector`]/[`TcpTransport`] (real sockets with
+//! `SO_RCVTIMEO`/`SO_SNDTIMEO` deadlines from the
+//! [`NetRetryPolicy`](crate::NetRetryPolicy)); the chaos harness wraps
+//! any connector in a [`FaultConnector`] driven by a seeded
+//! [`FaultPlan`] — the network sibling of the storage layer's
+//! `FaultDevice`: faults are *armed against operation counters*, not
+//! timers, so a schedule replays bit-identically and a sweep can place
+//! each fault at every op index a clean run performs.
+//!
+//! Fault vocabulary ([`NetFault`]):
+//! * `DropConn { op }` — the connection resets at global op `op`.
+//! * `Delay { op }` — op `op` exceeds its deadline (surfaces as
+//!   `TimedOut` immediately; determinism forbids real sleeping).
+//! * `TornFrame { recv }` — the `recv`-th frame receive (its own
+//!   counter) yields a truncated frame, as a half-delivered TCP segment
+//!   would.
+//! * `Partition { replicas, from, to }` — ops in `from..to` against the
+//!   listed replica indices fail as unreachable (connects refused,
+//!   established-connection I/O reset).
+//! * `SlowNode { replica, period }` — every `period`-th global op
+//!   against one replica times out: a node that is up but drowning.
+//!
+//! Every fault that fires also kills the transport it fired on
+//! (subsequent ops fail), because a real timeout or reset leaves the
+//! framing unrecoverable — the coordinator must reconnect, exactly as
+//! it would in production.
+
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::proto::{self, FrameLimits, FrameRead};
+
+/// One framed, ordered connection to a replica.
+pub trait Transport: Send {
+    /// Send one sealed frame.
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()>;
+    /// Receive one frame; a response is always expected, so EOF and
+    /// deadline expiry are errors.
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>>;
+}
+
+/// Establishes [`Transport`]s by replica address.
+pub trait Connector: Send + Sync {
+    /// Connect to `addr` (a `host:port` string).
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Transport>>;
+}
+
+// ---------------------------------------------------------------------
+// Real sockets.
+
+/// [`Connector`] for real TCP sockets with per-op deadlines.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    /// Deadline for connection establishment.
+    pub connect_timeout: Duration,
+    /// `SO_RCVTIMEO`/`SO_SNDTIMEO` applied to every connection.
+    pub op_timeout: Duration,
+    /// Frame-length cap for received frames.
+    pub max_frame_len: usize,
+}
+
+impl TcpConnector {
+    /// Connector configured from a retry policy's deadlines.
+    pub fn from_policy(policy: &crate::NetRetryPolicy) -> TcpConnector {
+        TcpConnector {
+            connect_timeout: policy.connect_timeout,
+            op_timeout: policy.op_timeout,
+            max_frame_len: proto::MAX_FRAME_LEN,
+        }
+    }
+}
+
+impl Connector for TcpConnector {
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Transport>> {
+        let mut last = None;
+        for sa in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sa, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_read_timeout(Some(self.op_timeout))?;
+                    stream.set_write_timeout(Some(self.op_timeout))?;
+                    return Ok(Box::new(TcpTransport {
+                        stream,
+                        limits: FrameLimits {
+                            max_len: self.max_frame_len,
+                            // One stall poll: with SO_RCVTIMEO armed, the
+                            // first timed-out read *is* the op deadline.
+                            stall_polls: 1,
+                        },
+                    }));
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                format!("transport: {addr} resolved to no addresses"),
+            )
+        }))
+    }
+}
+
+/// A real socket transport; deadlines come from the socket options the
+/// [`TcpConnector`] armed.
+pub struct TcpTransport {
+    stream: TcpStream,
+    limits: FrameLimits,
+}
+
+impl Transport for TcpTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        proto::write_frame(&mut self.stream, frame)
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        match proto::read_frame_bounded(&mut self.stream, self.limits)? {
+            FrameRead::Frame(f) => Ok(f),
+            FrameRead::Eof => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "transport: connection closed while awaiting a response",
+            )),
+            FrameRead::Idle => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "transport: response deadline exceeded",
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic fault injection.
+
+/// One scheduled network fault (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetFault {
+    /// Reset the connection at global op index `op`.
+    DropConn {
+        /// Global op index (connects + sends + recvs, all replicas).
+        op: u64,
+    },
+    /// Blow the deadline of global op index `op`.
+    Delay {
+        /// Global op index.
+        op: u64,
+    },
+    /// Truncate the payload of the `recv`-th frame receive.
+    TornFrame {
+        /// Frame-receive index (its own counter, all replicas).
+        recv: u64,
+    },
+    /// Make the listed replicas unreachable for global ops in
+    /// `from..to`.
+    Partition {
+        /// Replica indices (the connector's addressing order).
+        replicas: Vec<usize>,
+        /// First global op index affected.
+        from: u64,
+        /// One past the last affected op (`u64::MAX` = forever).
+        to: u64,
+    },
+    /// Time out every `period`-th global op against one replica.
+    SlowNode {
+        /// Replica index.
+        replica: usize,
+        /// Fault fires when `op % period == 0` (period ≥ 1).
+        period: u64,
+    },
+}
+
+/// What a fired fault does to the op it hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultAction {
+    /// `ECONNRESET`.
+    Reset,
+    /// Deadline exceeded.
+    Timeout,
+    /// `ECONNREFUSED` (connects under a partition).
+    Refuse,
+    /// Deliver a truncated frame (recv ops only).
+    Torn,
+}
+
+/// A seeded, counter-armed schedule of [`NetFault`]s shared by every
+/// [`FaultConnector`]/[`FaultTransport`] of one chaos run.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: Mutex<Vec<NetFault>>,
+    ops: AtomicU64,
+    recvs: AtomicU64,
+    fired: Mutex<Vec<String>>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults armed (the clean run that learns op
+    /// counts).
+    pub fn clean() -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::default())
+    }
+
+    /// A plan armed with `faults`.
+    pub fn script(faults: Vec<NetFault>) -> Arc<FaultPlan> {
+        let plan = FaultPlan::default();
+        *plan.faults.lock().unwrap() = faults;
+        Arc::new(plan)
+    }
+
+    /// Global ops observed so far (connects + sends + recvs).
+    pub fn ops(&self) -> u64 {
+        self.ops.load(Ordering::SeqCst)
+    }
+
+    /// Frame receives observed so far.
+    pub fn recvs(&self) -> u64 {
+        self.recvs.load(Ordering::SeqCst)
+    }
+
+    /// Human-readable log of every fault that actually fired.
+    pub fn fired(&self) -> Vec<String> {
+        self.fired.lock().unwrap().clone()
+    }
+
+    /// Account one global op against `replica` and decide its fate.
+    fn next_op(&self, replica: usize, is_recv: bool, what: &str) -> Option<FaultAction> {
+        let op = self.ops.fetch_add(1, Ordering::SeqCst);
+        let recv = if is_recv {
+            Some(self.recvs.fetch_add(1, Ordering::SeqCst))
+        } else {
+            None
+        };
+        let action = {
+            let faults = self.faults.lock().unwrap();
+            faults.iter().find_map(|f| match f {
+                NetFault::DropConn { op: at } => (*at == op).then_some(FaultAction::Reset),
+                NetFault::Delay { op: at } => (*at == op).then_some(FaultAction::Timeout),
+                NetFault::TornFrame { recv: at } => {
+                    (recv == Some(*at)).then_some(FaultAction::Torn)
+                }
+                NetFault::Partition { replicas, from, to } => (replicas.contains(&replica)
+                    && op >= *from
+                    && op < *to)
+                    .then_some(if what == "connect" {
+                        FaultAction::Refuse
+                    } else {
+                        FaultAction::Reset
+                    }),
+                NetFault::SlowNode {
+                    replica: slow,
+                    period,
+                } => (*slow == replica && *period >= 1 && op.is_multiple_of(*period))
+                    .then_some(FaultAction::Timeout),
+            })
+        };
+        if let Some(a) = action {
+            self.fired
+                .lock()
+                .unwrap()
+                .push(format!("op {op} ({what}, replica {replica}): {a:?}"));
+        }
+        action
+    }
+}
+
+fn fault_err(action: FaultAction, what: &str) -> io::Error {
+    match action {
+        FaultAction::Reset => io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            format!("fault: connection reset during {what}"),
+        ),
+        FaultAction::Timeout => io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("fault: {what} deadline exceeded"),
+        ),
+        FaultAction::Refuse => io::Error::new(
+            io::ErrorKind::ConnectionRefused,
+            format!("fault: {what} refused (partitioned)"),
+        ),
+        FaultAction::Torn => unreachable!("torn frames are delivered, not raised"),
+    }
+}
+
+/// [`Connector`] double that routes every op through a [`FaultPlan`].
+pub struct FaultConnector {
+    inner: Arc<dyn Connector>,
+    plan: Arc<FaultPlan>,
+    replicas: Vec<String>,
+}
+
+impl FaultConnector {
+    /// Wrap `inner`; `replicas` maps addresses to the replica indices
+    /// the plan's faults name (every address the coordinator may dial
+    /// must be listed).
+    pub fn new(
+        inner: Arc<dyn Connector>,
+        plan: Arc<FaultPlan>,
+        replicas: Vec<String>,
+    ) -> FaultConnector {
+        FaultConnector {
+            inner,
+            plan,
+            replicas,
+        }
+    }
+
+    fn rid(&self, addr: &str) -> usize {
+        self.replicas
+            .iter()
+            .position(|a| a == addr)
+            .unwrap_or_else(|| panic!("FaultConnector: unmapped replica address {addr}"))
+    }
+}
+
+impl Connector for FaultConnector {
+    fn connect(&self, addr: &str) -> io::Result<Box<dyn Transport>> {
+        let rid = self.rid(addr);
+        if let Some(action) = self.plan.next_op(rid, false, "connect") {
+            return Err(fault_err(action, "connect"));
+        }
+        let inner = self.inner.connect(addr)?;
+        Ok(Box::new(FaultTransport {
+            inner,
+            plan: Arc::clone(&self.plan),
+            rid,
+            dead: false,
+        }))
+    }
+}
+
+/// [`Transport`] double produced by [`FaultConnector`].
+pub struct FaultTransport {
+    inner: Box<dyn Transport>,
+    plan: Arc<FaultPlan>,
+    rid: usize,
+    dead: bool,
+}
+
+impl Transport for FaultTransport {
+    fn send_frame(&mut self, frame: &[u8]) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "fault: connection already dropped",
+            ));
+        }
+        if let Some(action) = self.plan.next_op(self.rid, false, "send") {
+            self.dead = true;
+            return Err(fault_err(action, "send"));
+        }
+        self.inner.send_frame(frame)
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "fault: connection already dropped",
+            ));
+        }
+        match self.plan.next_op(self.rid, true, "recv") {
+            Some(FaultAction::Torn) => {
+                // Deliver the real frame torn in half. The stream itself
+                // is drained (the server's full frame left the socket),
+                // but the caller sees a truncated payload that fails its
+                // CRC — and this link is framing-unsafe from here on.
+                let frame = self.inner.recv_frame()?;
+                self.dead = true;
+                Ok(frame[..frame.len() / 2].to_vec())
+            }
+            Some(action) => {
+                self.dead = true;
+                Err(fault_err(action, "recv"))
+            }
+            None => self.inner.recv_frame(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory transport echoing canned frames, for plan tests.
+    struct EchoTransport;
+
+    impl Transport for EchoTransport {
+        fn send_frame(&mut self, _frame: &[u8]) -> io::Result<()> {
+            Ok(())
+        }
+        fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+            Ok(vec![0xAB; 32])
+        }
+    }
+
+    struct EchoConnector;
+
+    impl Connector for EchoConnector {
+        fn connect(&self, _addr: &str) -> io::Result<Box<dyn Transport>> {
+            Ok(Box::new(EchoTransport))
+        }
+    }
+
+    fn faulted(faults: Vec<NetFault>) -> (FaultConnector, Arc<FaultPlan>) {
+        let plan = FaultPlan::script(faults);
+        (
+            FaultConnector::new(
+                Arc::new(EchoConnector),
+                Arc::clone(&plan),
+                vec!["a:1".into(), "b:1".into()],
+            ),
+            plan,
+        )
+    }
+
+    #[test]
+    fn clean_plan_counts_ops_and_recvs() {
+        let (conn, plan) = faulted(vec![]);
+        let mut t = conn.connect("a:1").unwrap(); // op 0
+        t.send_frame(&[1]).unwrap(); // op 1
+        t.recv_frame().unwrap(); // op 2, recv 0
+        t.recv_frame().unwrap(); // op 3, recv 1
+        assert_eq!(plan.ops(), 4);
+        assert_eq!(plan.recvs(), 2);
+        assert!(plan.fired().is_empty());
+    }
+
+    #[test]
+    fn drop_conn_fires_once_and_kills_the_transport() {
+        let (conn, plan) = faulted(vec![NetFault::DropConn { op: 1 }]);
+        let mut t = conn.connect("a:1").unwrap(); // op 0
+        let err = t.send_frame(&[1]).unwrap_err(); // op 1: dropped
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The dead link fails everything after, without consuming ops.
+        assert!(t.recv_frame().is_err());
+        assert_eq!(plan.ops(), 2);
+        // A reconnect works: the fault was one-shot.
+        let mut t2 = conn.connect("a:1").unwrap(); // op 2
+        t2.send_frame(&[1]).unwrap(); // op 3
+        assert_eq!(plan.fired().len(), 1);
+    }
+
+    #[test]
+    fn delay_and_torn_frame_and_slow_node() {
+        let (conn, _plan) = faulted(vec![NetFault::Delay { op: 2 }]);
+        let mut t = conn.connect("a:1").unwrap(); // op 0
+        t.send_frame(&[1]).unwrap(); // op 1
+        let err = t.recv_frame().unwrap_err(); // op 2: delayed
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+
+        // Torn frame: counted on the recv counter, not the op counter.
+        let (conn, plan) = faulted(vec![NetFault::TornFrame { recv: 1 }]);
+        let mut t = conn.connect("a:1").unwrap();
+        assert_eq!(t.recv_frame().unwrap().len(), 32); // recv 0: intact
+        assert_eq!(t.recv_frame().unwrap().len(), 16); // recv 1: torn
+        assert_eq!(plan.fired().len(), 1);
+
+        // Slow node: periodic timeouts on one replica only.
+        let (conn, _plan) = faulted(vec![NetFault::SlowNode {
+            replica: 1,
+            period: 2,
+        }]);
+        assert!(conn.connect("a:1").is_ok()); // op 0: replica 0 untouched
+        let mut t1 = conn.connect("b:1").unwrap(); // op 1: odd, passes
+        let err = t1.send_frame(&[1]).unwrap_err(); // op 2: fires
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn partition_refuses_connects_and_resets_io_within_its_window() {
+        let (conn, _plan) = faulted(vec![NetFault::Partition {
+            replicas: vec![0],
+            from: 1,
+            to: 3,
+        }]);
+        let mut t = conn.connect("a:1").unwrap(); // op 0: before window
+        let err = t.send_frame(&[1]).unwrap_err(); // op 1: reset
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        let err = conn.connect("a:1").err().expect("op 2 must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        assert!(conn.connect("b:1").is_ok()); // op 3: window over... other replica anyway
+        assert!(conn.connect("a:1").is_ok()); // op 4: healed
+    }
+
+    #[test]
+    fn tcp_connector_times_out_stalled_responses() {
+        use std::net::TcpListener;
+        // A listener that accepts and never replies: recv must return
+        // TimedOut (classified transient) rather than blocking forever.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hold = std::thread::spawn(move || {
+            let (conn, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(400));
+            drop(conn);
+        });
+        let connector = TcpConnector {
+            connect_timeout: Duration::from_millis(500),
+            op_timeout: Duration::from_millis(50),
+            max_frame_len: proto::MAX_FRAME_LEN,
+        };
+        let mut t = connector.connect(&addr).unwrap();
+        let start = std::time::Instant::now();
+        let err = t.recv_frame().unwrap_err();
+        assert!(
+            matches!(
+                err.kind(),
+                io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+            ),
+            "unexpected kind {:?}",
+            err.kind()
+        );
+        assert!(
+            start.elapsed() < Duration::from_millis(300),
+            "deadline did not bound the read"
+        );
+        hold.join().unwrap();
+    }
+}

@@ -345,6 +345,40 @@ fn coord2_ingest(addr: std::net::SocketAddr, items: &[(u64, u64)]) {
     c.ingest(0, items).unwrap();
 }
 
+/// A peer that sends half a frame and then goes silent — while keeping
+/// the connection open — must not wedge shutdown: the server's stall
+/// budget abandons the read, so `shutdown()` joins promptly instead of
+/// blocking until the hung peer goes away.
+#[test]
+fn shutdown_joins_promptly_with_hung_peer() {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let handle = spawn_node(mk_engine(1));
+
+    // Promise a 100-byte frame, deliver 10 bytes, then stall (the
+    // connection stays open — no FIN, unlike the torn-frame test).
+    let mut hung = TcpStream::connect(handle.addr()).unwrap();
+    hung.write_all(&100u32.to_le_bytes()).unwrap();
+    hung.write_all(&[0u8; 10]).unwrap();
+    hung.flush().unwrap();
+
+    // A healthy client is still served while the hung peer stalls.
+    let mut coord = Coordinator::<u64>::connect(&[handle.addr()]).unwrap();
+    coord.ping().unwrap();
+    drop(coord);
+
+    let start = Instant::now();
+    handle.shutdown();
+    let took = start.elapsed();
+    assert!(
+        took.as_secs_f64() < 2.0,
+        "shutdown took {took:?} with a hung peer (stall budget not enforced?)"
+    );
+    drop(hung);
+}
+
 /// Garbage and torn frames on the wire: the server answers framed
 /// garbage with an Error response and keeps the connection; a torn
 /// frame drops the connection; neither wedges the server for the next

@@ -1,0 +1,189 @@
+//! A quantile fleet that survives its own outages.
+//!
+//! `served_dashboard` stands up the happy path; this example breaks it,
+//! live, in escalating order:
+//!
+//! 1. **Replicated fleet** — 2 replica groups × 2 replicas, each group
+//!    fed identical data by the coordinator's replicated writes;
+//! 2. **Replica loss** — the preferred replica of group 0 is shut down
+//!    mid-session: the next query rides the retry/failover ladder to
+//!    the standby and the answers stay *byte-identical* (same value,
+//!    same rank interval, same probe rounds);
+//! 3. **Whole-group loss** — the standby dies too: queries keep
+//!    answering over the reachable union, flagged `degraded`, with the
+//!    upper rank bound widened by exactly the lost group's recorded
+//!    weight — honest bounds, never silent wrongness;
+//! 4. **Strict mode** — the same outage under
+//!    `FleetConfig::strict(true)`: a typed refusal carrying the missing
+//!    weight, for callers that would rather fail than widen.
+//!
+//! Run with: `cargo run --release --example failover_fleet`
+
+use std::net::TcpListener;
+
+use hsq::core::{HsqConfig, ShardedEngine};
+use hsq::service::{strict_refusal_weight, Coordinator, FleetConfig, QuantileServer, ServerHandle};
+use hsq::storage::MemDevice;
+
+const GROUPS: usize = 2;
+const REPLICAS: usize = 2;
+const HOURS: u64 = 4;
+const REQUESTS_PER_HOUR: usize = 20_000;
+
+/// One request latency in microseconds (deterministic, heavy-tailed).
+fn latency_us(i: u64) -> u64 {
+    let mut x = i
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 32;
+    let base = 5_000 + x % 45_000;
+    let tail = if x.is_multiple_of(97) {
+        (x >> 7) % 400_000
+    } else {
+        0
+    };
+    base + tail
+}
+
+fn spawn_replica() -> ServerHandle {
+    let config = HsqConfig::builder()
+        .epsilon(0.005)
+        .merge_threshold(4)
+        .build();
+    let engine = ShardedEngine::<u64, _>::with_shards(2, config, |_| MemDevice::new(8192));
+    QuantileServer::new(engine)
+        .spawn(TcpListener::bind("127.0.0.1:0").expect("bind loopback"))
+        .expect("spawn server")
+}
+
+fn main() {
+    // Stand up the fleet: groups[g][r] is replica r of group g.
+    let mut handles: Vec<Vec<Option<ServerHandle>>> = (0..GROUPS)
+        .map(|_| (0..REPLICAS).map(|_| Some(spawn_replica())).collect())
+        .collect();
+    let fleet = FleetConfig::new(
+        handles
+            .iter()
+            .map(|g| {
+                g.iter()
+                    .map(|h| h.as_ref().unwrap().addr().to_string())
+                    .collect()
+            })
+            .collect(),
+    )
+    .expect("fleet config");
+    println!("fleet up: {GROUPS} groups x {REPLICAS} replicas");
+    for (g, replicas) in fleet.groups().iter().enumerate() {
+        println!("  group {g}: {replicas:?}");
+    }
+
+    // Replicated ingest: each group gets its slice, every replica of the
+    // group the same copy (that is what makes failover byte-identical).
+    let mut coord = Coordinator::<u64>::connect_fleet(&fleet).expect("connect fleet");
+    let mut group0_weight = 0u64;
+    for hour in 0..HOURS {
+        let mut parts: Vec<Vec<(u64, u64)>> = vec![Vec::new(); GROUPS];
+        for i in 0..REQUESTS_PER_HOUR as u64 {
+            let v = latency_us(hour << 32 | i);
+            parts[(i % GROUPS as u64) as usize].push((v, 1));
+        }
+        group0_weight += parts[0].len() as u64;
+        for (g, part) in parts.iter().enumerate() {
+            coord.ingest(g, part).expect("ingest");
+        }
+        if hour + 1 < HOURS {
+            coord.end_step().expect("end step");
+        }
+    }
+    println!(
+        "\ningested {} samples/hour x {HOURS} hours, replicated {REPLICAS}x\n",
+        REQUESTS_PER_HOUR
+    );
+
+    // A strict coordinator watches the same fleet (sessions must open
+    // while the fleet is healthy: pinning needs every group's vitals).
+    let mut strict_coord =
+        Coordinator::<u64>::connect_fleet(&fleet.clone().strict(true)).expect("connect strict");
+    let mut strict_session = strict_coord.session(202).expect("strict session");
+
+    // Healthy dashboard.
+    let mut session = coord.session(101).expect("open session");
+    println!(
+        "[healthy] session over N = {} (m = {})",
+        session.total_len(),
+        session.stream_len()
+    );
+    let phis = [0.5, 0.95, 0.99];
+    let healthy: Vec<_> = phis
+        .iter()
+        .map(|&phi| session.quantile(phi).expect("quantile").expect("non-empty"))
+        .collect();
+    for (phi, q) in phis.iter().zip(&healthy) {
+        println!(
+            "  p{:<4} = {:>7} us   ({} probe rounds, rank within [{}, {}])",
+            phi * 100.0,
+            q.outcome.value,
+            q.probe_rounds,
+            q.outcome.rank_lo,
+            q.outcome.rank_hi,
+        );
+    }
+
+    // --- Outage 1: the preferred replica of group 0 dies.
+    handles[0][0].take().unwrap().shutdown();
+    println!("\n[replica loss] group 0 preferred replica is gone; same queries:");
+    let mut failovers = 0u64;
+    for (phi, before) in phis.iter().zip(&healthy) {
+        let after = session
+            .quantile(*phi)
+            .expect("quantile")
+            .expect("non-empty");
+        assert_eq!(before.outcome.value, after.outcome.value);
+        assert_eq!(before.outcome.rank_lo, after.outcome.rank_lo);
+        assert_eq!(before.outcome.rank_hi, after.outcome.rank_hi);
+        assert!(!after.outcome.degraded);
+        failovers += after.failovers;
+        println!(
+            "  p{:<4} = {:>7} us   byte-identical after failover",
+            phi * 100.0,
+            after.outcome.value,
+        );
+    }
+    println!("  ({failovers} failovers absorbed, zero visible errors)");
+
+    // --- Outage 2: the standby dies too; group 0 is unreachable.
+    handles[0][1].take().unwrap().shutdown();
+    println!("\n[group loss] all of group 0 is gone; queries degrade honestly:");
+    for &phi in &phis {
+        let q = session.quantile(phi).expect("quantile").expect("non-empty");
+        assert!(q.outcome.degraded);
+        assert_eq!(q.missing_weight, group0_weight);
+        println!(
+            "  p{:<4} = {:>7} us   degraded, rank within [{}, {}] \
+             (upper bound widened by the {} lost samples)",
+            phi * 100.0,
+            q.outcome.value,
+            q.outcome.rank_lo,
+            q.outcome.rank_hi,
+            q.missing_weight,
+        );
+    }
+
+    // --- The same outage, strict: a typed refusal instead of widening.
+    let err = strict_session
+        .quantile(0.99)
+        .expect_err("strict fleet must refuse");
+    let missing = strict_refusal_weight(&err).expect("typed refusal");
+    assert_eq!(missing, group0_weight);
+    println!(
+        "\n[strict] refused with typed error: {missing} samples unreachable \
+         ({err})"
+    );
+
+    for g in handles.into_iter().flatten().flatten() {
+        g.shutdown();
+    }
+    println!("\nsurviving replicas drained and shut down cleanly");
+}

@@ -496,6 +496,84 @@
 //! assert!(p99_quick >= 29_000);
 //! node.shutdown();
 //! ```
+//!
+//! ## Running a fault-tolerant fleet
+//!
+//! Single-address fleets die with their node. A [`service::FleetConfig`]
+//! groups nodes into *replica groups*: group `g` owns the same
+//! shard-range a single node used to, and lists replicas in failover
+//! preference order. The coordinator writes to **every** replica of a
+//! group (identical data ⇒ bit-identical summary extracts) and reads
+//! from the first reachable one, so when a replica dies mid-bisection
+//! the query re-seeds from the survivor's extract and finishes with the
+//! **byte-identical** answer — same value, same rank interval, same
+//! probe-round count. Every network op runs under a
+//! [`service::NetRetryPolicy`] (bounded attempts, decorrelated-jitter
+//! backoff, per-op deadlines), and errors are classified
+//! transient / node-down / fatal like the storage layer's taxonomy.
+//! Topology comes from [`service::FleetConfig::new`], a spec string
+//! (`HSQ_FLEET=a:7001,b:7001;a:7002,b:7002` — `;` between groups, `,`
+//! between replicas), or a config file.
+//!
+//! When *every* replica of a group is unreachable, queries keep
+//! answering over the reachable union, `degraded`, with `rank_hi`
+//! widened by exactly the missing group's recorded weight — the same
+//! honest-bounds contract quarantined corruption uses. Strict fleets
+//! (`FleetConfig::strict(true)` / `HSQ_FLEET_STRICT=1`) refuse instead
+//! with a typed error carrying that weight
+//! ([`service::strict_refusal_weight`]).
+//!
+//! ```
+//! use hsq::core::{HsqConfig, ShardedEngine};
+//! use hsq::service::{Coordinator, FleetConfig, QuantileServer};
+//! use hsq::storage::MemDevice;
+//! use std::net::TcpListener;
+//!
+//! // One replica group, two replicas — each its own server process in
+//! // production; loopback threads here.
+//! let spawn = || {
+//!     let config = HsqConfig::builder().epsilon(0.01).merge_threshold(4).build();
+//!     let engine = ShardedEngine::<u64, _>::with_shards(2, config, |_| MemDevice::new(4096));
+//!     QuantileServer::new(engine)
+//!         .spawn(TcpListener::bind("127.0.0.1:0").unwrap())
+//!         .unwrap()
+//! };
+//! let (primary, standby) = (spawn(), spawn());
+//! let fleet = FleetConfig::new(vec![vec![
+//!     primary.addr().to_string(),
+//!     standby.addr().to_string(),
+//! ]])
+//! .unwrap();
+//!
+//! // Writes go to every replica of the group; both now hold the union.
+//! let mut coord = Coordinator::<u64>::connect_fleet(&fleet).unwrap();
+//! for day in 0..3u64 {
+//!     let batch: Vec<(u64, u64)> =
+//!         (0..5_000u64).map(|i| (day * 5_000 + i, 1)).collect();
+//!     coord.ingest(0, &batch).unwrap();
+//!     coord.end_step().unwrap();
+//! }
+//!
+//! let mut session = coord.session(1).unwrap();
+//! let before = session.quantile(0.5).unwrap().unwrap();
+//!
+//! // Kill the preferred replica mid-session: the next query rides the
+//! // retry/failover path to the standby and answers byte-identically.
+//! primary.shutdown();
+//! let after = session.quantile(0.5).unwrap().unwrap();
+//! assert_eq!(before.outcome.value, after.outcome.value);
+//! assert_eq!(before.outcome.rank_lo, after.outcome.rank_lo);
+//! assert_eq!(before.outcome.rank_hi, after.outcome.rank_hi);
+//! assert!(!after.outcome.degraded); // a replica survived: full fidelity
+//! standby.shutdown();
+//! ```
+//!
+//! The deterministic chaos harness behind these guarantees —
+//! [`service::FaultPlan`] schedules of dropped connections, delays, torn
+//! frames, partitions, and slow nodes injected at exact op indices — is
+//! swept in `crates/service/tests/chaos.rs` (every schedule point ×
+//! seeds × fleet shapes; CI's `service-chaos` matrix splits the seeds),
+//! and `examples/failover_fleet.rs` demonstrates the operational story.
 pub use hsq_core as core;
 pub use hsq_service as service;
 pub use hsq_sketch as sketch;
